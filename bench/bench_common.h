@@ -1,0 +1,56 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/driver/compiler.h"
+#include "src/exec/interpreter.h"
+#include "src/support/string_utils.h"
+#include "src/support/table.h"
+
+namespace overify {
+namespace bench {
+
+// The wc function of Listing 1 plus the driver the engine expects.
+inline const char* WcListing1() {
+  return R"(
+int wc(unsigned char *str, int any) {
+  int res = 0;
+  int new_word = 1;
+  for (unsigned char *p = str; *p; ++p) {
+    if (isspace((int)*p) || (any && !isalpha((int)*p))) {
+      new_word = 1;
+    } else {
+      if (new_word) {
+        ++res;
+        new_word = 0;
+      }
+    }
+  }
+  return res;
+}
+int umain(unsigned char *in, int n) { return wc(in, 1); }
+)";
+}
+
+inline std::string FormatCount(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string result;
+  int counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter != 0 && counter % 3 == 0) {
+      result += ',';
+    }
+    result += *it;
+    ++counter;
+  }
+  return std::string(result.rbegin(), result.rend());
+}
+
+inline std::string FormatMillis(double seconds) {
+  return FormatDouble(seconds * 1e3, 1);
+}
+
+}  // namespace bench
+}  // namespace overify

@@ -1,0 +1,96 @@
+// Microbenchmarks of the engine's building blocks (google-benchmark):
+// expression interning, solver queries through the chain, pipeline
+// compilation throughput, concrete interpretation, and full exploration.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/symex/solver.h"
+#include "src/workloads/textgen.h"
+
+using namespace overify;
+using namespace overify::bench;
+
+namespace {
+
+void BM_ExprInterning(benchmark::State& state) {
+  for (auto _ : state) {
+    ExprContext ctx;
+    const Expr* acc = ctx.Constant(0, 32);
+    for (unsigned i = 0; i < 64; ++i) {
+      const Expr* sym = ctx.ZExt(ctx.Symbol(i % 8), 32);
+      acc = ctx.Binary(ExprKind::kAdd, acc,
+                       ctx.Binary(ExprKind::kMul, sym, ctx.Constant(i + 1, 32)));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ExprInterning);
+
+void BM_SolverSingleByteQuery(benchmark::State& state) {
+  ExprContext ctx;
+  SolverChain chain(ctx);
+  std::vector<const Expr*> path = {
+      ctx.Compare(ICmpPredicate::kUGT, ctx.Symbol(0), ctx.Constant(10, 8))};
+  int round = 0;
+  for (auto _ : state) {
+    // Vary the constant so the counterexample cache cannot shortcut.
+    const Expr* cond = ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0),
+                                   ctx.Constant(11 + (round++ % 200), 8));
+    benchmark::DoNotOptimize(chain.MayBeTrue(path, cond, nullptr));
+  }
+}
+BENCHMARK(BM_SolverSingleByteQuery);
+
+void BM_SolverMultiByteRelation(benchmark::State& state) {
+  ExprContext ctx;
+  int round = 0;
+  for (auto _ : state) {
+    CoreSolver core;
+    const Expr* sum = ctx.Binary(
+        ExprKind::kAdd, ctx.ZExt(ctx.Symbol(0), 32),
+        ctx.Binary(ExprKind::kAdd, ctx.ZExt(ctx.Symbol(1), 32), ctx.ZExt(ctx.Symbol(2), 32)));
+    const Expr* target =
+        ctx.Compare(ICmpPredicate::kEq, sum, ctx.Constant(300 + (round++ % 50), 32));
+    std::vector<uint8_t> model;
+    benchmark::DoNotOptimize(core.CheckSat(ctx, {target}, &model));
+  }
+}
+BENCHMARK(BM_SolverMultiByteRelation);
+
+void BM_CompileWcAtOverify(benchmark::State& state) {
+  for (auto _ : state) {
+    Compiler compiler;
+    CompileResult compiled = compiler.Compile(WcListing1(), OptLevel::kOverify);
+    benchmark::DoNotOptimize(compiled.instruction_count);
+  }
+}
+BENCHMARK(BM_CompileWcAtOverify);
+
+void BM_InterpretWcText(benchmark::State& state) {
+  Compiler compiler;
+  CompileResult compiled = compiler.Compile(WcListing1(), OptLevel::kO3);
+  TextGenOptions options;
+  options.approx_words = 200;
+  std::string text = GenerateText(options);
+  for (auto _ : state) {
+    Interpreter interp(*compiled.module);
+    benchmark::DoNotOptimize(interp.Run("umain", text).return_value);
+  }
+}
+BENCHMARK(BM_InterpretWcText);
+
+void BM_ExploreWcAtOverify(benchmark::State& state) {
+  Compiler compiler;
+  CompileResult compiled = compiler.Compile(WcListing1(), OptLevel::kOverify);
+  SymexLimits limits;
+  limits.max_seconds = 30;
+  for (auto _ : state) {
+    SymexResult result = Analyze(compiled, "umain", 6, limits);
+    benchmark::DoNotOptimize(result.paths_completed);
+  }
+}
+BENCHMARK(BM_ExploreWcAtOverify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

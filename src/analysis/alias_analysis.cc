@@ -1,0 +1,142 @@
+#include "src/analysis/alias_analysis.h"
+
+#include <vector>
+
+namespace overify {
+
+namespace {
+
+// Byte offset contribution of one GEP, or nullopt if any index is dynamic.
+std::optional<int64_t> ConstantGepOffset(const GepInst* gep) {
+  int64_t offset = 0;
+  Type* current = gep->source_type();
+  for (unsigned i = 0; i < gep->NumIndices(); ++i) {
+    const auto* index = DynCast<ConstantInt>(gep->Index(i));
+    if (index == nullptr) {
+      return std::nullopt;
+    }
+    int64_t idx = index->SignedValue();
+    if (i == 0) {
+      offset += idx * static_cast<int64_t>(current->SizeInBytes());
+      continue;
+    }
+    if (current->IsArray()) {
+      current = current->element();
+      offset += idx * static_cast<int64_t>(current->SizeInBytes());
+    } else if (current->IsStruct()) {
+      offset += static_cast<int64_t>(current->FieldOffset(static_cast<unsigned>(idx)));
+      current = current->fields()[static_cast<unsigned>(idx)];
+    } else {
+      return std::nullopt;
+    }
+  }
+  return offset;
+}
+
+}  // namespace
+
+bool MemoryLocation::HasIdentifiableBase() const {
+  return base != nullptr && (Isa<AllocaInst>(base) || Isa<GlobalVariable>(base));
+}
+
+MemoryLocation ResolvePointer(Value* pointer, uint64_t access_size) {
+  MemoryLocation loc;
+  loc.size = access_size;
+  int64_t offset = 0;
+  bool offset_known = true;
+
+  Value* current = pointer;
+  while (true) {
+    if (auto* gep = DynCast<GepInst>(current)) {
+      if (offset_known) {
+        if (auto gep_offset = ConstantGepOffset(gep)) {
+          offset += *gep_offset;
+        } else {
+          offset_known = false;
+        }
+      }
+      current = gep->base();
+      continue;
+    }
+    break;
+  }
+
+  loc.base = current;
+  if (offset_known) {
+    loc.offset = offset;
+  }
+  return loc;
+}
+
+AliasResult Alias(const MemoryLocation& a, const MemoryLocation& b) {
+  if (a.base == nullptr || b.base == nullptr) {
+    return AliasResult::kMayAlias;
+  }
+  if (a.base != b.base) {
+    // Two distinct identified objects never overlap. An identified object
+    // and an unrelated pointer (e.g. an argument) may alias only if the
+    // object's address could have escaped; we stay conservative for
+    // non-identified bases.
+    if (a.HasIdentifiableBase() && b.HasIdentifiableBase()) {
+      return AliasResult::kNoAlias;
+    }
+    // A non-escaping alloca cannot alias a pointer that is not derived
+    // from it.
+    const auto* alloca_a = DynCast<AllocaInst>(a.base);
+    const auto* alloca_b = DynCast<AllocaInst>(b.base);
+    if ((alloca_a != nullptr && IsNonEscapingAlloca(alloca_a)) ||
+        (alloca_b != nullptr && IsNonEscapingAlloca(alloca_b))) {
+      return AliasResult::kNoAlias;
+    }
+    return AliasResult::kMayAlias;
+  }
+  // Same base: compare offsets when both are constant.
+  if (!a.offset.has_value() || !b.offset.has_value()) {
+    return AliasResult::kMayAlias;
+  }
+  int64_t ao = *a.offset;
+  int64_t bo = *b.offset;
+  if (ao == bo && a.size == b.size && a.size != 0) {
+    return AliasResult::kMustAlias;
+  }
+  if (a.size == 0 || b.size == 0) {
+    return AliasResult::kMayAlias;
+  }
+  bool disjoint = ao + static_cast<int64_t>(a.size) <= bo ||
+                  bo + static_cast<int64_t>(b.size) <= ao;
+  return disjoint ? AliasResult::kNoAlias : AliasResult::kMayAlias;
+}
+
+AliasResult Alias(Value* pointer_a, uint64_t size_a, Value* pointer_b, uint64_t size_b) {
+  return Alias(ResolvePointer(pointer_a, size_a), ResolvePointer(pointer_b, size_b));
+}
+
+bool IsNonEscapingAlloca(const AllocaInst* alloca) {
+  // Track the alloca and all pointers derived from it through GEPs. The
+  // address escapes if it is stored somewhere, passed to a call, or compared.
+  std::vector<const Value*> worklist = {alloca};
+  while (!worklist.empty()) {
+    const Value* v = worklist.back();
+    worklist.pop_back();
+    for (const Use& use : v->uses()) {
+      const Instruction* user = use.user;
+      switch (user->opcode()) {
+        case Opcode::kLoad:
+          break;
+        case Opcode::kStore:
+          if (use.operand_index == 0) {
+            return false;  // the address itself is stored
+          }
+          break;
+        case Opcode::kGep:
+          worklist.push_back(user);
+          break;
+        default:
+          return false;  // calls, compares, phis, selects: treat as escape
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace overify

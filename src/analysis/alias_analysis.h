@@ -1,0 +1,44 @@
+// Basic alias analysis over allocas, globals and constant-offset GEPs.
+//
+// The paper ("Instruction simplification", §3) observes that memory accesses
+// complicate the data-flow graph and that splitting/untangling them pays off
+// for verification; this analysis is what lets the optimizer do so safely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/ir/instruction.h"
+#include "src/ir/module.h"
+
+namespace overify {
+
+enum class AliasResult {
+  kNoAlias,
+  kMayAlias,
+  kMustAlias,
+};
+
+// A pointer resolved to (base object, byte offset). `offset` is present only
+// when every GEP index on the path is a constant.
+struct MemoryLocation {
+  Value* base = nullptr;              // AllocaInst, GlobalVariable, Argument, or null (unknown)
+  std::optional<int64_t> offset;      // byte offset from base when statically known
+  uint64_t size = 0;                  // access size in bytes (0 = unknown)
+
+  bool HasIdentifiableBase() const;
+};
+
+// Resolves `pointer` (possibly through a chain of GEPs) to a location.
+// `access_size` is the byte size of the prospective access.
+MemoryLocation ResolvePointer(Value* pointer, uint64_t access_size);
+
+// Relation between two memory accesses.
+AliasResult Alias(const MemoryLocation& a, const MemoryLocation& b);
+AliasResult Alias(Value* pointer_a, uint64_t size_a, Value* pointer_b, uint64_t size_b);
+
+// True if `v` is an address that cannot escape or be aliased through calls:
+// an alloca whose address is only used by direct loads/stores/GEPs.
+bool IsNonEscapingAlloca(const AllocaInst* alloca);
+
+}  // namespace overify

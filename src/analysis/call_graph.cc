@@ -1,0 +1,156 @@
+#include "src/analysis/call_graph.h"
+
+namespace overify {
+
+CallGraph::CallGraph(Module& module) : module_(module) {
+  for (const auto& fn : module.functions()) {
+    callees_[fn.get()];
+    callers_[fn.get()];
+    for (BasicBlock& block : *fn) {
+      for (auto& inst : block) {
+        if (auto* call = DynCast<CallInst>(inst.get())) {
+          callees_[fn.get()].insert(call->callee());
+          callers_[call->callee()].insert(fn.get());
+        }
+      }
+    }
+  }
+  FindCycles();
+}
+
+const std::set<Function*>& CallGraph::Callees(Function* fn) const {
+  auto it = callees_.find(fn);
+  return it == callees_.end() ? empty_ : it->second;
+}
+
+const std::set<Function*>& CallGraph::Callers(Function* fn) const {
+  auto it = callers_.find(fn);
+  return it == callers_.end() ? empty_ : it->second;
+}
+
+void CallGraph::FindCycles() {
+  // Iterative Tarjan SCC.
+  std::map<Function*, int> index;
+  std::map<Function*, int> lowlink;
+  std::map<Function*, bool> on_stack;
+  std::vector<Function*> stack;
+  int next_index = 0;
+
+  struct Frame {
+    Function* fn;
+    std::vector<Function*> succs;
+    size_t next_succ = 0;
+  };
+
+  for (const auto& root : module_.functions()) {
+    if (index.count(root.get()) != 0) {
+      continue;
+    }
+    std::vector<Frame> frames;
+    auto push = [&](Function* fn) {
+      index[fn] = next_index;
+      lowlink[fn] = next_index;
+      ++next_index;
+      stack.push_back(fn);
+      on_stack[fn] = true;
+      Frame frame;
+      frame.fn = fn;
+      frame.succs.assign(Callees(fn).begin(), Callees(fn).end());
+      frames.push_back(std::move(frame));
+    };
+    push(root.get());
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next_succ < frame.succs.size()) {
+        Function* succ = frame.succs[frame.next_succ++];
+        if (index.count(succ) == 0) {
+          push(succ);
+        } else if (on_stack[succ]) {
+          lowlink[frame.fn] = std::min(lowlink[frame.fn], index[succ]);
+        }
+        continue;
+      }
+      // Done with this node.
+      Function* fn = frame.fn;
+      if (lowlink[fn] == index[fn]) {
+        std::vector<Function*> component;
+        while (true) {
+          Function* member = stack.back();
+          stack.pop_back();
+          on_stack[member] = false;
+          component.push_back(member);
+          if (member == fn) {
+            break;
+          }
+        }
+        bool self_loop = Callees(fn).count(fn) != 0;
+        if (component.size() > 1 || self_loop) {
+          for (Function* member : component) {
+            recursive_.insert(member);
+          }
+        }
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().fn] = std::min(lowlink[frames.back().fn], lowlink[fn]);
+      }
+    }
+  }
+}
+
+std::vector<Function*> CallGraph::BottomUpOrder() const {
+  std::vector<Function*> order;
+  std::set<Function*> visited;
+
+  struct Frame {
+    Function* fn;
+    std::vector<Function*> succs;
+    size_t next_succ = 0;
+  };
+
+  for (const auto& root : module_.functions()) {
+    if (visited.count(root.get()) != 0) {
+      continue;
+    }
+    std::vector<Frame> frames;
+    visited.insert(root.get());
+    frames.push_back(Frame{root.get(), {Callees(root.get()).begin(), Callees(root.get()).end()}});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next_succ < frame.succs.size()) {
+        Function* succ = frame.succs[frame.next_succ++];
+        if (visited.insert(succ).second) {
+          frames.push_back(Frame{succ, {Callees(succ).begin(), Callees(succ).end()}});
+        }
+        continue;
+      }
+      order.push_back(frame.fn);
+      frames.pop_back();
+    }
+  }
+  return order;
+}
+
+std::vector<CallInst*> CallGraph::CallSitesOf(Function* callee) const {
+  // Callees are held as an instruction field rather than an operand, so call
+  // sites are found by scanning callers (cheap: the caller set is tracked).
+  std::vector<CallInst*> sites;
+  auto it = callers_.find(callee);
+  if (it == callers_.end()) {
+    return sites;
+  }
+  for (Function* caller : it->second) {
+    for (BasicBlock& block : *caller) {
+      for (auto& inst : block) {
+        if (auto* call = DynCast<CallInst>(inst.get())) {
+          if (call->callee() == callee) {
+            sites.push_back(call);
+          }
+        }
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace overify

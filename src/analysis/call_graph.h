@@ -1,0 +1,41 @@
+// Call graph construction. The inliner visits functions bottom-up (callees
+// before callers), which is what makes the -OVERIFY "aggressive inlining"
+// mechanism produce fully-specialized leaf-free functions.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace overify {
+
+class CallGraph {
+ public:
+  explicit CallGraph(Module& module);
+
+  const std::set<Function*>& Callees(Function* fn) const;
+  const std::set<Function*>& Callers(Function* fn) const;
+
+  // True if `fn` participates in a call cycle (including self-recursion).
+  bool IsRecursive(Function* fn) const { return recursive_.count(fn) != 0; }
+
+  // Functions ordered callees-first. Functions in cycles appear in an
+  // arbitrary relative order within their cycle.
+  std::vector<Function*> BottomUpOrder() const;
+
+  // All call sites of `callee` across the module.
+  std::vector<CallInst*> CallSitesOf(Function* callee) const;
+
+ private:
+  void FindCycles();
+
+  Module& module_;
+  std::map<Function*, std::set<Function*>> callees_;
+  std::map<Function*, std::set<Function*>> callers_;
+  std::set<Function*> recursive_;
+  std::set<Function*> empty_;
+};
+
+}  // namespace overify

@@ -1,0 +1,58 @@
+#include "src/analysis/path_count.h"
+
+#include <map>
+
+#include "src/ir/cfg.h"
+#include "src/ir/dominators.h"
+
+namespace overify {
+
+uint64_t CountAcyclicPaths(Function& fn) {
+  if (fn.IsDeclaration()) {
+    return 0;
+  }
+  DominatorTree dom(fn);
+  const std::vector<BasicBlock*>& rpo = dom.ReversePostOrderBlocks();
+  std::map<BasicBlock*, size_t> order;
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    order[rpo[i]] = i;
+  }
+
+  // Process blocks in reverse RPO: paths(b) = sum over forward successors,
+  // 1 if b has no forward successors (exit or all-back-edge).
+  std::map<BasicBlock*, uint64_t> paths;
+  for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+    BasicBlock* block = *it;
+    uint64_t total = 0;
+    bool has_forward_succ = false;
+    for (BasicBlock* succ : block->Successors()) {
+      auto succ_order = order.find(succ);
+      if (succ_order == order.end() || succ_order->second <= order[block]) {
+        continue;  // back edge (or unreachable): cut
+      }
+      has_forward_succ = true;
+      uint64_t succ_paths = paths[succ];
+      if (total > UINT64_MAX - succ_paths) {
+        total = UINT64_MAX;
+      } else {
+        total += succ_paths;
+      }
+    }
+    paths[block] = has_forward_succ ? total : 1;
+  }
+  return paths[fn.entry()];
+}
+
+uint64_t CountConditionalBranches(Function& fn) {
+  uint64_t count = 0;
+  for (BasicBlock& block : fn) {
+    if (const auto* br = DynCast<BranchInst>(block.Terminator())) {
+      if (br->IsConditional()) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace overify

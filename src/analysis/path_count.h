@@ -1,0 +1,21 @@
+// Static path counting: the number of acyclic paths through a function's
+// CFG (back edges cut). This is the compile-time analogue of the path counts
+// the symbolic-execution engine reports dynamically, and what Section 1 of
+// the paper means by "O(3^length) paths through this function".
+#pragma once
+
+#include <cstdint>
+
+#include "src/ir/function.h"
+
+namespace overify {
+
+// Number of entry-to-exit paths ignoring loop back edges, saturating at
+// UINT64_MAX. A function whose every block is straight-line has 1 path.
+uint64_t CountAcyclicPaths(Function& fn);
+
+// Number of conditional branches in the function (a direct driver of
+// symbolic-execution forks).
+uint64_t CountConditionalBranches(Function& fn);
+
+}  // namespace overify

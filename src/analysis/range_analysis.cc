@@ -1,0 +1,327 @@
+#include "src/analysis/range_analysis.h"
+
+#include <algorithm>
+
+#include "src/ir/cfg.h"
+#include "src/ir/constant.h"
+
+namespace overify {
+
+namespace {
+
+int64_t WidthMin(unsigned bits) {
+  if (bits >= 64) {
+    return INT64_MIN;
+  }
+  return -(int64_t{1} << (bits - 1));
+}
+
+int64_t WidthMax(unsigned bits) {
+  if (bits >= 64) {
+    return INT64_MAX;
+  }
+  return (int64_t{1} << (bits - 1)) - 1;
+}
+
+bool AddOverflows(int64_t a, int64_t b, int64_t& out) {
+  return __builtin_add_overflow(a, b, &out);
+}
+
+bool MulOverflows(int64_t a, int64_t b, int64_t& out) {
+  return __builtin_mul_overflow(a, b, &out);
+}
+
+ValueRange ClampToWidth(ValueRange r, unsigned bits) {
+  int64_t lo = WidthMin(bits);
+  int64_t hi = WidthMax(bits);
+  if (r.lo < lo || r.hi > hi || r.lo > r.hi) {
+    return ValueRange{lo, hi};
+  }
+  return r;
+}
+
+}  // namespace
+
+bool ValueRange::IsFull(unsigned bits) const {
+  return lo <= WidthMin(bits) && hi >= WidthMax(bits);
+}
+
+ValueRange ValueRange::Full(unsigned bits) { return ValueRange{WidthMin(bits), WidthMax(bits)}; }
+
+ValueRange RangeAdd(ValueRange a, ValueRange b, unsigned bits) {
+  int64_t lo;
+  int64_t hi;
+  if (AddOverflows(a.lo, b.lo, lo) || AddOverflows(a.hi, b.hi, hi)) {
+    return ValueRange::Full(bits);
+  }
+  return ClampToWidth(ValueRange{lo, hi}, bits);
+}
+
+ValueRange RangeSub(ValueRange a, ValueRange b, unsigned bits) {
+  int64_t lo;
+  int64_t hi;
+  if (AddOverflows(a.lo, -b.hi, lo) || AddOverflows(a.hi, -b.lo, hi) || b.hi == INT64_MIN ||
+      b.lo == INT64_MIN) {
+    return ValueRange::Full(bits);
+  }
+  return ClampToWidth(ValueRange{lo, hi}, bits);
+}
+
+ValueRange RangeMul(ValueRange a, ValueRange b, unsigned bits) {
+  int64_t candidates[4];
+  if (MulOverflows(a.lo, b.lo, candidates[0]) || MulOverflows(a.lo, b.hi, candidates[1]) ||
+      MulOverflows(a.hi, b.lo, candidates[2]) || MulOverflows(a.hi, b.hi, candidates[3])) {
+    return ValueRange::Full(bits);
+  }
+  int64_t lo = *std::min_element(candidates, candidates + 4);
+  int64_t hi = *std::max_element(candidates, candidates + 4);
+  return ClampToWidth(ValueRange{lo, hi}, bits);
+}
+
+ValueRange RangeUnion(ValueRange a, ValueRange b) {
+  return ValueRange{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+RangeAnalysis::RangeAnalysis(Function& fn) {
+  if (fn.IsDeclaration()) {
+    return;
+  }
+  std::vector<BasicBlock*> rpo = ReversePostOrder(fn);
+
+  // Iterate to fixpoint with a bounded number of rounds; after the bound,
+  // any still-changing value is widened to full range by Evaluate's
+  // monotonic growth hitting the clamp.
+  const int kMaxRounds = 8;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    for (BasicBlock* block : rpo) {
+      for (auto& inst : *block) {
+        if (!inst->type()->IsInt()) {
+          continue;
+        }
+        ValueRange next = Evaluate(inst.get());
+        auto it = ranges_.find(inst.get());
+        if (it == ranges_.end()) {
+          ranges_[inst.get()] = next;
+          changed = true;
+        } else if (!(it->second == next)) {
+          // Monotone widening: ranges only grow.
+          ValueRange merged = RangeUnion(it->second, next);
+          if (round >= kMaxRounds / 2) {
+            merged = ValueRange::Full(inst->type()->bits());
+          }
+          if (!(merged == it->second)) {
+            it->second = merged;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+}
+
+ValueRange RangeAnalysis::RangeOf(const Value* v) const {
+  if (const auto* ci = DynCast<ConstantInt>(v)) {
+    return ValueRange::Exact(ci->SignedValue());
+  }
+  if (!v->type()->IsInt()) {
+    return ValueRange::Full(64);
+  }
+  auto it = ranges_.find(v);
+  if (it != ranges_.end()) {
+    return it->second;
+  }
+  return ValueRange::Full(v->type()->bits());
+}
+
+ValueRange RangeAnalysis::Evaluate(const Instruction* inst) const {
+  unsigned bits = inst->type()->bits();
+  switch (inst->opcode()) {
+    case Opcode::kAdd:
+      return RangeAdd(RangeOf(inst->Operand(0)), RangeOf(inst->Operand(1)), bits);
+    case Opcode::kSub:
+      return RangeSub(RangeOf(inst->Operand(0)), RangeOf(inst->Operand(1)), bits);
+    case Opcode::kMul:
+      return RangeMul(RangeOf(inst->Operand(0)), RangeOf(inst->Operand(1)), bits);
+    case Opcode::kAnd: {
+      // With a non-negative constant mask m, the result is in [0, m].
+      ValueRange rhs = RangeOf(inst->Operand(1));
+      if (rhs.IsSingleValue() && rhs.lo >= 0) {
+        return ValueRange{0, rhs.lo};
+      }
+      ValueRange lhs = RangeOf(inst->Operand(0));
+      if (lhs.IsSingleValue() && lhs.lo >= 0) {
+        return ValueRange{0, lhs.lo};
+      }
+      return ValueRange::Full(bits);
+    }
+    case Opcode::kOr: {
+      // For non-negative operands, a|b >= max(a_lo, b_lo) and a|b fits in
+      // the smallest power-of-two bound covering both highs.
+      ValueRange a = RangeOf(inst->Operand(0));
+      ValueRange b = RangeOf(inst->Operand(1));
+      if (a.lo >= 0 && b.lo >= 0 && a.hi < INT64_MAX / 2 && b.hi < INT64_MAX / 2) {
+        int64_t hi_bound = 1;
+        while (hi_bound - 1 < a.hi || hi_bound - 1 < b.hi) {
+          hi_bound <<= 1;
+        }
+        return ValueRange{std::max(a.lo, b.lo), hi_bound - 1};
+      }
+      return ValueRange::Full(bits);
+    }
+    case Opcode::kURem: {
+      ValueRange rhs = RangeOf(inst->Operand(1));
+      if (rhs.IsSingleValue() && rhs.lo > 0) {
+        return ValueRange{0, rhs.lo - 1};
+      }
+      return ValueRange::Full(bits);
+    }
+    case Opcode::kLShr: {
+      ValueRange rhs = RangeOf(inst->Operand(1));
+      if (rhs.IsSingleValue() && rhs.lo > 0 && rhs.lo < bits) {
+        // Result is non-negative and bounded by 2^(bits - shift) - 1.
+        unsigned remaining = bits - static_cast<unsigned>(rhs.lo);
+        int64_t hi = remaining >= 63 ? INT64_MAX : (int64_t{1} << remaining) - 1;
+        return ValueRange{0, hi};
+      }
+      return ValueRange::Full(bits);
+    }
+    case Opcode::kICmp: {
+      const auto* cmp = Cast<ICmpInst>(inst);
+      bool result;
+      if (DecideICmp(cmp->predicate(), cmp->lhs(), cmp->rhs(), result)) {
+        return ValueRange::Exact(result ? 1 : 0);
+      }
+      return ValueRange{0, 1};
+    }
+    case Opcode::kZExt: {
+      ValueRange src = RangeOf(inst->Operand(0));
+      unsigned src_bits = inst->Operand(0)->type()->bits();
+      if (src.lo >= 0) {
+        return ClampToWidth(src, bits);
+      }
+      // Negative sources wrap to large positive values under zext.
+      if (src_bits >= 64) {
+        return ValueRange::Full(bits);
+      }
+      return ValueRange{0, (int64_t{1} << src_bits) - 1};
+    }
+    case Opcode::kSExt:
+      return ClampToWidth(RangeOf(inst->Operand(0)), bits);
+    case Opcode::kTrunc: {
+      ValueRange src = RangeOf(inst->Operand(0));
+      if (src.lo >= WidthMin(bits) && src.hi <= WidthMax(bits)) {
+        return src;
+      }
+      return ValueRange::Full(bits);
+    }
+    case Opcode::kSelect:
+      return RangeUnion(RangeOf(inst->Operand(1)), RangeOf(inst->Operand(2)));
+    case Opcode::kPhi: {
+      const auto* phi = Cast<PhiInst>(inst);
+      bool first = true;
+      ValueRange merged = ValueRange::Exact(0);
+      for (unsigned i = 0; i < phi->NumIncoming(); ++i) {
+        const Value* incoming = phi->IncomingValue(i);
+        // Unvisited incoming values (back edges on the first round) are
+        // skipped; later rounds pick them up.
+        if (!Isa<ConstantInt>(incoming) && ranges_.count(incoming) == 0 &&
+            Isa<Instruction>(incoming)) {
+          continue;
+        }
+        ValueRange r = RangeOf(incoming);
+        merged = first ? r : RangeUnion(merged, r);
+        first = false;
+      }
+      return first ? ValueRange::Full(bits) : merged;
+    }
+    case Opcode::kLoad: {
+      // A load of width < 64 is bounded by its width.
+      return ValueRange::Full(bits);
+    }
+    default:
+      return ValueRange::Full(bits);
+  }
+}
+
+bool RangeAnalysis::DecideICmp(ICmpPredicate pred, const Value* lhs, const Value* rhs,
+                               bool& result) const {
+  ValueRange a = RangeOf(lhs);
+  ValueRange b = RangeOf(rhs);
+  switch (pred) {
+    case ICmpPredicate::kSLT:
+      if (a.hi < b.lo) {
+        result = true;
+        return true;
+      }
+      if (a.lo >= b.hi) {  // min(a) >= max(b) implies a < b is never true
+        result = false;
+        return true;
+      }
+      return false;
+    case ICmpPredicate::kSLE:
+      if (a.hi <= b.lo) {
+        result = true;
+        return true;
+      }
+      if (a.lo > b.hi) {
+        result = false;
+        return true;
+      }
+      return false;
+    case ICmpPredicate::kSGT:
+      return DecideICmp(ICmpPredicate::kSLT, rhs, lhs, result);
+    case ICmpPredicate::kSGE:
+      return DecideICmp(ICmpPredicate::kSLE, rhs, lhs, result);
+    case ICmpPredicate::kEq:
+      if (a.IsSingleValue() && b.IsSingleValue() && a.lo == b.lo) {
+        result = true;
+        return true;
+      }
+      if (a.hi < b.lo || b.hi < a.lo) {
+        result = false;
+        return true;
+      }
+      return false;
+    case ICmpPredicate::kNe: {
+      bool eq_result;
+      if (DecideICmp(ICmpPredicate::kEq, lhs, rhs, eq_result)) {
+        result = !eq_result;
+        return true;
+      }
+      return false;
+    }
+    case ICmpPredicate::kULT:
+    case ICmpPredicate::kULE:
+    case ICmpPredicate::kUGT:
+    case ICmpPredicate::kUGE: {
+      // Decide unsigned comparisons only when both ranges are non-negative,
+      // where signed and unsigned agree.
+      if (a.lo < 0 || b.lo < 0) {
+        return false;
+      }
+      ICmpPredicate signed_pred;
+      switch (pred) {
+        case ICmpPredicate::kULT:
+          signed_pred = ICmpPredicate::kSLT;
+          break;
+        case ICmpPredicate::kULE:
+          signed_pred = ICmpPredicate::kSLE;
+          break;
+        case ICmpPredicate::kUGT:
+          signed_pred = ICmpPredicate::kSGT;
+          break;
+        default:
+          signed_pred = ICmpPredicate::kSGE;
+          break;
+      }
+      return DecideICmp(signed_pred, lhs, rhs, result);
+    }
+  }
+  return false;
+}
+
+}  // namespace overify

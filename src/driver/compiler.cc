@@ -1,0 +1,62 @@
+#include "src/driver/compiler.h"
+
+#include "src/frontend/codegen.h"
+#include "src/ir/verifier.h"
+#include "src/support/statistics.h"
+#include "src/support/stopwatch.h"
+#include "src/vlibc/vlibc.h"
+
+namespace overify {
+
+CompileResult Compiler::CompileWithOptions(const std::string& program_source,
+                                           const PipelineOptions& options,
+                                           const std::string& module_name, bool link_libc) {
+  CompileResult result;
+  Stopwatch watch;
+
+  std::vector<MiniCSource> sources;
+  if (link_libc) {
+    sources.push_back(MiniCSource{
+        options.use_verify_libc ? VerifyLibcSource() : StandardLibcSource(), true});
+  }
+  sources.push_back(MiniCSource{program_source, false});
+
+  DiagnosticEngine diags;
+  result.module = CompileMiniC(sources, module_name, diags);
+  if (result.module == nullptr) {
+    result.errors = diags.ToString();
+    return result;
+  }
+
+  result.annotations = std::make_unique<ProgramAnnotations>();
+  auto stats_before = StatisticsRegistry::Global().Snapshot();
+
+  PassManager pm(/*verify_after_each=*/true);
+  BuildPipeline(pm, options, result.annotations.get());
+  pm.Run(*result.module);
+
+  result.pass_stats = SnapshotDelta(stats_before, StatisticsRegistry::Global().Snapshot());
+  result.compile_seconds = watch.ElapsedSeconds();
+  result.instruction_count = result.module->InstructionCount();
+  result.ok = true;
+  return result;
+}
+
+CompileResult Compiler::Compile(const std::string& program_source, OptLevel level,
+                                const std::string& module_name, bool link_libc) {
+  return CompileWithOptions(program_source, PipelineOptions::For(level), module_name,
+                            link_libc);
+}
+
+SymexResult Analyze(CompileResult& compiled, const std::string& entry, unsigned input_bytes,
+                    const SymexLimits& limits) {
+  OVERIFY_ASSERT(compiled.ok && compiled.module != nullptr, "analyzing a failed compilation");
+  SymexOptions options;
+  if (compiled.annotations != nullptr && compiled.annotations->size() > 0) {
+    options.annotations = compiled.annotations.get();
+  }
+  SymbolicExecutor engine(*compiled.module, options);
+  return engine.Run(entry, input_bytes, limits);
+}
+
+}  // namespace overify

@@ -1,0 +1,473 @@
+#include "src/exec/interpreter.h"
+
+#include <map>
+
+#include "src/ir/constant.h"
+#include "src/ir/fold.h"
+#include "src/support/string_utils.h"
+
+namespace overify {
+
+namespace {
+
+// A concrete runtime value: either an integer bit pattern or a pointer
+// (object id + byte offset), mirroring the symbolic engine's model so the
+// two stay comparable.
+struct CVal {
+  bool is_pointer = false;
+  uint64_t bits = 0;      // integer payload
+  uint64_t object = 0;    // pointer payload: object id (0 = null)
+  uint64_t offset = 0;
+
+  static CVal Int(uint64_t v) {
+    CVal c;
+    c.bits = v;
+    return c;
+  }
+  static CVal Ptr(uint64_t object, uint64_t offset) {
+    CVal c;
+    c.is_pointer = true;
+    c.object = object;
+    c.offset = offset;
+    return c;
+  }
+};
+
+struct ConcreteObject {
+  std::vector<uint8_t> bytes;
+  bool read_only = false;
+  std::string name;
+};
+
+struct Frame {
+  Function* fn = nullptr;
+  BasicBlock* block = nullptr;
+  BasicBlock* prev_block = nullptr;
+  BasicBlock::iterator pc;
+  std::map<const Value*, CVal> locals;
+  std::vector<uint64_t> allocas;
+  const CallInst* call_site = nullptr;
+};
+
+}  // namespace
+
+class Interpreter::Impl {
+ public:
+  Impl(Module& module, CostModel costs) : module_(module), costs_(costs) {}
+
+  InterpResult Run(Function* entry, const std::vector<uint8_t>& input,
+                   const InterpLimits& limits) {
+    result_ = InterpResult();
+    objects_.clear();
+    pointer_slots_.clear();
+    stack_.clear();
+    next_object_ = 1;
+
+    for (const auto& global : module_.globals()) {
+      uint64_t id = next_object_++;
+      objects_[id] =
+          ConcreteObject{global->initializer(), global->is_const(), global->name()};
+      global_objects_[global.get()] = id;
+    }
+
+    Frame frame;
+    frame.fn = entry;
+    frame.block = entry->entry();
+    frame.pc = frame.block->begin();
+    if (entry->NumArgs() >= 1) {
+      OVERIFY_ASSERT(entry->NumArgs() == 2, "entry must be (u8* buf, i32 len) or ()");
+      uint64_t id = next_object_++;
+      std::vector<uint8_t> buffer = input;
+      buffer.push_back(0);
+      objects_[id] = ConcreteObject{std::move(buffer), false, "input"};
+      frame.locals[entry->Arg(0)] = CVal::Ptr(id, 0);
+      frame.locals[entry->Arg(1)] =
+          CVal::Int(TruncateToWidth(input.size(), entry->Arg(1)->type()->bits()));
+    }
+    stack_.push_back(std::move(frame));
+
+    while (!stack_.empty()) {
+      if (result_.instructions >= limits.max_instructions) {
+        return Trap("instruction limit exceeded");
+      }
+      if (!StepOne()) {
+        return result_;  // trapped or finished
+      }
+    }
+    return result_;
+  }
+
+ private:
+  InterpResult Trap(std::string message) {
+    result_.ok = false;
+    result_.error = std::move(message);
+    stack_.clear();
+    return result_;
+  }
+
+  Frame& Top() { return stack_.back(); }
+
+  CVal Resolve(const Value* v) {
+    if (const auto* ci = DynCast<ConstantInt>(v)) {
+      return CVal::Int(ci->value());
+    }
+    if (Isa<NullValue>(v)) {
+      return CVal::Ptr(0, 0);
+    }
+    if (Isa<UndefValue>(v)) {
+      return v->type()->IsPointer() ? CVal::Ptr(0, 0) : CVal::Int(0);
+    }
+    if (const auto* global = DynCast<GlobalVariable>(v)) {
+      return CVal::Ptr(global_objects_.at(global), 0);
+    }
+    auto it = Top().locals.find(v);
+    OVERIFY_ASSERT(it != Top().locals.end(), "use of unbound value");
+    return it->second;
+  }
+
+  void Set(const Value* v, CVal value) { Top().locals[v] = value; }
+
+  void Charge(uint64_t units) { result_.cost_units += units; }
+
+  // Returns false when execution stops (trap or final return); the result_
+  // is already filled in that case... except for normal instruction steps,
+  // where it returns true to continue.
+  bool StepOne() {
+    Instruction* inst = Top().pc->get();
+    ++result_.instructions;
+
+    switch (inst->opcode()) {
+      case Opcode::kAlloca: {
+        const auto* alloca = Cast<AllocaInst>(inst);
+        uint64_t id = next_object_++;
+        objects_[id] = ConcreteObject{
+            std::vector<uint8_t>(alloca->allocated_type()->SizeInBytes(), 0), false,
+            alloca->HasName() ? alloca->name() : "alloca"};
+        Top().allocas.push_back(id);
+        Set(inst, CVal::Ptr(id, 0));
+        Charge(costs_.arith);
+        break;
+      }
+      case Opcode::kLoad: {
+        CVal ptr = Resolve(inst->Operand(0));
+        Charge(costs_.memory);
+        Type* type = inst->type();
+        if (type->IsPointer()) {
+          if (!CheckAccess(ptr, 8)) {
+            return false;
+          }
+          auto it = pointer_slots_.find({ptr.object, ptr.offset});
+          Set(inst, it == pointer_slots_.end() ? CVal::Ptr(0, 0) : it->second);
+          break;
+        }
+        uint64_t width = type->SizeInBytes();
+        if (!CheckAccess(ptr, width)) {
+          return false;
+        }
+        const auto& bytes = objects_.at(ptr.object).bytes;
+        uint64_t value = 0;
+        for (uint64_t i = 0; i < width; ++i) {
+          value |= static_cast<uint64_t>(bytes[ptr.offset + i]) << (8 * i);
+        }
+        if (type->IsBool()) {
+          value = value != 0 ? 1 : 0;
+        }
+        Set(inst, CVal::Int(TruncateToWidth(value, type->IsBool() ? 1 : type->bits())));
+        break;
+      }
+      case Opcode::kStore: {
+        CVal value = Resolve(inst->Operand(0));
+        CVal ptr = Resolve(inst->Operand(1));
+        Charge(costs_.memory);
+        Type* type = inst->Operand(0)->type();
+        if (type->IsPointer()) {
+          if (!CheckAccess(ptr, 8)) {
+            return false;
+          }
+          pointer_slots_[{ptr.object, ptr.offset}] = value;
+          break;
+        }
+        uint64_t width = type->SizeInBytes();
+        if (!CheckAccess(ptr, width)) {
+          return false;
+        }
+        ConcreteObject& object = objects_.at(ptr.object);
+        if (object.read_only) {
+          Trap(StrFormat("write to read-only object '%s'", object.name.c_str()));
+          return false;
+        }
+        uint64_t bits = type->IsBool() ? (value.bits & 1) : value.bits;
+        for (uint64_t i = 0; i < width; ++i) {
+          object.bytes[ptr.offset + i] = static_cast<uint8_t>(bits >> (8 * i));
+        }
+        break;
+      }
+      case Opcode::kGep: {
+        const auto* gep = Cast<GepInst>(inst);
+        CVal base = Resolve(gep->base());
+        int64_t offset = 0;
+        Type* current = gep->source_type();
+        for (unsigned i = 0; i < gep->NumIndices(); ++i) {
+          CVal index = Resolve(gep->Index(i));
+          int64_t idx = SignExtend(index.bits, gep->Index(i)->type()->bits());
+          if (i == 0) {
+            offset += idx * static_cast<int64_t>(current->SizeInBytes());
+          } else if (current->IsArray()) {
+            current = current->element();
+            offset += idx * static_cast<int64_t>(current->SizeInBytes());
+          } else {
+            offset += static_cast<int64_t>(current->FieldOffset(static_cast<unsigned>(idx)));
+            current = current->fields()[static_cast<unsigned>(idx)];
+          }
+        }
+        Set(inst, CVal::Ptr(base.object, base.offset + static_cast<uint64_t>(offset)));
+        Charge(costs_.arith);
+        break;
+      }
+      case Opcode::kICmp: {
+        const auto* cmp = Cast<ICmpInst>(inst);
+        CVal lhs = Resolve(cmp->lhs());
+        CVal rhs = Resolve(cmp->rhs());
+        bool result;
+        if (lhs.is_pointer || rhs.is_pointer) {
+          // Compare (object, offset) lexicographically; equality requires
+          // same object and offset.
+          uint64_t l = lhs.is_pointer ? lhs.object * (1ull << 32) + lhs.offset : lhs.bits;
+          uint64_t r = rhs.is_pointer ? rhs.object * (1ull << 32) + rhs.offset : rhs.bits;
+          result = FoldICmp(cmp->predicate(), 64, l, r);
+        } else {
+          unsigned bits = cmp->lhs()->type()->bits();
+          result = FoldICmp(cmp->predicate(), bits, lhs.bits, rhs.bits);
+        }
+        Set(inst, CVal::Int(result ? 1 : 0));
+        Charge(costs_.arith);
+        break;
+      }
+      case Opcode::kSelect: {
+        CVal cond = Resolve(inst->Operand(0));
+        Set(inst, cond.bits != 0 ? Resolve(inst->Operand(1)) : Resolve(inst->Operand(2)));
+        Charge(costs_.select);
+        break;
+      }
+      case Opcode::kZExt:
+      case Opcode::kSExt:
+      case Opcode::kTrunc: {
+        CVal v = Resolve(inst->Operand(0));
+        unsigned src = inst->Operand(0)->type()->bits();
+        unsigned dst = inst->type()->bits();
+        Set(inst, CVal::Int(FoldCast(inst->opcode(), src, dst, v.bits)));
+        Charge(costs_.arith);
+        break;
+      }
+      case Opcode::kPhi: {
+        BasicBlock* from = Top().prev_block;
+        std::vector<std::pair<Instruction*, CVal>> values;
+        for (auto& phi_inst : *Top().block) {
+          auto* phi = DynCast<PhiInst>(phi_inst.get());
+          if (phi == nullptr) {
+            break;
+          }
+          values.push_back({phi, Resolve(phi->IncomingValueFor(from))});
+        }
+        result_.instructions += values.size() - 1;
+        for (auto& [phi, value] : values) {
+          Set(phi, value);
+        }
+        Top().pc = Top().block->FirstNonPhi();
+        return true;
+      }
+      case Opcode::kCheck: {
+        const auto* check = Cast<CheckInst>(inst);
+        CVal cond = Resolve(check->condition());
+        Charge(costs_.arith);
+        if (cond.bits == 0) {
+          Trap(StrFormat("check failed (%s): %s", CheckKindName(check->check_kind()),
+                         check->message().c_str()));
+          return false;
+        }
+        break;
+      }
+      case Opcode::kCall: {
+        const auto* call = Cast<CallInst>(inst);
+        Function* callee = call->callee();
+        Charge(costs_.call);
+        if (callee->IsDeclaration()) {
+          if (!ExecExternal(call)) {
+            return false;
+          }
+          break;
+        }
+        if (stack_.size() >= 1024) {
+          Trap("stack overflow");
+          return false;
+        }
+        Frame frame;
+        frame.fn = callee;
+        frame.block = callee->entry();
+        frame.pc = frame.block->begin();
+        frame.call_site = call;
+        for (unsigned i = 0; i < call->NumArgs(); ++i) {
+          frame.locals[callee->Arg(i)] = Resolve(call->Arg(i));
+        }
+        stack_.push_back(std::move(frame));
+        return true;
+      }
+      case Opcode::kBr: {
+        const auto* br = Cast<BranchInst>(inst);
+        BasicBlock* dest;
+        if (br->IsConditional()) {
+          Charge(costs_.branch);
+          dest = Resolve(br->condition()).bits != 0 ? br->true_dest() : br->false_dest();
+        } else {
+          Charge(costs_.jump);
+          dest = br->SingleDest();
+        }
+        Frame& frame = Top();
+        frame.prev_block = frame.block;
+        frame.block = dest;
+        frame.pc = dest->begin();
+        return true;
+      }
+      case Opcode::kRet: {
+        const auto* ret = Cast<RetInst>(inst);
+        CVal result;
+        if (ret->HasValue()) {
+          result = Resolve(ret->value());
+        }
+        for (uint64_t id : Top().allocas) {
+          objects_.erase(id);
+        }
+        const CallInst* call_site = Top().call_site;
+        Function* fn = Top().fn;
+        stack_.pop_back();
+        if (stack_.empty()) {
+          result_.ok = true;
+          if (ret->HasValue()) {
+            result_.return_value = result.is_pointer
+                                       ? static_cast<int64_t>(result.offset)
+                                       : SignExtend(result.bits, fn->return_type()->bits());
+          }
+          return false;
+        }
+        if (call_site != nullptr && !call_site->type()->IsVoid()) {
+          Set(call_site, result);
+        }
+        ++Top().pc;
+        return true;
+      }
+      case Opcode::kUnreachable:
+        Trap("executed 'unreachable'");
+        return false;
+      default: {
+        // Binary arithmetic.
+        OVERIFY_ASSERT(inst->IsBinaryOp(), "unhandled opcode");
+        CVal lhs = Resolve(inst->Operand(0));
+        CVal rhs = Resolve(inst->Operand(1));
+        unsigned bits = inst->type()->bits();
+        switch (inst->opcode()) {
+          case Opcode::kMul:
+            Charge(costs_.mul);
+            break;
+          case Opcode::kUDiv:
+          case Opcode::kSDiv:
+          case Opcode::kURem:
+          case Opcode::kSRem:
+            Charge(costs_.div);
+            break;
+          default:
+            Charge(costs_.arith);
+            break;
+        }
+        // Pointer arithmetic can reach binary ops only via optimizer
+        // transforms we do not perform; integers only here.
+        auto folded = FoldBinary(inst->opcode(), bits, lhs.bits, rhs.bits);
+        if (!folded.has_value()) {
+          switch (inst->opcode()) {
+            case Opcode::kUDiv:
+            case Opcode::kSDiv:
+            case Opcode::kURem:
+            case Opcode::kSRem:
+              Trap(rhs.bits == 0 ? "division by zero" : "signed division overflow");
+              return false;
+            default:
+              // Oversized shifts are defined as zero (consistent with the
+              // symbolic engine).
+              folded = 0;
+              break;
+          }
+        }
+        Set(inst, CVal::Int(*folded));
+        break;
+      }
+    }
+    ++Top().pc;
+    return true;
+  }
+
+  bool CheckAccess(const CVal& ptr, uint64_t width) {
+    if (!ptr.is_pointer || ptr.object == 0) {
+      Trap("null pointer dereference");
+      return false;
+    }
+    auto it = objects_.find(ptr.object);
+    if (it == objects_.end()) {
+      Trap("use of a dead object");
+      return false;
+    }
+    if (ptr.offset + width > it->second.bytes.size()) {
+      Trap(StrFormat("out-of-bounds access to '%s' (offset %llu, size %zu)",
+                     it->second.name.c_str(), static_cast<unsigned long long>(ptr.offset),
+                     it->second.bytes.size()));
+      return false;
+    }
+    return true;
+  }
+
+  bool ExecExternal(const CallInst* call) {
+    const std::string& name = call->callee()->name();
+    if (name == "putchar") {
+      CVal c = Resolve(call->Arg(0));
+      result_.output += static_cast<char>(c.bits & 0xFF);
+      Set(call, c);
+      return true;  // the caller advances the pc
+    }
+    if (name == "getchar") {
+      Set(call, CVal::Int(TruncateToWidth(static_cast<uint64_t>(-1), 32)));
+      return true;
+    }
+    if (name == "abort") {
+      Trap("abort() called");
+      return false;
+    }
+    Trap(StrFormat("call to unmodeled external '%s'", name.c_str()));
+    return false;
+  }
+
+  Module& module_;
+  CostModel costs_;
+  InterpResult result_;
+  std::vector<Frame> stack_;
+  std::map<uint64_t, ConcreteObject> objects_;
+  std::map<const GlobalVariable*, uint64_t> global_objects_;
+  std::map<std::pair<uint64_t, uint64_t>, CVal> pointer_slots_;
+  uint64_t next_object_ = 1;
+};
+
+Interpreter::Interpreter(Module& module, CostModel costs)
+    : impl_(std::make_unique<Impl>(module, costs)), module_(module) {}
+
+Interpreter::~Interpreter() = default;
+
+InterpResult Interpreter::Run(Function* entry, const std::vector<uint8_t>& input,
+                              const InterpLimits& limits) {
+  return impl_->Run(entry, input, limits);
+}
+
+InterpResult Interpreter::Run(const std::string& entry_name, const std::string& input,
+                              const InterpLimits& limits) {
+  Function* entry = module_.GetFunction(entry_name);
+  OVERIFY_ASSERT(entry != nullptr && !entry->IsDeclaration(), "missing entry function");
+  return impl_->Run(entry, std::vector<uint8_t>(input.begin(), input.end()), limits);
+}
+
+}  // namespace overify

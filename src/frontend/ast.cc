@@ -1,0 +1,106 @@
+#include "src/frontend/ast.h"
+
+namespace overify {
+
+CTypeContext::CTypeContext() {
+  auto make = [this](CTypeKind kind) {
+    types_.push_back(std::unique_ptr<CType>(new CType(kind, nullptr, 0)));
+    return types_.back().get();
+  };
+  basics_[0] = make(CTypeKind::kVoid);
+  basics_[1] = make(CTypeKind::kChar);
+  basics_[2] = make(CTypeKind::kUChar);
+  basics_[3] = make(CTypeKind::kInt);
+  basics_[4] = make(CTypeKind::kUInt);
+  basics_[5] = make(CTypeKind::kLong);
+  basics_[6] = make(CTypeKind::kULong);
+}
+
+CType* CTypeContext::Void() { return basics_[0]; }
+CType* CTypeContext::Char() { return basics_[1]; }
+CType* CTypeContext::UChar() { return basics_[2]; }
+CType* CTypeContext::Int() { return basics_[3]; }
+CType* CTypeContext::UInt() { return basics_[4]; }
+CType* CTypeContext::Long() { return basics_[5]; }
+CType* CTypeContext::ULong() { return basics_[6]; }
+
+CType* CTypeContext::Pointer(CType* pointee) {
+  for (auto& [key, type] : pointer_cache_) {
+    if (key == pointee) {
+      return type;
+    }
+  }
+  types_.push_back(std::unique_ptr<CType>(new CType(CTypeKind::kPointer, pointee, 0)));
+  pointer_cache_.push_back({pointee, types_.back().get()});
+  return types_.back().get();
+}
+
+CType* CTypeContext::Array(CType* element, uint64_t count) {
+  for (auto& [key, type] : array_cache_) {
+    if (key.first == element && key.second == count) {
+      return type;
+    }
+  }
+  types_.push_back(std::unique_ptr<CType>(new CType(CTypeKind::kArray, element, count)));
+  array_cache_.push_back({{element, count}, types_.back().get()});
+  return types_.back().get();
+}
+
+unsigned CType::BitWidth() const {
+  switch (kind_) {
+    case CTypeKind::kChar:
+    case CTypeKind::kUChar:
+      return 8;
+    case CTypeKind::kInt:
+    case CTypeKind::kUInt:
+      return 32;
+    case CTypeKind::kLong:
+    case CTypeKind::kULong:
+    case CTypeKind::kPointer:
+      return 64;
+    default:
+      OVERIFY_UNREACHABLE("BitWidth() of non-scalar type");
+  }
+}
+
+int CType::Rank() const {
+  switch (kind_) {
+    case CTypeKind::kChar:
+    case CTypeKind::kUChar:
+      return 1;
+    case CTypeKind::kInt:
+    case CTypeKind::kUInt:
+      return 2;
+    case CTypeKind::kLong:
+    case CTypeKind::kULong:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+std::string CType::ToString() const {
+  switch (kind_) {
+    case CTypeKind::kVoid:
+      return "void";
+    case CTypeKind::kChar:
+      return "char";
+    case CTypeKind::kUChar:
+      return "unsigned char";
+    case CTypeKind::kInt:
+      return "int";
+    case CTypeKind::kUInt:
+      return "unsigned int";
+    case CTypeKind::kLong:
+      return "long";
+    case CTypeKind::kULong:
+      return "unsigned long";
+    case CTypeKind::kPointer:
+      return pointee_->ToString() + "*";
+    case CTypeKind::kArray:
+      return pointee_->ToString() + "[" + std::to_string(count_) + "]";
+  }
+  return "?";
+}
+
+}  // namespace overify

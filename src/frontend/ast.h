@@ -1,0 +1,210 @@
+// MiniC abstract syntax tree and frontend type system.
+//
+// MiniC covers the C89 subset that the workload suite and the bundled C
+// library use: the integer types (with signedness), pointers, fixed-size
+// arrays, the usual operators with C semantics, and function definitions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/frontend/token.h"
+#include "src/support/assert.h"
+
+namespace overify {
+
+// ---- Types -----------------------------------------------------------------
+
+enum class CTypeKind {
+  kVoid,
+  kChar,    // signed 8-bit
+  kUChar,
+  kInt,     // signed 32-bit
+  kUInt,
+  kLong,    // signed 64-bit
+  kULong,
+  kPointer,
+  kArray,
+};
+
+class CType;
+
+// Owns and interns frontend types; one per compilation.
+class CTypeContext {
+ public:
+  CTypeContext();
+  CTypeContext(const CTypeContext&) = delete;
+  CTypeContext& operator=(const CTypeContext&) = delete;
+
+  CType* Void();
+  CType* Char();
+  CType* UChar();
+  CType* Int();
+  CType* UInt();
+  CType* Long();
+  CType* ULong();
+  CType* Pointer(CType* pointee);
+  CType* Array(CType* element, uint64_t count);
+
+ private:
+  std::vector<std::unique_ptr<CType>> types_;
+  CType* basics_[7];
+  std::vector<std::pair<CType*, CType*>> pointer_cache_;
+  std::vector<std::pair<std::pair<CType*, uint64_t>, CType*>> array_cache_;
+};
+
+class CType {
+ public:
+  CTypeKind kind() const { return kind_; }
+  bool IsVoid() const { return kind_ == CTypeKind::kVoid; }
+  bool IsInteger() const {
+    return kind_ >= CTypeKind::kChar && kind_ <= CTypeKind::kULong;
+  }
+  bool IsPointer() const { return kind_ == CTypeKind::kPointer; }
+  bool IsArray() const { return kind_ == CTypeKind::kArray; }
+  bool IsScalar() const { return IsInteger() || IsPointer(); }
+
+  bool IsSigned() const {
+    return kind_ == CTypeKind::kChar || kind_ == CTypeKind::kInt || kind_ == CTypeKind::kLong;
+  }
+  unsigned BitWidth() const;
+  // Conversion rank for the usual arithmetic conversions.
+  int Rank() const;
+
+  CType* pointee() const {
+    OVERIFY_ASSERT(IsPointer(), "pointee() on non-pointer");
+    return pointee_;
+  }
+  CType* element() const {
+    OVERIFY_ASSERT(IsArray(), "element() on non-array");
+    return pointee_;
+  }
+  uint64_t array_count() const {
+    OVERIFY_ASSERT(IsArray(), "array_count() on non-array");
+    return count_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  friend class CTypeContext;
+  CType(CTypeKind kind, CType* pointee, uint64_t count)
+      : kind_(kind), pointee_(pointee), count_(count) {}
+
+  CTypeKind kind_;
+  CType* pointee_;
+  uint64_t count_;
+};
+
+// ---- Expressions -----------------------------------------------------------
+
+enum class CExprKind {
+  kIntLit,
+  kStringLit,
+  kIdent,
+  kUnary,       // op in {'-','~','!','*','&'}
+  kBinary,      // op: TokKind of the operator
+  kAssign,      // op: kAssign or compound assign TokKind
+  kCond,        // a ? b : c
+  kCall,
+  kIndex,       // a[i]
+  kCast,        // (type) x
+  kSizeof,      // sizeof(type)
+  kIncDec,      // ++/--; `is_prefix`, op kPlusPlus/kMinusMinus
+  kComma,
+};
+
+struct CExpr {
+  CExprKind kind;
+  SourceLoc loc;
+  TokKind op = TokKind::kEof;
+  char unary_op = 0;
+  bool is_prefix = false;
+  int64_t int_value = 0;
+  std::string text;  // identifier / call target / string contents
+  CType* sizeof_type = nullptr;
+  CType* cast_type = nullptr;
+  std::vector<std::unique_ptr<CExpr>> children;
+
+  CExpr(CExprKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+// ---- Statements ------------------------------------------------------------
+
+enum class CStmtKind {
+  kExpr,
+  kDecl,
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+  kBlock,
+  kEmpty,
+};
+
+struct CStmt {
+  CStmtKind kind;
+  SourceLoc loc;
+
+  // kDecl
+  std::string decl_name;
+  CType* decl_type = nullptr;
+  std::unique_ptr<CExpr> init;                      // scalar initializer
+  std::vector<std::unique_ptr<CExpr>> init_list;    // brace initializer
+  bool has_init_list = false;
+
+  // kExpr / kReturn condition-less payloads
+  std::unique_ptr<CExpr> expr;
+
+  // kIf / kWhile / kDoWhile / kFor
+  std::unique_ptr<CExpr> cond;
+  std::unique_ptr<CStmt> then_branch;
+  std::unique_ptr<CStmt> else_branch;
+  std::unique_ptr<CStmt> body;
+  std::unique_ptr<CStmt> for_init;   // declaration or expression statement
+  std::unique_ptr<CExpr> for_step;
+
+  // kBlock
+  std::vector<std::unique_ptr<CStmt>> stmts;
+
+  CStmt(CStmtKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+// ---- Top-level declarations -------------------------------------------------
+
+struct CParam {
+  std::string name;
+  CType* type = nullptr;
+};
+
+struct CFunctionDecl {
+  SourceLoc loc;
+  std::string name;
+  CType* return_type = nullptr;
+  std::vector<CParam> params;
+  std::unique_ptr<CStmt> body;  // null for a prototype
+};
+
+struct CGlobalDecl {
+  SourceLoc loc;
+  std::string name;
+  CType* type = nullptr;
+  bool is_const = false;
+  std::unique_ptr<CExpr> init;
+  std::vector<std::unique_ptr<CExpr>> init_list;
+  bool has_init_list = false;
+  std::string string_init;
+  bool has_string_init = false;
+};
+
+struct CTranslationUnit {
+  std::vector<std::unique_ptr<CGlobalDecl>> globals;
+  std::vector<std::unique_ptr<CFunctionDecl>> functions;
+};
+
+}  // namespace overify

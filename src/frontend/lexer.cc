@@ -1,0 +1,323 @@
+#include "src/frontend/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "src/support/string_utils.h"
+
+namespace overify {
+
+const char* TokKindName(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEof:
+      return "end of file";
+    case TokKind::kIdent:
+      return "identifier";
+    case TokKind::kIntLit:
+      return "integer literal";
+    case TokKind::kStringLit:
+      return "string literal";
+    default:
+      return "token";
+  }
+}
+
+CLexer::CLexer(std::string source, DiagnosticEngine& diags)
+    : source_(std::move(source)), diags_(diags) {}
+
+std::vector<CToken> CLexer::Tokenize() {
+  std::vector<CToken> tokens;
+  while (true) {
+    CToken tok = Next();
+    tokens.push_back(tok);
+    if (tok.kind == TokKind::kEof || diags_.HasErrors()) {
+      break;
+    }
+  }
+  if (tokens.empty() || tokens.back().kind != TokKind::kEof) {
+    CToken eof;
+    eof.loc = Loc();
+    tokens.push_back(eof);
+  }
+  return tokens;
+}
+
+SourceLoc CLexer::Loc() const {
+  return SourceLoc{static_cast<uint32_t>(line_), static_cast<uint32_t>(pos_ - line_start_ + 1)};
+}
+
+char CLexer::Peek(size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+bool CLexer::Match(char c) {
+  if (Peek() == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+void CLexer::SkipWhitespaceAndComments() {
+  while (pos_ < source_.size()) {
+    char c = source_[pos_];
+    if (c == '\n') {
+      ++pos_;
+      ++line_;
+      line_start_ = pos_;
+    } else if (c == ' ' || c == '\t' || c == '\r') {
+      ++pos_;
+    } else if (c == '/' && Peek(1) == '/') {
+      while (pos_ < source_.size() && source_[pos_] != '\n') {
+        ++pos_;
+      }
+    } else if (c == '/' && Peek(1) == '*') {
+      pos_ += 2;
+      while (pos_ < source_.size() && !(Peek() == '*' && Peek(1) == '/')) {
+        if (source_[pos_] == '\n') {
+          ++line_;
+          line_start_ = pos_ + 1;
+        }
+        ++pos_;
+      }
+      pos_ = std::min(pos_ + 2, source_.size());
+    } else {
+      break;
+    }
+  }
+}
+
+int64_t CLexer::LexEscape() {
+  // Called after the backslash.
+  char c = Peek();
+  ++pos_;
+  switch (c) {
+    case 'n':
+      return '\n';
+    case 't':
+      return '\t';
+    case 'r':
+      return '\r';
+    case '0':
+      return '\0';
+    case 'a':
+      return '\a';
+    case 'b':
+      return '\b';
+    case 'f':
+      return '\f';
+    case 'v':
+      return '\v';
+    case '\\':
+      return '\\';
+    case '\'':
+      return '\'';
+    case '"':
+      return '"';
+    case 'x': {
+      int value = 0;
+      while (isxdigit(static_cast<unsigned char>(Peek()))) {
+        char h = Peek();
+        int digit = h <= '9' ? h - '0' : (h | 32) - 'a' + 10;
+        value = value * 16 + digit;
+        ++pos_;
+      }
+      return value;
+    }
+    default:
+      diags_.Error(Loc(), StrFormat("unknown escape sequence '\\%c'", c));
+      return c;
+  }
+}
+
+CToken CLexer::Next() {
+  SkipWhitespaceAndComments();
+  CToken tok;
+  tok.loc = Loc();
+  if (pos_ >= source_.size()) {
+    tok.kind = TokKind::kEof;
+    return tok;
+  }
+
+  char c = source_[pos_];
+
+  if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    size_t start = pos_;
+    while (pos_ < source_.size() &&
+           (isalnum(static_cast<unsigned char>(source_[pos_])) || source_[pos_] == '_')) {
+      ++pos_;
+    }
+    tok.text = source_.substr(start, pos_ - start);
+    static const std::map<std::string, TokKind> kKeywords = {
+        {"void", TokKind::kKwVoid},     {"char", TokKind::kKwChar},
+        {"int", TokKind::kKwInt},       {"long", TokKind::kKwLong},
+        {"unsigned", TokKind::kKwUnsigned}, {"signed", TokKind::kKwSigned},
+        {"const", TokKind::kKwConst},   {"if", TokKind::kKwIf},
+        {"else", TokKind::kKwElse},     {"while", TokKind::kKwWhile},
+        {"do", TokKind::kKwDo},         {"for", TokKind::kKwFor},
+        {"return", TokKind::kKwReturn}, {"break", TokKind::kKwBreak},
+        {"continue", TokKind::kKwContinue}, {"sizeof", TokKind::kKwSizeof},
+    };
+    auto it = kKeywords.find(tok.text);
+    tok.kind = it == kKeywords.end() ? TokKind::kIdent : it->second;
+    return tok;
+  }
+
+  if (isdigit(static_cast<unsigned char>(c))) {
+    tok.kind = TokKind::kIntLit;
+    int64_t value = 0;
+    if (c == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      pos_ += 2;
+      while (isxdigit(static_cast<unsigned char>(Peek()))) {
+        char h = Peek();
+        int digit = h <= '9' ? h - '0' : (h | 32) - 'a' + 10;
+        value = value * 16 + digit;
+        ++pos_;
+      }
+    } else {
+      while (isdigit(static_cast<unsigned char>(Peek()))) {
+        value = value * 10 + (Peek() - '0');
+        ++pos_;
+      }
+    }
+    // Integer suffixes (u, U, l, L) do not change the value in MiniC.
+    while (Peek() == 'u' || Peek() == 'U' || Peek() == 'l' || Peek() == 'L') {
+      ++pos_;
+    }
+    tok.int_value = value;
+    return tok;
+  }
+
+  if (c == '\'') {
+    ++pos_;
+    tok.kind = TokKind::kIntLit;
+    if (Peek() == '\\') {
+      ++pos_;
+      tok.int_value = LexEscape();
+    } else {
+      tok.int_value = static_cast<unsigned char>(Peek());
+      ++pos_;
+    }
+    if (!Match('\'')) {
+      diags_.Error(tok.loc, "unterminated character literal");
+    }
+    return tok;
+  }
+
+  if (c == '"') {
+    ++pos_;
+    tok.kind = TokKind::kStringLit;
+    while (pos_ < source_.size() && Peek() != '"') {
+      if (Peek() == '\\') {
+        ++pos_;
+        tok.text += static_cast<char>(LexEscape());
+      } else {
+        if (Peek() == '\n') {
+          diags_.Error(tok.loc, "unterminated string literal");
+          return tok;
+        }
+        tok.text += Peek();
+        ++pos_;
+      }
+    }
+    if (!Match('"')) {
+      diags_.Error(tok.loc, "unterminated string literal");
+    }
+    return tok;
+  }
+
+  ++pos_;
+  switch (c) {
+    case '(':
+      tok.kind = TokKind::kLParen;
+      return tok;
+    case ')':
+      tok.kind = TokKind::kRParen;
+      return tok;
+    case '{':
+      tok.kind = TokKind::kLBrace;
+      return tok;
+    case '}':
+      tok.kind = TokKind::kRBrace;
+      return tok;
+    case '[':
+      tok.kind = TokKind::kLBracket;
+      return tok;
+    case ']':
+      tok.kind = TokKind::kRBracket;
+      return tok;
+    case ';':
+      tok.kind = TokKind::kSemi;
+      return tok;
+    case ',':
+      tok.kind = TokKind::kComma;
+      return tok;
+    case '?':
+      tok.kind = TokKind::kQuestion;
+      return tok;
+    case ':':
+      tok.kind = TokKind::kColon;
+      return tok;
+    case '~':
+      tok.kind = TokKind::kTilde;
+      return tok;
+    case '+':
+      tok.kind = Match('+') ? TokKind::kPlusPlus
+                 : Match('=') ? TokKind::kPlusAssign
+                              : TokKind::kPlus;
+      return tok;
+    case '-':
+      tok.kind = Match('-') ? TokKind::kMinusMinus
+                 : Match('=') ? TokKind::kMinusAssign
+                              : TokKind::kMinus;
+      return tok;
+    case '*':
+      tok.kind = Match('=') ? TokKind::kStarAssign : TokKind::kStar;
+      return tok;
+    case '/':
+      tok.kind = Match('=') ? TokKind::kSlashAssign : TokKind::kSlash;
+      return tok;
+    case '%':
+      tok.kind = Match('=') ? TokKind::kPercentAssign : TokKind::kPercent;
+      return tok;
+    case '&':
+      tok.kind = Match('&') ? TokKind::kAmpAmp
+                 : Match('=') ? TokKind::kAmpAssign
+                              : TokKind::kAmp;
+      return tok;
+    case '|':
+      tok.kind = Match('|') ? TokKind::kPipePipe
+                 : Match('=') ? TokKind::kPipeAssign
+                              : TokKind::kPipe;
+      return tok;
+    case '^':
+      tok.kind = Match('=') ? TokKind::kCaretAssign : TokKind::kCaret;
+      return tok;
+    case '!':
+      tok.kind = Match('=') ? TokKind::kNe : TokKind::kBang;
+      return tok;
+    case '=':
+      tok.kind = Match('=') ? TokKind::kEq : TokKind::kAssign;
+      return tok;
+    case '<':
+      if (Match('<')) {
+        tok.kind = Match('=') ? TokKind::kShlAssign : TokKind::kShl;
+      } else {
+        tok.kind = Match('=') ? TokKind::kLe : TokKind::kLt;
+      }
+      return tok;
+    case '>':
+      if (Match('>')) {
+        tok.kind = Match('=') ? TokKind::kShrAssign : TokKind::kShr;
+      } else {
+        tok.kind = Match('=') ? TokKind::kGe : TokKind::kGt;
+      }
+      return tok;
+    default:
+      diags_.Error(tok.loc, StrFormat("unexpected character '%c'", c));
+      tok.kind = TokKind::kEof;
+      return tok;
+  }
+}
+
+}  // namespace overify

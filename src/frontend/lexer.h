@@ -1,0 +1,35 @@
+// MiniC lexer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/frontend/token.h"
+#include "src/support/diagnostics.h"
+
+namespace overify {
+
+class CLexer {
+ public:
+  // The source is copied: lexers are routinely constructed from temporaries.
+  CLexer(std::string source, DiagnosticEngine& diags);
+
+  // Tokenizes the whole input; the final token is kEof.
+  std::vector<CToken> Tokenize();
+
+ private:
+  CToken Next();
+  void SkipWhitespaceAndComments();
+  SourceLoc Loc() const;
+  char Peek(size_t ahead = 0) const;
+  bool Match(char c);
+  int64_t LexEscape();
+
+  std::string source_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t line_start_ = 0;
+};
+
+}  // namespace overify

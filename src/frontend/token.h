@@ -1,0 +1,91 @@
+// Tokens of the MiniC language (the C89 subset the workload suite and the
+// bundled C library are written in).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/diagnostics.h"
+
+namespace overify {
+
+enum class TokKind {
+  kEof,
+  kIdent,
+  kIntLit,     // integer or character literal (value in `int_value`)
+  kStringLit,  // contents in `text`, unescaped
+
+  // Keywords.
+  kKwVoid,
+  kKwChar,
+  kKwInt,
+  kKwLong,
+  kKwUnsigned,
+  kKwSigned,
+  kKwConst,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwDo,
+  kKwFor,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  kKwSizeof,
+
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  kQuestion,
+  kColon,
+  kAssign,       // =
+  kPlusAssign,   // +=
+  kMinusAssign,  // -=
+  kStarAssign,   // *=
+  kSlashAssign,  // /=
+  kPercentAssign,
+  kAmpAssign,
+  kPipeAssign,
+  kCaretAssign,
+  kShlAssign,
+  kShrAssign,
+  kPlusPlus,
+  kMinusMinus,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kBang,
+  kAmpAmp,
+  kPipePipe,
+  kEq,   // ==
+  kNe,   // !=
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kShl,  // <<
+  kShr,  // >>
+};
+
+struct CToken {
+  TokKind kind = TokKind::kEof;
+  std::string text;       // identifier name or string contents
+  int64_t int_value = 0;  // for kIntLit
+  SourceLoc loc;
+};
+
+const char* TokKindName(TokKind kind);
+
+}  // namespace overify

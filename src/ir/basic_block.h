@@ -1,0 +1,79 @@
+// BasicBlock: a straight-line instruction sequence ending in one terminator.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/instruction.h"
+
+namespace overify {
+
+class Function;
+
+class BasicBlock {
+ public:
+  using InstList = std::list<std::unique_ptr<Instruction>>;
+  using iterator = InstList::iterator;
+  using const_iterator = InstList::const_iterator;
+
+  explicit BasicBlock(std::string name) : name_(std::move(name)) {}
+
+  BasicBlock(const BasicBlock&) = delete;
+  BasicBlock& operator=(const BasicBlock&) = delete;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  Function* parent() const { return parent_; }
+
+  iterator begin() { return insts_.begin(); }
+  iterator end() { return insts_.end(); }
+  const_iterator begin() const { return insts_.begin(); }
+  const_iterator end() const { return insts_.end(); }
+  bool empty() const { return insts_.empty(); }
+  size_t size() const { return insts_.size(); }
+
+  Instruction* front() { return insts_.front().get(); }
+  Instruction* back() { return insts_.back().get(); }
+  const Instruction* back() const { return insts_.back().get(); }
+
+  // The block's terminator, or null if the block is still under construction.
+  Instruction* Terminator();
+  const Instruction* Terminator() const;
+
+  // First instruction that is not a phi (end() if the block is all phis).
+  iterator FirstNonPhi();
+
+  // Ownership-taking insertion. Returns the raw pointer for convenience.
+  Instruction* Append(std::unique_ptr<Instruction> inst);
+  Instruction* InsertBefore(iterator pos, std::unique_ptr<Instruction> inst);
+  Instruction* InsertBefore(Instruction* pos, std::unique_ptr<Instruction> inst);
+
+  // Unlinks `inst` and returns ownership; uses are untouched.
+  std::unique_ptr<Instruction> Remove(Instruction* inst);
+  // Unlinks and destroys `inst` (must be use-free).
+  void Erase(Instruction* inst);
+
+  // Successor blocks per the terminator (empty for ret/unreachable).
+  std::vector<BasicBlock*> Successors() const;
+  // Predecessors, computed by scanning the parent function.
+  std::vector<BasicBlock*> Predecessors() const;
+
+  // All phi instructions at the head of the block.
+  std::vector<PhiInst*> Phis();
+
+  // Drops the operand uses of every instruction in the block. Used before
+  // destroying a block so intra-block value cycles do not block destruction.
+  void DropAllReferences();
+
+ private:
+  friend class Function;
+
+  std::string name_;
+  Function* parent_ = nullptr;
+  InstList insts_;
+  std::list<std::unique_ptr<BasicBlock>>::iterator self_;
+};
+
+}  // namespace overify

@@ -1,0 +1,115 @@
+#include "src/ir/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/ir/context.h"
+#include "src/ir/module.h"
+
+namespace overify {
+
+namespace {
+
+void PostOrderVisit(BasicBlock* block, std::set<BasicBlock*>& visited,
+                    std::vector<BasicBlock*>& order) {
+  if (!visited.insert(block).second) {
+    return;
+  }
+  for (BasicBlock* succ : block->Successors()) {
+    PostOrderVisit(succ, visited, order);
+  }
+  order.push_back(block);
+}
+
+}  // namespace
+
+std::vector<BasicBlock*> ReversePostOrder(Function& fn) {
+  std::vector<BasicBlock*> order;
+  std::set<BasicBlock*> visited;
+  PostOrderVisit(fn.entry(), visited, order);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::map<BasicBlock*, std::vector<BasicBlock*>> PredecessorMap(Function& fn) {
+  std::map<BasicBlock*, std::vector<BasicBlock*>> preds;
+  for (BasicBlock& block : fn) {
+    preds[&block];  // ensure every block has an entry
+    for (BasicBlock* succ : block.Successors()) {
+      preds[succ].push_back(&block);
+    }
+  }
+  return preds;
+}
+
+void RedirectPhiIncoming(BasicBlock* block, BasicBlock* from, BasicBlock* to) {
+  for (PhiInst* phi : block->Phis()) {
+    phi->ReplaceIncomingBlock(from, to);
+  }
+}
+
+size_t RemoveUnreachableBlocks(Function& fn) {
+  std::set<BasicBlock*> reachable;
+  std::vector<BasicBlock*> worklist = {fn.entry()};
+  while (!worklist.empty()) {
+    BasicBlock* block = worklist.back();
+    worklist.pop_back();
+    if (!reachable.insert(block).second) {
+      continue;
+    }
+    for (BasicBlock* succ : block->Successors()) {
+      worklist.push_back(succ);
+    }
+  }
+
+  std::vector<BasicBlock*> dead;
+  for (BasicBlock& block : fn) {
+    if (reachable.count(&block) == 0) {
+      dead.push_back(&block);
+    }
+  }
+
+  // Remove phi entries flowing from dead blocks into survivors.
+  for (BasicBlock* block : dead) {
+    for (BasicBlock* succ : block->Successors()) {
+      if (reachable.count(succ) == 0) {
+        continue;
+      }
+      for (PhiInst* phi : succ->Phis()) {
+        int index;
+        while ((index = phi->IncomingIndexFor(block)) >= 0) {
+          phi->RemoveIncoming(static_cast<unsigned>(index));
+        }
+      }
+    }
+  }
+
+  // Values defined in dead blocks can only be used by other dead blocks
+  // (defs dominate uses), so dropping references before erasure is safe.
+  for (BasicBlock* block : dead) {
+    block->DropAllReferences();
+  }
+  for (BasicBlock* block : dead) {
+    fn.EraseBlock(block);
+  }
+  return dead.size();
+}
+
+BasicBlock* SplitEdge(BasicBlock* pred, BasicBlock* succ) {
+  Function* fn = pred->parent();
+  IRContext& ctx = fn->parent()->context();
+  BasicBlock* middle = fn->CreateBlock(pred->name() + "." + succ->name());
+  middle->Append(std::make_unique<BranchInst>(ctx, succ));
+
+  auto* br = Cast<BranchInst>(pred->Terminator());
+  if (br->true_dest() == succ) {
+    br->SetDest(0, middle);
+  }
+  if (br->IsConditional() && br->false_dest() == succ) {
+    br->SetDest(1, middle);
+  }
+  RedirectPhiIncoming(succ, pred, middle);
+  return middle;
+}
+
+}  // namespace overify

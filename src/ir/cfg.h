@@ -1,0 +1,31 @@
+// Control-flow graph utilities over Function blocks.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace overify {
+
+// Blocks in reverse postorder of the CFG from the entry; unreachable blocks
+// are omitted.
+std::vector<BasicBlock*> ReversePostOrder(Function& fn);
+
+// Predecessor lists for every block, computed in one function scan.
+std::map<BasicBlock*, std::vector<BasicBlock*>> PredecessorMap(Function& fn);
+
+// Removes blocks unreachable from the entry, fixing up phis in survivors.
+// Returns the number of blocks removed.
+size_t RemoveUnreachableBlocks(Function& fn);
+
+// Replaces every use of `from` as a phi incoming block with `to` in `block`'s
+// phi nodes.
+void RedirectPhiIncoming(BasicBlock* block, BasicBlock* from, BasicBlock* to);
+
+// Splits the edge pred -> succ by inserting a fresh block containing a single
+// unconditional branch to succ. Phi incoming entries in succ are redirected.
+// Returns the new block.
+BasicBlock* SplitEdge(BasicBlock* pred, BasicBlock* succ);
+
+}  // namespace overify

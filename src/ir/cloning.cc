@@ -1,0 +1,63 @@
+#include "src/ir/cloning.h"
+
+#include "src/ir/module.h"
+
+namespace overify {
+
+void RemapInstruction(Instruction* inst, const CloneMapping& mapping) {
+  for (unsigned i = 0; i < inst->NumOperands(); ++i) {
+    Value* mapped = mapping.Lookup(inst->Operand(i));
+    if (mapped != inst->Operand(i)) {
+      inst->SetOperand(i, mapped);
+    }
+  }
+  if (auto* br = DynCast<BranchInst>(inst)) {
+    br->SetDest(0, mapping.Lookup(br->true_dest()));
+    if (br->IsConditional()) {
+      br->SetDest(1, mapping.Lookup(br->false_dest()));
+    }
+  }
+  if (auto* phi = DynCast<PhiInst>(inst)) {
+    for (unsigned i = 0; i < phi->NumIncoming(); ++i) {
+      BasicBlock* mapped = mapping.Lookup(phi->IncomingBlock(i));
+      if (mapped != phi->IncomingBlock(i)) {
+        phi->ReplaceIncomingBlock(phi->IncomingBlock(i), mapped);
+      }
+    }
+  }
+}
+
+void CloneBlocksInto(const std::vector<BasicBlock*>& blocks, Function* dest,
+                     const std::string& name_suffix, CloneMapping& mapping) {
+  IRContext& ctx = dest->parent()->context();
+
+  // First create all destination blocks so branch targets can be remapped.
+  for (BasicBlock* block : blocks) {
+    BasicBlock* clone = dest->CreateBlock(block->name() + name_suffix);
+    mapping.blocks[block] = clone;
+  }
+
+  // Clone instructions with original operands, recording the value mapping.
+  for (BasicBlock* block : blocks) {
+    BasicBlock* clone = mapping.blocks[block];
+    for (auto& inst : *block) {
+      std::unique_ptr<Instruction> copy = inst->Clone(ctx);
+      if (inst->HasName()) {
+        copy->set_name(inst->name() + name_suffix);
+      }
+      mapping.values[inst.get()] = copy.get();
+      clone->Append(std::move(copy));
+    }
+  }
+
+  // Remap in a second pass so cross-references inside the region (including
+  // back edges and phi cycles) resolve to clones.
+  for (BasicBlock* block : blocks) {
+    BasicBlock* clone = mapping.blocks[block];
+    for (auto& inst : *clone) {
+      RemapInstruction(inst.get(), mapping);
+    }
+  }
+}
+
+}  // namespace overify

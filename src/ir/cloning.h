@@ -1,0 +1,42 @@
+// Cloning utilities shared by the inliner, loop unroller and loop unswitcher.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace overify {
+
+// Maps original values/blocks to their clones.
+struct CloneMapping {
+  std::map<Value*, Value*> values;
+  std::map<BasicBlock*, BasicBlock*> blocks;
+
+  // Lookup with identity fallback: values outside the cloned region map to
+  // themselves.
+  Value* Lookup(Value* v) const {
+    auto it = values.find(v);
+    return it == values.end() ? v : it->second;
+  }
+  BasicBlock* Lookup(BasicBlock* block) const {
+    auto it = blocks.find(block);
+    return it == blocks.end() ? block : it->second;
+  }
+};
+
+// Clones `blocks` (instructions and all) into `dest`, appending the new
+// blocks at the end in the same relative order. Operands, branch targets and
+// phi incoming blocks that refer to cloned entities are remapped; references
+// to values outside the region are preserved. `mapping` may be pre-seeded
+// (e.g. mapping callee arguments to call operands for inlining) and is
+// extended with all clones.
+void CloneBlocksInto(const std::vector<BasicBlock*>& blocks, Function* dest,
+                     const std::string& name_suffix, CloneMapping& mapping);
+
+// Rewrites the operands, branch targets and phi incoming blocks of `inst`
+// through `mapping`.
+void RemapInstruction(Instruction* inst, const CloneMapping& mapping);
+
+}  // namespace overify

@@ -1,0 +1,32 @@
+#include "src/ir/constant.h"
+
+namespace overify {
+
+uint64_t TruncateToWidth(uint64_t value, unsigned bits) {
+  OVERIFY_ASSERT(bits >= 1 && bits <= 64, "invalid integer width");
+  if (bits == 64) {
+    return value;
+  }
+  return value & ((uint64_t{1} << bits) - 1);
+}
+
+int64_t SignExtend(uint64_t value, unsigned bits) {
+  OVERIFY_ASSERT(bits >= 1 && bits <= 64, "invalid integer width");
+  if (bits == 64) {
+    return static_cast<int64_t>(value);
+  }
+  uint64_t sign_bit = uint64_t{1} << (bits - 1);
+  uint64_t truncated = TruncateToWidth(value, bits);
+  if ((truncated & sign_bit) != 0) {
+    return static_cast<int64_t>(truncated | ~((uint64_t{1} << bits) - 1));
+  }
+  return static_cast<int64_t>(truncated);
+}
+
+int64_t ConstantInt::SignedValue() const { return SignExtend(value_, type()->bits()); }
+
+bool ConstantInt::IsAllOnes() const {
+  return value_ == TruncateToWidth(~uint64_t{0}, type()->bits());
+}
+
+}  // namespace overify

@@ -1,0 +1,101 @@
+// Constants and global variables.
+//
+// ConstantInt and UndefValue are interned by IRContext (pointer equality is
+// value equality). GlobalVariable carries a byte-level initializer so the
+// concrete interpreter and the symbolic memory model can materialize it
+// without re-deriving layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/type.h"
+#include "src/ir/value.h"
+
+namespace overify {
+
+class Constant : public Value {
+ public:
+  static bool ClassOf(const Value* v) {
+    return v->value_kind() == ValueKind::kConstantInt || v->value_kind() == ValueKind::kUndef ||
+           v->value_kind() == ValueKind::kNull || v->value_kind() == ValueKind::kGlobalVariable;
+  }
+
+ protected:
+  using Value::Value;
+};
+
+class ConstantInt : public Constant {
+ public:
+  // Raw bit pattern, truncated to the type's width.
+  uint64_t value() const { return value_; }
+  // Sign-extended view of the bit pattern.
+  int64_t SignedValue() const;
+  bool IsZero() const { return value_ == 0; }
+  bool IsOne() const { return value_ == 1; }
+  // True if every bit of the type's width is set.
+  bool IsAllOnes() const;
+
+  static bool ClassOf(const Value* v) { return v->value_kind() == ValueKind::kConstantInt; }
+
+ private:
+  friend class IRContext;
+  ConstantInt(Type* type, uint64_t value)
+      : Constant(ValueKind::kConstantInt, type), value_(value) {}
+
+  uint64_t value_;
+};
+
+// The null pointer of a given pointer type.
+class NullValue : public Constant {
+ public:
+  static bool ClassOf(const Value* v) { return v->value_kind() == ValueKind::kNull; }
+
+ private:
+  friend class IRContext;
+  explicit NullValue(Type* type) : Constant(ValueKind::kNull, type) {}
+};
+
+class UndefValue : public Constant {
+ public:
+  static bool ClassOf(const Value* v) { return v->value_kind() == ValueKind::kUndef; }
+
+ private:
+  friend class IRContext;
+  explicit UndefValue(Type* type) : Constant(ValueKind::kUndef, type) {}
+};
+
+// A module-level variable. Its Value type is a pointer to `value_type`.
+class GlobalVariable : public Constant {
+ public:
+  Type* value_type() const { return value_type_; }
+  bool is_const() const { return is_const_; }
+
+  // Initial contents, little-endian, exactly value_type()->SizeInBytes() long.
+  const std::vector<uint8_t>& initializer() const { return initializer_; }
+
+  static bool ClassOf(const Value* v) { return v->value_kind() == ValueKind::kGlobalVariable; }
+
+ private:
+  friend class Module;
+  GlobalVariable(Type* pointer_type, Type* value_type, std::string name, bool is_const,
+                 std::vector<uint8_t> initializer)
+      : Constant(ValueKind::kGlobalVariable, pointer_type),
+        value_type_(value_type),
+        is_const_(is_const),
+        initializer_(std::move(initializer)) {
+    set_name(std::move(name));
+  }
+
+  Type* value_type_;
+  bool is_const_;
+  std::vector<uint8_t> initializer_;
+};
+
+// Truncates a raw 64-bit pattern to `bits` (bits in [1, 64]).
+uint64_t TruncateToWidth(uint64_t value, unsigned bits);
+// Sign-extends the low `bits` of `value` to 64 bits.
+int64_t SignExtend(uint64_t value, unsigned bits);
+
+}  // namespace overify

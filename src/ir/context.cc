@@ -1,0 +1,134 @@
+#include "src/ir/context.h"
+
+#include "src/support/assert.h"
+
+namespace overify {
+
+IRContext::IRContext() {
+  auto make_int = [this](unsigned bits) {
+    Type* t = MakeType();
+    t->kind_ = Type::Kind::kInt;
+    t->bits_ = bits;
+    return t;
+  };
+  void_ty_ = MakeType();
+  void_ty_->kind_ = Type::Kind::kVoid;
+  i1_ = make_int(1);
+  i8_ = make_int(8);
+  i16_ = make_int(16);
+  i32_ = make_int(32);
+  i64_ = make_int(64);
+}
+
+Type* IRContext::MakeType() {
+  types_.push_back(std::unique_ptr<Type>(new Type()));
+  return types_.back().get();
+}
+
+Type* IRContext::IntTy(unsigned bits) {
+  switch (bits) {
+    case 1:
+      return i1_;
+    case 8:
+      return i8_;
+    case 16:
+      return i16_;
+    case 32:
+      return i32_;
+    case 64:
+      return i64_;
+    default:
+      OVERIFY_UNREACHABLE("unsupported integer width");
+  }
+}
+
+Type* IRContext::PtrTy(Type* pointee) {
+  auto it = pointer_types_.find(pointee);
+  if (it != pointer_types_.end()) {
+    return it->second;
+  }
+  Type* t = MakeType();
+  t->kind_ = Type::Kind::kPointer;
+  t->pointee_ = pointee;
+  pointer_types_[pointee] = t;
+  return t;
+}
+
+Type* IRContext::ArrayTy(Type* element, uint64_t count) {
+  auto key = std::make_pair(element, count);
+  auto it = array_types_.find(key);
+  if (it != array_types_.end()) {
+    return it->second;
+  }
+  Type* t = MakeType();
+  t->kind_ = Type::Kind::kArray;
+  t->pointee_ = element;
+  t->array_count_ = count;
+  array_types_[key] = t;
+  return t;
+}
+
+Type* IRContext::StructTy(std::vector<Type*> fields) {
+  auto it = struct_types_.find(fields);
+  if (it != struct_types_.end()) {
+    return it->second;
+  }
+  Type* t = MakeType();
+  t->kind_ = Type::Kind::kStruct;
+  t->contained_ = fields;
+  struct_types_[std::move(fields)] = t;
+  return t;
+}
+
+Type* IRContext::FnTy(Type* return_type, std::vector<Type*> params) {
+  auto key = std::make_pair(return_type, params);
+  auto it = function_types_.find(key);
+  if (it != function_types_.end()) {
+    return it->second;
+  }
+  Type* t = MakeType();
+  t->kind_ = Type::Kind::kFunction;
+  t->return_type_ = return_type;
+  t->contained_ = std::move(params);
+  function_types_[std::move(key)] = t;
+  return t;
+}
+
+ConstantInt* IRContext::GetInt(Type* type, uint64_t value) {
+  OVERIFY_ASSERT(type->IsInt(), "GetInt requires an integer type");
+  value = TruncateToWidth(value, type->bits());
+  auto key = std::make_pair(type, value);
+  auto it = int_constants_.find(key);
+  if (it != int_constants_.end()) {
+    return it->second.get();
+  }
+  auto owned = std::unique_ptr<ConstantInt>(new ConstantInt(type, value));
+  ConstantInt* result = owned.get();
+  int_constants_[key] = std::move(owned);
+  return result;
+}
+
+NullValue* IRContext::GetNull(Type* pointer_type) {
+  OVERIFY_ASSERT(pointer_type->IsPointer(), "GetNull requires a pointer type");
+  auto it = null_constants_.find(pointer_type);
+  if (it != null_constants_.end()) {
+    return it->second.get();
+  }
+  auto owned = std::unique_ptr<NullValue>(new NullValue(pointer_type));
+  NullValue* result = owned.get();
+  null_constants_[pointer_type] = std::move(owned);
+  return result;
+}
+
+UndefValue* IRContext::GetUndef(Type* type) {
+  auto it = undef_constants_.find(type);
+  if (it != undef_constants_.end()) {
+    return it->second.get();
+  }
+  auto owned = std::unique_ptr<UndefValue>(new UndefValue(type));
+  UndefValue* result = owned.get();
+  undef_constants_[type] = std::move(owned);
+  return result;
+}
+
+}  // namespace overify

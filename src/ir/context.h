@@ -1,0 +1,64 @@
+// IRContext: owns and interns types and constants for one Module.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "src/ir/constant.h"
+#include "src/ir/type.h"
+
+namespace overify {
+
+class IRContext {
+ public:
+  IRContext();
+  IRContext(const IRContext&) = delete;
+  IRContext& operator=(const IRContext&) = delete;
+
+  // Primitive types are pre-built.
+  Type* VoidTy() { return void_ty_; }
+  Type* I1() { return i1_; }
+  Type* I8() { return i8_; }
+  Type* I16() { return i16_; }
+  Type* I32() { return i32_; }
+  Type* I64() { return i64_; }
+  Type* IntTy(unsigned bits);
+
+  Type* PtrTy(Type* pointee);
+  Type* ArrayTy(Type* element, uint64_t count);
+  Type* StructTy(std::vector<Type*> fields);
+  Type* FnTy(Type* return_type, std::vector<Type*> params);
+
+  // Interned constants.
+  ConstantInt* GetInt(Type* type, uint64_t value);
+  ConstantInt* GetInt(unsigned bits, uint64_t value) { return GetInt(IntTy(bits), value); }
+  ConstantInt* GetBool(bool value) { return GetInt(i1_, value ? 1 : 0); }
+  ConstantInt* True() { return GetBool(true); }
+  ConstantInt* False() { return GetBool(false); }
+  UndefValue* GetUndef(Type* type);
+  NullValue* GetNull(Type* pointer_type);
+
+ private:
+  Type* MakeType();
+
+  std::vector<std::unique_ptr<Type>> types_;
+  Type* void_ty_;
+  Type* i1_;
+  Type* i8_;
+  Type* i16_;
+  Type* i32_;
+  Type* i64_;
+
+  std::map<Type*, Type*> pointer_types_;
+  std::map<std::pair<Type*, uint64_t>, Type*> array_types_;
+  std::map<std::vector<Type*>, Type*> struct_types_;
+  std::map<std::pair<Type*, std::vector<Type*>>, Type*> function_types_;
+
+  std::map<std::pair<Type*, uint64_t>, std::unique_ptr<ConstantInt>> int_constants_;
+  std::map<Type*, std::unique_ptr<UndefValue>> undef_constants_;
+  std::map<Type*, std::unique_ptr<NullValue>> null_constants_;
+};
+
+}  // namespace overify

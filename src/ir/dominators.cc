@@ -1,0 +1,146 @@
+#include "src/ir/dominators.h"
+
+#include <algorithm>
+
+#include "src/ir/cfg.h"
+
+namespace overify {
+
+DominatorTree::DominatorTree(Function& fn) : fn_(fn) {
+  rpo_ = ReversePostOrder(fn);
+  for (size_t i = 0; i < rpo_.size(); ++i) {
+    rpo_index_[rpo_[i]] = i;
+  }
+
+  auto preds = PredecessorMap(fn);
+
+  BasicBlock* entry = fn.entry();
+  idom_[entry] = entry;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BasicBlock* block : rpo_) {
+      if (block == entry) {
+        continue;
+      }
+      BasicBlock* new_idom = nullptr;
+      for (BasicBlock* pred : preds[block]) {
+        if (idom_.count(pred) == 0) {
+          continue;  // not yet processed or unreachable
+        }
+        new_idom = new_idom == nullptr ? pred : Intersect(pred, new_idom);
+      }
+      if (new_idom != nullptr && idom_[block] != new_idom) {
+        idom_[block] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  for (BasicBlock* block : rpo_) {
+    if (block != entry) {
+      children_[idom_[block]].push_back(block);
+    }
+  }
+}
+
+BasicBlock* DominatorTree::Intersect(BasicBlock* a, BasicBlock* b) const {
+  while (a != b) {
+    while (rpo_index_.at(a) > rpo_index_.at(b)) {
+      a = idom_.at(a);
+    }
+    while (rpo_index_.at(b) > rpo_index_.at(a)) {
+      b = idom_.at(b);
+    }
+  }
+  return a;
+}
+
+BasicBlock* DominatorTree::ImmediateDominator(BasicBlock* block) const {
+  auto it = idom_.find(block);
+  if (it == idom_.end() || it->second == block) {
+    return nullptr;
+  }
+  return it->second;
+}
+
+bool DominatorTree::Dominates(BasicBlock* a, BasicBlock* b) const {
+  if (!IsReachable(a) || !IsReachable(b)) {
+    return false;
+  }
+  while (true) {
+    if (a == b) {
+      return true;
+    }
+    BasicBlock* up = idom_.at(b);
+    if (up == b) {
+      return false;  // reached the entry
+    }
+    b = up;
+  }
+}
+
+bool DominatorTree::StrictlyDominates(BasicBlock* a, BasicBlock* b) const {
+  return a != b && Dominates(a, b);
+}
+
+bool DominatorTree::ValueDominatesUse(const Instruction* def, const Instruction* user,
+                                      unsigned operand_index) const {
+  BasicBlock* def_block = def->parent();
+  if (const auto* phi = DynCast<PhiInst>(user)) {
+    // A phi use must dominate the end of the corresponding incoming block.
+    BasicBlock* incoming = phi->IncomingBlock(operand_index);
+    return Dominates(def_block, incoming);
+  }
+  BasicBlock* use_block = user->parent();
+  if (def_block != use_block) {
+    return Dominates(def_block, use_block);
+  }
+  // Same block: def must come first.
+  for (const auto& inst : *def_block) {
+    if (inst.get() == def) {
+      return true;
+    }
+    if (inst.get() == user) {
+      return false;
+    }
+  }
+  return false;
+}
+
+const std::vector<BasicBlock*>& DominatorTree::Children(BasicBlock* block) const {
+  auto it = children_.find(block);
+  return it == children_.end() ? empty_ : it->second;
+}
+
+const std::map<BasicBlock*, std::vector<BasicBlock*>>& DominatorTree::DominanceFrontiers() {
+  if (frontiers_computed_) {
+    return frontiers_;
+  }
+  frontiers_computed_ = true;
+  auto preds = PredecessorMap(fn_);
+  for (BasicBlock* block : rpo_) {
+    frontiers_[block];
+    const auto& block_preds = preds[block];
+    if (block_preds.size() < 2) {
+      continue;
+    }
+    for (BasicBlock* pred : block_preds) {
+      if (!IsReachable(pred)) {
+        continue;
+      }
+      BasicBlock* runner = pred;
+      while (runner != ImmediateDominator(block) && runner != nullptr) {
+        auto& frontier = frontiers_[runner];
+        if (std::find(frontier.begin(), frontier.end(), block) == frontier.end()) {
+          frontier.push_back(block);
+        }
+        runner = ImmediateDominator(runner);
+      }
+    }
+  }
+  return frontiers_;
+}
+
+}  // namespace overify

@@ -1,0 +1,52 @@
+// Dominator tree (Cooper–Harvey–Kennedy) and dominance frontiers.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace overify {
+
+class DominatorTree {
+ public:
+  explicit DominatorTree(Function& fn);
+
+  // The immediate dominator of `block` (null for the entry block and for
+  // unreachable blocks).
+  BasicBlock* ImmediateDominator(BasicBlock* block) const;
+
+  // True if `a` dominates `b` (reflexive).
+  bool Dominates(BasicBlock* a, BasicBlock* b) const;
+  // True if `a` strictly dominates `b`.
+  bool StrictlyDominates(BasicBlock* a, BasicBlock* b) const;
+
+  // True if the definition point of `def` dominates the use site
+  // (instruction `user` at operand `operand_index`). Handles phi uses, which
+  // must dominate the incoming edge rather than the phi itself.
+  bool ValueDominatesUse(const Instruction* def, const Instruction* user,
+                         unsigned operand_index) const;
+
+  bool IsReachable(BasicBlock* block) const { return rpo_index_.count(block) != 0; }
+
+  const std::vector<BasicBlock*>& Children(BasicBlock* block) const;
+
+  // Dominance frontier of every reachable block (computed lazily, cached).
+  const std::map<BasicBlock*, std::vector<BasicBlock*>>& DominanceFrontiers();
+
+  const std::vector<BasicBlock*>& ReversePostOrderBlocks() const { return rpo_; }
+
+ private:
+  BasicBlock* Intersect(BasicBlock* a, BasicBlock* b) const;
+
+  Function& fn_;
+  std::vector<BasicBlock*> rpo_;
+  std::map<BasicBlock*, size_t> rpo_index_;
+  std::map<BasicBlock*, BasicBlock*> idom_;
+  std::map<BasicBlock*, std::vector<BasicBlock*>> children_;
+  std::map<BasicBlock*, std::vector<BasicBlock*>> frontiers_;
+  bool frontiers_computed_ = false;
+  std::vector<BasicBlock*> empty_;
+};
+
+}  // namespace overify

@@ -1,0 +1,121 @@
+#include "src/ir/fold.h"
+
+#include "src/ir/constant.h"
+#include "src/support/assert.h"
+
+namespace overify {
+
+std::optional<uint64_t> FoldBinary(Opcode opcode, unsigned bits, uint64_t lhs, uint64_t rhs) {
+  lhs = TruncateToWidth(lhs, bits);
+  rhs = TruncateToWidth(rhs, bits);
+  switch (opcode) {
+    case Opcode::kAdd:
+      return TruncateToWidth(lhs + rhs, bits);
+    case Opcode::kSub:
+      return TruncateToWidth(lhs - rhs, bits);
+    case Opcode::kMul:
+      return TruncateToWidth(lhs * rhs, bits);
+    case Opcode::kUDiv:
+      if (rhs == 0) {
+        return std::nullopt;
+      }
+      return TruncateToWidth(lhs / rhs, bits);
+    case Opcode::kSDiv: {
+      if (rhs == 0) {
+        return std::nullopt;
+      }
+      int64_t a = SignExtend(lhs, bits);
+      int64_t b = SignExtend(rhs, bits);
+      if (b == -1 && a == SignExtend(uint64_t{1} << (bits - 1), bits)) {
+        return std::nullopt;  // INT_MIN / -1 overflows
+      }
+      return TruncateToWidth(static_cast<uint64_t>(a / b), bits);
+    }
+    case Opcode::kURem:
+      if (rhs == 0) {
+        return std::nullopt;
+      }
+      return TruncateToWidth(lhs % rhs, bits);
+    case Opcode::kSRem: {
+      if (rhs == 0) {
+        return std::nullopt;
+      }
+      int64_t a = SignExtend(lhs, bits);
+      int64_t b = SignExtend(rhs, bits);
+      if (b == -1) {
+        return 0;  // remainder of division by -1 is 0 (even for INT_MIN)
+      }
+      return TruncateToWidth(static_cast<uint64_t>(a % b), bits);
+    }
+    case Opcode::kAnd:
+      return lhs & rhs;
+    case Opcode::kOr:
+      return lhs | rhs;
+    case Opcode::kXor:
+      return lhs ^ rhs;
+    case Opcode::kShl:
+      if (rhs >= bits) {
+        return std::nullopt;
+      }
+      return TruncateToWidth(lhs << rhs, bits);
+    case Opcode::kLShr:
+      if (rhs >= bits) {
+        return std::nullopt;
+      }
+      return lhs >> rhs;
+    case Opcode::kAShr: {
+      if (rhs >= bits) {
+        return std::nullopt;
+      }
+      int64_t a = SignExtend(lhs, bits);
+      return TruncateToWidth(static_cast<uint64_t>(a >> rhs), bits);
+    }
+    default:
+      OVERIFY_UNREACHABLE("FoldBinary on non-binary opcode");
+  }
+}
+
+bool FoldICmp(ICmpPredicate pred, unsigned bits, uint64_t lhs, uint64_t rhs) {
+  uint64_t ua = TruncateToWidth(lhs, bits);
+  uint64_t ub = TruncateToWidth(rhs, bits);
+  int64_t sa = SignExtend(lhs, bits);
+  int64_t sb = SignExtend(rhs, bits);
+  switch (pred) {
+    case ICmpPredicate::kEq:
+      return ua == ub;
+    case ICmpPredicate::kNe:
+      return ua != ub;
+    case ICmpPredicate::kULT:
+      return ua < ub;
+    case ICmpPredicate::kULE:
+      return ua <= ub;
+    case ICmpPredicate::kUGT:
+      return ua > ub;
+    case ICmpPredicate::kUGE:
+      return ua >= ub;
+    case ICmpPredicate::kSLT:
+      return sa < sb;
+    case ICmpPredicate::kSLE:
+      return sa <= sb;
+    case ICmpPredicate::kSGT:
+      return sa > sb;
+    case ICmpPredicate::kSGE:
+      return sa >= sb;
+  }
+  OVERIFY_UNREACHABLE("bad predicate");
+}
+
+uint64_t FoldCast(Opcode opcode, unsigned src_bits, unsigned dst_bits, uint64_t value) {
+  switch (opcode) {
+    case Opcode::kZExt:
+      return TruncateToWidth(value, src_bits);
+    case Opcode::kSExt:
+      return TruncateToWidth(static_cast<uint64_t>(SignExtend(value, src_bits)), dst_bits);
+    case Opcode::kTrunc:
+      return TruncateToWidth(value, dst_bits);
+    default:
+      OVERIFY_UNREACHABLE("FoldCast on non-cast opcode");
+  }
+}
+
+}  // namespace overify

@@ -1,0 +1,24 @@
+// Constant evaluation of VIR operations on raw bit patterns.
+//
+// One shared kernel keeps the optimizer, the concrete interpreter and the
+// symbolic-execution expression builder bit-for-bit consistent — a mismatch
+// between them would invalidate the paper's bug-preservation claim.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/ir/instruction.h"
+
+namespace overify {
+
+// Result of `opcode` on `bits`-wide operands, or nullopt when the operation
+// traps (division/remainder by zero) or shifts by >= width.
+std::optional<uint64_t> FoldBinary(Opcode opcode, unsigned bits, uint64_t lhs, uint64_t rhs);
+
+bool FoldICmp(ICmpPredicate pred, unsigned bits, uint64_t lhs, uint64_t rhs);
+
+// zext/sext/trunc of a `src_bits`-wide pattern to `dst_bits`.
+uint64_t FoldCast(Opcode opcode, unsigned src_bits, unsigned dst_bits, uint64_t value);
+
+}  // namespace overify

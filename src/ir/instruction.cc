@@ -1,0 +1,517 @@
+#include "src/ir/instruction.h"
+
+#include "src/ir/basic_block.h"
+#include "src/ir/context.h"
+#include "src/ir/function.h"
+
+namespace overify {
+
+const char* OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kAlloca:
+      return "alloca";
+    case Opcode::kLoad:
+      return "load";
+    case Opcode::kStore:
+      return "store";
+    case Opcode::kGep:
+      return "gep";
+    case Opcode::kAdd:
+      return "add";
+    case Opcode::kSub:
+      return "sub";
+    case Opcode::kMul:
+      return "mul";
+    case Opcode::kUDiv:
+      return "udiv";
+    case Opcode::kSDiv:
+      return "sdiv";
+    case Opcode::kURem:
+      return "urem";
+    case Opcode::kSRem:
+      return "srem";
+    case Opcode::kAnd:
+      return "and";
+    case Opcode::kOr:
+      return "or";
+    case Opcode::kXor:
+      return "xor";
+    case Opcode::kShl:
+      return "shl";
+    case Opcode::kLShr:
+      return "lshr";
+    case Opcode::kAShr:
+      return "ashr";
+    case Opcode::kICmp:
+      return "icmp";
+    case Opcode::kSelect:
+      return "select";
+    case Opcode::kZExt:
+      return "zext";
+    case Opcode::kSExt:
+      return "sext";
+    case Opcode::kTrunc:
+      return "trunc";
+    case Opcode::kCall:
+      return "call";
+    case Opcode::kPhi:
+      return "phi";
+    case Opcode::kCheck:
+      return "check";
+    case Opcode::kBr:
+      return "br";
+    case Opcode::kRet:
+      return "ret";
+    case Opcode::kUnreachable:
+      return "unreachable";
+  }
+  return "?";
+}
+
+const char* PredicateName(ICmpPredicate pred) {
+  switch (pred) {
+    case ICmpPredicate::kEq:
+      return "eq";
+    case ICmpPredicate::kNe:
+      return "ne";
+    case ICmpPredicate::kULT:
+      return "ult";
+    case ICmpPredicate::kULE:
+      return "ule";
+    case ICmpPredicate::kUGT:
+      return "ugt";
+    case ICmpPredicate::kUGE:
+      return "uge";
+    case ICmpPredicate::kSLT:
+      return "slt";
+    case ICmpPredicate::kSLE:
+      return "sle";
+    case ICmpPredicate::kSGT:
+      return "sgt";
+    case ICmpPredicate::kSGE:
+      return "sge";
+  }
+  return "?";
+}
+
+ICmpPredicate SwapPredicate(ICmpPredicate pred) {
+  switch (pred) {
+    case ICmpPredicate::kEq:
+    case ICmpPredicate::kNe:
+      return pred;
+    case ICmpPredicate::kULT:
+      return ICmpPredicate::kUGT;
+    case ICmpPredicate::kULE:
+      return ICmpPredicate::kUGE;
+    case ICmpPredicate::kUGT:
+      return ICmpPredicate::kULT;
+    case ICmpPredicate::kUGE:
+      return ICmpPredicate::kULE;
+    case ICmpPredicate::kSLT:
+      return ICmpPredicate::kSGT;
+    case ICmpPredicate::kSLE:
+      return ICmpPredicate::kSGE;
+    case ICmpPredicate::kSGT:
+      return ICmpPredicate::kSLT;
+    case ICmpPredicate::kSGE:
+      return ICmpPredicate::kSLE;
+  }
+  OVERIFY_UNREACHABLE("bad predicate");
+}
+
+ICmpPredicate InvertPredicate(ICmpPredicate pred) {
+  switch (pred) {
+    case ICmpPredicate::kEq:
+      return ICmpPredicate::kNe;
+    case ICmpPredicate::kNe:
+      return ICmpPredicate::kEq;
+    case ICmpPredicate::kULT:
+      return ICmpPredicate::kUGE;
+    case ICmpPredicate::kULE:
+      return ICmpPredicate::kUGT;
+    case ICmpPredicate::kUGT:
+      return ICmpPredicate::kULE;
+    case ICmpPredicate::kUGE:
+      return ICmpPredicate::kULT;
+    case ICmpPredicate::kSLT:
+      return ICmpPredicate::kSGE;
+    case ICmpPredicate::kSLE:
+      return ICmpPredicate::kSGT;
+    case ICmpPredicate::kSGT:
+      return ICmpPredicate::kSLE;
+    case ICmpPredicate::kSGE:
+      return ICmpPredicate::kSLT;
+  }
+  OVERIFY_UNREACHABLE("bad predicate");
+}
+
+bool IsSignedPredicate(ICmpPredicate pred) {
+  return pred == ICmpPredicate::kSLT || pred == ICmpPredicate::kSLE ||
+         pred == ICmpPredicate::kSGT || pred == ICmpPredicate::kSGE;
+}
+
+const char* CheckKindName(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kAssert:
+      return "assert";
+    case CheckKind::kBounds:
+      return "bounds";
+    case CheckKind::kDivByZero:
+      return "div_by_zero";
+    case CheckKind::kOverflow:
+      return "overflow";
+    case CheckKind::kNullDeref:
+      return "null_deref";
+    case CheckKind::kShift:
+      return "shift";
+  }
+  return "?";
+}
+
+Instruction::Instruction(Opcode opcode, Type* type, std::vector<Value*> operands)
+    : Value(ValueKind::kInstruction, type), opcode_(opcode), operands_(std::move(operands)) {
+  for (unsigned i = 0; i < operands_.size(); ++i) {
+    OVERIFY_ASSERT(operands_[i] != nullptr, "null operand");
+    operands_[i]->AddUse(this, i);
+  }
+}
+
+Instruction::~Instruction() { DropAllOperands(); }
+
+void Instruction::DropAllOperands() {
+  for (unsigned i = 0; i < operands_.size(); ++i) {
+    if (operands_[i] != nullptr) {
+      operands_[i]->RemoveUse(this, i);
+      operands_[i] = nullptr;
+    }
+  }
+}
+
+void Instruction::SetOperand(unsigned i, Value* value) {
+  OVERIFY_ASSERT(i < operands_.size(), "operand index out of range");
+  OVERIFY_ASSERT(value != nullptr, "null operand");
+  if (operands_[i] == value) {
+    return;
+  }
+  if (operands_[i] != nullptr) {
+    operands_[i]->RemoveUse(this, i);
+  }
+  operands_[i] = value;
+  value->AddUse(this, i);
+}
+
+Function* Instruction::ParentFunction() const {
+  return parent_ == nullptr ? nullptr : parent_->parent();
+}
+
+bool Instruction::HasSideEffects() const {
+  switch (opcode_) {
+    case Opcode::kStore:
+    case Opcode::kCall:  // conservatively: callees may write memory or not return
+    case Opcode::kCheck:
+    case Opcode::kBr:
+    case Opcode::kRet:
+    case Opcode::kUnreachable:
+      return true;
+    case Opcode::kAlloca:
+      // Allocas carry storage identity; dropping one with uses is handled via
+      // use-lists, but an unused alloca is genuinely dead.
+      return false;
+    default:
+      return false;
+  }
+}
+
+bool Instruction::IsSafeToSpeculate() const {
+  switch (opcode_) {
+    case Opcode::kUDiv:
+    case Opcode::kSDiv:
+    case Opcode::kURem:
+    case Opcode::kSRem: {
+      // Division is speculatable only when the divisor is a non-zero constant.
+      const auto* rhs = DynCast<ConstantInt>(Operand(1));
+      return rhs != nullptr && !rhs->IsZero();
+    }
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kLShr:
+    case Opcode::kAShr:
+    case Opcode::kICmp:
+    case Opcode::kSelect:
+    case Opcode::kZExt:
+    case Opcode::kSExt:
+    case Opcode::kTrunc:
+    case Opcode::kGep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Instruction::IsSpeculatableOrLoad() const {
+  return IsSafeToSpeculate() || opcode_ == Opcode::kLoad;
+}
+
+void Instruction::EraseFromParent() {
+  OVERIFY_ASSERT(parent_ != nullptr, "instruction has no parent");
+  OVERIFY_ASSERT(!HasUses(), "erasing an instruction that still has uses");
+  parent_->Erase(this);
+}
+
+std::unique_ptr<Instruction> Instruction::RemoveFromParent() {
+  OVERIFY_ASSERT(parent_ != nullptr, "instruction has no parent");
+  return parent_->Remove(this);
+}
+
+AllocaInst::AllocaInst(IRContext& ctx, Type* allocated_type)
+    : Instruction(Opcode::kAlloca, ctx.PtrTy(allocated_type), {}),
+      allocated_type_(allocated_type) {}
+
+LoadInst::LoadInst(Value* pointer)
+    : Instruction(Opcode::kLoad, pointer->type()->pointee(), {pointer}) {
+  OVERIFY_ASSERT(pointer->type()->IsPointer(), "load requires pointer operand");
+}
+
+StoreInst::StoreInst(IRContext& ctx, Value* value, Value* pointer)
+    : Instruction(Opcode::kStore, ctx.VoidTy(), {value, pointer}) {
+  OVERIFY_ASSERT(pointer->type()->IsPointer(), "store requires pointer operand");
+  OVERIFY_ASSERT(pointer->type()->pointee() == value->type(), "store type mismatch");
+}
+
+GepInst::GepInst(IRContext& ctx, Type* source_type, Value* base, std::vector<Value*> indices)
+    : Instruction(Opcode::kGep, ctx.PtrTy(ResolveType(source_type, indices)),
+                  [&] {
+                    std::vector<Value*> ops;
+                    ops.reserve(indices.size() + 1);
+                    ops.push_back(base);
+                    ops.insert(ops.end(), indices.begin(), indices.end());
+                    return ops;
+                  }()),
+      source_type_(source_type) {
+  OVERIFY_ASSERT(base->type()->IsPointer(), "gep requires pointer base");
+}
+
+Type* GepInst::ResolveType(Type* source_type, const std::vector<Value*>& indices) {
+  OVERIFY_ASSERT(!indices.empty(), "gep requires at least one index");
+  Type* current = source_type;
+  // The first index steps over whole source_type objects.
+  for (size_t i = 1; i < indices.size(); ++i) {
+    if (current->IsArray()) {
+      current = current->element();
+    } else if (current->IsStruct()) {
+      const auto* index = DynCast<ConstantInt>(indices[i]);
+      OVERIFY_ASSERT(index != nullptr, "struct gep index must be constant");
+      OVERIFY_ASSERT(index->value() < current->fields().size(), "struct gep index out of range");
+      current = current->fields()[static_cast<unsigned>(index->value())];
+    } else {
+      OVERIFY_UNREACHABLE("gep index into non-aggregate type");
+    }
+  }
+  return current;
+}
+
+BinaryInst::BinaryInst(Opcode opcode, Value* lhs, Value* rhs)
+    : Instruction(opcode, lhs->type(), {lhs, rhs}) {
+  OVERIFY_ASSERT(lhs->type() == rhs->type(), "binary operand type mismatch");
+  OVERIFY_ASSERT(lhs->type()->IsInt(), "binary op requires integer operands");
+}
+
+ICmpInst::ICmpInst(IRContext& ctx, ICmpPredicate pred, Value* lhs, Value* rhs)
+    : Instruction(Opcode::kICmp, ctx.I1(), {lhs, rhs}), predicate_(pred) {
+  OVERIFY_ASSERT(lhs->type() == rhs->type(), "icmp operand type mismatch");
+}
+
+SelectInst::SelectInst(Value* cond, Value* true_value, Value* false_value)
+    : Instruction(Opcode::kSelect, true_value->type(), {cond, true_value, false_value}) {
+  OVERIFY_ASSERT(cond->type()->IsBool(), "select condition must be i1");
+  OVERIFY_ASSERT(true_value->type() == false_value->type(), "select arm type mismatch");
+}
+
+CastInst::CastInst(Opcode opcode, Value* value, Type* dest_type)
+    : Instruction(opcode, dest_type, {value}) {
+  OVERIFY_ASSERT(value->type()->IsInt() && dest_type->IsInt(), "cast requires integer types");
+  if (opcode == Opcode::kTrunc) {
+    OVERIFY_ASSERT(dest_type->bits() < value->type()->bits(), "trunc must narrow");
+  } else {
+    OVERIFY_ASSERT(dest_type->bits() > value->type()->bits(), "ext must widen");
+  }
+}
+
+CallInst::CallInst(Function* callee, std::vector<Value*> args)
+    : Instruction(Opcode::kCall, callee->return_type(), std::move(args)), callee_(callee) {}
+
+PhiInst::PhiInst(Type* type) : Instruction(Opcode::kPhi, type, {}) {}
+
+void PhiInst::AddIncoming(Value* value, BasicBlock* block) {
+  OVERIFY_ASSERT(value->type() == type(), "phi incoming type mismatch");
+  unsigned index = static_cast<unsigned>(NumOperands());
+  // Grow the operand list manually to keep use bookkeeping consistent.
+  operands_ref().push_back(nullptr);
+  incoming_blocks_.push_back(block);
+  SetOperand(index, value);
+}
+
+Value* PhiInst::IncomingValueFor(const BasicBlock* block) const {
+  int index = IncomingIndexFor(block);
+  OVERIFY_ASSERT(index >= 0, "phi has no incoming entry for block");
+  return IncomingValue(static_cast<unsigned>(index));
+}
+
+int PhiInst::IncomingIndexFor(const BasicBlock* block) const {
+  for (size_t i = 0; i < incoming_blocks_.size(); ++i) {
+    if (incoming_blocks_[i] == block) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void PhiInst::RemoveIncoming(unsigned i) {
+  OVERIFY_ASSERT(i < NumIncoming(), "phi incoming index out of range");
+  // Shift operands down, maintaining use indices.
+  for (unsigned j = i; j + 1 < NumIncoming(); ++j) {
+    SetOperand(j, Operand(j + 1));
+    incoming_blocks_[j] = incoming_blocks_[j + 1];
+  }
+  unsigned last = static_cast<unsigned>(NumIncoming()) - 1;
+  UnregisterOperandUse(last);
+  operands_ref().pop_back();
+  incoming_blocks_.pop_back();
+}
+
+void PhiInst::ReplaceIncomingBlock(BasicBlock* from, BasicBlock* to) {
+  for (auto& block : incoming_blocks_) {
+    if (block == from) {
+      block = to;
+    }
+  }
+}
+
+CheckInst::CheckInst(IRContext& ctx, Value* cond, CheckKind check_kind, std::string message)
+    : Instruction(Opcode::kCheck, ctx.VoidTy(), {cond}),
+      check_kind_(check_kind),
+      message_(std::move(message)) {
+  OVERIFY_ASSERT(cond->type()->IsBool(), "check condition must be i1");
+}
+
+BranchInst::BranchInst(IRContext& ctx, BasicBlock* dest)
+    : Instruction(Opcode::kBr, ctx.VoidTy(), {}), true_dest_(dest), false_dest_(nullptr) {
+  OVERIFY_ASSERT(dest != nullptr, "branch requires destination");
+}
+
+BranchInst::BranchInst(IRContext& ctx, Value* cond, BasicBlock* true_dest,
+                       BasicBlock* false_dest)
+    : Instruction(Opcode::kBr, ctx.VoidTy(), {cond}),
+      true_dest_(true_dest),
+      false_dest_(false_dest) {
+  OVERIFY_ASSERT(cond->type()->IsBool(), "branch condition must be i1");
+  OVERIFY_ASSERT(true_dest != nullptr && false_dest != nullptr, "branch requires destinations");
+}
+
+void BranchInst::SetDest(unsigned i, BasicBlock* dest) {
+  OVERIFY_ASSERT(dest != nullptr, "null branch destination");
+  if (i == 0) {
+    true_dest_ = dest;
+  } else {
+    OVERIFY_ASSERT(i == 1 && IsConditional(), "bad branch destination index");
+    false_dest_ = dest;
+  }
+}
+
+void BranchInst::MakeUnconditional(BasicBlock* dest) {
+  OVERIFY_ASSERT(IsConditional(), "branch is already unconditional");
+  UnregisterOperandUse(0);
+  operands_ref().clear();
+  true_dest_ = dest;
+  false_dest_ = nullptr;
+}
+
+RetInst::RetInst(IRContext& ctx) : Instruction(Opcode::kRet, ctx.VoidTy(), {}) {}
+
+RetInst::RetInst(IRContext& ctx, Value* value)
+    : Instruction(Opcode::kRet, ctx.VoidTy(), {value}) {}
+
+UnreachableInst::UnreachableInst(IRContext& ctx)
+    : Instruction(Opcode::kUnreachable, ctx.VoidTy(), {}) {}
+
+std::unique_ptr<Instruction> Instruction::Clone(IRContext& ctx) const {
+  switch (opcode_) {
+    case Opcode::kAlloca:
+      return std::make_unique<AllocaInst>(ctx, Cast<AllocaInst>(this)->allocated_type());
+    case Opcode::kLoad:
+      return std::make_unique<LoadInst>(Operand(0));
+    case Opcode::kStore:
+      return std::make_unique<StoreInst>(ctx, Operand(0), Operand(1));
+    case Opcode::kGep: {
+      const auto* gep = Cast<GepInst>(this);
+      std::vector<Value*> indices;
+      for (unsigned i = 0; i < gep->NumIndices(); ++i) {
+        indices.push_back(gep->Index(i));
+      }
+      return std::make_unique<GepInst>(ctx, gep->source_type(), gep->base(), std::move(indices));
+    }
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kUDiv:
+    case Opcode::kSDiv:
+    case Opcode::kURem:
+    case Opcode::kSRem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kLShr:
+    case Opcode::kAShr:
+      return std::make_unique<BinaryInst>(opcode_, Operand(0), Operand(1));
+    case Opcode::kICmp:
+      return std::make_unique<ICmpInst>(ctx, Cast<ICmpInst>(this)->predicate(), Operand(0),
+                                        Operand(1));
+    case Opcode::kSelect:
+      return std::make_unique<SelectInst>(Operand(0), Operand(1), Operand(2));
+    case Opcode::kZExt:
+    case Opcode::kSExt:
+    case Opcode::kTrunc:
+      return std::make_unique<CastInst>(opcode_, Operand(0), type());
+    case Opcode::kCall: {
+      const auto* call = Cast<CallInst>(this);
+      return std::make_unique<CallInst>(call->callee(), call->operands());
+    }
+    case Opcode::kPhi: {
+      const auto* phi = Cast<PhiInst>(this);
+      auto clone = std::make_unique<PhiInst>(type());
+      for (unsigned i = 0; i < phi->NumIncoming(); ++i) {
+        clone->AddIncoming(phi->IncomingValue(i), phi->IncomingBlock(i));
+      }
+      return clone;
+    }
+    case Opcode::kCheck: {
+      const auto* check = Cast<CheckInst>(this);
+      return std::make_unique<CheckInst>(ctx, check->condition(), check->check_kind(),
+                                         check->message());
+    }
+    case Opcode::kBr: {
+      const auto* br = Cast<BranchInst>(this);
+      if (br->IsConditional()) {
+        return std::make_unique<BranchInst>(ctx, br->condition(), br->true_dest(),
+                                            br->false_dest());
+      }
+      return std::make_unique<BranchInst>(ctx, br->SingleDest());
+    }
+    case Opcode::kRet:
+      if (Cast<RetInst>(this)->HasValue()) {
+        return std::make_unique<RetInst>(ctx, Operand(0));
+      }
+      return std::make_unique<RetInst>(ctx);
+    case Opcode::kUnreachable:
+      return std::make_unique<UnreachableInst>(ctx);
+  }
+  OVERIFY_UNREACHABLE("bad opcode in Clone");
+}
+
+}  // namespace overify

@@ -1,0 +1,103 @@
+#include "src/ir/irbuilder.h"
+
+namespace overify {
+
+Instruction* IRBuilder::Insert(std::unique_ptr<Instruction> inst, const std::string& name) {
+  OVERIFY_ASSERT(block_ != nullptr, "no insertion point set");
+  if (!name.empty()) {
+    inst->set_name(name);
+  }
+  if (before_ != nullptr) {
+    return block_->InsertBefore(before_, std::move(inst));
+  }
+  OVERIFY_ASSERT(block_->Terminator() == nullptr, "inserting after a terminator");
+  return block_->Append(std::move(inst));
+}
+
+Value* IRBuilder::CreateAlloca(Type* type, const std::string& name) {
+  return Insert(std::make_unique<AllocaInst>(ctx_, type), name);
+}
+
+Value* IRBuilder::CreateLoad(Value* pointer, const std::string& name) {
+  return Insert(std::make_unique<LoadInst>(pointer), name);
+}
+
+void IRBuilder::CreateStore(Value* value, Value* pointer) {
+  Insert(std::make_unique<StoreInst>(ctx_, value, pointer), "");
+}
+
+Value* IRBuilder::CreateGep(Type* source_type, Value* base, std::vector<Value*> indices,
+                            const std::string& name) {
+  return Insert(std::make_unique<GepInst>(ctx_, source_type, base, std::move(indices)), name);
+}
+
+Value* IRBuilder::CreateBinary(Opcode opcode, Value* lhs, Value* rhs, const std::string& name) {
+  return Insert(std::make_unique<BinaryInst>(opcode, lhs, rhs), name);
+}
+
+Value* IRBuilder::CreateICmp(ICmpPredicate pred, Value* lhs, Value* rhs,
+                             const std::string& name) {
+  return Insert(std::make_unique<ICmpInst>(ctx_, pred, lhs, rhs), name);
+}
+
+Value* IRBuilder::CreateSelect(Value* cond, Value* true_value, Value* false_value,
+                               const std::string& name) {
+  return Insert(std::make_unique<SelectInst>(cond, true_value, false_value), name);
+}
+
+Value* IRBuilder::CreateCast(Opcode opcode, Value* value, Type* dest_type,
+                             const std::string& name) {
+  return Insert(std::make_unique<CastInst>(opcode, value, dest_type), name);
+}
+
+Value* IRBuilder::CreateIntResize(Value* value, Type* dest_type, bool is_signed,
+                                  const std::string& name) {
+  unsigned src_bits = value->type()->bits();
+  unsigned dst_bits = dest_type->bits();
+  if (src_bits == dst_bits) {
+    return value;
+  }
+  if (src_bits < dst_bits) {
+    return CreateCast(is_signed ? Opcode::kSExt : Opcode::kZExt, value, dest_type, name);
+  }
+  return CreateCast(Opcode::kTrunc, value, dest_type, name);
+}
+
+Value* IRBuilder::CreateCall(Function* callee, std::vector<Value*> args,
+                             const std::string& name) {
+  return Insert(std::make_unique<CallInst>(callee, std::move(args)), name);
+}
+
+PhiInst* IRBuilder::CreatePhi(Type* type, const std::string& name) {
+  OVERIFY_ASSERT(block_ != nullptr, "no insertion point set");
+  auto phi = std::make_unique<PhiInst>(type);
+  if (!name.empty()) {
+    phi->set_name(name);
+  }
+  // Phis always go at the head of the block, before existing non-phis.
+  PhiInst* raw = phi.get();
+  block_->InsertBefore(block_->FirstNonPhi(), std::move(phi));
+  return raw;
+}
+
+void IRBuilder::CreateCheck(Value* cond, CheckKind kind, std::string message) {
+  Insert(std::make_unique<CheckInst>(ctx_, cond, kind, std::move(message)), "");
+}
+
+void IRBuilder::CreateBr(BasicBlock* dest) {
+  Insert(std::make_unique<BranchInst>(ctx_, dest), "");
+}
+
+void IRBuilder::CreateCondBr(Value* cond, BasicBlock* true_dest, BasicBlock* false_dest) {
+  Insert(std::make_unique<BranchInst>(ctx_, cond, true_dest, false_dest), "");
+}
+
+void IRBuilder::CreateRet(Value* value) {
+  Insert(std::make_unique<RetInst>(ctx_, value), "");
+}
+
+void IRBuilder::CreateRetVoid() { Insert(std::make_unique<RetInst>(ctx_), ""); }
+
+void IRBuilder::CreateUnreachable() { Insert(std::make_unique<UnreachableInst>(ctx_), ""); }
+
+}  // namespace overify

@@ -1,0 +1,99 @@
+// IRBuilder: convenience layer for constructing instructions at an insertion
+// point. The builder performs no simplification — `-O0` output must stay as
+// naive as a non-optimizing compiler's, which is itself part of the paper's
+// experiment design.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ir/basic_block.h"
+#include "src/ir/context.h"
+#include "src/ir/instruction.h"
+#include "src/ir/module.h"
+
+namespace overify {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(module), ctx_(module.context()) {}
+
+  IRContext& ctx() { return ctx_; }
+  Module& module() { return module_; }
+
+  void SetInsertPoint(BasicBlock* block) {
+    block_ = block;
+    before_ = nullptr;
+  }
+  // Inserts before `inst` (which stays after everything newly created).
+  void SetInsertPoint(Instruction* inst) {
+    block_ = inst->parent();
+    before_ = inst;
+  }
+  BasicBlock* insert_block() const { return block_; }
+
+  // True once the current block has a terminator (no more insertion allowed
+  // at the end).
+  bool BlockTerminated() const { return block_ != nullptr && block_->Terminator() != nullptr; }
+
+  ConstantInt* Int(Type* type, uint64_t value) { return ctx_.GetInt(type, value); }
+  ConstantInt* I32Val(uint64_t value) { return ctx_.GetInt(ctx_.I32(), value); }
+  ConstantInt* I64Val(uint64_t value) { return ctx_.GetInt(ctx_.I64(), value); }
+  ConstantInt* I8Val(uint64_t value) { return ctx_.GetInt(ctx_.I8(), value); }
+  ConstantInt* Bool(bool value) { return ctx_.GetBool(value); }
+
+  Value* CreateAlloca(Type* type, const std::string& name = "");
+  Value* CreateLoad(Value* pointer, const std::string& name = "");
+  void CreateStore(Value* value, Value* pointer);
+  Value* CreateGep(Type* source_type, Value* base, std::vector<Value*> indices,
+                   const std::string& name = "");
+
+  Value* CreateBinary(Opcode opcode, Value* lhs, Value* rhs, const std::string& name = "");
+  Value* CreateAdd(Value* lhs, Value* rhs, const std::string& name = "") {
+    return CreateBinary(Opcode::kAdd, lhs, rhs, name);
+  }
+  Value* CreateSub(Value* lhs, Value* rhs, const std::string& name = "") {
+    return CreateBinary(Opcode::kSub, lhs, rhs, name);
+  }
+  Value* CreateMul(Value* lhs, Value* rhs, const std::string& name = "") {
+    return CreateBinary(Opcode::kMul, lhs, rhs, name);
+  }
+  Value* CreateAnd(Value* lhs, Value* rhs, const std::string& name = "") {
+    return CreateBinary(Opcode::kAnd, lhs, rhs, name);
+  }
+  Value* CreateOr(Value* lhs, Value* rhs, const std::string& name = "") {
+    return CreateBinary(Opcode::kOr, lhs, rhs, name);
+  }
+  Value* CreateXor(Value* lhs, Value* rhs, const std::string& name = "") {
+    return CreateBinary(Opcode::kXor, lhs, rhs, name);
+  }
+
+  Value* CreateICmp(ICmpPredicate pred, Value* lhs, Value* rhs, const std::string& name = "");
+  Value* CreateSelect(Value* cond, Value* true_value, Value* false_value,
+                      const std::string& name = "");
+  Value* CreateCast(Opcode opcode, Value* value, Type* dest_type, const std::string& name = "");
+  // Widens/narrows `value` to `dest_type` as needed; `is_signed` picks
+  // sext vs zext when widening. Returns `value` unchanged if same width.
+  Value* CreateIntResize(Value* value, Type* dest_type, bool is_signed,
+                         const std::string& name = "");
+
+  Value* CreateCall(Function* callee, std::vector<Value*> args, const std::string& name = "");
+  PhiInst* CreatePhi(Type* type, const std::string& name = "");
+  void CreateCheck(Value* cond, CheckKind kind, std::string message);
+
+  void CreateBr(BasicBlock* dest);
+  void CreateCondBr(Value* cond, BasicBlock* true_dest, BasicBlock* false_dest);
+  void CreateRet(Value* value);
+  void CreateRetVoid();
+  void CreateUnreachable();
+
+ private:
+  Instruction* Insert(std::unique_ptr<Instruction> inst, const std::string& name);
+
+  Module& module_;
+  IRContext& ctx_;
+  BasicBlock* block_ = nullptr;
+  Instruction* before_ = nullptr;
+};
+
+}  // namespace overify

@@ -1,0 +1,190 @@
+#include "src/ir/loop_info.h"
+
+#include <algorithm>
+
+#include "src/ir/cfg.h"
+
+namespace overify {
+
+bool Loop::Contains(const Loop* other) const {
+  while (other != nullptr) {
+    if (other == this) {
+      return true;
+    }
+    other = other->parent();
+  }
+  return false;
+}
+
+BasicBlock* Loop::Preheader() const {
+  BasicBlock* candidate = nullptr;
+  for (BasicBlock* pred : header_->Predecessors()) {
+    if (Contains(pred)) {
+      continue;
+    }
+    if (candidate != nullptr) {
+      return nullptr;  // multiple outside predecessors
+    }
+    candidate = pred;
+  }
+  if (candidate == nullptr) {
+    return nullptr;
+  }
+  // The preheader must branch only to the header.
+  std::vector<BasicBlock*> succs = candidate->Successors();
+  if (succs.size() != 1 || succs[0] != header_) {
+    return nullptr;
+  }
+  return candidate;
+}
+
+BasicBlock* Loop::Latch() const {
+  BasicBlock* candidate = nullptr;
+  for (BasicBlock* pred : header_->Predecessors()) {
+    if (!Contains(pred)) {
+      continue;
+    }
+    if (candidate != nullptr) {
+      return nullptr;
+    }
+    candidate = pred;
+  }
+  return candidate;
+}
+
+std::vector<BasicBlock*> Loop::ExitingBlocks() const {
+  std::vector<BasicBlock*> result;
+  for (BasicBlock* block : blocks_) {
+    for (BasicBlock* succ : block->Successors()) {
+      if (!Contains(succ)) {
+        result.push_back(block);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<BasicBlock*> Loop::ExitBlocks() const {
+  std::vector<BasicBlock*> result;
+  for (BasicBlock* block : blocks_) {
+    for (BasicBlock* succ : block->Successors()) {
+      if (!Contains(succ) &&
+          std::find(result.begin(), result.end(), succ) == result.end()) {
+        result.push_back(succ);
+      }
+    }
+  }
+  return result;
+}
+
+bool Loop::IsInvariant(const Value* value) const {
+  const auto* inst = DynCast<Instruction>(value);
+  if (inst == nullptr) {
+    return true;  // constants, arguments, globals
+  }
+  return !Contains(inst->parent());
+}
+
+LoopInfo::LoopInfo(Function& fn, DominatorTree& dom) {
+  auto preds = PredecessorMap(fn);
+
+  // Discover loops headers in post-order of the dominator relation by
+  // scanning RPO backwards: inner loops get created before outer ones merge
+  // them in.
+  const std::vector<BasicBlock*>& rpo = dom.ReversePostOrderBlocks();
+
+  for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+    BasicBlock* header = *it;
+    // Collect back edges into `header`.
+    std::vector<BasicBlock*> latches;
+    for (BasicBlock* pred : preds[header]) {
+      if (dom.Dominates(header, pred)) {
+        latches.push_back(pred);
+      }
+    }
+    if (latches.empty()) {
+      continue;
+    }
+
+    auto loop = std::make_unique<Loop>();
+    loop->header_ = header;
+    loop->blocks_.insert(header);
+
+    // Walk backwards from the latches to the header.
+    std::vector<BasicBlock*> worklist = latches;
+    while (!worklist.empty()) {
+      BasicBlock* block = worklist.back();
+      worklist.pop_back();
+      if (!loop->blocks_.insert(block).second) {
+        continue;
+      }
+      for (BasicBlock* pred : preds[block]) {
+        if (dom.IsReachable(pred)) {
+          worklist.push_back(pred);
+        }
+      }
+    }
+    loops_.push_back(std::move(loop));
+  }
+
+  // Establish nesting: loop A is a subloop of B if B contains A's header and
+  // A != B and B's block set is a superset. Innermost = smallest containing.
+  for (auto& inner : loops_) {
+    Loop* best = nullptr;
+    for (auto& outer : loops_) {
+      if (outer.get() == inner.get() || !outer->blocks_.count(inner->header_)) {
+        continue;
+      }
+      if (best == nullptr || best->blocks_.size() > outer->blocks_.size()) {
+        best = outer.get();
+      }
+    }
+    inner->parent_ = best;
+    if (best != nullptr) {
+      best->subloops_.push_back(inner.get());
+    } else {
+      top_level_.push_back(inner.get());
+    }
+  }
+
+  // Depths.
+  for (auto& loop : loops_) {
+    unsigned depth = 1;
+    for (Loop* p = loop->parent_; p != nullptr; p = p->parent_) {
+      ++depth;
+    }
+    loop->depth_ = depth;
+  }
+
+  // Innermost loop per block.
+  for (auto& loop : loops_) {
+    for (BasicBlock* block : loop->blocks_) {
+      auto it = innermost_.find(block);
+      if (it == innermost_.end() || it->second->blocks_.size() > loop->blocks_.size()) {
+        innermost_[block] = loop.get();
+      }
+    }
+  }
+}
+
+Loop* LoopInfo::LoopFor(BasicBlock* block) const {
+  auto it = innermost_.find(block);
+  return it == innermost_.end() ? nullptr : it->second;
+}
+
+std::vector<Loop*> LoopInfo::LoopsInnermostFirst() const {
+  std::vector<Loop*> result;
+  for (const auto& loop : loops_) {
+    result.push_back(loop.get());
+  }
+  std::sort(result.begin(), result.end(), [](const Loop* a, const Loop* b) {
+    if (a->depth() != b->depth()) {
+      return a->depth() > b->depth();
+    }
+    return a->blocks().size() < b->blocks().size();
+  });
+  return result;
+}
+
+}  // namespace overify

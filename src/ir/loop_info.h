@@ -1,0 +1,68 @@
+// Natural-loop detection from back edges in the dominator tree.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/ir/dominators.h"
+#include "src/ir/function.h"
+
+namespace overify {
+
+class Loop {
+ public:
+  BasicBlock* header() const { return header_; }
+  const std::set<BasicBlock*>& blocks() const { return blocks_; }
+  bool Contains(BasicBlock* block) const { return blocks_.count(block) != 0; }
+  bool Contains(const Loop* other) const;
+
+  Loop* parent() const { return parent_; }
+  const std::vector<Loop*>& subloops() const { return subloops_; }
+  unsigned depth() const { return depth_; }
+
+  // The unique pre-header (a block outside the loop whose only successor is
+  // the header and which is the header's only outside predecessor), or null.
+  BasicBlock* Preheader() const;
+  // The unique in-loop predecessor of the header (the latch), or null if
+  // there are several.
+  BasicBlock* Latch() const;
+  // Blocks inside the loop with a successor outside it.
+  std::vector<BasicBlock*> ExitingBlocks() const;
+  // Blocks outside the loop with a predecessor inside it.
+  std::vector<BasicBlock*> ExitBlocks() const;
+
+  // True if `value` is computed outside the loop (constants, arguments,
+  // globals, and instructions in non-loop blocks).
+  bool IsInvariant(const Value* value) const;
+
+ private:
+  friend class LoopInfo;
+  BasicBlock* header_ = nullptr;
+  std::set<BasicBlock*> blocks_;
+  Loop* parent_ = nullptr;
+  std::vector<Loop*> subloops_;
+  unsigned depth_ = 1;
+};
+
+class LoopInfo {
+ public:
+  LoopInfo(Function& fn, DominatorTree& dom);
+
+  // Outermost loops, in header reverse-postorder.
+  const std::vector<Loop*>& TopLevelLoops() const { return top_level_; }
+  // The innermost loop containing `block`, or null.
+  Loop* LoopFor(BasicBlock* block) const;
+  // All loops, innermost first (safe order for transformations).
+  std::vector<Loop*> LoopsInnermostFirst() const;
+
+  size_t NumLoops() const { return loops_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<Loop*> top_level_;
+  std::map<BasicBlock*, Loop*> innermost_;
+};
+
+}  // namespace overify

@@ -1,0 +1,84 @@
+#include "src/ir/module.h"
+
+namespace overify {
+
+Function* Module::CreateFunction(const std::string& name, Type* return_type,
+                                 std::vector<Type*> param_types) {
+  OVERIFY_ASSERT(GetFunction(name) == nullptr, "duplicate function name");
+  Type* fn_type = ctx_.FnTy(return_type, std::move(param_types));
+  auto fn = std::unique_ptr<Function>(new Function(ctx_.PtrTy(fn_type), fn_type, name, this));
+  Function* raw = fn.get();
+  functions_.push_back(std::move(fn));
+  return raw;
+}
+
+Function* Module::GetFunction(const std::string& name) const {
+  for (const auto& fn : functions_) {
+    if (fn->name() == name) {
+      return fn.get();
+    }
+  }
+  return nullptr;
+}
+
+void Module::EraseFunction(Function* fn) {
+  OVERIFY_ASSERT(!fn->HasUses(), "erasing function with remaining call sites");
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i].get() == fn) {
+      // Drop every inter-instruction reference first: values defined in one
+      // block may be used from another, so per-block teardown alone would
+      // trip the use-tracking assertions.
+      std::vector<BasicBlock*> blocks = fn->BlockList();
+      for (BasicBlock* block : blocks) {
+        block->DropAllReferences();
+      }
+      for (BasicBlock* block : blocks) {
+        fn->EraseBlock(block);
+      }
+      functions_.erase(functions_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+  OVERIFY_UNREACHABLE("function not in this module");
+}
+
+GlobalVariable* Module::CreateGlobal(const std::string& name, Type* value_type, bool is_const,
+                                     std::vector<uint8_t> initializer) {
+  OVERIFY_ASSERT(GetGlobal(name) == nullptr, "duplicate global name");
+  if (initializer.empty()) {
+    initializer.resize(value_type->SizeInBytes(), 0);
+  }
+  OVERIFY_ASSERT(initializer.size() == value_type->SizeInBytes(),
+                 "global initializer size mismatch");
+  auto global = std::unique_ptr<GlobalVariable>(new GlobalVariable(
+      ctx_.PtrTy(value_type), value_type, name, is_const, std::move(initializer)));
+  GlobalVariable* raw = global.get();
+  globals_.push_back(std::move(global));
+  return raw;
+}
+
+GlobalVariable* Module::CreateStringGlobal(const std::string& name, const std::string& text) {
+  std::vector<uint8_t> bytes(text.begin(), text.end());
+  bytes.push_back(0);
+  Type* type = ctx_.ArrayTy(ctx_.I8(), bytes.size());
+  return CreateGlobal(name, type, /*is_const=*/true, std::move(bytes));
+}
+
+GlobalVariable* Module::GetGlobal(const std::string& name) const {
+  for (const auto& global : globals_) {
+    if (global->name() == name) {
+      return global.get();
+    }
+  }
+  return nullptr;
+}
+
+size_t Module::InstructionCount() const {
+  size_t count = 0;
+  for (const auto& fn : functions_) {
+    count += fn->InstructionCount();
+  }
+  return count;
+}
+
+}  // namespace overify

@@ -1,0 +1,55 @@
+// Module: a translation unit — functions plus global variables plus the
+// IRContext that owns their types and constants.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/constant.h"
+#include "src/ir/context.h"
+#include "src/ir/function.h"
+
+namespace overify {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+  IRContext& context() { return ctx_; }
+
+  // Creates a function with the given signature. A function body is added by
+  // creating blocks; a body-less function is a declaration (external).
+  Function* CreateFunction(const std::string& name, Type* return_type,
+                           std::vector<Type*> param_types);
+  Function* GetFunction(const std::string& name) const;
+  // Unlinks and destroys a function. It must have no remaining call sites.
+  void EraseFunction(Function* fn);
+
+  GlobalVariable* CreateGlobal(const std::string& name, Type* value_type, bool is_const,
+                               std::vector<uint8_t> initializer);
+  // Convenience: a NUL-terminated constant i8 array from `text`.
+  GlobalVariable* CreateStringGlobal(const std::string& name, const std::string& text);
+  GlobalVariable* GetGlobal(const std::string& name) const;
+
+  const std::vector<std::unique_ptr<Function>>& functions() const { return functions_; }
+  const std::vector<std::unique_ptr<GlobalVariable>>& globals() const { return globals_; }
+
+  // Total instruction count across all function bodies.
+  size_t InstructionCount() const;
+
+ private:
+  std::string name_;
+  IRContext ctx_;
+  // Functions are declared last so they are destroyed first: instructions
+  // drop their uses of globals and interned constants during teardown, so
+  // globals_ and ctx_ must still be alive at that point.
+  std::vector<std::unique_ptr<GlobalVariable>> globals_;
+  std::vector<std::unique_ptr<Function>> functions_;
+};
+
+}  // namespace overify

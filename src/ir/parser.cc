@@ -1,0 +1,1104 @@
+#include "src/ir/parser.h"
+
+#include <cstdio>
+#include <map>
+
+#include "src/support/assert.h"
+#include "src/support/string_utils.h"
+
+namespace overify {
+
+namespace {
+
+enum class Tok {
+  kEof,
+  kIdent,    // bare identifier (keywords included)
+  kLocal,    // %name
+  kGlobal,   // @name
+  kNumber,   // integer literal (possibly negative)
+  kString,   // "..."
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kColon,
+  kEquals,
+  kStar,
+  kArrow,    // ->
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  int64_t number = 0;
+  SourceLoc loc;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text, DiagnosticEngine& diags)
+      : text_(text), diags_(diags) {}
+
+  Token Next() {
+    SkipWhitespaceAndComments();
+    Token tok;
+    tok.loc = Loc();
+    if (pos_ >= text_.size()) {
+      tok.kind = Tok::kEof;
+      return tok;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '(':
+        ++pos_;
+        tok.kind = Tok::kLParen;
+        return tok;
+      case ')':
+        ++pos_;
+        tok.kind = Tok::kRParen;
+        return tok;
+      case '{':
+        ++pos_;
+        tok.kind = Tok::kLBrace;
+        return tok;
+      case '}':
+        ++pos_;
+        tok.kind = Tok::kRBrace;
+        return tok;
+      case '[':
+        ++pos_;
+        tok.kind = Tok::kLBracket;
+        return tok;
+      case ']':
+        ++pos_;
+        tok.kind = Tok::kRBracket;
+        return tok;
+      case ',':
+        ++pos_;
+        tok.kind = Tok::kComma;
+        return tok;
+      case ':':
+        ++pos_;
+        tok.kind = Tok::kColon;
+        return tok;
+      case '=':
+        ++pos_;
+        tok.kind = Tok::kEquals;
+        return tok;
+      case '*':
+        ++pos_;
+        tok.kind = Tok::kStar;
+        return tok;
+      default:
+        break;
+    }
+    if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+      pos_ += 2;
+      tok.kind = Tok::kArrow;
+      return tok;
+    }
+    if (c == '%' || c == '@') {
+      ++pos_;
+      tok.kind = (c == '%') ? Tok::kLocal : Tok::kGlobal;
+      tok.text = LexIdentBody();
+      if (tok.text.empty()) {
+        diags_.Error(tok.loc, "expected name after sigil");
+      }
+      return tok;
+    }
+    if (c == '"') {
+      tok.kind = Tok::kString;
+      tok.text = LexString();
+      return tok;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      tok.kind = Tok::kNumber;
+      size_t start = pos_;
+      if (c == '-') {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      tok.number = std::stoll(text_.substr(start, pos_ - start));
+      return tok;
+    }
+    if (IsIdentChar(c)) {
+      tok.kind = Tok::kIdent;
+      tok.text = LexIdentBody();
+      return tok;
+    }
+    diags_.Error(tok.loc, StrFormat("unexpected character '%c'", c));
+    ++pos_;
+    return Next();
+  }
+
+ private:
+  static bool IsIdentChar(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '_' || c == '.';
+  }
+
+  std::string LexIdentBody() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::string LexString() {
+    OVERIFY_ASSERT(text_[pos_] == '"', "not a string");
+    ++pos_;
+    std::string result;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        result += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case 'n':
+          result += '\n';
+          break;
+        case 't':
+          result += '\t';
+          break;
+        case 'r':
+          result += '\r';
+          break;
+        case '0':
+          result += '\0';
+          break;
+        case '\\':
+          result += '\\';
+          break;
+        case '"':
+          result += '"';
+          break;
+        case 'x': {
+          int value = 0;
+          for (int i = 0; i < 2 && pos_ < text_.size(); ++i) {
+            char h = text_[pos_];
+            int digit;
+            if (h >= '0' && h <= '9') {
+              digit = h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              digit = h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              digit = h - 'A' + 10;
+            } else {
+              break;
+            }
+            value = value * 16 + digit;
+            ++pos_;
+          }
+          result += static_cast<char>(value);
+          break;
+        }
+        default:
+          result += esc;
+      }
+    }
+    if (pos_ < text_.size()) {
+      ++pos_;  // closing quote
+    }
+    return result;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '\n') {
+        ++pos_;
+        ++line_;
+        line_start_ = pos_;
+      } else if (c == ';') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  SourceLoc Loc() const {
+    return SourceLoc{static_cast<uint32_t>(line_),
+                     static_cast<uint32_t>(pos_ - line_start_ + 1)};
+  }
+
+  const std::string& text_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t line_start_ = 0;
+};
+
+class Parser {
+ public:
+  // Parsing runs in two passes over the same text: a prescan pass creates
+  // all globals and function signatures (so calls may reference functions
+  // defined later in the file), and the main pass fills in function bodies.
+  Parser(const std::string& text, DiagnosticEngine& diags, Module* module, bool prescan)
+      : lexer_(text, diags), diags_(diags), raw_module_(module), prescan_(prescan) {
+    Advance();
+  }
+
+  std::unique_ptr<Module> RunPrescan() {
+    std::string module_name = "module";
+    if (IsIdent("module")) {
+      Advance();
+      if (tok_.kind == Tok::kString) {
+        module_name = tok_.text;
+        Advance();
+      }
+    }
+    auto module = std::make_unique<Module>(module_name);
+    raw_module_ = module.get();
+    Loop();
+    if (diags_.HasErrors()) {
+      return nullptr;
+    }
+    return module;
+  }
+
+  bool RunMain() {
+    if (IsIdent("module")) {
+      Advance();
+      if (tok_.kind == Tok::kString) {
+        Advance();
+      }
+    }
+    Loop();
+    return !diags_.HasErrors();
+  }
+
+ private:
+  void Loop() {
+    while (tok_.kind != Tok::kEof && !diags_.HasErrors()) {
+      if (IsIdent("global")) {
+        ParseGlobal();
+      } else if (IsIdent("declare")) {
+        ParseDeclare();
+      } else if (IsIdent("func")) {
+        ParseFunction();
+      } else {
+        ErrorHere("expected 'global', 'declare' or 'func'");
+        break;
+      }
+    }
+  }
+
+  Module& module() { return *raw_module_; }
+
+  void Advance() { tok_ = lexer_.Next(); }
+
+  bool IsIdent(const char* text) const {
+    return tok_.kind == Tok::kIdent && tok_.text == text;
+  }
+
+  void ErrorHere(const std::string& message) {
+    if (!diags_.HasErrors()) {
+      diags_.Error(tok_.loc, message);
+    }
+  }
+
+  bool Expect(Tok kind, const char* what) {
+    if (tok_.kind != kind) {
+      ErrorHere(StrFormat("expected %s", what));
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  bool ExpectIdent(const char* text) {
+    if (!IsIdent(text)) {
+      ErrorHere(StrFormat("expected '%s'", text));
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  // type := void | iN | [N x type] | {type, ...} | type '*'*
+  Type* ParseType() {
+    IRContext& ctx = module().context();
+    Type* base = nullptr;
+    if (tok_.kind == Tok::kIdent) {
+      if (tok_.text == "void") {
+        base = ctx.VoidTy();
+        Advance();
+      } else if (tok_.text.size() >= 2 && tok_.text[0] == 'i') {
+        int bits = 0;
+        bool ok = true;
+        for (size_t i = 1; i < tok_.text.size(); ++i) {
+          if (tok_.text[i] < '0' || tok_.text[i] > '9') {
+            ok = false;
+            break;
+          }
+          bits = bits * 10 + (tok_.text[i] - '0');
+        }
+        if (ok && (bits == 1 || bits == 8 || bits == 16 || bits == 32 || bits == 64)) {
+          base = ctx.IntTy(static_cast<unsigned>(bits));
+          Advance();
+        }
+      }
+    } else if (tok_.kind == Tok::kLBracket) {
+      Advance();
+      if (tok_.kind != Tok::kNumber) {
+        ErrorHere("expected array length");
+        return ctx.I32();
+      }
+      uint64_t count = static_cast<uint64_t>(tok_.number);
+      Advance();
+      if (!ExpectIdent("x")) {
+        return ctx.I32();
+      }
+      Type* element = ParseType();
+      if (!Expect(Tok::kRBracket, "']'")) {
+        return ctx.I32();
+      }
+      base = ctx.ArrayTy(element, count);
+    } else if (tok_.kind == Tok::kLBrace) {
+      Advance();
+      std::vector<Type*> fields;
+      if (tok_.kind != Tok::kRBrace) {
+        fields.push_back(ParseType());
+        while (tok_.kind == Tok::kComma) {
+          Advance();
+          fields.push_back(ParseType());
+        }
+      }
+      if (!Expect(Tok::kRBrace, "'}'")) {
+        return ctx.I32();
+      }
+      base = ctx.StructTy(std::move(fields));
+    }
+    if (base == nullptr) {
+      ErrorHere("expected type");
+      return ctx.I32();
+    }
+    while (tok_.kind == Tok::kStar) {
+      Advance();
+      base = ctx.PtrTy(base);
+    }
+    return base;
+  }
+
+  static bool LooksLikeTypeStart(const Token& tok) {
+    if (tok.kind == Tok::kLBracket || tok.kind == Tok::kLBrace) {
+      return true;
+    }
+    if (tok.kind != Tok::kIdent) {
+      return false;
+    }
+    if (tok.text == "void") {
+      return true;
+    }
+    if (tok.text.size() >= 2 && tok.text[0] == 'i') {
+      for (size_t i = 1; i < tok.text.size(); ++i) {
+        if (tok.text[i] < '0' || tok.text[i] > '9') {
+          return false;
+        }
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void ParseGlobal() {
+    ExpectIdent("global");
+    if (tok_.kind != Tok::kGlobal) {
+      ErrorHere("expected @name");
+      return;
+    }
+    std::string name = tok_.text;
+    Advance();
+    if (!Expect(Tok::kColon, "':'")) {
+      return;
+    }
+    Type* type = ParseType();
+    bool is_const = false;
+    if (IsIdent("const")) {
+      is_const = true;
+      Advance();
+    }
+    if (!Expect(Tok::kEquals, "'='")) {
+      return;
+    }
+    std::vector<uint8_t> bytes;
+    if (tok_.kind == Tok::kString) {
+      bytes.assign(tok_.text.begin(), tok_.text.end());
+      Advance();
+    } else if (tok_.kind == Tok::kLBracket) {
+      Advance();
+      while (tok_.kind == Tok::kNumber) {
+        bytes.push_back(static_cast<uint8_t>(tok_.number));
+        Advance();
+        if (tok_.kind == Tok::kComma) {
+          Advance();
+        }
+      }
+      if (!Expect(Tok::kRBracket, "']'")) {
+        return;
+      }
+    } else {
+      ErrorHere("expected global initializer");
+      return;
+    }
+    if (bytes.size() != type->SizeInBytes()) {
+      ErrorHere(StrFormat("global @%s initializer has %zu bytes, type needs %llu", name.c_str(),
+                          bytes.size(), static_cast<unsigned long long>(type->SizeInBytes())));
+      return;
+    }
+    if (!prescan_) {
+      return;  // created during the prescan pass
+    }
+    if (module().GetGlobal(name) != nullptr) {
+      ErrorHere(StrFormat("duplicate global @%s", name.c_str()));
+      return;
+    }
+    module().CreateGlobal(name, type, is_const, std::move(bytes));
+  }
+
+  Function* GetOrCreateFunction(const std::string& name, Type* return_type,
+                                std::vector<Type*> params) {
+    Function* existing = module().GetFunction(name);
+    if (existing != nullptr) {
+      return existing;
+    }
+    return module().CreateFunction(name, return_type, std::move(params));
+  }
+
+  void ParseDeclare() {
+    ExpectIdent("declare");
+    if (tok_.kind != Tok::kGlobal) {
+      ErrorHere("expected @name");
+      return;
+    }
+    std::string name = tok_.text;
+    Advance();
+    if (!Expect(Tok::kLParen, "'('")) {
+      return;
+    }
+    std::vector<Type*> params;
+    if (tok_.kind != Tok::kRParen) {
+      params.push_back(ParseType());
+      while (tok_.kind == Tok::kComma) {
+        Advance();
+        params.push_back(ParseType());
+      }
+    }
+    if (!Expect(Tok::kRParen, "')'") || !Expect(Tok::kArrow, "'->'")) {
+      return;
+    }
+    Type* return_type = ParseType();
+    if (!prescan_) {
+      return;  // created during the prescan pass
+    }
+    if (module().GetFunction(name) != nullptr) {
+      ErrorHere(StrFormat("duplicate function @%s", name.c_str()));
+      return;
+    }
+    module().CreateFunction(name, return_type, std::move(params));
+  }
+
+  void ParseFunction() {
+    ExpectIdent("func");
+    if (tok_.kind != Tok::kGlobal) {
+      ErrorHere("expected @name");
+      return;
+    }
+    std::string name = tok_.text;
+    Advance();
+    if (!Expect(Tok::kLParen, "'('")) {
+      return;
+    }
+    std::vector<std::string> arg_names;
+    std::vector<Type*> params;
+    if (tok_.kind != Tok::kRParen) {
+      while (true) {
+        if (tok_.kind != Tok::kLocal) {
+          ErrorHere("expected %arg");
+          return;
+        }
+        arg_names.push_back(tok_.text);
+        Advance();
+        if (!Expect(Tok::kColon, "':'")) {
+          return;
+        }
+        params.push_back(ParseType());
+        if (tok_.kind != Tok::kComma) {
+          break;
+        }
+        Advance();
+      }
+    }
+    if (!Expect(Tok::kRParen, "')'") || !Expect(Tok::kArrow, "'->'")) {
+      return;
+    }
+    Type* return_type = ParseType();
+    if (prescan_) {
+      if (module().GetFunction(name) != nullptr) {
+        ErrorHere(StrFormat("duplicate function @%s", name.c_str()));
+        return;
+      }
+      module().CreateFunction(name, return_type, params);
+      // Skip the body; the main pass parses it.
+      if (!Expect(Tok::kLBrace, "'{'")) {
+        return;
+      }
+      int depth = 1;
+      while (depth > 0 && tok_.kind != Tok::kEof) {
+        if (tok_.kind == Tok::kLBrace) {
+          ++depth;
+        } else if (tok_.kind == Tok::kRBrace) {
+          --depth;
+        }
+        Advance();
+      }
+      return;
+    }
+    fn_ = module().GetFunction(name);
+    OVERIFY_ASSERT(fn_ != nullptr, "function missing after prescan");
+    values_.clear();
+    blocks_.clear();
+    pending_.clear();
+    label_order_.clear();
+    for (unsigned i = 0; i < fn_->NumArgs(); ++i) {
+      fn_->Arg(i)->set_name(arg_names[i]);
+      values_[arg_names[i]] = fn_->Arg(i);
+    }
+    if (!Expect(Tok::kLBrace, "'{'")) {
+      return;
+    }
+    current_block_ = nullptr;
+    while (tok_.kind != Tok::kRBrace && tok_.kind != Tok::kEof && !diags_.HasErrors()) {
+      ParseBlockLine();
+    }
+    Expect(Tok::kRBrace, "'}'");
+    if (!pending_.empty() && !diags_.HasErrors()) {
+      ErrorHere(StrFormat("undefined value %%%s referenced in @%s",
+                          pending_.begin()->first.c_str(), name.c_str()));
+    }
+    // On error paths the module outlives this parser; detach any leftover
+    // placeholders so module teardown does not touch freed memory.
+    for (auto& [pending_name, placeholder] : pending_) {
+      placeholder->ReplaceAllUsesWith(module().context().GetUndef(placeholder->type()));
+    }
+    pending_.clear();
+    if (!diags_.HasErrors()) {
+      // Blocks were created at first reference; restore textual label order
+      // so printing round-trips.
+      for (const auto& [block_name, block] : blocks_) {
+        if (block->empty()) {
+          diags_.Error(SourceLoc{}, StrFormat("undefined label %%%s in @%s", block_name.c_str(),
+                                              name.c_str()));
+        }
+      }
+      if (!diags_.HasErrors()) {
+        for (BasicBlock* block : label_order_) {
+          fn_->MoveBlockToEnd(block);
+        }
+      }
+    }
+    fn_ = nullptr;
+  }
+
+  BasicBlock* GetOrCreateBlock(const std::string& name) {
+    auto it = blocks_.find(name);
+    if (it != blocks_.end()) {
+      return it->second;
+    }
+    BasicBlock* block = fn_->CreateBlock(name);
+    blocks_[name] = block;
+    return block;
+  }
+
+  void DefineValue(const std::string& name, Value* value) {
+    if (values_.count(name) != 0) {
+      ErrorHere(StrFormat("redefinition of %%%s", name.c_str()));
+      return;
+    }
+    value->set_name(name);
+    values_[name] = value;
+    auto it = pending_.find(name);
+    if (it != pending_.end()) {
+      if (it->second->type() != value->type()) {
+        ErrorHere(StrFormat("type mismatch for forward reference %%%s", name.c_str()));
+        return;
+      }
+      it->second->ReplaceAllUsesWith(value);
+      pending_.erase(it);
+    }
+  }
+
+  // Resolves a %name reference of known type; creates a placeholder when the
+  // definition has not been seen yet (allowed only from phi operands).
+  Value* ResolveLocal(const std::string& name, Type* type, bool allow_forward) {
+    auto it = values_.find(name);
+    if (it != values_.end()) {
+      if (type != nullptr && it->second->type() != type) {
+        ErrorHere(StrFormat("value %%%s has unexpected type", name.c_str()));
+      }
+      return it->second;
+    }
+    if (!allow_forward || type == nullptr) {
+      ErrorHere(StrFormat("use of undefined value %%%s", name.c_str()));
+      return module().context().GetUndef(type != nullptr ? type : module().context().I32());
+    }
+    auto pending_it = pending_.find(name);
+    if (pending_it != pending_.end()) {
+      return pending_it->second.get();
+    }
+    auto placeholder = std::make_unique<PhiInst>(type);
+    Value* raw = placeholder.get();
+    pending_[name] = std::move(placeholder);
+    return raw;
+  }
+
+  // operand := %name | @name | TYPE (number | undef)
+  // `expected` may be null when the operand's type is self-evident.
+  Value* ParseOperand(Type* expected, bool allow_forward = false) {
+    IRContext& ctx = module().context();
+    if (tok_.kind == Tok::kLocal) {
+      std::string name = tok_.text;
+      Advance();
+      return ResolveLocal(name, expected, allow_forward);
+    }
+    if (tok_.kind == Tok::kGlobal) {
+      GlobalVariable* global = module().GetGlobal(tok_.text);
+      if (global == nullptr) {
+        ErrorHere(StrFormat("unknown global @%s", tok_.text.c_str()));
+        Advance();
+        return ctx.GetUndef(ctx.I32());
+      }
+      Advance();
+      return global;
+    }
+    if (LooksLikeTypeStart(tok_)) {
+      Type* type = ParseType();
+      if (IsIdent("undef")) {
+        Advance();
+        return ctx.GetUndef(type);
+      }
+      if (IsIdent("null")) {
+        Advance();
+        if (!type->IsPointer()) {
+          ErrorHere("null requires a pointer type");
+          return ctx.GetUndef(type);
+        }
+        return ctx.GetNull(type);
+      }
+      if (tok_.kind == Tok::kNumber) {
+        if (!type->IsInt()) {
+          ErrorHere("integer literal requires integer type");
+          return ctx.GetUndef(type);
+        }
+        ConstantInt* result = ctx.GetInt(type, static_cast<uint64_t>(tok_.number));
+        Advance();
+        return result;
+      }
+      ErrorHere("expected literal after type");
+      return ctx.GetUndef(type);
+    }
+    ErrorHere("expected operand");
+    return ctx.GetUndef(expected != nullptr ? expected : ctx.I32());
+  }
+
+  // Parses either a label line ("name:") or an instruction line.
+  void ParseBlockLine() {
+    if (tok_.kind == Tok::kIdent) {
+      // Could be a label: IDENT ':'.
+      // Distinguish from instructions: instruction mnemonics are also idents,
+      // so we peek for ':'. Save state by using the fact that labels are the
+      // only place IDENT is immediately followed by ':'.
+      std::string text = tok_.text;
+      if (IsLabelCandidate(text)) {
+        Advance();
+        if (tok_.kind == Tok::kColon) {
+          Advance();
+          current_block_ = GetOrCreateBlock(text);
+          label_order_.push_back(current_block_);
+          return;
+        }
+        // Not a label after all: it was an instruction mnemonic with no
+        // result. Parse it with the mnemonic already consumed.
+        ParseInstructionBody("", text);
+        return;
+      }
+    }
+    ParseInstruction();
+  }
+
+  static bool IsLabelCandidate(const std::string&) {
+    // Any identifier might be a label; we resolve via lookahead for ':'.
+    return true;
+  }
+
+  void ParseInstruction() {
+    std::string result_name;
+    if (tok_.kind == Tok::kLocal) {
+      result_name = tok_.text;
+      Advance();
+      if (!Expect(Tok::kEquals, "'='")) {
+        return;
+      }
+    }
+    if (tok_.kind != Tok::kIdent) {
+      ErrorHere("expected instruction mnemonic");
+      return;
+    }
+    std::string mnemonic = tok_.text;
+    Advance();
+    ParseInstructionBody(result_name, mnemonic);
+  }
+
+  void ParseInstructionBody(const std::string& result_name, const std::string& mnemonic) {
+    if (current_block_ == nullptr) {
+      ErrorHere("instruction outside a block");
+      return;
+    }
+    IRContext& ctx = module().context();
+    std::unique_ptr<Instruction> inst;
+
+    auto binary_op = [&](Opcode opcode) {
+      Value* lhs = ParseOperand(nullptr);
+      Expect(Tok::kComma, "','");
+      Value* rhs = ParseOperand(lhs->type());
+      if (!lhs->type()->IsInt() || lhs->type() != rhs->type()) {
+        ErrorHere("binary operand type mismatch");
+        return std::unique_ptr<Instruction>();
+      }
+      return std::unique_ptr<Instruction>(std::make_unique<BinaryInst>(opcode, lhs, rhs));
+    };
+
+    if (mnemonic == "alloca") {
+      Type* type = ParseType();
+      inst = std::make_unique<AllocaInst>(ctx, type);
+    } else if (mnemonic == "load") {
+      Value* ptr = ParseOperand(nullptr);
+      if (!ptr->type()->IsPointer()) {
+        ErrorHere("load requires pointer operand");
+        return;
+      }
+      inst = std::make_unique<LoadInst>(ptr);
+    } else if (mnemonic == "store") {
+      Value* value = ParseOperand(nullptr);
+      Expect(Tok::kComma, "','");
+      Value* ptr = ParseOperand(nullptr);
+      if (!ptr->type()->IsPointer() || ptr->type()->pointee() != value->type()) {
+        ErrorHere("store type mismatch");
+        return;
+      }
+      inst = std::make_unique<StoreInst>(ctx, value, ptr);
+    } else if (mnemonic == "gep") {
+      Type* source = ParseType();
+      Expect(Tok::kComma, "','");
+      Value* base = ParseOperand(nullptr);
+      std::vector<Value*> indices;
+      while (tok_.kind == Tok::kComma) {
+        Advance();
+        indices.push_back(ParseOperand(nullptr));
+      }
+      if (!base->type()->IsPointer() || indices.empty()) {
+        ErrorHere("malformed gep");
+        return;
+      }
+      inst = std::make_unique<GepInst>(ctx, source, base, std::move(indices));
+    } else if (mnemonic == "icmp") {
+      if (tok_.kind != Tok::kIdent) {
+        ErrorHere("expected icmp predicate");
+        return;
+      }
+      ICmpPredicate pred;
+      if (!ParsePredicate(tok_.text, pred)) {
+        ErrorHere(StrFormat("unknown predicate '%s'", tok_.text.c_str()));
+        return;
+      }
+      Advance();
+      Value* lhs = ParseOperand(nullptr);
+      Expect(Tok::kComma, "','");
+      Value* rhs = ParseOperand(lhs->type());
+      if (lhs->type() != rhs->type()) {
+        ErrorHere("icmp operand type mismatch");
+        return;
+      }
+      inst = std::make_unique<ICmpInst>(ctx, pred, lhs, rhs);
+    } else if (mnemonic == "select") {
+      Value* cond = ParseOperand(ctx.I1());
+      Expect(Tok::kComma, "','");
+      Value* tv = ParseOperand(nullptr);
+      Expect(Tok::kComma, "','");
+      Value* fv = ParseOperand(tv->type());
+      if (!cond->type()->IsBool() || tv->type() != fv->type()) {
+        ErrorHere("malformed select");
+        return;
+      }
+      inst = std::make_unique<SelectInst>(cond, tv, fv);
+    } else if (mnemonic == "zext" || mnemonic == "sext" || mnemonic == "trunc") {
+      Value* value = ParseOperand(nullptr);
+      if (!ExpectIdent("to")) {
+        return;
+      }
+      Type* dest = ParseType();
+      Opcode opcode = mnemonic == "zext"   ? Opcode::kZExt
+                      : mnemonic == "sext" ? Opcode::kSExt
+                                           : Opcode::kTrunc;
+      if (!value->type()->IsInt() || !dest->IsInt() ||
+          (opcode == Opcode::kTrunc ? dest->bits() >= value->type()->bits()
+                                    : dest->bits() <= value->type()->bits())) {
+        ErrorHere("malformed cast");
+        return;
+      }
+      inst = std::make_unique<CastInst>(opcode, value, dest);
+    } else if (mnemonic == "call") {
+      if (tok_.kind != Tok::kGlobal) {
+        ErrorHere("expected callee");
+        return;
+      }
+      Function* callee = module().GetFunction(tok_.text);
+      if (callee == nullptr) {
+        ErrorHere(StrFormat("unknown function @%s", tok_.text.c_str()));
+        return;
+      }
+      Advance();
+      Expect(Tok::kLParen, "'('");
+      std::vector<Value*> args;
+      if (tok_.kind != Tok::kRParen) {
+        args.push_back(ParseOperand(nullptr));
+        while (tok_.kind == Tok::kComma) {
+          Advance();
+          args.push_back(ParseOperand(nullptr));
+        }
+      }
+      Expect(Tok::kRParen, "')'");
+      const auto& params = callee->function_type()->params();
+      if (params.size() != args.size()) {
+        ErrorHere(StrFormat("wrong argument count for @%s", callee->name().c_str()));
+        return;
+      }
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i]->type() != params[i]) {
+          ErrorHere(StrFormat("argument %zu type mismatch for @%s", i, callee->name().c_str()));
+          return;
+        }
+      }
+      inst = std::make_unique<CallInst>(callee, std::move(args));
+    } else if (mnemonic == "phi") {
+      Type* type = ParseType();
+      auto phi = std::make_unique<PhiInst>(type);
+      while (tok_.kind == Tok::kLBracket) {
+        Advance();
+        Value* value = ParseOperand(type, /*allow_forward=*/true);
+        Expect(Tok::kComma, "','");
+        if (tok_.kind != Tok::kLocal) {
+          ErrorHere("expected %block in phi");
+          return;
+        }
+        BasicBlock* block = GetOrCreateBlock(tok_.text);
+        Advance();
+        Expect(Tok::kRBracket, "']'");
+        if (value->type() != type) {
+          ErrorHere("phi incoming type mismatch");
+          return;
+        }
+        phi->AddIncoming(value, block);
+        if (tok_.kind == Tok::kComma) {
+          Advance();
+        } else {
+          break;
+        }
+      }
+      inst = std::move(phi);
+    } else if (mnemonic == "check") {
+      Value* cond = ParseOperand(ctx.I1());
+      Expect(Tok::kComma, "','");
+      if (tok_.kind != Tok::kIdent) {
+        ErrorHere("expected check kind");
+        return;
+      }
+      CheckKind kind;
+      if (!ParseCheckKind(tok_.text, kind)) {
+        ErrorHere(StrFormat("unknown check kind '%s'", tok_.text.c_str()));
+        return;
+      }
+      Advance();
+      Expect(Tok::kComma, "','");
+      std::string message;
+      if (tok_.kind == Tok::kString) {
+        message = tok_.text;
+        Advance();
+      }
+      if (!cond->type()->IsBool()) {
+        ErrorHere("check condition must be i1");
+        return;
+      }
+      inst = std::make_unique<CheckInst>(ctx, cond, kind, std::move(message));
+    } else if (mnemonic == "br") {
+      if (IsIdent("label")) {
+        Advance();
+        if (tok_.kind != Tok::kLocal) {
+          ErrorHere("expected %block");
+          return;
+        }
+        BasicBlock* dest = GetOrCreateBlock(tok_.text);
+        Advance();
+        inst = std::make_unique<BranchInst>(ctx, dest);
+      } else {
+        Value* cond = ParseOperand(ctx.I1());
+        Expect(Tok::kComma, "','");
+        if (!ExpectIdent("label") || tok_.kind != Tok::kLocal) {
+          ErrorHere("expected label %block");
+          return;
+        }
+        BasicBlock* true_dest = GetOrCreateBlock(tok_.text);
+        Advance();
+        Expect(Tok::kComma, "','");
+        if (!ExpectIdent("label") || tok_.kind != Tok::kLocal) {
+          ErrorHere("expected label %block");
+          return;
+        }
+        BasicBlock* false_dest = GetOrCreateBlock(tok_.text);
+        Advance();
+        if (!cond->type()->IsBool()) {
+          ErrorHere("branch condition must be i1");
+          return;
+        }
+        inst = std::make_unique<BranchInst>(ctx, cond, true_dest, false_dest);
+      }
+    } else if (mnemonic == "ret") {
+      if (tok_.kind == Tok::kLocal || tok_.kind == Tok::kGlobal || LooksLikeTypeStart(tok_)) {
+        Value* value = ParseOperand(fn_->return_type()->IsVoid() ? nullptr : fn_->return_type());
+        inst = std::make_unique<RetInst>(ctx, value);
+      } else {
+        inst = std::make_unique<RetInst>(ctx);
+      }
+    } else if (mnemonic == "unreachable") {
+      inst = std::make_unique<UnreachableInst>(ctx);
+    } else {
+      Opcode opcode;
+      if (!ParseBinaryOpcode(mnemonic, opcode)) {
+        ErrorHere(StrFormat("unknown instruction '%s'", mnemonic.c_str()));
+        return;
+      }
+      inst = binary_op(opcode);
+    }
+
+    if (inst == nullptr) {
+      return;
+    }
+    Instruction* raw = inst.get();
+    if (raw->opcode() == Opcode::kPhi) {
+      current_block_->InsertBefore(current_block_->FirstNonPhi(), std::move(inst));
+    } else {
+      current_block_->Append(std::move(inst));
+    }
+    if (!result_name.empty()) {
+      if (raw->type()->IsVoid()) {
+        ErrorHere("void instruction cannot have a result name");
+        return;
+      }
+      DefineValue(result_name, raw);
+    }
+  }
+
+  static bool ParsePredicate(const std::string& text, ICmpPredicate& pred) {
+    static const std::map<std::string, ICmpPredicate> kMap = {
+        {"eq", ICmpPredicate::kEq},   {"ne", ICmpPredicate::kNe},
+        {"ult", ICmpPredicate::kULT}, {"ule", ICmpPredicate::kULE},
+        {"ugt", ICmpPredicate::kUGT}, {"uge", ICmpPredicate::kUGE},
+        {"slt", ICmpPredicate::kSLT}, {"sle", ICmpPredicate::kSLE},
+        {"sgt", ICmpPredicate::kSGT}, {"sge", ICmpPredicate::kSGE},
+    };
+    auto it = kMap.find(text);
+    if (it == kMap.end()) {
+      return false;
+    }
+    pred = it->second;
+    return true;
+  }
+
+  static bool ParseCheckKind(const std::string& text, CheckKind& kind) {
+    static const std::map<std::string, CheckKind> kMap = {
+        {"assert", CheckKind::kAssert},         {"bounds", CheckKind::kBounds},
+        {"div_by_zero", CheckKind::kDivByZero}, {"overflow", CheckKind::kOverflow},
+        {"null_deref", CheckKind::kNullDeref},  {"shift", CheckKind::kShift},
+    };
+    auto it = kMap.find(text);
+    if (it == kMap.end()) {
+      return false;
+    }
+    kind = it->second;
+    return true;
+  }
+
+  static bool ParseBinaryOpcode(const std::string& text, Opcode& opcode) {
+    static const std::map<std::string, Opcode> kMap = {
+        {"add", Opcode::kAdd},   {"sub", Opcode::kSub},   {"mul", Opcode::kMul},
+        {"udiv", Opcode::kUDiv}, {"sdiv", Opcode::kSDiv}, {"urem", Opcode::kURem},
+        {"srem", Opcode::kSRem}, {"and", Opcode::kAnd},   {"or", Opcode::kOr},
+        {"xor", Opcode::kXor},   {"shl", Opcode::kShl},   {"lshr", Opcode::kLShr},
+        {"ashr", Opcode::kAShr},
+    };
+    auto it = kMap.find(text);
+    if (it == kMap.end()) {
+      return false;
+    }
+    opcode = it->second;
+    return true;
+  }
+
+  Lexer lexer_;
+  DiagnosticEngine& diags_;
+  Token tok_;
+  // `pending_` placeholders may be referenced by instructions in `module_`,
+  // so the module must be destroyed first (declared after -> destroyed
+  // earlier) on error paths.
+  std::map<std::string, std::unique_ptr<PhiInst>> pending_;
+  Module* raw_module_ = nullptr;
+  bool prescan_ = false;
+  Function* fn_ = nullptr;
+  BasicBlock* current_block_ = nullptr;
+  std::map<std::string, Value*> values_;
+  std::map<std::string, BasicBlock*> blocks_;
+  std::vector<BasicBlock*> label_order_;
+};
+
+}  // namespace
+
+std::unique_ptr<Module> ParseModule(const std::string& text, DiagnosticEngine& diags) {
+  Parser prescan(text, diags, nullptr, /*prescan=*/true);
+  std::unique_ptr<Module> module = prescan.RunPrescan();
+  if (module == nullptr) {
+    return nullptr;
+  }
+  Parser main_pass(text, diags, module.get(), /*prescan=*/false);
+  if (!main_pass.RunMain()) {
+    return nullptr;
+  }
+  return module;
+}
+
+std::unique_ptr<Module> ParseModuleOrDie(const std::string& text) {
+  DiagnosticEngine diags;
+  std::unique_ptr<Module> module = ParseModule(text, diags);
+  if (module == nullptr) {
+    std::fprintf(stderr, "IR parse failed:\n%s\n", diags.ToString().c_str());
+    std::abort();
+  }
+  return module;
+}
+
+}  // namespace overify

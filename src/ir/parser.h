@@ -1,0 +1,23 @@
+// Parser for the textual VIR format emitted by src/ir/printer.h.
+//
+// Used pervasively in tests: pass behaviour is specified on IR snippets
+// written by hand, and printer/parser round-trip is itself a tested
+// invariant. Forward references are allowed only as phi incoming values
+// (which is where they occur in printed SSA).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/ir/module.h"
+#include "src/support/diagnostics.h"
+
+namespace overify {
+
+// Parses a module; returns null and fills `diags` on error.
+std::unique_ptr<Module> ParseModule(const std::string& text, DiagnosticEngine& diags);
+
+// Convenience for tests: parses and aborts with the diagnostics on error.
+std::unique_ptr<Module> ParseModuleOrDie(const std::string& text);
+
+}  // namespace overify

@@ -1,0 +1,286 @@
+#include "src/ir/printer.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/ir/cfg.h"
+#include "src/support/assert.h"
+#include "src/support/string_utils.h"
+
+namespace overify {
+
+namespace {
+
+// Blocks in an order where definitions always precede their non-phi uses
+// textually: reverse postorder (a dominator precedes everything it
+// dominates), with unreachable blocks appended in layout order.
+std::vector<BasicBlock*> PrintOrder(Function& fn) {
+  std::vector<BasicBlock*> order = ReversePostOrder(fn);
+  std::set<BasicBlock*> seen(order.begin(), order.end());
+  for (BasicBlock& block : fn) {
+    if (seen.count(&block) == 0) {
+      order.push_back(&block);
+    }
+  }
+  return order;
+}
+
+// Assigns stable, unique printed names to values and blocks within a function.
+class NameAssigner {
+ public:
+  explicit NameAssigner(Function& fn) {
+    for (unsigned i = 0; i < fn.NumArgs(); ++i) {
+      AssignValue(fn.Arg(i));
+    }
+    for (BasicBlock* block : PrintOrder(fn)) {
+      AssignBlock(block);
+      for (auto& inst : *block) {
+        if (!inst->type()->IsVoid()) {
+          AssignValue(inst.get());
+        }
+      }
+    }
+  }
+
+  std::string ValueName(const Value* v) const {
+    auto it = value_names_.find(v);
+    OVERIFY_ASSERT(it != value_names_.end(), "printing reference to value outside function");
+    return it->second;
+  }
+
+  std::string BlockName(const BasicBlock* block) const {
+    auto it = block_names_.find(block);
+    OVERIFY_ASSERT(it != block_names_.end(), "printing reference to unknown block");
+    return it->second;
+  }
+
+ private:
+  void AssignValue(const Value* v) {
+    std::string base = v->HasName() ? v->name() : StrFormat("t%u", next_temp_++);
+    value_names_[v] = Uniquify(base, used_value_names_);
+  }
+
+  void AssignBlock(const BasicBlock* block) {
+    std::string base = block->name().empty() ? "bb" : block->name();
+    block_names_[block] = Uniquify(base, used_block_names_);
+  }
+
+  static std::string Uniquify(const std::string& base, std::set<std::string>& used) {
+    std::string candidate = base;
+    int suffix = 1;
+    while (!used.insert(candidate).second) {
+      candidate = StrFormat("%s.%d", base.c_str(), suffix++);
+    }
+    return candidate;
+  }
+
+  std::map<const Value*, std::string> value_names_;
+  std::map<const BasicBlock*, std::string> block_names_;
+  std::set<std::string> used_value_names_;
+  std::set<std::string> used_block_names_;
+  unsigned next_temp_ = 0;
+};
+
+class FunctionPrinter {
+ public:
+  explicit FunctionPrinter(Function& fn) : fn_(fn), names_(fn) {}
+
+  void Print(std::ostream& os) {
+    os << "func @" << fn_.name() << "(";
+    for (unsigned i = 0; i < fn_.NumArgs(); ++i) {
+      if (i != 0) {
+        os << ", ";
+      }
+      os << "%" << names_.ValueName(fn_.Arg(i)) << ": " << fn_.Arg(i)->type()->ToString();
+    }
+    os << ") -> " << fn_.return_type()->ToString() << " {\n";
+    for (BasicBlock* block : PrintOrder(fn_)) {
+      os << names_.BlockName(block) << ":\n";
+      for (auto& inst : *block) {
+        os << "  ";
+        PrintInstruction(os, inst.get());
+        os << "\n";
+      }
+    }
+    os << "}\n";
+  }
+
+ private:
+  std::string Ref(const Value* v) const {
+    if (const auto* ci = DynCast<ConstantInt>(v)) {
+      return StrFormat("%s %lld", ci->type()->ToString().c_str(),
+                       static_cast<long long>(ci->SignedValue()));
+    }
+    if (Isa<UndefValue>(v)) {
+      return v->type()->ToString() + " undef";
+    }
+    if (Isa<NullValue>(v)) {
+      return v->type()->ToString() + " null";
+    }
+    if (const auto* g = DynCast<GlobalVariable>(v)) {
+      return "@" + g->name();
+    }
+    return "%" + names_.ValueName(v);
+  }
+
+  void PrintInstruction(std::ostream& os, const Instruction* inst) {
+    if (!inst->type()->IsVoid()) {
+      os << "%" << names_.ValueName(inst) << " = ";
+    }
+    switch (inst->opcode()) {
+      case Opcode::kAlloca:
+        os << "alloca " << Cast<AllocaInst>(inst)->allocated_type()->ToString();
+        return;
+      case Opcode::kLoad:
+        os << "load " << Ref(inst->Operand(0));
+        return;
+      case Opcode::kStore:
+        os << "store " << Ref(inst->Operand(0)) << ", " << Ref(inst->Operand(1));
+        return;
+      case Opcode::kGep: {
+        const auto* gep = Cast<GepInst>(inst);
+        os << "gep " << gep->source_type()->ToString() << ", " << Ref(gep->base());
+        for (unsigned i = 0; i < gep->NumIndices(); ++i) {
+          os << ", " << Ref(gep->Index(i));
+        }
+        return;
+      }
+      case Opcode::kICmp: {
+        const auto* cmp = Cast<ICmpInst>(inst);
+        os << "icmp " << PredicateName(cmp->predicate()) << " " << Ref(cmp->lhs()) << ", "
+           << Ref(cmp->rhs());
+        return;
+      }
+      case Opcode::kSelect:
+        os << "select " << Ref(inst->Operand(0)) << ", " << Ref(inst->Operand(1)) << ", "
+           << Ref(inst->Operand(2));
+        return;
+      case Opcode::kZExt:
+      case Opcode::kSExt:
+      case Opcode::kTrunc:
+        os << OpcodeName(inst->opcode()) << " " << Ref(inst->Operand(0)) << " to "
+           << inst->type()->ToString();
+        return;
+      case Opcode::kCall: {
+        const auto* call = Cast<CallInst>(inst);
+        os << "call @" << call->callee()->name() << "(";
+        for (unsigned i = 0; i < call->NumArgs(); ++i) {
+          if (i != 0) {
+            os << ", ";
+          }
+          os << Ref(call->Arg(i));
+        }
+        os << ")";
+        return;
+      }
+      case Opcode::kPhi: {
+        const auto* phi = Cast<PhiInst>(inst);
+        os << "phi " << phi->type()->ToString();
+        for (unsigned i = 0; i < phi->NumIncoming(); ++i) {
+          os << (i == 0 ? " " : ", ") << "[ " << Ref(phi->IncomingValue(i)) << ", %"
+             << names_.BlockName(phi->IncomingBlock(i)) << " ]";
+        }
+        return;
+      }
+      case Opcode::kCheck: {
+        const auto* check = Cast<CheckInst>(inst);
+        os << "check " << Ref(check->condition()) << ", " << CheckKindName(check->check_kind())
+           << ", \"" << EscapeString(check->message()) << "\"";
+        return;
+      }
+      case Opcode::kBr: {
+        const auto* br = Cast<BranchInst>(inst);
+        if (br->IsConditional()) {
+          os << "br " << Ref(br->condition()) << ", label %" << names_.BlockName(br->true_dest())
+             << ", label %" << names_.BlockName(br->false_dest());
+        } else {
+          os << "br label %" << names_.BlockName(br->SingleDest());
+        }
+        return;
+      }
+      case Opcode::kRet: {
+        const auto* ret = Cast<RetInst>(inst);
+        if (ret->HasValue()) {
+          os << "ret " << Ref(ret->value());
+        } else {
+          os << "ret";
+        }
+        return;
+      }
+      case Opcode::kUnreachable:
+        os << "unreachable";
+        return;
+      default:
+        // Binary operations.
+        OVERIFY_ASSERT(inst->IsBinaryOp(), "unhandled opcode in printer");
+        os << OpcodeName(inst->opcode()) << " " << Ref(inst->Operand(0)) << ", "
+           << Ref(inst->Operand(1));
+        return;
+    }
+  }
+
+  Function& fn_;
+  NameAssigner names_;
+};
+
+void PrintGlobal(std::ostream& os, const GlobalVariable& global) {
+  os << "global @" << global.name() << " : " << global.value_type()->ToString();
+  if (global.is_const()) {
+    os << " const";
+  }
+  Type* vt = global.value_type();
+  if (vt->IsArray() && vt->element()->IsInt(8)) {
+    std::string text(global.initializer().begin(), global.initializer().end());
+    os << " = \"" << EscapeString(text) << "\"";
+  } else {
+    os << " = [";
+    const auto& bytes = global.initializer();
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      if (i != 0) {
+        os << ", ";
+      }
+      os << static_cast<unsigned>(bytes[i]);
+    }
+    os << "]";
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string PrintFunction(Function& fn) {
+  std::ostringstream os;
+  if (fn.IsDeclaration()) {
+    os << "declare @" << fn.name() << "(";
+    const auto& params = fn.function_type()->params();
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i != 0) {
+        os << ", ";
+      }
+      os << params[i]->ToString();
+    }
+    os << ") -> " << fn.return_type()->ToString() << "\n";
+    return os.str();
+  }
+  FunctionPrinter(fn).Print(os);
+  return os.str();
+}
+
+std::string PrintModule(Module& module) {
+  std::ostringstream os;
+  os << "module \"" << module.name() << "\"\n\n";
+  for (const auto& global : module.globals()) {
+    PrintGlobal(os, *global);
+  }
+  if (!module.globals().empty()) {
+    os << "\n";
+  }
+  for (const auto& fn : module.functions()) {
+    os << PrintFunction(*fn);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace overify

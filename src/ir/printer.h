@@ -1,0 +1,14 @@
+// Textual VIR output. The format round-trips through the parser in
+// src/ir/parser.h; tests rely on Print(Parse(Print(m))) == Print(m).
+#pragma once
+
+#include <string>
+
+#include "src/ir/module.h"
+
+namespace overify {
+
+std::string PrintModule(Module& module);
+std::string PrintFunction(Function& fn);
+
+}  // namespace overify

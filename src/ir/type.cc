@@ -1,0 +1,143 @@
+#include "src/ir/type.h"
+
+#include <algorithm>
+
+#include "src/support/assert.h"
+#include "src/support/string_utils.h"
+
+namespace overify {
+
+unsigned Type::bits() const {
+  OVERIFY_ASSERT(IsInt(), "bits() on non-integer type");
+  return bits_;
+}
+
+Type* Type::pointee() const {
+  OVERIFY_ASSERT(IsPointer(), "pointee() on non-pointer type");
+  return pointee_;
+}
+
+Type* Type::element() const {
+  OVERIFY_ASSERT(IsArray(), "element() on non-array type");
+  return pointee_;
+}
+
+uint64_t Type::array_count() const {
+  OVERIFY_ASSERT(IsArray(), "array_count() on non-array type");
+  return array_count_;
+}
+
+const std::vector<Type*>& Type::fields() const {
+  OVERIFY_ASSERT(IsStruct(), "fields() on non-struct type");
+  return contained_;
+}
+
+Type* Type::return_type() const {
+  OVERIFY_ASSERT(IsFunction(), "return_type() on non-function type");
+  return return_type_;
+}
+
+const std::vector<Type*>& Type::params() const {
+  OVERIFY_ASSERT(IsFunction(), "params() on non-function type");
+  return contained_;
+}
+
+uint64_t Type::SizeInBytes() const {
+  switch (kind_) {
+    case Kind::kInt:
+      // i1 occupies one byte in memory, like a C bool.
+      return bits_ <= 8 ? 1 : bits_ / 8;
+    case Kind::kPointer:
+      return 8;
+    case Kind::kArray:
+      return array_count_ * pointee_->SizeInBytes();
+    case Kind::kStruct: {
+      uint64_t size = 0;
+      for (Type* field : contained_) {
+        uint64_t align = field->AlignInBytes();
+        size = (size + align - 1) / align * align;
+        size += field->SizeInBytes();
+      }
+      uint64_t align = AlignInBytes();
+      return (size + align - 1) / align * align;
+    }
+    case Kind::kVoid:
+    case Kind::kFunction:
+      OVERIFY_UNREACHABLE("SizeInBytes() on unsized type");
+  }
+  return 0;
+}
+
+uint64_t Type::AlignInBytes() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return bits_ <= 8 ? 1 : bits_ / 8;
+    case Kind::kPointer:
+      return 8;
+    case Kind::kArray:
+      return pointee_->AlignInBytes();
+    case Kind::kStruct: {
+      uint64_t align = 1;
+      for (Type* field : contained_) {
+        align = std::max(align, field->AlignInBytes());
+      }
+      return align;
+    }
+    case Kind::kVoid:
+    case Kind::kFunction:
+      OVERIFY_UNREACHABLE("AlignInBytes() on unsized type");
+  }
+  return 1;
+}
+
+uint64_t Type::FieldOffset(unsigned field_index) const {
+  OVERIFY_ASSERT(IsStruct(), "FieldOffset() on non-struct type");
+  OVERIFY_ASSERT(field_index < contained_.size(), "struct field index out of range");
+  uint64_t offset = 0;
+  for (unsigned i = 0; i <= field_index; ++i) {
+    uint64_t align = contained_[i]->AlignInBytes();
+    offset = (offset + align - 1) / align * align;
+    if (i == field_index) {
+      return offset;
+    }
+    offset += contained_[i]->SizeInBytes();
+  }
+  return offset;
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case Kind::kVoid:
+      return "void";
+    case Kind::kInt:
+      return StrFormat("i%u", bits_);
+    case Kind::kPointer:
+      return pointee_->ToString() + "*";
+    case Kind::kArray:
+      return StrFormat("[%llu x %s]", static_cast<unsigned long long>(array_count_),
+                       pointee_->ToString().c_str());
+    case Kind::kStruct: {
+      std::string s = "{";
+      for (size_t i = 0; i < contained_.size(); ++i) {
+        if (i != 0) {
+          s += ", ";
+        }
+        s += contained_[i]->ToString();
+      }
+      return s + "}";
+    }
+    case Kind::kFunction: {
+      std::string s = return_type_->ToString() + " (";
+      for (size_t i = 0; i < contained_.size(); ++i) {
+        if (i != 0) {
+          s += ", ";
+        }
+        s += contained_[i]->ToString();
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace overify

@@ -1,0 +1,66 @@
+// Types for the VIR intermediate representation.
+//
+// Types are immutable and interned by IRContext: pointer equality is type
+// equality. The layout model (sizes, alignments, struct field offsets) is
+// fixed to a 64-bit little-endian target so that the concrete interpreter and
+// the symbolic-execution memory model agree byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace overify {
+
+class Type {
+ public:
+  enum class Kind {
+    kVoid,
+    kInt,       // i1, i8, i16, i32, i64
+    kPointer,   // T*
+    kArray,     // [N x T]
+    kStruct,    // { T0, T1, ... } with natural alignment
+    kFunction,  // ret (params...)
+  };
+
+  Kind kind() const { return kind_; }
+
+  bool IsVoid() const { return kind_ == Kind::kVoid; }
+  bool IsInt() const { return kind_ == Kind::kInt; }
+  bool IsInt(unsigned bits) const { return IsInt() && bits_ == bits; }
+  bool IsBool() const { return IsInt(1); }
+  bool IsPointer() const { return kind_ == Kind::kPointer; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+  bool IsStruct() const { return kind_ == Kind::kStruct; }
+  bool IsFunction() const { return kind_ == Kind::kFunction; }
+  // Types a Value may have (loadable / SSA-register types).
+  bool IsFirstClass() const { return IsInt() || IsPointer(); }
+
+  unsigned bits() const;                        // kInt only
+  Type* pointee() const;                        // kPointer only
+  Type* element() const;                        // kArray only
+  uint64_t array_count() const;                 // kArray only
+  const std::vector<Type*>& fields() const;     // kStruct only
+  Type* return_type() const;                    // kFunction only
+  const std::vector<Type*>& params() const;     // kFunction only
+
+  // Layout queries. Valid for sized types (everything except void/function).
+  uint64_t SizeInBytes() const;
+  uint64_t AlignInBytes() const;
+  uint64_t FieldOffset(unsigned field_index) const;  // kStruct only
+
+  std::string ToString() const;
+
+ private:
+  friend class IRContext;
+  Type() = default;
+
+  Kind kind_ = Kind::kVoid;
+  unsigned bits_ = 0;
+  Type* pointee_ = nullptr;       // pointer pointee or array element
+  uint64_t array_count_ = 0;
+  std::vector<Type*> contained_;  // struct fields or function params
+  Type* return_type_ = nullptr;
+};
+
+}  // namespace overify

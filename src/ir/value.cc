@@ -1,0 +1,31 @@
+#include "src/ir/value.h"
+
+#include "src/ir/instruction.h"
+
+namespace overify {
+
+void Value::AddUse(Instruction* user, unsigned operand_index) {
+  uses_.push_back(Use{user, operand_index});
+}
+
+void Value::RemoveUse(Instruction* user, unsigned operand_index) {
+  for (size_t i = 0; i < uses_.size(); ++i) {
+    if (uses_[i].user == user && uses_[i].operand_index == operand_index) {
+      uses_[i] = uses_.back();
+      uses_.pop_back();
+      return;
+    }
+  }
+  OVERIFY_UNREACHABLE("RemoveUse: use not found");
+}
+
+void Value::ReplaceAllUsesWith(Value* replacement) {
+  OVERIFY_ASSERT(replacement != this, "RAUW with self");
+  // SetOperand mutates uses_, so drain from a copy.
+  std::vector<Use> uses = uses_;
+  for (const Use& use : uses) {
+    use.user->SetOperand(use.operand_index, replacement);
+  }
+}
+
+}  // namespace overify

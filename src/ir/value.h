@@ -1,0 +1,109 @@
+// Value: the base class of everything that can appear as an operand in VIR.
+//
+// Values track their uses explicitly (user instruction + operand index) so
+// passes can run ReplaceAllUsesWith and query dead-ness in O(uses).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/assert.h"
+
+namespace overify {
+
+class Type;
+class Instruction;
+
+enum class ValueKind {
+  kArgument,
+  kConstantInt,
+  kNull,
+  kUndef,
+  kGlobalVariable,
+  kFunction,
+  kInstruction,
+};
+
+struct Use {
+  Instruction* user = nullptr;
+  unsigned operand_index = 0;
+};
+
+class Value {
+ public:
+  virtual ~Value() = default;
+
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  ValueKind value_kind() const { return value_kind_; }
+  Type* type() const { return type_; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  bool HasName() const { return !name_.empty(); }
+
+  const std::vector<Use>& uses() const { return uses_; }
+  bool HasUses() const { return !uses_.empty(); }
+  size_t NumUses() const { return uses_.size(); }
+
+  // Rewrites every use of this value to use `replacement` instead.
+  void ReplaceAllUsesWith(Value* replacement);
+
+ protected:
+  Value(ValueKind kind, Type* type) : value_kind_(kind), type_(type) {}
+
+ private:
+  friend class Instruction;
+  void AddUse(Instruction* user, unsigned operand_index);
+  void RemoveUse(Instruction* user, unsigned operand_index);
+
+  ValueKind value_kind_;
+  Type* type_;
+  std::string name_;
+  std::vector<Use> uses_;
+};
+
+// A formal parameter of a Function.
+class Argument : public Value {
+ public:
+  Argument(Type* type, unsigned index) : Value(ValueKind::kArgument, type), index_(index) {}
+
+  unsigned index() const { return index_; }
+
+  static bool ClassOf(const Value* v) { return v->value_kind() == ValueKind::kArgument; }
+
+ private:
+  unsigned index_;
+};
+
+// LLVM-style casting helpers.
+template <typename T>
+bool Isa(const Value* v) {
+  return v != nullptr && T::ClassOf(v);
+}
+
+template <typename T>
+T* DynCast(Value* v) {
+  return Isa<T>(v) ? static_cast<T*>(v) : nullptr;
+}
+
+template <typename T>
+const T* DynCast(const Value* v) {
+  return Isa<T>(v) ? static_cast<const T*>(v) : nullptr;
+}
+
+template <typename T>
+T* Cast(Value* v) {
+  OVERIFY_ASSERT(Isa<T>(v), "invalid Cast<>");
+  return static_cast<T*>(v);
+}
+
+template <typename T>
+const T* Cast(const Value* v) {
+  OVERIFY_ASSERT(Isa<T>(v), "invalid Cast<>");
+  return static_cast<const T*>(v);
+}
+
+}  // namespace overify

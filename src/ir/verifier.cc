@@ -1,0 +1,270 @@
+#include "src/ir/verifier.h"
+
+#include <cstdio>
+#include <set>
+
+#include "src/ir/cfg.h"
+#include "src/ir/dominators.h"
+#include "src/support/string_utils.h"
+
+namespace overify {
+
+namespace {
+
+class FunctionVerifier {
+ public:
+  explicit FunctionVerifier(Function& fn) : fn_(fn) {}
+
+  std::vector<std::string> Run() {
+    if (fn_.IsDeclaration()) {
+      return {};
+    }
+    CheckBlocks();
+    CheckPhis();
+    CheckOperandScopes();
+    if (errors_.empty()) {
+      // Dominance checks require structurally sound IR.
+      CheckDominance();
+    }
+    return std::move(errors_);
+  }
+
+ private:
+  void Error(std::string message) {
+    errors_.push_back(StrFormat("%s: %s", fn_.name().c_str(), message.c_str()));
+  }
+
+  static std::string Describe(const Instruction* inst) {
+    return StrFormat("'%s'%s", OpcodeName(inst->opcode()),
+                     inst->HasName() ? (" %" + inst->name()).c_str() : "");
+  }
+
+  void CheckBlocks() {
+    for (BasicBlock& block : fn_) {
+      if (block.empty()) {
+        Error(StrFormat("block '%s' is empty", block.name().c_str()));
+        continue;
+      }
+      size_t index = 0;
+      bool seen_non_phi = false;
+      for (auto& inst : block) {
+        bool is_last = (index == block.size() - 1);
+        if (inst->IsTerminator() && !is_last) {
+          Error(StrFormat("block '%s' has a terminator before its end", block.name().c_str()));
+        }
+        if (is_last && !inst->IsTerminator()) {
+          Error(StrFormat("block '%s' does not end with a terminator", block.name().c_str()));
+        }
+        if (inst->opcode() == Opcode::kPhi) {
+          if (seen_non_phi) {
+            Error(StrFormat("phi after non-phi in block '%s'", block.name().c_str()));
+          }
+        } else {
+          seen_non_phi = true;
+        }
+        if (inst->parent() != &block) {
+          Error(StrFormat("instruction %s has wrong parent link", Describe(inst.get()).c_str()));
+        }
+        CheckInstructionTypes(inst.get());
+        ++index;
+      }
+    }
+    // Entry block must have no predecessors.
+    if (!fn_.entry()->Predecessors().empty()) {
+      Error("entry block has predecessors");
+    }
+    // Return types must match the signature.
+    for (BasicBlock& block : fn_) {
+      if (const auto* ret = DynCast<RetInst>(block.Terminator())) {
+        if (fn_.return_type()->IsVoid()) {
+          if (ret->HasValue()) {
+            Error("ret with value in void function");
+          }
+        } else if (!ret->HasValue()) {
+          Error("ret without value in non-void function");
+        } else if (ret->value()->type() != fn_.return_type()) {
+          Error("ret value type does not match function return type");
+        }
+      }
+    }
+  }
+
+  void CheckInstructionTypes(Instruction* inst) {
+    switch (inst->opcode()) {
+      case Opcode::kCall: {
+        auto* call = Cast<CallInst>(inst);
+        const auto& params = call->callee()->function_type()->params();
+        if (params.size() != call->NumArgs()) {
+          Error(StrFormat("call to @%s has %zu args, expected %zu",
+                          call->callee()->name().c_str(), call->NumArgs(), params.size()));
+          return;
+        }
+        for (unsigned i = 0; i < call->NumArgs(); ++i) {
+          if (call->Arg(i)->type() != params[i]) {
+            Error(StrFormat("call to @%s arg %u type mismatch", call->callee()->name().c_str(),
+                            i));
+          }
+        }
+        return;
+      }
+      case Opcode::kLoad:
+        if (!inst->Operand(0)->type()->IsPointer() ||
+            inst->Operand(0)->type()->pointee() != inst->type()) {
+          Error("load type mismatch");
+        }
+        if (!inst->type()->IsFirstClass()) {
+          Error("load of non-first-class type");
+        }
+        return;
+      case Opcode::kStore: {
+        Value* ptr = inst->Operand(1);
+        if (!ptr->type()->IsPointer() || ptr->type()->pointee() != inst->Operand(0)->type()) {
+          Error("store type mismatch");
+        }
+        if (!inst->Operand(0)->type()->IsFirstClass()) {
+          Error("store of non-first-class type");
+        }
+        return;
+      }
+      default:
+        return;  // remaining shapes are enforced by constructors
+    }
+  }
+
+  void CheckPhis() {
+    auto preds = PredecessorMap(fn_);
+    for (BasicBlock& block : fn_) {
+      const auto& block_preds = preds[&block];
+      for (PhiInst* phi : block.Phis()) {
+        std::set<BasicBlock*> incoming;
+        for (unsigned i = 0; i < phi->NumIncoming(); ++i) {
+          BasicBlock* in = phi->IncomingBlock(i);
+          if (!incoming.insert(in).second) {
+            Error(StrFormat("phi in '%s' has duplicate incoming block '%s'",
+                            block.name().c_str(), in->name().c_str()));
+          }
+        }
+        for (BasicBlock* pred : block_preds) {
+          if (incoming.count(pred) == 0) {
+            Error(StrFormat("phi in '%s' missing incoming for predecessor '%s'",
+                            block.name().c_str(), pred->name().c_str()));
+          }
+        }
+        for (BasicBlock* in : incoming) {
+          bool is_pred = false;
+          for (BasicBlock* pred : block_preds) {
+            if (pred == in) {
+              is_pred = true;
+              break;
+            }
+          }
+          if (!is_pred) {
+            Error(StrFormat("phi in '%s' has incoming from non-predecessor '%s'",
+                            block.name().c_str(), in->name().c_str()));
+          }
+        }
+      }
+    }
+  }
+
+  // Every operand that is an instruction/argument must belong to this
+  // function; branch targets must too.
+  void CheckOperandScopes() {
+    std::set<const Instruction*> owned;
+    std::set<const BasicBlock*> blocks;
+    for (BasicBlock& block : fn_) {
+      blocks.insert(&block);
+      for (auto& inst : block) {
+        owned.insert(inst.get());
+      }
+    }
+    for (BasicBlock& block : fn_) {
+      for (auto& inst : block) {
+        for (Value* op : inst->operands()) {
+          if (const auto* op_inst = DynCast<Instruction>(op)) {
+            if (owned.count(op_inst) == 0) {
+              Error(StrFormat("instruction %s uses a value from another function",
+                              Describe(inst.get()).c_str()));
+            }
+          } else if (const auto* arg = DynCast<Argument>(op)) {
+            bool mine = false;
+            for (unsigned i = 0; i < fn_.NumArgs(); ++i) {
+              if (fn_.Arg(i) == arg) {
+                mine = true;
+                break;
+              }
+            }
+            if (!mine) {
+              Error(StrFormat("instruction %s uses an argument of another function",
+                              Describe(inst.get()).c_str()));
+            }
+          }
+        }
+        if (const auto* br = DynCast<BranchInst>(inst.get())) {
+          if (blocks.count(br->true_dest()) == 0 ||
+              (br->IsConditional() && blocks.count(br->false_dest()) == 0)) {
+            Error("branch to block outside this function");
+          }
+        }
+        if (const auto* phi = DynCast<PhiInst>(inst.get())) {
+          for (unsigned i = 0; i < phi->NumIncoming(); ++i) {
+            if (blocks.count(phi->IncomingBlock(i)) == 0) {
+              Error("phi incoming block outside this function");
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void CheckDominance() {
+    DominatorTree dom(fn_);
+    for (BasicBlock& block : fn_) {
+      if (!dom.IsReachable(&block)) {
+        continue;  // values in unreachable code are exempt
+      }
+      for (auto& inst : block) {
+        for (unsigned i = 0; i < inst->NumOperands(); ++i) {
+          const auto* def = DynCast<Instruction>(inst->Operand(i));
+          if (def == nullptr || !dom.IsReachable(def->parent())) {
+            continue;
+          }
+          if (!dom.ValueDominatesUse(def, inst.get(), i)) {
+            Error(StrFormat("use of %s in %s does not satisfy dominance",
+                            Describe(def).c_str(), Describe(inst.get()).c_str()));
+          }
+        }
+      }
+    }
+  }
+
+  Function& fn_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> VerifyFunction(Function& fn) { return FunctionVerifier(fn).Run(); }
+
+std::vector<std::string> VerifyModule(Module& module) {
+  std::vector<std::string> errors;
+  for (const auto& fn : module.functions()) {
+    auto fn_errors = VerifyFunction(*fn);
+    errors.insert(errors.end(), fn_errors.begin(), fn_errors.end());
+  }
+  return errors;
+}
+
+void VerifyModuleOrDie(Module& module, const char* when) {
+  std::vector<std::string> errors = VerifyModule(module);
+  if (errors.empty()) {
+    return;
+  }
+  std::fprintf(stderr, "IR verification failed %s:\n", when);
+  for (const std::string& error : errors) {
+    std::fprintf(stderr, "  %s\n", error.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace overify

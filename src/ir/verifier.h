@@ -1,0 +1,19 @@
+// Structural IR verifier. Run after every pass in tests; returns all
+// violations found rather than stopping at the first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace overify {
+
+// Returns a list of human-readable violations; empty means the IR is valid.
+std::vector<std::string> VerifyFunction(Function& fn);
+std::vector<std::string> VerifyModule(Module& module);
+
+// Asserts validity; prints violations and aborts on failure.
+void VerifyModuleOrDie(Module& module, const char* when);
+
+}  // namespace overify

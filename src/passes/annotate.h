@@ -1,0 +1,38 @@
+// Program annotations ("Program annotations" row of Table 2).
+//
+// The paper argues compilers should preserve facts they compute — variable
+// ranges, loop trip counts — as metadata that verification tools consume for
+// free. This pass materializes such a side table; the symbolic-execution
+// engine uses it to answer branch-feasibility queries without invoking the
+// constraint solver.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/analysis/range_analysis.h"
+#include "src/passes/pass.h"
+
+namespace overify {
+
+struct ProgramAnnotations {
+  // Non-trivial value ranges (only entries narrower than the type's range).
+  std::map<const Value*, ValueRange> value_ranges;
+  // Compile-time trip counts, keyed by loop header block.
+  std::map<const BasicBlock*, uint64_t> trip_counts;
+
+  size_t size() const { return value_ranges.size() + trip_counts.size(); }
+};
+
+class AnnotatePass : public FunctionPass {
+ public:
+  explicit AnnotatePass(ProgramAnnotations* out) : out_(out) {}
+
+  const char* name() const override { return "annotate"; }
+  bool RunOnFunction(Function& fn) override;
+
+ private:
+  ProgramAnnotations* out_;
+};
+
+}  // namespace overify

@@ -1,0 +1,21 @@
+// Common subexpression elimination: a dominator-tree-scoped value-numbering
+// pass for pure operations, plus redundant-load elimination within basic
+// blocks (alias-checked).
+//
+// For verification this is more than a speed tweak: every eliminated
+// duplicate expression is one fewer symbolic term the constraint solver
+// sees, and duplicate loads of the same address are what make the
+// speculation discipline of if-conversion fire (§3).
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+class CsePass : public FunctionPass {
+ public:
+  const char* name() const override { return "cse"; }
+  bool RunOnFunction(Function& fn) override;
+};
+
+}  // namespace overify

@@ -1,0 +1,15 @@
+// Dead code elimination: removes side-effect-free instructions with no uses,
+// including cyclic dead phi webs.
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+class DcePass : public FunctionPass {
+ public:
+  const char* name() const override { return "dce"; }
+  bool RunOnFunction(Function& fn) override;
+};
+
+}  // namespace overify

@@ -1,0 +1,17 @@
+// Global dead-function elimination: removes functions unreachable from the
+// module's entry points ("umain"/"main"). Programs link the whole C library;
+// without this, every module drags along two dozen unused libc bodies that
+// dominate pass statistics and compile time.
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+class GlobalDcePass : public Pass {
+ public:
+  const char* name() const override { return "globaldce"; }
+  bool Run(Module& module) override;
+};
+
+}  // namespace overify

@@ -1,0 +1,40 @@
+// If-conversion: rewrites side-effect-free conditional diamonds/triangles
+// into straight-line code with selects (speculative execution).
+//
+// This is the transformation that turns Listing 1's loop body into
+// Listing 2's branch-free form. A CPU-oriented compiler applies it only when
+// a branch costs more than the speculated instructions (GCC's
+// `x &= -(test == 0)` example in §3); under -OVERIFY the branch cost is set
+// so high that every safe opportunity is taken, because each removed branch
+// halves the symbolic-execution path count at that point.
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+struct IfConvertOptions {
+  // Cost of a conditional branch. CPU-like: ~4; -OVERIFY: effectively
+  // infinite (paths are what a verifier pays for).
+  int branch_cost = 4;
+  // Cost charged per speculated instruction.
+  int instruction_cost = 1;
+  // Never speculate more than this many instructions per side.
+  size_t max_speculated = 64;
+  // Allow speculating loads (safe under the dominating-access discipline the
+  // frontend guarantees for locals/globals; disabled for CPU levels).
+  bool speculate_loads = false;
+};
+
+class IfConvertPass : public FunctionPass {
+ public:
+  explicit IfConvertPass(IfConvertOptions options) : options_(options) {}
+
+  const char* name() const override { return "ifconvert"; }
+  bool RunOnFunction(Function& fn) override;
+
+ private:
+  IfConvertOptions options_;
+};
+
+}  // namespace overify

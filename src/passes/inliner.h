@@ -1,0 +1,39 @@
+// Function inlining with a tunable cost threshold.
+//
+// -OSYMBEX "aggressively inlines functions in order to benefit from
+// simplifications due to function specialization" (§4). The same pass serves
+// -O2/-O3 with a CPU-oriented threshold and -OVERIFY with a much larger one
+// plus always-inline treatment of the linked C library.
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+struct InlinerOptions {
+  // Callees with at most this many instructions are inlined.
+  size_t callee_size_threshold = 40;
+  // Stop growing a caller beyond this many instructions.
+  size_t caller_size_cap = 6000;
+  // Treat functions marked is_libc() as always-inline regardless of size.
+  bool always_inline_libc = false;
+};
+
+class InlinerPass : public Pass {
+ public:
+  explicit InlinerPass(InlinerOptions options) : options_(options) {}
+
+  const char* name() const override { return "inline"; }
+  bool Run(Module& module) override;
+
+ private:
+  InlinerOptions options_;
+};
+
+// Inlines one call site unconditionally (used by the pass and by tests).
+// The callee must have a body. Returns false if the site cannot be inlined
+// (recursive callee is the caller itself is still allowed here; policy lives
+// in the pass).
+bool InlineCallSite(CallInst* call);
+
+}  // namespace overify

@@ -1,0 +1,19 @@
+// Instruction combining: constant folding plus algebraic simplification.
+//
+// The paper's "Constant propagation/folding, arithmetic simplifications" row:
+// marked "+" for both execution and verification — e.g. `x = input(); y = x;
+// x -= y;` must become `x = 0` so a range-reasoning verifier does not lose
+// precision (§3, "Instruction simplification").
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+class InstCombinePass : public FunctionPass {
+ public:
+  const char* name() const override { return "instcombine"; }
+  bool RunOnFunction(Function& fn) override;
+};
+
+}  // namespace overify

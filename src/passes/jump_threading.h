@@ -1,0 +1,16 @@
+// Jump threading: when a conditional branch jumps to a block whose own
+// condition is subsumed by the first one, the first branch is redirected
+// past the second ("turning two jumps into one", §3 of the paper).
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+class JumpThreadingPass : public FunctionPass {
+ public:
+  const char* name() const override { return "jumpthread"; }
+  bool RunOnFunction(Function& fn) override;
+};
+
+}  // namespace overify

@@ -1,0 +1,15 @@
+// Loop-invariant code motion: hoists side-effect-free loop-invariant
+// computations (and provably safe invariant loads) into the preheader.
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+class LicmPass : public FunctionPass {
+ public:
+  const char* name() const override { return "licm"; }
+  bool RunOnFunction(Function& fn) override;
+};
+
+}  // namespace overify

@@ -1,0 +1,31 @@
+// Full loop unrolling for loops with compile-time-computable trip counts.
+//
+// -OSYMBEX "removes loops from the program whenever possible, even if this
+// increases the program size" (§4): every removed loop eliminates a
+// symbolic-execution fork point per iteration. The CPU-oriented levels use a
+// small size budget instead.
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+struct UnrollOptions {
+  // Maximum trip count eligible for full unrolling.
+  uint64_t max_trip_count = 8;
+  // Maximum (trip count x loop size) growth allowed, in instructions.
+  size_t size_limit = 256;
+};
+
+class LoopUnrollPass : public FunctionPass {
+ public:
+  explicit LoopUnrollPass(UnrollOptions options) : options_(options) {}
+
+  const char* name() const override { return "unroll"; }
+  bool RunOnFunction(Function& fn) override;
+
+ private:
+  UnrollOptions options_;
+};
+
+}  // namespace overify

@@ -1,0 +1,43 @@
+// Loop canonicalization utilities shared by unswitch, unroll and LICM:
+// preheader insertion, dedicated exits, and LCSSA formation.
+#pragma once
+
+#include <optional>
+
+#include "src/ir/dominators.h"
+#include "src/ir/loop_info.h"
+
+namespace overify {
+
+// Ensures the loop has a preheader: a dedicated block outside the loop whose
+// single successor is the header and which is the header's only outside
+// predecessor. Returns it (creating one if needed). Invalidates analyses
+// when it mutates the CFG.
+BasicBlock* EnsurePreheader(Loop* loop);
+
+// Ensures every exit block of the loop has only in-loop predecessors, by
+// interposing fresh exit blocks where needed. Returns true if the CFG
+// changed.
+bool EnsureDedicatedExits(Loop* loop);
+
+// Rewrites uses of loop-defined values outside the loop to flow through phis
+// in the loop's exit blocks (LCSSA form). Requires dedicated exits. Returns
+// false if a use could not be rewritten (caller must then skip its
+// transformation); returns true on success (even if nothing needed fixing).
+bool FormLCSSA(Function& fn, Loop* loop);
+
+// A loop whose trip count the unroller can compute: a single-latch loop with
+// one exiting block (the header or the latch) conditioned on an induction
+// phi with constant start/step against a constant bound.
+struct TripCountInfo {
+  uint64_t trip_count = 0;       // number of body executions
+  PhiInst* induction = nullptr;  // the induction phi in the header
+  BasicBlock* exiting = nullptr;
+};
+
+// Computes the trip count by direct simulation of the exit condition,
+// bounded by `max_iterations`. Returns nullopt if the loop shape is not
+// recognized or the count exceeds the bound.
+std::optional<TripCountInfo> ComputeTripCount(Loop* loop, uint64_t max_iterations);
+
+}  // namespace overify

@@ -1,0 +1,19 @@
+// Promotes scalar allocas whose address does not escape into SSA registers
+// (pruned SSA construction via dominance frontiers).
+//
+// This is the paper's "Remove/split memory accesses" row: every promoted
+// alloca removes loads/stores the verifier would otherwise have to reason
+// about through its memory model.
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+class Mem2RegPass : public FunctionPass {
+ public:
+  const char* name() const override { return "mem2reg"; }
+  bool RunOnFunction(Function& fn) override;
+};
+
+}  // namespace overify

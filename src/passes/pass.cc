@@ -1,0 +1,34 @@
+#include "src/passes/pass.h"
+
+#include "src/ir/verifier.h"
+#include "src/support/stopwatch.h"
+
+namespace overify {
+
+bool FunctionPass::Run(Module& module) {
+  bool changed = false;
+  for (const auto& fn : module.functions()) {
+    if (fn->IsDeclaration()) {
+      continue;
+    }
+    changed |= RunOnFunction(*fn);
+  }
+  return changed;
+}
+
+bool PassManager::Run(Module& module) {
+  bool any_changed = false;
+  timings_.clear();
+  for (const auto& pass : passes_) {
+    Stopwatch watch;
+    bool changed = pass->Run(module);
+    timings_.push_back(Timing{pass->name(), watch.ElapsedSeconds(), changed});
+    any_changed |= changed;
+    if (verify_after_each_) {
+      VerifyModuleOrDie(module, pass->name());
+    }
+  }
+  return any_changed;
+}
+
+}  // namespace overify

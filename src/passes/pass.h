@@ -1,0 +1,56 @@
+// Pass interfaces and the pass manager.
+//
+// -OVERIFY (§3 of the paper) is "a set of compiler passes suitable for
+// verification tools" plus adjusted cost parameters; the pass manager is the
+// machinery that lets pipelines express exactly that.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace overify {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  // Returns true if the IR was modified.
+  virtual bool Run(Module& module) = 0;
+};
+
+// A pass that processes each function body independently.
+class FunctionPass : public Pass {
+ public:
+  bool Run(Module& module) final;
+  virtual bool RunOnFunction(Function& fn) = 0;
+};
+
+class PassManager {
+ public:
+  struct Timing {
+    std::string pass_name;
+    double seconds = 0;
+    bool changed = false;
+  };
+
+  // When true, the IR verifier runs after every pass and aborts on breakage.
+  explicit PassManager(bool verify_after_each = true)
+      : verify_after_each_(verify_after_each) {}
+
+  void Add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
+
+  // Runs all passes in order; returns true if any changed the module.
+  bool Run(Module& module);
+
+  const std::vector<Timing>& timings() const { return timings_; }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+  std::vector<Timing> timings_;
+  bool verify_after_each_;
+};
+
+}  // namespace overify

@@ -1,0 +1,69 @@
+// Optimization pipelines: the concrete meaning of -O0/-O1/-O2/-O3 and
+// -OVERIFY in this toolkit.
+//
+// Per §3 of the paper, -OVERIFY differs from -O3 in four ways, all visible
+// below: (1) pass selection (adds if-conversion, runtime checks,
+// annotations; drops nothing that helps verification), (2) cost parameters
+// (branch cost treated as enormous, inline threshold and unroll budget
+// enlarged), (3) preserved metadata (the annotations side table), and
+// (4) the C library flavor (chosen by the driver via `use_verify_libc`).
+#pragma once
+
+#include "src/passes/annotate.h"
+#include "src/passes/if_convert.h"
+#include "src/passes/inliner.h"
+#include "src/passes/loop_unroll.h"
+#include "src/passes/loop_unswitch.h"
+#include "src/passes/pass.h"
+#include "src/passes/runtime_checks.h"
+
+namespace overify {
+
+enum class OptLevel {
+  kO0,
+  kO1,
+  kO2,
+  kO3,
+  kOverify,  // the paper's -OVERIFY / -OSYMBEX prototype
+};
+
+const char* OptLevelName(OptLevel level);
+
+struct PipelineOptions {
+  OptLevel level = OptLevel::kO0;
+
+  // Component toggles (derived from the level, overridable for ablations).
+  bool mem2reg = false;
+  bool sroa = false;
+  bool instcombine = false;
+  bool cse = false;
+  bool licm = false;
+  bool inline_functions = false;
+  bool simplify_cfg = false;
+  bool jump_threading = false;
+  bool unswitch = false;
+  bool unroll = false;
+  bool if_convert = false;
+  bool runtime_checks = false;
+  bool annotate = false;
+
+  InlinerOptions inliner;
+  UnswitchOptions unswitcher;
+  UnrollOptions unroller;
+  IfConvertOptions if_converter;
+  RuntimeCheckOptions checker;
+
+  // Which C library flavor the driver links before optimizing.
+  bool use_verify_libc = false;
+
+  // Canonical settings for a level.
+  static PipelineOptions For(OptLevel level);
+};
+
+// Populates `pm` with the passes for `options`. `annotations` receives the
+// annotation side table when options.annotate is set (it must then outlive
+// the module's use; pass null to skip).
+void BuildPipeline(PassManager& pm, const PipelineOptions& options,
+                   ProgramAnnotations* annotations);
+
+}  // namespace overify

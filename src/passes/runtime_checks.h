@@ -1,0 +1,29 @@
+// Runtime check insertion ("Generate runtime checks" row of Table 2).
+//
+// Emits `check` instructions in front of trapping operations so that every
+// kind of illegal behaviour becomes one uniform failure the verifier looks
+// for (§3: "tools now only need to check for one type of failure").
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+struct RuntimeCheckOptions {
+  bool division = true;       // divisor != 0
+  bool shifts = true;         // shift amount < width
+  bool array_bounds = true;   // variable gep index within the array
+};
+
+class RuntimeCheckPass : public FunctionPass {
+ public:
+  explicit RuntimeCheckPass(RuntimeCheckOptions options) : options_(options) {}
+
+  const char* name() const override { return "checks"; }
+  bool RunOnFunction(Function& fn) override;
+
+ private:
+  RuntimeCheckOptions options_;
+};
+
+}  // namespace overify

@@ -1,0 +1,16 @@
+// CFG cleanup: folds constant branches, merges straight-line block chains,
+// forwards empty blocks, removes unreachable code, and simplifies
+// single-incoming phis. Runs after most structural passes.
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+class SimplifyCfgPass : public FunctionPass {
+ public:
+  const char* name() const override { return "simplifycfg"; }
+  bool RunOnFunction(Function& fn) override;
+};
+
+}  // namespace overify

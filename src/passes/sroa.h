@@ -1,0 +1,19 @@
+// Scalar replacement of aggregates: splits array/struct allocas that are
+// only accessed through constant indices into independent scalar allocas.
+//
+// Paper §3, "Instruction simplification": splitting large objects into
+// independent smaller objects reduces the opportunities for memory-access
+// aliasing that verification tools must otherwise reason about.
+#pragma once
+
+#include "src/passes/pass.h"
+
+namespace overify {
+
+class SroaPass : public FunctionPass {
+ public:
+  const char* name() const override { return "sroa"; }
+  bool RunOnFunction(Function& fn) override;
+};
+
+}  // namespace overify

@@ -1,0 +1,28 @@
+// Internal invariant checking for the overify toolkit.
+//
+// OVERIFY_ASSERT is active in all build types: the toolkit is a research
+// artifact whose correctness claims (path counts, bug preservation) depend on
+// IR invariants holding, so we never compile the checks out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace overify {
+
+[[noreturn]] inline void AssertFail(const char* cond, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "overify: assertion `%s` failed at %s:%d: %s\n", cond, file, line, msg);
+  std::abort();
+}
+
+}  // namespace overify
+
+#define OVERIFY_ASSERT(cond, msg)                                 \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::overify::AssertFail(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                             \
+  } while (0)
+
+#define OVERIFY_UNREACHABLE(msg) ::overify::AssertFail("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,47 @@
+#include "src/support/diagnostics.h"
+
+#include <sstream>
+
+namespace overify {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::Report(Severity severity, SourceLoc loc, std::string message) {
+  if (severity == Severity::kError) {
+    ++error_count_;
+  }
+  diagnostics_.push_back(Diagnostic{severity, loc, std::move(message)});
+}
+
+void DiagnosticEngine::Print(std::ostream& os) const {
+  for (const Diagnostic& diag : diagnostics_) {
+    os << SeverityName(diag.severity);
+    if (diag.loc.IsValid()) {
+      os << " " << diag.loc.line << ":" << diag.loc.col;
+    }
+    os << ": " << diag.message << "\n";
+  }
+}
+
+std::string DiagnosticEngine::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+void DiagnosticEngine::Clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace overify

@@ -1,0 +1,64 @@
+// Diagnostic reporting used by the MiniC frontend and the textual IR parser.
+//
+// A DiagnosticEngine collects diagnostics instead of printing them eagerly so
+// that library clients (tests, the driver) can inspect them programmatically.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace overify {
+
+// A position in a source buffer. Lines and columns are 1-based; 0 means unknown.
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t col = 0;
+
+  bool IsValid() const { return line != 0; }
+  bool operator==(const SourceLoc&) const = default;
+};
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+const char* SeverityName(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+};
+
+// Collects diagnostics for one compilation. Not thread-safe; one engine per
+// compilation pipeline.
+class DiagnosticEngine {
+ public:
+  void Report(Severity severity, SourceLoc loc, std::string message);
+  void Error(SourceLoc loc, std::string message) {
+    Report(Severity::kError, loc, std::move(message));
+  }
+  void Warning(SourceLoc loc, std::string message) {
+    Report(Severity::kWarning, loc, std::move(message));
+  }
+
+  bool HasErrors() const { return error_count_ > 0; }
+  size_t ErrorCount() const { return error_count_; }
+  const std::vector<Diagnostic>& Diagnostics() const { return diagnostics_; }
+
+  // Renders all diagnostics as "severity line:col: message" lines.
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  void Clear();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t error_count_ = 0;
+};
+
+}  // namespace overify

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random numbers (SplitMix64).
+//
+// Workload generators and randomized property tests need reproducible streams;
+// std::mt19937 seeding differences across standard libraries make golden
+// values brittle, so we carry our own tiny generator.
+#pragma once
+
+#include <cstdint>
+
+#include "src/support/assert.h"
+
+namespace overify {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform value in [0, bound).
+  uint64_t NextBelow(uint64_t bound) {
+    OVERIFY_ASSERT(bound > 0, "NextBelow bound must be positive");
+    return Next() % bound;
+  }
+
+  // Uniform value in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    OVERIFY_ASSERT(lo <= hi, "NextInRange requires lo <= hi");
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  bool NextBool() { return (Next() & 1) != 0; }
+
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace overify

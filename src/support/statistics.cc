@@ -1,0 +1,38 @@
+#include "src/support/statistics.h"
+
+namespace overify {
+
+StatisticsRegistry& StatisticsRegistry::Global() {
+  static StatisticsRegistry registry;
+  return registry;
+}
+
+void StatisticsRegistry::Add(const std::string& name, int64_t delta) {
+  counters_[name] += delta;
+}
+
+int64_t StatisticsRegistry::Get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, int64_t> StatisticsRegistry::Snapshot() const { return counters_; }
+
+void StatisticsRegistry::Reset() { counters_.clear(); }
+
+std::map<std::string, int64_t> SnapshotDelta(const std::map<std::string, int64_t>& before,
+                                             const std::map<std::string, int64_t>& after) {
+  std::map<std::string, int64_t> delta;
+  for (const auto& [name, value] : after) {
+    int64_t prev = 0;
+    if (auto it = before.find(name); it != before.end()) {
+      prev = it->second;
+    }
+    if (value != prev) {
+      delta[name] = value - prev;
+    }
+  }
+  return delta;
+}
+
+}  // namespace overify

@@ -1,0 +1,52 @@
+// A process-wide named-counter registry.
+//
+// Optimization passes bump counters such as "inline.functions_inlined" or
+// "unswitch.loops_unswitched"; the Table 3 benchmark snapshots the registry
+// before and after a pipeline run to report exactly the rows the paper does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace overify {
+
+class StatisticsRegistry {
+ public:
+  // The registry is a process-wide singleton: passes are constructed in many
+  // places and all contribute to one compile-session snapshot.
+  static StatisticsRegistry& Global();
+
+  void Add(const std::string& name, int64_t delta);
+  int64_t Get(const std::string& name) const;
+
+  // Snapshot of every counter, sorted by name.
+  std::map<std::string, int64_t> Snapshot() const;
+
+  void Reset();
+
+ private:
+  std::map<std::string, int64_t> counters_;
+};
+
+// Convenience handle bound to one counter name.
+class Statistic {
+ public:
+  explicit Statistic(std::string name) : name_(std::move(name)) {}
+
+  void operator+=(int64_t delta) { StatisticsRegistry::Global().Add(name_, delta); }
+  void operator++() { *this += 1; }
+  void operator++(int) { *this += 1; }
+  int64_t Value() const { return StatisticsRegistry::Global().Get(name_); }
+  const std::string& Name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+// Computes per-counter deltas between two snapshots (after - before).
+std::map<std::string, int64_t> SnapshotDelta(const std::map<std::string, int64_t>& before,
+                                             const std::map<std::string, int64_t>& after);
+
+}  // namespace overify

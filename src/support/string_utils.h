@@ -1,0 +1,27 @@
+// Small string helpers shared across the toolkit.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace overify {
+
+std::vector<std::string> SplitString(std::string_view text, char sep);
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+std::string_view TrimWhitespace(std::string_view text);
+
+// Formats like printf into a std::string. Annotated so the compiler checks
+// format arguments at every call site.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string StrFormat(const char* fmt, ...);
+
+// Escapes non-printable characters as C-style escapes (used by IR printers).
+std::string EscapeString(std::string_view text);
+
+// Formats a double with `digits` significant decimals, trimming trailing zeros.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace overify

@@ -1,0 +1,65 @@
+#include "src/support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/assert.h"
+
+namespace overify {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  OVERIFY_ASSERT(cells.size() <= header_.size(), "row has more cells than the table header");
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TextTable::AddSeparator() { pending_separator_ = true; }
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const Row& row : rows_) {
+    for (size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    os << "+";
+    for (size_t w : widths) {
+      os << std::string(w + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << " " << cells[i] << std::string(widths[i] - cells[i].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.separator_before) {
+      print_rule();
+    }
+    print_cells(row.cells);
+  }
+  print_rule();
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+}  // namespace overify

@@ -1,0 +1,37 @@
+// ASCII table rendering used by every benchmark harness so their output
+// mirrors the tables in the paper.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace overify {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds a row; missing cells render empty, extra cells are an error.
+  void AddRow(std::vector<std::string> cells);
+
+  // Inserts a horizontal rule before the next added row.
+  void AddSeparator();
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  size_t RowCount() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace overify

@@ -1,0 +1,98 @@
+// The symbolic-execution engine (the toolkit's KLEE substitute).
+//
+// Explores one path at a time: inputs are symbolic bytes, conditional
+// branches fork when both directions are feasible, and trapping operations
+// (division by zero, out-of-bounds access, failed checks) become bug reports
+// with concrete reproducing inputs from the solver's model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/passes/annotate.h"
+#include "src/symex/solver.h"
+#include "src/symex/state.h"
+
+namespace overify {
+
+enum class BugKind {
+  kDivByZero,
+  kOutOfBounds,
+  kNullDeref,
+  kCheckFailed,
+  kOverflow,
+  kUnreachable,
+  kAbort,
+  kEngineError,  // unsupported construct
+};
+
+const char* BugKindName(BugKind kind);
+
+struct BugReport {
+  BugKind kind = BugKind::kEngineError;
+  std::string message;
+  const Instruction* site = nullptr;
+  std::vector<uint8_t> example_input;  // one value per symbolic byte
+};
+
+struct SymexLimits {
+  uint64_t max_paths = 1 << 20;         // completed paths
+  uint64_t max_instructions = 1 << 28;  // total across all paths
+  uint64_t max_forks = 1 << 20;
+  double max_seconds = 3600.0;
+  uint64_t max_live_states = 1 << 16;
+};
+
+struct SymexResult {
+  bool exhausted = false;  // every path explored within the limits
+  uint64_t paths_completed = 0;
+  uint64_t paths_terminated = 0;  // killed: infeasible, bug, or limit
+  uint64_t instructions = 0;
+  uint64_t forks = 0;
+  uint64_t annotation_hits = 0;  // branch decisions settled by annotations
+  double wall_seconds = 0;
+  std::vector<BugReport> bugs;
+  SolverStats solver;
+
+  bool FoundBug(BugKind kind) const {
+    for (const BugReport& bug : bugs) {
+      if (bug.kind == kind) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+struct SymexOptions {
+  // Compiler-produced annotations; branch conditions they decide skip the
+  // solver entirely (§3 "Program annotations").
+  const ProgramAnnotations* annotations = nullptr;
+  // Search order for pending states: true = depth-first (default), false =
+  // breadth-first.
+  bool depth_first = true;
+};
+
+class SymbolicExecutor {
+ public:
+  SymbolicExecutor(Module& module, SymexOptions options = {});
+  ~SymbolicExecutor();
+
+  // Explores `entry` with `num_input_bytes` symbolic bytes. The entry
+  // function must take (u8* buffer, i32 length) — the buffer holds the
+  // symbolic bytes plus a guaranteed NUL terminator — or no arguments.
+  SymexResult Run(Function* entry, unsigned num_input_bytes, const SymexLimits& limits);
+  SymexResult Run(const std::string& entry_name, unsigned num_input_bytes,
+                  const SymexLimits& limits);
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  Module& module_;
+  SymexOptions options_;
+};
+
+}  // namespace overify

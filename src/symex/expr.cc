@@ -1,0 +1,750 @@
+#include "src/symex/expr.h"
+
+#include <tuple>
+
+#include "src/ir/constant.h"
+#include "src/ir/fold.h"
+
+namespace overify {
+
+namespace {
+
+Opcode ExprKindToOpcode(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kAdd:
+      return Opcode::kAdd;
+    case ExprKind::kSub:
+      return Opcode::kSub;
+    case ExprKind::kMul:
+      return Opcode::kMul;
+    case ExprKind::kUDiv:
+      return Opcode::kUDiv;
+    case ExprKind::kSDiv:
+      return Opcode::kSDiv;
+    case ExprKind::kURem:
+      return Opcode::kURem;
+    case ExprKind::kSRem:
+      return Opcode::kSRem;
+    case ExprKind::kAnd:
+      return Opcode::kAnd;
+    case ExprKind::kOr:
+      return Opcode::kOr;
+    case ExprKind::kXor:
+      return Opcode::kXor;
+    case ExprKind::kShl:
+      return Opcode::kShl;
+    case ExprKind::kLShr:
+      return Opcode::kLShr;
+    case ExprKind::kAShr:
+      return Opcode::kAShr;
+    default:
+      OVERIFY_UNREACHABLE("not a binary expr kind");
+  }
+}
+
+bool IsCommutativeExpr(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kAdd:
+    case ExprKind::kMul:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kXor:
+    case ExprKind::kEq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool ExprContext::Key::operator<(const Key& other) const {
+  return std::tie(kind, width, constant, symbol, a, b, c, extract_offset) <
+         std::tie(other.kind, other.width, other.constant, other.symbol, other.a, other.b,
+                  other.c, other.extract_offset);
+}
+
+ExprContext::ExprContext() {
+  true_ = Constant(1, 1);
+  false_ = Constant(0, 1);
+}
+
+const Expr* ExprContext::Intern(const Key& key) {
+  auto it = interned_.find(key);
+  if (it != interned_.end()) {
+    return it->second;
+  }
+  auto owned = std::unique_ptr<Expr>(new Expr());
+  Expr* e = owned.get();
+  e->kind_ = key.kind;
+  e->width_ = static_cast<uint8_t>(key.width);
+  e->constant_ = key.constant;
+  e->symbol_ = key.symbol;
+  e->a_ = key.a;
+  e->b_ = key.b;
+  e->c_ = key.c;
+  e->extract_offset_ = key.extract_offset;
+  e->id_ = next_id_++;
+  if (key.kind == ExprKind::kSymbol) {
+    e->support_.insert(key.symbol);
+  }
+  for (const Expr* child : {key.a, key.b, key.c}) {
+    if (child != nullptr) {
+      e->support_.insert(child->Support().begin(), child->Support().end());
+    }
+  }
+  exprs_.push_back(std::move(owned));
+  interned_[key] = e;
+  return e;
+}
+
+const Expr* ExprContext::Constant(uint64_t value, unsigned width) {
+  OVERIFY_ASSERT(width >= 1 && width <= 64, "bad width");
+  Key key{};
+  key.kind = ExprKind::kConstant;
+  key.width = width;
+  key.constant = TruncateToWidth(value, width);
+  return Intern(key);
+}
+
+const Expr* ExprContext::Symbol(unsigned index) {
+  auto it = symbols_.find(index);
+  if (it != symbols_.end()) {
+    return it->second;
+  }
+  Key key{};
+  key.kind = ExprKind::kSymbol;
+  key.width = 8;
+  key.symbol = index;
+  const Expr* e = Intern(key);
+  symbols_[index] = e;
+  return e;
+}
+
+const Expr* ExprContext::Binary(ExprKind kind, const Expr* a, const Expr* b) {
+  OVERIFY_ASSERT(a->width() == b->width(), "binary width mismatch");
+  unsigned width = a->width();
+
+  // Constant folding.
+  if (a->IsConstant() && b->IsConstant()) {
+    auto folded =
+        FoldBinary(ExprKindToOpcode(kind), width, a->constant_value(), b->constant_value());
+    if (folded.has_value()) {
+      return Constant(*folded, width);
+    }
+    // Trapping constant op: callers guard division/shift, so this indicates
+    // a miscompile upstream.
+    OVERIFY_UNREACHABLE("trapping constant operation reached expression builder");
+  }
+
+  // Canonical operand order for commutative kinds: constants to the right,
+  // otherwise order by id.
+  if (IsCommutativeExpr(kind)) {
+    if (a->IsConstant() || (!b->IsConstant() && b->id() < a->id())) {
+      std::swap(a, b);
+    }
+  }
+
+  // Identities.
+  if (b->IsConstant()) {
+    uint64_t c = b->constant_value();
+    switch (kind) {
+      case ExprKind::kAdd:
+      case ExprKind::kSub:
+      case ExprKind::kOr:
+      case ExprKind::kXor:
+      case ExprKind::kShl:
+      case ExprKind::kLShr:
+      case ExprKind::kAShr:
+        if (c == 0) {
+          return a;
+        }
+        break;
+      case ExprKind::kMul:
+        if (c == 0) {
+          return Constant(0, width);
+        }
+        if (c == 1) {
+          return a;
+        }
+        break;
+      case ExprKind::kUDiv:
+      case ExprKind::kSDiv:
+        if (c == 1) {
+          return a;
+        }
+        break;
+      case ExprKind::kAnd:
+        if (c == 0) {
+          return Constant(0, width);
+        }
+        if (c == TruncateToWidth(~uint64_t{0}, width)) {
+          return a;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (a == b) {
+    switch (kind) {
+      case ExprKind::kSub:
+      case ExprKind::kXor:
+        return Constant(0, width);
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+        return a;
+      default:
+        break;
+    }
+  }
+
+  Key key{};
+  key.kind = kind;
+  key.width = width;
+  key.a = a;
+  key.b = b;
+  return Intern(key);
+}
+
+const Expr* ExprContext::Compare(ICmpPredicate pred, const Expr* a, const Expr* b) {
+  OVERIFY_ASSERT(a->width() == b->width(), "compare width mismatch");
+  unsigned width = a->width();
+  if (a->IsConstant() && b->IsConstant()) {
+    return Bool(FoldICmp(pred, width, a->constant_value(), b->constant_value()));
+  }
+  if (a == b) {
+    return Bool(FoldICmp(pred, width, 0, 0));
+  }
+  switch (pred) {
+    case ICmpPredicate::kEq:
+      break;
+    case ICmpPredicate::kNe:
+      return Not(Compare(ICmpPredicate::kEq, a, b));
+    case ICmpPredicate::kULT:
+    case ICmpPredicate::kULE:
+    case ICmpPredicate::kSLT:
+    case ICmpPredicate::kSLE:
+      break;
+    case ICmpPredicate::kUGT:
+      return Compare(ICmpPredicate::kULT, b, a);
+    case ICmpPredicate::kUGE:
+      return Compare(ICmpPredicate::kULE, b, a);
+    case ICmpPredicate::kSGT:
+      return Compare(ICmpPredicate::kSLT, b, a);
+    case ICmpPredicate::kSGE:
+      return Compare(ICmpPredicate::kSLE, b, a);
+  }
+
+  ExprKind kind;
+  switch (pred) {
+    case ICmpPredicate::kEq:
+      kind = ExprKind::kEq;
+      break;
+    case ICmpPredicate::kULT:
+      kind = ExprKind::kUlt;
+      break;
+    case ICmpPredicate::kULE:
+      kind = ExprKind::kUle;
+      break;
+    case ICmpPredicate::kSLT:
+      kind = ExprKind::kSlt;
+      break;
+    default:
+      kind = ExprKind::kSle;
+      break;
+  }
+  // Canonicalize equality operand order.
+  if (kind == ExprKind::kEq && (a->IsConstant() || (!b->IsConstant() && b->id() < a->id()))) {
+    std::swap(a, b);
+  }
+  Key key{};
+  key.kind = kind;
+  key.width = 1;
+  key.a = a;
+  key.b = b;
+  return Intern(key);
+}
+
+const Expr* ExprContext::Not(const Expr* e) {
+  OVERIFY_ASSERT(e->IsBool(), "Not on non-boolean");
+  if (e->IsConstant()) {
+    return Bool(e->constant_value() == 0);
+  }
+  // Not(Not(x)) => x  (Not is Xor(x, 1)).
+  if (e->kind() == ExprKind::kXor && e->b()->IsTrue()) {
+    return e->a();
+  }
+  return Binary(ExprKind::kXor, e, true_);
+}
+
+const Expr* ExprContext::Select(const Expr* cond, const Expr* a, const Expr* b) {
+  OVERIFY_ASSERT(cond->IsBool(), "select condition must be boolean");
+  OVERIFY_ASSERT(a->width() == b->width(), "select arm width mismatch");
+  if (cond->IsConstant()) {
+    return cond->constant_value() != 0 ? a : b;
+  }
+  if (a == b) {
+    return a;
+  }
+  if (a->width() == 1 && a->IsTrue() && b->IsFalse()) {
+    return cond;
+  }
+  if (a->width() == 1 && a->IsFalse() && b->IsTrue()) {
+    return Not(cond);
+  }
+  Key key{};
+  key.kind = ExprKind::kSelect;
+  key.width = a->width();
+  key.a = cond;
+  key.b = a;
+  key.c = b;
+  return Intern(key);
+}
+
+const Expr* ExprContext::ZExt(const Expr* e, unsigned width) {
+  OVERIFY_ASSERT(width >= e->width(), "zext must widen");
+  if (width == e->width()) {
+    return e;
+  }
+  if (e->IsConstant()) {
+    return Constant(e->constant_value(), width);
+  }
+  if (e->kind() == ExprKind::kZExt) {
+    return ZExt(e->a(), width);
+  }
+  Key key{};
+  key.kind = ExprKind::kZExt;
+  key.width = width;
+  key.a = e;
+  return Intern(key);
+}
+
+const Expr* ExprContext::SExt(const Expr* e, unsigned width) {
+  OVERIFY_ASSERT(width >= e->width(), "sext must widen");
+  if (width == e->width()) {
+    return e;
+  }
+  if (e->IsConstant()) {
+    return Constant(
+        static_cast<uint64_t>(SignExtend(e->constant_value(), e->width())), width);
+  }
+  if (e->kind() == ExprKind::kSExt) {
+    return SExt(e->a(), width);
+  }
+  // sext of a boolean-producing zext is still zero/one in the low bit.
+  Key key{};
+  key.kind = ExprKind::kSExt;
+  key.width = width;
+  key.a = e;
+  return Intern(key);
+}
+
+const Expr* ExprContext::Trunc(const Expr* e, unsigned width) {
+  OVERIFY_ASSERT(width <= e->width(), "trunc must narrow");
+  if (width == e->width()) {
+    return e;
+  }
+  return Extract(e, 0, width);
+}
+
+const Expr* ExprContext::Extract(const Expr* e, unsigned offset, unsigned width) {
+  OVERIFY_ASSERT(offset + width <= e->width(), "extract out of range");
+  if (offset == 0 && width == e->width()) {
+    return e;
+  }
+  if (e->IsConstant()) {
+    return Constant(e->constant_value() >> offset, width);
+  }
+  switch (e->kind()) {
+    case ExprKind::kExtract:
+      return Extract(e->a(), e->extract_offset() + offset, width);
+    case ExprKind::kConcat: {
+      unsigned low_width = e->b()->width();
+      if (offset + width <= low_width) {
+        return Extract(e->b(), offset, width);
+      }
+      if (offset >= low_width) {
+        return Extract(e->a(), offset - low_width, width);
+      }
+      break;  // straddles the boundary: keep symbolic
+    }
+    case ExprKind::kZExt: {
+      unsigned src_width = e->a()->width();
+      if (offset + width <= src_width) {
+        return Extract(e->a(), offset, width);
+      }
+      if (offset >= src_width) {
+        return Constant(0, width);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  Key key{};
+  key.kind = ExprKind::kExtract;
+  key.width = width;
+  key.a = e;
+  key.extract_offset = offset;
+  return Intern(key);
+}
+
+const Expr* ExprContext::Concat(const Expr* high, const Expr* low) {
+  unsigned width = high->width() + low->width();
+  OVERIFY_ASSERT(width <= 64, "concat too wide");
+  if (high->IsConstant() && low->IsConstant()) {
+    return Constant((high->constant_value() << low->width()) | low->constant_value(), width);
+  }
+  // Concat(Extract(x, o+wl, wh), Extract(x, o, wl)) => Extract(x, o, wl+wh).
+  if (high->kind() == ExprKind::kExtract && low->kind() == ExprKind::kExtract &&
+      high->a() == low->a() &&
+      high->extract_offset() == low->extract_offset() + low->width()) {
+    return Extract(low->a(), low->extract_offset(), width);
+  }
+  // Concat(0, x) => ZExt(x).
+  if (high->IsConstant() && high->constant_value() == 0) {
+    return ZExt(low, width);
+  }
+  Key key{};
+  key.kind = ExprKind::kConcat;
+  key.width = width;
+  key.a = high;
+  key.b = low;
+  return Intern(key);
+}
+
+std::vector<const Expr*> ExprContext::ToBytes(const Expr* e) {
+  OVERIFY_ASSERT(e->width() % 8 == 0 || e->width() == 1, "unaligned width");
+  if (e->width() == 1) {
+    // Booleans are stored as one byte holding 0/1.
+    return {ZExt(e, 8)};
+  }
+  std::vector<const Expr*> bytes;
+  for (unsigned offset = 0; offset < e->width(); offset += 8) {
+    bytes.push_back(Extract(e, offset, 8));
+  }
+  return bytes;
+}
+
+const Expr* ExprContext::FromBytes(const std::vector<const Expr*>& bytes) {
+  OVERIFY_ASSERT(!bytes.empty() && bytes.size() <= 8, "bad byte count");
+  const Expr* value = bytes[0];
+  for (size_t i = 1; i < bytes.size(); ++i) {
+    value = Concat(bytes[i], value);
+  }
+  return value;
+}
+
+uint64_t ExprContext::Evaluate(const Expr* e, const std::vector<uint8_t>& bytes) {
+  auto memo = eval_memo_.find(e);
+  if (memo != eval_memo_.end() && memo->second.first == eval_generation_) {
+    return memo->second.second;
+  }
+  uint64_t result = 0;
+  switch (e->kind()) {
+    case ExprKind::kConstant:
+      result = e->constant_value();
+      break;
+    case ExprKind::kSymbol:
+      OVERIFY_ASSERT(e->symbol_index() < bytes.size(), "assignment missing symbol");
+      result = bytes[e->symbol_index()];
+      break;
+    case ExprKind::kEq:
+      result = Evaluate(e->a(), bytes) == Evaluate(e->b(), bytes) ? 1 : 0;
+      break;
+    case ExprKind::kUlt:
+      result = FoldICmp(ICmpPredicate::kULT, e->a()->width(), Evaluate(e->a(), bytes),
+                        Evaluate(e->b(), bytes))
+                   ? 1
+                   : 0;
+      break;
+    case ExprKind::kUle:
+      result = FoldICmp(ICmpPredicate::kULE, e->a()->width(), Evaluate(e->a(), bytes),
+                        Evaluate(e->b(), bytes))
+                   ? 1
+                   : 0;
+      break;
+    case ExprKind::kSlt:
+      result = FoldICmp(ICmpPredicate::kSLT, e->a()->width(), Evaluate(e->a(), bytes),
+                        Evaluate(e->b(), bytes))
+                   ? 1
+                   : 0;
+      break;
+    case ExprKind::kSle:
+      result = FoldICmp(ICmpPredicate::kSLE, e->a()->width(), Evaluate(e->a(), bytes),
+                        Evaluate(e->b(), bytes))
+                   ? 1
+                   : 0;
+      break;
+    case ExprKind::kSelect:
+      result = Evaluate(e->a(), bytes) != 0 ? Evaluate(e->b(), bytes) : Evaluate(e->c(), bytes);
+      break;
+    case ExprKind::kZExt:
+      result = Evaluate(e->a(), bytes);
+      break;
+    case ExprKind::kSExt:
+      result = TruncateToWidth(
+          static_cast<uint64_t>(SignExtend(Evaluate(e->a(), bytes), e->a()->width())),
+          e->width());
+      break;
+    case ExprKind::kTrunc:
+      result = TruncateToWidth(Evaluate(e->a(), bytes), e->width());
+      break;
+    case ExprKind::kExtract:
+      result = TruncateToWidth(Evaluate(e->a(), bytes) >> e->extract_offset(), e->width());
+      break;
+    case ExprKind::kConcat:
+      result = (Evaluate(e->a(), bytes) << e->b()->width()) | Evaluate(e->b(), bytes);
+      break;
+    default: {
+      // Binary arithmetic. Division by zero cannot occur on guarded paths;
+      // solver probing may still hit it, in which case the result is defined
+      // as 0 (such probes are validated against the real constraints anyway).
+      auto folded = FoldBinary(ExprKindToOpcode(e->kind()), e->width(),
+                               Evaluate(e->a(), bytes), Evaluate(e->b(), bytes));
+      result = folded.value_or(0);
+      break;
+    }
+  }
+  eval_memo_[e] = {eval_generation_, result};
+  return result;
+}
+
+namespace {
+
+// Clamp an interval to a width's value range; any inconsistency widens to
+// full range (soundness first).
+ExprContext::UInterval FullRange(unsigned width) {
+  return ExprContext::UInterval{0, TruncateToWidth(~uint64_t{0}, width)};
+}
+
+bool AddOverflowsU(uint64_t a, uint64_t b, uint64_t& out) {
+  return __builtin_add_overflow(a, b, &out);
+}
+
+bool MulOverflowsU(uint64_t a, uint64_t b, uint64_t& out) {
+  return __builtin_mul_overflow(a, b, &out);
+}
+
+}  // namespace
+
+ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
+                                                 const std::vector<uint8_t>& bytes,
+                                                 const std::vector<bool>& assigned) {
+  auto memo = interval_memo_.find(e);
+  if (memo != interval_memo_.end() && memo->second.first == interval_generation_) {
+    return memo->second.second;
+  }
+  unsigned width = e->width();
+  UInterval result = FullRange(width);
+  switch (e->kind()) {
+    case ExprKind::kConstant:
+      result = UInterval{e->constant_value(), e->constant_value()};
+      break;
+    case ExprKind::kSymbol: {
+      unsigned index = e->symbol_index();
+      if (index < assigned.size() && assigned[index]) {
+        result = UInterval{bytes[index], bytes[index]};
+      } else {
+        result = UInterval{0, 255};
+      }
+      break;
+    }
+    case ExprKind::kAdd: {
+      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      uint64_t lo;
+      uint64_t hi;
+      if (!AddOverflowsU(a.lo, b.lo, lo) && !AddOverflowsU(a.hi, b.hi, hi) &&
+          hi <= FullRange(width).hi) {
+        result = UInterval{lo, hi};
+      }
+      break;
+    }
+    case ExprKind::kSub: {
+      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      if (a.lo >= b.hi) {  // no wraparound possible
+        result = UInterval{a.lo - b.hi, a.hi - b.lo};
+      }
+      break;
+    }
+    case ExprKind::kMul: {
+      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      uint64_t lo;
+      uint64_t hi;
+      if (!MulOverflowsU(a.lo, b.lo, lo) && !MulOverflowsU(a.hi, b.hi, hi) &&
+          hi <= FullRange(width).hi) {
+        result = UInterval{lo, hi};
+      }
+      break;
+    }
+    case ExprKind::kUDiv: {
+      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      if (b.lo > 0) {
+        result = UInterval{a.lo / b.hi, a.hi / b.lo};
+      }
+      break;
+    }
+    case ExprKind::kURem: {
+      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      if (b.hi > 0) {
+        result = UInterval{0, b.hi - 1};
+      }
+      break;
+    }
+    case ExprKind::kAnd: {
+      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      result = UInterval{0, std::min(a.hi, b.hi)};
+      if (a.IsSingleton() && b.IsSingleton()) {
+        uint64_t v = a.lo & b.lo;
+        result = UInterval{v, v};
+      }
+      break;
+    }
+    case ExprKind::kOr: {
+      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      if (a.IsSingleton() && b.IsSingleton()) {
+        uint64_t v = a.lo | b.lo;
+        result = UInterval{v, v};
+      } else {
+        // a|b >= max(a,b) >= max(lo_a, lo_b); a|b < 2^ceil covering both his.
+        uint64_t bound = 1;
+        while (bound - 1 < a.hi || bound - 1 < b.hi) {
+          if (bound > (uint64_t{1} << 62)) {
+            bound = 0;
+            break;
+          }
+          bound <<= 1;
+        }
+        result = UInterval{std::max(a.lo, b.lo),
+                           bound == 0 ? FullRange(width).hi : bound - 1};
+      }
+      break;
+    }
+    case ExprKind::kXor: {
+      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      if (a.IsSingleton() && b.IsSingleton()) {
+        uint64_t v = a.lo ^ b.lo;
+        result = UInterval{v, v};
+      }
+      break;
+    }
+    case ExprKind::kEq: {
+      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      if (a.hi < b.lo || b.hi < a.lo) {
+        result = UInterval{0, 0};  // disjoint: never equal
+      } else if (a.IsSingleton() && b.IsSingleton()) {
+        uint64_t v = a.lo == b.lo ? 1 : 0;
+        result = UInterval{v, v};
+      } else {
+        result = UInterval{0, 1};
+      }
+      break;
+    }
+    case ExprKind::kUlt: {
+      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      if (a.hi < b.lo) {
+        result = UInterval{1, 1};
+      } else if (a.lo >= b.hi) {
+        result = UInterval{0, 0};
+      } else {
+        result = UInterval{0, 1};
+      }
+      break;
+    }
+    case ExprKind::kUle: {
+      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      if (a.hi <= b.lo) {
+        result = UInterval{1, 1};
+      } else if (a.lo > b.hi) {
+        result = UInterval{0, 0};
+      } else {
+        result = UInterval{0, 1};
+      }
+      break;
+    }
+    case ExprKind::kSlt:
+    case ExprKind::kSle: {
+      // Signed: decide only when both operand intervals avoid the sign
+      // boundary of the operand width, where signed order equals unsigned.
+      unsigned operand_width = e->a()->width();
+      uint64_t sign_bit = uint64_t{1} << (operand_width - 1);
+      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      bool a_nonneg = a.hi < sign_bit;
+      bool b_nonneg = b.hi < sign_bit;
+      bool a_neg = a.lo >= sign_bit;
+      bool b_neg = b.lo >= sign_bit;
+      result = UInterval{0, 1};
+      if (a_neg && b_nonneg) {
+        result = UInterval{1, 1};  // negative < non-negative
+      } else if (a_nonneg && b_neg) {
+        result = UInterval{0, 0};
+      } else if ((a_nonneg && b_nonneg) || (a_neg && b_neg)) {
+        // Same sign region: unsigned order applies.
+        bool strict = e->kind() == ExprKind::kSlt;
+        if (strict ? a.hi < b.lo : a.hi <= b.lo) {
+          result = UInterval{1, 1};
+        } else if (strict ? a.lo >= b.hi : a.lo > b.hi) {
+          result = UInterval{0, 0};
+        }
+      }
+      break;
+    }
+    case ExprKind::kSelect: {
+      UInterval cond = EvalInterval(e->a(), bytes, assigned);
+      if (cond.IsSingleton()) {
+        result = EvalInterval(cond.lo != 0 ? e->b() : e->c(), bytes, assigned);
+      } else {
+        UInterval t = EvalInterval(e->b(), bytes, assigned);
+        UInterval f = EvalInterval(e->c(), bytes, assigned);
+        result = UInterval{std::min(t.lo, f.lo), std::max(t.hi, f.hi)};
+      }
+      break;
+    }
+    case ExprKind::kZExt:
+      result = EvalInterval(e->a(), bytes, assigned);
+      break;
+    case ExprKind::kSExt: {
+      unsigned src_width = e->a()->width();
+      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      if (a.hi < (uint64_t{1} << (src_width - 1))) {
+        result = a;  // non-negative: sign extension is the identity
+      }
+      break;
+    }
+    case ExprKind::kTrunc:
+    case ExprKind::kExtract: {
+      if (e->kind() == ExprKind::kTrunc || e->extract_offset() == 0) {
+        UInterval a = EvalInterval(e->a(), bytes, assigned);
+        if (a.hi <= FullRange(width).hi) {
+          result = a;  // value fits: low bits are the value itself
+        }
+      }
+      break;
+    }
+    case ExprKind::kConcat: {
+      UInterval high = EvalInterval(e->a(), bytes, assigned);
+      UInterval low = EvalInterval(e->b(), bytes, assigned);
+      unsigned low_width = e->b()->width();
+      result = UInterval{(high.lo << low_width) | low.lo, (high.hi << low_width) | low.hi};
+      break;
+    }
+    default:
+      break;  // divisions by symbolic values, shifts, srem: full range
+  }
+  interval_memo_[e] = {interval_generation_, result};
+  return result;
+}
+
+}  // namespace overify

@@ -1,0 +1,179 @@
+// Symbolic expressions for the verification engine.
+//
+// Expressions form a hash-consed immutable DAG owned by an ExprContext;
+// structural equality is pointer equality. The builder canonicalizes and
+// constant-folds on construction (KLEE's ExprBuilder plays the same role),
+// using the same fold kernel as the optimizer and the concrete interpreter
+// so all three agree bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/ir/instruction.h"
+
+namespace overify {
+
+enum class ExprKind : uint8_t {
+  kConstant,
+  kSymbol,  // one 8-bit symbolic input byte, identified by index
+  // Binary arithmetic/bitwise (operand widths equal; result same width).
+  kAdd,
+  kSub,
+  kMul,
+  kUDiv,
+  kSDiv,
+  kURem,
+  kSRem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kLShr,
+  kAShr,
+  // Comparisons (result width 1). The canonical set: others are expressed
+  // via operand swap / negation at build time.
+  kEq,
+  kUlt,
+  kUle,
+  kSlt,
+  kSle,
+  kSelect,   // (cond width 1, a, b)
+  kZExt,
+  kSExt,
+  kTrunc,
+  kExtract,  // bits [offset, offset+width) of the operand
+  kConcat,   // a is the high part, b the low part; width = a.width + b.width
+};
+
+class Expr {
+ public:
+  ExprKind kind() const { return kind_; }
+  unsigned width() const { return width_; }
+  bool IsConstant() const { return kind_ == ExprKind::kConstant; }
+  bool IsBool() const { return width_ == 1; }
+
+  uint64_t constant_value() const {
+    OVERIFY_ASSERT(kind_ == ExprKind::kConstant, "not a constant");
+    return constant_;
+  }
+  bool IsTrue() const { return IsConstant() && width_ == 1 && constant_ == 1; }
+  bool IsFalse() const { return IsConstant() && width_ == 1 && constant_ == 0; }
+
+  unsigned symbol_index() const {
+    OVERIFY_ASSERT(kind_ == ExprKind::kSymbol, "not a symbol");
+    return symbol_;
+  }
+
+  const Expr* a() const { return a_; }
+  const Expr* b() const { return b_; }
+  const Expr* c() const { return c_; }
+  unsigned extract_offset() const { return extract_offset_; }
+
+  // Stable creation index; used for canonical operand ordering.
+  uint64_t id() const { return id_; }
+
+  // The set of symbol indices this expression depends on.
+  const std::set<unsigned>& Support() const { return support_; }
+
+ private:
+  friend class ExprContext;
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kConstant;
+  uint8_t width_ = 1;
+  uint64_t constant_ = 0;
+  unsigned symbol_ = 0;
+  const Expr* a_ = nullptr;
+  const Expr* b_ = nullptr;
+  const Expr* c_ = nullptr;
+  unsigned extract_offset_ = 0;
+  uint64_t id_ = 0;
+  std::set<unsigned> support_;
+};
+
+// Owns and interns expressions.
+class ExprContext {
+ public:
+  ExprContext();
+  ExprContext(const ExprContext&) = delete;
+  ExprContext& operator=(const ExprContext&) = delete;
+
+  const Expr* Constant(uint64_t value, unsigned width);
+  const Expr* True() { return true_; }
+  const Expr* False() { return false_; }
+  const Expr* Bool(bool b) { return b ? true_ : false_; }
+  const Expr* Symbol(unsigned index);  // width 8
+
+  // May return a trapping-op marker? No: division by zero must be guarded by
+  // the caller (the executor forks on the divisor) before building.
+  const Expr* Binary(ExprKind kind, const Expr* a, const Expr* b);
+  // Any ICmp predicate; canonicalized onto {eq, ult, ule, slt, sle} with
+  // negation folded in.
+  const Expr* Compare(ICmpPredicate pred, const Expr* a, const Expr* b);
+  const Expr* Not(const Expr* e);  // width 1
+  const Expr* Select(const Expr* cond, const Expr* a, const Expr* b);
+  const Expr* ZExt(const Expr* e, unsigned width);
+  const Expr* SExt(const Expr* e, unsigned width);
+  const Expr* Trunc(const Expr* e, unsigned width);
+  const Expr* Extract(const Expr* e, unsigned offset, unsigned width);
+  const Expr* Concat(const Expr* high, const Expr* low);
+
+  // Byte decomposition helpers (little endian).
+  std::vector<const Expr*> ToBytes(const Expr* e);
+  const Expr* FromBytes(const std::vector<const Expr*>& bytes);
+
+  // Evaluates `e` under a full assignment of its support. `bytes[i]` is the
+  // value of Symbol(i). Uses an internal memo keyed by (expr, generation);
+  // call NewEvaluation() before each new assignment.
+  uint64_t Evaluate(const Expr* e, const std::vector<uint8_t>& bytes);
+  void NewEvaluation() { ++eval_generation_; }
+
+  // Unsigned interval abstraction under a *partial* assignment: symbols with
+  // assigned[i] contribute their exact byte, the rest contribute [0, 255].
+  // Sound over-approximation: the true value always lies in [lo, hi]. The
+  // solver prunes a branch as soon as a constraint's interval excludes 1.
+  struct UInterval {
+    uint64_t lo = 0;
+    uint64_t hi = ~uint64_t{0};
+    bool IsSingleton() const { return lo == hi; }
+  };
+  UInterval EvalInterval(const Expr* e, const std::vector<uint8_t>& bytes,
+                         const std::vector<bool>& assigned);
+  void NewIntervalRound() { ++interval_generation_; }
+
+  size_t NumExprs() const { return exprs_.size(); }
+
+ private:
+  struct Key {
+    ExprKind kind;
+    unsigned width;
+    uint64_t constant;
+    unsigned symbol;
+    const Expr* a;
+    const Expr* b;
+    const Expr* c;
+    unsigned extract_offset;
+
+    bool operator<(const Key& other) const;
+  };
+
+  const Expr* Intern(const Key& key);
+
+  std::vector<std::unique_ptr<Expr>> exprs_;
+  std::map<Key, const Expr*> interned_;
+  std::map<unsigned, const Expr*> symbols_;
+  const Expr* true_;
+  const Expr* false_;
+  uint64_t next_id_ = 0;
+
+  uint64_t eval_generation_ = 0;
+  std::map<const Expr*, std::pair<uint64_t, uint64_t>> eval_memo_;  // expr -> (gen, value)
+  uint64_t interval_generation_ = 0;
+  std::map<const Expr*, std::pair<uint64_t, UInterval>> interval_memo_;
+};
+
+}  // namespace overify

@@ -1,0 +1,30 @@
+#include "src/symex/memory.h"
+
+namespace overify {
+
+ObjectState::ObjectState(ExprContext& ctx, uint64_t size) {
+  bytes_.assign(size, ctx.Constant(0, 8));
+}
+
+uint64_t AddressSpace::Allocate(ExprContext& ctx, uint64_t size, bool read_only, bool is_alloca,
+                                std::string name) {
+  uint64_t id = next_id_++;
+  meta_[id] = MemoryObject{id, size, read_only, is_alloca, std::move(name)};
+  contents_[id] = std::make_shared<ObjectState>(ctx, size);
+  return id;
+}
+
+void AddressSpace::Free(uint64_t object_id) {
+  meta_.erase(object_id);
+  contents_.erase(object_id);
+}
+
+ObjectState& AddressSpace::Write(uint64_t object_id) {
+  std::shared_ptr<ObjectState>& state = contents_.at(object_id);
+  if (state.use_count() > 1) {
+    state = std::make_shared<ObjectState>(*state);
+  }
+  return *state;
+}
+
+}  // namespace overify

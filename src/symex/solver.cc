@@ -1,0 +1,377 @@
+#include "src/symex/solver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace overify {
+
+namespace {
+
+const char* KindName(ExprKind k) {
+  switch (k) {
+    case ExprKind::kConstant: return "const";
+    case ExprKind::kSymbol: return "sym";
+    case ExprKind::kAdd: return "add";
+    case ExprKind::kSub: return "sub";
+    case ExprKind::kMul: return "mul";
+    case ExprKind::kUDiv: return "udiv";
+    case ExprKind::kSDiv: return "sdiv";
+    case ExprKind::kURem: return "urem";
+    case ExprKind::kSRem: return "srem";
+    case ExprKind::kAnd: return "and";
+    case ExprKind::kOr: return "or";
+    case ExprKind::kXor: return "xor";
+    case ExprKind::kShl: return "shl";
+    case ExprKind::kLShr: return "lshr";
+    case ExprKind::kAShr: return "ashr";
+    case ExprKind::kEq: return "eq";
+    case ExprKind::kUlt: return "ult";
+    case ExprKind::kUle: return "ule";
+    case ExprKind::kSlt: return "slt";
+    case ExprKind::kSle: return "sle";
+    case ExprKind::kSelect: return "select";
+    case ExprKind::kZExt: return "zext";
+    case ExprKind::kSExt: return "sext";
+    case ExprKind::kTrunc: return "trunc";
+    case ExprKind::kExtract: return "extract";
+    case ExprKind::kConcat: return "concat";
+  }
+  return "?";
+}
+
+void DumpExpr(const Expr* e, int depth) {
+  if (depth > 5) { std::fprintf(stderr, "..."); return; }
+  if (e->kind() == ExprKind::kConstant) {
+    std::fprintf(stderr, "%llu:w%u", (unsigned long long)e->constant_value(), e->width());
+    return;
+  }
+  if (e->kind() == ExprKind::kSymbol) {
+    std::fprintf(stderr, "s%u", e->symbol_index());
+    return;
+  }
+  std::fprintf(stderr, "(%s:w%u", KindName(e->kind()), e->width());
+  for (const Expr* child : {e->a(), e->b(), e->c()}) {
+    if (child != nullptr) {
+      std::fprintf(stderr, " ");
+      DumpExpr(child, depth + 1);
+    }
+  }
+  if (e->kind() == ExprKind::kExtract) std::fprintf(stderr, " @%u", e->extract_offset());
+  std::fprintf(stderr, ")");
+}
+
+// Value ordering for the core search: likely-satisfying bytes first (string
+// terminators, letters, separators), then everything else. This is the
+// solver-side analogue of KLEE trying the all-zero assignment first.
+const std::vector<uint8_t>& CandidateOrder() {
+  static const std::vector<uint8_t>* kOrder = [] {
+    auto* order = new std::vector<uint8_t>();
+    const uint8_t preferred[] = {0, 'a', ' ', '0', 'z', 'A', '\n', '\t', 1, 255, '9', '-', '.'};
+    std::set<uint8_t> seen;
+    for (uint8_t v : preferred) {
+      if (seen.insert(v).second) {
+        order->push_back(v);
+      }
+    }
+    for (int v = 0; v < 256; ++v) {
+      if (seen.insert(static_cast<uint8_t>(v)).second) {
+        order->push_back(static_cast<uint8_t>(v));
+      }
+    }
+    return order;
+  }();
+  return *kOrder;
+}
+
+}  // namespace
+
+SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>& constraints,
+                               std::vector<uint8_t>* model, uint64_t candidate_budget) {
+  // Trivial screening and support collection.
+  std::set<unsigned> support;
+  std::vector<const Expr*> live;
+  for (const Expr* c : constraints) {
+    if (c->IsConstant()) {
+      if (c->constant_value() == 0) {
+        return SatResult::kUnsat;
+      }
+      continue;
+    }
+    live.push_back(c);
+    support.insert(c->Support().begin(), c->Support().end());
+  }
+  if (live.empty()) {
+    if (model != nullptr) {
+      model->clear();
+    }
+    return SatResult::kSat;
+  }
+
+  std::vector<unsigned> order(support.begin(), support.end());
+  unsigned max_symbol = *std::max_element(order.begin(), order.end());
+  // Conflict-directed backjumping uses per-level position masks; fall back
+  // to chronological behaviour for absurdly wide queries.
+  const bool use_cbj = order.size() <= 64;
+
+  // Per level: constraints that become fully determined there, constraints
+  // that merely touch the prefix (interval pruning), and each constraint's
+  // support expressed as a mask of levels.
+  std::vector<std::vector<const Expr*>> ready_at(order.size());
+  std::vector<std::vector<const Expr*>> touched_at(order.size());
+  std::map<const Expr*, uint64_t> support_mask;
+  {
+    std::map<unsigned, size_t> position;
+    for (size_t i = 0; i < order.size(); ++i) {
+      position[order[i]] = i;
+    }
+    for (const Expr* c : live) {
+      size_t last = 0;
+      size_t first = order.size();
+      uint64_t mask = 0;
+      for (unsigned sym : c->Support()) {
+        size_t pos = position[sym];
+        last = std::max(last, pos);
+        first = std::min(first, pos);
+        if (use_cbj) {
+          mask |= uint64_t{1} << pos;
+        }
+      }
+      support_mask[c] = mask;
+      ready_at[last].push_back(c);
+      for (size_t i = first; i < last; ++i) {
+        touched_at[i].push_back(c);
+      }
+    }
+  }
+
+  std::vector<uint8_t> assignment(max_symbol + 1, 0);
+  std::vector<bool> assigned(max_symbol + 1, false);
+  const std::vector<uint8_t>& candidates = CandidateOrder();
+
+  uint64_t budget = candidate_budget;
+  std::vector<size_t> candidate_index(order.size(), 0);
+  // Levels (strictly below the key) implicated in failures at each level.
+  std::vector<uint64_t> conflict_mask(order.size(), 0);
+  size_t depth = 0;
+  while (true) {
+    if (depth == order.size()) {
+      if (model != nullptr) {
+        *model = assignment;
+      }
+      return SatResult::kSat;
+    }
+    if (candidate_index[depth] >= candidates.size()) {
+      // Level exhausted: jump to the deepest level implicated in any of the
+      // failures; reassigning anything in between cannot help.
+      uint64_t mask = use_cbj ? conflict_mask[depth]
+                              : (depth > 0 ? uint64_t{1} << (depth - 1) : 0);
+      candidate_index[depth] = 0;
+      conflict_mask[depth] = 0;
+      assigned[order[depth]] = false;
+      if (mask == 0) {
+        return SatResult::kUnsat;
+      }
+      size_t jump = 63 - static_cast<size_t>(__builtin_clzll(mask));
+      // Merge the remaining blame into the jump target (standard CBJ).
+      conflict_mask[jump] |= mask & ~(uint64_t{1} << jump);
+      for (size_t level = jump + 1; level < depth; ++level) {
+        candidate_index[level] = 0;
+        conflict_mask[level] = 0;
+        assigned[order[level]] = false;
+      }
+      depth = jump;
+      continue;
+    }
+    if (budget == 0) {
+      if (std::getenv("OVERIFY_SOLVER_DEBUG") != nullptr) {
+        std::fprintf(stderr, "[solver] budget exhausted: %zu constraints, %zu symbols\n",
+                     live.size(), order.size());
+        for (const Expr* c : live) {
+          std::fprintf(stderr, "  ");
+          DumpExpr(c, 0);
+          std::fprintf(stderr, "\n");
+        }
+      }
+      return SatResult::kUnknown;
+    }
+    --budget;
+    ++candidates_tried_;
+    assignment[order[depth]] = candidates[candidate_index[depth]++];
+    assigned[order[depth]] = true;
+
+    const uint64_t below = (uint64_t{1} << depth) - 1;
+    bool ok = true;
+    // Constraints that just became fully determined.
+    ctx.NewEvaluation();
+    for (const Expr* c : ready_at[depth]) {
+      if (ctx.Evaluate(c, assignment) == 0) {
+        conflict_mask[depth] |= support_mask[c] & below;
+        ok = false;
+        break;
+      }
+    }
+    // Interval pruning for partially-determined constraints: a sound
+    // over-approximation that already excludes `true` kills every
+    // completion of this prefix.
+    if (ok && !touched_at[depth].empty()) {
+      ctx.NewIntervalRound();
+      for (const Expr* c : touched_at[depth]) {
+        ExprContext::UInterval bound = ctx.EvalInterval(c, assignment, assigned);
+        if (bound.hi == 0) {
+          conflict_mask[depth] |= support_mask[c] & below;
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      ++depth;
+    } else {
+      assigned[order[depth]] = false;
+    }
+  }
+}
+
+std::vector<const Expr*> FilterIndependent(const std::vector<const Expr*>& constraints,
+                                           const Expr* seed) {
+  // Grow the symbol set reachable from the seed through shared constraints.
+  std::set<unsigned> symbols(seed->Support().begin(), seed->Support().end());
+  std::vector<bool> taken(constraints.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      if (taken[i]) {
+        continue;
+      }
+      const auto& support = constraints[i]->Support();
+      bool intersects = false;
+      for (unsigned sym : support) {
+        if (symbols.count(sym) != 0) {
+          intersects = true;
+          break;
+        }
+      }
+      if (intersects) {
+        taken[i] = true;
+        symbols.insert(support.begin(), support.end());
+        changed = true;
+      }
+    }
+  }
+  std::vector<const Expr*> filtered;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (taken[i]) {
+      filtered.push_back(constraints[i]);
+    }
+  }
+  return filtered;
+}
+
+SatResult SolverChain::Solve(std::vector<const Expr*> filtered, std::vector<uint8_t>* model) {
+  // Canonical form: drop trivially-true entries, dedupe, sort by id.
+  std::vector<const Expr*> canonical;
+  for (const Expr* c : filtered) {
+    if (c->IsTrue()) {
+      continue;
+    }
+    if (c->IsFalse()) {
+      return SatResult::kUnsat;
+    }
+    canonical.push_back(c);
+  }
+  std::sort(canonical.begin(), canonical.end(),
+            [](const Expr* a, const Expr* b) { return a->id() < b->id(); });
+  canonical.erase(std::unique(canonical.begin(), canonical.end()), canonical.end());
+
+  // Counterexample cache.
+  auto cached = cex_cache_.find(canonical);
+  if (cached != cex_cache_.end()) {
+    ++stats_.cache_hits;
+    if (model != nullptr) {
+      *model = cached->second.model;
+    }
+    return cached->second.result;
+  }
+
+  // Model reuse: a recent satisfying assignment may already satisfy this set.
+  for (auto it = recent_models_.rbegin(); it != recent_models_.rend(); ++it) {
+    const std::vector<uint8_t>& candidate = *it;
+    bool all_supported = true;
+    for (const Expr* c : canonical) {
+      for (unsigned sym : c->Support()) {
+        if (sym >= candidate.size()) {
+          all_supported = false;
+          break;
+        }
+      }
+      if (!all_supported) {
+        break;
+      }
+    }
+    if (!all_supported) {
+      continue;
+    }
+    ctx_.NewEvaluation();
+    bool satisfied = true;
+    for (const Expr* c : canonical) {
+      if (ctx_.Evaluate(c, candidate) == 0) {
+        satisfied = false;
+        break;
+      }
+    }
+    if (satisfied) {
+      ++stats_.reuse_hits;
+      cex_cache_[canonical] = CacheEntry{SatResult::kSat, candidate};
+      if (model != nullptr) {
+        *model = candidate;
+      }
+      return SatResult::kSat;
+    }
+  }
+
+  // Core search.
+  ++stats_.core_queries;
+  std::vector<uint8_t> core_model;
+  SatResult result = core_.CheckSat(ctx_, canonical, &core_model);
+  stats_.core_candidates = core_.candidates_tried();
+  if (result != SatResult::kUnknown) {
+    cex_cache_[canonical] = CacheEntry{result, core_model};
+  }
+  if (result == SatResult::kSat) {
+    recent_models_.push_back(core_model);
+    if (recent_models_.size() > 8) {
+      recent_models_.erase(recent_models_.begin());
+    }
+    if (model != nullptr) {
+      *model = core_model;
+    }
+  }
+  return result;
+}
+
+SatResult SolverChain::CheckSat(const std::vector<const Expr*>& constraints,
+                                std::vector<uint8_t>* model) {
+  ++stats_.queries;
+  return Solve(constraints, model);
+}
+
+SatResult SolverChain::MayBeTrue(const std::vector<const Expr*>& constraints, const Expr* cond,
+                                 std::vector<uint8_t>* model) {
+  ++stats_.queries;
+  if (cond->IsTrue()) {
+    // The path constraints are satisfiable by invariant.
+    return SatResult::kSat;
+  }
+  if (cond->IsFalse()) {
+    return SatResult::kUnsat;
+  }
+  std::vector<const Expr*> filtered = FilterIndependent(constraints, cond);
+  stats_.independence_drops += constraints.size() - filtered.size();
+  filtered.push_back(cond);
+  return Solve(std::move(filtered), model);
+}
+
+}  // namespace overify

@@ -1,0 +1,86 @@
+// Constraint solving for the symbolic-execution engine.
+//
+// The solver stack mirrors KLEE's: queries pass through constraint
+// simplification, independent-constraint splitting, and a counterexample
+// cache before reaching the core search procedure. The core solver performs
+// backtracking search over the 8-bit symbolic input bytes with
+// constraint-completion pruning — complete for the byte-level workloads this
+// toolkit targets (the paper's evaluation uses 2-10 symbolic input bytes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/symex/expr.h"
+
+namespace overify {
+
+enum class SatResult {
+  kSat,
+  kUnsat,
+  kUnknown,  // budget exhausted
+};
+
+struct SolverStats {
+  uint64_t queries = 0;            // top-level CheckSat calls
+  uint64_t cache_hits = 0;         // answered by the counterexample cache
+  uint64_t reuse_hits = 0;         // answered by re-evaluating a recent model
+  uint64_t core_queries = 0;       // reached the core search
+  uint64_t core_candidates = 0;    // candidate byte values tried in the core
+  uint64_t independence_drops = 0; // constraints filtered out as independent
+};
+
+// Core backtracking solver.
+class CoreSolver {
+ public:
+  // `model`, when non-null and the result is kSat, receives one value per
+  // symbol index (indexes absent from the constraints' support default to 0).
+  // `candidate_budget` bounds the search.
+  SatResult CheckSat(ExprContext& ctx, const std::vector<const Expr*>& constraints,
+                     std::vector<uint8_t>* model, uint64_t candidate_budget = 1 << 22);
+
+  uint64_t candidates_tried() const { return candidates_tried_; }
+
+ private:
+  uint64_t candidates_tried_ = 0;
+};
+
+// The full KLEE-style stack. One instance per symbolic-execution run.
+class SolverChain {
+ public:
+  explicit SolverChain(ExprContext& ctx) : ctx_(ctx) {}
+
+  // Is `constraints` satisfiable?
+  SatResult CheckSat(const std::vector<const Expr*>& constraints, std::vector<uint8_t>* model);
+
+  // Branch feasibility: given an already-satisfiable path `constraints`, can
+  // `cond` additionally hold? Only the constraints sharing symbols
+  // (transitively) with `cond` are sent to the solver.
+  SatResult MayBeTrue(const std::vector<const Expr*>& constraints, const Expr* cond,
+                      std::vector<uint8_t>* model);
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  SatResult Solve(std::vector<const Expr*> filtered, std::vector<uint8_t>* model);
+
+  ExprContext& ctx_;
+  CoreSolver core_;
+  SolverStats stats_;
+
+  struct CacheEntry {
+    SatResult result = SatResult::kUnknown;
+    std::vector<uint8_t> model;
+  };
+  std::map<std::vector<const Expr*>, CacheEntry> cex_cache_;
+  // Recent satisfying assignments, newest last (bounded).
+  std::vector<std::vector<uint8_t>> recent_models_;
+};
+
+// Filters `constraints` to those transitively sharing support with `seed`.
+// Exposed for tests.
+std::vector<const Expr*> FilterIndependent(const std::vector<const Expr*>& constraints,
+                                           const Expr* seed);
+
+}  // namespace overify

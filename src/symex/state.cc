@@ -1,0 +1,12 @@
+#include "src/symex/state.h"
+
+namespace overify {
+
+RuntimeValue ExecState::Local(const Value* v) const {
+  const StackFrame& frame = stack.back();
+  auto it = frame.locals.find(v);
+  OVERIFY_ASSERT(it != frame.locals.end(), "use of unbound SSA value");
+  return it->second;
+}
+
+}  // namespace overify

@@ -1,0 +1,355 @@
+#include "src/vlibc/vlibc.h"
+
+namespace overify {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Standard flavor: idiomatic early-exit C, branchy predicates.
+// ---------------------------------------------------------------------------
+const char kStandardLibc[] = R"MINIC(
+/* ---- ctype.h ---- */
+
+int isspace(int c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r';
+}
+
+int isdigit(int c) { return c >= '0' && c <= '9'; }
+
+int isalpha(int c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+int isalnum(int c) { return isalpha(c) || isdigit(c); }
+
+int isupper(int c) { return c >= 'A' && c <= 'Z'; }
+
+int islower(int c) { return c >= 'a' && c <= 'z'; }
+
+int isprint(int c) { return c >= 32 && c < 127; }
+
+int ispunct(int c) { return isprint(c) && c != ' ' && !isalnum(c); }
+
+int isxdigit(int c) {
+  return isdigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+int toupper(int c) {
+  if (c >= 'a' && c <= 'z') { return c - 32; }
+  return c;
+}
+
+int tolower(int c) {
+  if (c >= 'A' && c <= 'Z') { return c + 32; }
+  return c;
+}
+
+/* ---- string.h ---- */
+
+long strlen(char *s) {
+  long n = 0;
+  while (s[n]) { n++; }
+  return n;
+}
+
+int strcmp(char *a, char *b) {
+  long i = 0;
+  while (a[i] && a[i] == b[i]) { i++; }
+  return (int)(unsigned char)a[i] - (int)(unsigned char)b[i];
+}
+
+int strncmp(char *a, char *b, long n) {
+  long i = 0;
+  while (i < n && a[i] && a[i] == b[i]) { i++; }
+  if (i == n) { return 0; }
+  return (int)(unsigned char)a[i] - (int)(unsigned char)b[i];
+}
+
+char *strchr(char *s, int c) {
+  long i = 0;
+  while (s[i]) {
+    if ((int)(unsigned char)s[i] == c) { return s + i; }
+    i++;
+  }
+  if (c == 0) { return s + i; }
+  return 0;
+}
+
+char *strrchr(char *s, int c) {
+  long i = 0;
+  char *last = 0;
+  while (s[i]) {
+    if ((int)(unsigned char)s[i] == c) { last = s + i; }
+    i++;
+  }
+  if (c == 0) { return s + i; }
+  return last;
+}
+
+char *strcpy(char *dst, char *src) {
+  long i = 0;
+  while (src[i]) { dst[i] = src[i]; i++; }
+  dst[i] = 0;
+  return dst;
+}
+
+char *strncpy(char *dst, char *src, long n) {
+  long i = 0;
+  while (i < n && src[i]) { dst[i] = src[i]; i++; }
+  while (i < n) { dst[i] = 0; i++; }
+  return dst;
+}
+
+char *strcat(char *dst, char *src) {
+  long d = strlen(dst);
+  long i = 0;
+  while (src[i]) { dst[d + i] = src[i]; i++; }
+  dst[d + i] = 0;
+  return dst;
+}
+
+unsigned char *memcpy(unsigned char *dst, unsigned char *src, long n) {
+  for (long i = 0; i < n; i++) { dst[i] = src[i]; }
+  return dst;
+}
+
+unsigned char *memset(unsigned char *dst, int c, long n) {
+  for (long i = 0; i < n; i++) { dst[i] = (unsigned char)c; }
+  return dst;
+}
+
+int memcmp(unsigned char *a, unsigned char *b, long n) {
+  for (long i = 0; i < n; i++) {
+    if (a[i] != b[i]) { return (int)a[i] - (int)b[i]; }
+  }
+  return 0;
+}
+
+/* ---- stdlib.h ---- */
+
+int abs(int x) {
+  if (x < 0) { return -x; }
+  return x;
+}
+
+int atoi(char *s) {
+  long i = 0;
+  int sign = 1;
+  int value = 0;
+  while (s[i] == ' ' || s[i] == '\t') { i++; }
+  if (s[i] == '-') { sign = -1; i++; }
+  else if (s[i] == '+') { i++; }
+  while (isdigit((int)(unsigned char)s[i])) {
+    value = value * 10 + ((int)(unsigned char)s[i] - '0');
+    i++;
+  }
+  return sign * value;
+}
+)MINIC";
+
+// ---------------------------------------------------------------------------
+// Verify flavor: branch-free predicates, precondition checks.
+// ---------------------------------------------------------------------------
+const char kVerifyLibc[] = R"MINIC(
+/* ---- ctype.h (branch-free) ---- */
+
+int isspace(int c) {
+  unsigned u = (unsigned)c;
+  return (int)(((unsigned)(u == 32u)) | (unsigned)((u - 9u) < 5u));
+}
+
+int isdigit(int c) {
+  return (int)(unsigned)(((unsigned)c - 48u) < 10u);
+}
+
+int isalpha(int c) {
+  unsigned l = ((unsigned)c) | 32u;
+  return (int)(unsigned)((l - 97u) < 26u);
+}
+
+int isalnum(int c) {
+  unsigned l = ((unsigned)c) | 32u;
+  unsigned alpha = (unsigned)((l - 97u) < 26u);
+  unsigned digit = (unsigned)(((unsigned)c - 48u) < 10u);
+  return (int)(alpha | digit);
+}
+
+int isupper(int c) {
+  return (int)(unsigned)(((unsigned)c - 65u) < 26u);
+}
+
+int islower(int c) {
+  return (int)(unsigned)(((unsigned)c - 97u) < 26u);
+}
+
+int isprint(int c) {
+  return (int)(unsigned)(((unsigned)c - 32u) < 95u);
+}
+
+int ispunct(int c) {
+  unsigned p = (unsigned)(((unsigned)c - 33u) < 94u);  /* printable, not space */
+  unsigned l = ((unsigned)c) | 32u;
+  unsigned alpha = (unsigned)((l - 97u) < 26u);
+  unsigned digit = (unsigned)(((unsigned)c - 48u) < 10u);
+  return (int)(p & (1u - (alpha | digit)));
+}
+
+int isxdigit(int c) {
+  unsigned digit = (unsigned)(((unsigned)c - 48u) < 10u);
+  unsigned l = ((unsigned)c) | 32u;
+  unsigned af = (unsigned)((l - 97u) < 6u);
+  return (int)(digit | af);
+}
+
+int toupper(int c) {
+  unsigned low = (unsigned)(((unsigned)c - 97u) < 26u);
+  return c - (int)(low << 5);
+}
+
+int tolower(int c) {
+  unsigned up = (unsigned)(((unsigned)c - 65u) < 26u);
+  return c + (int)(up << 5);
+}
+
+/* ---- string.h (checked preconditions; loops remain input-bounded) ---- */
+
+long strlen(char *s) {
+  __check(s != 0, "strlen: null argument");
+  long n = 0;
+  while (s[n]) { n++; }
+  return n;
+}
+
+int strcmp(char *a, char *b) {
+  __check(a != 0, "strcmp: null argument");
+  __check(b != 0, "strcmp: null argument");
+  long i = 0;
+  while (a[i] && a[i] == b[i]) { i++; }
+  return (int)(unsigned char)a[i] - (int)(unsigned char)b[i];
+}
+
+int strncmp(char *a, char *b, long n) {
+  __check(a != 0, "strncmp: null argument");
+  __check(b != 0, "strncmp: null argument");
+  __check(n >= 0, "strncmp: negative length");
+  long i = 0;
+  while (i < n && a[i] && a[i] == b[i]) { i++; }
+  if (i == n) { return 0; }
+  return (int)(unsigned char)a[i] - (int)(unsigned char)b[i];
+}
+
+char *strchr(char *s, int c) {
+  __check(s != 0, "strchr: null argument");
+  long i = 0;
+  while (s[i]) {
+    if ((int)(unsigned char)s[i] == c) { return s + i; }
+    i++;
+  }
+  if (c == 0) { return s + i; }
+  return 0;
+}
+
+char *strrchr(char *s, int c) {
+  __check(s != 0, "strrchr: null argument");
+  long i = 0;
+  char *last = 0;
+  while (s[i]) {
+    if ((int)(unsigned char)s[i] == c) { last = s + i; }
+    i++;
+  }
+  if (c == 0) { return s + i; }
+  return last;
+}
+
+char *strcpy(char *dst, char *src) {
+  __check(dst != 0, "strcpy: null destination");
+  __check(src != 0, "strcpy: null source");
+  long i = 0;
+  while (src[i]) { dst[i] = src[i]; i++; }
+  dst[i] = 0;
+  return dst;
+}
+
+char *strncpy(char *dst, char *src, long n) {
+  __check(dst != 0, "strncpy: null destination");
+  __check(src != 0, "strncpy: null source");
+  __check(n >= 0, "strncpy: negative length");
+  long i = 0;
+  while (i < n && src[i]) { dst[i] = src[i]; i++; }
+  while (i < n) { dst[i] = 0; i++; }
+  return dst;
+}
+
+char *strcat(char *dst, char *src) {
+  __check(dst != 0, "strcat: null destination");
+  __check(src != 0, "strcat: null source");
+  long d = strlen(dst);
+  long i = 0;
+  while (src[i]) { dst[d + i] = src[i]; i++; }
+  dst[d + i] = 0;
+  return dst;
+}
+
+unsigned char *memcpy(unsigned char *dst, unsigned char *src, long n) {
+  __check(dst != 0, "memcpy: null destination");
+  __check(src != 0, "memcpy: null source");
+  __check(n >= 0, "memcpy: negative length");
+  for (long i = 0; i < n; i++) { dst[i] = src[i]; }
+  return dst;
+}
+
+unsigned char *memset(unsigned char *dst, int c, long n) {
+  __check(dst != 0, "memset: null destination");
+  __check(n >= 0, "memset: negative length");
+  for (long i = 0; i < n; i++) { dst[i] = (unsigned char)c; }
+  return dst;
+}
+
+int memcmp(unsigned char *a, unsigned char *b, long n) {
+  __check(a != 0, "memcmp: null argument");
+  __check(b != 0, "memcmp: null argument");
+  __check(n >= 0, "memcmp: negative length");
+  int result = 0;
+  for (long i = 0; i < n; i++) {
+    int diff = (int)a[i] - (int)b[i];
+    result = result ? result : diff;  /* keep the first difference */
+  }
+  return result;
+}
+
+/* ---- stdlib.h ---- */
+
+int abs(int x) {
+  int mask = x >> 31;
+  return (x ^ mask) - mask;
+}
+
+int atoi(char *s) {
+  __check(s != 0, "atoi: null argument");
+  long i = 0;
+  int sign = 1;
+  int value = 0;
+  while (s[i] == ' ' || s[i] == '\t') { i++; }
+  if (s[i] == '-') { sign = -1; i++; }
+  else if (s[i] == '+') { i++; }
+  while (isdigit((int)(unsigned char)s[i])) {
+    value = value * 10 + ((int)(unsigned char)s[i] - '0');
+    i++;
+  }
+  return sign * value;
+}
+)MINIC";
+
+}  // namespace
+
+const std::string& StandardLibcSource() {
+  static const std::string* kSource = new std::string(kStandardLibc);
+  return *kSource;
+}
+
+const std::string& VerifyLibcSource() {
+  static const std::string* kSource = new std::string(kVerifyLibc);
+  return *kSource;
+}
+
+}  // namespace overify

@@ -1,0 +1,30 @@
+#include "src/workloads/textgen.h"
+
+#include "src/support/rng.h"
+
+namespace overify {
+
+std::string GenerateText(const TextGenOptions& options) {
+  Rng rng(options.seed);
+  std::string text;
+  text.reserve(options.approx_words * (options.max_word_len + 1));
+  for (size_t w = 0; w < options.approx_words; ++w) {
+    size_t len = static_cast<size_t>(
+        rng.NextInRange(static_cast<int64_t>(options.min_word_len),
+                        static_cast<int64_t>(options.max_word_len)));
+    bool digits = rng.NextDouble() < options.digit_word_probability;
+    for (size_t i = 0; i < len; ++i) {
+      if (digits) {
+        text += static_cast<char>('0' + rng.NextBelow(10));
+      } else {
+        text += static_cast<char>('a' + rng.NextBelow(26));
+      }
+    }
+    if (w + 1 != options.approx_words) {
+      text += rng.NextDouble() < options.newline_probability ? '\n' : ' ';
+    }
+  }
+  return text;
+}
+
+}  // namespace overify

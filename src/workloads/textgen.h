@@ -1,0 +1,23 @@
+// Deterministic text generation for t_run measurements (the paper times the
+// -O0/-O3/-OVERIFY wc builds on a text with 10^8 words; we generate scaled
+// corpora with the same word/separator statistics).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace overify {
+
+struct TextGenOptions {
+  uint64_t seed = 2013;
+  size_t approx_words = 1000;
+  size_t min_word_len = 2;
+  size_t max_word_len = 9;
+  double newline_probability = 0.12;  // separator is '\n' instead of ' '
+  double digit_word_probability = 0.1;
+};
+
+// English-like filler text: lowercase words separated by spaces/newlines.
+std::string GenerateText(const TextGenOptions& options);
+
+}  // namespace overify

@@ -1,0 +1,678 @@
+#include "src/workloads/workloads.h"
+
+#include <map>
+
+namespace overify {
+
+namespace {
+
+std::vector<Workload> BuildSuite() {
+  std::vector<Workload> suite;
+  auto add = [&suite](const char* name, unsigned bytes, const char* sample,
+                      const char* source) {
+    suite.push_back(Workload{name, source, bytes, sample});
+  };
+
+  // ---- basename: path component after the last '/'.
+  add("basename", 6, "usr/bin/cc", R"(
+int umain(unsigned char *in, int n) {
+  char *s = (char*)in;
+  char *slash = strrchr(s, '/');
+  char *base = slash ? slash + 1 : s;
+  long i = 0;
+  while (base[i]) { putchar((int)(unsigned char)base[i]); i++; }
+  return (int)i;
+}
+)");
+
+  // ---- caesar: rotate letters by 13 (tr-style filter).
+  add("caesar", 5, "Attack at dawn!", R"(
+int umain(unsigned char *in, int n) {
+  int count = 0;
+  for (long i = 0; in[i]; i++) {
+    int c = in[i];
+    if (c >= 'a' && c <= 'z') { c = 'a' + (c - 'a' + 13) % 26; count++; }
+    else if (c >= 'A' && c <= 'Z') { c = 'A' + (c - 'A' + 13) % 26; count++; }
+    putchar(c);
+  }
+  return count;
+}
+)");
+
+  // ---- cat: copy input to output.
+  add("cat", 6, "some text\nmore\n", R"(
+int umain(unsigned char *in, int n) {
+  long i = 0;
+  while (in[i]) { putchar(in[i]); i++; }
+  return (int)i;
+}
+)");
+
+  // ---- cksum: BSD 16-bit rotating checksum.
+  add("cksum", 5, "checksum me please", R"(
+int umain(unsigned char *in, int n) {
+  unsigned sum = 0;
+  for (long i = 0; in[i]; i++) {
+    sum = (sum >> 1) + ((sum & 1u) << 15);
+    sum = sum + in[i];
+    sum = sum & 0xFFFFu;
+  }
+  return (int)sum;
+}
+)");
+
+  // ---- comm_lite: count lines common to two ';'-separated word lists
+  // (adjacent equal words, both sorted single-word case).
+  add("comm_lite", 6, "apple;apple", R"(
+int umain(unsigned char *in, int n) {
+  char *s = (char*)in;
+  char *sep = strchr(s, ';');
+  if (!sep) { return -1; }
+  long first_len = 0;
+  while (s + first_len != sep) { first_len++; }
+  char *second = sep + 1;
+  if (strncmp(s, second, first_len) == 0 && second[first_len] == 0) {
+    return 1;  /* identical */
+  }
+  return 0;
+}
+)");
+
+  // ---- count_mode: count letters or digits, chosen by a runtime flag.
+  // The mode test inside the loop is loop-invariant but symbolic: the
+  // unswitching showcase (specialization cannot fold it away).
+  add("count_mode", 5, "lab12", R"(
+int umain(unsigned char *in, int n) {
+  int alpha_mode = in[0] == 'l';
+  int count = 0;
+  for (long i = 1; in[i]; i++) {
+    if (alpha_mode && isalpha(in[i])) { count++; }
+    else if (!alpha_mode && isdigit(in[i])) { count++; }
+  }
+  return count;
+}
+)");
+
+  // ---- csv_count: count comma-separated fields.
+  add("csv_count", 6, "a,bb,ccc,d", R"(
+int umain(unsigned char *in, int n) {
+  if (!in[0]) { return 0; }
+  int fields = 1;
+  for (long i = 0; in[i]; i++) {
+    if (in[i] == ',') { fields++; }
+  }
+  return fields;
+}
+)");
+
+  // ---- cut_c: print characters 2-4 of each line (cut -c2-4).
+  add("cut_c", 6, "abcdef\nxy\n", R"(
+int umain(unsigned char *in, int n) {
+  int col = 0;
+  int printed = 0;
+  for (long i = 0; in[i]; i++) {
+    if (in[i] == '\n') { col = 0; putchar('\n'); continue; }
+    col++;
+    if (col >= 2 && col <= 4) { putchar(in[i]); printed++; }
+  }
+  return printed;
+}
+)");
+
+  // ---- dirname: path up to the last '/'.
+  add("dirname", 6, "usr/bin/cc", R"(
+int umain(unsigned char *in, int n) {
+  char *s = (char*)in;
+  char *slash = strrchr(s, '/');
+  if (!slash) { putchar('.'); return 1; }
+  long len = 0;
+  while (s + len != slash) { putchar((int)(unsigned char)s[len]); len++; }
+  return (int)len;
+}
+)");
+
+  // ---- dos2unix: drop '\r' before '\n'.
+  add("dos2unix", 5, "one\r\ntwo\r\n", R"(
+int umain(unsigned char *in, int n) {
+  int dropped = 0;
+  for (long i = 0; in[i]; i++) {
+    if (in[i] == '\r' && in[i + 1] == '\n') { dropped++; continue; }
+    putchar(in[i]);
+  }
+  return dropped;
+}
+)");
+
+  // ---- echo: print the argument and a newline.
+  add("echo", 5, "hello", R"(
+int umain(unsigned char *in, int n) {
+  long i = 0;
+  while (in[i]) { putchar(in[i]); i++; }
+  putchar('\n');
+  return (int)i;
+}
+)");
+
+  // ---- expand: tabs to four spaces.
+  add("expand", 5, "a\tb\tc", R"(
+int umain(unsigned char *in, int n) {
+  int expanded = 0;
+  for (long i = 0; in[i]; i++) {
+    if (in[i] == '\t') {
+      putchar(' '); putchar(' '); putchar(' '); putchar(' ');
+      expanded++;
+    } else {
+      putchar(in[i]);
+    }
+  }
+  return expanded;
+}
+)");
+
+  // ---- expr_add: evaluate "<digits>+<digits>".
+  add("expr_add", 5, "12+34", R"(
+int umain(unsigned char *in, int n) {
+  char *s = (char*)in;
+  int a = atoi(s);
+  char *plus = strchr(s, '+');
+  if (!plus) { return -1; }
+  int b = atoi(plus + 1);
+  return a + b;
+}
+)");
+
+  // ---- factor: smallest prime factor of the input number.
+  add("factor", 4, "91", R"(
+int umain(unsigned char *in, int n) {
+  int v = atoi((char*)in);
+  if (v < 2) { return 0; }
+  for (int d = 2; d * d <= v; d++) {
+    if (v % d == 0) { return d; }
+  }
+  return v;
+}
+)");
+
+  // ---- false: exit status 1, no input examined.
+  add("false", 2, "", R"(
+int umain(unsigned char *in, int n) { return 1; }
+)");
+
+  // ---- fold: wrap lines at 8 columns.
+  add("fold", 5, "abcdefghijklmno", R"(
+int umain(unsigned char *in, int n) {
+  int col = 0;
+  int breaks = 0;
+  for (long i = 0; in[i]; i++) {
+    if (in[i] == '\n') { col = 0; putchar('\n'); continue; }
+    if (col == 8) { putchar('\n'); col = 0; breaks++; }
+    putchar(in[i]);
+    col++;
+  }
+  return breaks;
+}
+)");
+
+  // ---- grep_i: find 'k', case-insensitively when the flag byte is 'i'.
+  add("grep_i", 5, "iOK", R"(
+int umain(unsigned char *in, int n) {
+  int fold_case = in[0] == 'i';
+  for (long i = 1; in[i]; i++) {
+    int c = in[i];
+    if (fold_case) { c = tolower(c); }
+    if (c == 'k') { return (int)i; }
+  }
+  return 0;
+}
+)");
+
+  // ---- grep_lite: does the fixed pattern "ab" occur?
+  add("grep_lite", 5, "xxabyy", R"(
+int umain(unsigned char *in, int n) {
+  for (long i = 0; in[i]; i++) {
+    if (in[i] == 'a' && in[i + 1] == 'b') { return 1; }
+  }
+  return 0;
+}
+)");
+
+  // ---- head_lines: print the first two lines.
+  add("head_lines", 6, "one\ntwo\nthree\n", R"(
+int umain(unsigned char *in, int n) {
+  int lines = 0;
+  for (long i = 0; in[i]; i++) {
+    putchar(in[i]);
+    if (in[i] == '\n') {
+      lines++;
+      if (lines == 2) { break; }
+    }
+  }
+  return lines;
+}
+)");
+
+  // ---- hexdump: two hex digits per byte (od -x flavored).
+  add("hexdump", 4, "Hi!", R"(
+const char digits[17] = "0123456789abcdef";
+int umain(unsigned char *in, int n) {
+  long count = 0;
+  for (long i = 0; in[i]; i++) {
+    putchar((int)(unsigned char)digits[(in[i] >> 4) & 15]);
+    putchar((int)(unsigned char)digits[in[i] & 15]);
+    count++;
+  }
+  return (int)count;
+}
+)");
+
+  // ---- nl: number lines.
+  add("nl", 5, "a\nbb\n", R"(
+int umain(unsigned char *in, int n) {
+  int line = 1;
+  int at_start = 1;
+  for (long i = 0; in[i]; i++) {
+    if (at_start) {
+      putchar('0' + line % 10);
+      putchar(' ');
+      at_start = 0;
+    }
+    putchar(in[i]);
+    if (in[i] == '\n') { line++; at_start = 1; }
+  }
+  return line - 1;
+}
+)");
+
+  // ---- od_lite: sum of printable representation decisions (od -c flavored).
+  add("od_lite", 5, "a\tb", R"(
+int umain(unsigned char *in, int n) {
+  int specials = 0;
+  for (long i = 0; in[i]; i++) {
+    if (isprint(in[i])) { putchar(in[i]); }
+    else { putchar('\\'); specials++; }
+  }
+  return specials;
+}
+)");
+
+  // ---- paste_lite: interleave the two halves of the input.
+  add("paste_lite", 6, "abcdef", R"(
+int umain(unsigned char *in, int n) {
+  long len = strlen((char*)in);
+  long half = len / 2;
+  for (long i = 0; i < half; i++) {
+    putchar(in[i]);
+    putchar(in[half + i]);
+  }
+  return (int)half;
+}
+)");
+
+  // ---- printf_d: substitute the parsed number into "v=%d".
+  add("printf_d", 4, "57", R"(
+int umain(unsigned char *in, int n) {
+  int v = atoi((char*)in);
+  putchar('v'); putchar('=');
+  if (v < 0) { putchar('-'); v = -v; }
+  if (v >= 100) { putchar('0' + (v / 100) % 10); }
+  if (v >= 10) { putchar('0' + (v / 10) % 10); }
+  putchar('0' + v % 10);
+  return v;
+}
+)");
+
+  // ---- rev: reverse the input string in place, then emit.
+  add("rev", 5, "hello", R"(
+int umain(unsigned char *in, int n) {
+  char buf[64];
+  long len = strlen((char*)in);
+  if (len > 63) { len = 63; }
+  for (long i = 0; i < len; i++) { buf[i] = (char)in[len - 1 - i]; }
+  buf[len] = 0;
+  for (long i = 0; buf[i]; i++) { putchar((int)(unsigned char)buf[i]); }
+  return (int)len;
+}
+)");
+
+  // ---- palindrome filter (rev | cmp): is input its own reverse?
+  add("rev_cmp", 5, "level", R"(
+int umain(unsigned char *in, int n) {
+  long len = strlen((char*)in);
+  for (long i = 0; i < len / 2; i++) {
+    if (in[i] != in[len - 1 - i]) { return 0; }
+  }
+  return 1;
+}
+)");
+
+  // ---- seq: print 1..n for a single-digit n.
+  add("seq", 3, "5", R"(
+int umain(unsigned char *in, int n) {
+  int limit = atoi((char*)in);
+  if (limit > 9) { limit = 9; }
+  int sum = 0;
+  for (int i = 1; i <= limit; i++) {
+    putchar('0' + i);
+    putchar('\n');
+    sum += i;
+  }
+  return sum;
+}
+)");
+
+  // ---- sort_chars: insertion-sort the input bytes (sort(1) on characters).
+  add("sort_chars", 5, "dcba", R"(
+int umain(unsigned char *in, int n) {
+  unsigned char buf[64];
+  long len = 0;
+  while (in[len] && len < 63) { buf[len] = in[len]; len++; }
+  for (long i = 1; i < len; i++) {
+    unsigned char key = buf[i];
+    long j = i - 1;
+    while (j >= 0 && buf[j] > key) {
+      buf[j + 1] = buf[j];
+      j--;
+    }
+    buf[j + 1] = key;
+  }
+  for (long i = 0; i < len; i++) { putchar(buf[i]); }
+  return (int)len;
+}
+)");
+
+  // ---- split_half: emit the first half of the input.
+  add("split_half", 6, "abcdef", R"(
+int umain(unsigned char *in, int n) {
+  long len = strlen((char*)in);
+  for (long i = 0; i < len / 2; i++) { putchar(in[i]); }
+  return (int)(len / 2);
+}
+)");
+
+  // ---- strings_lite: count printable runs of length >= 2.
+  add("strings_lite", 5, "ab\x01zz\x02", R"(
+int umain(unsigned char *in, int n) {
+  int runs = 0;
+  int run_len = 0;
+  for (long i = 0; in[i]; i++) {
+    if (isprint(in[i])) {
+      run_len++;
+    } else {
+      if (run_len >= 2) { runs++; }
+      run_len = 0;
+    }
+  }
+  if (run_len >= 2) { runs++; }
+  return runs;
+}
+)");
+
+  // ---- sum_bytes: System V checksum.
+  add("sum_bytes", 5, "posix sum", R"(
+int umain(unsigned char *in, int n) {
+  unsigned total = 0;
+  for (long i = 0; in[i]; i++) { total += in[i]; }
+  return (int)(total % 0xFFFFu);
+}
+)");
+
+  // ---- tac_lite: print the lines in reverse order (two-line buffer).
+  add("tac_lite", 6, "aa\nbb\n", R"(
+int umain(unsigned char *in, int n) {
+  char line1[32];
+  char line2[32];
+  long p1 = 0;
+  long p2 = 0;
+  int current = 1;
+  for (long i = 0; in[i]; i++) {
+    if (in[i] == '\n') { current = 2; continue; }
+    if (current == 1 && p1 < 31) { line1[p1] = (char)in[i]; p1++; }
+    else if (current == 2 && p2 < 31) { line2[p2] = (char)in[i]; p2++; }
+  }
+  for (long i = 0; i < p2; i++) { putchar((int)(unsigned char)line2[i]); }
+  putchar('\n');
+  for (long i = 0; i < p1; i++) { putchar((int)(unsigned char)line1[i]); }
+  putchar('\n');
+  return (int)(p1 + p2);
+}
+)");
+
+  // ---- tail_line: print everything after the last newline.
+  add("tail_line", 6, "x\ny\nzz", R"(
+int umain(unsigned char *in, int n) {
+  char *s = (char*)in;
+  char *last = strrchr(s, '\n');
+  char *start = last ? last + 1 : s;
+  long i = 0;
+  while (start[i]) { putchar((int)(unsigned char)start[i]); i++; }
+  return (int)i;
+}
+)");
+
+  // ---- test_eq: `test s1 = s2` over ';'-separated operands.
+  add("test_eq", 6, "ab;ab", R"(
+int umain(unsigned char *in, int n) {
+  char *s = (char*)in;
+  char *sep = strchr(s, ';');
+  if (!sep) { return 2; }
+  char lhs[32];
+  long len = 0;
+  while (s + len != sep && len < 31) { lhs[len] = s[len]; len++; }
+  lhs[len] = 0;
+  return strcmp(lhs, sep + 1) == 0 ? 0 : 1;
+}
+)");
+
+  // ---- tolower_filter / toupper_filter: tr A-Z a-z and back.
+  add("tolower_filter", 5, "MiXeD", R"(
+int umain(unsigned char *in, int n) {
+  int changed = 0;
+  for (long i = 0; in[i]; i++) {
+    int c = tolower(in[i]);
+    if (c != in[i]) { changed++; }
+    putchar(c);
+  }
+  return changed;
+}
+)");
+
+  add("toupper_filter", 5, "MiXeD", R"(
+int umain(unsigned char *in, int n) {
+  int changed = 0;
+  for (long i = 0; in[i]; i++) {
+    int c = toupper(in[i]);
+    if (c != in[i]) { changed++; }
+    putchar(c);
+  }
+  return changed;
+}
+)");
+
+  // ---- tr_ab: tr 'a' 'b'.
+  add("tr_ab", 5, "banana", R"(
+int umain(unsigned char *in, int n) {
+  int replaced = 0;
+  for (long i = 0; in[i]; i++) {
+    if (in[i] == 'a') { putchar('b'); replaced++; }
+    else { putchar(in[i]); }
+  }
+  return replaced;
+}
+)");
+
+  // ---- tr_flex: upcase or downcase, chosen by the first byte.
+  add("tr_flex", 5, "uab", R"(
+int umain(unsigned char *in, int n) {
+  int up = in[0] == 'u';
+  int changed = 0;
+  for (long i = 1; in[i]; i++) {
+    int c = up ? toupper(in[i]) : tolower(in[i]);
+    if (c != in[i]) { changed++; }
+    putchar(c);
+  }
+  return changed;
+}
+)");
+
+  // ---- trim: strip leading/trailing whitespace.
+  add("trim", 6, "  hi  ", R"(
+int umain(unsigned char *in, int n) {
+  long len = strlen((char*)in);
+  long start = 0;
+  while (in[start] && isspace(in[start])) { start++; }
+  long end = len;
+  while (end > start && isspace(in[end - 1])) { end--; }
+  for (long i = start; i < end; i++) { putchar(in[i]); }
+  return (int)(end - start);
+}
+)");
+
+  // ---- true: exit 0.
+  add("true", 2, "", R"(
+int umain(unsigned char *in, int n) { return 0; }
+)");
+
+  // ---- unexpand: four spaces to a tab.
+  add("unexpand", 5, "a    b", R"(
+int umain(unsigned char *in, int n) {
+  int packed = 0;
+  long i = 0;
+  while (in[i]) {
+    if (in[i] == ' ' && in[i+1] == ' ' && in[i+2] == ' ' && in[i+3] == ' ') {
+      putchar('\t');
+      packed++;
+      i += 4;
+    } else {
+      putchar(in[i]);
+      i++;
+    }
+  }
+  return packed;
+}
+)");
+
+  // ---- uniq_chars: drop repeated adjacent characters (uniq on bytes).
+  add("uniq_chars", 5, "aabbc", R"(
+int umain(unsigned char *in, int n) {
+  int kept = 0;
+  int prev = -1;
+  for (long i = 0; in[i]; i++) {
+    if (in[i] != prev) {
+      putchar(in[i]);
+      kept++;
+      prev = in[i];
+    }
+  }
+  return kept;
+}
+)");
+
+  // ---- vis: escape non-printable bytes as octal (vis/cat -v).
+  add("vis", 4, "a\x03b", R"(
+int umain(unsigned char *in, int n) {
+  int escaped = 0;
+  for (long i = 0; in[i]; i++) {
+    if (isprint(in[i])) {
+      putchar(in[i]);
+    } else {
+      putchar('\\');
+      putchar('0' + ((in[i] >> 6) & 7));
+      putchar('0' + ((in[i] >> 3) & 7));
+      putchar('0' + (in[i] & 7));
+      escaped++;
+    }
+  }
+  return escaped;
+}
+)");
+
+  // ---- wc: the paper's flagship — lines, words, chars packed into an int.
+  add("wc", 6, "two words\nand more\n", R"(
+int words(unsigned char *str, int any) {
+  int res = 0;
+  int new_word = 1;
+  for (unsigned char *p = str; *p; ++p) {
+    if (isspace((int)*p) || (any && !isalpha((int)*p))) {
+      new_word = 1;
+    } else {
+      if (new_word) { ++res; new_word = 0; }
+    }
+  }
+  return res;
+}
+int umain(unsigned char *in, int n) {
+  int lines = 0;
+  int chars = 0;
+  for (long i = 0; in[i]; i++) {
+    chars++;
+    if (in[i] == '\n') { lines++; }
+  }
+  return lines * 10000 + words(in, 0) * 100 + chars % 100;
+}
+)");
+
+  // ---- wc_any: Listing 1 verbatim, with `any` supplied at run time — the
+  // exact unswitching scenario of the paper's Section 1.
+  add("wc_any", 5, "ado be", R"(
+int wc(unsigned char *str, int any) {
+  int res = 0;
+  int new_word = 1;
+  for (unsigned char *p = str; *p; ++p) {
+    if (isspace((int)*p) || (any && !isalpha((int)*p))) {
+      new_word = 1;
+    } else {
+      if (new_word) { ++res; new_word = 0; }
+    }
+  }
+  return res;
+}
+int umain(unsigned char *in, int n) {
+  return wc(in + 1, in[0] == 'a');
+}
+)");
+
+  // ---- word_freq: count occurrences of the most frequent letter.
+  add("word_freq", 5, "abbccc", R"(
+int umain(unsigned char *in, int n) {
+  int counts[26];
+  for (int i = 0; i < 26; i++) { counts[i] = 0; }
+  for (long i = 0; in[i]; i++) {
+    int c = tolower(in[i]);
+    if (c >= 'a' && c <= 'z') { counts[c - 'a']++; }
+  }
+  int best = 0;
+  for (int i = 0; i < 26; i++) {
+    if (counts[i] > best) { best = counts[i]; }
+  }
+  return best;
+}
+)");
+
+  // ---- yes_lite: fixed output, input-independent.
+  add("yes_lite", 2, "", R"(
+int umain(unsigned char *in, int n) {
+  for (int i = 0; i < 4; i++) { putchar('y'); putchar('\n'); }
+  return 0;
+}
+)");
+
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<Workload>& CoreutilsSuite() {
+  static const std::vector<Workload>* kSuite = new std::vector<Workload>(BuildSuite());
+  return *kSuite;
+}
+
+const Workload* FindWorkload(const std::string& name) {
+  for (const Workload& workload : CoreutilsSuite()) {
+    if (workload.name == name) {
+      return &workload;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace overify

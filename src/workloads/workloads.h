@@ -1,0 +1,35 @@
+// The Coreutils-style workload suite.
+//
+// The paper's evaluation (§4) re-runs KLEE's Coreutils case study: 93
+// experiments over UNIX text utilities with 2-10 bytes of symbolic input.
+// GNU sources are not reproducible here (build system, POSIX environment),
+// so the suite consists of utility kernels written in MiniC that exercise
+// the same idioms the originals do — byte loops over NUL-terminated input,
+// ctype classification chains, fixed-size line buffers, small parsers —
+// because those idioms, not GNU's option parsing, are what drive symbolic
+// execution cost.
+//
+// Every program defines `int umain(unsigned char *in, int n)`: `in` holds n
+// symbolic bytes plus a guaranteed NUL, standing in for the utility's stdin
+// or argument (exactly how the paper models symbolic input).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace overify {
+
+struct Workload {
+  std::string name;
+  std::string source;         // MiniC source defining umain
+  unsigned default_sym_bytes; // symbolic-input size for headline runs
+  std::string sample_input;   // realistic concrete input for t_run
+};
+
+// All workloads, alphabetical.
+const std::vector<Workload>& CoreutilsSuite();
+
+// Lookup by name; null when absent.
+const Workload* FindWorkload(const std::string& name);
+
+}  // namespace overify

@@ -1,0 +1,332 @@
+// Tests for alias analysis, range analysis, call graph and path counting.
+#include <gtest/gtest.h>
+
+#include "src/analysis/alias_analysis.h"
+#include "src/analysis/call_graph.h"
+#include "src/analysis/path_count.h"
+#include "src/analysis/range_analysis.h"
+#include "src/ir/parser.h"
+
+namespace overify {
+namespace {
+
+Instruction* FindInst(Function* f, const std::string& name) {
+  for (BasicBlock& bb : *f) {
+    for (auto& inst : bb) {
+      if (inst->name() == name) {
+        return inst.get();
+      }
+    }
+  }
+  return nullptr;
+}
+
+TEST(AliasTest, DistinctAllocasNoAlias) {
+  auto m = ParseModuleOrDie(R"(
+    func @f() -> i32 {
+    entry:
+      %a = alloca i32
+      %b = alloca i32
+      %v = load %a
+      %w = load %b
+      %s = add %v, %w
+      ret %s
+    }
+  )");
+  Function* f = m->GetFunction("f");
+  Instruction* a = FindInst(f, "a");
+  Instruction* b = FindInst(f, "b");
+  EXPECT_EQ(Alias(a, 4, b, 4), AliasResult::kNoAlias);
+  EXPECT_EQ(Alias(a, 4, a, 4), AliasResult::kMustAlias);
+}
+
+TEST(AliasTest, GepConstantOffsetsDisjoint) {
+  auto m = ParseModuleOrDie(R"(
+    func @f() -> i8 {
+    entry:
+      %buf = alloca [8 x i8]
+      %p0 = gep [8 x i8], %buf, i64 0, i64 0
+      %p1 = gep [8 x i8], %buf, i64 0, i64 1
+      %v = load %p0
+      %w = load %p1
+      %s = add %v, %w
+      ret %s
+    }
+  )");
+  Function* f = m->GetFunction("f");
+  Instruction* p0 = FindInst(f, "p0");
+  Instruction* p1 = FindInst(f, "p1");
+  EXPECT_EQ(Alias(p0, 1, p1, 1), AliasResult::kNoAlias);
+  EXPECT_EQ(Alias(p0, 2, p1, 1), AliasResult::kMayAlias);  // 2-byte access overlaps
+  EXPECT_EQ(Alias(p0, 1, p0, 1), AliasResult::kMustAlias);
+}
+
+TEST(AliasTest, VariableIndexMayAlias) {
+  auto m = ParseModuleOrDie(R"(
+    func @f(%i: i64) -> i8 {
+    entry:
+      %buf = alloca [8 x i8]
+      %p0 = gep [8 x i8], %buf, i64 0, i64 0
+      %pi = gep [8 x i8], %buf, i64 0, %i
+      %v = load %p0
+      %w = load %pi
+      %s = add %v, %w
+      ret %s
+    }
+  )");
+  Function* f = m->GetFunction("f");
+  EXPECT_EQ(Alias(FindInst(f, "p0"), 1, FindInst(f, "pi"), 1), AliasResult::kMayAlias);
+}
+
+TEST(AliasTest, NonEscapingAllocaVsArgument) {
+  auto m = ParseModuleOrDie(R"(
+    func @f(%p: i32*) -> i32 {
+    entry:
+      %a = alloca i32
+      store i32 1, %a
+      %v = load %a
+      %w = load %p
+      %s = add %v, %w
+      ret %s
+    }
+  )");
+  Function* f = m->GetFunction("f");
+  Instruction* a = FindInst(f, "a");
+  EXPECT_TRUE(IsNonEscapingAlloca(Cast<AllocaInst>(a)));
+  EXPECT_EQ(Alias(a, 4, f->Arg(0), 4), AliasResult::kNoAlias);
+}
+
+TEST(AliasTest, EscapedAllocaMayAliasArgument) {
+  auto m = ParseModuleOrDie(R"(
+    declare @sink(i32*) -> void
+    func @f(%p: i32*) -> i32 {
+    entry:
+      %a = alloca i32
+      call @sink(%a)
+      %v = load %a
+      %w = load %p
+      %s = add %v, %w
+      ret %s
+    }
+  )");
+  Function* f = m->GetFunction("f");
+  Instruction* a = FindInst(f, "a");
+  EXPECT_FALSE(IsNonEscapingAlloca(Cast<AllocaInst>(a)));
+  EXPECT_EQ(Alias(a, 4, f->Arg(0), 4), AliasResult::kMayAlias);
+}
+
+TEST(RangeTest, ArithmeticPropagation) {
+  auto m = ParseModuleOrDie(R"(
+    func @f(%x: i32) -> i32 {
+    entry:
+      %masked = and %x, i32 15
+      %scaled = mul %masked, i32 3
+      %shifted = add %scaled, i32 100
+      ret %shifted
+    }
+  )");
+  Function* f = m->GetFunction("f");
+  RangeAnalysis ranges(*f);
+  EXPECT_EQ(ranges.RangeOf(FindInst(f, "masked")), (ValueRange{0, 15}));
+  EXPECT_EQ(ranges.RangeOf(FindInst(f, "scaled")), (ValueRange{0, 45}));
+  EXPECT_EQ(ranges.RangeOf(FindInst(f, "shifted")), (ValueRange{100, 145}));
+}
+
+TEST(RangeTest, PhiUnionAndDecide) {
+  auto m = ParseModuleOrDie(R"(
+    func @f(%c: i1) -> i32 {
+    entry:
+      br %c, label %a, label %b
+    a:
+      br label %join
+    b:
+      br label %join
+    join:
+      %v = phi i32 [ i32 3, %a ], [ i32 7, %b ]
+      %cmp = icmp slt %v, i32 10
+      %r = select %cmp, %v, i32 0
+      ret %r
+    }
+  )");
+  Function* f = m->GetFunction("f");
+  RangeAnalysis ranges(*f);
+  EXPECT_EQ(ranges.RangeOf(FindInst(f, "v")), (ValueRange{3, 7}));
+  bool result = false;
+  Instruction* v = FindInst(f, "v");
+  EXPECT_TRUE(ranges.DecideICmp(ICmpPredicate::kSLT, v, m->context().GetInt(32, 10), result));
+  EXPECT_TRUE(result);
+  EXPECT_TRUE(ranges.DecideICmp(ICmpPredicate::kSGT, v, m->context().GetInt(32, 10), result));
+  EXPECT_FALSE(result);
+  // Undecidable case.
+  EXPECT_FALSE(ranges.DecideICmp(ICmpPredicate::kSLT, v, m->context().GetInt(32, 5), result));
+}
+
+TEST(RangeTest, LoopVariableWidens) {
+  auto m = ParseModuleOrDie(R"(
+    func @f(%n: i32) -> i32 {
+    entry:
+      br label %loop
+    loop:
+      %i = phi i32 [ i32 0, %entry ], [ %ni, %loop ]
+      %ni = add %i, i32 1
+      %done = icmp sge %ni, %n
+      br %done, label %exit, label %loop
+    exit:
+      ret %i
+    }
+  )");
+  Function* f = m->GetFunction("f");
+  RangeAnalysis ranges(*f);
+  // The loop counter is unbounded above; analysis must not claim otherwise.
+  ValueRange r = ranges.RangeOf(FindInst(f, "i"));
+  EXPECT_GE(r.hi, 1 << 20);
+  EXPECT_LE(r.lo, 0);
+}
+
+TEST(RangeHelpersTest, OverflowSaturatesToFull) {
+  ValueRange big{INT64_MAX - 5, INT64_MAX - 1};
+  EXPECT_TRUE(RangeAdd(big, big, 64).IsFull(64));
+  EXPECT_EQ(RangeAdd(ValueRange{1, 2}, ValueRange{3, 4}, 32), (ValueRange{4, 6}));
+  EXPECT_EQ(RangeSub(ValueRange{5, 10}, ValueRange{1, 2}, 32), (ValueRange{3, 9}));
+  EXPECT_EQ(RangeMul(ValueRange{-2, 3}, ValueRange{4, 5}, 32), (ValueRange{-10, 15}));
+  EXPECT_EQ(RangeUnion(ValueRange{0, 1}, ValueRange{5, 9}), (ValueRange{0, 9}));
+}
+
+TEST(CallGraphTest, EdgesAndOrder) {
+  auto m = ParseModuleOrDie(R"(
+    func @leaf(%x: i32) -> i32 {
+    entry:
+      %r = add %x, i32 1
+      ret %r
+    }
+    func @mid(%x: i32) -> i32 {
+    entry:
+      %r = call @leaf(%x)
+      ret %r
+    }
+    func @top(%x: i32) -> i32 {
+    entry:
+      %a = call @mid(%x)
+      %b = call @leaf(%a)
+      %r = add %a, %b
+      ret %r
+    }
+  )");
+  CallGraph cg(*m);
+  Function* leaf = m->GetFunction("leaf");
+  Function* mid = m->GetFunction("mid");
+  Function* top = m->GetFunction("top");
+  EXPECT_EQ(cg.Callees(top).size(), 2u);
+  EXPECT_EQ(cg.Callers(leaf).size(), 2u);
+  EXPECT_FALSE(cg.IsRecursive(leaf));
+  auto order = cg.BottomUpOrder();
+  auto pos = [&](Function* f) {
+    return std::find(order.begin(), order.end(), f) - order.begin();
+  };
+  EXPECT_LT(pos(leaf), pos(mid));
+  EXPECT_LT(pos(mid), pos(top));
+  EXPECT_EQ(cg.CallSitesOf(leaf).size(), 2u);
+}
+
+TEST(CallGraphTest, DetectsRecursionAndCycles) {
+  auto m = ParseModuleOrDie(R"(
+    func @self(%x: i32) -> i32 {
+    entry:
+      %c = icmp sle %x, i32 0
+      br %c, label %base, label %rec
+    base:
+      ret i32 0
+    rec:
+      %x1 = sub %x, i32 1
+      %r = call @self(%x1)
+      ret %r
+    }
+    func @a(%x: i32) -> i32 {
+    entry:
+      %r = call @b(%x)
+      ret %r
+    }
+    func @b(%x: i32) -> i32 {
+    entry:
+      %r = call @a(%x)
+      ret %r
+    }
+  )");
+  CallGraph cg(*m);
+  EXPECT_TRUE(cg.IsRecursive(m->GetFunction("self")));
+  EXPECT_TRUE(cg.IsRecursive(m->GetFunction("a")));
+  EXPECT_TRUE(cg.IsRecursive(m->GetFunction("b")));
+}
+
+TEST(PathCountTest, DiamondAndChain) {
+  auto m = ParseModuleOrDie(R"(
+    func @two(%c: i1) -> i32 {
+    entry:
+      br %c, label %a, label %b
+    a:
+      br label %join
+    b:
+      br label %join
+    join:
+      %r = phi i32 [ i32 1, %a ], [ i32 2, %b ]
+      ret %r
+    }
+    func @one() -> i32 {
+    entry:
+      br label %next
+    next:
+      ret i32 0
+    }
+  )");
+  EXPECT_EQ(CountAcyclicPaths(*m->GetFunction("two")), 2u);
+  EXPECT_EQ(CountAcyclicPaths(*m->GetFunction("one")), 1u);
+  EXPECT_EQ(CountConditionalBranches(*m->GetFunction("two")), 1u);
+}
+
+TEST(PathCountTest, SequentialDiamondsMultiply) {
+  auto m = ParseModuleOrDie(R"(
+    func @f(%c1: i1, %c2: i1, %c3: i1) -> i32 {
+    e1:
+      br %c1, label %a1, label %b1
+    a1:
+      br label %e2
+    b1:
+      br label %e2
+    e2:
+      br %c2, label %a2, label %b2
+    a2:
+      br label %e3
+    b2:
+      br label %e3
+    e3:
+      br %c3, label %a3, label %b3
+    a3:
+      br label %done
+    b3:
+      br label %done
+    done:
+      ret i32 0
+    }
+  )");
+  EXPECT_EQ(CountAcyclicPaths(*m->GetFunction("f")), 8u);
+}
+
+TEST(PathCountTest, BackEdgesCut) {
+  auto m = ParseModuleOrDie(R"(
+    func @loop(%n: i32) -> i32 {
+    entry:
+      br label %header
+    header:
+      %i = phi i32 [ i32 0, %entry ], [ %ni, %header ]
+      %ni = add %i, i32 1
+      %c = icmp slt %ni, %n
+      br %c, label %header, label %exit
+    exit:
+      ret %i
+    }
+  )");
+  EXPECT_EQ(CountAcyclicPaths(*m->GetFunction("loop")), 1u);
+}
+
+}  // namespace
+}  // namespace overify

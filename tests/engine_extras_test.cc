@@ -1,0 +1,177 @@
+// Engine behaviours beyond the happy path: search order, fork isolation,
+// limits, the memory model's copy-on-write discipline, and output capture.
+#include <gtest/gtest.h>
+
+#include "src/frontend/codegen.h"
+#include "src/symex/executor.h"
+#include "src/symex/memory.h"
+
+namespace overify {
+namespace {
+
+std::unique_ptr<Module> CompileOrDie(const std::string& source) {
+  DiagnosticEngine diags;
+  auto m = CompileMiniC(source, "engine_extras", diags);
+  EXPECT_NE(m, nullptr) << diags.ToString();
+  return m;
+}
+
+TEST(SearchOrderTest, BfsAndDfsExploreTheSamePathSet) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int score = 0;
+      if (in[0] > 'm') { score += 1; }
+      if (in[1] > 'm') { score += 2; }
+      if (in[2] > 'm') { score += 4; }
+      return score;
+    }
+  )");
+  SymexLimits limits;
+  SymexOptions dfs;
+  dfs.depth_first = true;
+  SymexOptions bfs;
+  bfs.depth_first = false;
+  SymexResult dfs_result = SymbolicExecutor(*m, dfs).Run("umain", 3, limits);
+  SymexResult bfs_result = SymbolicExecutor(*m, bfs).Run("umain", 3, limits);
+  EXPECT_TRUE(dfs_result.exhausted);
+  EXPECT_TRUE(bfs_result.exhausted);
+  EXPECT_EQ(dfs_result.paths_completed, 8u);
+  EXPECT_EQ(bfs_result.paths_completed, 8u);
+  EXPECT_EQ(dfs_result.forks, bfs_result.forks);
+}
+
+TEST(ForkIsolationTest, SiblingPathsDoNotShareMemoryWrites) {
+  // Each branch writes a different value into the same buffer slot; if forked
+  // states leaked object state, the check would fire on some path.
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      unsigned char tag[1];
+      if (in[0] == 'A') { tag[0] = 1; } else { tag[0] = 2; }
+      if (in[0] == 'A') { __check(tag[0] == 1, "lost write on A path"); }
+      else { __check(tag[0] == 2, "lost write on other path"); }
+      return tag[0];
+    }
+  )");
+  SymexLimits limits;
+  SymexResult result = SymbolicExecutor(*m).Run("umain", 1, limits);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.bugs.empty()) << result.bugs[0].message;
+  EXPECT_EQ(result.paths_completed, 2u);
+}
+
+TEST(ForkIsolationTest, PointerSlotsArePathLocal) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      unsigned char *p;   /* pointer variable spilled to memory at -O0 */
+      unsigned char a[1];
+      unsigned char b[1];
+      a[0] = 10;
+      b[0] = 20;
+      if (in[0] == 'x') { p = a; } else { p = b; }
+      if (in[0] == 'x') { __check(*p == 10, "pointer slot leaked: a"); }
+      else { __check(*p == 20, "pointer slot leaked: b"); }
+      return *p;
+    }
+  )");
+  SymexLimits limits;
+  SymexResult result = SymbolicExecutor(*m).Run("umain", 1, limits);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.bugs.empty()) << result.bugs[0].message;
+}
+
+TEST(LimitsTest, MaxForksStopsExploration) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int c = 0;
+      for (int i = 0; i < n; i++) {
+        if (in[i] == 'q') { c++; }
+      }
+      return c;
+    }
+  )");
+  SymexLimits limits;
+  limits.max_forks = 3;
+  SymexResult result = SymbolicExecutor(*m).Run("umain", 8, limits);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_LE(result.forks, 4u);  // one in-flight fork may complete the step
+}
+
+TEST(LimitsTest, MaxInstructionsStopsExploration) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int x = 0;
+      while (1) { x = x + 1; }
+      return x;
+    }
+  )");
+  SymexLimits limits;
+  limits.max_instructions = 500;
+  SymexResult result = SymbolicExecutor(*m).Run("umain", 1, limits);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_EQ(result.paths_completed, 0u);
+  EXPECT_GE(result.instructions, 500u);
+  EXPECT_LE(result.instructions, 600u);
+}
+
+TEST(MemoryModelTest, CopyOnWriteSharesUntilMutation) {
+  ExprContext ctx;
+  AddressSpace space_a;
+  uint64_t id = space_a.Allocate(ctx, 4, false, false, "buf");
+  space_a.Write(id).SetByte(0, ctx.Constant(7, 8));
+
+  AddressSpace space_b = space_a;  // fork
+  // Reads agree and share the same object.
+  EXPECT_EQ(&space_a.Read(id), &space_b.Read(id));
+  // Mutating the copy detaches it.
+  space_b.Write(id).SetByte(0, ctx.Constant(9, 8));
+  EXPECT_NE(&space_a.Read(id), &space_b.Read(id));
+  EXPECT_EQ(space_a.Read(id).Byte(0)->constant_value(), 7u);
+  EXPECT_EQ(space_b.Read(id).Byte(0)->constant_value(), 9u);
+}
+
+TEST(MemoryModelTest, FreeRemovesObject) {
+  ExprContext ctx;
+  AddressSpace space;
+  uint64_t id = space.Allocate(ctx, 8, false, true, "frame");
+  EXPECT_TRUE(space.Exists(id));
+  EXPECT_EQ(space.Meta(id).size, 8u);
+  space.Free(id);
+  EXPECT_FALSE(space.Exists(id));
+}
+
+TEST(DeadStackObjectTest, EscapedFrameAddressIsReportedOnUse) {
+  // A function stores the address of its local into a global slot; using it
+  // after return is a classic stack-escape bug the engine flags.
+  auto m = CompileOrDie(R"(
+    unsigned char *saved;
+    void leak(void) {
+      unsigned char local[2];
+      local[0] = 5;
+      saved = local;
+    }
+    int umain(unsigned char *in, int n) {
+      leak();
+      return *saved;
+    }
+  )");
+  SymexLimits limits;
+  SymexResult result = SymbolicExecutor(*m).Run("umain", 1, limits);
+  EXPECT_TRUE(result.FoundBug(BugKind::kOutOfBounds));
+}
+
+TEST(OutputCaptureTest, SymbolicOutputBytesAreTracked) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      putchar(in[0] + 1);   /* symbolic byte flows to output */
+      putchar('!');
+      return 0;
+    }
+  )");
+  SymexLimits limits;
+  SymexResult result = SymbolicExecutor(*m).Run("umain", 1, limits);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.paths_completed, 1u);  // output does not fork
+}
+
+}  // namespace
+}  // namespace overify

@@ -1,0 +1,180 @@
+// Tests for the concrete interpreter and its cost model.
+#include <gtest/gtest.h>
+
+#include "src/exec/interpreter.h"
+#include "src/frontend/codegen.h"
+
+namespace overify {
+namespace {
+
+std::unique_ptr<Module> CompileOrDie(const std::string& source) {
+  DiagnosticEngine diags;
+  auto m = CompileMiniC(source, "interp_test", diags);
+  EXPECT_NE(m, nullptr) << diags.ToString();
+  return m;
+}
+
+TEST(InterpreterTest, ArithmeticAndControlFlow) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int sum = 0;
+      for (int i = 1; i <= 10; i++) { sum += i; }
+      return sum;
+    }
+  )");
+  Interpreter interp(*m);
+  auto result = interp.Run("umain", "");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.return_value, 55);
+  EXPECT_GT(result.instructions, 50u);
+  EXPECT_GT(result.cost_units, result.instructions / 2);
+}
+
+TEST(InterpreterTest, ReadsInputBuffer) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int sum = 0;
+      for (int i = 0; i < n; i++) { sum += in[i]; }
+      return sum;
+    }
+  )");
+  Interpreter interp(*m);
+  auto result = interp.Run("umain", "abc");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.return_value, 'a' + 'b' + 'c');
+}
+
+TEST(InterpreterTest, SignedSemantics) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      char c = (char)in[0];      /* 0xFF -> -1 */
+      int wide = c;
+      int shifted = wide >> 1;   /* arithmetic shift */
+      return shifted;
+    }
+  )");
+  Interpreter interp(*m);
+  auto result = interp.Run("umain", "\xFF");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.return_value, -1);
+}
+
+TEST(InterpreterTest, DivisionByZeroTraps) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) { return 7 / (in[0] - 'a'); }
+  )");
+  Interpreter interp(*m);
+  auto bad = interp.Run("umain", "a");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("division by zero"), std::string::npos);
+  auto good = interp.Run("umain", "b");
+  EXPECT_TRUE(good.ok);
+  EXPECT_EQ(good.return_value, 7);
+}
+
+TEST(InterpreterTest, OutOfBoundsTraps) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int a[2] = {1, 2};
+      return a[in[0]];
+    }
+  )");
+  Interpreter interp(*m);
+  EXPECT_TRUE(interp.Run("umain", "\x01").ok);
+  auto result = interp.Run("umain", "\x05");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(InterpreterTest, CheckTraps) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      __check(in[0] != 'x', "no x allowed");
+      return 0;
+    }
+  )");
+  Interpreter interp(*m);
+  EXPECT_TRUE(interp.Run("umain", "y").ok);
+  auto result = interp.Run("umain", "x");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no x allowed"), std::string::npos);
+}
+
+TEST(InterpreterTest, PutcharOutput) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      for (int i = 0; i < n; i++) { putchar(in[i] + 1); }
+      return 0;
+    }
+  )");
+  Interpreter interp(*m);
+  auto result = interp.Run("umain", "abc");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.output, "bcd");
+}
+
+TEST(InterpreterTest, GlobalsPersistAcrossCalls) {
+  auto m = CompileOrDie(R"(
+    int counter = 100;
+    void bump(void) { counter += 1; }
+    int umain(unsigned char *in, int n) {
+      bump();
+      bump();
+      bump();
+      return counter;
+    }
+  )");
+  Interpreter interp(*m);
+  auto result = interp.Run("umain", "");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.return_value, 103);
+}
+
+TEST(InterpreterTest, RecursionAndStackDiscipline) {
+  auto m = CompileOrDie(R"(
+    int fib(int k) { return k < 2 ? k : fib(k - 1) + fib(k - 2); }
+    int umain(unsigned char *in, int n) { return fib(12); }
+  )");
+  Interpreter interp(*m);
+  auto result = interp.Run("umain", "");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.return_value, 144);
+}
+
+TEST(InterpreterTest, InstructionLimitTrips) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int i = 0;
+      while (1) { i++; }
+      return i;
+    }
+  )");
+  Interpreter interp(*m);
+  InterpLimits limits;
+  limits.max_instructions = 10000;
+  auto result = interp.Run(m->GetFunction("umain"), {}, limits);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("instruction limit"), std::string::npos);
+}
+
+TEST(InterpreterTest, CostModelWeightsApply) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int a = in[0];
+      return a / 3;
+    }
+  )");
+  CostModel cheap;
+  CostModel pricey;
+  pricey.div = 100;
+  Interpreter interp1(*m, cheap);
+  Interpreter interp2(*m, pricey);
+  auto r1 = interp1.Run("umain", "z");
+  auto r2 = interp2.Run("umain", "z");
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_EQ(r1.return_value, r2.return_value);
+  EXPECT_GT(r2.cost_units, r1.cost_units + 50);
+}
+
+}  // namespace
+}  // namespace overify

@@ -1,0 +1,260 @@
+// Tests for the textual IR parser and printer round-trip.
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+
+namespace overify {
+namespace {
+
+TEST(ParserTest, ParsesSimpleFunction) {
+  auto m = ParseModuleOrDie(R"(
+    func @f(%a: i32, %b: i32) -> i32 {
+    entry:
+      %sum = add %a, %b
+      ret %sum
+    }
+  )");
+  Function* f = m->GetFunction("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->NumArgs(), 2u);
+  EXPECT_EQ(f->entry()->size(), 2u);
+  EXPECT_TRUE(VerifyModule(*m).empty());
+}
+
+TEST(ParserTest, ParsesControlFlowAndPhis) {
+  auto m = ParseModuleOrDie(R"(
+    func @abs(%x: i32) -> i32 {
+    entry:
+      %neg = icmp slt %x, i32 0
+      br %neg, label %flip, label %done
+    flip:
+      %m = sub i32 0, %x
+      br label %done
+    done:
+      %r = phi i32 [ %x, %entry ], [ %m, %flip ]
+      ret %r
+    }
+  )");
+  EXPECT_TRUE(VerifyModule(*m).empty());
+  Function* f = m->GetFunction("abs");
+  EXPECT_EQ(f->NumBlocks(), 3u);
+}
+
+TEST(ParserTest, ForwardReferenceInPhiAcrossBackEdge) {
+  auto m = ParseModuleOrDie(R"(
+    func @count(%n: i32) -> i32 {
+    entry:
+      br label %loop
+    loop:
+      %i = phi i32 [ i32 0, %entry ], [ %next, %loop ]
+      %next = add %i, i32 1
+      %done = icmp sge %next, %n
+      br %done, label %exit, label %loop
+    exit:
+      ret %next
+    }
+  )");
+  EXPECT_TRUE(VerifyModule(*m).empty());
+}
+
+TEST(ParserTest, ParsesGlobalsCallsAndGep) {
+  auto m = ParseModuleOrDie(R"(
+    global @msg : [3 x i8] const = "hi\0"
+    declare @use(i8) -> void
+    func @f() -> i8 {
+    entry:
+      %p = gep [3 x i8], @msg, i64 0, i64 1
+      %c = load %p
+      call @use(%c)
+      ret %c
+    }
+  )");
+  EXPECT_TRUE(VerifyModule(*m).empty());
+  EXPECT_NE(m->GetGlobal("msg"), nullptr);
+  EXPECT_TRUE(m->GetFunction("use")->IsDeclaration());
+}
+
+TEST(ParserTest, ParsesAllOperations) {
+  auto m = ParseModuleOrDie(R"(
+    func @ops(%a: i32, %p: i32*) -> i32 {
+    entry:
+      %s = alloca i32
+      store %a, %s
+      %v = load %s
+      %b1 = sub %v, i32 1
+      %b2 = mul %b1, i32 3
+      %b3 = udiv %b2, i32 2
+      %b4 = sdiv %b3, i32 2
+      %b5 = urem %b4, i32 7
+      %b6 = srem %b5, i32 5
+      %b7 = and %b6, i32 255
+      %b8 = or %b7, i32 1
+      %b9 = xor %b8, i32 15
+      %b10 = shl %b9, i32 1
+      %b11 = lshr %b10, i32 1
+      %b12 = ashr %b11, i32 1
+      %w = zext %b12 to i64
+      %t = trunc %w to i8
+      %x = sext %t to i32
+      %c = icmp ne %x, i32 0
+      %sel = select %c, %x, i32 42
+      check %c, assert, "x must be nonzero"
+      ret %sel
+    }
+  )");
+  EXPECT_TRUE(VerifyModule(*m).empty());
+  EXPECT_EQ(m->GetFunction("ops")->InstructionCount(), 22u);
+}
+
+TEST(ParserTest, RoundTripIsStable) {
+  auto m1 = ParseModuleOrDie(R"(
+    global @tab : [2 x i32] = [1, 0, 0, 0, 2, 0, 0, 0]
+    func @f(%n: i32) -> i32 {
+    entry:
+      br label %loop
+    loop:
+      %i = phi i32 [ i32 0, %entry ], [ %ni, %loop ]
+      %acc = phi i32 [ i32 0, %entry ], [ %nacc, %loop ]
+      %ix = zext %i to i64
+      %p = gep [2 x i32], @tab, i64 0, %ix
+      %v = load %p
+      %nacc = add %acc, %v
+      %ni = add %i, i32 1
+      %done = icmp uge %ni, %n
+      br %done, label %exit, label %loop
+    exit:
+      ret %nacc
+    }
+  )");
+  std::string printed1 = PrintModule(*m1);
+  auto m2 = ParseModuleOrDie(printed1);
+  std::string printed2 = PrintModule(*m2);
+  EXPECT_EQ(printed1, printed2);
+  EXPECT_TRUE(VerifyModule(*m2).empty());
+}
+
+TEST(ParserTest, ReportsUnknownValue) {
+  DiagnosticEngine diags;
+  auto m = ParseModule(R"(
+    func @f() -> i32 {
+    entry:
+      ret %nope
+    }
+  )",
+                       diags);
+  EXPECT_EQ(m, nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(ParserTest, ReportsUnresolvedForwardReference) {
+  DiagnosticEngine diags;
+  auto m = ParseModule(R"(
+    func @f(%c: i1) -> i32 {
+    entry:
+      br label %loop
+    loop:
+      %x = phi i32 [ i32 0, %entry ], [ %missing, %loop ]
+      br %c, label %loop, label %out
+    out:
+      ret %x
+    }
+  )",
+                       diags);
+  EXPECT_EQ(m, nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(ParserTest, ReportsUndefinedLabel) {
+  DiagnosticEngine diags;
+  auto m = ParseModule(R"(
+    func @f() -> void {
+    entry:
+      br label %nowhere
+    }
+  )",
+                       diags);
+  EXPECT_EQ(m, nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(ParserTest, ReportsTypeMismatch) {
+  DiagnosticEngine diags;
+  auto m = ParseModule(R"(
+    func @f(%a: i32, %b: i8) -> i32 {
+    entry:
+      %x = add %a, %b
+      ret %x
+    }
+  )",
+                       diags);
+  EXPECT_EQ(m, nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(ParserTest, ReportsDuplicateDefinition) {
+  DiagnosticEngine diags;
+  auto m = ParseModule(R"(
+    func @f(%a: i32) -> i32 {
+    entry:
+      %x = add %a, i32 1
+      %x = add %a, i32 2
+      ret %x
+    }
+  )",
+                       diags);
+  EXPECT_EQ(m, nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(ParserTest, ParsesCommentsAndNegativeNumbers) {
+  auto m = ParseModuleOrDie(R"(
+    ; leading comment
+    func @f() -> i32 {
+    entry:            ; trailing comment
+      %x = add i32 -3, i32 -4
+      ret %x
+    }
+  )");
+  EXPECT_TRUE(VerifyModule(*m).empty());
+}
+
+TEST(ParserTest, ParsesVoidFunctionAndUnreachable) {
+  auto m = ParseModuleOrDie(R"(
+    func @f(%c: i1) -> void {
+    entry:
+      br %c, label %a, label %b
+    a:
+      ret
+    b:
+      unreachable
+    }
+  )");
+  EXPECT_TRUE(VerifyModule(*m).empty());
+}
+
+TEST(ParserTest, BlockOrderFollowsLabels) {
+  auto m = ParseModuleOrDie(R"(
+    func @f(%c: i1) -> void {
+    entry:
+      br %c, label %second, label %third
+    second:
+      ret
+    third:
+      ret
+    }
+  )");
+  Function* f = m->GetFunction("f");
+  std::vector<std::string> names;
+  for (BasicBlock& bb : *f) {
+    names.push_back(bb.name());
+  }
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "entry");
+  EXPECT_EQ(names[1], "second");
+  EXPECT_EQ(names[2], "third");
+}
+
+}  // namespace
+}  // namespace overify

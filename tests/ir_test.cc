@@ -1,0 +1,332 @@
+// Unit tests for the VIR core: types, constants, instructions, use lists,
+// blocks, functions and the printer.
+#include <gtest/gtest.h>
+
+#include "src/ir/irbuilder.h"
+#include "src/ir/module.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+
+namespace overify {
+namespace {
+
+TEST(TypeTest, PrimitiveLayout) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  EXPECT_EQ(ctx.I1()->SizeInBytes(), 1u);
+  EXPECT_EQ(ctx.I8()->SizeInBytes(), 1u);
+  EXPECT_EQ(ctx.I16()->SizeInBytes(), 2u);
+  EXPECT_EQ(ctx.I32()->SizeInBytes(), 4u);
+  EXPECT_EQ(ctx.I64()->SizeInBytes(), 8u);
+  EXPECT_EQ(ctx.PtrTy(ctx.I8())->SizeInBytes(), 8u);
+}
+
+TEST(TypeTest, TypesAreInterned) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  EXPECT_EQ(ctx.PtrTy(ctx.I32()), ctx.PtrTy(ctx.I32()));
+  EXPECT_EQ(ctx.ArrayTy(ctx.I8(), 4), ctx.ArrayTy(ctx.I8(), 4));
+  EXPECT_NE(ctx.ArrayTy(ctx.I8(), 4), ctx.ArrayTy(ctx.I8(), 5));
+  EXPECT_EQ(ctx.StructTy({ctx.I8(), ctx.I32()}), ctx.StructTy({ctx.I8(), ctx.I32()}));
+  EXPECT_EQ(ctx.FnTy(ctx.I32(), {ctx.I8()}), ctx.FnTy(ctx.I32(), {ctx.I8()}));
+}
+
+TEST(TypeTest, ArrayLayout) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  Type* arr = ctx.ArrayTy(ctx.I32(), 10);
+  EXPECT_EQ(arr->SizeInBytes(), 40u);
+  EXPECT_EQ(arr->AlignInBytes(), 4u);
+  EXPECT_EQ(arr->element(), ctx.I32());
+  EXPECT_EQ(arr->array_count(), 10u);
+}
+
+TEST(TypeTest, StructLayoutWithPadding) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  // {i8, i32, i8} -> offsets 0, 4, 8; size 12 (padded to align 4).
+  Type* st = ctx.StructTy({ctx.I8(), ctx.I32(), ctx.I8()});
+  EXPECT_EQ(st->FieldOffset(0), 0u);
+  EXPECT_EQ(st->FieldOffset(1), 4u);
+  EXPECT_EQ(st->FieldOffset(2), 8u);
+  EXPECT_EQ(st->SizeInBytes(), 12u);
+  EXPECT_EQ(st->AlignInBytes(), 4u);
+}
+
+TEST(TypeTest, ToStringForms) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  EXPECT_EQ(ctx.I32()->ToString(), "i32");
+  EXPECT_EQ(ctx.PtrTy(ctx.I8())->ToString(), "i8*");
+  EXPECT_EQ(ctx.ArrayTy(ctx.I8(), 3)->ToString(), "[3 x i8]");
+  EXPECT_EQ(ctx.StructTy({ctx.I8(), ctx.I64()})->ToString(), "{i8, i64}");
+}
+
+TEST(ConstantTest, IntsAreInternedAndTruncated) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  EXPECT_EQ(ctx.GetInt(8, 0x1FF), ctx.GetInt(8, 0xFF));
+  EXPECT_EQ(ctx.GetInt(8, 0xFF)->value(), 0xFFu);
+  EXPECT_EQ(ctx.GetInt(8, 0xFF)->SignedValue(), -1);
+  EXPECT_TRUE(ctx.GetInt(8, 0xFF)->IsAllOnes());
+  EXPECT_TRUE(ctx.GetInt(32, 0)->IsZero());
+}
+
+TEST(ConstantTest, SignExtendHelpers) {
+  EXPECT_EQ(SignExtend(0x80, 8), -128);
+  EXPECT_EQ(SignExtend(0x7F, 8), 127);
+  EXPECT_EQ(TruncateToWidth(0x1234, 8), 0x34u);
+  EXPECT_EQ(TruncateToWidth(~0ull, 64), ~0ull);
+}
+
+TEST(ModuleTest, StringGlobalGetsNulTerminator) {
+  Module m("t");
+  GlobalVariable* g = m.CreateStringGlobal("msg", "hi");
+  ASSERT_EQ(g->initializer().size(), 3u);
+  EXPECT_EQ(g->initializer()[0], 'h');
+  EXPECT_EQ(g->initializer()[2], 0);
+  EXPECT_TRUE(g->is_const());
+  EXPECT_TRUE(g->type()->IsPointer());
+  EXPECT_EQ(m.GetGlobal("msg"), g);
+}
+
+// Builds: func @f(%a: i32, %b: i32) -> i32 { return a + b; }
+std::unique_ptr<Module> MakeAddModule() {
+  auto m = std::make_unique<Module>("add");
+  IRContext& ctx = m->context();
+  Function* f = m->CreateFunction("f", ctx.I32(), {ctx.I32(), ctx.I32()});
+  BasicBlock* entry = f->CreateBlock("entry");
+  IRBuilder b(*m);
+  b.SetInsertPoint(entry);
+  Value* sum = b.CreateAdd(f->Arg(0), f->Arg(1), "sum");
+  b.CreateRet(sum);
+  return m;
+}
+
+TEST(InstructionTest, UseListsTrackOperands) {
+  auto m = MakeAddModule();
+  Function* f = m->GetFunction("f");
+  EXPECT_EQ(f->Arg(0)->NumUses(), 1u);
+  Instruction* sum = DynCast<Instruction>(f->Arg(0)->uses()[0].user);
+  ASSERT_NE(sum, nullptr);
+  EXPECT_EQ(sum->opcode(), Opcode::kAdd);
+  EXPECT_EQ(sum->NumUses(), 1u);  // used by ret
+}
+
+TEST(InstructionTest, ReplaceAllUsesWith) {
+  auto m = MakeAddModule();
+  Function* f = m->GetFunction("f");
+  Instruction* sum = Cast<Instruction>(f->Arg(0)->uses()[0].user);
+  f->Arg(0)->ReplaceAllUsesWith(m->context().GetInt(32, 7));
+  EXPECT_EQ(f->Arg(0)->NumUses(), 0u);
+  auto* c = DynCast<ConstantInt>(sum->Operand(0));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 7u);
+}
+
+TEST(InstructionTest, EraseRequiresNoUses) {
+  auto m = MakeAddModule();
+  Function* f = m->GetFunction("f");
+  Instruction* sum = Cast<Instruction>(f->Arg(0)->uses()[0].user);
+  // Replace ret's operand so sum becomes dead, then erase it.
+  Instruction* ret = Cast<Instruction>(sum->uses()[0].user);
+  ret->SetOperand(0, m->context().GetInt(32, 0));
+  EXPECT_FALSE(sum->HasUses());
+  sum->EraseFromParent();
+  EXPECT_EQ(f->entry()->size(), 1u);
+}
+
+TEST(InstructionTest, SpeculationSafety) {
+  auto m = std::make_unique<Module>("t");
+  IRContext& ctx = m->context();
+  Function* f = m->CreateFunction("g", ctx.I32(), {ctx.I32()});
+  BasicBlock* entry = f->CreateBlock("entry");
+  IRBuilder b(*m);
+  b.SetInsertPoint(entry);
+  Value* add = b.CreateAdd(f->Arg(0), b.I32Val(1));
+  Value* div_const = b.CreateBinary(Opcode::kUDiv, f->Arg(0), b.I32Val(2));
+  Value* div_var = b.CreateBinary(Opcode::kUDiv, f->Arg(0), add);
+  b.CreateRet(div_var);
+  EXPECT_TRUE(Cast<Instruction>(add)->IsSafeToSpeculate());
+  EXPECT_TRUE(Cast<Instruction>(div_const)->IsSafeToSpeculate());
+  EXPECT_FALSE(Cast<Instruction>(div_var)->IsSafeToSpeculate());
+}
+
+TEST(PhiTest, IncomingManagement) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  Function* f = m.CreateFunction("f", ctx.I32(), {});
+  BasicBlock* a = f->CreateBlock("a");
+  BasicBlock* b1 = f->CreateBlock("b1");
+  BasicBlock* b2 = f->CreateBlock("b2");
+  auto phi = std::make_unique<PhiInst>(ctx.I32());
+  phi->AddIncoming(ctx.GetInt(32, 1), b1);
+  phi->AddIncoming(ctx.GetInt(32, 2), b2);
+  EXPECT_EQ(phi->NumIncoming(), 2u);
+  EXPECT_EQ(phi->IncomingValueFor(b2), ctx.GetInt(32, 2));
+  EXPECT_EQ(phi->IncomingIndexFor(a), -1);
+  phi->RemoveIncoming(0);
+  EXPECT_EQ(phi->NumIncoming(), 1u);
+  EXPECT_EQ(phi->IncomingBlock(0), b2);
+  phi->ReplaceIncomingBlock(b2, b1);
+  EXPECT_EQ(phi->IncomingBlock(0), b1);
+}
+
+TEST(BranchTest, MakeUnconditionalDropsCondition) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  Function* f = m.CreateFunction("f", ctx.VoidTy(), {ctx.I1()});
+  BasicBlock* entry = f->CreateBlock("entry");
+  BasicBlock* t = f->CreateBlock("t");
+  BasicBlock* e = f->CreateBlock("e");
+  IRBuilder b(m);
+  b.SetInsertPoint(entry);
+  b.CreateCondBr(f->Arg(0), t, e);
+  b.SetInsertPoint(t);
+  b.CreateRetVoid();
+  b.SetInsertPoint(e);
+  b.CreateRetVoid();
+
+  auto* br = Cast<BranchInst>(entry->Terminator());
+  EXPECT_TRUE(br->IsConditional());
+  EXPECT_EQ(f->Arg(0)->NumUses(), 1u);
+  br->MakeUnconditional(t);
+  EXPECT_FALSE(br->IsConditional());
+  EXPECT_EQ(br->SingleDest(), t);
+  EXPECT_EQ(f->Arg(0)->NumUses(), 0u);
+}
+
+TEST(BlockTest, SuccessorsAndPredecessors) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  Function* f = m.CreateFunction("f", ctx.VoidTy(), {ctx.I1()});
+  BasicBlock* entry = f->CreateBlock("entry");
+  BasicBlock* t = f->CreateBlock("t");
+  BasicBlock* e = f->CreateBlock("e");
+  IRBuilder b(m);
+  b.SetInsertPoint(entry);
+  b.CreateCondBr(f->Arg(0), t, e);
+  b.SetInsertPoint(t);
+  b.CreateBr(e);
+  b.SetInsertPoint(e);
+  b.CreateRetVoid();
+
+  auto succs = entry->Successors();
+  ASSERT_EQ(succs.size(), 2u);
+  EXPECT_EQ(succs[0], t);
+  EXPECT_EQ(succs[1], e);
+  auto preds = e->Predecessors();
+  EXPECT_EQ(preds.size(), 2u);
+  EXPECT_TRUE(t->Predecessors().size() == 1 && t->Predecessors()[0] == entry);
+}
+
+TEST(VerifierTest, AcceptsWellFormedModule) {
+  auto m = MakeAddModule();
+  EXPECT_TRUE(VerifyModule(*m).empty());
+}
+
+TEST(VerifierTest, DetectsMissingTerminator) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  Function* f = m.CreateFunction("f", ctx.I32(), {ctx.I32()});
+  BasicBlock* entry = f->CreateBlock("entry");
+  IRBuilder b(m);
+  b.SetInsertPoint(entry);
+  b.CreateAdd(f->Arg(0), f->Arg(0));
+  auto errors = VerifyFunction(*f);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, DetectsDominanceViolation) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  Function* f = m.CreateFunction("f", ctx.I32(), {ctx.I1(), ctx.I32()});
+  BasicBlock* entry = f->CreateBlock("entry");
+  BasicBlock* left = f->CreateBlock("left");
+  BasicBlock* join = f->CreateBlock("join");
+  IRBuilder b(m);
+  b.SetInsertPoint(entry);
+  b.CreateCondBr(f->Arg(0), left, join);
+  b.SetInsertPoint(left);
+  Value* x = b.CreateAdd(f->Arg(1), b.I32Val(1), "x");
+  b.CreateBr(join);
+  b.SetInsertPoint(join);
+  // Illegal: x does not dominate join (entry can reach join directly).
+  b.CreateRet(x);
+  auto errors = VerifyFunction(*f);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("dominance"), std::string::npos);
+}
+
+TEST(VerifierTest, DetectsPhiPredecessorMismatch) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  Function* f = m.CreateFunction("f", ctx.I32(), {ctx.I1()});
+  BasicBlock* entry = f->CreateBlock("entry");
+  BasicBlock* a = f->CreateBlock("a");
+  BasicBlock* join = f->CreateBlock("join");
+  IRBuilder b(m);
+  b.SetInsertPoint(entry);
+  b.CreateCondBr(f->Arg(0), a, join);
+  b.SetInsertPoint(a);
+  b.CreateBr(join);
+  b.SetInsertPoint(join);
+  PhiInst* phi = b.CreatePhi(ctx.I32(), "p");
+  phi->AddIncoming(ctx.GetInt(32, 1), a);
+  // Missing incoming for entry.
+  b.CreateRet(phi);
+  auto errors = VerifyFunction(*f);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("missing incoming"), std::string::npos);
+}
+
+TEST(PrinterTest, PrintsFunctionWithNames) {
+  auto m = MakeAddModule();
+  std::string text = PrintModule(*m);
+  EXPECT_NE(text.find("func @f(%arg0: i32, %arg1: i32) -> i32 {"), std::string::npos);
+  EXPECT_NE(text.find("%sum = add %arg0, %arg1"), std::string::npos);
+  EXPECT_NE(text.find("ret %sum"), std::string::npos);
+}
+
+TEST(PrinterTest, UniquifiesDuplicateNames) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  Function* f = m.CreateFunction("f", ctx.I32(), {ctx.I32()});
+  BasicBlock* entry = f->CreateBlock("entry");
+  IRBuilder b(m);
+  b.SetInsertPoint(entry);
+  Value* a = b.CreateAdd(f->Arg(0), b.I32Val(1), "x");
+  Value* c = b.CreateAdd(a, b.I32Val(2), "x");
+  b.CreateRet(c);
+  std::string text = PrintFunction(*f);
+  EXPECT_NE(text.find("%x = add"), std::string::npos);
+  EXPECT_NE(text.find("%x.1 = add"), std::string::npos);
+}
+
+TEST(PrinterTest, PrintsGlobalsAsStringsOrBytes) {
+  Module m("t");
+  IRContext& ctx = m.context();
+  m.CreateStringGlobal("s", "a\nb");
+  std::vector<uint8_t> bytes = {1, 0, 0, 0, 2, 0, 0, 0};
+  m.CreateGlobal("arr", ctx.ArrayTy(ctx.I32(), 2), false, bytes);
+  std::string text = PrintModule(m);
+  EXPECT_NE(text.find("global @s : [4 x i8] const = \"a\\nb\\0\""), std::string::npos);
+  EXPECT_NE(text.find("global @arr : [2 x i32] = [1, 0, 0, 0, 2, 0, 0, 0]"), std::string::npos);
+}
+
+TEST(CloneTest, CloneIsDetachedButSharesOperands) {
+  auto m = MakeAddModule();
+  Function* f = m->GetFunction("f");
+  Instruction* sum = Cast<Instruction>(f->Arg(0)->uses()[0].user);
+  auto clone = sum->Clone(m->context());
+  EXPECT_EQ(clone->opcode(), Opcode::kAdd);
+  EXPECT_EQ(clone->Operand(0), f->Arg(0));
+  EXPECT_EQ(clone->parent(), nullptr);
+  EXPECT_EQ(f->Arg(0)->NumUses(), 2u);  // original + clone
+  clone.reset();
+  EXPECT_EQ(f->Arg(0)->NumUses(), 1u);
+}
+
+}  // namespace
+}  // namespace overify

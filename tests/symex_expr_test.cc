@@ -1,0 +1,158 @@
+// Tests for the symbolic expression DAG and its canonicalizing builder.
+#include <gtest/gtest.h>
+
+#include "src/ir/constant.h"
+#include "src/symex/expr.h"
+
+namespace overify {
+namespace {
+
+TEST(ExprTest, ConstantsInterned) {
+  ExprContext ctx;
+  EXPECT_EQ(ctx.Constant(5, 32), ctx.Constant(5, 32));
+  EXPECT_NE(ctx.Constant(5, 32), ctx.Constant(5, 64));
+  EXPECT_EQ(ctx.Constant(0x1FF, 8), ctx.Constant(0xFF, 8));  // truncation
+  EXPECT_TRUE(ctx.True()->IsTrue());
+  EXPECT_TRUE(ctx.False()->IsFalse());
+}
+
+TEST(ExprTest, SymbolsHaveSupport) {
+  ExprContext ctx;
+  const Expr* s0 = ctx.Symbol(0);
+  const Expr* s3 = ctx.Symbol(3);
+  EXPECT_EQ(s0, ctx.Symbol(0));
+  EXPECT_EQ(s0->width(), 8u);
+  const Expr* sum = ctx.Binary(ExprKind::kAdd, s0, s3);
+  EXPECT_EQ(sum->Support(), (std::set<unsigned>{0, 3}));
+}
+
+TEST(ExprTest, ConstantFoldingMatchesFoldKernel) {
+  ExprContext ctx;
+  const Expr* a = ctx.Constant(200, 8);
+  const Expr* b = ctx.Constant(100, 8);
+  EXPECT_EQ(ctx.Binary(ExprKind::kAdd, a, b)->constant_value(), 44u);  // wraps mod 256
+  EXPECT_EQ(ctx.Binary(ExprKind::kMul, a, b)->constant_value(), TruncateToWidth(20000, 8));
+  EXPECT_TRUE(ctx.Compare(ICmpPredicate::kULT, b, a)->IsTrue());
+  EXPECT_TRUE(ctx.Compare(ICmpPredicate::kSLT, a, b)->IsTrue());  // 200 is -56 signed
+}
+
+TEST(ExprTest, IdentitiesSimplify) {
+  ExprContext ctx;
+  const Expr* x = ctx.Symbol(0);
+  const Expr* zero = ctx.Constant(0, 8);
+  const Expr* ones = ctx.Constant(0xFF, 8);
+  EXPECT_EQ(ctx.Binary(ExprKind::kAdd, x, zero), x);
+  EXPECT_EQ(ctx.Binary(ExprKind::kMul, x, ctx.Constant(1, 8)), x);
+  EXPECT_EQ(ctx.Binary(ExprKind::kMul, x, zero), zero);
+  EXPECT_EQ(ctx.Binary(ExprKind::kAnd, x, ones), x);
+  EXPECT_EQ(ctx.Binary(ExprKind::kAnd, x, zero), zero);
+  EXPECT_EQ(ctx.Binary(ExprKind::kXor, x, x), zero);
+  EXPECT_EQ(ctx.Binary(ExprKind::kSub, x, x), zero);
+  EXPECT_EQ(ctx.Binary(ExprKind::kOr, x, x), x);
+}
+
+TEST(ExprTest, CommutativeCanonicalization) {
+  ExprContext ctx;
+  const Expr* x = ctx.Symbol(0);
+  const Expr* y = ctx.Symbol(1);
+  EXPECT_EQ(ctx.Binary(ExprKind::kAdd, x, y), ctx.Binary(ExprKind::kAdd, y, x));
+  const Expr* c = ctx.Constant(7, 8);
+  EXPECT_EQ(ctx.Binary(ExprKind::kAdd, c, x), ctx.Binary(ExprKind::kAdd, x, c));
+}
+
+TEST(ExprTest, ComparePredicatesCanonicalized) {
+  ExprContext ctx;
+  const Expr* x = ctx.Symbol(0);
+  const Expr* c = ctx.Constant(10, 8);
+  // x > c becomes c < x; x != c becomes Not(x == c).
+  const Expr* gt = ctx.Compare(ICmpPredicate::kUGT, x, c);
+  EXPECT_EQ(gt->kind(), ExprKind::kUlt);
+  EXPECT_EQ(gt->a(), c);
+  const Expr* ne = ctx.Compare(ICmpPredicate::kNe, x, c);
+  EXPECT_EQ(ne->kind(), ExprKind::kXor);  // Not is Xor(e, true)
+  EXPECT_EQ(ctx.Not(ne), ctx.Compare(ICmpPredicate::kEq, x, c));
+}
+
+TEST(ExprTest, SelectSimplifications) {
+  ExprContext ctx;
+  const Expr* x = ctx.Symbol(0);
+  const Expr* y = ctx.Symbol(1);
+  const Expr* cond = ctx.Compare(ICmpPredicate::kEq, x, ctx.Constant(0, 8));
+  EXPECT_EQ(ctx.Select(ctx.True(), x, y), x);
+  EXPECT_EQ(ctx.Select(ctx.False(), x, y), y);
+  EXPECT_EQ(ctx.Select(cond, x, x), x);
+  EXPECT_EQ(ctx.Select(cond, ctx.True(), ctx.False()), cond);
+  EXPECT_EQ(ctx.Select(cond, ctx.False(), ctx.True()), ctx.Not(cond));
+}
+
+TEST(ExprTest, ExtractConcatRoundTrip) {
+  ExprContext ctx;
+  const Expr* x = ctx.Symbol(0);
+  const Expr* y = ctx.Symbol(1);
+  // Concat(y, x): y is the high byte.
+  const Expr* pair = ctx.Concat(y, x);
+  EXPECT_EQ(pair->width(), 16u);
+  EXPECT_EQ(ctx.Extract(pair, 0, 8), x);
+  EXPECT_EQ(ctx.Extract(pair, 8, 8), y);
+  // Extract of extract composes.
+  const Expr* wide = ctx.ZExt(x, 32);
+  EXPECT_EQ(ctx.Extract(wide, 0, 8), x);
+  EXPECT_EQ(ctx.Extract(wide, 16, 8), ctx.Constant(0, 8));
+}
+
+TEST(ExprTest, ByteRoundTrip) {
+  ExprContext ctx;
+  const Expr* x = ctx.Symbol(0);
+  const Expr* wide = ctx.ZExt(x, 32);
+  auto bytes = ctx.ToBytes(wide);
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(ctx.FromBytes(bytes), wide);
+  // A 32-bit constant round-trips too.
+  auto cbytes = ctx.ToBytes(ctx.Constant(0xDEADBEEF, 32));
+  EXPECT_EQ(ctx.FromBytes(cbytes)->constant_value(), 0xDEADBEEFu);
+}
+
+TEST(ExprTest, CastsFold) {
+  ExprContext ctx;
+  EXPECT_EQ(ctx.ZExt(ctx.Constant(0xFF, 8), 32)->constant_value(), 0xFFu);
+  EXPECT_EQ(ctx.SExt(ctx.Constant(0xFF, 8), 32)->constant_value(), 0xFFFFFFFFu);
+  EXPECT_EQ(ctx.Trunc(ctx.Constant(0x1234, 32), 8)->constant_value(), 0x34u);
+  const Expr* x = ctx.Symbol(0);
+  EXPECT_EQ(ctx.ZExt(ctx.ZExt(x, 16), 32), ctx.ZExt(x, 32));
+  EXPECT_EQ(ctx.Trunc(ctx.ZExt(x, 32), 8), x);
+}
+
+TEST(ExprTest, EvaluateAgreesWithStructure) {
+  ExprContext ctx;
+  const Expr* x = ctx.Symbol(0);
+  const Expr* y = ctx.Symbol(1);
+  // (zext(x,32) * 3 + zext(y,32)) < 100 ?
+  const Expr* e = ctx.Compare(
+      ICmpPredicate::kULT,
+      ctx.Binary(ExprKind::kAdd,
+                 ctx.Binary(ExprKind::kMul, ctx.ZExt(x, 32), ctx.Constant(3, 32)),
+                 ctx.ZExt(y, 32)),
+      ctx.Constant(100, 32));
+  std::vector<uint8_t> bytes = {30, 9};  // 30*3+9 = 99 < 100
+  ctx.NewEvaluation();
+  EXPECT_EQ(ctx.Evaluate(e, bytes), 1u);
+  bytes = {30, 10};  // 100 < 100 is false
+  ctx.NewEvaluation();
+  EXPECT_EQ(ctx.Evaluate(e, bytes), 0u);
+}
+
+TEST(ExprTest, EvaluateSignedOps) {
+  ExprContext ctx;
+  const Expr* x = ctx.Symbol(0);
+  const Expr* sx = ctx.SExt(x, 32);
+  const Expr* neg = ctx.Compare(ICmpPredicate::kSLT, sx, ctx.Constant(0, 32));
+  std::vector<uint8_t> bytes = {0x80};  // -128 as signed char
+  ctx.NewEvaluation();
+  EXPECT_EQ(ctx.Evaluate(neg, bytes), 1u);
+  bytes = {0x7F};
+  ctx.NewEvaluation();
+  EXPECT_EQ(ctx.Evaluate(neg, bytes), 0u);
+}
+
+}  // namespace
+}  // namespace overify

@@ -1,0 +1,151 @@
+// Tests for the core solver and the KLEE-style solver chain.
+#include <gtest/gtest.h>
+
+#include "src/symex/solver.h"
+
+namespace overify {
+namespace {
+
+class SolverTest : public ::testing::Test {
+ protected:
+  ExprContext ctx;
+  CoreSolver core;
+
+  const Expr* Sym(unsigned i) { return ctx.Symbol(i); }
+  const Expr* C(uint64_t v, unsigned w = 8) { return ctx.Constant(v, w); }
+
+  SatResult Check(const std::vector<const Expr*>& cs, std::vector<uint8_t>* model = nullptr) {
+    return core.CheckSat(ctx, cs, model);
+  }
+};
+
+TEST_F(SolverTest, EmptyIsSat) { EXPECT_EQ(Check({}), SatResult::kSat); }
+
+TEST_F(SolverTest, ConstantConstraints) {
+  EXPECT_EQ(Check({ctx.True()}), SatResult::kSat);
+  EXPECT_EQ(Check({ctx.False()}), SatResult::kUnsat);
+}
+
+TEST_F(SolverTest, SingleByteEquality) {
+  std::vector<uint8_t> model;
+  EXPECT_EQ(Check({ctx.Compare(ICmpPredicate::kEq, Sym(0), C('x'))}, &model), SatResult::kSat);
+  ASSERT_GE(model.size(), 1u);
+  EXPECT_EQ(model[0], 'x');
+}
+
+TEST_F(SolverTest, ContradictionIsUnsat) {
+  auto eq1 = ctx.Compare(ICmpPredicate::kEq, Sym(0), C(1));
+  auto eq2 = ctx.Compare(ICmpPredicate::kEq, Sym(0), C(2));
+  EXPECT_EQ(Check({eq1, eq2}), SatResult::kUnsat);
+}
+
+TEST_F(SolverTest, RangeConstraints) {
+  // 'a' <= s0 <= 'f'
+  auto lo = ctx.Compare(ICmpPredicate::kULE, C('a'), Sym(0));
+  auto hi = ctx.Compare(ICmpPredicate::kULE, Sym(0), C('f'));
+  std::vector<uint8_t> model;
+  EXPECT_EQ(Check({lo, hi}, &model), SatResult::kSat);
+  EXPECT_GE(model[0], 'a');
+  EXPECT_LE(model[0], 'f');
+  // Empty range is unsat.
+  auto hi2 = ctx.Compare(ICmpPredicate::kULT, Sym(0), C('a'));
+  EXPECT_EQ(Check({lo, hi2}), SatResult::kUnsat);
+}
+
+TEST_F(SolverTest, MultiByteRelations) {
+  // s0 + s1 == 100 (in 32 bits), s0 == 2 * s1.
+  auto w0 = ctx.ZExt(Sym(0), 32);
+  auto w1 = ctx.ZExt(Sym(1), 32);
+  auto sum = ctx.Compare(ICmpPredicate::kEq, ctx.Binary(ExprKind::kAdd, w0, w1), C(99, 32));
+  auto rel = ctx.Compare(ICmpPredicate::kEq, w0,
+                         ctx.Binary(ExprKind::kMul, w1, C(2, 32)));
+  std::vector<uint8_t> model;
+  ASSERT_EQ(Check({sum, rel}, &model), SatResult::kSat);
+  EXPECT_EQ(static_cast<int>(model[0]) + model[1], 99);
+  EXPECT_EQ(model[0], 2 * model[1]);
+}
+
+TEST_F(SolverTest, SignedConstraints) {
+  // As a signed char, s0 < -100.
+  auto sx = ctx.SExt(Sym(0), 32);
+  auto cond = ctx.Compare(ICmpPredicate::kSLT, sx, C(static_cast<uint64_t>(-100), 32));
+  std::vector<uint8_t> model;
+  ASSERT_EQ(Check({cond}, &model), SatResult::kSat);
+  EXPECT_LT(static_cast<int8_t>(model[0]), -100);
+}
+
+TEST_F(SolverTest, SelectConstraints) {
+  // (s0 == 0 ? s1 : s2) == 7 with s0 != 0 forces s2 == 7.
+  auto is_zero = ctx.Compare(ICmpPredicate::kEq, Sym(0), C(0));
+  auto sel = ctx.Select(is_zero, Sym(1), Sym(2));
+  auto eq7 = ctx.Compare(ICmpPredicate::kEq, sel, C(7));
+  auto nonzero = ctx.Not(is_zero);
+  std::vector<uint8_t> model;
+  ASSERT_EQ(Check({eq7, nonzero}, &model), SatResult::kSat);
+  EXPECT_NE(model[0], 0);
+  EXPECT_EQ(model[2], 7);
+}
+
+TEST(IndependenceTest, FiltersUnrelatedConstraints) {
+  ExprContext ctx;
+  auto c01 = ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0), ctx.Symbol(1));
+  auto c12 = ctx.Compare(ICmpPredicate::kULT, ctx.Symbol(1), ctx.Symbol(2));
+  auto c34 = ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(3), ctx.Symbol(4));
+  auto c5 = ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(5), ctx.Constant(1, 8));
+
+  // Seed touching symbol 0 should pull in c01 and (transitively) c12.
+  auto seed = ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0), ctx.Constant(9, 8));
+  auto filtered = FilterIndependent({c01, c12, c34, c5}, seed);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0], c01);
+  EXPECT_EQ(filtered[1], c12);
+}
+
+TEST(SolverChainTest, CachesRepeatedQueries) {
+  ExprContext ctx;
+  SolverChain chain(ctx);
+  auto cond = ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0), ctx.Constant('a', 8));
+  std::vector<const Expr*> path;
+  EXPECT_EQ(chain.MayBeTrue(path, cond, nullptr), SatResult::kSat);
+  uint64_t core_before = chain.stats().core_queries;
+  EXPECT_EQ(chain.MayBeTrue(path, cond, nullptr), SatResult::kSat);
+  EXPECT_EQ(chain.stats().core_queries, core_before);  // served by cache
+  EXPECT_GE(chain.stats().cache_hits, 1u);
+}
+
+TEST(SolverChainTest, IndependenceKeepsQueriesSmall) {
+  ExprContext ctx;
+  SolverChain chain(ctx);
+  // Ten unrelated constraints on symbols 10..19.
+  std::vector<const Expr*> path;
+  for (unsigned i = 10; i < 20; ++i) {
+    path.push_back(ctx.Compare(ICmpPredicate::kULT, ctx.Symbol(i), ctx.Constant(100, 8)));
+  }
+  auto cond = ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0), ctx.Constant(5, 8));
+  EXPECT_EQ(chain.MayBeTrue(path, cond, nullptr), SatResult::kSat);
+  EXPECT_GE(chain.stats().independence_drops, 10u);
+}
+
+TEST(SolverChainTest, ModelReuseAcrossSimilarQueries) {
+  ExprContext ctx;
+  SolverChain chain(ctx);
+  std::vector<const Expr*> path = {
+      ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0), ctx.Constant('x', 8))};
+  // First query solves; the second (weaker) should be satisfied by reuse.
+  EXPECT_EQ(chain.CheckSat(path, nullptr), SatResult::kSat);
+  auto weaker = ctx.Compare(ICmpPredicate::kUGT, ctx.Symbol(0), ctx.Constant(3, 8));
+  EXPECT_EQ(chain.MayBeTrue(path, weaker, nullptr), SatResult::kSat);
+  EXPECT_GE(chain.stats().reuse_hits + chain.stats().cache_hits, 1u);
+}
+
+TEST(SolverChainTest, UnsatDetected) {
+  ExprContext ctx;
+  SolverChain chain(ctx);
+  std::vector<const Expr*> path = {
+      ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0), ctx.Constant(1, 8))};
+  auto conflicting = ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0), ctx.Constant(2, 8));
+  EXPECT_EQ(chain.MayBeTrue(path, conflicting, nullptr), SatResult::kUnsat);
+}
+
+}  // namespace
+}  // namespace overify
