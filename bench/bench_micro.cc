@@ -26,6 +26,17 @@ void BM_ExprInterning(benchmark::State& state) {
 }
 BENCHMARK(BM_ExprInterning);
 
+// Attaches the solver chain's fast-path counters to a benchmark's output so
+// runs double as an observability check on the new hot paths.
+void ReportSolverStats(benchmark::State& state, const SolverStats& stats) {
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  state.counters["reuse_hits"] = static_cast<double>(stats.reuse_hits);
+  state.counters["eval_memo_hits"] = static_cast<double>(stats.eval_memo_hits);
+  state.counters["interval_memo_hits"] = static_cast<double>(stats.interval_memo_hits);
+  state.counters["independence_drops"] = static_cast<double>(stats.independence_drops);
+  state.counters["cex_evictions"] = static_cast<double>(stats.cex_evictions);
+}
+
 void BM_SolverSingleByteQuery(benchmark::State& state) {
   ExprContext ctx;
   SolverChain chain(ctx);
@@ -38,8 +49,25 @@ void BM_SolverSingleByteQuery(benchmark::State& state) {
                                    ctx.Constant(11 + (round++ % 200), 8));
     benchmark::DoNotOptimize(chain.MayBeTrue(path, cond, nullptr));
   }
+  ReportSolverStats(state, chain.stats());
 }
 BENCHMARK(BM_SolverSingleByteQuery);
+
+void BM_FilterIndependent(benchmark::State& state) {
+  // 32 path constraints over disjoint symbol pairs; the seed reaches only
+  // one chain of them. The fixpoint is pure bitmask arithmetic.
+  ExprContext ctx;
+  std::vector<const Expr*> path;
+  for (unsigned i = 0; i < 32; ++i) {
+    path.push_back(ctx.Compare(ICmpPredicate::kULT, ctx.Symbol(2 * (i % 30)),
+                               ctx.Symbol(2 * (i % 30) + 1)));
+  }
+  const Expr* seed = ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0), ctx.Constant(7, 8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FilterIndependent(path, seed));
+  }
+}
+BENCHMARK(BM_FilterIndependent);
 
 void BM_SolverMultiByteRelation(benchmark::State& state) {
   ExprContext ctx;
@@ -84,12 +112,38 @@ void BM_ExploreWcAtOverify(benchmark::State& state) {
   CompileResult compiled = compiler.Compile(WcListing1(), OptLevel::kOverify);
   SymexLimits limits;
   limits.max_seconds = 30;
+  SymexResult last;
   for (auto _ : state) {
-    SymexResult result = Analyze(compiled, "umain", 6, limits);
-    benchmark::DoNotOptimize(result.paths_completed);
+    last = Analyze(compiled, "umain", 6, limits);
+    benchmark::DoNotOptimize(last.paths_completed);
   }
+  state.counters["paths"] = static_cast<double>(last.paths_completed);
+  state.counters["solver_queries"] = static_cast<double>(last.solver.queries);
+  state.counters["core_candidates"] = static_cast<double>(last.solver.core_candidates);
+  state.counters["eval_memo_hits"] = static_cast<double>(last.solver.eval_memo_hits);
+  state.counters["independence_drops"] = static_cast<double>(last.solver.independence_drops);
 }
 BENCHMARK(BM_ExploreWcAtOverify);
+
+void BM_ExploreWcAtO3(benchmark::State& state) {
+  // The hardest engine workload in the suite: thousands of paths, heavy
+  // forking (state clones) and solver traffic.
+  Compiler compiler;
+  CompileResult compiled = compiler.Compile(WcListing1(), OptLevel::kO3);
+  SymexLimits limits;
+  limits.max_seconds = 60;
+  SymexResult last;
+  for (auto _ : state) {
+    last = Analyze(compiled, "umain", 6, limits);
+    benchmark::DoNotOptimize(last.paths_completed);
+  }
+  state.counters["paths"] = static_cast<double>(last.paths_completed);
+  state.counters["solver_queries"] = static_cast<double>(last.solver.queries);
+  state.counters["core_candidates"] = static_cast<double>(last.solver.core_candidates);
+  state.counters["eval_memo_hits"] = static_cast<double>(last.solver.eval_memo_hits);
+  state.counters["independence_drops"] = static_cast<double>(last.solver.independence_drops);
+}
+BENCHMARK(BM_ExploreWcAtO3);
 
 }  // namespace
 

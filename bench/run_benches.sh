@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs the engine benchmarks and emits BENCH_symex.json — the perf
+# trajectory snapshot tracked across PRs (wall seconds, solver queries,
+# core candidates, fast-path counters).
+#
+# Usage: bench/run_benches.sh [build_dir] [output_json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_symex.json}"
+
+if [[ ! -x "$BUILD_DIR/bench_micro" ]]; then
+  echo "error: $BUILD_DIR/bench_micro not found; build with:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+MICRO_JSON="$(mktemp)"
+trap 'rm -f "$MICRO_JSON"' EXIT
+
+"$BUILD_DIR/bench_micro" \
+  --benchmark_filter='BM_ExprInterning|BM_SolverSingleByteQuery|BM_SolverMultiByteRelation|BM_FilterIndependent|BM_ExploreWcAtOverify|BM_ExploreWcAtO3' \
+  --benchmark_format=json --benchmark_min_time=0.5 >"$MICRO_JSON"
+
+python3 - "$MICRO_JSON" "$OUT" <<'PY'
+import json
+import sys
+
+micro_path, out_path = sys.argv[1], sys.argv[2]
+with open(micro_path) as f:
+    micro = json.load(f)
+
+benchmarks = {}
+for b in micro.get("benchmarks", []):
+    # google-benchmark reports real_time in the declared time_unit (ns here).
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[unit]
+    entry = {"wall_seconds_per_iter": b["real_time"] * scale,
+             "iterations": b.get("iterations", 0)}
+    for key in ("paths", "solver_queries", "core_candidates", "eval_memo_hits",
+                "interval_memo_hits", "independence_drops", "cache_hits",
+                "reuse_hits", "cex_evictions"):
+        if key in b:
+            entry[key] = int(b[key])
+    benchmarks[b["name"]] = entry
+
+snapshot = {
+    "schema": "overify-bench-symex/v1",
+    "host_context": micro.get("context", {}).get("host_name", "unknown"),
+    "benchmarks": benchmarks,
+    # Pre-refactor engine (ordered-map interner, std::set support sets,
+    # map-based memos/cex cache), measured at PR 1 on the reference box.
+    # Kept as the fixed reference point for the >=2x acceptance bar.
+    "baseline_pr1": {
+        "BM_ExprInterning": {"wall_seconds_per_iter": 100.4e-6},
+        "BM_SolverSingleByteQuery": {"wall_seconds_per_iter": 274.7e-9},
+        "BM_SolverMultiByteRelation": {"wall_seconds_per_iter": 54.0e-6},
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(benchmarks)} benchmarks)")
+PY

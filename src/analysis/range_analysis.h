@@ -27,7 +27,8 @@ struct ValueRange {
   static ValueRange Exact(int64_t v) { return ValueRange{v, v}; }
   static ValueRange Full(unsigned bits);
 
-  bool operator==(const ValueRange&) const = default;
+  bool operator==(const ValueRange& o) const { return lo == o.lo && hi == o.hi; }
+  bool operator!=(const ValueRange& o) const { return !(*this == o); }
 };
 
 class RangeAnalysis {

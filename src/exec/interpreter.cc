@@ -1,6 +1,7 @@
 #include "src/exec/interpreter.h"
 
 #include <map>
+#include <unordered_map>
 
 #include "src/ir/constant.h"
 #include "src/ir/fold.h"
@@ -15,18 +16,21 @@ namespace {
 // two stay comparable.
 struct CVal {
   bool is_pointer = false;
+  bool bound = false;     // set once a frame slot is written
   uint64_t bits = 0;      // integer payload
   uint64_t object = 0;    // pointer payload: object id (0 = null)
   uint64_t offset = 0;
 
   static CVal Int(uint64_t v) {
     CVal c;
+    c.bound = true;
     c.bits = v;
     return c;
   }
   static CVal Ptr(uint64_t object, uint64_t offset) {
     CVal c;
     c.is_pointer = true;
+    c.bound = true;
     c.object = object;
     c.offset = offset;
     return c;
@@ -44,7 +48,8 @@ struct Frame {
   BasicBlock* block = nullptr;
   BasicBlock* prev_block = nullptr;
   BasicBlock::iterator pc;
-  std::map<const Value*, CVal> locals;
+  // Indexed by each value's dense local slot (Function::AssignLocalSlots).
+  std::vector<CVal> locals;
   std::vector<uint64_t> allocas;
   const CallInst* call_site = nullptr;
 };
@@ -61,6 +66,7 @@ class Interpreter::Impl {
     objects_.clear();
     pointer_slots_.clear();
     stack_.clear();
+    slot_cache_.Clear();
     next_object_ = 1;
 
     for (const auto& global : module_.globals()) {
@@ -74,14 +80,15 @@ class Interpreter::Impl {
     frame.fn = entry;
     frame.block = entry->entry();
     frame.pc = frame.block->begin();
+    frame.locals.resize(slot_cache_.Count(entry));
     if (entry->NumArgs() >= 1) {
       OVERIFY_ASSERT(entry->NumArgs() == 2, "entry must be (u8* buf, i32 len) or ()");
       uint64_t id = next_object_++;
       std::vector<uint8_t> buffer = input;
       buffer.push_back(0);
       objects_[id] = ConcreteObject{std::move(buffer), false, "input"};
-      frame.locals[entry->Arg(0)] = CVal::Ptr(id, 0);
-      frame.locals[entry->Arg(1)] =
+      frame.locals[entry->Arg(0)->local_slot()] = CVal::Ptr(id, 0);
+      frame.locals[entry->Arg(1)->local_slot()] =
           CVal::Int(TruncateToWidth(input.size(), entry->Arg(1)->type()->bits()));
     }
     stack_.push_back(std::move(frame));
@@ -120,12 +127,19 @@ class Interpreter::Impl {
     if (const auto* global = DynCast<GlobalVariable>(v)) {
       return CVal::Ptr(global_objects_.at(global), 0);
     }
-    auto it = Top().locals.find(v);
-    OVERIFY_ASSERT(it != Top().locals.end(), "use of unbound value");
-    return it->second;
+    Frame& frame = Top();
+    uint32_t slot = v->local_slot();
+    OVERIFY_ASSERT(slot < frame.locals.size() && frame.locals[slot].bound,
+                   "use of unbound value");
+    return frame.locals[slot];
   }
 
-  void Set(const Value* v, CVal value) { Top().locals[v] = value; }
+  void Set(const Value* v, CVal value) {
+    Frame& frame = Top();
+    uint32_t slot = v->local_slot();
+    OVERIFY_ASSERT(slot < frame.locals.size(), "value has no slot in this frame");
+    frame.locals[slot] = value;
+  }
 
   void Charge(uint64_t units) { result_.cost_units += units; }
 
@@ -306,8 +320,9 @@ class Interpreter::Impl {
         frame.block = callee->entry();
         frame.pc = frame.block->begin();
         frame.call_site = call;
+        frame.locals.resize(slot_cache_.Count(callee));
         for (unsigned i = 0; i < call->NumArgs(); ++i) {
-          frame.locals[callee->Arg(i)] = Resolve(call->Arg(i));
+          frame.locals[callee->Arg(i)->local_slot()] = Resolve(call->Arg(i));
         }
         stack_.push_back(std::move(frame));
         return true;
@@ -450,6 +465,7 @@ class Interpreter::Impl {
   std::map<uint64_t, ConcreteObject> objects_;
   std::map<const GlobalVariable*, uint64_t> global_objects_;
   std::map<std::pair<uint64_t, uint64_t>, CVal> pointer_slots_;
+  LocalSlotCache slot_cache_;
   uint64_t next_object_ = 1;
 };
 

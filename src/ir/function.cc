@@ -79,4 +79,17 @@ size_t Function::InstructionCount() const {
   return count;
 }
 
+uint32_t Function::AssignLocalSlots() {
+  uint32_t next = 0;
+  for (auto& arg : args_) {
+    arg->set_local_slot(next++);
+  }
+  for (auto& block : blocks_) {
+    for (auto& inst : *block) {
+      inst->set_local_slot(next++);
+    }
+  }
+  return next;
+}
+
 }  // namespace overify

@@ -4,6 +4,7 @@
 #include <list>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/ir/basic_block.h"
@@ -34,7 +35,8 @@ class Function : public Value {
       ++it_;
       return *this;
     }
-    bool operator==(const BlockIterator&) const = default;
+    bool operator==(const BlockIterator& o) const { return it_ == o.it_; }
+    bool operator!=(const BlockIterator& o) const { return it_ != o.it_; }
     Inner inner() const { return it_; }
 
    private:
@@ -92,6 +94,13 @@ class Function : public Value {
   // Total instruction count across all blocks.
   size_t InstructionCount() const;
 
+  // Assigns a dense local-slot index to every argument and instruction
+  // (arguments first, then instructions in block order) and returns the
+  // slot count. The execution engines call this once per function per run
+  // to size their flat frame-local vectors; re-running after the function
+  // changed simply renumbers.
+  uint32_t AssignLocalSlots();
+
   static bool ClassOf(const Value* v) { return v->value_kind() == ValueKind::kFunction; }
 
  private:
@@ -104,6 +113,27 @@ class Function : public Value {
   std::list<std::unique_ptr<BasicBlock>> blocks_;
   InlineHint inline_hint_ = InlineHint::kDefault;
   bool is_libc_ = false;
+};
+
+// Per-run memo over Function::AssignLocalSlots, shared by the execution
+// engines. Functions may be mutated by passes between runs, so each engine
+// run starts from a Clear()ed cache and renumbers lazily on first use.
+class LocalSlotCache {
+ public:
+  uint32_t Count(Function* fn) {
+    auto it = counts_.find(fn);
+    if (it != counts_.end()) {
+      return it->second;
+    }
+    uint32_t count = fn->AssignLocalSlots();
+    counts_[fn] = count;
+    return count;
+  }
+
+  void Clear() { counts_.clear(); }
+
+ private:
+  std::unordered_map<Function*, uint32_t> counts_;
 };
 
 }  // namespace overify

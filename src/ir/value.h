@@ -51,6 +51,13 @@ class Value {
   // Rewrites every use of this value to use `replacement` instead.
   void ReplaceAllUsesWith(Value* replacement);
 
+  // Dense per-function index assigned by Function::AssignLocalSlots; the
+  // execution engines use it for flat frame storage. kNoLocalSlot until
+  // assigned. Only meaningful for Arguments and Instructions.
+  static constexpr uint32_t kNoLocalSlot = 0xFFFFFFFF;
+  uint32_t local_slot() const { return local_slot_; }
+  void set_local_slot(uint32_t slot) { local_slot_ = slot; }
+
  protected:
   Value(ValueKind kind, Type* type) : value_kind_(kind), type_(type) {}
 
@@ -63,6 +70,7 @@ class Value {
   Type* type_;
   std::string name_;
   std::vector<Use> uses_;
+  uint32_t local_slot_ = kNoLocalSlot;
 };
 
 // A formal parameter of a Function.

@@ -17,7 +17,8 @@ struct SourceLoc {
   uint32_t col = 0;
 
   bool IsValid() const { return line != 0; }
-  bool operator==(const SourceLoc&) const = default;
+  bool operator==(const SourceLoc& o) const { return line == o.line && col == o.col; }
+  bool operator!=(const SourceLoc& o) const { return !(*this == o); }
 };
 
 enum class Severity {

@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <set>
+#include <unordered_map>
 
 #include "src/ir/constant.h"
 #include "src/support/stopwatch.h"
@@ -49,6 +50,7 @@ class SymbolicExecutor::Impl {
     result_ = SymexResult();
     reported_sites_.clear();
     pending_.clear();
+    slot_cache_.Clear();
     watch_.Restart();
     num_symbols_ = num_input_bytes;
 
@@ -141,6 +143,7 @@ class SymbolicExecutor::Impl {
     frame.fn = entry;
     frame.block = entry->entry();
     frame.pc = frame.block->begin();
+    frame.locals.resize(slot_cache_.Count(entry));
 
     if (entry->NumArgs() >= 1) {
       OVERIFY_ASSERT(entry->NumArgs() == 2, "entry must be (u8* buf, i32 len) or ()");
@@ -152,9 +155,9 @@ class SymbolicExecutor::Impl {
         object.SetByte(i, ctx_.Symbol(i));
       }
       object.SetByte(num_input_bytes, ctx_.Constant(0, 8));
-      frame.locals[entry->Arg(0)] =
+      frame.locals[entry->Arg(0)->local_slot()] =
           RuntimeValue::Pointer(SymPointer{buffer, ctx_.Constant(0, 64)});
-      frame.locals[entry->Arg(1)] = RuntimeValue::Int(
+      frame.locals[entry->Arg(1)->local_slot()] = RuntimeValue::Int(
           ctx_.Constant(num_input_bytes, entry->Arg(1)->type()->bits()));
     }
     state.stack.push_back(std::move(frame));
@@ -831,8 +834,9 @@ class SymbolicExecutor::Impl {
     frame.block = callee->entry();
     frame.pc = frame.block->begin();
     frame.call_site = call;
+    frame.locals.resize(slot_cache_.Count(callee));
     for (unsigned i = 0; i < call->NumArgs(); ++i) {
-      frame.locals[callee->Arg(i)] = Resolve(state, call->Arg(i));
+      frame.locals[callee->Arg(i)->local_slot()] = Resolve(state, call->Arg(i));
     }
     state.stack.push_back(std::move(frame));
     return StepOutcome::kContinue;
@@ -894,7 +898,8 @@ class SymbolicExecutor::Impl {
   unsigned num_symbols_ = 0;
   uint64_t next_state_id_ = 0;
   std::deque<std::unique_ptr<ExecState>> pending_;
-  std::map<const GlobalVariable*, uint64_t> global_objects_;
+  std::unordered_map<const GlobalVariable*, uint64_t> global_objects_;
+  LocalSlotCache slot_cache_;
   std::set<std::pair<const Instruction*, BugKind>> reported_sites_;
 };
 

@@ -1,7 +1,5 @@
 #include "src/symex/expr.h"
 
-#include <tuple>
-
 #include "src/ir/constant.h"
 #include "src/ir/fold.h"
 
@@ -58,21 +56,67 @@ bool IsCommutativeExpr(ExprKind kind) {
 
 }  // namespace
 
-bool ExprContext::Key::operator<(const Key& other) const {
-  return std::tie(kind, width, constant, symbol, a, b, c, extract_offset) <
-         std::tie(other.kind, other.width, other.constant, other.symbol, other.a, other.b,
-                  other.c, other.extract_offset);
+uint64_t ExprContext::HashKey(const Key& key) {
+  // Children are interned, so their stored hashes are already canonical and
+  // well-mixed; leaf payloads get one Mix round each.
+  uint64_t h = HashMix64((static_cast<uint64_t>(key.kind) << 32) ^
+                   (static_cast<uint64_t>(key.width) << 16) ^ key.extract_offset);
+  h = HashMix64(h ^ key.constant ^ (static_cast<uint64_t>(key.symbol) << 1));
+  if (key.a != nullptr) {
+    h = HashMix64(h ^ key.a->hash());
+  }
+  if (key.b != nullptr) {
+    h = HashMix64(h ^ key.b->hash());
+  }
+  if (key.c != nullptr) {
+    h = HashMix64(h ^ key.c->hash());
+  }
+  return h != 0 ? h : 1;
+}
+
+bool ExprContext::Matches(const Expr& e, const Key& key) {
+  return e.kind_ == key.kind && e.width_ == key.width && e.constant_ == key.constant &&
+         e.symbol_ == key.symbol && e.a_ == key.a && e.b_ == key.b && e.c_ == key.c &&
+         e.extract_offset_ == key.extract_offset;
 }
 
 ExprContext::ExprContext() {
+  table_.assign(256, nullptr);
+  table_mask_ = table_.size() - 1;
   true_ = Constant(1, 1);
   false_ = Constant(0, 1);
 }
 
+void ExprContext::GrowTable() {
+  std::vector<Expr*> bigger(table_.size() * 2, nullptr);
+  size_t mask = bigger.size() - 1;
+  for (Expr* e : table_) {
+    if (e == nullptr) {
+      continue;
+    }
+    size_t idx = e->hash_ & mask;
+    while (bigger[idx] != nullptr) {
+      idx = (idx + 1) & mask;
+    }
+    bigger[idx] = e;
+  }
+  table_ = std::move(bigger);
+  table_mask_ = mask;
+}
+
 const Expr* ExprContext::Intern(const Key& key) {
-  auto it = interned_.find(key);
-  if (it != interned_.end()) {
-    return it->second;
+  // Keep the load factor below ~0.7 so probe sequences stay short.
+  if ((exprs_.size() + 1) * 10 >= table_.size() * 7) {
+    GrowTable();
+  }
+  const uint64_t hash = HashKey(key);
+  size_t idx = hash & table_mask_;
+  while (table_[idx] != nullptr) {
+    Expr* slot = table_[idx];
+    if (slot->hash_ == hash && Matches(*slot, key)) {
+      return slot;
+    }
+    idx = (idx + 1) & table_mask_;
   }
   auto owned = std::unique_ptr<Expr>(new Expr());
   Expr* e = owned.get();
@@ -85,16 +129,17 @@ const Expr* ExprContext::Intern(const Key& key) {
   e->c_ = key.c;
   e->extract_offset_ = key.extract_offset;
   e->id_ = next_id_++;
+  e->hash_ = hash;
   if (key.kind == ExprKind::kSymbol) {
-    e->support_.insert(key.symbol);
+    e->support_.Add(key.symbol);
   }
   for (const Expr* child : {key.a, key.b, key.c}) {
     if (child != nullptr) {
-      e->support_.insert(child->Support().begin(), child->Support().end());
+      e->support_.UnionWith(child->Support());
     }
   }
   exprs_.push_back(std::move(owned));
-  interned_[key] = e;
+  table_[idx] = e;
   return e;
 }
 
@@ -108,15 +153,17 @@ const Expr* ExprContext::Constant(uint64_t value, unsigned width) {
 }
 
 const Expr* ExprContext::Symbol(unsigned index) {
-  auto it = symbols_.find(index);
-  if (it != symbols_.end()) {
-    return it->second;
+  if (index < symbols_.size() && symbols_[index] != nullptr) {
+    return symbols_[index];
   }
   Key key{};
   key.kind = ExprKind::kSymbol;
   key.width = 8;
   key.symbol = index;
   const Expr* e = Intern(key);
+  if (index >= symbols_.size()) {
+    symbols_.resize(index + 1, nullptr);
+  }
   symbols_[index] = e;
   return e;
 }
@@ -437,18 +484,24 @@ const Expr* ExprContext::FromBytes(const std::vector<const Expr*>& bytes) {
 }
 
 uint64_t ExprContext::Evaluate(const Expr* e, const std::vector<uint8_t>& bytes) {
-  auto memo = eval_memo_.find(e);
-  if (memo != eval_memo_.end() && memo->second.first == eval_generation_) {
-    return memo->second.second;
+  // Leaves bypass the memo entirely: constants never change and symbols are
+  // a direct array read.
+  if (e->kind_ == ExprKind::kConstant) {
+    return e->constant_;
+  }
+  if (e->kind_ == ExprKind::kSymbol) {
+    OVERIFY_ASSERT(e->symbol_ < bytes.size(), "assignment missing symbol");
+    return bytes[e->symbol_];
+  }
+  if (e->eval_gen_ == eval_generation_) {
+    ++eval_memo_hits_;
+    return e->eval_value_;
   }
   uint64_t result = 0;
   switch (e->kind()) {
     case ExprKind::kConstant:
-      result = e->constant_value();
-      break;
     case ExprKind::kSymbol:
-      OVERIFY_ASSERT(e->symbol_index() < bytes.size(), "assignment missing symbol");
-      result = bytes[e->symbol_index()];
+      OVERIFY_UNREACHABLE("leaves handled above");
       break;
     case ExprKind::kEq:
       result = Evaluate(e->a(), bytes) == Evaluate(e->b(), bytes) ? 1 : 0;
@@ -507,7 +560,8 @@ uint64_t ExprContext::Evaluate(const Expr* e, const std::vector<uint8_t>& bytes)
       break;
     }
   }
-  eval_memo_[e] = {eval_generation_, result};
+  e->eval_gen_ = eval_generation_;
+  e->eval_value_ = result;
   return result;
 }
 
@@ -532,9 +586,12 @@ bool MulOverflowsU(uint64_t a, uint64_t b, uint64_t& out) {
 ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
                                                  const std::vector<uint8_t>& bytes,
                                                  const std::vector<bool>& assigned) {
-  auto memo = interval_memo_.find(e);
-  if (memo != interval_memo_.end() && memo->second.first == interval_generation_) {
-    return memo->second.second;
+  if (e->kind_ == ExprKind::kConstant) {
+    return UInterval{e->constant_, e->constant_};
+  }
+  if (e->interval_gen_ == interval_generation_) {
+    ++interval_memo_hits_;
+    return e->interval_value_;
   }
   unsigned width = e->width();
   UInterval result = FullRange(width);
@@ -743,7 +800,8 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
     default:
       break;  // divisions by symbolic values, shifts, srem: full range
   }
-  interval_memo_[e] = {interval_generation_, result};
+  e->interval_gen_ = interval_generation_;
+  e->interval_value_ = result;
   return result;
 }
 

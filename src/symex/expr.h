@@ -5,10 +5,18 @@
 // constant-folds on construction (KLEE's ExprBuilder plays the same role),
 // using the same fold kernel as the optimizer and the concrete interpreter
 // so all three agree bit-for-bit.
+//
+// Engine-speed invariants (see docs/engine.md):
+//  - every Expr stores its structural hash, computed once at intern time;
+//    the interner is an open-addressing table probed by that hash.
+//  - the support set is a 64-bit symbol bitmask (the paper's workloads use
+//    2-10 symbolic bytes) with a sorted overflow vector for symbols >= 64.
+//  - eval/interval memoization lives in generation-stamped slots inline on
+//    the Expr itself: O(1), zero allocation, no unbounded growth.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -49,6 +57,130 @@ enum class ExprKind : uint8_t {
   kConcat,   // a is the high part, b the low part; width = a.width + b.width
 };
 
+// splitmix64 finalizer: cheap, well-distributed 64-bit mixing. Shared by the
+// expression interner and the solver's constraint-set hashing so both fold
+// the same structural hashes consistently.
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Unsigned interval abstraction (see ExprContext::EvalInterval).
+struct UInterval {
+  uint64_t lo = 0;
+  uint64_t hi = ~uint64_t{0};
+  bool IsSingleton() const { return lo == hi; }
+};
+
+// The set of symbol indices an expression depends on. Symbols below 64 live
+// in one bitmask word; larger indices (rare — the workloads use 2-10 bytes)
+// go to a sorted overflow vector. Set algebra on the common case is one or
+// two bitwise instructions.
+class SupportSet {
+ public:
+  SupportSet() = default;
+
+  bool Empty() const { return mask_ == 0 && overflow_.empty(); }
+
+  size_t Size() const {
+    return static_cast<size_t>(__builtin_popcountll(mask_)) + overflow_.size();
+  }
+
+  bool Contains(unsigned sym) const {
+    if (sym < 64) {
+      return ((mask_ >> sym) & 1) != 0;
+    }
+    return std::binary_search(overflow_.begin(), overflow_.end(), sym);
+  }
+
+  bool Intersects(const SupportSet& other) const {
+    if ((mask_ & other.mask_) != 0) {
+      return true;
+    }
+    if (overflow_.empty() || other.overflow_.empty()) {
+      return false;
+    }
+    auto a = overflow_.begin();
+    auto b = other.overflow_.begin();
+    while (a != overflow_.end() && b != other.overflow_.end()) {
+      if (*a == *b) {
+        return true;
+      }
+      if (*a < *b) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+    return false;
+  }
+
+  void Add(unsigned sym) {
+    if (sym < 64) {
+      mask_ |= uint64_t{1} << sym;
+      return;
+    }
+    auto it = std::lower_bound(overflow_.begin(), overflow_.end(), sym);
+    if (it == overflow_.end() || *it != sym) {
+      overflow_.insert(it, sym);
+    }
+  }
+
+  void UnionWith(const SupportSet& other) {
+    mask_ |= other.mask_;
+    if (!other.overflow_.empty()) {
+      std::vector<unsigned> merged;
+      merged.reserve(overflow_.size() + other.overflow_.size());
+      std::set_union(overflow_.begin(), overflow_.end(), other.overflow_.begin(),
+                     other.overflow_.end(), std::back_inserter(merged));
+      overflow_ = std::move(merged);
+    }
+  }
+
+  // Largest symbol index; requires !Empty().
+  unsigned MaxSymbol() const {
+    if (!overflow_.empty()) {
+      return overflow_.back();
+    }
+    return 63 - static_cast<unsigned>(__builtin_clzll(mask_));
+  }
+
+  // Visits symbols in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    uint64_t m = mask_;
+    while (m != 0) {
+      fn(static_cast<unsigned>(__builtin_ctzll(m)));
+      m &= m - 1;
+    }
+    for (unsigned sym : overflow_) {
+      fn(sym);
+    }
+  }
+
+  std::set<unsigned> ToSet() const {
+    std::set<unsigned> out;
+    ForEach([&](unsigned sym) { out.insert(sym); });
+    return out;
+  }
+
+  uint64_t mask() const { return mask_; }
+  const std::vector<unsigned>& overflow() const { return overflow_; }
+
+  bool operator==(const SupportSet& other) const {
+    return mask_ == other.mask_ && overflow_ == other.overflow_;
+  }
+  bool operator!=(const SupportSet& other) const { return !(*this == other); }
+
+ private:
+  uint64_t mask_ = 0;
+  std::vector<unsigned> overflow_;  // sorted, unique, indices >= 64
+};
+
 class Expr {
  public:
   ExprKind kind() const { return kind_; }
@@ -76,8 +208,12 @@ class Expr {
   // Stable creation index; used for canonical operand ordering.
   uint64_t id() const { return id_; }
 
+  // Structural hash, fixed at intern time. Hash-consing makes it canonical
+  // per context: equal hashes for structurally equal expressions.
+  uint64_t hash() const { return hash_; }
+
   // The set of symbol indices this expression depends on.
-  const std::set<unsigned>& Support() const { return support_; }
+  const SupportSet& Support() const { return support_; }
 
  private:
   friend class ExprContext;
@@ -92,12 +228,23 @@ class Expr {
   const Expr* c_ = nullptr;
   unsigned extract_offset_ = 0;
   uint64_t id_ = 0;
-  std::set<unsigned> support_;
+  uint64_t hash_ = 0;
+  SupportSet support_;
+
+  // Generation-stamped inline memo slots, owned by the context's Evaluate /
+  // EvalInterval (a slot is valid only while its stamp equals the context's
+  // current generation; stamps start at 0, generations at 1).
+  mutable uint64_t eval_gen_ = 0;
+  mutable uint64_t eval_value_ = 0;
+  mutable uint64_t interval_gen_ = 0;
+  mutable UInterval interval_value_;
 };
 
 // Owns and interns expressions.
 class ExprContext {
  public:
+  using UInterval = overify::UInterval;
+
   ExprContext();
   ExprContext(const ExprContext&) = delete;
   ExprContext& operator=(const ExprContext&) = delete;
@@ -127,8 +274,8 @@ class ExprContext {
   const Expr* FromBytes(const std::vector<const Expr*>& bytes);
 
   // Evaluates `e` under a full assignment of its support. `bytes[i]` is the
-  // value of Symbol(i). Uses an internal memo keyed by (expr, generation);
-  // call NewEvaluation() before each new assignment.
+  // value of Symbol(i). Memoized in the inline slot on each Expr, keyed by
+  // the current generation; call NewEvaluation() before each new assignment.
   uint64_t Evaluate(const Expr* e, const std::vector<uint8_t>& bytes);
   void NewEvaluation() { ++eval_generation_; }
 
@@ -136,44 +283,48 @@ class ExprContext {
   // assigned[i] contribute their exact byte, the rest contribute [0, 255].
   // Sound over-approximation: the true value always lies in [lo, hi]. The
   // solver prunes a branch as soon as a constraint's interval excludes 1.
-  struct UInterval {
-    uint64_t lo = 0;
-    uint64_t hi = ~uint64_t{0};
-    bool IsSingleton() const { return lo == hi; }
-  };
   UInterval EvalInterval(const Expr* e, const std::vector<uint8_t>& bytes,
                          const std::vector<bool>& assigned);
   void NewIntervalRound() { ++interval_generation_; }
 
   size_t NumExprs() const { return exprs_.size(); }
 
+  // Fast-path observability (cumulative since construction).
+  uint64_t eval_memo_hits() const { return eval_memo_hits_; }
+  uint64_t interval_memo_hits() const { return interval_memo_hits_; }
+
  private:
   struct Key {
-    ExprKind kind;
-    unsigned width;
-    uint64_t constant;
-    unsigned symbol;
-    const Expr* a;
-    const Expr* b;
-    const Expr* c;
-    unsigned extract_offset;
-
-    bool operator<(const Key& other) const;
+    ExprKind kind = ExprKind::kConstant;
+    unsigned width = 1;
+    uint64_t constant = 0;
+    unsigned symbol = 0;
+    const Expr* a = nullptr;
+    const Expr* b = nullptr;
+    const Expr* c = nullptr;
+    unsigned extract_offset = 0;
   };
 
+  static uint64_t HashKey(const Key& key);
+  static bool Matches(const Expr& e, const Key& key);
+
   const Expr* Intern(const Key& key);
+  void GrowTable();
 
   std::vector<std::unique_ptr<Expr>> exprs_;
-  std::map<Key, const Expr*> interned_;
-  std::map<unsigned, const Expr*> symbols_;
+  // Open-addressing interner: power-of-two table of owned pointers, linear
+  // probing, no deletions (expressions live as long as the context).
+  std::vector<Expr*> table_;
+  size_t table_mask_ = 0;
+  std::vector<const Expr*> symbols_;  // dense by symbol index; null = absent
   const Expr* true_;
   const Expr* false_;
   uint64_t next_id_ = 0;
 
-  uint64_t eval_generation_ = 0;
-  std::map<const Expr*, std::pair<uint64_t, uint64_t>> eval_memo_;  // expr -> (gen, value)
-  uint64_t interval_generation_ = 0;
-  std::map<const Expr*, std::pair<uint64_t, UInterval>> interval_memo_;
+  uint64_t eval_generation_ = 1;
+  uint64_t interval_generation_ = 1;
+  uint64_t eval_memo_hits_ = 0;
+  uint64_t interval_memo_hits_ = 0;
 };
 
 }  // namespace overify

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/symex/expr.h"
@@ -57,8 +57,11 @@ class AddressSpace {
   size_t NumObjects() const { return meta_.size(); }
 
  private:
-  std::map<uint64_t, MemoryObject> meta_;
-  std::map<uint64_t, std::shared_ptr<ObjectState>> contents_;
+  // Hash maps: object ids are dense and lookups sit on the engine's
+  // per-instruction path; states fork by copying these tables, so flat
+  // buckets also clone faster than node-based trees.
+  std::unordered_map<uint64_t, MemoryObject> meta_;
+  std::unordered_map<uint64_t, std::shared_ptr<ObjectState>> contents_;
   uint64_t next_id_ = 1;  // id 0 is the null object
 };
 

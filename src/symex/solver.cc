@@ -89,8 +89,8 @@ const std::vector<uint8_t>& CandidateOrder() {
 
 SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>& constraints,
                                std::vector<uint8_t>* model, uint64_t candidate_budget) {
-  // Trivial screening and support collection.
-  std::set<unsigned> support;
+  // Trivial screening and support collection (bitmask union per constraint).
+  SupportSet support;
   std::vector<const Expr*> live;
   for (const Expr* c : constraints) {
     if (c->IsConstant()) {
@@ -100,7 +100,7 @@ SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>&
       continue;
     }
     live.push_back(c);
-    support.insert(c->Support().begin(), c->Support().end());
+    support.UnionWith(c->Support());
   }
   if (live.empty()) {
     if (model != nullptr) {
@@ -109,39 +109,41 @@ SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>&
     return SatResult::kSat;
   }
 
-  std::vector<unsigned> order(support.begin(), support.end());
-  unsigned max_symbol = *std::max_element(order.begin(), order.end());
+  std::vector<unsigned> order;
+  order.reserve(support.Size());
+  support.ForEach([&](unsigned sym) { order.push_back(sym); });
+  unsigned max_symbol = support.MaxSymbol();
   // Conflict-directed backjumping uses per-level position masks; fall back
   // to chronological behaviour for absurdly wide queries.
   const bool use_cbj = order.size() <= 64;
 
-  // Per level: constraints that become fully determined there, constraints
-  // that merely touch the prefix (interval pruning), and each constraint's
-  // support expressed as a mask of levels.
-  std::vector<std::vector<const Expr*>> ready_at(order.size());
-  std::vector<std::vector<const Expr*>> touched_at(order.size());
-  std::map<const Expr*, uint64_t> support_mask;
+  // Per level: constraints (as indices into `live`) that become fully
+  // determined there, constraints that merely touch the prefix (interval
+  // pruning), and each constraint's support expressed as a mask of levels.
+  std::vector<std::vector<size_t>> ready_at(order.size());
+  std::vector<std::vector<size_t>> touched_at(order.size());
+  std::vector<uint64_t> level_mask(live.size(), 0);
   {
-    std::map<unsigned, size_t> position;
+    std::vector<size_t> position(max_symbol + 1, 0);
     for (size_t i = 0; i < order.size(); ++i) {
       position[order[i]] = i;
     }
-    for (const Expr* c : live) {
+    for (size_t ci = 0; ci < live.size(); ++ci) {
       size_t last = 0;
       size_t first = order.size();
       uint64_t mask = 0;
-      for (unsigned sym : c->Support()) {
+      live[ci]->Support().ForEach([&](unsigned sym) {
         size_t pos = position[sym];
         last = std::max(last, pos);
         first = std::min(first, pos);
         if (use_cbj) {
           mask |= uint64_t{1} << pos;
         }
-      }
-      support_mask[c] = mask;
-      ready_at[last].push_back(c);
+      });
+      level_mask[ci] = mask;
+      ready_at[last].push_back(ci);
       for (size_t i = first; i < last; ++i) {
-        touched_at[i].push_back(c);
+        touched_at[i].push_back(ci);
       }
     }
   }
@@ -205,9 +207,9 @@ SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>&
     bool ok = true;
     // Constraints that just became fully determined.
     ctx.NewEvaluation();
-    for (const Expr* c : ready_at[depth]) {
-      if (ctx.Evaluate(c, assignment) == 0) {
-        conflict_mask[depth] |= support_mask[c] & below;
+    for (size_t ci : ready_at[depth]) {
+      if (ctx.Evaluate(live[ci], assignment) == 0) {
+        conflict_mask[depth] |= level_mask[ci] & below;
         ok = false;
         break;
       }
@@ -217,10 +219,10 @@ SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>&
     // completion of this prefix.
     if (ok && !touched_at[depth].empty()) {
       ctx.NewIntervalRound();
-      for (const Expr* c : touched_at[depth]) {
-        ExprContext::UInterval bound = ctx.EvalInterval(c, assignment, assigned);
+      for (size_t ci : touched_at[depth]) {
+        ExprContext::UInterval bound = ctx.EvalInterval(live[ci], assignment, assigned);
         if (bound.hi == 0) {
-          conflict_mask[depth] |= support_mask[c] & below;
+          conflict_mask[depth] |= level_mask[ci] & below;
           ok = false;
           break;
         }
@@ -234,45 +236,131 @@ SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>&
   }
 }
 
-std::vector<const Expr*> FilterIndependent(const std::vector<const Expr*>& constraints,
-                                           const Expr* seed) {
-  // Grow the symbol set reachable from the seed through shared constraints.
-  std::set<unsigned> symbols(seed->Support().begin(), seed->Support().end());
-  std::vector<bool> taken(constraints.size(), false);
+namespace {
+
+// Fixpoint of "constraints transitively sharing support with the seed".
+// The common shape — at most 64 constraints, all symbols below 64 — runs
+// with a taken-bitmask and SupportSet mask ANDs: no allocation at all.
+void FilterIndependentInto(const std::vector<const Expr*>& constraints, const Expr* seed,
+                           std::vector<const Expr*>& out) {
+  out.clear();
+  const size_t n = constraints.size();
+  SupportSet reachable = seed->Support();
+  if (n <= 64) {
+    uint64_t taken = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 0; i < n; ++i) {
+        if ((taken >> i) & 1) {
+          continue;
+        }
+        const SupportSet& support = constraints[i]->Support();
+        if (reachable.Intersects(support)) {
+          taken |= uint64_t{1} << i;
+          reachable.UnionWith(support);
+          changed = true;
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if ((taken >> i) & 1) {
+        out.push_back(constraints[i]);
+      }
+    }
+    return;
+  }
+  std::vector<bool> taken(n, false);
   bool changed = true;
   while (changed) {
     changed = false;
-    for (size_t i = 0; i < constraints.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
       if (taken[i]) {
         continue;
       }
-      const auto& support = constraints[i]->Support();
-      bool intersects = false;
-      for (unsigned sym : support) {
-        if (symbols.count(sym) != 0) {
-          intersects = true;
-          break;
-        }
-      }
-      if (intersects) {
+      const SupportSet& support = constraints[i]->Support();
+      if (reachable.Intersects(support)) {
         taken[i] = true;
-        symbols.insert(support.begin(), support.end());
+        reachable.UnionWith(support);
         changed = true;
       }
     }
   }
-  std::vector<const Expr*> filtered;
-  for (size_t i = 0; i < constraints.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     if (taken[i]) {
-      filtered.push_back(constraints[i]);
+      out.push_back(constraints[i]);
     }
   }
+}
+
+}  // namespace
+
+std::vector<const Expr*> FilterIndependent(const std::vector<const Expr*>& constraints,
+                                           const Expr* seed) {
+  std::vector<const Expr*> filtered;
+  FilterIndependentInto(constraints, seed, filtered);
   return filtered;
 }
 
-SatResult SolverChain::Solve(std::vector<const Expr*> filtered, std::vector<uint8_t>* model) {
+namespace {
+
+// murmur3's 64-bit finalizer: a second mixer independent of HashMix64.
+uint64_t MixHash2(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+struct SetHash {
+  uint64_t key;          // cache index
+  uint64_t fingerprint;  // independent confirmation hash
+};
+
+// Order-sensitive 64-bit hashes of the canonical (id-sorted, deduped)
+// constraint set. The key folds the structural hash stored on each Expr;
+// the fingerprint folds the creation ids through a different mixer, so the
+// two are independent.
+SetHash HashConstraintSet(const std::vector<const Expr*>& canonical) {
+  uint64_t h = HashMix64(0x9e3779b97f4a7c15ULL ^ canonical.size());
+  uint64_t f = MixHash2(0x2545f4914f6cdd1dULL ^ canonical.size());
+  for (const Expr* c : canonical) {
+    h = HashMix64(h ^ c->hash());
+    f = MixHash2(f ^ c->id());
+  }
+  return SetHash{h, f};
+}
+
+}  // namespace
+
+void SolverChain::InsertCacheEntry(uint64_t key, uint64_t fingerprint, SatResult result,
+                                   const std::vector<uint8_t>& model) {
+  auto [it, inserted] = cex_cache_.emplace(key, CacheEntry{fingerprint, result, model});
+  if (!inserted) {
+    it->second = CacheEntry{fingerprint, result, model};
+    return;
+  }
+  cex_order_.push_back(key);
+  if (cex_cache_.size() > kMaxCexEntries) {
+    cex_cache_.erase(cex_order_.front());
+    cex_order_.pop_front();
+    ++stats_.cex_evictions;
+  }
+}
+
+const SolverStats& SolverChain::stats() const {
+  stats_.eval_memo_hits = ctx_.eval_memo_hits();
+  stats_.interval_memo_hits = ctx_.interval_memo_hits();
+  return stats_;
+}
+
+SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
+                             std::vector<uint8_t>* model) {
   // Canonical form: drop trivially-true entries, dedupe, sort by id.
-  std::vector<const Expr*> canonical;
+  std::vector<const Expr*>& canonical = canonical_scratch_;
+  canonical.clear();
   for (const Expr* c : filtered) {
     if (c->IsTrue()) {
       continue;
@@ -286,14 +374,16 @@ SatResult SolverChain::Solve(std::vector<const Expr*> filtered, std::vector<uint
             [](const Expr* a, const Expr* b) { return a->id() < b->id(); });
   canonical.erase(std::unique(canonical.begin(), canonical.end()), canonical.end());
 
-  // Counterexample cache.
-  auto cached = cex_cache_.find(canonical);
-  if (cached != cex_cache_.end()) {
+  // Counterexample cache (constant-time: one hash of the constraint set).
+  const SetHash cache_key = HashConstraintSet(canonical);
+  auto cached = cex_cache_.find(cache_key.key);
+  if (cached != cex_cache_.end() && cached->second.fingerprint == cache_key.fingerprint) {
+    const CacheEntry& entry = cached->second;
     ++stats_.cache_hits;
     if (model != nullptr) {
-      *model = cached->second.model;
+      *model = entry.model;
     }
-    return cached->second.result;
+    return entry.result;
   }
 
   // Model reuse: a recent satisfying assignment may already satisfy this set.
@@ -301,13 +391,9 @@ SatResult SolverChain::Solve(std::vector<const Expr*> filtered, std::vector<uint
     const std::vector<uint8_t>& candidate = *it;
     bool all_supported = true;
     for (const Expr* c : canonical) {
-      for (unsigned sym : c->Support()) {
-        if (sym >= candidate.size()) {
-          all_supported = false;
-          break;
-        }
-      }
-      if (!all_supported) {
+      const SupportSet& support = c->Support();
+      if (!support.Empty() && support.MaxSymbol() >= candidate.size()) {
+        all_supported = false;
         break;
       }
     }
@@ -324,7 +410,7 @@ SatResult SolverChain::Solve(std::vector<const Expr*> filtered, std::vector<uint
     }
     if (satisfied) {
       ++stats_.reuse_hits;
-      cex_cache_[canonical] = CacheEntry{SatResult::kSat, candidate};
+      InsertCacheEntry(cache_key.key, cache_key.fingerprint, SatResult::kSat, candidate);
       if (model != nullptr) {
         *model = candidate;
       }
@@ -338,7 +424,7 @@ SatResult SolverChain::Solve(std::vector<const Expr*> filtered, std::vector<uint
   SatResult result = core_.CheckSat(ctx_, canonical, &core_model);
   stats_.core_candidates = core_.candidates_tried();
   if (result != SatResult::kUnknown) {
-    cex_cache_[canonical] = CacheEntry{result, core_model};
+    InsertCacheEntry(cache_key.key, cache_key.fingerprint, result, core_model);
   }
   if (result == SatResult::kSat) {
     recent_models_.push_back(core_model);
@@ -368,10 +454,10 @@ SatResult SolverChain::MayBeTrue(const std::vector<const Expr*>& constraints, co
   if (cond->IsFalse()) {
     return SatResult::kUnsat;
   }
-  std::vector<const Expr*> filtered = FilterIndependent(constraints, cond);
-  stats_.independence_drops += constraints.size() - filtered.size();
-  filtered.push_back(cond);
-  return Solve(std::move(filtered), model);
+  FilterIndependentInto(constraints, cond, filtered_scratch_);
+  stats_.independence_drops += constraints.size() - filtered_scratch_.size();
+  filtered_scratch_.push_back(cond);
+  return Solve(filtered_scratch_, model);
 }
 
 }  // namespace overify

@@ -6,10 +6,16 @@
 // backtracking search over the 8-bit symbolic input bytes with
 // constraint-completion pruning — complete for the byte-level workloads this
 // toolkit targets (the paper's evaluation uses 2-10 symbolic input bytes).
+//
+// Hot-path engineering (see docs/engine.md): independence splitting is a
+// bitwise-AND fixpoint over SupportSet bitmasks, and the counterexample
+// cache is keyed by a 64-bit hash of the canonical constraint set with FIFO
+// eviction at a fixed capacity.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "src/symex/expr.h"
@@ -29,6 +35,10 @@ struct SolverStats {
   uint64_t core_queries = 0;       // reached the core search
   uint64_t core_candidates = 0;    // candidate byte values tried in the core
   uint64_t independence_drops = 0; // constraints filtered out as independent
+  // Fast-path counters added with the hash-consing refactor.
+  uint64_t eval_memo_hits = 0;      // inline eval-memo hits (ExprContext)
+  uint64_t interval_memo_hits = 0;  // inline interval-memo hits (ExprContext)
+  uint64_t cex_evictions = 0;       // counterexample-cache entries evicted
 };
 
 // Core backtracking solver.
@@ -60,22 +70,38 @@ class SolverChain {
   SatResult MayBeTrue(const std::vector<const Expr*>& constraints, const Expr* cond,
                       std::vector<uint8_t>* model);
 
-  const SolverStats& stats() const { return stats_; }
+  const SolverStats& stats() const;
 
  private:
-  SatResult Solve(std::vector<const Expr*> filtered, std::vector<uint8_t>* model);
+  SatResult Solve(const std::vector<const Expr*>& filtered, std::vector<uint8_t>* model);
 
   ExprContext& ctx_;
   CoreSolver core_;
-  SolverStats stats_;
+  // stats() refreshes the memo-hit counters from the ExprContext on read.
+  mutable SolverStats stats_;
 
   struct CacheEntry {
+    uint64_t fingerprint = 0;  // second independent hash; see Solve()
     SatResult result = SatResult::kUnknown;
     std::vector<uint8_t> model;
   };
-  std::map<std::vector<const Expr*>, CacheEntry> cex_cache_;
+  // Counterexample cache keyed by a 64-bit hash of the canonical constraint
+  // set. Bounded: oldest entries are evicted FIFO beyond kMaxCexEntries.
+  // Each entry also stores a second, independently-mixed 64-bit fingerprint
+  // of the set; a hit must match both, so serving a wrong verdict needs a
+  // simultaneous 128-bit collision (treated as impossible; see
+  // docs/engine.md).
+  static constexpr size_t kMaxCexEntries = 4096;
+  std::unordered_map<uint64_t, CacheEntry> cex_cache_;
+  std::deque<uint64_t> cex_order_;  // insertion order for FIFO eviction
+  void InsertCacheEntry(uint64_t key, uint64_t fingerprint, SatResult result,
+                        const std::vector<uint8_t>& model);
   // Recent satisfying assignments, newest last (bounded).
   std::vector<std::vector<uint8_t>> recent_models_;
+  // Scratch buffers reused across queries (the chain sits on the engine's
+  // per-branch path; steady-state queries should not allocate).
+  std::vector<const Expr*> filtered_scratch_;
+  std::vector<const Expr*> canonical_scratch_;
 };
 
 // Filters `constraints` to those transitively sharing support with `seed`.

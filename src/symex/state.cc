@@ -4,9 +4,11 @@ namespace overify {
 
 RuntimeValue ExecState::Local(const Value* v) const {
   const StackFrame& frame = stack.back();
-  auto it = frame.locals.find(v);
-  OVERIFY_ASSERT(it != frame.locals.end(), "use of unbound SSA value");
-  return it->second;
+  uint32_t slot = v->local_slot();
+  OVERIFY_ASSERT(slot < frame.locals.size(), "use of a value with no slot in this frame");
+  const RuntimeValue& value = frame.locals[slot];
+  OVERIFY_ASSERT(value.kind != RuntimeValue::Kind::kNone, "use of unbound SSA value");
+  return value;
 }
 
 }  // namespace overify

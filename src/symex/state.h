@@ -48,7 +48,10 @@ struct StackFrame {
   BasicBlock* block = nullptr;
   BasicBlock* prev_block = nullptr;  // for phi resolution
   BasicBlock::iterator pc;
-  std::map<const Value*, RuntimeValue> locals;
+  // SSA bindings, indexed by each value's dense local slot (see
+  // Function::AssignLocalSlots); kind == kNone marks an unbound slot. Flat
+  // storage makes forking a state a straight vector copy.
+  std::vector<RuntimeValue> locals;
   std::vector<uint64_t> alloca_objects;  // freed when the frame pops
   const CallInst* call_site = nullptr;   // in the caller frame
 };
@@ -77,7 +80,11 @@ struct ExecState {
   }
 
   RuntimeValue Local(const Value* v) const;
-  void SetLocal(const Value* v, RuntimeValue value) { Frame().locals[v] = std::move(value); }
+  void SetLocal(const Value* v, RuntimeValue value) {
+    uint32_t slot = v->local_slot();
+    OVERIFY_ASSERT(slot < Frame().locals.size(), "value has no slot in this frame");
+    Frame().locals[slot] = std::move(value);
+  }
 
   void AddConstraint(const Expr* e) { constraints.push_back(e); }
 

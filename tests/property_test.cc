@@ -223,6 +223,119 @@ TEST(ExprPropertyTest, IntervalAbstractionIsSound) {
   }
 }
 
+// ---- SupportSet bitmask vs reference std::set --------------------------------
+
+void ReferenceSupport(const Expr* e, std::set<unsigned>& out) {
+  if (e->kind() == ExprKind::kSymbol) {
+    out.insert(e->symbol_index());
+  }
+  for (const Expr* child : {e->a(), e->b(), e->c()}) {
+    if (child != nullptr) {
+      ReferenceSupport(child, out);
+    }
+  }
+}
+
+TEST(SupportPropertyTest, BitmaskAgreesWithReferenceSet) {
+  // 80 symbols exercises both the bitmask word (indices < 64) and the
+  // overflow vector (indices >= 64).
+  Rng rng(707);
+  ExprContext ctx;
+  for (int trial = 0; trial < 400; ++trial) {
+    const Expr* e = RandomExpr(ctx, rng, 80, 4, 32);
+    std::set<unsigned> reference;
+    ReferenceSupport(e, reference);
+    EXPECT_EQ(e->Support().ToSet(), reference);
+    EXPECT_EQ(e->Support().Size(), reference.size());
+    for (unsigned sym = 0; sym < 90; ++sym) {
+      EXPECT_EQ(e->Support().Contains(sym), reference.count(sym) != 0) << "symbol " << sym;
+    }
+    if (!reference.empty()) {
+      EXPECT_EQ(e->Support().MaxSymbol(), *reference.rbegin());
+    }
+  }
+}
+
+TEST(SupportPropertyTest, IntersectsAgreesWithReferenceSet) {
+  Rng rng(808);
+  ExprContext ctx;
+  for (int trial = 0; trial < 300; ++trial) {
+    const Expr* x = RandomExpr(ctx, rng, 80, 3, 32);
+    const Expr* y = RandomExpr(ctx, rng, 80, 3, 32);
+    std::set<unsigned> sx;
+    std::set<unsigned> sy;
+    ReferenceSupport(x, sx);
+    ReferenceSupport(y, sy);
+    bool reference_intersects = false;
+    for (unsigned sym : sx) {
+      if (sy.count(sym) != 0) {
+        reference_intersects = true;
+        break;
+      }
+    }
+    EXPECT_EQ(x->Support().Intersects(y->Support()), reference_intersects);
+    EXPECT_EQ(y->Support().Intersects(x->Support()), reference_intersects);
+  }
+}
+
+// ---- FilterIndependent vs reference std::set implementation ------------------
+
+std::vector<const Expr*> ReferenceFilterIndependent(
+    const std::vector<const Expr*>& constraints, const Expr* seed) {
+  std::set<unsigned> symbols;
+  ReferenceSupport(seed, symbols);
+  std::vector<bool> taken(constraints.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      if (taken[i]) {
+        continue;
+      }
+      std::set<unsigned> support;
+      ReferenceSupport(constraints[i], support);
+      bool intersects = false;
+      for (unsigned sym : support) {
+        if (symbols.count(sym) != 0) {
+          intersects = true;
+          break;
+        }
+      }
+      if (intersects) {
+        taken[i] = true;
+        symbols.insert(support.begin(), support.end());
+        changed = true;
+      }
+    }
+  }
+  std::vector<const Expr*> filtered;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (taken[i]) {
+      filtered.push_back(constraints[i]);
+    }
+  }
+  return filtered;
+}
+
+TEST(IndependencePropertyTest, FilterMatchesReferenceImplementation) {
+  Rng rng(909);
+  ExprContext ctx;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Between 1 and 80 constraints (exercising both the <=64 bitmask path
+    // and the fallback), over up to 70 symbols (exercising mask overflow).
+    size_t count = 1 + rng.NextBelow(80);
+    std::vector<const Expr*> constraints;
+    for (size_t i = 0; i < count; ++i) {
+      const Expr* lhs = RandomExpr(ctx, rng, 70, 2, 32);
+      const Expr* rhs = RandomExpr(ctx, rng, 70, 2, 32);
+      constraints.push_back(ctx.Compare(ICmpPredicate::kULT, lhs, rhs));
+    }
+    const Expr* seed = RandomExpr(ctx, rng, 70, 2, 8);
+    EXPECT_EQ(FilterIndependent(constraints, seed),
+              ReferenceFilterIndependent(constraints, seed));
+  }
+}
+
 // ---- Solver vs brute force ---------------------------------------------------
 
 TEST(SolverPropertyTest, AgreesWithBruteForceOnTwoBytes) {
@@ -273,6 +386,47 @@ TEST(SolverPropertyTest, AgreesWithBruteForceOnTwoBytes) {
       }
     }
   }
+}
+
+// ---- Solver-chain regression: verdicts unchanged through the fast paths ------
+
+TEST(SolverChainPropertyTest, ChainAgreesWithCoreAndModelsAreValid) {
+  // The chain's cache/reuse/independence layers must never change a verdict:
+  // for random constraint systems, SolverChain (asked twice, so the second
+  // round exercises the counterexample cache) agrees with a fresh CoreSolver,
+  // and every kSat model actually satisfies the constraints.
+  Rng rng(1111);
+  ExprContext ctx;
+  SolverChain chain(ctx);
+  for (int trial = 0; trial < 150; ++trial) {
+    std::vector<const Expr*> constraints;
+    size_t count = 1 + rng.NextBelow(3);
+    for (size_t i = 0; i < count; ++i) {
+      const Expr* lhs = RandomExpr(ctx, rng, 2, 2, 32);
+      const Expr* rhs = RandomExpr(ctx, rng, 2, 2, 32);
+      ICmpPredicate preds[] = {ICmpPredicate::kEq, ICmpPredicate::kULT, ICmpPredicate::kSLE,
+                               ICmpPredicate::kNe};
+      constraints.push_back(ctx.Compare(preds[rng.NextBelow(4)], lhs, rhs));
+    }
+
+    CoreSolver reference;
+    SatResult expected = reference.CheckSat(ctx, constraints, nullptr);
+    ASSERT_NE(expected, SatResult::kUnknown);
+
+    for (int round = 0; round < 2; ++round) {
+      std::vector<uint8_t> model;
+      SatResult got = chain.CheckSat(constraints, &model);
+      EXPECT_EQ(got, expected) << "trial " << trial << " round " << round;
+      if (got == SatResult::kSat) {
+        model.resize(2, 0);
+        ctx.NewEvaluation();
+        for (const Expr* c : constraints) {
+          EXPECT_EQ(ctx.Evaluate(c, model), 1u) << "trial " << trial << " round " << round;
+        }
+      }
+    }
+  }
+  EXPECT_GE(chain.stats().cache_hits, 1u);
 }
 
 // ---- Printer/parser round trip over real modules ----------------------------

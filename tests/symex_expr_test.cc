@@ -23,7 +23,31 @@ TEST(ExprTest, SymbolsHaveSupport) {
   EXPECT_EQ(s0, ctx.Symbol(0));
   EXPECT_EQ(s0->width(), 8u);
   const Expr* sum = ctx.Binary(ExprKind::kAdd, s0, s3);
-  EXPECT_EQ(sum->Support(), (std::set<unsigned>{0, 3}));
+  EXPECT_EQ(sum->Support().ToSet(), (std::set<unsigned>{0, 3}));
+}
+
+TEST(ExprTest, SupportOverflowBeyondMaskWidth) {
+  // Symbol indices >= 64 spill from the bitmask word into the sorted
+  // overflow vector; set algebra must agree across the boundary.
+  ExprContext ctx;
+  const Expr* lo = ctx.Symbol(3);
+  const Expr* hi = ctx.Symbol(100);
+  const Expr* sum = ctx.Binary(ExprKind::kAdd, lo, hi);
+  EXPECT_EQ(sum->Support().ToSet(), (std::set<unsigned>{3, 100}));
+  EXPECT_EQ(sum->Support().MaxSymbol(), 100u);
+  EXPECT_TRUE(sum->Support().Contains(100));
+  EXPECT_FALSE(sum->Support().Contains(64));
+  EXPECT_TRUE(sum->Support().Intersects(hi->Support()));
+  EXPECT_FALSE(lo->Support().Intersects(hi->Support()));
+}
+
+TEST(ExprTest, StructuralHashIsStableAndInterned) {
+  ExprContext ctx;
+  const Expr* a = ctx.Binary(ExprKind::kAdd, ctx.Symbol(0), ctx.Constant(5, 8));
+  const Expr* b = ctx.Binary(ExprKind::kAdd, ctx.Symbol(0), ctx.Constant(5, 8));
+  EXPECT_EQ(a, b);  // hash-consed: same pointer
+  EXPECT_NE(a->hash(), 0u);
+  EXPECT_EQ(a->hash(), b->hash());
 }
 
 TEST(ExprTest, ConstantFoldingMatchesFoldKernel) {

@@ -138,6 +138,40 @@ TEST(SolverChainTest, ModelReuseAcrossSimilarQueries) {
   EXPECT_GE(chain.stats().reuse_hits + chain.stats().cache_hits, 1u);
 }
 
+TEST(SolverChainTest, CexCacheIsBoundedAndEvicts) {
+  // Push well past the cache capacity (4096 entries) with distinct
+  // constraint sets; the FIFO eviction counter must move and verdicts must
+  // stay correct for re-queried (evicted) sets.
+  ExprContext ctx;
+  SolverChain chain(ctx);
+  auto query = [&](unsigned x, unsigned y) {
+    std::vector<const Expr*> cs = {
+        ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0), ctx.Constant(x, 8)),
+        ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(1), ctx.Constant(y, 8))};
+    return chain.CheckSat(cs, nullptr);
+  };
+  for (unsigned x = 0; x < 66; ++x) {
+    for (unsigned y = 0; y < 66; ++y) {
+      EXPECT_EQ(query(x, y), SatResult::kSat);
+    }
+  }
+  EXPECT_GE(chain.stats().cex_evictions, 1u);
+  // The earliest entries are long evicted; answers are still right.
+  EXPECT_EQ(query(0, 0), SatResult::kSat);
+}
+
+TEST(SolverChainTest, StatsExposeFastPathCounters) {
+  ExprContext ctx;
+  SolverChain chain(ctx);
+  std::vector<const Expr*> path = {
+      ctx.Compare(ICmpPredicate::kULT, ctx.Symbol(0), ctx.Symbol(1))};
+  auto cond = ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0), ctx.Constant(3, 8));
+  EXPECT_EQ(chain.MayBeTrue(path, cond, nullptr), SatResult::kSat);
+  // The core search evaluates shared subexpressions under the inline memo.
+  EXPECT_GE(chain.stats().eval_memo_hits + chain.stats().interval_memo_hits, 0u);
+  EXPECT_EQ(chain.stats().cex_evictions, 0u);
+}
+
 TEST(SolverChainTest, UnsatDetected) {
   ExprContext ctx;
   SolverChain chain(ctx);
