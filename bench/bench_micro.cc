@@ -145,6 +145,25 @@ void BM_ExploreWcAtO3(benchmark::State& state) {
 }
 BENCHMARK(BM_ExploreWcAtO3);
 
+void BM_ParallelExploreWc(benchmark::State& state) {
+  // Thread scaling of the core-search workload (wc @ -O3) across the
+  // scheduler's worker pool; run_benches.sh records the 1/2/4/8-worker
+  // times as the thread_scaling section of BENCH_symex.json.
+  Compiler compiler;
+  CompileResult compiled = compiler.Compile(WcListing1(), OptLevel::kO3);
+  SymexLimits limits;
+  limits.max_seconds = 60;
+  unsigned jobs = static_cast<unsigned>(state.range(0));
+  SymexResult last;
+  for (auto _ : state) {
+    last = Analyze(compiled, "umain", 6, limits, jobs);
+    benchmark::DoNotOptimize(last.paths_completed);
+  }
+  state.counters["paths"] = static_cast<double>(last.paths_completed);
+  state.counters["workers"] = static_cast<double>(last.workers);
+}
+BENCHMARK(BM_ParallelExploreWc)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

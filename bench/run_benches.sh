@@ -1,13 +1,41 @@
 #!/usr/bin/env bash
 # Runs the engine benchmarks and emits BENCH_symex.json — the perf
 # trajectory snapshot tracked across PRs (wall seconds, solver queries,
-# core candidates, fast-path counters).
+# core candidates, fast-path counters, thread scaling).
 #
-# Usage: bench/run_benches.sh [build_dir] [output_json]
+# Usage: bench/run_benches.sh [--check] [build_dir] [output_json]
+#
+# --check: after writing the snapshot, diff each benchmark against the
+# committed BENCH_symex.json and fail (exit 1) on a wall-time slowdown
+# beyond BENCH_CHECK_THRESHOLD (default 1.5x) or on any change in the
+# hardware-independent `paths` counters — the CI regression gate. Wall
+# times compare across hosts only approximately; if the gate host class
+# differs a lot from the one that produced the committed snapshot, widen
+# the threshold (env) or regenerate the snapshot on the gate's host class.
+# The counter check is exact everywhere.
 set -euo pipefail
 
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+  CHECK=1
+  shift
+fi
+
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_symex.json}"
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+COMMITTED="$REPO_ROOT/BENCH_symex.json"
+if [[ "$CHECK" == "1" ]]; then
+  # In check mode the fresh snapshot must not land on the committed
+  # baseline: the diff would compare the file to itself (trivially
+  # passing) after clobbering it.
+  OUT="${2:-$(mktemp --suffix=.json)}"
+  if [[ "$(readlink -f "$OUT" 2>/dev/null || echo "$OUT")" == "$COMMITTED" ]]; then
+    echo "error: --check output would overwrite the committed baseline $COMMITTED" >&2
+    exit 1
+  fi
+else
+  OUT="${2:-BENCH_symex.json}"
+fi
 
 if [[ ! -x "$BUILD_DIR/bench_micro" ]]; then
   echo "error: $BUILD_DIR/bench_micro not found; build with:" >&2
@@ -19,11 +47,13 @@ MICRO_JSON="$(mktemp)"
 trap 'rm -f "$MICRO_JSON"' EXIT
 
 "$BUILD_DIR/bench_micro" \
-  --benchmark_filter='BM_ExprInterning|BM_SolverSingleByteQuery|BM_SolverMultiByteRelation|BM_FilterIndependent|BM_ExploreWcAtOverify|BM_ExploreWcAtO3' \
+  --benchmark_filter='BM_ExprInterning|BM_SolverSingleByteQuery|BM_SolverMultiByteRelation|BM_FilterIndependent|BM_ExploreWcAtOverify|BM_ExploreWcAtO3|BM_ParallelExploreWc' \
   --benchmark_format=json --benchmark_min_time=0.5 >"$MICRO_JSON"
 
 python3 - "$MICRO_JSON" "$OUT" <<'PY'
 import json
+import os
+import re
 import sys
 
 micro_path, out_path = sys.argv[1], sys.argv[2]
@@ -31,6 +61,7 @@ with open(micro_path) as f:
     micro = json.load(f)
 
 benchmarks = {}
+scaling = {}
 for b in micro.get("benchmarks", []):
     # google-benchmark reports real_time in the declared time_unit (ns here).
     unit = b.get("time_unit", "ns")
@@ -42,12 +73,25 @@ for b in micro.get("benchmarks", []):
                 "reuse_hits", "cex_evictions"):
         if key in b:
             entry[key] = int(b[key])
-    benchmarks[b["name"]] = entry
+    m = re.match(r"BM_ParallelExploreWc/(\d+)", b["name"])
+    if m:
+        scaling[m.group(1)] = entry
+    else:
+        benchmarks[b["name"]] = entry
+
+thread_scaling = {"workload": "wc @ -O3, 6 symbolic bytes (core-search benchmark)",
+                  "host_cores": os.cpu_count(),
+                  "workers": scaling}
+base = scaling.get("1", {}).get("wall_seconds_per_iter")
+if base:
+    for workers, entry in scaling.items():
+        entry["speedup_vs_1_worker"] = round(base / entry["wall_seconds_per_iter"], 3)
 
 snapshot = {
-    "schema": "overify-bench-symex/v1",
+    "schema": "overify-bench-symex/v2",
     "host_context": micro.get("context", {}).get("host_name", "unknown"),
     "benchmarks": benchmarks,
+    "thread_scaling": thread_scaling,
     # Pre-refactor engine (ordered-map interner, std::set support sets,
     # map-based memos/cex cache), measured at PR 1 on the reference box.
     # Kept as the fixed reference point for the >=2x acceptance bar.
@@ -60,5 +104,48 @@ snapshot = {
 with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote {out_path} ({len(benchmarks)} benchmarks)")
+print(f"wrote {out_path} ({len(benchmarks)} benchmarks, "
+      f"{len(scaling)} thread-scaling points)")
 PY
+
+if [[ "$CHECK" == "1" ]]; then
+  python3 - "$OUT" "$COMMITTED" <<'PY'
+import json
+import os
+import sys
+
+FRESH, COMMITTED = sys.argv[1], sys.argv[2]
+THRESHOLD = float(os.environ.get("BENCH_CHECK_THRESHOLD", "1.5"))
+
+with open(FRESH) as f:
+    fresh = json.load(f)["benchmarks"]
+with open(COMMITTED) as f:
+    committed = json.load(f)["benchmarks"]
+
+failed = []
+print(f"{'benchmark':<34} {'committed':>12} {'fresh':>12} {'ratio':>7}")
+for name in sorted(committed):
+    if name not in fresh:
+        print(f"{name:<34} {'(missing from fresh run)':>33}")
+        failed.append(name)
+        continue
+    old = committed[name]["wall_seconds_per_iter"]
+    new = fresh[name]["wall_seconds_per_iter"]
+    ratio = new / old
+    flag = " FAIL" if ratio > THRESHOLD else ""
+    # Path counts are deterministic and hardware-independent: any change is
+    # an engine behavior change, flagged at any magnitude.
+    if committed[name].get("paths") != fresh[name].get("paths"):
+        flag = (f" FAIL (paths {committed[name].get('paths')} -> "
+                f"{fresh[name].get('paths')})")
+    print(f"{name:<34} {old:>12.3e} {new:>12.3e} {ratio:>6.2f}x{flag}")
+    if flag:
+        failed.append(name)
+
+if failed:
+    print(f"\nregression gate FAILED (wall > {THRESHOLD}x or paths changed): "
+          f"{', '.join(failed)}")
+    sys.exit(1)
+print(f"\nregression gate passed (threshold {THRESHOLD}x, paths exact)")
+PY
+fi

@@ -1,0 +1,191 @@
+#include "src/sched/searcher.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace overify {
+
+const char* SearchStrategyName(SearchStrategy strategy) {
+  switch (strategy) {
+    case SearchStrategy::kDfs:
+      return "dfs";
+    case SearchStrategy::kBfs:
+      return "bfs";
+    case SearchStrategy::kRandomPath:
+      return "random-path";
+    case SearchStrategy::kCoverageGuided:
+      return "coverage-guided";
+  }
+  return "?";
+}
+
+namespace sched {
+namespace {
+
+class DfsSearcher : public Searcher {
+ public:
+  void Add(std::unique_ptr<ExecState> state) override {
+    states_.push_back(std::move(state));
+  }
+  std::unique_ptr<ExecState> Next() override {
+    if (states_.empty()) {
+      return nullptr;
+    }
+    auto state = std::move(states_.back());
+    states_.pop_back();
+    return state;
+  }
+  std::unique_ptr<ExecState> Steal() override {
+    if (states_.empty()) {
+      return nullptr;
+    }
+    auto state = std::move(states_.front());
+    states_.pop_front();
+    return state;
+  }
+  size_t Size() const override { return states_.size(); }
+
+ private:
+  std::deque<std::unique_ptr<ExecState>> states_;
+};
+
+class BfsSearcher : public Searcher {
+ public:
+  void Add(std::unique_ptr<ExecState> state) override {
+    states_.push_back(std::move(state));
+  }
+  std::unique_ptr<ExecState> Next() override {
+    if (states_.empty()) {
+      return nullptr;
+    }
+    auto state = std::move(states_.front());
+    states_.pop_front();
+    return state;
+  }
+  std::unique_ptr<ExecState> Steal() override {
+    if (states_.empty()) {
+      return nullptr;
+    }
+    auto state = std::move(states_.back());
+    states_.pop_back();
+    return state;
+  }
+  size_t Size() const override { return states_.size(); }
+
+ private:
+  std::deque<std::unique_ptr<ExecState>> states_;
+};
+
+class RandomPathSearcher : public Searcher {
+ public:
+  explicit RandomPathSearcher(uint64_t seed) : rng_(seed) {}
+
+  void Add(std::unique_ptr<ExecState> state) override {
+    states_.push_back(std::move(state));
+  }
+  std::unique_ptr<ExecState> Next() override {
+    if (states_.empty()) {
+      return nullptr;
+    }
+    size_t index = static_cast<size_t>(rng_.NextBelow(states_.size()));
+    std::swap(states_[index], states_.back());
+    auto state = std::move(states_.back());
+    states_.pop_back();
+    return state;
+  }
+  std::unique_ptr<ExecState> Steal() override {
+    if (states_.empty()) {
+      return nullptr;
+    }
+    auto state = std::move(states_.front());
+    states_.pop_front();
+    return state;
+  }
+  size_t Size() const override { return states_.size(); }
+
+ private:
+  Rng rng_;
+  // deque: random access for Next, O(1) pop_front for thieves.
+  std::deque<std::unique_ptr<ExecState>> states_;
+};
+
+// Least-visited-block first: prioritizes states about to execute code the
+// worker has seen least, the classic coverage-seeking order (KLEE's
+// coverage-optimized searcher is the reference point). Ties go to the
+// newest state for DFS-like locality. Visit counts are per-worker: a thief
+// builds its own picture of coverage, which keeps the feedback path
+// lock-free.
+//
+// Next() is a linear scan — O(frontier) per pop, fine for the suite's
+// frontiers (tens to hundreds of states) but quadratic if the frontier
+// approaches max_live_states; a visit-count-bucketed queue is the known
+// fix if that ever matters (ROADMAP scheduler follow-ups).
+class CoverageGuidedSearcher : public Searcher {
+ public:
+  void Add(std::unique_ptr<ExecState> state) override {
+    states_.push_back(std::move(state));
+  }
+  std::unique_ptr<ExecState> Next() override {
+    if (states_.empty()) {
+      return nullptr;
+    }
+    size_t best = states_.size() - 1;
+    uint64_t best_visits = Visits(*states_[best]);
+    for (size_t i = states_.size() - 1; i-- > 0;) {
+      uint64_t visits = Visits(*states_[i]);
+      if (visits < best_visits) {
+        best = i;
+        best_visits = visits;
+      }
+    }
+    std::swap(states_[best], states_.back());
+    auto state = std::move(states_.back());
+    states_.pop_back();
+    return state;
+  }
+  std::unique_ptr<ExecState> Steal() override {
+    // Deliberately ignores visit counts: Steal may race with the owner's
+    // NotifyBlockEntered, so it takes the oldest state positionally.
+    if (states_.empty()) {
+      return nullptr;
+    }
+    auto state = std::move(states_.front());
+    states_.pop_front();
+    return state;
+  }
+  size_t Size() const override { return states_.size(); }
+
+  void NotifyBlockEntered(const BasicBlock* block) override { ++visits_[block]; }
+
+ private:
+  uint64_t Visits(ExecState& state) {
+    auto it = visits_.find(state.Frame().block);
+    return it == visits_.end() ? 0 : it->second;
+  }
+
+  // deque: random access for the Next scan, O(1) pop_front for thieves.
+  std::deque<std::unique_ptr<ExecState>> states_;
+  std::unordered_map<const BasicBlock*, uint64_t> visits_;
+};
+
+}  // namespace
+
+std::unique_ptr<Searcher> MakeSearcher(SearchStrategy strategy, uint64_t seed) {
+  switch (strategy) {
+    case SearchStrategy::kDfs:
+      return std::make_unique<DfsSearcher>();
+    case SearchStrategy::kBfs:
+      return std::make_unique<BfsSearcher>();
+    case SearchStrategy::kRandomPath:
+      return std::make_unique<RandomPathSearcher>(seed);
+    case SearchStrategy::kCoverageGuided:
+      return std::make_unique<CoverageGuidedSearcher>();
+  }
+  OVERIFY_UNREACHABLE("unknown search strategy");
+}
+
+}  // namespace sched
+}  // namespace overify

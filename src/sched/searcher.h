@@ -1,0 +1,57 @@
+// Pluggable path-exploration order for the symbolic engine.
+//
+// A Searcher owns a worker's set of pending ExecStates and decides which
+// one runs next. The hot end (`Next`) implements the strategy; the cold
+// end (`Steal`) hands a state to an idle worker, picking the state the
+// owner would reach last so the two ends disturb each other as little as
+// possible. Search order changes *when* paths run, never *which* paths
+// exist: an exhausted exploration visits the same path set under every
+// strategy (tested in tests/sched_test.cc).
+//
+// Thread discipline: Add/Next/Steal/Size are called under the worker
+// queue's lock (src/sched/worker_pool.cc). NotifyBlockEntered is
+// owner-thread-only and must not be touched by thieves; in exchange it
+// needs no lock and can sit on the engine's per-jump path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/symex/state.h"
+
+namespace overify {
+
+// Search-order strategy for pending states (SymexOptions::strategy).
+enum class SearchStrategy {
+  kDfs,             // newest state first: minimal live-state footprint
+  kBfs,             // oldest state first: shortest counterexamples first
+  kRandomPath,      // uniform over pending states (deterministic seed)
+  kCoverageGuided,  // least-visited-block first, DFS tie-break
+};
+
+const char* SearchStrategyName(SearchStrategy strategy);
+
+namespace sched {
+
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  virtual void Add(std::unique_ptr<ExecState> state) = 0;
+  // The strategy's next state to run; null when empty.
+  virtual std::unique_ptr<ExecState> Next() = 0;
+  // The state the owner would run last (for work stealing); null when empty.
+  virtual std::unique_ptr<ExecState> Steal() = 0;
+  virtual size_t Size() const = 0;
+  bool Empty() const { return Size() == 0; }
+
+  // Coverage feedback: the owning worker's engine entered `block`. Only the
+  // coverage-guided searcher keeps counts; the default is a no-op.
+  virtual void NotifyBlockEntered(const BasicBlock* block) { (void)block; }
+};
+
+// `seed` feeds the random-path strategy; the others ignore it.
+std::unique_ptr<Searcher> MakeSearcher(SearchStrategy strategy, uint64_t seed);
+
+}  // namespace sched
+}  // namespace overify

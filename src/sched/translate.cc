@@ -1,0 +1,73 @@
+#include "src/sched/translate.h"
+
+#include <vector>
+
+namespace overify {
+namespace sched {
+
+const Expr* ExprTranslator::Translate(const Expr* src) {
+  if (src == nullptr) {
+    return nullptr;
+  }
+  auto hit = memo_.find(src);
+  if (hit != memo_.end()) {
+    return hit->second;
+  }
+  // Iterative post-order: select chains over large objects make the DAG too
+  // deep for recursion.
+  std::vector<const Expr*> stack{src};
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    if (memo_.count(e) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const Expr* child : {e->a(), e->b(), e->c()}) {
+      if (child != nullptr && memo_.count(child) == 0) {
+        stack.push_back(child);
+        ready = false;
+      }
+    }
+    if (!ready) {
+      continue;
+    }
+    const Expr* a = e->a() != nullptr ? memo_.at(e->a()) : nullptr;
+    const Expr* b = e->b() != nullptr ? memo_.at(e->b()) : nullptr;
+    const Expr* c = e->c() != nullptr ? memo_.at(e->c()) : nullptr;
+    memo_[e] = dst_.ImportNode(e, a, b, c);
+    stack.pop_back();
+  }
+  return memo_.at(src);
+}
+
+void TranslateState(ExecState& state, ExprTranslator& translator) {
+  for (StackFrame& frame : state.stack) {
+    for (RuntimeValue& local : frame.locals) {
+      switch (local.kind) {
+        case RuntimeValue::Kind::kNone:
+          break;
+        case RuntimeValue::Kind::kInt:
+          local.expr = translator.Translate(local.expr);
+          break;
+        case RuntimeValue::Kind::kPointer:
+          local.pointer.offset = translator.Translate(local.pointer.offset);
+          break;
+      }
+    }
+  }
+  state.memory.RewriteContents(
+      [&translator](const Expr* e) { return translator.Translate(e); });
+  for (const Expr*& constraint : state.constraints) {
+    constraint = translator.Translate(constraint);
+  }
+  for (const Expr*& byte : state.output) {
+    byte = translator.Translate(byte);
+  }
+  for (auto& [key, pointer] : state.pointer_slots) {
+    pointer.offset = translator.Translate(pointer.offset);
+  }
+}
+
+}  // namespace sched
+}  // namespace overify

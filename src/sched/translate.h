@@ -1,0 +1,48 @@
+// Cross-context state migration for work stealing.
+//
+// Expressions are hash-consed per ExprContext, and each scheduler worker
+// owns one context so interning never takes a lock. A stolen ExecState
+// therefore has to be re-interned into the thief's context before it can
+// run there. Because builder canonicalization is structural-hash-based
+// (context-independent; see src/symex/expr.cc), a node-by-node copy of the
+// already-canonical source DAG is exactly what the thief's builder would
+// have produced — no re-simplification, and pointer identity is restored
+// for nodes the thief already has.
+//
+// Reading the victim's expressions concurrently with the victim running is
+// safe: Exprs are immutable after interning, owned by stable unique_ptrs,
+// and the translator never calls into the victim's context (the mutable
+// memo slots are written only by their owning context's Evaluate).
+#pragma once
+
+#include <unordered_map>
+
+#include "src/symex/expr.h"
+#include "src/symex/state.h"
+
+namespace overify {
+namespace sched {
+
+// Memoized re-interning of expression DAGs into `dst`. One translator is
+// used per stolen state, so shared subgraphs are rebuilt once.
+class ExprTranslator {
+ public:
+  explicit ExprTranslator(ExprContext& dst) : dst_(dst) {}
+
+  // Returns the equivalent expression owned by `dst`; null maps to null.
+  const Expr* Translate(const Expr* src);
+
+ private:
+  ExprContext& dst_;
+  std::unordered_map<const Expr*, const Expr*> memo_;
+};
+
+// Rewrites every expression reference in `state` (frame locals, memory
+// contents, path constraints, captured output, pointer slots) through
+// `translator`. Memory contents are replaced with fresh unshared copies —
+// the originals may be copy-on-write-shared with sibling states still
+// owned by the victim.
+void TranslateState(ExecState& state, ExprTranslator& translator);
+
+}  // namespace sched
+}  // namespace overify

@@ -1,0 +1,243 @@
+#include "src/sched/worker_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sched/translate.h"
+#include "src/symex/engine_core.h"
+
+namespace overify {
+namespace sched {
+
+namespace {
+
+// One worker's queue: a strategy-ordered searcher behind a mutex. States in
+// queue i always reference worker i's ExprContext — a stolen state is
+// re-interned by the thief before it is pushed anywhere else.
+class WorkerQueue : public ForkSink {
+ public:
+  WorkerQueue(SearchStrategy strategy, uint64_t seed, SharedCounters& shared)
+      : searcher_(MakeSearcher(strategy, seed)), shared_(shared) {}
+
+  void PushFork(std::unique_ptr<ExecState> state) override {
+    shared_.live_states.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(mutex_);
+    searcher_->Add(std::move(state));
+  }
+
+  std::unique_ptr<ExecState> PopOwn() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return searcher_->Next();
+  }
+
+  std::unique_ptr<ExecState> StealOne() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return searcher_->Steal();
+  }
+
+  // How many states are still queued (called after the workers joined;
+  // the queue destructor frees them).
+  uint64_t Remaining() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return searcher_->Size();
+  }
+
+  Searcher* searcher() { return searcher_.get(); }
+
+ private:
+  std::mutex mutex_;
+  std::unique_ptr<Searcher> searcher_;
+  SharedCounters& shared_;
+};
+
+// Positions of every instruction in module order — the canonical sort key
+// for merged bug reports (instruction pointers vary run to run; module
+// order does not).
+std::unordered_map<const Instruction*, uint64_t> SiteOrder(Module& module) {
+  std::unordered_map<const Instruction*, uint64_t> order;
+  uint64_t index = 0;
+  for (const auto& fn : module.functions()) {
+    for (BasicBlock& block : *fn) {
+      for (const auto& inst : block) {
+        order[inst.get()] = index++;
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(Module& module, const SymexOptions& options)
+    : module_(module), options_(options) {}
+
+SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
+                            const SymexLimits& limits) {
+  unsigned jobs = options_.jobs;
+  if (jobs == 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  SearchStrategy strategy = EffectiveStrategy(options_);
+
+  // Pre-stamp every defined function's local-slot numbering so no engine
+  // writes to the (otherwise immutable, shared) IR once workers run.
+  LocalSlotCache slots;
+  for (const auto& fn : module_.functions()) {
+    if (!fn->IsDeclaration()) {
+      slots.Count(fn.get());
+    }
+  }
+
+  SharedCounters shared;
+  shared.limits = limits;
+  shared.watch.Restart();
+
+  std::vector<std::unique_ptr<EngineCore>> engines;
+  std::vector<std::unique_ptr<WorkerQueue>> queues;
+  engines.reserve(jobs);
+  queues.reserve(jobs);
+  for (unsigned w = 0; w < jobs; ++w) {
+    engines.push_back(std::make_unique<EngineCore>(module_, options_, shared, slots,
+                                                   num_input_bytes, w));
+    queues.push_back(std::make_unique<WorkerQueue>(
+        strategy, HashMix64(options_.search_seed ^ (uint64_t{w} + 1)), shared));
+  }
+
+  queues[0]->PushFork(engines[0]->MakeInitialState(entry));
+
+  auto try_steal = [&](unsigned thief) -> std::unique_ptr<ExecState> {
+    for (unsigned k = 1; k < jobs; ++k) {
+      unsigned victim = (thief + k) % jobs;
+      std::unique_ptr<ExecState> state = queues[victim]->StealOne();
+      if (state != nullptr) {
+        ExprTranslator translator(engines[thief]->ctx());
+        TranslateState(*state, translator);
+        return state;
+      }
+    }
+    return nullptr;
+  };
+
+  auto worker_loop = [&](unsigned w) {
+    EngineCore& engine = *engines[w];
+    WorkerQueue& queue = *queues[w];
+    unsigned idle_rounds = 0;
+    for (;;) {
+      if (shared.StopRequested()) {
+        break;
+      }
+      std::unique_ptr<ExecState> state = queue.PopOwn();
+      if (state == nullptr && jobs > 1) {
+        state = try_steal(w);
+      }
+      if (state == nullptr) {
+        if (shared.live_states.load(std::memory_order_acquire) == 0) {
+          break;
+        }
+        // Back off after a while: during serial phases (one deep path
+        // left) a pure yield loop would pin every idle core and hammer the
+        // victims' queue mutexes.
+        if (++idle_rounds < 64) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        continue;
+      }
+      idle_rounds = 0;
+      engine.RunState(*state, queue, queue.searcher());
+      state.reset();
+      shared.live_states.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs > 0 ? jobs - 1 : 0);
+  for (unsigned w = 1; w < jobs; ++w) {
+    threads.emplace_back(worker_loop, w);
+  }
+  worker_loop(0);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  // ---- Deterministic aggregation ----
+
+  SymexResult result;
+  result.workers = jobs;
+  result.wall_seconds = shared.watch.ElapsedSeconds();
+
+  for (const auto& queue : queues) {
+    result.paths_unexplored += queue->Remaining();
+  }
+  for (const auto& engine : engines) {
+    const WorkerTallies& t = engine->tallies();
+    result.paths_completed += t.paths_completed;
+    result.paths_infeasible += t.paths_infeasible;
+    result.paths_bug += t.paths_bug;
+    result.paths_limit += t.paths_limit;
+    result.instructions += t.instructions;
+    result.forks += t.forks;
+    result.annotation_hits += t.annotation_hits;
+
+    const SolverStats& s = engine->solver_stats();
+    result.solver.queries += s.queries;
+    result.solver.cache_hits += s.cache_hits;
+    result.solver.reuse_hits += s.reuse_hits;
+    result.solver.core_queries += s.core_queries;
+    result.solver.core_candidates += s.core_candidates;
+    result.solver.independence_drops += s.independence_drops;
+    result.solver.eval_memo_hits += s.eval_memo_hits;
+    result.solver.interval_memo_hits += s.interval_memo_hits;
+    result.solver.cex_evictions += s.cex_evictions;
+  }
+  result.paths_terminated = result.paths_infeasible + result.paths_bug + result.paths_limit +
+                            result.paths_unexplored;
+  // Exhausted means every path actually ran to its end — not merely "no
+  // limit tripped": a run that completes its last path exactly at a limit
+  // (paths_completed == max_paths with nothing queued) latches the stop
+  // flag yet explored everything.
+  result.exhausted = result.paths_limit == 0 && result.paths_unexplored == 0;
+
+  // Merge bug candidates: smallest path_id wins a (site, kind) pair, final
+  // order follows the site's position in the module.
+  std::map<std::pair<const Instruction*, BugKind>, const BugCandidate*> merged;
+  for (const auto& engine : engines) {
+    for (const auto& [key, bug] : engine->bugs()) {
+      auto it = merged.find(key);
+      if (it == merged.end() || bug.path_id < it->second->path_id) {
+        merged[key] = &bug;
+      }
+    }
+  }
+  std::vector<const BugCandidate*> ordered;
+  ordered.reserve(merged.size());
+  for (const auto& [key, bug] : merged) {
+    ordered.push_back(bug);
+  }
+  std::unordered_map<const Instruction*, uint64_t> site_order = SiteOrder(module_);
+  std::sort(ordered.begin(), ordered.end(),
+            [&site_order](const BugCandidate* a, const BugCandidate* b) {
+              uint64_t sa = site_order.at(a->site);
+              uint64_t sb = site_order.at(b->site);
+              if (sa != sb) {
+                return sa < sb;
+              }
+              return static_cast<int>(a->kind) < static_cast<int>(b->kind);
+            });
+  for (const BugCandidate* bug : ordered) {
+    BugReport report;
+    report.kind = bug->kind;
+    report.message = bug->message;
+    report.site = bug->site;
+    report.example_input = bug->example_input;
+    result.bugs.push_back(std::move(report));
+  }
+  return result;
+}
+
+}  // namespace sched
+}  // namespace overify

@@ -1,0 +1,37 @@
+// Work-stealing scheduler for parallel path exploration.
+//
+// N workers each own a searcher-ordered queue of pending states, a private
+// ExprContext, and a private solver chain (src/symex/engine_core.h). Forked
+// siblings stay on the forking worker's queue; an idle worker steals from
+// the coldest end of a victim's queue and re-interns the stolen state into
+// its own context (src/sched/translate.h). Global limits live in lock-free
+// shared counters enforced cooperatively.
+//
+// Results are aggregated deterministically: exact per-worker tallies are
+// summed, and bug reports are merged by (site, kind) keeping the smallest
+// path_id representative, ordered by the site's position in the module —
+// so bug sets and verdicts are identical for 1..N workers on exhausted
+// runs (docs/scheduler.md spells out the guarantee and its limits).
+#pragma once
+
+#include "src/ir/module.h"
+#include "src/symex/executor.h"
+
+namespace overify {
+namespace sched {
+
+class WorkerPool {
+ public:
+  // `options.jobs` workers (0 = one per hardware thread). The pool reads
+  // the module only; it must not be mutated while Run executes.
+  WorkerPool(Module& module, const SymexOptions& options);
+
+  SymexResult Run(Function* entry, unsigned num_input_bytes, const SymexLimits& limits);
+
+ private:
+  Module& module_;
+  SymexOptions options_;
+};
+
+}  // namespace sched
+}  // namespace overify

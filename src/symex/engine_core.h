@@ -1,0 +1,128 @@
+// The per-worker execution engine behind SymbolicExecutor.
+//
+// One EngineCore owns everything a scheduler worker needs to run paths in
+// isolation: a private ExprContext (interner + memo slots), a private
+// SolverChain (counterexample cache, model reuse), exact local tallies, and
+// the step machinery. The only mutable state shared between workers is the
+// lock-free SharedCounters block, which enforces the global limits
+// cooperatively, and the worker queues (owned by the WorkerPool).
+//
+// The module itself is immutable while a search runs; the pool pre-stamps
+// every function's local-slot numbering before launching workers so no
+// engine ever writes to the IR.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/support/stopwatch.h"
+#include "src/symex/executor.h"
+
+namespace overify {
+namespace sched {
+
+// Lock-free global limit accounting shared by all workers. Workers flush
+// batched instruction counts and re-check cooperatively (every
+// kLimitCheckInterval steps and at every fork / path end); `stop` is the
+// one-way latch that drains the pool.
+struct SharedCounters {
+  SymexLimits limits;
+  Stopwatch watch;
+  std::atomic<uint64_t> paths_completed{0};
+  std::atomic<uint64_t> instructions{0};
+  std::atomic<uint64_t> forks{0};
+  // Queued + running states across all workers: both the max_live_states
+  // gauge and the termination signal (reaching 0 means the search is done,
+  // so increments happen before a state becomes visible and decrements
+  // after it fully finished).
+  std::atomic<uint64_t> live_states{0};
+  std::atomic<bool> stop{false};
+
+  bool StopRequested() const { return stop.load(std::memory_order_relaxed); }
+  void RequestStop() { stop.store(true, std::memory_order_relaxed); }
+
+  bool LimitsExceeded() const {
+    return paths_completed.load(std::memory_order_relaxed) >= limits.max_paths ||
+           instructions.load(std::memory_order_relaxed) >= limits.max_instructions ||
+           forks.load(std::memory_order_relaxed) >= limits.max_forks ||
+           live_states.load(std::memory_order_relaxed) >= limits.max_live_states ||
+           watch.ElapsedSeconds() >= limits.max_seconds;
+  }
+};
+
+// How a path ended.
+enum class PathOutcome {
+  kCompleted,   // main returned
+  kInfeasible,  // no feasible direction remained
+  kBug,         // died at a bug site (including engine errors)
+  kLimitStop,   // the global stop latch tripped while it was running
+};
+
+// Receives forked sibling states. Implemented by the pool's worker queues;
+// must be safe against concurrent thieves.
+class ForkSink {
+ public:
+  virtual ~ForkSink() = default;
+  virtual void PushFork(std::unique_ptr<ExecState> state) = 0;
+};
+
+// Exact per-worker tallies, summed deterministically at aggregation (the
+// shared atomics above are only approximate limit gauges; these are the
+// numbers that reach SymexResult).
+struct WorkerTallies {
+  uint64_t paths_completed = 0;
+  uint64_t paths_infeasible = 0;
+  uint64_t paths_bug = 0;
+  uint64_t paths_limit = 0;
+  uint64_t instructions = 0;
+  uint64_t forks = 0;
+  uint64_t annotation_hits = 0;
+};
+
+// One bug site's best candidate so far. The canonical representative of a
+// (site, kind) pair is the report from the smallest path_id — a
+// schedule-independent choice, so merged bug sets are identical across
+// worker counts on exhausted runs.
+struct BugCandidate {
+  BugKind kind = BugKind::kEngineError;
+  std::string message;
+  const Instruction* site = nullptr;
+  std::vector<uint8_t> example_input;
+  uint64_t path_id = 0;
+};
+
+class EngineCore {
+ public:
+  // `slots` must be pre-filled for every defined function in `module`
+  // (WorkerPool::Run does this) — engines only read it.
+  EngineCore(Module& module, const SymexOptions& options, SharedCounters& shared,
+             LocalSlotCache& slots, unsigned num_input_bytes, unsigned worker_index);
+  ~EngineCore();
+
+  // Builds the root state (worker 0 calls this once per run).
+  std::unique_ptr<ExecState> MakeInitialState(Function* entry);
+
+  // Runs `state` until it completes, dies, or the stop latch trips. Forked
+  // siblings go to `sink`; block entries are reported to `searcher` for
+  // coverage-guided ordering (may be null).
+  PathOutcome RunState(ExecState& state, ForkSink& sink, Searcher* searcher);
+
+  const WorkerTallies& tallies() const;
+  const SolverStats& solver_stats() const;
+  const std::map<std::pair<const Instruction*, BugKind>, BugCandidate>& bugs() const;
+  ExprContext& ctx();
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sched
+}  // namespace overify

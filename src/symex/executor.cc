@@ -1,12 +1,6 @@
 #include "src/symex/executor.h"
 
-#include <deque>
-#include <set>
-#include <unordered_map>
-
-#include "src/ir/constant.h"
-#include "src/support/stopwatch.h"
-#include "src/support/string_utils.h"
+#include "src/sched/worker_pool.h"
 
 namespace overify {
 
@@ -32,892 +26,22 @@ const char* BugKindName(BugKind kind) {
   return "?";
 }
 
-namespace {
-
-// Largest object a symbolic-offset access may address before the engine
-// refuses (select chains grow linearly with object size).
-constexpr uint64_t kMaxSymbolicAccessObject = 4096;
-
-}  // namespace
-
-class SymbolicExecutor::Impl {
- public:
-  Impl(Module& module, const SymexOptions& options)
-      : module_(module), options_(options), solver_(ctx_) {}
-
-  SymexResult Run(Function* entry, unsigned num_input_bytes, const SymexLimits& limits) {
-    limits_ = limits;
-    result_ = SymexResult();
-    reported_sites_.clear();
-    pending_.clear();
-    slot_cache_.Clear();
-    watch_.Restart();
-    num_symbols_ = num_input_bytes;
-
-    auto initial = std::make_unique<ExecState>();
-    initial->id = next_state_id_++;
-    SetupGlobals(*initial);
-    SetupEntry(*initial, entry, num_input_bytes);
-    pending_.push_back(std::move(initial));
-
-    bool hit_limit = false;
-    while (!pending_.empty()) {
-      if (LimitsExceeded()) {
-        hit_limit = true;
-        break;
-      }
-      std::unique_ptr<ExecState> state;
-      if (options_.depth_first) {
-        state = std::move(pending_.back());
-        pending_.pop_back();
-      } else {
-        state = std::move(pending_.front());
-        pending_.pop_front();
-      }
-      // Run this state until it completes, dies, or forks (forked states go
-      // back to the queue; the "true" continuation keeps running).
-      while (state != nullptr) {
-        if (LimitsExceeded()) {
-          hit_limit = true;
-          break;
-        }
-        StepOutcome outcome = Step(*state);
-        if (outcome == StepOutcome::kContinue) {
-          continue;
-        }
-        if (outcome == StepOutcome::kPathComplete) {
-          ++result_.paths_completed;
-        } else {
-          ++result_.paths_terminated;
-        }
-        state.reset();
-      }
-      if (hit_limit) {
-        if (state != nullptr) {
-          ++result_.paths_terminated;
-        }
-        break;
-      }
-    }
-    result_.paths_terminated += pending_.size();
-    pending_.clear();
-    result_.exhausted = !hit_limit;
-    result_.wall_seconds = watch_.ElapsedSeconds();
-    result_.solver = solver_.stats();
-    return result_;
-  }
-
- private:
-  enum class StepOutcome {
-    kContinue,      // state advanced; keep running it
-    kPathComplete,  // main returned
-    kPathDead,      // infeasible / bug / engine stop
-  };
-
-  bool LimitsExceeded() {
-    return result_.paths_completed >= limits_.max_paths ||
-           result_.instructions >= limits_.max_instructions ||
-           result_.forks >= limits_.max_forks ||
-           pending_.size() >= limits_.max_live_states ||
-           watch_.ElapsedSeconds() >= limits_.max_seconds;
-  }
-
-  // ---- Setup ----
-
-  void SetupGlobals(ExecState& state) {
-    global_objects_.clear();
-    for (const auto& global : module_.globals()) {
-      uint64_t id = state.memory.Allocate(ctx_, global->value_type()->SizeInBytes(),
-                                          global->is_const(), false, global->name());
-      ObjectState& object = state.memory.Write(id);
-      const auto& init = global->initializer();
-      for (size_t i = 0; i < init.size(); ++i) {
-        object.SetByte(i, ctx_.Constant(init[i], 8));
-      }
-      global_objects_[global.get()] = id;
-    }
-  }
-
-  void SetupEntry(ExecState& state, Function* entry, unsigned num_input_bytes) {
-    StackFrame frame;
-    frame.fn = entry;
-    frame.block = entry->entry();
-    frame.pc = frame.block->begin();
-    frame.locals.resize(slot_cache_.Count(entry));
-
-    if (entry->NumArgs() >= 1) {
-      OVERIFY_ASSERT(entry->NumArgs() == 2, "entry must be (u8* buf, i32 len) or ()");
-      // Input buffer: the symbolic bytes plus a forced NUL terminator (the
-      // paper's Coreutils runs model symbolic arguments the same way).
-      uint64_t buffer = state.memory.Allocate(ctx_, num_input_bytes + 1, false, false, "input");
-      ObjectState& object = state.memory.Write(buffer);
-      for (unsigned i = 0; i < num_input_bytes; ++i) {
-        object.SetByte(i, ctx_.Symbol(i));
-      }
-      object.SetByte(num_input_bytes, ctx_.Constant(0, 8));
-      frame.locals[entry->Arg(0)->local_slot()] =
-          RuntimeValue::Pointer(SymPointer{buffer, ctx_.Constant(0, 64)});
-      frame.locals[entry->Arg(1)->local_slot()] = RuntimeValue::Int(
-          ctx_.Constant(num_input_bytes, entry->Arg(1)->type()->bits()));
-    }
-    state.stack.push_back(std::move(frame));
-  }
-
-  // ---- Bug reporting ----
-
-  void ReportBug(ExecState& state, const Instruction* site, BugKind kind, std::string message) {
-    // One report per (site, kind): loops would otherwise flood the log.
-    if (!reported_sites_.insert({site, kind}).second) {
-      return;
-    }
-    BugReport bug;
-    bug.kind = kind;
-    bug.message = std::move(message);
-    bug.site = site;
-    std::vector<uint8_t> model;
-    if (solver_.CheckSat(state.constraints, &model) == SatResult::kSat) {
-      model.resize(num_symbols_, 0);
-      bug.example_input = std::move(model);
-    }
-    result_.bugs.push_back(std::move(bug));
-  }
-
-  // ---- Value resolution ----
-
-  RuntimeValue Resolve(ExecState& state, const Value* v) {
-    if (const auto* ci = DynCast<ConstantInt>(v)) {
-      return RuntimeValue::Int(ctx_.Constant(ci->value(), ci->type()->bits()));
-    }
-    if (Isa<NullValue>(v)) {
-      return RuntimeValue::Pointer(SymPointer{0, ctx_.Constant(0, 64)});
-    }
-    if (const auto* undef = DynCast<UndefValue>(v)) {
-      // Undef concretizes to zero/null: deterministic and reproducible.
-      if (undef->type()->IsPointer()) {
-        return RuntimeValue::Pointer(SymPointer{0, ctx_.Constant(0, 64)});
-      }
-      return RuntimeValue::Int(ctx_.Constant(0, undef->type()->bits()));
-    }
-    if (const auto* global = DynCast<GlobalVariable>(v)) {
-      return RuntimeValue::Pointer(
-          SymPointer{global_objects_.at(global), ctx_.Constant(0, 64)});
-    }
-    return state.Local(v);
-  }
-
-  const Expr* ResolveInt(ExecState& state, const Value* v) {
-    RuntimeValue rv = Resolve(state, v);
-    OVERIFY_ASSERT(rv.kind == RuntimeValue::Kind::kInt, "expected integer value");
-    return rv.expr;
-  }
-
-  // ---- Branch feasibility ----
-
-  // Decides a boolean expr against the path constraints; forks when both
-  // directions are possible. Returns the value for the current state
-  // (true branch) and queues the false sibling.
-  enum class CondOutcome { kTrue, kFalse, kBoth, kNeither };
-
-  CondOutcome DecideCondition(ExecState& state, const Expr* cond, const Value* ir_cond) {
-    if (cond->IsConstant()) {
-      return cond->IsTrue() ? CondOutcome::kTrue : CondOutcome::kFalse;
-    }
-    // Compiler annotations can settle the branch without the solver.
-    if (options_.annotations != nullptr && ir_cond != nullptr) {
-      auto it = options_.annotations->value_ranges.find(ir_cond);
-      if (it != options_.annotations->value_ranges.end() && it->second.IsSingleValue()) {
-        ++result_.annotation_hits;
-        return it->second.lo != 0 ? CondOutcome::kTrue : CondOutcome::kFalse;
-      }
-    }
-    SatResult can_true = solver_.MayBeTrue(state.constraints, cond, nullptr);
-    SatResult can_false = solver_.MayBeTrue(state.constraints, ctx_.Not(cond), nullptr);
-    bool t = can_true == SatResult::kSat;
-    bool f = can_false == SatResult::kSat;
-    if (t && f) {
-      return CondOutcome::kBoth;
-    }
-    if (t) {
-      return CondOutcome::kTrue;
-    }
-    if (f) {
-      return CondOutcome::kFalse;
-    }
-    return CondOutcome::kNeither;
-  }
-
-  // Adds `cond` (or its negation) to the state, forking if needed. Returns
-  // false if the current state must die (infeasible). On a fork, the sibling
-  // (negated) state is queued.
-  bool ConstrainOrFork(ExecState& state, const Expr* cond, const Value* ir_cond,
-                       bool* took_true) {
-    CondOutcome outcome = DecideCondition(state, cond, ir_cond);
-    switch (outcome) {
-      case CondOutcome::kTrue:
-        if (!cond->IsConstant()) {
-          state.AddConstraint(cond);
-        }
-        *took_true = true;
-        return true;
-      case CondOutcome::kFalse:
-        if (!cond->IsConstant()) {
-          state.AddConstraint(ctx_.Not(cond));
-        }
-        *took_true = false;
-        return true;
-      case CondOutcome::kBoth: {
-        ++result_.forks;
-        auto sibling = state.Clone();
-        sibling->id = next_state_id_++;
-        sibling->depth = state.depth + 1;
-        sibling->AddConstraint(ctx_.Not(cond));
-        pending_.push_back(std::move(sibling));
-        state.AddConstraint(cond);
-        state.depth += 1;
-        *took_true = true;
-        return true;
-      }
-      case CondOutcome::kNeither:
-        return false;
-    }
-    return false;
-  }
-
-  // Guard for a potentially trapping condition: if `bad` is feasible, report
-  // a bug, then continue on the safe side (constraining !bad). Returns false
-  // if the safe side is infeasible (the state dies).
-  bool GuardAgainst(ExecState& state, const Expr* bad, const Instruction* site, BugKind kind,
-                    const std::string& message) {
-    if (bad->IsFalse()) {
-      return true;
-    }
-    if (bad->IsTrue()) {
-      ReportBug(state, site, kind, message);
-      return false;
-    }
-    if (solver_.MayBeTrue(state.constraints, bad, nullptr) == SatResult::kSat) {
-      // Report with the bad branch's model.
-      auto bug_state = state.Clone();
-      bug_state->AddConstraint(bad);
-      ReportBug(*bug_state, site, kind, message);
-    }
-    const Expr* safe = ctx_.Not(bad);
-    if (solver_.MayBeTrue(state.constraints, safe, nullptr) != SatResult::kSat) {
-      return false;
-    }
-    state.AddConstraint(safe);
-    return true;
-  }
-
-  // ---- Memory access ----
-
-  // Computes the byte offset expression of a GEP.
-  const Expr* GepOffset(ExecState& state, const GepInst* gep) {
-    const Expr* offset = ctx_.Constant(0, 64);
-    Type* current = gep->source_type();
-    for (unsigned i = 0; i < gep->NumIndices(); ++i) {
-      const Expr* index = ResolveInt(state, gep->Index(i));
-      if (index->width() < 64) {
-        index = ctx_.SExt(index, 64);
-      }
-      uint64_t scale;
-      if (i == 0) {
-        scale = current->SizeInBytes();
-      } else if (current->IsArray()) {
-        current = current->element();
-        scale = current->SizeInBytes();
-      } else {
-        // Struct index: constant by construction.
-        uint64_t field = Cast<ConstantInt>(gep->Index(i))->value();
-        offset = ctx_.Binary(ExprKind::kAdd, offset,
-                             ctx_.Constant(current->FieldOffset(
-                                               static_cast<unsigned>(field)), 64));
-        current = current->fields()[static_cast<unsigned>(field)];
-        continue;
-      }
-      offset = ctx_.Binary(
-          ExprKind::kAdd, offset,
-          ctx_.Binary(ExprKind::kMul, index, ctx_.Constant(scale, 64)));
-    }
-    return offset;
-  }
-
-  // Validates an access of `width_bytes` at pointer `ptr`; reports bugs and
-  // constrains to the in-bounds case. Returns false if the state dies.
-  bool CheckAccess(ExecState& state, const SymPointer& ptr, uint64_t width_bytes,
-                   const Instruction* site) {
-    if (ptr.IsNull()) {
-      ReportBug(state, site, BugKind::kNullDeref, "dereference of null pointer");
-      return false;
-    }
-    if (!state.memory.Exists(ptr.object_id)) {
-      ReportBug(state, site, BugKind::kOutOfBounds,
-                "use of a dead object (escaped stack address)");
-      return false;
-    }
-    const MemoryObject& meta = state.memory.Meta(ptr.object_id);
-    if (meta.size < width_bytes) {
-      ReportBug(state, site, BugKind::kOutOfBounds,
-                StrFormat("%llu-byte access to %llu-byte object '%s'",
-                          static_cast<unsigned long long>(width_bytes),
-                          static_cast<unsigned long long>(meta.size), meta.name.c_str()));
-      return false;
-    }
-    // In-bounds: offset <= size - width.
-    const Expr* in_bounds =
-        ctx_.Compare(ICmpPredicate::kULE, ptr.offset,
-                     ctx_.Constant(meta.size - width_bytes, 64));
-    return GuardAgainst(state, ctx_.Not(in_bounds), site, BugKind::kOutOfBounds,
-                        StrFormat("access beyond object '%s' (%llu bytes)", meta.name.c_str(),
-                                  static_cast<unsigned long long>(meta.size)));
-  }
-
-  // The offset's feasible window, bounded by interval analysis over the
-  // offset expression (with nothing assigned). Select chains then span only
-  // the bytes the access can actually touch — keeping their symbol support
-  // tight is what keeps solver queries small.
-  std::pair<uint64_t, uint64_t> OffsetWindow(const Expr* offset, uint64_t last) {
-    static const std::vector<uint8_t> kNoBytes;
-    static const std::vector<bool> kNoneAssigned;
-    ctx_.NewIntervalRound();
-    ExprContext::UInterval bound = ctx_.EvalInterval(offset, kNoBytes, kNoneAssigned);
-    uint64_t lo = std::min(bound.lo, last);
-    uint64_t hi = std::min(bound.hi, last);
-    if (lo > hi) {
-      lo = 0;
-      hi = last;
-    }
-    return {lo, hi};
-  }
-
-  // Reads `width_bytes` little-endian bytes at ptr (already bounds-checked).
-  const Expr* ReadMemory(ExecState& state, const SymPointer& ptr, uint64_t width_bytes,
-                         bool* engine_error) {
-    const ObjectState& object = state.memory.Read(ptr.object_id);
-    uint64_t size = object.size();
-    if (ptr.offset->IsConstant()) {
-      uint64_t base = ptr.offset->constant_value();
-      std::vector<const Expr*> bytes;
-      for (uint64_t i = 0; i < width_bytes; ++i) {
-        bytes.push_back(object.Byte(base + i));
-      }
-      return ctx_.FromBytes(bytes);
-    }
-    if (size > kMaxSymbolicAccessObject) {
-      *engine_error = true;
-      return nullptr;
-    }
-    // Select chain over the feasible positions only.
-    auto [first, last] = OffsetWindow(ptr.offset, size - width_bytes);
-    std::vector<const Expr*> bytes;
-    const Expr* result = nullptr;
-    for (uint64_t k = first; k <= last; ++k) {
-      bytes.clear();
-      for (uint64_t i = 0; i < width_bytes; ++i) {
-        bytes.push_back(object.Byte(k + i));
-      }
-      const Expr* value = ctx_.FromBytes(bytes);
-      if (result == nullptr) {
-        result = value;  // lowest offset as the default; guarded upward
-      } else {
-        const Expr* hits = ctx_.Compare(ICmpPredicate::kEq, ptr.offset, ctx_.Constant(k, 64));
-        result = ctx_.Select(hits, value, result);
-      }
-    }
-    return result;
-  }
-
-  void WriteMemory(ExecState& state, const SymPointer& ptr, const Expr* value,
-                   bool* engine_error) {
-    ObjectState& object = state.memory.Write(ptr.object_id);
-    std::vector<const Expr*> bytes = ctx_.ToBytes(value);
-    if (ptr.offset->IsConstant()) {
-      uint64_t base = ptr.offset->constant_value();
-      for (size_t i = 0; i < bytes.size(); ++i) {
-        object.SetByte(base + i, bytes[i]);
-      }
-      return;
-    }
-    if (object.size() > kMaxSymbolicAccessObject) {
-      *engine_error = true;
-      return;
-    }
-    // byte[j] updates when offset + i == j for some written byte i; only
-    // offsets inside the interval window can hit.
-    uint64_t size = object.size();
-    auto [first, last] = OffsetWindow(ptr.offset, size - bytes.size());
-    for (size_t i = 0; i < bytes.size(); ++i) {
-      for (uint64_t j = first + i; j <= last + i && j < size; ++j) {
-        const Expr* hits =
-            ctx_.Compare(ICmpPredicate::kEq, ptr.offset, ctx_.Constant(j - i, 64));
-        object.SetByte(j, ctx_.Select(hits, bytes[i], object.Byte(j)));
-      }
-    }
-  }
-
-  // ---- The step function ----
-
-  StepOutcome Step(ExecState& state) {
-    Instruction* inst = state.CurrentInstruction();
-    ++state.instructions_executed;
-    ++result_.instructions;
-
-    switch (inst->opcode()) {
-      case Opcode::kAlloca: {
-        const auto* alloca = Cast<AllocaInst>(inst);
-        uint64_t id = state.memory.Allocate(ctx_, alloca->allocated_type()->SizeInBytes(),
-                                            false, true,
-                                            alloca->HasName() ? alloca->name() : "alloca");
-        state.Frame().alloca_objects.push_back(id);
-        state.SetLocal(inst, RuntimeValue::Pointer(SymPointer{id, ctx_.Constant(0, 64)}));
-        state.AdvancePC();
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kLoad: {
-        RuntimeValue ptr = Resolve(state, inst->Operand(0));
-        OVERIFY_ASSERT(ptr.kind == RuntimeValue::Kind::kPointer, "load from non-pointer");
-        Type* type = inst->type();
-        if (type->IsPointer()) {
-          // Loading a pointer from memory: supported only when it was stored
-          // as a whole (tracked via pointer spill map).
-          return LoadPointer(state, inst, ptr.pointer);
-        }
-        uint64_t width_bytes = type->SizeInBytes();
-        if (!CheckAccess(state, ptr.pointer, width_bytes, inst)) {
-          return StepOutcome::kPathDead;
-        }
-        bool engine_error = false;
-        const Expr* value = ReadMemory(state, ptr.pointer, width_bytes, &engine_error);
-        if (engine_error) {
-          ReportBug(state, inst, BugKind::kEngineError,
-                    "symbolic access to an oversized object");
-          return StepOutcome::kPathDead;
-        }
-        if (type->IsBool()) {
-          value = ctx_.Compare(ICmpPredicate::kNe, value, ctx_.Constant(0, 8));
-        }
-        state.SetLocal(inst, RuntimeValue::Int(value));
-        state.AdvancePC();
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kStore: {
-        RuntimeValue ptr = Resolve(state, inst->Operand(1));
-        OVERIFY_ASSERT(ptr.kind == RuntimeValue::Kind::kPointer, "store to non-pointer");
-        RuntimeValue value = Resolve(state, inst->Operand(0));
-        Type* type = inst->Operand(0)->type();
-        if (type->IsPointer()) {
-          return StorePointer(state, inst, ptr.pointer, value);
-        }
-        uint64_t width_bytes = type->SizeInBytes();
-        if (!CheckAccess(state, ptr.pointer, width_bytes, inst)) {
-          return StepOutcome::kPathDead;
-        }
-        if (state.memory.Meta(ptr.pointer.object_id).read_only) {
-          ReportBug(state, inst, BugKind::kOutOfBounds, "write to read-only object");
-          return StepOutcome::kPathDead;
-        }
-        const Expr* expr = value.expr;
-        if (type->IsBool()) {
-          expr = ctx_.ZExt(expr, 8);
-        }
-        bool engine_error = false;
-        WriteMemory(state, ptr.pointer, expr, &engine_error);
-        if (engine_error) {
-          ReportBug(state, inst, BugKind::kEngineError,
-                    "symbolic write to an oversized object");
-          return StepOutcome::kPathDead;
-        }
-        state.AdvancePC();
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kGep: {
-        const auto* gep = Cast<GepInst>(inst);
-        RuntimeValue base = Resolve(state, gep->base());
-        OVERIFY_ASSERT(base.kind == RuntimeValue::Kind::kPointer, "gep on non-pointer");
-        const Expr* offset = GepOffset(state, gep);
-        SymPointer result = base.pointer;
-        result.offset = ctx_.Binary(ExprKind::kAdd, result.offset, offset);
-        state.SetLocal(inst, RuntimeValue::Pointer(result));
-        state.AdvancePC();
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kUDiv:
-      case Opcode::kSDiv:
-      case Opcode::kURem:
-      case Opcode::kSRem: {
-        const Expr* lhs = ResolveInt(state, inst->Operand(0));
-        const Expr* rhs = ResolveInt(state, inst->Operand(1));
-        unsigned bits = inst->type()->bits();
-        const Expr* zero = ctx_.Constant(0, bits);
-        if (!GuardAgainst(state, ctx_.Compare(ICmpPredicate::kEq, rhs, zero), inst,
-                          BugKind::kDivByZero, "division by zero")) {
-          return StepOutcome::kPathDead;
-        }
-        if (inst->opcode() == Opcode::kSDiv || inst->opcode() == Opcode::kSRem) {
-          // INT_MIN / -1 overflows.
-          const Expr* min_val =
-              ctx_.Constant(uint64_t{1} << (bits - 1), bits);
-          const Expr* minus1 = ctx_.Constant(~uint64_t{0}, bits);
-          const Expr* overflow = ctx_.Binary(
-              ExprKind::kAnd, ctx_.Compare(ICmpPredicate::kEq, lhs, min_val),
-              ctx_.Compare(ICmpPredicate::kEq, rhs, minus1));
-          if (inst->opcode() == Opcode::kSDiv &&
-              !GuardAgainst(state, overflow, inst, BugKind::kOverflow,
-                            "signed division overflow")) {
-            return StepOutcome::kPathDead;
-          }
-        }
-        ExprKind kind = inst->opcode() == Opcode::kUDiv   ? ExprKind::kUDiv
-                        : inst->opcode() == Opcode::kSDiv ? ExprKind::kSDiv
-                        : inst->opcode() == Opcode::kURem ? ExprKind::kURem
-                                                          : ExprKind::kSRem;
-        state.SetLocal(inst, RuntimeValue::Int(ctx_.Binary(kind, lhs, rhs)));
-        state.AdvancePC();
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kShl:
-      case Opcode::kLShr:
-      case Opcode::kAShr: {
-        const Expr* lhs = ResolveInt(state, inst->Operand(0));
-        const Expr* rhs = ResolveInt(state, inst->Operand(1));
-        unsigned bits = inst->type()->bits();
-        ExprKind kind = inst->opcode() == Opcode::kShl    ? ExprKind::kShl
-                        : inst->opcode() == Opcode::kLShr ? ExprKind::kLShr
-                                                          : ExprKind::kAShr;
-        const Expr* result;
-        if (rhs->IsConstant()) {
-          result = rhs->constant_value() >= bits ? ctx_.Constant(0, bits)
-                                                 : ctx_.Binary(kind, lhs, rhs);
-        } else {
-          // Oversized shifts are defined as zero (consistently with the
-          // interpreter and the evaluator).
-          const Expr* in_range =
-              ctx_.Compare(ICmpPredicate::kULT, rhs, ctx_.Constant(bits, bits));
-          result = ctx_.Select(in_range, ctx_.Binary(kind, lhs, rhs), ctx_.Constant(0, bits));
-        }
-        state.SetLocal(inst, RuntimeValue::Int(result));
-        state.AdvancePC();
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kAdd:
-      case Opcode::kSub:
-      case Opcode::kMul:
-      case Opcode::kAnd:
-      case Opcode::kOr:
-      case Opcode::kXor: {
-        const Expr* lhs = ResolveInt(state, inst->Operand(0));
-        const Expr* rhs = ResolveInt(state, inst->Operand(1));
-        ExprKind kind;
-        switch (inst->opcode()) {
-          case Opcode::kAdd:
-            kind = ExprKind::kAdd;
-            break;
-          case Opcode::kSub:
-            kind = ExprKind::kSub;
-            break;
-          case Opcode::kMul:
-            kind = ExprKind::kMul;
-            break;
-          case Opcode::kAnd:
-            kind = ExprKind::kAnd;
-            break;
-          case Opcode::kOr:
-            kind = ExprKind::kOr;
-            break;
-          default:
-            kind = ExprKind::kXor;
-            break;
-        }
-        state.SetLocal(inst, RuntimeValue::Int(ctx_.Binary(kind, lhs, rhs)));
-        state.AdvancePC();
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kICmp: {
-        const auto* cmp = Cast<ICmpInst>(inst);
-        RuntimeValue lhs = Resolve(state, cmp->lhs());
-        RuntimeValue rhs = Resolve(state, cmp->rhs());
-        const Expr* result;
-        if (lhs.kind == RuntimeValue::Kind::kPointer ||
-            rhs.kind == RuntimeValue::Kind::kPointer) {
-          result = ComparePointers(cmp->predicate(), lhs, rhs);
-        } else {
-          result = ctx_.Compare(cmp->predicate(), lhs.expr, rhs.expr);
-        }
-        state.SetLocal(inst, RuntimeValue::Int(result));
-        state.AdvancePC();
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kSelect: {
-        const Expr* cond = ResolveInt(state, inst->Operand(0));
-        RuntimeValue tv = Resolve(state, inst->Operand(1));
-        RuntimeValue fv = Resolve(state, inst->Operand(2));
-        if (tv.kind == RuntimeValue::Kind::kPointer) {
-          // Pointer select requires a decided condition (fork if needed).
-          bool took_true;
-          if (!ConstrainOrFork(state, cond, inst->Operand(0), &took_true)) {
-            return StepOutcome::kPathDead;
-          }
-          state.SetLocal(inst, took_true ? tv : fv);
-        } else {
-          state.SetLocal(inst, RuntimeValue::Int(ctx_.Select(cond, tv.expr, fv.expr)));
-        }
-        state.AdvancePC();
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kZExt:
-      case Opcode::kSExt:
-      case Opcode::kTrunc: {
-        const Expr* v = ResolveInt(state, inst->Operand(0));
-        unsigned width = inst->type()->bits();
-        const Expr* result = inst->opcode() == Opcode::kZExt   ? ctx_.ZExt(v, width)
-                             : inst->opcode() == Opcode::kSExt ? ctx_.SExt(v, width)
-                                                               : ctx_.Trunc(v, width);
-        state.SetLocal(inst, RuntimeValue::Int(result));
-        state.AdvancePC();
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kPhi: {
-        // Resolve all phis of the block atomically against prev_block.
-        BasicBlock* from = state.Frame().prev_block;
-        OVERIFY_ASSERT(from != nullptr, "phi in entry block");
-        std::vector<std::pair<Instruction*, RuntimeValue>> values;
-        BasicBlock* block = state.Frame().block;
-        for (auto& phi_inst : *block) {
-          auto* phi = DynCast<PhiInst>(phi_inst.get());
-          if (phi == nullptr) {
-            break;
-          }
-          values.push_back({phi, Resolve(state, phi->IncomingValueFor(from))});
-        }
-        for (auto& [phi, value] : values) {
-          state.SetLocal(phi, value);
-          ++state.instructions_executed;
-        }
-        result_.instructions += values.size() - 1;
-        // Jump the pc past all phis.
-        StackFrame& frame = state.Frame();
-        frame.pc = block->FirstNonPhi();
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kCheck: {
-        const auto* check = Cast<CheckInst>(inst);
-        const Expr* cond = ResolveInt(state, check->condition());
-        // Compiler-inserted checks unify "various failures into run-time
-        // crashes" (Table 2); the report keeps the underlying kind so bug
-        // identity is stable across optimization levels.
-        BugKind kind;
-        switch (check->check_kind()) {
-          case CheckKind::kDivByZero:
-            kind = BugKind::kDivByZero;
-            break;
-          case CheckKind::kBounds:
-            kind = BugKind::kOutOfBounds;
-            break;
-          case CheckKind::kNullDeref:
-            kind = BugKind::kNullDeref;
-            break;
-          case CheckKind::kOverflow:
-          case CheckKind::kShift:
-            kind = BugKind::kOverflow;
-            break;
-          case CheckKind::kAssert:
-            kind = BugKind::kCheckFailed;
-            break;
-        }
-        if (!GuardAgainst(state, ctx_.Not(cond), inst, kind,
-                          StrFormat("%s: %s", CheckKindName(check->check_kind()),
-                                    check->message().c_str()))) {
-          return StepOutcome::kPathDead;
-        }
-        state.AdvancePC();
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kCall:
-        return ExecCall(state, Cast<CallInst>(inst));
-      case Opcode::kBr: {
-        const auto* br = Cast<BranchInst>(inst);
-        if (!br->IsConditional()) {
-          state.JumpTo(br->SingleDest());
-          return StepOutcome::kContinue;
-        }
-        const Expr* cond = ResolveInt(state, br->condition());
-        bool took_true;
-        if (!ConstrainOrFork(state, cond, br->condition(), &took_true)) {
-          return StepOutcome::kPathDead;
-        }
-        state.JumpTo(took_true ? br->true_dest() : br->false_dest());
-        return StepOutcome::kContinue;
-      }
-      case Opcode::kRet:
-        return ExecRet(state, Cast<RetInst>(inst));
-      case Opcode::kUnreachable:
-        ReportBug(state, inst, BugKind::kUnreachable, "reached 'unreachable'");
-        return StepOutcome::kPathDead;
-    }
-    OVERIFY_UNREACHABLE("unhandled opcode in executor");
-  }
-
-  // Pointer loads/stores: pointers are not byte-serializable (they carry an
-  // object id), so pointer-typed memory slots live in a side table keyed by
-  // (object, constant offset). This matches how the workloads use pointer
-  // variables (spilled locals at -O0).
-  StepOutcome LoadPointer(ExecState& state, Instruction* inst, const SymPointer& ptr) {
-    if (!CheckAccess(state, ptr, 8, inst)) {
-      return StepOutcome::kPathDead;
-    }
-    if (!ptr.offset->IsConstant()) {
-      ReportBug(state, inst, BugKind::kEngineError,
-                "symbolic-offset load of a pointer value");
-      return StepOutcome::kPathDead;
-    }
-    auto key = std::make_pair(ptr.object_id, ptr.offset->constant_value());
-    auto it = state.pointer_slots.find(key);
-    if (it == state.pointer_slots.end()) {
-      // Never-written pointer slot: treat as null.
-      state.SetLocal(inst, RuntimeValue::Pointer(SymPointer{0, ctx_.Constant(0, 64)}));
-    } else {
-      state.SetLocal(inst, RuntimeValue::Pointer(it->second));
-    }
-    state.AdvancePC();
-    return StepOutcome::kContinue;
-  }
-
-  StepOutcome StorePointer(ExecState& state, Instruction* inst, const SymPointer& ptr,
-                           const RuntimeValue& value) {
-    if (!CheckAccess(state, ptr, 8, inst)) {
-      return StepOutcome::kPathDead;
-    }
-    if (!ptr.offset->IsConstant()) {
-      ReportBug(state, inst, BugKind::kEngineError,
-                "symbolic-offset store of a pointer value");
-      return StepOutcome::kPathDead;
-    }
-    OVERIFY_ASSERT(value.kind == RuntimeValue::Kind::kPointer, "pointer store of non-pointer");
-    state.pointer_slots[{ptr.object_id, ptr.offset->constant_value()}] = value.pointer;
-    state.AdvancePC();
-    return StepOutcome::kContinue;
-  }
-
-  const Expr* ComparePointers(ICmpPredicate pred, const RuntimeValue& lhs,
-                              const RuntimeValue& rhs) {
-    OVERIFY_ASSERT(lhs.kind == RuntimeValue::Kind::kPointer &&
-                       rhs.kind == RuntimeValue::Kind::kPointer,
-                   "mixed pointer comparison");
-    const SymPointer& a = lhs.pointer;
-    const SymPointer& b = rhs.pointer;
-    if (a.object_id != b.object_id) {
-      // Distinct objects: equal never, unequal always; ordering is not
-      // meaningful but must be deterministic.
-      switch (pred) {
-        case ICmpPredicate::kEq:
-          return ctx_.False();
-        case ICmpPredicate::kNe:
-          return ctx_.True();
-        default:
-          return ctx_.Bool(a.object_id < b.object_id);
-      }
-    }
-    return ctx_.Compare(pred, a.offset, b.offset);
-  }
-
-  StepOutcome ExecCall(ExecState& state, const CallInst* call) {
-    Function* callee = call->callee();
-    if (callee->IsDeclaration()) {
-      return ExecExternal(state, call);
-    }
-    if (state.stack.size() >= 256) {
-      ReportBug(state, call, BugKind::kEngineError, "call stack overflow (recursion too deep)");
-      return StepOutcome::kPathDead;
-    }
-    StackFrame frame;
-    frame.fn = callee;
-    frame.block = callee->entry();
-    frame.pc = frame.block->begin();
-    frame.call_site = call;
-    frame.locals.resize(slot_cache_.Count(callee));
-    for (unsigned i = 0; i < call->NumArgs(); ++i) {
-      frame.locals[callee->Arg(i)->local_slot()] = Resolve(state, call->Arg(i));
-    }
-    state.stack.push_back(std::move(frame));
-    return StepOutcome::kContinue;
-  }
-
-  StepOutcome ExecExternal(ExecState& state, const CallInst* call) {
-    const std::string& name = call->callee()->name();
-    if (name == "putchar") {
-      const Expr* c = ResolveInt(state, call->Arg(0));
-      state.output.push_back(ctx_.Trunc(c, 8));
-      state.SetLocal(const_cast<CallInst*>(call), RuntimeValue::Int(c));
-      state.AdvancePC();
-      return StepOutcome::kContinue;
-    }
-    if (name == "getchar") {
-      // No interactive input in this model: EOF.
-      state.SetLocal(const_cast<CallInst*>(call),
-                     RuntimeValue::Int(ctx_.Constant(static_cast<uint64_t>(-1), 32)));
-      state.AdvancePC();
-      return StepOutcome::kContinue;
-    }
-    if (name == "abort") {
-      ReportBug(state, call, BugKind::kAbort, "abort() called");
-      return StepOutcome::kPathDead;
-    }
-    ReportBug(state, call, BugKind::kEngineError,
-              StrFormat("call to unmodeled external function '%s'", name.c_str()));
-    return StepOutcome::kPathDead;
-  }
-
-  StepOutcome ExecRet(ExecState& state, const RetInst* ret) {
-    RuntimeValue result;
-    if (ret->HasValue()) {
-      result = Resolve(state, ret->value());
-    }
-    // Free this frame's allocas.
-    for (uint64_t id : state.Frame().alloca_objects) {
-      state.memory.Free(id);
-    }
-    const CallInst* call_site = state.Frame().call_site;
-    state.stack.pop_back();
-    if (state.stack.empty()) {
-      return StepOutcome::kPathComplete;
-    }
-    if (call_site != nullptr && !call_site->type()->IsVoid()) {
-      state.SetLocal(call_site, result);
-    }
-    state.AdvancePC();  // past the call
-    return StepOutcome::kContinue;
-  }
-
-  Module& module_;
-  SymexOptions options_;
-  ExprContext ctx_;
-  SolverChain solver_;
-  SymexLimits limits_;
-  SymexResult result_;
-  Stopwatch watch_;
-  unsigned num_symbols_ = 0;
-  uint64_t next_state_id_ = 0;
-  std::deque<std::unique_ptr<ExecState>> pending_;
-  std::unordered_map<const GlobalVariable*, uint64_t> global_objects_;
-  LocalSlotCache slot_cache_;
-  std::set<std::pair<const Instruction*, BugKind>> reported_sites_;
-};
-
 SymbolicExecutor::SymbolicExecutor(Module& module, SymexOptions options)
-    : impl_(std::make_unique<Impl>(module, options)), module_(module), options_(options) {}
+    : module_(module), options_(options) {}
 
 SymbolicExecutor::~SymbolicExecutor() = default;
 
 SymexResult SymbolicExecutor::Run(Function* entry, unsigned num_input_bytes,
                                   const SymexLimits& limits) {
-  return impl_->Run(entry, num_input_bytes, limits);
+  sched::WorkerPool pool(module_, options_);
+  return pool.Run(entry, num_input_bytes, limits);
 }
 
 SymexResult SymbolicExecutor::Run(const std::string& entry_name, unsigned num_input_bytes,
                                   const SymexLimits& limits) {
   Function* entry = module_.GetFunction(entry_name);
   OVERIFY_ASSERT(entry != nullptr && !entry->IsDeclaration(), "missing entry function");
-  return impl_->Run(entry, num_input_bytes, limits);
+  return Run(entry, num_input_bytes, limits);
 }
 
 }  // namespace overify

@@ -4,6 +4,13 @@
 // branches fork when both directions are feasible, and trapping operations
 // (division by zero, out-of-bounds access, failed checks) become bug reports
 // with concrete reproducing inputs from the solver's model.
+//
+// Exploration is scheduled by the src/sched/ subsystem: a pluggable
+// Searcher orders pending states and a work-stealing WorkerPool fans them
+// out over `jobs` workers, each with a private ExprContext and solver
+// (states are re-interned on steal). Results are aggregated in canonical
+// order, so bug sets and verdicts are identical for 1..N workers on
+// exhausted runs — see docs/scheduler.md.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 
 #include "src/ir/module.h"
 #include "src/passes/annotate.h"
+#include "src/sched/searcher.h"
 #include "src/symex/solver.h"
 #include "src/symex/state.h"
 
@@ -43,17 +51,23 @@ struct SymexLimits {
   uint64_t max_instructions = 1 << 28;  // total across all paths
   uint64_t max_forks = 1 << 20;
   double max_seconds = 3600.0;
-  uint64_t max_live_states = 1 << 16;
+  uint64_t max_live_states = 1 << 16;  // queued + running, across all workers
 };
 
 struct SymexResult {
   bool exhausted = false;  // every path explored within the limits
   uint64_t paths_completed = 0;
-  uint64_t paths_terminated = 0;  // killed: infeasible, bug, or limit
+  // Terminated paths by cause; paths_terminated is always their sum.
+  uint64_t paths_terminated = 0;
+  uint64_t paths_infeasible = 0;   // no feasible branch direction remained
+  uint64_t paths_bug = 0;          // died at a bug site
+  uint64_t paths_limit = 0;        // running when a limit stopped the search
+  uint64_t paths_unexplored = 0;   // still queued when a limit stopped the search
   uint64_t instructions = 0;
   uint64_t forks = 0;
   uint64_t annotation_hits = 0;  // branch decisions settled by annotations
   double wall_seconds = 0;
+  unsigned workers = 1;  // worker threads that ran the search
   std::vector<BugReport> bugs;
   SolverStats solver;
 
@@ -71,10 +85,25 @@ struct SymexOptions {
   // Compiler-produced annotations; branch conditions they decide skip the
   // solver entirely (§3 "Program annotations").
   const ProgramAnnotations* annotations = nullptr;
-  // Search order for pending states: true = depth-first (default), false =
-  // breadth-first.
+  // Search order for pending states (src/sched/searcher.h).
+  SearchStrategy strategy = SearchStrategy::kDfs;
+  // Worker threads exploring in parallel; 0 = one per hardware thread.
+  unsigned jobs = 1;
+  // Seed for the random-path strategy (worker index is mixed in per worker).
+  uint64_t search_seed = 0x05e11a11;
+  // DEPRECATED: pre-scheduler search toggle, kept so existing callers
+  // compile unchanged. Read only through EffectiveStrategy(): setting it to
+  // false selects BFS unless `strategy` was set explicitly.
   bool depth_first = true;
 };
+
+// Resolves the deprecated `depth_first` shim against `strategy`.
+inline SearchStrategy EffectiveStrategy(const SymexOptions& options) {
+  if (options.strategy == SearchStrategy::kDfs && !options.depth_first) {
+    return SearchStrategy::kBfs;
+  }
+  return options.strategy;
+}
 
 class SymbolicExecutor {
  public:
@@ -89,8 +118,6 @@ class SymbolicExecutor {
                   const SymexLimits& limits);
 
  private:
-  class Impl;
-  std::unique_ptr<Impl> impl_;
   Module& module_;
   SymexOptions options_;
 };

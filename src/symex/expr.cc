@@ -54,6 +54,25 @@ bool IsCommutativeExpr(ExprKind kind) {
   }
 }
 
+// Canonical operand order for commutative kinds: constants to the right,
+// otherwise ordered by structural hash. Hashes are context-independent
+// (unlike creation ids), so every ExprContext builds the identical
+// structure for the same logical expression — the invariant the
+// scheduler's cross-context state migration and the solver's deterministic
+// models rely on. Creation ids only break the (vanishingly rare) hash tie.
+bool SwapForCanonicalOrder(const Expr* a, const Expr* b) {
+  if (a->IsConstant()) {
+    return true;
+  }
+  if (b->IsConstant()) {
+    return false;
+  }
+  if (a->hash() != b->hash()) {
+    return b->hash() < a->hash();
+  }
+  return b->id() < a->id();
+}
+
 }  // namespace
 
 uint64_t ExprContext::HashKey(const Key& key) {
@@ -184,12 +203,8 @@ const Expr* ExprContext::Binary(ExprKind kind, const Expr* a, const Expr* b) {
     OVERIFY_UNREACHABLE("trapping constant operation reached expression builder");
   }
 
-  // Canonical operand order for commutative kinds: constants to the right,
-  // otherwise order by id.
-  if (IsCommutativeExpr(kind)) {
-    if (a->IsConstant() || (!b->IsConstant() && b->id() < a->id())) {
-      std::swap(a, b);
-    }
+  if (IsCommutativeExpr(kind) && SwapForCanonicalOrder(a, b)) {
+    std::swap(a, b);
   }
 
   // Identities.
@@ -302,7 +317,7 @@ const Expr* ExprContext::Compare(ICmpPredicate pred, const Expr* a, const Expr* 
       break;
   }
   // Canonicalize equality operand order.
-  if (kind == ExprKind::kEq && (a->IsConstant() || (!b->IsConstant() && b->id() < a->id()))) {
+  if (kind == ExprKind::kEq && SwapForCanonicalOrder(a, b)) {
     std::swap(a, b);
   }
   Key key{};
@@ -458,6 +473,26 @@ const Expr* ExprContext::Concat(const Expr* high, const Expr* low) {
   key.width = width;
   key.a = high;
   key.b = low;
+  return Intern(key);
+}
+
+const Expr* ExprContext::ImportNode(const Expr* src, const Expr* a, const Expr* b,
+                                    const Expr* c) {
+  switch (src->kind()) {
+    case ExprKind::kConstant:
+      return Constant(src->constant_value(), src->width());
+    case ExprKind::kSymbol:
+      return Symbol(src->symbol_index());
+    default:
+      break;
+  }
+  Key key{};
+  key.kind = src->kind();
+  key.width = src->width();
+  key.a = a;
+  key.b = b;
+  key.c = c;
+  key.extract_offset = src->extract_offset();
   return Intern(key);
 }
 

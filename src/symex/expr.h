@@ -273,6 +273,16 @@ class ExprContext {
   std::vector<const Expr*> ToBytes(const Expr* e);
   const Expr* FromBytes(const std::vector<const Expr*>& bytes);
 
+  // Re-interns one node from another context. `a`/`b`/`c` are `src`'s
+  // children already translated into this context (null where absent). The
+  // source node is canonical — built by an identical builder whose
+  // canonical orderings are structural-hash-based and therefore
+  // context-independent — so the structure is copied bit-for-bit without
+  // re-simplification, and hash-consing restores pointer identity for
+  // already-present nodes. Used by the scheduler's work-stealing
+  // re-interning pass (src/sched/translate.h).
+  const Expr* ImportNode(const Expr* src, const Expr* a, const Expr* b, const Expr* c);
+
   // Evaluates `e` under a full assignment of its support. `bytes[i]` is the
   // value of Symbol(i). Memoized in the inline slot on each Expr, keyed by
   // the current generation; call NewEvaluation() before each new assignment.

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -55,6 +56,13 @@ class AddressSpace {
   ObjectState& Write(uint64_t object_id);
 
   size_t NumObjects() const { return meta_.size(); }
+
+  // Replaces every object's contents with a fresh, unshared copy whose
+  // bytes are rewritten through `fn`. Used when a state migrates to another
+  // worker's ExprContext: the old contents may still be shared
+  // (copy-on-write) with sibling states on the original worker, so they are
+  // never mutated in place.
+  void RewriteContents(const std::function<const Expr*(const Expr*)>& fn);
 
  private:
   // Hash maps: object ids are dense and lookups sit on the engine's

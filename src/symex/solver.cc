@@ -356,23 +356,47 @@ const SolverStats& SolverChain::stats() const {
   return stats_;
 }
 
-SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
-                             std::vector<uint8_t>* model) {
-  // Canonical form: drop trivially-true entries, dedupe, sort by id.
-  std::vector<const Expr*>& canonical = canonical_scratch_;
+namespace {
+
+// Canonical constraint order: by structural hash, creation id breaking the
+// (vanishingly rare) hash tie. Hash order is context-independent, so the
+// core search — whose conflict-directed backjumping is sensitive to
+// constraint order — behaves identically for the same logical set in every
+// worker's ExprContext (docs/scheduler.md, determinism).
+bool CanonicalConstraintOrder(const Expr* a, const Expr* b) {
+  if (a->hash() != b->hash()) {
+    return a->hash() < b->hash();
+  }
+  return a->id() < b->id();
+}
+
+}  // namespace
+
+// Drops trivially-true entries, dedupes, and sorts into canonical order.
+// Returns false if the set is trivially unsat.
+bool SolverChain::Canonicalize(const std::vector<const Expr*>& filtered,
+                               std::vector<const Expr*>& canonical) {
   canonical.clear();
   for (const Expr* c : filtered) {
     if (c->IsTrue()) {
       continue;
     }
     if (c->IsFalse()) {
-      return SatResult::kUnsat;
+      return false;
     }
     canonical.push_back(c);
   }
-  std::sort(canonical.begin(), canonical.end(),
-            [](const Expr* a, const Expr* b) { return a->id() < b->id(); });
+  std::sort(canonical.begin(), canonical.end(), CanonicalConstraintOrder);
   canonical.erase(std::unique(canonical.begin(), canonical.end()), canonical.end());
+  return true;
+}
+
+SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
+                             std::vector<uint8_t>* model) {
+  std::vector<const Expr*>& canonical = canonical_scratch_;
+  if (!Canonicalize(filtered, canonical)) {
+    return SatResult::kUnsat;
+  }
 
   // Counterexample cache (constant-time: one hash of the constraint set).
   const SetHash cache_key = HashConstraintSet(canonical);
@@ -442,6 +466,19 @@ SatResult SolverChain::CheckSat(const std::vector<const Expr*>& constraints,
                                 std::vector<uint8_t>* model) {
   ++stats_.queries;
   return Solve(constraints, model);
+}
+
+SatResult SolverChain::CheckSatCanonical(const std::vector<const Expr*>& constraints,
+                                         std::vector<uint8_t>* model) {
+  ++stats_.queries;
+  std::vector<const Expr*>& canonical = canonical_scratch_;
+  if (!Canonicalize(constraints, canonical)) {
+    return SatResult::kUnsat;
+  }
+  ++stats_.core_queries;
+  SatResult result = core_.CheckSat(ctx_, canonical, model);
+  stats_.core_candidates = core_.candidates_tried();
+  return result;
 }
 
 SatResult SolverChain::MayBeTrue(const std::vector<const Expr*>& constraints, const Expr* cond,

@@ -64,6 +64,15 @@ class SolverChain {
   // Is `constraints` satisfiable?
   SatResult CheckSat(const std::vector<const Expr*>& constraints, std::vector<uint8_t>* model);
 
+  // CheckSat that bypasses the counterexample cache and model reuse and
+  // always runs the core search over the canonical (hash-ordered) set. The
+  // model returned is then a pure function of the constraints' structure —
+  // independent of query history, and therefore identical no matter which
+  // scheduler worker asks. Bug-report example inputs use this so reported
+  // bugs are bit-identical across worker counts (docs/scheduler.md).
+  SatResult CheckSatCanonical(const std::vector<const Expr*>& constraints,
+                              std::vector<uint8_t>* model);
+
   // Branch feasibility: given an already-satisfiable path `constraints`, can
   // `cond` additionally hold? Only the constraints sharing symbols
   // (transitively) with `cond` are sent to the solver.
@@ -74,6 +83,8 @@ class SolverChain {
 
  private:
   SatResult Solve(const std::vector<const Expr*>& filtered, std::vector<uint8_t>* model);
+  bool Canonicalize(const std::vector<const Expr*>& filtered,
+                    std::vector<const Expr*>& canonical);
 
   ExprContext& ctx_;
   CoreSolver core_;

@@ -58,6 +58,13 @@ struct StackFrame {
 
 struct ExecState {
   uint64_t id = 0;
+  // Deterministic path identity: a rolling hash of the fork decisions taken
+  // along this path (root constant below; the executor mixes in a per-side
+  // salt at every fork). Unlike `id`, it does not depend on scheduling
+  // order, so it is identical for the same path no matter which worker ran
+  // it — the canonical tie-breaker for bug-report selection.
+  static constexpr uint64_t kRootPathId = 0x9e3779b97f4a7c15ULL;
+  uint64_t path_id = kRootPathId;
   std::vector<StackFrame> stack;
   AddressSpace memory;
   std::vector<const Expr*> constraints;

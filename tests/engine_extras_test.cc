@@ -94,6 +94,8 @@ TEST(LimitsTest, MaxForksStopsExploration) {
   SymexResult result = SymbolicExecutor(*m).Run("umain", 8, limits);
   EXPECT_FALSE(result.exhausted);
   EXPECT_LE(result.forks, 4u);  // one in-flight fork may complete the step
+  EXPECT_EQ(result.paths_terminated, result.paths_infeasible + result.paths_bug +
+                                         result.paths_limit + result.paths_unexplored);
 }
 
 TEST(LimitsTest, MaxInstructionsStopsExploration) {
@@ -111,6 +113,10 @@ TEST(LimitsTest, MaxInstructionsStopsExploration) {
   EXPECT_EQ(result.paths_completed, 0u);
   EXPECT_GE(result.instructions, 500u);
   EXPECT_LE(result.instructions, 600u);
+  // The looping state was killed mid-flight by the limit stop.
+  EXPECT_EQ(result.paths_limit, 1u);
+  EXPECT_EQ(result.paths_terminated, result.paths_infeasible + result.paths_bug +
+                                         result.paths_limit + result.paths_unexplored);
 }
 
 TEST(MemoryModelTest, CopyOnWriteSharesUntilMutation) {

@@ -1,0 +1,310 @@
+// The scheduler subsystem: pluggable searchers, work-stealing workers, and
+// the determinism contract — identical bug sets, verdicts, and path counts
+// for 1..N workers on exhausted runs (docs/scheduler.md).
+#include <gtest/gtest.h>
+
+#include "src/driver/compiler.h"
+#include "src/frontend/codegen.h"
+#include "src/sched/searcher.h"
+#include "src/sched/translate.h"
+#include "src/symex/executor.h"
+#include "src/workloads/workloads.h"
+
+namespace overify {
+namespace {
+
+std::unique_ptr<Module> CompileOrDie(const std::string& source) {
+  DiagnosticEngine diags;
+  auto m = CompileMiniC(source, "sched_test", diags);
+  EXPECT_NE(m, nullptr) << diags.ToString();
+  return m;
+}
+
+SymexResult RunWith(Module& m, SearchStrategy strategy, unsigned jobs, unsigned bytes,
+                    const SymexLimits& limits) {
+  SymexOptions options;
+  options.strategy = strategy;
+  options.jobs = jobs;
+  return SymbolicExecutor(m, options).Run("umain", bytes, limits);
+}
+
+const std::vector<SearchStrategy>& AllStrategies() {
+  static const std::vector<SearchStrategy> kAll = {
+      SearchStrategy::kDfs, SearchStrategy::kBfs, SearchStrategy::kRandomPath,
+      SearchStrategy::kCoverageGuided};
+  return kAll;
+}
+
+// Two results must agree on everything the determinism contract covers.
+void ExpectEquivalent(const SymexResult& a, const SymexResult& b, const std::string& label) {
+  EXPECT_EQ(a.exhausted, b.exhausted) << label;
+  EXPECT_EQ(a.paths_completed, b.paths_completed) << label;
+  EXPECT_EQ(a.paths_infeasible, b.paths_infeasible) << label;
+  EXPECT_EQ(a.paths_bug, b.paths_bug) << label;
+  EXPECT_EQ(a.instructions, b.instructions) << label;
+  EXPECT_EQ(a.forks, b.forks) << label;
+  ASSERT_EQ(a.bugs.size(), b.bugs.size()) << label;
+  for (size_t i = 0; i < a.bugs.size(); ++i) {
+    EXPECT_EQ(a.bugs[i].kind, b.bugs[i].kind) << label << " bug " << i;
+    EXPECT_EQ(a.bugs[i].site, b.bugs[i].site) << label << " bug " << i;
+    EXPECT_EQ(a.bugs[i].message, b.bugs[i].message) << label << " bug " << i;
+    EXPECT_EQ(a.bugs[i].example_input, b.bugs[i].example_input) << label << " bug " << i;
+  }
+}
+
+// ---- Searcher equivalence: order changes, the explored path set does not.
+
+TEST(SearcherEquivalenceTest, EveryStrategyExploresTheSamePathSet) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int score = 0;
+      if (in[0] > 'm') { score += 1; }
+      if (in[1] > 'm') { score += 2; }
+      if (in[2] > 'm') { score += 4; }
+      if (in[0] == in[2]) { score += 8; }
+      return score;
+    }
+  )");
+  SymexLimits limits;
+  SymexResult baseline = RunWith(*m, SearchStrategy::kDfs, 1, 3, limits);
+  EXPECT_TRUE(baseline.exhausted);
+  // 3 independent branches fork 8 ways; the equality only forks on the 4
+  // combos where in[0] and in[2] sit on the same side of 'm'.
+  EXPECT_EQ(baseline.paths_completed, 12u);
+  for (SearchStrategy strategy : AllStrategies()) {
+    SymexResult result = RunWith(*m, strategy, 1, 3, limits);
+    ExpectEquivalent(baseline, result, SearchStrategyName(strategy));
+  }
+}
+
+TEST(SearcherEquivalenceTest, StrategiesAgreeOnBuggyPrograms) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int d = in[0] - 'a';
+      if (in[1] == 'q') { return in[2] / d; }   /* d == 0 when in[0] == 'a' */
+      return 0;
+    }
+  )");
+  SymexLimits limits;
+  SymexResult baseline = RunWith(*m, SearchStrategy::kDfs, 1, 3, limits);
+  EXPECT_TRUE(baseline.FoundBug(BugKind::kDivByZero));
+  for (SearchStrategy strategy : AllStrategies()) {
+    SymexResult result = RunWith(*m, strategy, 1, 3, limits);
+    ExpectEquivalent(baseline, result, SearchStrategyName(strategy));
+  }
+}
+
+// ---- Back-compat shim for the removed depth_first flag.
+
+TEST(SearchStrategyShimTest, DepthFirstFalseSelectsBfsUnlessStrategySet) {
+  SymexOptions options;
+  EXPECT_EQ(EffectiveStrategy(options), SearchStrategy::kDfs);
+  options.depth_first = false;
+  EXPECT_EQ(EffectiveStrategy(options), SearchStrategy::kBfs);
+  options.strategy = SearchStrategy::kRandomPath;
+  EXPECT_EQ(EffectiveStrategy(options), SearchStrategy::kRandomPath);
+}
+
+// ---- Worker-count determinism.
+
+TEST(SchedulerDeterminismTest, WorkerCountsAgreeOnForkHeavyProgram) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int c = 0;
+      for (int i = 0; i < n; i++) {
+        if (in[i] == 'q') { c++; }
+        if (in[i] == 'z') { c += 2; }
+      }
+      return c;
+    }
+  )");
+  SymexLimits limits;
+  SymexResult one = RunWith(*m, SearchStrategy::kDfs, 1, 6, limits);
+  EXPECT_TRUE(one.exhausted);
+  EXPECT_GE(one.paths_completed, 64u);
+  for (unsigned jobs : {2u, 4u}) {
+    SymexResult many = RunWith(*m, SearchStrategy::kDfs, jobs, 6, limits);
+    ExpectEquivalent(one, many, "jobs=" + std::to_string(jobs));
+  }
+}
+
+TEST(SchedulerDeterminismTest, WorkerCountsAgreeOnBugSets) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      unsigned char buf[4];
+      int i = 0;
+      for (; in[i]; i++) {
+        buf[i] = in[i];            /* overflows when the input is long */
+      }
+      if (in[0] == 'd') { return 10 / (in[1] - 'x'); }
+      __check(in[2] != '!', "bang rejected");
+      return buf[0] + i;
+    }
+  )");
+  SymexLimits limits;
+  SymexResult one = RunWith(*m, SearchStrategy::kDfs, 1, 6, limits);
+  EXPECT_TRUE(one.exhausted);
+  EXPECT_FALSE(one.bugs.empty());
+  for (unsigned jobs : {2u, 4u, 8u}) {
+    SymexResult many = RunWith(*m, SearchStrategy::kDfs, jobs, 6, limits);
+    ExpectEquivalent(one, many, "jobs=" + std::to_string(jobs));
+  }
+}
+
+// The workload suite end-to-end: every program, 1 worker vs 4 workers.
+TEST(SchedulerDeterminismTest, WorkloadSuiteIdenticalAcrossWorkerCounts) {
+  SymexLimits limits;
+  limits.max_paths = 60000;
+  limits.max_seconds = 30;
+  for (const Workload& workload : CoreutilsSuite()) {
+    Compiler compiler;
+    auto compiled = compiler.Compile(workload.source, OptLevel::kOverify, workload.name);
+    ASSERT_TRUE(compiled.ok) << workload.name;
+    SymexResult one = Analyze(compiled, "umain", 3, limits, /*jobs=*/1);
+    SymexResult four = Analyze(compiled, "umain", 3, limits, /*jobs=*/4);
+    if (!one.exhausted) {
+      continue;  // the contract covers exhausted runs only
+    }
+    ExpectEquivalent(one, four, workload.name);
+  }
+}
+
+// A deeper run on the heaviest benchmark workload at -O3 (thousands of
+// paths), where stealing actually happens.
+TEST(SchedulerDeterminismTest, WcAtO3IdenticalAcrossWorkerCountsAndStrategies) {
+  const char* source = R"(
+    int wc(unsigned char *str, int any) {
+      int res = 0;
+      int new_word = 1;
+      for (unsigned char *p = str; *p; ++p) {
+        if (isspace((int)*p) || (any && !isalpha((int)*p))) {
+          new_word = 1;
+        } else {
+          if (new_word) { ++res; new_word = 0; }
+        }
+      }
+      return res;
+    }
+    int umain(unsigned char *in, int n) { return wc(in, 1); }
+  )";
+  Compiler compiler;
+  auto compiled = compiler.Compile(source, OptLevel::kO3);
+  ASSERT_TRUE(compiled.ok);
+  SymexLimits limits;
+  limits.max_seconds = 60;
+  SymexResult one = Analyze(compiled, "umain", 5, limits, /*jobs=*/1);
+  ASSERT_TRUE(one.exhausted);
+  EXPECT_GE(one.paths_completed, 1000u);
+  SymexResult four = Analyze(compiled, "umain", 5, limits, /*jobs=*/4);
+  ExpectEquivalent(one, four, "wc@O3 jobs=4");
+  SymexResult coverage = Analyze(compiled, "umain", 5, limits, /*jobs=*/4,
+                                 SearchStrategy::kCoverageGuided);
+  ExpectEquivalent(one, coverage, "wc@O3 jobs=4 coverage");
+}
+
+// ---- Per-cause terminated accounting.
+
+TEST(TerminationAccountingTest, CausesSumOnExhaustedRun) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      if (in[0] == 'x') { return 5 / (in[1] - in[1]); }   /* guaranteed bug path */
+      return in[0];
+    }
+  )");
+  SymexLimits limits;
+  SymexResult result = SymbolicExecutor(*m).Run("umain", 2, limits);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_GE(result.paths_bug, 1u);
+  EXPECT_EQ(result.paths_limit, 0u);
+  EXPECT_EQ(result.paths_unexplored, 0u);
+  EXPECT_EQ(result.paths_terminated, result.paths_infeasible + result.paths_bug +
+                                         result.paths_limit + result.paths_unexplored);
+}
+
+TEST(TerminationAccountingTest, CompletingExactlyAtTheLimitIsStillExhausted) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      if (in[0] > 'm') { return 1; }
+      return 0;
+    }
+  )");
+  SymexLimits limits;
+  limits.max_paths = 2;  // the program has exactly two paths
+  SymexResult result = SymbolicExecutor(*m).Run("umain", 1, limits);
+  EXPECT_EQ(result.paths_completed, 2u);
+  EXPECT_TRUE(result.exhausted);  // everything ran to its end
+  EXPECT_EQ(result.paths_limit, 0u);
+  EXPECT_EQ(result.paths_unexplored, 0u);
+}
+
+TEST(TerminationAccountingTest, CausesSumOnLimitStop) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int c = 0;
+      for (int i = 0; i < n; i++) {
+        if (in[i] == 'q') { c++; }
+      }
+      return c;
+    }
+  )");
+  SymexLimits limits;
+  limits.max_paths = 4;  // stop long before the 256 feasible paths finish
+  SymexOptions options;
+  options.strategy = SearchStrategy::kBfs;  // keeps plenty of states queued
+  SymexResult result = SymbolicExecutor(*m, options).Run("umain", 8, limits);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_GE(result.paths_limit + result.paths_unexplored, 1u);
+  EXPECT_EQ(result.paths_terminated, result.paths_infeasible + result.paths_bug +
+                                         result.paths_limit + result.paths_unexplored);
+}
+
+// ---- Cross-context expression translation.
+
+TEST(ExprTranslationTest, RoundTripRestoresPointerIdentity) {
+  ExprContext a;
+  ExprContext b;
+  // A representative DAG: arithmetic over symbols, comparisons, selects,
+  // extracts, shared subtrees.
+  const Expr* sum = a.Binary(ExprKind::kAdd, a.ZExt(a.Symbol(0), 32),
+                             a.Binary(ExprKind::kMul, a.ZExt(a.Symbol(1), 32),
+                                      a.Constant(3, 32)));
+  const Expr* cmp = a.Compare(ICmpPredicate::kULT, sum, a.Constant(100, 32));
+  const Expr* sel = a.Select(cmp, sum, a.Binary(ExprKind::kXor, sum, a.Constant(255, 32)));
+  const Expr* root = a.Extract(sel, 8, 16);
+
+  sched::ExprTranslator a_to_b(b);
+  const Expr* moved = a_to_b.Translate(root);
+  // Structural hashes are context-independent, so the copy hashes equal.
+  EXPECT_EQ(moved->hash(), root->hash());
+  EXPECT_EQ(moved->width(), root->width());
+  EXPECT_EQ(moved->Support().ToSet(), root->Support().ToSet());
+
+  sched::ExprTranslator b_to_a(a);
+  const Expr* back = b_to_a.Translate(moved);
+  // Hash-consing: translating back lands on the exact original node.
+  EXPECT_EQ(back, root);
+}
+
+TEST(ExprTranslationTest, TranslationPreservesSolverVerdictsAndModels) {
+  ExprContext a;
+  const Expr* c1 = a.Compare(ICmpPredicate::kUGT, a.Symbol(0), a.Constant(10, 8));
+  const Expr* c2 = a.Compare(
+      ICmpPredicate::kEq,
+      a.Binary(ExprKind::kAdd, a.ZExt(a.Symbol(0), 32), a.ZExt(a.Symbol(1), 32)),
+      a.Constant(300, 32));
+  std::vector<uint8_t> model_a;
+  SolverChain chain_a(a);
+  ASSERT_EQ(chain_a.CheckSatCanonical({c1, c2}, &model_a), SatResult::kSat);
+
+  ExprContext b;
+  sched::ExprTranslator tr(b);
+  std::vector<const Expr*> moved = {tr.Translate(c1), tr.Translate(c2)};
+  std::vector<uint8_t> model_b;
+  SolverChain chain_b(b);
+  ASSERT_EQ(chain_b.CheckSatCanonical(moved, &model_b), SatResult::kSat);
+  // The canonical model is a pure function of structure: bit-identical.
+  EXPECT_EQ(model_a, model_b);
+}
+
+}  // namespace
+}  // namespace overify
