@@ -28,6 +28,18 @@ BENCHMARK(BM_ExprInterning);
 
 // Attaches the solver chain's fast-path counters to a benchmark's output so
 // runs double as an observability check on the new hot paths.
+// The preprocessing/prefix-cache effectiveness counters recorded in the
+// BENCH_symex.json snapshot (run_benches.sh picks these up by name).
+void ReportPreprocessStats(benchmark::State& state, const SolverStats& stats) {
+  state.counters["presolve_shortcuts"] = static_cast<double>(stats.presolve_shortcuts);
+  state.counters["prefix_subset_hits"] = static_cast<double>(stats.prefix_subset_hits);
+  state.counters["prefix_superset_hits"] = static_cast<double>(stats.prefix_superset_hits);
+  state.counters["prefix_model_hits"] = static_cast<double>(stats.prefix_model_hits);
+  state.counters["preprocess_bindings"] = static_cast<double>(stats.preprocess_bindings);
+  state.counters["preprocess_tautologies"] =
+      static_cast<double>(stats.preprocess_tautologies);
+}
+
 void ReportSolverStats(benchmark::State& state, const SolverStats& stats) {
   state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
   state.counters["reuse_hits"] = static_cast<double>(stats.reuse_hits);
@@ -35,6 +47,7 @@ void ReportSolverStats(benchmark::State& state, const SolverStats& stats) {
   state.counters["interval_memo_hits"] = static_cast<double>(stats.interval_memo_hits);
   state.counters["independence_drops"] = static_cast<double>(stats.independence_drops);
   state.counters["cex_evictions"] = static_cast<double>(stats.cex_evictions);
+  ReportPreprocessStats(state, stats);
 }
 
 void BM_SolverSingleByteQuery(benchmark::State& state) {
@@ -122,6 +135,7 @@ void BM_ExploreWcAtOverify(benchmark::State& state) {
   state.counters["core_candidates"] = static_cast<double>(last.solver.core_candidates);
   state.counters["eval_memo_hits"] = static_cast<double>(last.solver.eval_memo_hits);
   state.counters["independence_drops"] = static_cast<double>(last.solver.independence_drops);
+  ReportPreprocessStats(state, last.solver);
 }
 BENCHMARK(BM_ExploreWcAtOverify);
 
@@ -142,6 +156,7 @@ void BM_ExploreWcAtO3(benchmark::State& state) {
   state.counters["core_candidates"] = static_cast<double>(last.solver.core_candidates);
   state.counters["eval_memo_hits"] = static_cast<double>(last.solver.eval_memo_hits);
   state.counters["independence_drops"] = static_cast<double>(last.solver.independence_drops);
+  ReportPreprocessStats(state, last.solver);
 }
 BENCHMARK(BM_ExploreWcAtO3);
 

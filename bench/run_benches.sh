@@ -5,14 +5,15 @@
 #
 # Usage: bench/run_benches.sh [--check] [build_dir] [output_json]
 #
-# --check: after writing the snapshot, diff each benchmark against the
-# committed BENCH_symex.json and fail (exit 1) on a wall-time slowdown
-# beyond BENCH_CHECK_THRESHOLD (default 1.5x) or on any change in the
-# hardware-independent `paths` counters — the CI regression gate. Wall
-# times compare across hosts only approximately; if the gate host class
-# differs a lot from the one that produced the committed snapshot, widen
-# the threshold (env) or regenerate the snapshot on the gate's host class.
-# The counter check is exact everywhere.
+# --check: after writing the snapshot, print a per-benchmark diff table
+# against the committed BENCH_symex.json and fail (exit 1) on a wall-time
+# slowdown beyond BENCH_CHECK_THRESHOLD (default 1.5x) or on any change in
+# the hardware-independent `paths` / `core_candidates` counters — the CI
+# regression gate. Wall times compare across hosts only approximately; if
+# the gate host class differs a lot from the one that produced the
+# committed snapshot, widen the threshold (env) or regenerate the snapshot
+# on the gate's host class. The counter checks are exact everywhere (both
+# are pure functions of engine behavior, not hardware).
 set -euo pipefail
 
 CHECK=0
@@ -70,7 +71,9 @@ for b in micro.get("benchmarks", []):
              "iterations": b.get("iterations", 0)}
     for key in ("paths", "solver_queries", "core_candidates", "eval_memo_hits",
                 "interval_memo_hits", "independence_drops", "cache_hits",
-                "reuse_hits", "cex_evictions"):
+                "reuse_hits", "cex_evictions", "presolve_shortcuts",
+                "prefix_subset_hits", "prefix_superset_hits", "prefix_model_hits",
+                "preprocess_bindings", "preprocess_tautologies"):
         if key in b:
             entry[key] = int(b[key])
     m = re.match(r"BM_ParallelExploreWc/(\d+)", b["name"])
@@ -133,19 +136,25 @@ for name in sorted(committed):
     new = fresh[name]["wall_seconds_per_iter"]
     ratio = new / old
     flag = " FAIL" if ratio > THRESHOLD else ""
-    # Path counts are deterministic and hardware-independent: any change is
-    # an engine behavior change, flagged at any magnitude.
-    if committed[name].get("paths") != fresh[name].get("paths"):
-        flag = (f" FAIL (paths {committed[name].get('paths')} -> "
-                f"{fresh[name].get('paths')})")
+    # The paths and core_candidates counters are deterministic and
+    # hardware-independent: any drift is an engine behavior change, flagged
+    # at any magnitude.
+    drift = []
+    for counter in ("paths", "core_candidates"):
+        if committed[name].get(counter) != fresh[name].get(counter):
+            drift.append(f"{counter} {committed[name].get(counter)} -> "
+                         f"{fresh[name].get(counter)}")
+    if drift:
+        flag = f" FAIL ({'; '.join(drift)})"
     print(f"{name:<34} {old:>12.3e} {new:>12.3e} {ratio:>6.2f}x{flag}")
     if flag:
         failed.append(name)
 
 if failed:
-    print(f"\nregression gate FAILED (wall > {THRESHOLD}x or paths changed): "
-          f"{', '.join(failed)}")
+    print(f"\nregression gate FAILED (wall > {THRESHOLD}x, or paths/"
+          f"core_candidates drifted): {', '.join(failed)}")
     sys.exit(1)
-print(f"\nregression gate passed (threshold {THRESHOLD}x, paths exact)")
+print(f"\nregression gate passed (threshold {THRESHOLD}x; paths and "
+      "core_candidates exact)")
 PY
 fi

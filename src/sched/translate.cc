@@ -61,6 +61,10 @@ void TranslateState(ExecState& state, ExprTranslator& translator) {
   for (const Expr*& constraint : state.constraints) {
     constraint = translator.Translate(constraint);
   }
+  // The preprocessing summary holds pointers into the source context; it is
+  // a pure cache over `constraints`, so drop it and let the thief's solver
+  // rebuild it (the rebuild is deterministic — docs/scheduler.md).
+  state.solver_prefix.Clear();
   for (const Expr*& byte : state.output) {
     byte = translator.Translate(byte);
   }

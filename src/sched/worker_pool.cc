@@ -193,6 +193,14 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
     result.solver.eval_memo_hits += s.eval_memo_hits;
     result.solver.interval_memo_hits += s.interval_memo_hits;
     result.solver.cex_evictions += s.cex_evictions;
+    result.solver.preprocess_bindings += s.preprocess_bindings;
+    result.solver.preprocess_substitutions += s.preprocess_substitutions;
+    result.solver.preprocess_tautologies += s.preprocess_tautologies;
+    result.solver.preprocess_contradictions += s.preprocess_contradictions;
+    result.solver.presolve_shortcuts += s.presolve_shortcuts;
+    result.solver.prefix_subset_hits += s.prefix_subset_hits;
+    result.solver.prefix_superset_hits += s.prefix_superset_hits;
+    result.solver.prefix_model_hits += s.prefix_model_hits;
   }
   result.paths_terminated = result.paths_infeasible + result.paths_bug + result.paths_limit +
                             result.paths_unexplored;

@@ -35,6 +35,7 @@ class EngineCore::Impl {
         solver_(ctx_),
         num_symbols_(num_input_bytes),
         worker_index_(worker_index) {
+    solver_.set_preprocessing(options_.solver_preprocess);
     // Global object ids are deterministic — the initial state allocates
     // them first, in module order, starting at 1 — so every worker can
     // reconstruct the mapping without owning the allocation.
@@ -252,8 +253,10 @@ class EngineCore::Impl {
         return it->second.lo != 0 ? CondOutcome::kTrue : CondOutcome::kFalse;
       }
     }
-    SatResult can_true = solver_.MayBeTrue(state.constraints, cond, nullptr);
-    SatResult can_false = solver_.MayBeTrue(state.constraints, ctx_.Not(cond), nullptr);
+    SatResult can_true = solver_.MayBeTrue(state.constraints, cond, nullptr,
+                                           &state.solver_prefix);
+    SatResult can_false = solver_.MayBeTrue(state.constraints, ctx_.Not(cond), nullptr,
+                                            &state.solver_prefix);
     bool t = can_true == SatResult::kSat;
     bool f = can_false == SatResult::kSat;
     if (t && f) {
@@ -325,7 +328,8 @@ class EngineCore::Impl {
       return GuardResult::kDiedBug;
     }
     bool reported = false;
-    if (solver_.MayBeTrue(state.constraints, bad, nullptr) == SatResult::kSat) {
+    if (solver_.MayBeTrue(state.constraints, bad, nullptr, &state.solver_prefix) ==
+        SatResult::kSat) {
       // Report with the bad branch's model.
       auto bug_state = state.Clone();
       bug_state->AddConstraint(bad);
@@ -333,7 +337,8 @@ class EngineCore::Impl {
       reported = true;
     }
     const Expr* safe = ctx_.Not(bad);
-    if (solver_.MayBeTrue(state.constraints, safe, nullptr) != SatResult::kSat) {
+    if (solver_.MayBeTrue(state.constraints, safe, nullptr, &state.solver_prefix) !=
+        SatResult::kSat) {
       return reported ? GuardResult::kDiedBug : GuardResult::kDiedInfeasible;
     }
     state.AddConstraint(safe);

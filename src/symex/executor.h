@@ -89,6 +89,11 @@ struct SymexOptions {
   SearchStrategy strategy = SearchStrategy::kDfs;
   // Worker threads exploring in parallel; 0 = one per hardware thread.
   unsigned jobs = 1;
+  // Constraint preprocessing + prefix-aware counterexample caching ahead of
+  // the core search (docs/engine.md). Off is for A/B comparisons and the
+  // preprocessing regression tests; verdicts and bug reports are identical
+  // either way.
+  bool solver_preprocess = true;
   // Seed for the random-path strategy (worker index is mixed in per worker).
   uint64_t search_seed = 0x05e11a11;
   // DEPRECATED: pre-scheduler search toggle, kept so existing callers

@@ -1,5 +1,7 @@
 #include "src/symex/expr.h"
 
+#include <unordered_map>
+
 #include "src/ir/constant.h"
 #include "src/ir/fold.h"
 
@@ -337,6 +339,22 @@ const Expr* ExprContext::Not(const Expr* e) {
   if (e->kind() == ExprKind::kXor && e->b()->IsTrue()) {
     return e->a();
   }
+  // Negating a canonical comparison stays inside the canonical comparison
+  // set: ¬(a < b) = b <= a and so on. Keeps solver-visible constraints
+  // Xor-free, which is what lets the preprocessor's range extraction see
+  // through branch negations.
+  switch (e->kind()) {
+    case ExprKind::kUlt:
+      return Compare(ICmpPredicate::kULE, e->b(), e->a());
+    case ExprKind::kUle:
+      return Compare(ICmpPredicate::kULT, e->b(), e->a());
+    case ExprKind::kSlt:
+      return Compare(ICmpPredicate::kSLE, e->b(), e->a());
+    case ExprKind::kSle:
+      return Compare(ICmpPredicate::kSLT, e->b(), e->a());
+    default:
+      break;
+  }
   return Binary(ExprKind::kXor, e, true_);
 }
 
@@ -496,6 +514,113 @@ const Expr* ExprContext::ImportNode(const Expr* src, const Expr* a, const Expr* 
   return Intern(key);
 }
 
+const Expr* ExprContext::Rebuild(const Expr* src, const Expr* a, const Expr* b,
+                                 const Expr* c) {
+  switch (src->kind()) {
+    case ExprKind::kConstant:
+      return Constant(src->constant_value(), src->width());
+    case ExprKind::kSymbol:
+      return Symbol(src->symbol_index());
+    case ExprKind::kAdd:
+    case ExprKind::kSub:
+    case ExprKind::kMul:
+    case ExprKind::kUDiv:
+    case ExprKind::kSDiv:
+    case ExprKind::kURem:
+    case ExprKind::kSRem:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kXor:
+    case ExprKind::kShl:
+    case ExprKind::kLShr:
+    case ExprKind::kAShr:
+      if (a->IsConstant() && b->IsConstant()) {
+        auto folded = FoldBinary(ExprKindToOpcode(src->kind()), src->width(),
+                                 a->constant_value(), b->constant_value());
+        if (folded.has_value()) {
+          return Constant(*folded, src->width());
+        }
+        // Trapping constant pair (division by zero, oversized shift):
+        // Binary() treats this as a miscompile, but substitution can expose
+        // it inside a guarded arm of a select or a contradictory set.
+        // Intern the raw node; Evaluate defines its value as 0.
+        return ImportNode(src, a, b, c);
+      }
+      return Binary(src->kind(), a, b);
+    case ExprKind::kEq:
+      return Compare(ICmpPredicate::kEq, a, b);
+    case ExprKind::kUlt:
+      return Compare(ICmpPredicate::kULT, a, b);
+    case ExprKind::kUle:
+      return Compare(ICmpPredicate::kULE, a, b);
+    case ExprKind::kSlt:
+      return Compare(ICmpPredicate::kSLT, a, b);
+    case ExprKind::kSle:
+      return Compare(ICmpPredicate::kSLE, a, b);
+    case ExprKind::kSelect:
+      return Select(a, b, c);
+    case ExprKind::kZExt:
+      return ZExt(a, src->width());
+    case ExprKind::kSExt:
+      return SExt(a, src->width());
+    case ExprKind::kTrunc:
+      return Trunc(a, src->width());
+    case ExprKind::kExtract:
+      return Extract(a, src->extract_offset(), src->width());
+    case ExprKind::kConcat:
+      return Concat(a, b);
+  }
+  OVERIFY_UNREACHABLE("unhandled kind in Rebuild");
+}
+
+const Expr* ExprContext::Substitute(const Expr* e, const std::vector<int16_t>& binding,
+                                    const SupportSet& bound) {
+  if (!e->Support().Intersects(bound)) {
+    return e;
+  }
+  // Iterative post-order over the affected subgraph only: subtrees disjoint
+  // from `bound` pass through untouched (and are never walked).
+  std::unordered_map<const Expr*, const Expr*>& memo = subst_memo_;
+  memo.clear();
+  std::vector<const Expr*>& stack = subst_stack_;
+  stack.assign(1, e);
+  while (!stack.empty()) {
+    const Expr* cur = stack.back();
+    if (memo.count(cur) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    if (cur->kind() == ExprKind::kSymbol) {
+      unsigned index = cur->symbol_index();
+      OVERIFY_ASSERT(index < binding.size() && binding[index] >= 0,
+                     "bound symbol without a binding");
+      memo[cur] = Constant(static_cast<uint64_t>(binding[index]), 8);
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const Expr* child : {cur->a(), cur->b(), cur->c()}) {
+      if (child != nullptr && child->Support().Intersects(bound) &&
+          memo.count(child) == 0) {
+        stack.push_back(child);
+        ready = false;
+      }
+    }
+    if (!ready) {
+      continue;
+    }
+    auto resolve = [&](const Expr* child) -> const Expr* {
+      if (child == nullptr || !child->Support().Intersects(bound)) {
+        return child;
+      }
+      return memo.at(child);
+    };
+    memo[cur] = Rebuild(cur, resolve(cur->a()), resolve(cur->b()), resolve(cur->c()));
+    stack.pop_back();
+  }
+  return memo.at(e);
+}
+
 std::vector<const Expr*> ExprContext::ToBytes(const Expr* e) {
   OVERIFY_ASSERT(e->width() % 8 == 0 || e->width() == 1, "unaligned width");
   if (e->width() == 1) {
@@ -618,9 +743,8 @@ bool MulOverflowsU(uint64_t a, uint64_t b, uint64_t& out) {
 
 }  // namespace
 
-ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
-                                                 const std::vector<uint8_t>& bytes,
-                                                 const std::vector<bool>& assigned) {
+template <typename SymFn>
+UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
   if (e->kind_ == ExprKind::kConstant) {
     return UInterval{e->constant_, e->constant_};
   }
@@ -634,18 +758,12 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
     case ExprKind::kConstant:
       result = UInterval{e->constant_value(), e->constant_value()};
       break;
-    case ExprKind::kSymbol: {
-      unsigned index = e->symbol_index();
-      if (index < assigned.size() && assigned[index]) {
-        result = UInterval{bytes[index], bytes[index]};
-      } else {
-        result = UInterval{0, 255};
-      }
+    case ExprKind::kSymbol:
+      result = sym(e->symbol_index());
       break;
-    }
     case ExprKind::kAdd: {
-      UInterval a = EvalInterval(e->a(), bytes, assigned);
-      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      UInterval a = EvalIntervalWith(e->a(), sym);
+      UInterval b = EvalIntervalWith(e->b(), sym);
       uint64_t lo;
       uint64_t hi;
       if (!AddOverflowsU(a.lo, b.lo, lo) && !AddOverflowsU(a.hi, b.hi, hi) &&
@@ -655,16 +773,16 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
       break;
     }
     case ExprKind::kSub: {
-      UInterval a = EvalInterval(e->a(), bytes, assigned);
-      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      UInterval a = EvalIntervalWith(e->a(), sym);
+      UInterval b = EvalIntervalWith(e->b(), sym);
       if (a.lo >= b.hi) {  // no wraparound possible
         result = UInterval{a.lo - b.hi, a.hi - b.lo};
       }
       break;
     }
     case ExprKind::kMul: {
-      UInterval a = EvalInterval(e->a(), bytes, assigned);
-      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      UInterval a = EvalIntervalWith(e->a(), sym);
+      UInterval b = EvalIntervalWith(e->b(), sym);
       uint64_t lo;
       uint64_t hi;
       if (!MulOverflowsU(a.lo, b.lo, lo) && !MulOverflowsU(a.hi, b.hi, hi) &&
@@ -674,23 +792,23 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
       break;
     }
     case ExprKind::kUDiv: {
-      UInterval a = EvalInterval(e->a(), bytes, assigned);
-      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      UInterval a = EvalIntervalWith(e->a(), sym);
+      UInterval b = EvalIntervalWith(e->b(), sym);
       if (b.lo > 0) {
         result = UInterval{a.lo / b.hi, a.hi / b.lo};
       }
       break;
     }
     case ExprKind::kURem: {
-      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      UInterval b = EvalIntervalWith(e->b(), sym);
       if (b.hi > 0) {
         result = UInterval{0, b.hi - 1};
       }
       break;
     }
     case ExprKind::kAnd: {
-      UInterval a = EvalInterval(e->a(), bytes, assigned);
-      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      UInterval a = EvalIntervalWith(e->a(), sym);
+      UInterval b = EvalIntervalWith(e->b(), sym);
       result = UInterval{0, std::min(a.hi, b.hi)};
       if (a.IsSingleton() && b.IsSingleton()) {
         uint64_t v = a.lo & b.lo;
@@ -699,8 +817,8 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
       break;
     }
     case ExprKind::kOr: {
-      UInterval a = EvalInterval(e->a(), bytes, assigned);
-      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      UInterval a = EvalIntervalWith(e->a(), sym);
+      UInterval b = EvalIntervalWith(e->b(), sym);
       if (a.IsSingleton() && b.IsSingleton()) {
         uint64_t v = a.lo | b.lo;
         result = UInterval{v, v};
@@ -720,8 +838,8 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
       break;
     }
     case ExprKind::kXor: {
-      UInterval a = EvalInterval(e->a(), bytes, assigned);
-      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      UInterval a = EvalIntervalWith(e->a(), sym);
+      UInterval b = EvalIntervalWith(e->b(), sym);
       if (a.IsSingleton() && b.IsSingleton()) {
         uint64_t v = a.lo ^ b.lo;
         result = UInterval{v, v};
@@ -729,8 +847,8 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
       break;
     }
     case ExprKind::kEq: {
-      UInterval a = EvalInterval(e->a(), bytes, assigned);
-      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      UInterval a = EvalIntervalWith(e->a(), sym);
+      UInterval b = EvalIntervalWith(e->b(), sym);
       if (a.hi < b.lo || b.hi < a.lo) {
         result = UInterval{0, 0};  // disjoint: never equal
       } else if (a.IsSingleton() && b.IsSingleton()) {
@@ -742,8 +860,8 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
       break;
     }
     case ExprKind::kUlt: {
-      UInterval a = EvalInterval(e->a(), bytes, assigned);
-      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      UInterval a = EvalIntervalWith(e->a(), sym);
+      UInterval b = EvalIntervalWith(e->b(), sym);
       if (a.hi < b.lo) {
         result = UInterval{1, 1};
       } else if (a.lo >= b.hi) {
@@ -754,8 +872,8 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
       break;
     }
     case ExprKind::kUle: {
-      UInterval a = EvalInterval(e->a(), bytes, assigned);
-      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      UInterval a = EvalIntervalWith(e->a(), sym);
+      UInterval b = EvalIntervalWith(e->b(), sym);
       if (a.hi <= b.lo) {
         result = UInterval{1, 1};
       } else if (a.lo > b.hi) {
@@ -771,8 +889,8 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
       // boundary of the operand width, where signed order equals unsigned.
       unsigned operand_width = e->a()->width();
       uint64_t sign_bit = uint64_t{1} << (operand_width - 1);
-      UInterval a = EvalInterval(e->a(), bytes, assigned);
-      UInterval b = EvalInterval(e->b(), bytes, assigned);
+      UInterval a = EvalIntervalWith(e->a(), sym);
+      UInterval b = EvalIntervalWith(e->b(), sym);
       bool a_nonneg = a.hi < sign_bit;
       bool b_nonneg = b.hi < sign_bit;
       bool a_neg = a.lo >= sign_bit;
@@ -794,22 +912,22 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
       break;
     }
     case ExprKind::kSelect: {
-      UInterval cond = EvalInterval(e->a(), bytes, assigned);
+      UInterval cond = EvalIntervalWith(e->a(), sym);
       if (cond.IsSingleton()) {
-        result = EvalInterval(cond.lo != 0 ? e->b() : e->c(), bytes, assigned);
+        result = EvalIntervalWith(cond.lo != 0 ? e->b() : e->c(), sym);
       } else {
-        UInterval t = EvalInterval(e->b(), bytes, assigned);
-        UInterval f = EvalInterval(e->c(), bytes, assigned);
+        UInterval t = EvalIntervalWith(e->b(), sym);
+        UInterval f = EvalIntervalWith(e->c(), sym);
         result = UInterval{std::min(t.lo, f.lo), std::max(t.hi, f.hi)};
       }
       break;
     }
     case ExprKind::kZExt:
-      result = EvalInterval(e->a(), bytes, assigned);
+      result = EvalIntervalWith(e->a(), sym);
       break;
     case ExprKind::kSExt: {
       unsigned src_width = e->a()->width();
-      UInterval a = EvalInterval(e->a(), bytes, assigned);
+      UInterval a = EvalIntervalWith(e->a(), sym);
       if (a.hi < (uint64_t{1} << (src_width - 1))) {
         result = a;  // non-negative: sign extension is the identity
       }
@@ -818,7 +936,7 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
     case ExprKind::kTrunc:
     case ExprKind::kExtract: {
       if (e->kind() == ExprKind::kTrunc || e->extract_offset() == 0) {
-        UInterval a = EvalInterval(e->a(), bytes, assigned);
+        UInterval a = EvalIntervalWith(e->a(), sym);
         if (a.hi <= FullRange(width).hi) {
           result = a;  // value fits: low bits are the value itself
         }
@@ -826,8 +944,8 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
       break;
     }
     case ExprKind::kConcat: {
-      UInterval high = EvalInterval(e->a(), bytes, assigned);
-      UInterval low = EvalInterval(e->b(), bytes, assigned);
+      UInterval high = EvalIntervalWith(e->a(), sym);
+      UInterval low = EvalIntervalWith(e->b(), sym);
       unsigned low_width = e->b()->width();
       result = UInterval{(high.lo << low_width) | low.lo, (high.hi << low_width) | low.hi};
       break;
@@ -838,6 +956,26 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
   e->interval_gen_ = interval_generation_;
   e->interval_value_ = result;
   return result;
+}
+
+ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
+                                                 const std::vector<uint8_t>& bytes,
+                                                 const std::vector<bool>& assigned) {
+  auto sym = [&](unsigned index) {
+    if (index < assigned.size() && assigned[index]) {
+      return UInterval{bytes[index], bytes[index]};
+    }
+    return UInterval{0, 255};
+  };
+  return EvalIntervalWith(e, sym);
+}
+
+ExprContext::UInterval ExprContext::EvalIntervalRanges(const Expr* e,
+                                                       const std::vector<UInterval>& ranges) {
+  auto sym = [&](unsigned index) {
+    return index < ranges.size() ? ranges[index] : UInterval{0, 255};
+  };
+  return EvalIntervalWith(e, sym);
 }
 
 }  // namespace overify

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/ir/instruction.h"
@@ -283,6 +284,22 @@ class ExprContext {
   // re-interning pass (src/sched/translate.h).
   const Expr* ImportNode(const Expr* src, const Expr* a, const Expr* b, const Expr* c);
 
+  // Rebuilds one node with replacement children through the canonicalizing
+  // builders, so constant folding and identities re-apply (unlike
+  // ImportNode's bit-for-bit copy). A binary node whose children folded to
+  // a trapping constant pair (division by zero, oversized shift) is
+  // interned raw instead — Evaluate defines those as 0, and such nodes only
+  // arise inside guarded/contradictory sets. Used by Substitute.
+  const Expr* Rebuild(const Expr* src, const Expr* a, const Expr* b, const Expr* c);
+
+  // Substitution over the hash-consed DAG: returns `e` with every symbol in
+  // `bound` replaced by the constant byte binding[sym]. Subtrees whose
+  // support does not intersect `bound` are returned as-is (one bitmask AND),
+  // and rebuilt nodes re-simplify through the builders — the constraint
+  // preprocessor's byte-equality elimination (src/symex/preprocess.h).
+  const Expr* Substitute(const Expr* e, const std::vector<int16_t>& binding,
+                         const SupportSet& bound);
+
   // Evaluates `e` under a full assignment of its support. `bytes[i]` is the
   // value of Symbol(i). Memoized in the inline slot on each Expr, keyed by
   // the current generation; call NewEvaluation() before each new assignment.
@@ -295,7 +312,18 @@ class ExprContext {
   // solver prunes a branch as soon as a constraint's interval excludes 1.
   UInterval EvalInterval(const Expr* e, const std::vector<uint8_t>& bytes,
                          const std::vector<bool>& assigned);
+  // Same abstraction under per-symbol ranges: symbol i contributes
+  // ranges[i] (or [0, 255] beyond the vector). The constraint
+  // preprocessor's range-tightening stage evaluates candidates under the
+  // facts extracted so far. Shares the interval memo generation.
+  UInterval EvalIntervalRanges(const Expr* e, const std::vector<UInterval>& ranges);
   void NewIntervalRound() { ++interval_generation_; }
+  // Current interval-memo generation. A caller that knows the generation has
+  // not moved since its own last round (and that the symbol ranges it
+  // evaluates under are unchanged) may keep evaluating without a new round,
+  // sharing memoized subtrees across queries (see
+  // ConstraintPreprocessor::RangeOf).
+  uint64_t interval_generation() const { return interval_generation_; }
 
   size_t NumExprs() const { return exprs_.size(); }
 
@@ -321,6 +349,12 @@ class ExprContext {
   const Expr* Intern(const Key& key);
   void GrowTable();
 
+  // Shared recursive worker behind EvalInterval/EvalIntervalRanges; `sym`
+  // maps a symbol index to its interval. Defined (and only instantiated) in
+  // expr.cc.
+  template <typename SymFn>
+  UInterval EvalIntervalWith(const Expr* e, const SymFn& sym);
+
   std::vector<std::unique_ptr<Expr>> exprs_;
   // Open-addressing interner: power-of-two table of owned pointers, linear
   // probing, no deletions (expressions live as long as the context).
@@ -335,6 +369,11 @@ class ExprContext {
   uint64_t interval_generation_ = 1;
   uint64_t eval_memo_hits_ = 0;
   uint64_t interval_memo_hits_ = 0;
+
+  // Scratch for Substitute (cleared per call; keeps its buckets so
+  // steady-state substitution does not allocate).
+  std::unordered_map<const Expr*, const Expr*> subst_memo_;
+  std::vector<const Expr*> subst_stack_;
 };
 
 }  // namespace overify

@@ -1,0 +1,222 @@
+#include "src/symex/preprocess.h"
+
+#include <algorithm>
+
+namespace overify {
+
+namespace {
+
+// Matches a bare symbolic byte, possibly widened: Symbol(i) or
+// ZExt(Symbol(i)). Returns the symbol index, or -1.
+int MatchSymbolByte(const Expr* e) {
+  if (e->kind() == ExprKind::kZExt) {
+    e = e->a();
+  }
+  if (e->kind() == ExprKind::kSymbol) {
+    return static_cast<int>(e->symbol_index());
+  }
+  return -1;
+}
+
+}  // namespace
+
+void ConstraintPreprocessor::Extend(PathPrefix& prefix,
+                                    const std::vector<const Expr*>& constraints) {
+  OVERIFY_ASSERT(prefix.consumed <= constraints.size(),
+                 "stale path prefix: constraints shrank");
+  while (prefix.consumed < constraints.size()) {
+    const Expr* c = constraints[prefix.consumed++];
+    if (!prefix.contradiction) {
+      FoldIn(prefix, c);
+    }
+  }
+}
+
+const Expr* ConstraintPreprocessor::Apply(const PathPrefix& prefix, const Expr* e) {
+  if (prefix.bound.Empty() || !e->Support().Intersects(prefix.bound)) {
+    return e;
+  }
+  return ctx_.Substitute(e, prefix.binding, prefix.bound);
+}
+
+UInterval ConstraintPreprocessor::RangeOf(PathPrefix& prefix, const Expr* e) {
+  // Consecutive rounds under unchanged facts (the overwhelmingly common
+  // case: a branch asks about cond and then ¬cond over the same prefix)
+  // share one memo generation, so the second walk stops at memoized
+  // subtrees instead of re-deriving the whole DAG.
+  if (prefix.interval_memo_generation == 0 ||
+      prefix.interval_memo_generation != ctx_.interval_generation()) {
+    ctx_.NewIntervalRound();
+    prefix.interval_memo_generation = ctx_.interval_generation();
+  }
+  return ctx_.EvalIntervalRanges(e, prefix.range);
+}
+
+void ConstraintPreprocessor::FoldIn(PathPrefix& prefix, const Expr* c) {
+  const Expr* substituted = Apply(prefix, c);
+  if (substituted != c) {
+    ++stats_.substitutions;
+  }
+  c = substituted;
+  if (c->IsTrue()) {
+    ++stats_.tautologies;
+    return;
+  }
+  if (c->IsFalse()) {
+    prefix.contradiction = true;
+    ++stats_.contradictions;
+    return;
+  }
+  // Implication check against the facts of *earlier* constraints only; a
+  // constraint is never folded against facts extracted from itself, so every
+  // drop is backed by constraints that stay in the set.
+  UInterval bound = RangeOf(prefix, c);
+  if (bound.hi == 0) {
+    prefix.contradiction = true;
+    ++stats_.contradictions;
+    return;
+  }
+  if (bound.lo >= 1) {
+    ++stats_.tautologies;
+    return;
+  }
+  if (ExtractBinding(prefix, c)) {
+    if (!prefix.contradiction) {
+      prefix.definitions.push_back(c);
+      Resubstitute(prefix);
+    }
+    return;
+  }
+  prefix.simplified.push_back(c);
+  ExtractRange(prefix, c);
+}
+
+bool ConstraintPreprocessor::ExtractBinding(PathPrefix& prefix, const Expr* c) {
+  if (c->kind() != ExprKind::kEq || !c->b()->IsConstant()) {
+    return false;
+  }
+  int sym = MatchSymbolByte(c->a());
+  if (sym < 0) {
+    return false;
+  }
+  uint64_t value = c->b()->constant_value();
+  if (value > 255) {
+    // A widened byte can never equal a value outside [0, 255].
+    prefix.contradiction = true;
+    ++stats_.contradictions;
+    return true;
+  }
+  unsigned index = static_cast<unsigned>(sym);
+  if (prefix.bound.Contains(index)) {
+    // Already bound: Apply() folded conflicting or duplicate equalities to
+    // constants before this point, so this cannot be reached with a live
+    // binding. Treat defensively as "not a new binding".
+    return false;
+  }
+  if (prefix.binding.size() <= index) {
+    prefix.binding.resize(index + 1, -1);
+  }
+  prefix.binding[index] = static_cast<int16_t>(value);
+  prefix.bound.Add(index);
+  if (prefix.range.size() <= index) {
+    prefix.range.resize(index + 1, UInterval{0, 255});
+  }
+  prefix.range[index] = UInterval{value, value};
+  prefix.interval_memo_generation = 0;  // facts changed: invalidate memo round
+  ++stats_.bindings;
+  return true;
+}
+
+void ConstraintPreprocessor::ExtractRange(PathPrefix& prefix, const Expr* c) {
+  bool strict;
+  switch (c->kind()) {
+    case ExprKind::kUlt:
+      strict = true;
+      break;
+    case ExprKind::kUle:
+      strict = false;
+      break;
+    default:
+      return;
+  }
+  int sym;
+  uint64_t value;
+  bool upper;  // true: symbol <= / < value; false: value <= / < symbol
+  if (c->b()->IsConstant() && (sym = MatchSymbolByte(c->a())) >= 0) {
+    value = c->b()->constant_value();
+    upper = true;
+  } else if (c->a()->IsConstant() && (sym = MatchSymbolByte(c->b())) >= 0) {
+    value = c->a()->constant_value();
+    upper = false;
+  } else {
+    return;
+  }
+  unsigned index = static_cast<unsigned>(sym);
+  if (prefix.range.size() <= index) {
+    prefix.range.resize(index + 1, UInterval{0, 255});
+  }
+  UInterval& range = prefix.range[index];
+  const UInterval before = range;
+  if (upper) {
+    // s < v  =>  s <= v - 1. FoldIn's contradiction check already rejected
+    // v == 0 (the interval of `s < 0` is {0, 0}).
+    uint64_t hi = strict ? value - 1 : value;
+    range.hi = std::min(range.hi, std::min<uint64_t>(hi, 255));
+  } else {
+    // v < s  =>  v + 1 <= s; v >= 255 was likewise already refuted.
+    uint64_t lo = strict ? value + 1 : value;
+    range.lo = std::max(range.lo, std::min<uint64_t>(lo, 255));
+  }
+  if (range.lo != before.lo || range.hi != before.hi) {
+    prefix.interval_memo_generation = 0;  // facts changed: invalidate memo round
+  }
+  if (range.lo > range.hi) {
+    // Cannot happen after the implication check, but soundness first.
+    prefix.contradiction = true;
+    ++stats_.contradictions;
+  }
+}
+
+void ConstraintPreprocessor::Resubstitute(PathPrefix& prefix) {
+  bool again = true;
+  while (again && !prefix.contradiction) {
+    again = false;
+    std::vector<const Expr*> kept;
+    kept.reserve(prefix.simplified.size());
+    for (const Expr* cur : prefix.simplified) {
+      const Expr* next = Apply(prefix, cur);
+      if (next != cur) {
+        ++stats_.substitutions;
+      }
+      if (next->IsTrue()) {
+        ++stats_.tautologies;
+        continue;
+      }
+      if (next->IsFalse()) {
+        prefix.contradiction = true;
+        ++stats_.contradictions;
+        break;
+      }
+      if (next != cur && ExtractBinding(prefix, next)) {
+        if (prefix.contradiction) {
+          break;
+        }
+        prefix.definitions.push_back(next);
+        again = true;  // the new binding may fold constraints kept earlier
+        continue;
+      }
+      if (next != cur) {
+        ExtractRange(prefix, next);
+        if (prefix.contradiction) {
+          break;
+        }
+      }
+      kept.push_back(next);
+    }
+    if (!prefix.contradiction) {
+      prefix.simplified = std::move(kept);
+    }
+  }
+}
+
+}  // namespace overify

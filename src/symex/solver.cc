@@ -335,24 +335,243 @@ SetHash HashConstraintSet(const std::vector<const Expr*>& canonical) {
 
 }  // namespace
 
-void SolverChain::InsertCacheEntry(uint64_t key, uint64_t fingerprint, SatResult result,
-                                   const std::vector<uint8_t>& model) {
-  auto [it, inserted] = cex_cache_.emplace(key, CacheEntry{fingerprint, result, model});
-  if (!inserted) {
-    it->second = CacheEntry{fingerprint, result, model};
+// ---- PrefixCache ----
+
+const PrefixCache::Entry* PrefixCache::FindExact(uint64_t set_hash,
+                                                 uint64_t fingerprint) const {
+  auto it = exact_.find(set_hash);
+  if (it == exact_.end()) {
+    return nullptr;
+  }
+  const Entry& entry = entries_[it->second];
+  if (!entry.live || entry.fingerprint != fingerprint) {
+    return nullptr;
+  }
+  return &entry;
+}
+
+bool PrefixCache::HasUnsatSubsetFrom(const Node& node, const std::vector<uint64_t>& keys,
+                                     size_t i, size_t& budget) const {
+  if (budget == 0) {
+    return false;
+  }
+  --budget;
+  if (node.entry >= 0 && entries_[node.entry].result == SatResult::kUnsat) {
+    return true;  // the path to this node used only keys present in the query
+  }
+  for (const auto& [key, child] : node.children) {
+    if (child->subtree_unsat == 0) {
+      continue;
+    }
+    auto it = std::lower_bound(keys.begin() + i, keys.end(), key);
+    if (it == keys.end()) {
+      break;  // children are ascending: nothing further can match
+    }
+    if (*it != key) {
+      continue;
+    }
+    if (HasUnsatSubsetFrom(*child, keys, static_cast<size_t>(it - keys.begin()) + 1,
+                           budget)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PrefixCache::HasUnsatSubset(const std::vector<uint64_t>& keys) const {
+  size_t budget = kSearchBudget;
+  return HasUnsatSubsetFrom(root_, keys, 0, budget);
+}
+
+const PrefixCache::Entry* PrefixCache::FindAnySat(const Node& node, size_t& budget) const {
+  if (budget == 0) {
+    return nullptr;
+  }
+  --budget;
+  if (node.entry >= 0 && entries_[node.entry].result == SatResult::kSat) {
+    return &entries_[node.entry];
+  }
+  for (const auto& [key, child] : node.children) {
+    (void)key;
+    if (child->subtree_sat == 0) {
+      continue;
+    }
+    if (const Entry* found = FindAnySat(*child, budget)) {
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+const PrefixCache::Entry* PrefixCache::FindSatSupersetFrom(const Node& node,
+                                                           const std::vector<uint64_t>& keys,
+                                                           size_t i, size_t& budget) const {
+  if (budget == 0 || node.subtree_sat == 0) {
+    return nullptr;
+  }
+  --budget;
+  if (i == keys.size()) {
+    // Every query key matched along the way down: any SAT entry below is a
+    // superset.
+    return FindAnySat(node, budget);
+  }
+  for (const auto& [key, child] : node.children) {
+    if (key > keys[i]) {
+      break;  // a superset must contain keys[i]; larger keys skipped it
+    }
+    const Entry* found = key == keys[i]
+                             ? FindSatSupersetFrom(*child, keys, i + 1, budget)
+                             : FindSatSupersetFrom(*child, keys, i, budget);
+    if (found != nullptr) {
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+const PrefixCache::Entry* PrefixCache::FindSatSuperset(
+    const std::vector<uint64_t>& keys) const {
+  size_t budget = kSearchBudget;
+  return FindSatSupersetFrom(root_, keys, 0, budget);
+}
+
+void PrefixCache::CollectSatSubsetsFrom(const Node& node, const std::vector<uint64_t>& keys,
+                                        size_t i, size_t limit, size_t& budget,
+                                        std::vector<const Entry*>& out) const {
+  if (budget == 0 || out.size() >= limit) {
     return;
   }
-  cex_order_.push_back(key);
-  if (cex_cache_.size() > kMaxCexEntries) {
-    cex_cache_.erase(cex_order_.front());
-    cex_order_.pop_front();
-    ++stats_.cex_evictions;
+  --budget;
+  if (node.entry >= 0 && entries_[node.entry].result == SatResult::kSat &&
+      !entries_[node.entry].keys.empty()) {
+    out.push_back(&entries_[node.entry]);
+    if (out.size() >= limit) {
+      return;
+    }
+  }
+  for (const auto& [key, child] : node.children) {
+    if (child->subtree_sat == 0) {
+      continue;
+    }
+    auto it = std::lower_bound(keys.begin() + i, keys.end(), key);
+    if (it == keys.end()) {
+      break;
+    }
+    if (*it != key) {
+      continue;
+    }
+    CollectSatSubsetsFrom(*child, keys, static_cast<size_t>(it - keys.begin()) + 1, limit,
+                          budget, out);
+    if (out.size() >= limit) {
+      return;
+    }
   }
 }
+
+void PrefixCache::CollectSatSubsets(const std::vector<uint64_t>& keys, size_t limit,
+                                    std::vector<const Entry*>& out) const {
+  size_t budget = kSearchBudget;
+  CollectSatSubsetsFrom(root_, keys, 0, limit, budget, out);
+}
+
+void PrefixCache::RemoveFrom(Node& node, const std::vector<uint64_t>& keys, size_t i,
+                             bool sat) {
+  if (sat) {
+    --node.subtree_sat;
+  } else {
+    --node.subtree_unsat;
+  }
+  if (i == keys.size()) {
+    node.entry = -1;
+    return;
+  }
+  auto it = node.children.find(keys[i]);
+  OVERIFY_ASSERT(it != node.children.end(), "prefix-cache trie out of sync");
+  Node& child = *it->second;
+  RemoveFrom(child, keys, i + 1, sat);
+  if (child.subtree_sat + child.subtree_unsat == 0) {
+    node.children.erase(it);  // prune so memory tracks live entries
+  }
+}
+
+void PrefixCache::RemoveEntry(uint32_t index) {
+  Entry& entry = entries_[index];
+  OVERIFY_ASSERT(entry.live, "removing a dead prefix-cache entry");
+  RemoveFrom(root_, entry.keys, 0, entry.result == SatResult::kSat);
+  exact_.erase(entry.set_hash);
+  entry = Entry{};
+  free_slots_.push_back(index);
+  --live_;
+}
+
+void PrefixCache::Insert(std::vector<uint64_t> keys, uint64_t set_hash, uint64_t fingerprint,
+                         SatResult result, const std::vector<uint8_t>& model) {
+  OVERIFY_ASSERT(result != SatResult::kUnknown, "only definite verdicts are cached");
+  auto existing = exact_.find(set_hash);
+  if (existing != exact_.end()) {
+    // Same set hash (re-query after a derived hit, or a treated-impossible
+    // collision): replace wholesale.
+    RemoveEntry(existing->second);
+  }
+  while (live_ >= capacity_ && !fifo_.empty()) {
+    uint32_t oldest = fifo_.front();
+    fifo_.pop_front();
+    if (entries_[oldest].live) {
+      RemoveEntry(oldest);
+      ++evictions_;
+    }
+  }
+  uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<uint32_t>(entries_.size());
+    entries_.emplace_back();
+  }
+  Entry& entry = entries_[index];
+  entry.keys = std::move(keys);
+  entry.set_hash = set_hash;
+  entry.fingerprint = fingerprint;
+  entry.result = result;
+  entry.model = model;
+  entry.live = true;
+  const bool sat = result == SatResult::kSat;
+  Node* node = &root_;
+  if (sat) {
+    ++node->subtree_sat;
+  } else {
+    ++node->subtree_unsat;
+  }
+  for (uint64_t key : entry.keys) {
+    auto& child = node->children[key];
+    if (child == nullptr) {
+      child = std::make_unique<Node>();
+    }
+    node = child.get();
+    if (sat) {
+      ++node->subtree_sat;
+    } else {
+      ++node->subtree_unsat;
+    }
+  }
+  node->entry = static_cast<int32_t>(index);
+  exact_[entry.set_hash] = index;
+  fifo_.push_back(index);
+  ++live_;
+}
+
+// ---- SolverChain ----
 
 const SolverStats& SolverChain::stats() const {
   stats_.eval_memo_hits = ctx_.eval_memo_hits();
   stats_.interval_memo_hits = ctx_.interval_memo_hits();
+  stats_.cex_evictions = cache_.evictions();
+  const PreprocessStats& pp = preprocessor_.stats();
+  stats_.preprocess_bindings = pp.bindings;
+  stats_.preprocess_substitutions = pp.substitutions;
+  stats_.preprocess_tautologies = pp.tautologies;
+  stats_.preprocess_contradictions = pp.contradictions;
   return stats_;
 }
 
@@ -398,43 +617,95 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
     return SatResult::kUnsat;
   }
 
-  // Counterexample cache (constant-time: one hash of the constraint set).
+  // Exact counterexample-cache lookup (one hash of the constraint set).
   const SetHash cache_key = HashConstraintSet(canonical);
-  auto cached = cex_cache_.find(cache_key.key);
-  if (cached != cex_cache_.end() && cached->second.fingerprint == cache_key.fingerprint) {
-    const CacheEntry& entry = cached->second;
+  if (const PrefixCache::Entry* entry = cache_.FindExact(cache_key.key, cache_key.fingerprint)) {
     ++stats_.cache_hits;
     if (model != nullptr) {
-      *model = entry.model;
+      *model = entry->model;
     }
-    return entry.result;
+    return entry->result;
+  }
+
+  // Sorted constraint-set fingerprint for subset/superset reasoning. The
+  // canonical order is already ascending by structural hash.
+  std::vector<uint64_t> keys;
+  keys.reserve(canonical.size());
+  for (const Expr* c : canonical) {
+    keys.push_back(c->hash());
+  }
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  // A cached UNSAT subset (typically this path's shorter prefix plus the
+  // refuted branch) refutes every superset.
+  if (cache_.HasUnsatSubset(keys)) {
+    ++stats_.prefix_subset_hits;
+    cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kUnsat,
+                  {});
+    return SatResult::kUnsat;
+  }
+
+  // A cached SAT superset's model satisfies every constraint of this query.
+  if (const PrefixCache::Entry* entry = cache_.FindSatSuperset(keys)) {
+    ++stats_.prefix_superset_hits;
+    // Copy before Insert: `entry` points into the cache's entry storage,
+    // which Insert may reallocate.
+    std::vector<uint8_t> superset_model = entry->model;
+    cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kSat,
+                  superset_model);
+    if (model != nullptr) {
+      *model = std::move(superset_model);
+    }
+    return SatResult::kSat;
+  }
+
+  // Prefix-model extension: a cached subset (the depth-k prefix of this
+  // depth-k+1 query) often has a model that already satisfies the one new
+  // constraint. Validation is a cheap memoized evaluation.
+  size_t needed = 0;
+  for (const Expr* c : canonical) {
+    const SupportSet& support = c->Support();
+    if (!support.Empty()) {
+      needed = std::max(needed, static_cast<size_t>(support.MaxSymbol()) + 1);
+    }
+  }
+  auto satisfies = [&](const std::vector<uint8_t>& candidate) {
+    ctx_.NewEvaluation();
+    for (const Expr* c : canonical) {
+      if (ctx_.Evaluate(c, candidate) == 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::vector<const PrefixCache::Entry*> subsets;
+  cache_.CollectSatSubsets(keys, /*limit=*/4, subsets);
+  for (const PrefixCache::Entry* entry : subsets) {
+    std::vector<uint8_t> candidate = entry->model;
+    if (candidate.size() < needed) {
+      candidate.resize(needed, 0);
+    }
+    if (satisfies(candidate)) {
+      ++stats_.prefix_model_hits;
+      cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kSat,
+                    candidate);
+      if (model != nullptr) {
+        *model = candidate;
+      }
+      return SatResult::kSat;
+    }
   }
 
   // Model reuse: a recent satisfying assignment may already satisfy this set.
   for (auto it = recent_models_.rbegin(); it != recent_models_.rend(); ++it) {
     const std::vector<uint8_t>& candidate = *it;
-    bool all_supported = true;
-    for (const Expr* c : canonical) {
-      const SupportSet& support = c->Support();
-      if (!support.Empty() && support.MaxSymbol() >= candidate.size()) {
-        all_supported = false;
-        break;
-      }
-    }
-    if (!all_supported) {
+    if (candidate.size() < needed) {
       continue;
     }
-    ctx_.NewEvaluation();
-    bool satisfied = true;
-    for (const Expr* c : canonical) {
-      if (ctx_.Evaluate(c, candidate) == 0) {
-        satisfied = false;
-        break;
-      }
-    }
-    if (satisfied) {
+    if (satisfies(candidate)) {
       ++stats_.reuse_hits;
-      InsertCacheEntry(cache_key.key, cache_key.fingerprint, SatResult::kSat, candidate);
+      cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kSat,
+                    candidate);
       if (model != nullptr) {
         *model = candidate;
       }
@@ -448,7 +719,7 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
   SatResult result = core_.CheckSat(ctx_, canonical, &core_model);
   stats_.core_candidates = core_.candidates_tried();
   if (result != SatResult::kUnknown) {
-    InsertCacheEntry(cache_key.key, cache_key.fingerprint, result, core_model);
+    cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, result, core_model);
   }
   if (result == SatResult::kSat) {
     recent_models_.push_back(core_model);
@@ -462,10 +733,43 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
   return result;
 }
 
+PathPrefix* SolverChain::EffectivePrefix(PathPrefix* prefix,
+                                         const std::vector<const Expr*>& constraints) {
+  if (prefix == nullptr) {
+    // Handle-less callers routinely re-query one path with varying
+    // conditions; reuse the scratch summary while the constraint sequence
+    // is unchanged (preprocessing is a pure function of it), rebuild
+    // otherwise.
+    if (scratch_constraints_ != constraints) {
+      scratch_prefix_.Clear();
+      scratch_constraints_ = constraints;
+    }
+    prefix = &scratch_prefix_;
+  }
+  preprocessor_.Extend(*prefix, constraints);
+  return prefix;
+}
+
+void SolverChain::AssemblePreprocessed(const PathPrefix& prefix,
+                                       std::vector<const Expr*>& out) {
+  out.clear();
+  out.reserve(prefix.definitions.size() + prefix.simplified.size());
+  out.insert(out.end(), prefix.definitions.begin(), prefix.definitions.end());
+  out.insert(out.end(), prefix.simplified.begin(), prefix.simplified.end());
+}
+
 SatResult SolverChain::CheckSat(const std::vector<const Expr*>& constraints,
-                                std::vector<uint8_t>* model) {
+                                std::vector<uint8_t>* model, PathPrefix* prefix) {
   ++stats_.queries;
-  return Solve(constraints, model);
+  if (!preprocess_enabled_) {
+    return Solve(constraints, model);
+  }
+  PathPrefix* p = EffectivePrefix(prefix, constraints);
+  if (p->contradiction) {
+    return SatResult::kUnsat;
+  }
+  AssemblePreprocessed(*p, preprocessed_scratch_);
+  return Solve(preprocessed_scratch_, model);
 }
 
 SatResult SolverChain::CheckSatCanonical(const std::vector<const Expr*>& constraints,
@@ -482,7 +786,7 @@ SatResult SolverChain::CheckSatCanonical(const std::vector<const Expr*>& constra
 }
 
 SatResult SolverChain::MayBeTrue(const std::vector<const Expr*>& constraints, const Expr* cond,
-                                 std::vector<uint8_t>* model) {
+                                 std::vector<uint8_t>* model, PathPrefix* prefix) {
   ++stats_.queries;
   if (cond->IsTrue()) {
     // The path constraints are satisfiable by invariant.
@@ -491,9 +795,44 @@ SatResult SolverChain::MayBeTrue(const std::vector<const Expr*>& constraints, co
   if (cond->IsFalse()) {
     return SatResult::kUnsat;
   }
-  FilterIndependentInto(constraints, cond, filtered_scratch_);
-  stats_.independence_drops += constraints.size() - filtered_scratch_.size();
-  filtered_scratch_.push_back(cond);
+  if (!preprocess_enabled_) {
+    FilterIndependentInto(constraints, cond, filtered_scratch_);
+    stats_.independence_drops += constraints.size() - filtered_scratch_.size();
+    filtered_scratch_.push_back(cond);
+    return Solve(filtered_scratch_, model);
+  }
+  PathPrefix* p = EffectivePrefix(prefix, constraints);
+  if (p->contradiction) {
+    // The path itself is infeasible; nothing can additionally hold.
+    return SatResult::kUnsat;
+  }
+  // Substitution can settle the branch outright (the condition folds to a
+  // constant once bound bytes are rewritten in)...
+  const Expr* simplified = preprocessor_.Apply(*p, cond);
+  if (simplified->IsTrue()) {
+    ++stats_.presolve_shortcuts;
+    return SatResult::kSat;  // path satisfiable by invariant
+  }
+  if (simplified->IsFalse()) {
+    ++stats_.presolve_shortcuts;
+    return SatResult::kUnsat;
+  }
+  // ...and so can the range facts: an interval of {1,1} means every point
+  // of the (over-approximated) feasible region takes the branch, {0,0}
+  // means none does.
+  UInterval bound = preprocessor_.RangeOf(*p, simplified);
+  if (bound.hi == 0) {
+    ++stats_.presolve_shortcuts;
+    return SatResult::kUnsat;
+  }
+  if (bound.lo >= 1) {
+    ++stats_.presolve_shortcuts;
+    return SatResult::kSat;
+  }
+  AssemblePreprocessed(*p, preprocessed_scratch_);
+  FilterIndependentInto(preprocessed_scratch_, simplified, filtered_scratch_);
+  stats_.independence_drops += preprocessed_scratch_.size() - filtered_scratch_.size();
+  filtered_scratch_.push_back(simplified);
   return Solve(filtered_scratch_, model);
 }
 

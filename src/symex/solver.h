@@ -1,24 +1,31 @@
 // Constraint solving for the symbolic-execution engine.
 //
 // The solver stack mirrors KLEE's: queries pass through constraint
-// simplification, independent-constraint splitting, and a counterexample
-// cache before reaching the core search procedure. The core solver performs
-// backtracking search over the 8-bit symbolic input bytes with
-// constraint-completion pruning — complete for the byte-level workloads this
-// toolkit targets (the paper's evaluation uses 2-10 symbolic input bytes).
+// preprocessing (byte-equality substitution + range tightening,
+// src/symex/preprocess.h), independent-constraint splitting, and a
+// subset/superset-aware counterexample cache before reaching the core
+// search procedure. The core solver performs backtracking search over the
+// 8-bit symbolic input bytes with constraint-completion pruning — complete
+// for the byte-level workloads this toolkit targets (the paper's evaluation
+// uses 2-10 symbolic input bytes).
 //
 // Hot-path engineering (see docs/engine.md): independence splitting is a
 // bitwise-AND fixpoint over SupportSet bitmasks, and the counterexample
-// cache is keyed by a 64-bit hash of the canonical constraint set with FIFO
-// eviction at a fixed capacity.
+// cache is a KLEE-UBTree-style trie over sorted constraint-set
+// fingerprints: a path's query at depth k+1 is answered from its depth-k
+// prefix entry (UNSAT subset, SAT superset, or a validated model
+// extension) instead of a fresh core search.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "src/symex/expr.h"
+#include "src/symex/preprocess.h"
 
 namespace overify {
 
@@ -39,6 +46,16 @@ struct SolverStats {
   uint64_t eval_memo_hits = 0;      // inline eval-memo hits (ExprContext)
   uint64_t interval_memo_hits = 0;  // inline interval-memo hits (ExprContext)
   uint64_t cex_evictions = 0;       // counterexample-cache entries evicted
+  // Constraint-preprocessing counters (src/symex/preprocess.h).
+  uint64_t preprocess_bindings = 0;        // byte-equality facts discovered
+  uint64_t preprocess_substitutions = 0;   // constraints rewritten by substitution
+  uint64_t preprocess_tautologies = 0;     // constraints dropped as implied
+  uint64_t preprocess_contradictions = 0;  // sets refuted before any search
+  uint64_t presolve_shortcuts = 0;  // queries answered by substitution/ranges alone
+  // Prefix-cache (UBTree) hit counters.
+  uint64_t prefix_subset_hits = 0;    // UNSAT via a cached subset
+  uint64_t prefix_superset_hits = 0;  // SAT via a cached superset's model
+  uint64_t prefix_model_hits = 0;     // SAT by extending a cached subset's model
 };
 
 // Core backtracking solver.
@@ -56,28 +73,117 @@ class CoreSolver {
   uint64_t candidates_tried_ = 0;
 };
 
+// KLEE-UBTree-style counterexample cache over canonical constraint sets.
+//
+// Every entry stores the set as its ascending per-constraint structural
+// hashes ("sorted constraint-set fingerprint") plus a verdict and, for SAT,
+// a model. Besides exact lookups (64-bit set hash + independent
+// confirmation fingerprint, as before), the trie answers the two
+// prefix-reuse questions:
+//   - is some cached UNSAT set a *subset* of the query (then the query is
+//     UNSAT), and
+//   - is some cached SAT set a *superset* of the query (then its model
+//     satisfies the query).
+// Subset/superset reasoning equates constraints by their 64-bit structural
+// hash — the same collision-impossible assumption as the exact cache
+// (docs/engine.md). Capacity is bounded with FIFO eviction; trie nodes are
+// pruned on removal so memory tracks the live entry count.
+class PrefixCache {
+ public:
+  struct Entry {
+    std::vector<uint64_t> keys;  // ascending per-constraint structural hashes
+    uint64_t set_hash = 0;       // exact-lookup key (order-sensitive fold)
+    uint64_t fingerprint = 0;    // independent confirmation hash
+    SatResult result = SatResult::kUnknown;
+    std::vector<uint8_t> model;  // satisfying assignment for kSat entries
+    bool live = false;
+  };
+
+  explicit PrefixCache(size_t capacity = 4096) : capacity_(capacity) {}
+
+  const Entry* FindExact(uint64_t set_hash, uint64_t fingerprint) const;
+  // Some cached UNSAT set that is a subset of `keys`?
+  bool HasUnsatSubset(const std::vector<uint64_t>& keys) const;
+  // Some cached SAT set that is a superset of `keys` (its model satisfies
+  // every constraint of the query). Returns null on miss.
+  const Entry* FindSatSuperset(const std::vector<uint64_t>& keys) const;
+  // Collects up to `limit` SAT entries whose sets are subsets of `keys`
+  // (prefix candidates whose models may extend to the full query).
+  void CollectSatSubsets(const std::vector<uint64_t>& keys, size_t limit,
+                         std::vector<const Entry*>& out) const;
+
+  // Inserts (or overwrites, on a matching set hash) an entry; evicts the
+  // oldest live entry beyond capacity.
+  void Insert(std::vector<uint64_t> keys, uint64_t set_hash, uint64_t fingerprint,
+              SatResult result, const std::vector<uint8_t>& model);
+
+  size_t size() const { return live_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Node {
+    std::map<uint64_t, std::unique_ptr<Node>> children;
+    int32_t entry = -1;        // index into entries_ of the set ending here
+    uint32_t subtree_sat = 0;  // live SAT / UNSAT entries at or below
+    uint32_t subtree_unsat = 0;
+  };
+
+  // All searches carry a node-visit budget so a pathological trie shape
+  // degrades to a cache miss, never a slow query.
+  static constexpr size_t kSearchBudget = 2048;
+
+  bool HasUnsatSubsetFrom(const Node& node, const std::vector<uint64_t>& keys, size_t i,
+                          size_t& budget) const;
+  const Entry* FindSatSupersetFrom(const Node& node, const std::vector<uint64_t>& keys,
+                                   size_t i, size_t& budget) const;
+  const Entry* FindAnySat(const Node& node, size_t& budget) const;
+  void CollectSatSubsetsFrom(const Node& node, const std::vector<uint64_t>& keys, size_t i,
+                             size_t limit, size_t& budget,
+                             std::vector<const Entry*>& out) const;
+  void RemoveEntry(uint32_t index);
+  void RemoveFrom(Node& node, const std::vector<uint64_t>& keys, size_t i, bool sat);
+
+  Node root_;
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> free_slots_;
+  std::deque<uint32_t> fifo_;  // insertion order; may hold stale indices
+  std::unordered_map<uint64_t, uint32_t> exact_;  // set_hash -> entry index
+  size_t capacity_;
+  size_t live_ = 0;
+  uint64_t evictions_ = 0;
+};
+
 // The full KLEE-style stack. One instance per symbolic-execution run.
 class SolverChain {
  public:
-  explicit SolverChain(ExprContext& ctx) : ctx_(ctx) {}
+  explicit SolverChain(ExprContext& ctx) : ctx_(ctx), preprocessor_(ctx) {}
 
-  // Is `constraints` satisfiable?
-  SatResult CheckSat(const std::vector<const Expr*>& constraints, std::vector<uint8_t>* model);
+  // Is `constraints` satisfiable? When `prefix` is non-null it carries the
+  // caller's incremental preprocessing summary for these constraints (the
+  // engine passes the per-path handle owned by each ExecState); null runs a
+  // one-shot preprocessing pass.
+  SatResult CheckSat(const std::vector<const Expr*>& constraints, std::vector<uint8_t>* model,
+                     PathPrefix* prefix = nullptr);
 
-  // CheckSat that bypasses the counterexample cache and model reuse and
-  // always runs the core search over the canonical (hash-ordered) set. The
-  // model returned is then a pure function of the constraints' structure —
-  // independent of query history, and therefore identical no matter which
-  // scheduler worker asks. Bug-report example inputs use this so reported
-  // bugs are bit-identical across worker counts (docs/scheduler.md).
+  // CheckSat that bypasses preprocessing, the counterexample cache, and
+  // model reuse and always runs the core search over the canonical
+  // (hash-ordered) set. The model returned is then a pure function of the
+  // constraints' structure — independent of query history, and therefore
+  // identical no matter which scheduler worker asks. Bug-report example
+  // inputs use this so reported bugs are bit-identical across worker counts
+  // (docs/scheduler.md).
   SatResult CheckSatCanonical(const std::vector<const Expr*>& constraints,
                               std::vector<uint8_t>* model);
 
   // Branch feasibility: given an already-satisfiable path `constraints`, can
   // `cond` additionally hold? Only the constraints sharing symbols
-  // (transitively) with `cond` are sent to the solver.
+  // (transitively) with `cond` are sent to the solver. `prefix` as above.
   SatResult MayBeTrue(const std::vector<const Expr*>& constraints, const Expr* cond,
-                      std::vector<uint8_t>* model);
+                      std::vector<uint8_t>* model, PathPrefix* prefix = nullptr);
+
+  // Disables the preprocessing pipeline (A/B comparisons and regression
+  // tests; queries then flow straight to canonicalization + caching).
+  void set_preprocessing(bool on) { preprocess_enabled_ = on; }
 
   const SolverStats& stats() const;
 
@@ -85,34 +191,34 @@ class SolverChain {
   SatResult Solve(const std::vector<const Expr*>& filtered, std::vector<uint8_t>* model);
   bool Canonicalize(const std::vector<const Expr*>& filtered,
                     std::vector<const Expr*>& canonical);
+  // Resolves the effective prefix for a query: the caller's handle, or the
+  // cleared scratch summary. Extends it over `constraints`.
+  PathPrefix* EffectivePrefix(PathPrefix* prefix, const std::vector<const Expr*>& constraints);
+  // definitions + simplified of `prefix` into `out`.
+  void AssemblePreprocessed(const PathPrefix& prefix, std::vector<const Expr*>& out);
 
   ExprContext& ctx_;
   CoreSolver core_;
+  ConstraintPreprocessor preprocessor_;
+  bool preprocess_enabled_ = true;
   // stats() refreshes the memo-hit counters from the ExprContext on read.
   mutable SolverStats stats_;
 
-  struct CacheEntry {
-    uint64_t fingerprint = 0;  // second independent hash; see Solve()
-    SatResult result = SatResult::kUnknown;
-    std::vector<uint8_t> model;
-  };
-  // Counterexample cache keyed by a 64-bit hash of the canonical constraint
-  // set. Bounded: oldest entries are evicted FIFO beyond kMaxCexEntries.
-  // Each entry also stores a second, independently-mixed 64-bit fingerprint
-  // of the set; a hit must match both, so serving a wrong verdict needs a
-  // simultaneous 128-bit collision (treated as impossible; see
-  // docs/engine.md).
+  // Counterexample cache: exact, subset, and superset reuse over canonical
+  // constraint sets (see PrefixCache above). Bounded FIFO as before.
   static constexpr size_t kMaxCexEntries = 4096;
-  std::unordered_map<uint64_t, CacheEntry> cex_cache_;
-  std::deque<uint64_t> cex_order_;  // insertion order for FIFO eviction
-  void InsertCacheEntry(uint64_t key, uint64_t fingerprint, SatResult result,
-                        const std::vector<uint8_t>& model);
+  PrefixCache cache_{kMaxCexEntries};
   // Recent satisfying assignments, newest last (bounded).
   std::vector<std::vector<uint8_t>> recent_models_;
   // Scratch buffers reused across queries (the chain sits on the engine's
   // per-branch path; steady-state queries should not allocate).
   std::vector<const Expr*> filtered_scratch_;
   std::vector<const Expr*> canonical_scratch_;
+  std::vector<const Expr*> preprocessed_scratch_;
+  PathPrefix scratch_prefix_;  // for callers without a per-path handle
+  // The constraint sequence scratch_prefix_ summarizes; reused while a
+  // handle-less caller keeps querying the same path.
+  std::vector<const Expr*> scratch_constraints_;
 };
 
 // Filters `constraints` to those transitively sharing support with `seed`.

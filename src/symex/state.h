@@ -9,6 +9,7 @@
 
 #include "src/ir/function.h"
 #include "src/symex/memory.h"
+#include "src/symex/preprocess.h"
 
 namespace overify {
 
@@ -73,6 +74,11 @@ struct ExecState {
   // byte-serializable, so they live beside the byte memory, keyed by
   // (object id, constant byte offset). Path-local like all memory.
   std::map<std::pair<uint64_t, uint64_t>, SymPointer> pointer_slots;
+  // Incremental constraint-preprocessing summary for this path's solver
+  // queries (src/symex/preprocess.h). A pure cache over `constraints`:
+  // cloned with the state (same context), cleared when the state migrates
+  // to another worker's context (src/sched/translate.cc).
+  PathPrefix solver_prefix;
   uint64_t instructions_executed = 0;
   uint64_t depth = 0;  // number of forks along this path
 
