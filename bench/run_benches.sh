@@ -7,13 +7,19 @@
 #
 # --check: after writing the snapshot, print a per-benchmark diff table
 # against the committed BENCH_symex.json and fail (exit 1) on a wall-time
-# slowdown beyond BENCH_CHECK_THRESHOLD (default 1.5x) or on any change in
-# the hardware-independent `paths` / `core_candidates` counters — the CI
-# regression gate. Wall times compare across hosts only approximately; if
-# the gate host class differs a lot from the one that produced the
-# committed snapshot, widen the threshold (env) or regenerate the snapshot
-# on the gate's host class. The counter checks are exact everywhere (both
-# are pure functions of engine behavior, not hardware).
+# slowdown beyond BENCH_CHECK_THRESHOLD (default 1.5x), on any change in
+# the hardware-independent `paths` / `core_candidates` counters, or on a
+# nonzero `steal_reintern` in the default scheduler configuration — the CI
+# regression gate. The thread_scaling section is gated the same way, but
+# only when this host has at least as many cores as the one that produced
+# the committed snapshot (fewer cores means the numbers measure overhead,
+# not scaling — the gate prints a loud warning and skips instead of
+# failing, so the bench gate is not host-dependent). Wall times compare
+# across hosts only approximately; if the gate host class differs a lot
+# from the one that produced the committed snapshot, widen the threshold
+# (env) or regenerate the snapshot on the gate's host class. The counter
+# checks are exact everywhere (pure functions of engine behavior, not
+# hardware).
 set -euo pipefail
 
 CHECK=0
@@ -73,7 +79,8 @@ for b in micro.get("benchmarks", []):
                 "interval_memo_hits", "independence_drops", "cache_hits",
                 "reuse_hits", "cex_evictions", "presolve_shortcuts",
                 "prefix_subset_hits", "prefix_superset_hits", "prefix_model_hits",
-                "preprocess_bindings", "preprocess_tautologies"):
+                "preprocess_bindings", "preprocess_tautologies",
+                "workers", "steals", "steal_batches", "steal_reintern"):
         if key in b:
             entry[key] = int(b[key])
     m = re.match(r"BM_ParallelExploreWc/(\d+)", b["name"])
@@ -121,15 +128,17 @@ FRESH, COMMITTED = sys.argv[1], sys.argv[2]
 THRESHOLD = float(os.environ.get("BENCH_CHECK_THRESHOLD", "1.5"))
 
 with open(FRESH) as f:
-    fresh = json.load(f)["benchmarks"]
+    fresh_snapshot = json.load(f)
 with open(COMMITTED) as f:
-    committed = json.load(f)["benchmarks"]
+    committed_snapshot = json.load(f)
+fresh = fresh_snapshot["benchmarks"]
+committed = committed_snapshot["benchmarks"]
 
 failed = []
-print(f"{'benchmark':<34} {'committed':>12} {'fresh':>12} {'ratio':>7}")
+print(f"{'benchmark':<40} {'committed':>12} {'fresh':>12} {'ratio':>7}")
 for name in sorted(committed):
     if name not in fresh:
-        print(f"{name:<34} {'(missing from fresh run)':>33}")
+        print(f"{name:<40} {'(missing from fresh run)':>33}")
         failed.append(name)
         continue
     old = committed[name]["wall_seconds_per_iter"]
@@ -146,15 +155,61 @@ for name in sorted(committed):
                          f"{fresh[name].get(counter)}")
     if drift:
         flag = f" FAIL ({'; '.join(drift)})"
-    print(f"{name:<34} {old:>12.3e} {new:>12.3e} {ratio:>6.2f}x{flag}")
+    print(f"{name:<40} {old:>12.3e} {new:>12.3e} {ratio:>6.2f}x{flag}")
     if flag:
         failed.append(name)
 
+# Structural invariant of the default scheduler configuration: the shared
+# interner means stolen states never re-intern. Steal *traffic* is
+# scheduling-dependent and not diffed, but this counter is exactly zero on
+# every host.
+for name, entry in sorted(fresh.items()):
+    if name.startswith("BM_ParallelExploreWcSteal/") and entry.get("steal_reintern", 0) != 0:
+        print(f"{name}: steal_reintern = {entry['steal_reintern']} "
+              "(must be 0 with the shared interner)")
+        failed.append(name)
+
+# Thread-scaling gate: wall times per worker count. Scaling numbers are
+# only comparable when the gate host has at least as many cores as the host
+# that produced the committed snapshot (a 1-core container "scales" by pure
+# overhead) — skip loudly, don't fail, when it does not.
+fresh_ts = fresh_snapshot.get("thread_scaling", {})
+committed_ts = committed_snapshot.get("thread_scaling", {})
+fresh_cores = fresh_ts.get("host_cores") or 0
+committed_cores = committed_ts.get("host_cores") or 0
+if committed_cores < 2:
+    print(f"\nWARNING: skipping the thread-scaling gate: the committed "
+          f"snapshot was measured on {committed_cores} core(s), where "
+          f"multi-worker times measure scheduler overhead, not scaling — "
+          f"there is no meaningful baseline to gate against. Regenerate the "
+          f"snapshot on a multi-core host to arm the gate.")
+elif fresh_cores < committed_cores:
+    print(f"\nWARNING: skipping the thread-scaling gate: this host has "
+          f"{fresh_cores} core(s) but the committed snapshot was measured on "
+          f"{committed_cores}; scaling numbers are not comparable. Regenerate "
+          f"the snapshot on a host with >= {committed_cores} cores to re-arm "
+          f"the gate.")
+else:
+    for workers in sorted(committed_ts.get("workers", {}), key=int):
+        name = f"thread_scaling/{workers}"
+        if workers not in fresh_ts.get("workers", {}):
+            print(f"{name:<40} {'(missing from fresh run)':>33}")
+            failed.append(name)
+            continue
+        old = committed_ts["workers"][workers]["wall_seconds_per_iter"]
+        new = fresh_ts["workers"][workers]["wall_seconds_per_iter"]
+        ratio = new / old
+        flag = " FAIL" if ratio > THRESHOLD else ""
+        print(f"{name:<40} {old:>12.3e} {new:>12.3e} {ratio:>6.2f}x{flag}")
+        if flag:
+            failed.append(name)
+
 if failed:
-    print(f"\nregression gate FAILED (wall > {THRESHOLD}x, or paths/"
-          f"core_candidates drifted): {', '.join(failed)}")
+    print(f"\nregression gate FAILED (wall > {THRESHOLD}x, paths/"
+          f"core_candidates drifted, or steal_reintern != 0): "
+          f"{', '.join(failed)}")
     sys.exit(1)
 print(f"\nregression gate passed (threshold {THRESHOLD}x; paths and "
-      "core_candidates exact)")
+      "core_candidates exact; steal path re-intern-free)")
 PY
 fi

@@ -50,13 +50,19 @@ CompileResult Compiler::Compile(const std::string& program_source, OptLevel leve
 
 SymexResult Analyze(CompileResult& compiled, const std::string& entry, unsigned input_bytes,
                     const SymexLimits& limits, unsigned jobs, SearchStrategy strategy) {
-  OVERIFY_ASSERT(compiled.ok && compiled.module != nullptr, "analyzing a failed compilation");
   SymexOptions options;
+  options.jobs = jobs;
+  options.strategy = strategy;
+  return Analyze(compiled, entry, input_bytes, limits, options);
+}
+
+SymexResult Analyze(CompileResult& compiled, const std::string& entry, unsigned input_bytes,
+                    const SymexLimits& limits, const SymexOptions& base_options) {
+  OVERIFY_ASSERT(compiled.ok && compiled.module != nullptr, "analyzing a failed compilation");
+  SymexOptions options = base_options;
   if (compiled.annotations != nullptr && compiled.annotations->size() > 0) {
     options.annotations = compiled.annotations.get();
   }
-  options.jobs = jobs;
-  options.strategy = strategy;
   SymbolicExecutor engine(*compiled.module, options);
   return engine.Run(entry, input_bytes, limits);
 }

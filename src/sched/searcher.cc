@@ -1,8 +1,8 @@
 #include "src/sched/searcher.h"
 
+#include <array>
 #include <deque>
 #include <unordered_map>
-#include <vector>
 
 #include "src/support/rng.h"
 
@@ -47,6 +47,7 @@ class DfsSearcher : public Searcher {
     return state;
   }
   size_t Size() const override { return states_.size(); }
+  void Reset() override { states_.clear(); }
 
  private:
   std::deque<std::unique_ptr<ExecState>> states_;
@@ -74,6 +75,7 @@ class BfsSearcher : public Searcher {
     return state;
   }
   size_t Size() const override { return states_.size(); }
+  void Reset() override { states_.clear(); }
 
  private:
   std::deque<std::unique_ptr<ExecState>> states_;
@@ -105,6 +107,7 @@ class RandomPathSearcher : public Searcher {
     return state;
   }
   size_t Size() const override { return states_.size(); }
+  void Reset() override { states_.clear(); }
 
  private:
   Rng rng_;
@@ -119,56 +122,91 @@ class RandomPathSearcher : public Searcher {
 // builds its own picture of coverage, which keeps the feedback path
 // lock-free.
 //
-// Next() is a linear scan — O(frontier) per pop, fine for the suite's
-// frontiers (tens to hundreds of states) but quadratic if the frontier
-// approaches max_live_states; a visit-count-bucketed queue is the known
-// fix if that ever matters (ROADMAP scheduler follow-ups).
+// The frontier is a bucket queue: bucket k holds states whose current
+// block had (clamped) k visits when they were last (re)bucketed. Next()
+// pops from the lowest non-empty bucket — O(#buckets + amortized
+// rebuckets) instead of the old O(frontier) linear scan — and rebuckets
+// lazily: NotifyBlockEntered only bumps the count, and a state whose
+// bucket went stale is moved to its true bucket when Next() meets it.
+// Counts only grow, so every rebucket moves a state strictly toward the
+// hot end's far side and each state rebuckets at most kNumBuckets times.
+//
+// Steal()/StealBatch() take from the explicitly cold end of the bucket
+// structure — the *oldest* state of the *highest* non-empty bucket (most
+// visits, least recently bucketed) — purely positionally, never touching
+// visits_: thieves may race with the owner's lock-free
+// NotifyBlockEntered. (The pre-bucket version stole the frontier's
+// positional front, which after a rebucket could be the owner's hottest,
+// most-recently-bucketed state — exactly what batch stealing must not
+// drain.)
 class CoverageGuidedSearcher : public Searcher {
  public:
   void Add(std::unique_ptr<ExecState> state) override {
-    states_.push_back(std::move(state));
+    size_t bucket = BucketFor(*state);
+    buckets_[bucket].push_back(std::move(state));
+    ++size_;
   }
+
   std::unique_ptr<ExecState> Next() override {
-    if (states_.empty()) {
-      return nullptr;
-    }
-    size_t best = states_.size() - 1;
-    uint64_t best_visits = Visits(*states_[best]);
-    for (size_t i = states_.size() - 1; i-- > 0;) {
-      uint64_t visits = Visits(*states_[i]);
-      if (visits < best_visits) {
-        best = i;
-        best_visits = visits;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      std::deque<std::unique_ptr<ExecState>>& bucket = buckets_[b];
+      while (!bucket.empty()) {
+        size_t actual = BucketFor(*bucket.back());
+        if (actual == b) {
+          auto state = std::move(bucket.back());
+          bucket.pop_back();
+          --size_;
+          return state;
+        }
+        // Stale: the block gained visits since this state was bucketed
+        // (counts only grow, so actual > b). Move it up and keep looking.
+        buckets_[actual].push_back(std::move(bucket.back()));
+        bucket.pop_back();
       }
     }
-    std::swap(states_[best], states_.back());
-    auto state = std::move(states_.back());
-    states_.pop_back();
-    return state;
+    return nullptr;
   }
+
   std::unique_ptr<ExecState> Steal() override {
-    // Deliberately ignores visit counts: Steal may race with the owner's
-    // NotifyBlockEntered, so it takes the oldest state positionally.
-    if (states_.empty()) {
-      return nullptr;
+    for (size_t b = kNumBuckets; b-- > 0;) {
+      std::deque<std::unique_ptr<ExecState>>& bucket = buckets_[b];
+      if (!bucket.empty()) {
+        auto state = std::move(bucket.front());
+        bucket.pop_front();
+        --size_;
+        return state;
+      }
     }
-    auto state = std::move(states_.front());
-    states_.pop_front();
-    return state;
+    return nullptr;
   }
-  size_t Size() const override { return states_.size(); }
+
+  size_t Size() const override { return size_; }
+
+  void Reset() override {
+    for (auto& bucket : buckets_) {
+      bucket.clear();
+    }
+    visits_.clear();
+    size_ = 0;
+  }
 
   void NotifyBlockEntered(const BasicBlock* block) override { ++visits_[block]; }
 
  private:
-  uint64_t Visits(ExecState& state) {
+  // Visit counts clamp into the last bucket: beyond ~63 visits the exact
+  // count no longer meaningfully ranks "cold", and a fixed bucket array
+  // keeps Next() allocation-free.
+  static constexpr size_t kNumBuckets = 64;
+
+  size_t BucketFor(ExecState& state) const {
     auto it = visits_.find(state.Frame().block);
-    return it == visits_.end() ? 0 : it->second;
+    uint64_t visits = it == visits_.end() ? 0 : it->second;
+    return visits < kNumBuckets ? static_cast<size_t>(visits) : kNumBuckets - 1;
   }
 
-  // deque: random access for the Next scan, O(1) pop_front for thieves.
-  std::deque<std::unique_ptr<ExecState>> states_;
+  std::array<std::deque<std::unique_ptr<ExecState>>, kNumBuckets> buckets_;
   std::unordered_map<const BasicBlock*, uint64_t> visits_;
+  size_t size_ = 0;
 };
 
 }  // namespace

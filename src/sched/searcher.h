@@ -2,20 +2,25 @@
 //
 // A Searcher owns a worker's set of pending ExecStates and decides which
 // one runs next. The hot end (`Next`) implements the strategy; the cold
-// end (`Steal`) hands a state to an idle worker, picking the state the
-// owner would reach last so the two ends disturb each other as little as
-// possible. Search order changes *when* paths run, never *which* paths
-// exist: an exhausted exploration visits the same path set under every
-// strategy (tested in tests/sched_test.cc).
+// end (`Steal`/`StealBatch`) hands states to an idle worker, picking the
+// states the owner would reach last so the two ends disturb each other as
+// little as possible. Search order changes *when* paths run, never *which*
+// paths exist: an exhausted exploration visits the same path set under
+// every strategy (tested in tests/sched_test.cc).
 //
-// Thread discipline: Add/Next/Steal/Size are called under the worker
-// queue's lock (src/sched/worker_pool.cc). NotifyBlockEntered is
+// Thread discipline: Add/Next/Steal/StealBatch/Size/Reset are called under
+// the worker queue's lock (src/sched/worker_pool.cc). NotifyBlockEntered is
 // owner-thread-only and must not be touched by thieves; in exchange it
-// needs no lock and can sit on the engine's per-jump path.
+// needs no lock and can sit on the engine's per-jump path. The contract
+// this forces on implementations: Steal/StealBatch may be called by a
+// thief concurrently with the owner's (lock-free) NotifyBlockEntered, so
+// they must not read any state NotifyBlockEntered writes — the bucketed
+// coverage searcher steals purely positionally for exactly this reason.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/symex/state.h"
 
@@ -42,8 +47,28 @@ class Searcher {
   virtual std::unique_ptr<ExecState> Next() = 0;
   // The state the owner would run last (for work stealing); null when empty.
   virtual std::unique_ptr<ExecState> Steal() = 0;
+  // Batch stealing: appends up to `max_n` states to `out`, taken coldest
+  // first, amortizing the queue lock over the whole batch. The default
+  // drains the single-state cold end repeatedly; implementations may
+  // override for a cheaper bulk pop.
+  virtual void StealBatch(std::vector<std::unique_ptr<ExecState>>& out, size_t max_n) {
+    for (size_t i = 0; i < max_n; ++i) {
+      std::unique_ptr<ExecState> state = Steal();
+      if (state == nullptr) {
+        break;
+      }
+      out.push_back(std::move(state));
+    }
+  }
   virtual size_t Size() const = 0;
   bool Empty() const { return Size() == 0; }
+
+  // Drops all pending states and any accumulated search feedback (the
+  // coverage searcher's visit counts). Called by the worker pool between
+  // Run()s — searchers outlive a single exploration, and stale coverage
+  // from a previous run must not skew the next one's order or grow
+  // without bound.
+  virtual void Reset() = 0;
 
   // Coverage feedback: the owning worker's engine entered `block`. Only the
   // coverage-guided searcher keeps counts; the default is a no-op.

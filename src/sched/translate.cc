@@ -73,5 +73,56 @@ void TranslateState(ExecState& state, ExprTranslator& translator) {
   }
 }
 
+namespace {
+
+void ValidateExpr(const Expr* e, const ExprInterner& interner) {
+  if (e == nullptr) {
+    return;
+  }
+  // Owns() probes the node's home shard, which transitively vouches for the
+  // children too (an interned node's children are interned), so the walk
+  // stays shallow: one probe per reachable root.
+  OVERIFY_ASSERT(interner.Owns(e),
+                 "stolen state references an expression outside the shared interner");
+}
+
+}  // namespace
+
+void ValidateStateInterned(const ExecState& state, const ExprInterner& interner) {
+  for (const StackFrame& frame : state.stack) {
+    for (const RuntimeValue& local : frame.locals) {
+      switch (local.kind) {
+        case RuntimeValue::Kind::kNone:
+          break;
+        case RuntimeValue::Kind::kInt:
+          ValidateExpr(local.expr, interner);
+          break;
+        case RuntimeValue::Kind::kPointer:
+          ValidateExpr(local.pointer.offset, interner);
+          break;
+      }
+    }
+  }
+  state.memory.ForEachByte([&interner](const Expr* e) { ValidateExpr(e, interner); });
+  for (const Expr* constraint : state.constraints) {
+    ValidateExpr(constraint, interner);
+  }
+  // The preprocessing summary is the one structure a shared-interner steal
+  // keeps holding pre-steal expression pointers — exactly what this mode
+  // exists to vouch for, so walk it too.
+  for (const Expr* definition : state.solver_prefix.definitions) {
+    ValidateExpr(definition, interner);
+  }
+  for (const Expr* simplified : state.solver_prefix.simplified) {
+    ValidateExpr(simplified, interner);
+  }
+  for (const Expr* byte : state.output) {
+    ValidateExpr(byte, interner);
+  }
+  for (const auto& [key, pointer] : state.pointer_slots) {
+    ValidateExpr(pointer.offset, interner);
+  }
+}
+
 }  // namespace sched
 }  // namespace overify

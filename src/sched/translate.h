@@ -1,18 +1,31 @@
-// Cross-context state migration for work stealing.
+// Cross-context state migration for work stealing — the legacy path.
 //
-// Expressions are hash-consed per ExprContext, and each scheduler worker
-// owns one context so interning never takes a lock. A stolen ExecState
-// therefore has to be re-interned into the thief's context before it can
-// run there. Because builder canonicalization is structural-hash-based
+// In the default configuration every worker builds into one shared,
+// lock-striped ExprInterner (src/symex/expr.h), so a stolen state's
+// expression pointers are valid on the thief as-is and no translation
+// happens at all; `ValidateStateInterned` below is the validation-only
+// residue of this file, run on stolen states when
+// SymexOptions::validate_steals is set.
+//
+// With SymexOptions::shared_interner off (A/B comparisons, the translation
+// tests), expressions are hash-consed per worker-private ExprContext and a
+// stolen ExecState has to be re-interned into the thief's context before it
+// can run there. Because builder canonicalization is structural-hash-based
 // (context-independent; see src/symex/expr.cc), a node-by-node copy of the
 // already-canonical source DAG is exactly what the thief's builder would
 // have produced — no re-simplification, and pointer identity is restored
 // for nodes the thief already has.
 //
 // Reading the victim's expressions concurrently with the victim running is
-// safe: Exprs are immutable after interning, owned by stable unique_ptrs,
-// and the translator never calls into the victim's context (the mutable
-// memo slots are written only by their owning context's Evaluate).
+// safe in both configurations: Exprs' structural fields are immutable
+// after interning and owned by stable unique_ptrs, and the translator
+// never calls into the victim's context. In the legacy configuration the
+// victim's Evaluate/EvalInterval DO keep writing the mutable inline memo
+// slots on its nodes while a thief translates them — that is safe only
+// because the translator (and the validation walk) read exclusively the
+// immutable structural members, never the memo fields, which are written
+// by their owning context alone. Shared-interner contexts never touch the
+// inline slots at all (they memoize into worker-private tables).
 #pragma once
 
 #include <unordered_map>
@@ -23,8 +36,9 @@
 namespace overify {
 namespace sched {
 
-// Memoized re-interning of expression DAGs into `dst`. One translator is
-// used per stolen state, so shared subgraphs are rebuilt once.
+// Memoized re-interning of expression DAGs into `dst`. One translator may
+// serve a whole stolen batch from the same victim, so shared subgraphs are
+// rebuilt once per steal.
 class ExprTranslator {
  public:
   explicit ExprTranslator(ExprContext& dst) : dst_(dst) {}
@@ -43,6 +57,12 @@ class ExprTranslator {
 // the originals may be copy-on-write-shared with sibling states still
 // owned by the victim.
 void TranslateState(ExecState& state, ExprTranslator& translator);
+
+// Validation-only mode: walks every expression reference in `state` and
+// asserts it is owned by `interner` — what a steal must guarantee under the
+// shared-interner configuration. Debug aid (SymexOptions::validate_steals);
+// aborts via OVERIFY_ASSERT on the first foreign node.
+void ValidateStateInterned(const ExecState& state, const ExprInterner& interner);
 
 }  // namespace sched
 }  // namespace overify

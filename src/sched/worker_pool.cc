@@ -12,18 +12,49 @@
 namespace overify {
 namespace sched {
 
-namespace {
-
-// One worker's queue: a strategy-ordered searcher behind a mutex. States in
-// queue i always reference worker i's ExprContext — a stolen state is
-// re-interned by the thief before it is pushed anywhere else.
+// One worker's queue: a strategy-ordered searcher behind a mutex. In the
+// shared-interner configuration states flow between queues freely; in the
+// legacy configuration states in queue i always reference worker i's
+// ExprContext — a stolen state is re-interned by the thief before it is
+// pushed anywhere else.
+//
+// Queues persist across Run()s on the same pool; BeginRun rebinds the
+// run's shared counters and resets the searcher, which is what clears the
+// coverage searcher's visit table between runs (stale coverage must not
+// skew — or leak into — the next exploration).
 class WorkerQueue : public ForkSink {
  public:
-  WorkerQueue(SearchStrategy strategy, uint64_t seed, SharedCounters& shared)
-      : searcher_(MakeSearcher(strategy, seed)), shared_(shared) {}
+  // The largest batch one steal may take. Bounds both the time a thief
+  // holds the victim's lock and how much colder-than-necessary work a
+  // single thief can hoard.
+  static constexpr size_t kMaxStealBatch = 32;
+
+  WorkerQueue(SearchStrategy strategy, uint64_t seed)
+      : searcher_(MakeSearcher(strategy, seed)) {}
+
+  void BeginRun(SharedCounters& shared) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shared_ = &shared;
+    searcher_->Reset();
+  }
+
+  // Frees any states a limit stop left queued and drops accumulated search
+  // feedback. Call Remaining() first: this zeroes it.
+  void EndRun() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    searcher_->Reset();
+  }
 
   void PushFork(std::unique_ptr<ExecState> state) override {
-    shared_.live_states.fetch_add(1, std::memory_order_acq_rel);
+    shared_->live_states.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(mutex_);
+    searcher_->Add(std::move(state));
+  }
+
+  // Enqueues a stolen state the thief keeps for itself. Unlike PushFork this
+  // does not touch live_states: the state was already counted when it was
+  // forked and stays live throughout the migration.
+  void AddStolen(std::unique_ptr<ExecState> state) {
     std::lock_guard<std::mutex> lock(mutex_);
     searcher_->Add(std::move(state));
   }
@@ -33,13 +64,19 @@ class WorkerQueue : public ForkSink {
     return searcher_->Next();
   }
 
-  std::unique_ptr<ExecState> StealOne() {
+  // Takes up to half of this queue's pending states (capped) from the cold
+  // end, appended to `out` coldest first. One lock acquisition per batch.
+  void StealBatch(std::vector<std::unique_ptr<ExecState>>& out) {
     std::lock_guard<std::mutex> lock(mutex_);
-    return searcher_->Steal();
+    size_t size = searcher_->Size();
+    if (size == 0) {
+      return;
+    }
+    size_t take = std::min((size + 1) / 2, kMaxStealBatch);
+    searcher_->StealBatch(out, take);
   }
 
-  // How many states are still queued (called after the workers joined;
-  // the queue destructor frees them).
+  // How many states are still queued (called after the workers joined).
   uint64_t Remaining() {
     std::lock_guard<std::mutex> lock(mutex_);
     return searcher_->Size();
@@ -50,8 +87,10 @@ class WorkerQueue : public ForkSink {
  private:
   std::mutex mutex_;
   std::unique_ptr<Searcher> searcher_;
-  SharedCounters& shared_;
+  SharedCounters* shared_ = nullptr;
 };
+
+namespace {
 
 // Positions of every instruction in module order — the canonical sort key
 // for merged bug reports (instruction pointers vary run to run; module
@@ -69,10 +108,20 @@ std::unordered_map<const Instruction*, uint64_t> SiteOrder(Module& module) {
   return order;
 }
 
+// Per-thief steal accounting, summed into SymexResult after the join. Each
+// thief writes only its own entry, so no synchronization is needed.
+struct StealTallies {
+  uint64_t steals = 0;
+  uint64_t steal_batches = 0;
+  uint64_t steal_reintern = 0;
+};
+
 }  // namespace
 
 WorkerPool::WorkerPool(Module& module, const SymexOptions& options)
     : module_(module), options_(options) {}
+
+WorkerPool::~WorkerPool() = default;
 
 SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
                             const SymexLimits& limits) {
@@ -95,35 +144,85 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
   shared.limits = limits;
   shared.watch.Restart();
 
-  std::vector<std::unique_ptr<EngineCore>> engines;
-  std::vector<std::unique_ptr<WorkerQueue>> queues;
-  engines.reserve(jobs);
-  queues.reserve(jobs);
-  for (unsigned w = 0; w < jobs; ++w) {
-    engines.push_back(std::make_unique<EngineCore>(module_, options_, shared, slots,
-                                                   num_input_bytes, w));
-    queues.push_back(std::make_unique<WorkerQueue>(
-        strategy, HashMix64(options_.search_seed ^ (uint64_t{w} + 1)), shared));
+  // One shared, lock-striped interner per multi-worker run: every worker's
+  // ExprContext builds into it, so stolen states run anywhere without a
+  // re-intern pass. A single worker (or the legacy A/B configuration)
+  // keeps private per-worker interners, which elide the shard locks.
+  const bool share_interner = options_.shared_interner && jobs > 1;
+  std::unique_ptr<ExprInterner> interner;
+  if (share_interner) {
+    interner = std::make_unique<ExprInterner>(/*concurrent=*/true);
   }
 
-  queues[0]->PushFork(engines[0]->MakeInitialState(entry));
+  // Engines (contexts, solver caches, tallies) are per-run; queues persist
+  // across runs and are reset at the run boundaries.
+  std::vector<std::unique_ptr<EngineCore>> engines;
+  engines.reserve(jobs);
+  if (queues_.empty()) {
+    queues_.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) {
+      queues_.push_back(std::make_unique<WorkerQueue>(
+          strategy, HashMix64(options_.search_seed ^ (uint64_t{w} + 1))));
+    }
+  }
+  OVERIFY_ASSERT(queues_.size() == jobs, "worker count changed across Run()s");
+  for (unsigned w = 0; w < jobs; ++w) {
+    engines.push_back(std::make_unique<EngineCore>(module_, options_, shared, slots,
+                                                   num_input_bytes, w, interner.get()));
+    queues_[w]->BeginRun(shared);
+  }
 
+  queues_[0]->PushFork(engines[0]->MakeInitialState(entry));
+
+  std::vector<StealTallies> steal_tallies(jobs);
+
+  // Batch stealing: scan victims round-robin; the first queue with work
+  // yields up to half its cold end in one lock acquisition. The thief runs
+  // the coldest state immediately and queues the rest for itself.
   auto try_steal = [&](unsigned thief) -> std::unique_ptr<ExecState> {
+    std::vector<std::unique_ptr<ExecState>> batch;
     for (unsigned k = 1; k < jobs; ++k) {
       unsigned victim = (thief + k) % jobs;
-      std::unique_ptr<ExecState> state = queues[victim]->StealOne();
-      if (state != nullptr) {
-        ExprTranslator translator(engines[thief]->ctx());
-        TranslateState(*state, translator);
-        return state;
+      queues_[victim]->StealBatch(batch);
+      if (batch.empty()) {
+        continue;
       }
+      StealTallies& tallies = steal_tallies[thief];
+      ++tallies.steal_batches;
+      tallies.steals += batch.size();
+      if (share_interner) {
+        for (auto& state : batch) {
+          // Every expression the state references lives in the shared
+          // interner — nothing to translate. The preprocessing summary's
+          // contents stay valid too; only its interval-memo handle is tied
+          // to the victim context's generation counter, so detach that.
+          state->solver_prefix.interval_memo_generation = 0;
+          if (options_.validate_steals) {
+            ValidateStateInterned(*state, *interner);
+          }
+        }
+      } else {
+        // Legacy per-worker interners: re-intern the whole batch into the
+        // thief's context. One translator for the batch — all states came
+        // from the same victim context, so shared subgraphs translate once.
+        ExprTranslator translator(engines[thief]->ctx());
+        for (auto& state : batch) {
+          TranslateState(*state, translator);
+          ++tallies.steal_reintern;
+        }
+      }
+      std::unique_ptr<ExecState> first = std::move(batch.front());
+      for (size_t i = 1; i < batch.size(); ++i) {
+        queues_[thief]->AddStolen(std::move(batch[i]));
+      }
+      return first;
     }
     return nullptr;
   };
 
   auto worker_loop = [&](unsigned w) {
     EngineCore& engine = *engines[w];
-    WorkerQueue& queue = *queues[w];
+    WorkerQueue& queue = *queues_[w];
     unsigned idle_rounds = 0;
     for (;;) {
       if (shared.StopRequested()) {
@@ -170,8 +269,13 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
   result.workers = jobs;
   result.wall_seconds = shared.watch.ElapsedSeconds();
 
-  for (const auto& queue : queues) {
+  for (const auto& queue : queues_) {
     result.paths_unexplored += queue->Remaining();
+  }
+  for (const StealTallies& tallies : steal_tallies) {
+    result.steals += tallies.steals;
+    result.steal_batches += tallies.steal_batches;
+    result.steal_reintern += tallies.steal_reintern;
   }
   for (const auto& engine : engines) {
     const WorkerTallies& t = engine->tallies();
@@ -243,6 +347,12 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
     report.site = bug->site;
     report.example_input = bug->example_input;
     result.bugs.push_back(std::move(report));
+  }
+
+  // Free anything a limit stop left queued (and reset search feedback) so a
+  // reused pool starts clean; Remaining() above already tallied it.
+  for (const auto& queue : queues_) {
+    queue->EndRun();
   }
   return result;
 }

@@ -27,11 +27,13 @@ constexpr uint64_t kFalseSideSalt = 0xd1b54a32d192ed03ULL;
 class EngineCore::Impl {
  public:
   Impl(Module& module, const SymexOptions& options, SharedCounters& shared,
-       LocalSlotCache& slots, unsigned num_input_bytes, unsigned worker_index)
+       LocalSlotCache& slots, unsigned num_input_bytes, unsigned worker_index,
+       ExprInterner* interner)
       : module_(module),
         options_(options),
         shared_(shared),
         slots_(slots),
+        ctx_(interner),
         solver_(ctx_),
         num_symbols_(num_input_bytes),
         worker_index_(worker_index) {
@@ -956,9 +958,10 @@ class EngineCore::Impl {
 };
 
 EngineCore::EngineCore(Module& module, const SymexOptions& options, SharedCounters& shared,
-                       LocalSlotCache& slots, unsigned num_input_bytes, unsigned worker_index)
+                       LocalSlotCache& slots, unsigned num_input_bytes, unsigned worker_index,
+                       ExprInterner* interner)
     : impl_(std::make_unique<Impl>(module, options, shared, slots, num_input_bytes,
-                                   worker_index)) {}
+                                   worker_index, interner)) {}
 
 EngineCore::~EngineCore() = default;
 

@@ -101,9 +101,14 @@ struct BugCandidate {
 class EngineCore {
  public:
   // `slots` must be pre-filled for every defined function in `module`
-  // (WorkerPool::Run does this) — engines only read it.
+  // (WorkerPool::Run does this) — engines only read it. `interner`, when
+  // non-null, is the run's shared lock-striped expression interner: the
+  // engine's ExprContext builds into it instead of a private one, which is
+  // what lets stolen states run on any worker without re-interning
+  // (docs/scheduler.md). Null keeps the legacy private interner.
   EngineCore(Module& module, const SymexOptions& options, SharedCounters& shared,
-             LocalSlotCache& slots, unsigned num_input_bytes, unsigned worker_index);
+             LocalSlotCache& slots, unsigned num_input_bytes, unsigned worker_index,
+             ExprInterner* interner = nullptr);
   ~EngineCore();
 
   // Builds the root state (worker 0 calls this once per run).

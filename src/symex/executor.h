@@ -66,6 +66,12 @@ struct SymexResult {
   uint64_t instructions = 0;
   uint64_t forks = 0;
   uint64_t annotation_hits = 0;  // branch decisions settled by annotations
+  // Work-stealing traffic (scheduling-dependent, unlike the counts above:
+  // these vary run to run and are excluded from the determinism contract).
+  uint64_t steals = 0;          // states that migrated to another worker
+  uint64_t steal_batches = 0;   // steal operations that yielded work
+  uint64_t steal_reintern = 0;  // stolen states that needed a re-intern pass
+                                // (0 whenever the shared interner is on)
   double wall_seconds = 0;
   unsigned workers = 1;  // worker threads that ran the search
   std::vector<BugReport> bugs;
@@ -94,6 +100,16 @@ struct SymexOptions {
   // preprocessing regression tests; verdicts and bug reports are identical
   // either way.
   bool solver_preprocess = true;
+  // Multi-worker runs share one sharded, lock-striped expression interner,
+  // so stolen states run on the thief without a re-intern pass
+  // (docs/scheduler.md). Off restores the legacy per-worker interners with
+  // ExprTranslator on every steal — kept for A/B comparisons and the
+  // translation tests; results are identical either way.
+  bool shared_interner = true;
+  // Debug: with the shared interner, walk every stolen state and assert
+  // each of its expressions is owned by the shared interner (the
+  // validation-only residue of the old re-intern pass; slow).
+  bool validate_steals = false;
   // Seed for the random-path strategy (worker index is mixed in per worker).
   uint64_t search_seed = 0x05e11a11;
   // DEPRECATED: pre-scheduler search toggle, kept so existing callers

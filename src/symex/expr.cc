@@ -77,7 +77,7 @@ bool SwapForCanonicalOrder(const Expr* a, const Expr* b) {
 
 }  // namespace
 
-uint64_t ExprContext::HashKey(const Key& key) {
+uint64_t ExprInterner::HashKey(const Key& key) {
   // Children are interned, so their stored hashes are already canonical and
   // well-mixed; leaf payloads get one Mix round each.
   uint64_t h = HashMix64((static_cast<uint64_t>(key.kind) << 32) ^
@@ -95,23 +95,29 @@ uint64_t ExprContext::HashKey(const Key& key) {
   return h != 0 ? h : 1;
 }
 
-bool ExprContext::Matches(const Expr& e, const Key& key) {
+bool ExprInterner::Matches(const Expr& e, const Key& key) {
   return e.kind_ == key.kind && e.width_ == key.width && e.constant_ == key.constant &&
          e.symbol_ == key.symbol && e.a_ == key.a && e.b_ == key.b && e.c_ == key.c &&
          e.extract_offset_ == key.extract_offset;
 }
 
-ExprContext::ExprContext() {
-  table_.assign(256, nullptr);
-  table_mask_ = table_.size() - 1;
-  true_ = Constant(1, 1);
-  false_ = Constant(0, 1);
+ExprInterner::ExprInterner(bool concurrent) : concurrent_(concurrent) {
+  size_t num_shards = concurrent ? kConcurrentShards : 1;
+  shards_ = std::make_unique<Shard[]>(num_shards);
+  shard_mask_ = num_shards - 1;
+  // A private interner starts with the old flat table's size; concurrent
+  // shards start smaller since the load spreads across the stripes.
+  size_t initial = concurrent ? 64 : 256;
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_[i].table.assign(initial, nullptr);
+    shards_[i].mask = initial - 1;
+  }
 }
 
-void ExprContext::GrowTable() {
-  std::vector<Expr*> bigger(table_.size() * 2, nullptr);
+void ExprInterner::GrowTable(Shard& shard) {
+  std::vector<Expr*> bigger(shard.table.size() * 2, nullptr);
   size_t mask = bigger.size() - 1;
-  for (Expr* e : table_) {
+  for (Expr* e : shard.table) {
     if (e == nullptr) {
       continue;
     }
@@ -121,23 +127,31 @@ void ExprContext::GrowTable() {
     }
     bigger[idx] = e;
   }
-  table_ = std::move(bigger);
-  table_mask_ = mask;
+  shard.table = std::move(bigger);
+  shard.mask = mask;
 }
 
-const Expr* ExprContext::Intern(const Key& key) {
-  // Keep the load factor below ~0.7 so probe sequences stay short.
-  if ((exprs_.size() + 1) * 10 >= table_.size() * 7) {
-    GrowTable();
+const Expr* ExprInterner::Intern(const Key& key) {
+  return InternHashed(key, HashKey(key));
+}
+
+const Expr* ExprInterner::InternHashed(const Key& key, uint64_t hash) {
+  Shard& shard = ShardFor(hash);
+  std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+  if (concurrent_) {
+    lock.lock();
   }
-  const uint64_t hash = HashKey(key);
-  size_t idx = hash & table_mask_;
-  while (table_[idx] != nullptr) {
-    Expr* slot = table_[idx];
+  // Keep the load factor below ~0.7 so probe sequences stay short.
+  if ((shard.exprs.size() + 1) * 10 >= shard.table.size() * 7) {
+    GrowTable(shard);
+  }
+  size_t idx = hash & shard.mask;
+  while (shard.table[idx] != nullptr) {
+    Expr* slot = shard.table[idx];
     if (slot->hash_ == hash && Matches(*slot, key)) {
       return slot;
     }
-    idx = (idx + 1) & table_mask_;
+    idx = (idx + 1) & shard.mask;
   }
   auto owned = std::unique_ptr<Expr>(new Expr());
   Expr* e = owned.get();
@@ -149,7 +163,9 @@ const Expr* ExprContext::Intern(const Key& key) {
   e->b_ = key.b;
   e->c_ = key.c;
   e->extract_offset_ = key.extract_offset;
-  e->id_ = next_id_++;
+  // Relaxed is enough: ids need only be unique and dense, and a node's
+  // children always got theirs first (they were interned before it).
+  e->id_ = next_id_.fetch_add(1, std::memory_order_relaxed);
   e->hash_ = hash;
   if (key.kind == ExprKind::kSymbol) {
     e->support_.Add(key.symbol);
@@ -159,9 +175,87 @@ const Expr* ExprContext::Intern(const Key& key) {
       e->support_.UnionWith(child->Support());
     }
   }
-  exprs_.push_back(std::move(owned));
-  table_[idx] = e;
+  shard.exprs.push_back(std::move(owned));
+  shard.table[idx] = e;
   return e;
+}
+
+size_t ExprInterner::NumExprs() const {
+  size_t total = 0;
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    Shard& shard = shards_[i];
+    std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+    if (concurrent_) {
+      lock.lock();
+    }
+    total += shard.exprs.size();
+  }
+  return total;
+}
+
+bool ExprInterner::Owns(const Expr* e) const {
+  Shard& shard = ShardFor(e->hash());
+  std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+  if (concurrent_) {
+    lock.lock();
+  }
+  size_t idx = e->hash() & shard.mask;
+  while (shard.table[idx] != nullptr) {
+    if (shard.table[idx] == e) {
+      return true;
+    }
+    idx = (idx + 1) & shard.mask;
+  }
+  return false;
+}
+
+ExprContext::ExprContext() : ExprContext(static_cast<ExprInterner*>(nullptr)) {}
+
+ExprContext::ExprContext(ExprInterner& shared) : ExprContext(&shared) {}
+
+ExprContext::ExprContext(ExprInterner* shared) {
+  if (shared == nullptr) {
+    owned_interner_ = std::make_unique<ExprInterner>(/*concurrent=*/false);
+    interner_ = owned_interner_.get();
+  } else {
+    interner_ = shared;
+  }
+  // Inline memo slots are safe only when this context is the nodes' sole
+  // user; any externally-provided interner may have other contexts (now or
+  // later), so those memoize into the id-indexed tables.
+  shared_memos_ = owned_interner_ == nullptr;
+  if (interner_->concurrent()) {
+    // Direct-mapped local intern cache (power of two); see the member
+    // comment. 8192 slots cover the workloads' hot DAGs comfortably.
+    intern_cache_.assign(8192, nullptr);
+  }
+  true_ = Constant(1, 1);
+  false_ = Constant(0, 1);
+}
+
+const Expr* ExprContext::Intern(const Key& key) {
+  if (intern_cache_.empty()) {
+    return interner_->Intern(key);
+  }
+  uint64_t hash = ExprInterner::HashKey(key);
+  size_t idx = hash & (intern_cache_.size() - 1);
+  const Expr* cached = intern_cache_[idx];
+  if (cached != nullptr && cached->hash() == hash && ExprInterner::Matches(*cached, key)) {
+    return cached;
+  }
+  const Expr* e = interner_->InternHashed(key, hash);
+  intern_cache_[idx] = e;
+  return e;
+}
+
+template <typename Slot>
+Slot& ExprContext::SlotFor(std::vector<Slot>& slots, const Expr* e) {
+  uint64_t id = e->id();
+  if (id >= slots.size()) {
+    size_t grown = slots.empty() ? 256 : slots.size() * 2;
+    slots.resize(std::max<size_t>(id + 1, grown));
+  }
+  return slots[id];
 }
 
 const Expr* ExprContext::Constant(uint64_t value, unsigned width) {
@@ -644,6 +738,11 @@ const Expr* ExprContext::FromBytes(const std::vector<const Expr*>& bytes) {
 }
 
 uint64_t ExprContext::Evaluate(const Expr* e, const std::vector<uint8_t>& bytes) {
+  return shared_memos_ ? EvaluateImpl<true>(e, bytes) : EvaluateImpl<false>(e, bytes);
+}
+
+template <bool kSharedMemos>
+uint64_t ExprContext::EvaluateImpl(const Expr* e, const std::vector<uint8_t>& bytes) {
   // Leaves bypass the memo entirely: constants never change and symbols are
   // a direct array read.
   if (e->kind_ == ExprKind::kConstant) {
@@ -653,9 +752,17 @@ uint64_t ExprContext::Evaluate(const Expr* e, const std::vector<uint8_t>& bytes)
     OVERIFY_ASSERT(e->symbol_ < bytes.size(), "assignment missing symbol");
     return bytes[e->symbol_];
   }
-  if (e->eval_gen_ == eval_generation_) {
-    ++eval_memo_hits_;
-    return e->eval_value_;
+  if (!kSharedMemos) {
+    if (e->eval_gen_ == eval_generation_) {
+      ++eval_memo_hits_;
+      return e->eval_value_;
+    }
+  } else {
+    EvalSlot& slot = SlotFor(eval_memo_, e);
+    if (slot.gen == eval_generation_) {
+      ++eval_memo_hits_;
+      return slot.value;
+    }
   }
   uint64_t result = 0;
   switch (e->kind()) {
@@ -664,64 +771,72 @@ uint64_t ExprContext::Evaluate(const Expr* e, const std::vector<uint8_t>& bytes)
       OVERIFY_UNREACHABLE("leaves handled above");
       break;
     case ExprKind::kEq:
-      result = Evaluate(e->a(), bytes) == Evaluate(e->b(), bytes) ? 1 : 0;
+      result = EvaluateImpl<kSharedMemos>(e->a(), bytes) == EvaluateImpl<kSharedMemos>(e->b(), bytes) ? 1 : 0;
       break;
     case ExprKind::kUlt:
-      result = FoldICmp(ICmpPredicate::kULT, e->a()->width(), Evaluate(e->a(), bytes),
-                        Evaluate(e->b(), bytes))
+      result = FoldICmp(ICmpPredicate::kULT, e->a()->width(), EvaluateImpl<kSharedMemos>(e->a(), bytes),
+                        EvaluateImpl<kSharedMemos>(e->b(), bytes))
                    ? 1
                    : 0;
       break;
     case ExprKind::kUle:
-      result = FoldICmp(ICmpPredicate::kULE, e->a()->width(), Evaluate(e->a(), bytes),
-                        Evaluate(e->b(), bytes))
+      result = FoldICmp(ICmpPredicate::kULE, e->a()->width(), EvaluateImpl<kSharedMemos>(e->a(), bytes),
+                        EvaluateImpl<kSharedMemos>(e->b(), bytes))
                    ? 1
                    : 0;
       break;
     case ExprKind::kSlt:
-      result = FoldICmp(ICmpPredicate::kSLT, e->a()->width(), Evaluate(e->a(), bytes),
-                        Evaluate(e->b(), bytes))
+      result = FoldICmp(ICmpPredicate::kSLT, e->a()->width(), EvaluateImpl<kSharedMemos>(e->a(), bytes),
+                        EvaluateImpl<kSharedMemos>(e->b(), bytes))
                    ? 1
                    : 0;
       break;
     case ExprKind::kSle:
-      result = FoldICmp(ICmpPredicate::kSLE, e->a()->width(), Evaluate(e->a(), bytes),
-                        Evaluate(e->b(), bytes))
+      result = FoldICmp(ICmpPredicate::kSLE, e->a()->width(), EvaluateImpl<kSharedMemos>(e->a(), bytes),
+                        EvaluateImpl<kSharedMemos>(e->b(), bytes))
                    ? 1
                    : 0;
       break;
     case ExprKind::kSelect:
-      result = Evaluate(e->a(), bytes) != 0 ? Evaluate(e->b(), bytes) : Evaluate(e->c(), bytes);
+      result = EvaluateImpl<kSharedMemos>(e->a(), bytes) != 0 ? EvaluateImpl<kSharedMemos>(e->b(), bytes) : EvaluateImpl<kSharedMemos>(e->c(), bytes);
       break;
     case ExprKind::kZExt:
-      result = Evaluate(e->a(), bytes);
+      result = EvaluateImpl<kSharedMemos>(e->a(), bytes);
       break;
     case ExprKind::kSExt:
       result = TruncateToWidth(
-          static_cast<uint64_t>(SignExtend(Evaluate(e->a(), bytes), e->a()->width())),
+          static_cast<uint64_t>(SignExtend(EvaluateImpl<kSharedMemos>(e->a(), bytes), e->a()->width())),
           e->width());
       break;
     case ExprKind::kTrunc:
-      result = TruncateToWidth(Evaluate(e->a(), bytes), e->width());
+      result = TruncateToWidth(EvaluateImpl<kSharedMemos>(e->a(), bytes), e->width());
       break;
     case ExprKind::kExtract:
-      result = TruncateToWidth(Evaluate(e->a(), bytes) >> e->extract_offset(), e->width());
+      result = TruncateToWidth(EvaluateImpl<kSharedMemos>(e->a(), bytes) >> e->extract_offset(), e->width());
       break;
     case ExprKind::kConcat:
-      result = (Evaluate(e->a(), bytes) << e->b()->width()) | Evaluate(e->b(), bytes);
+      result = (EvaluateImpl<kSharedMemos>(e->a(), bytes) << e->b()->width()) | EvaluateImpl<kSharedMemos>(e->b(), bytes);
       break;
     default: {
       // Binary arithmetic. Division by zero cannot occur on guarded paths;
       // solver probing may still hit it, in which case the result is defined
       // as 0 (such probes are validated against the real constraints anyway).
       auto folded = FoldBinary(ExprKindToOpcode(e->kind()), e->width(),
-                               Evaluate(e->a(), bytes), Evaluate(e->b(), bytes));
+                               EvaluateImpl<kSharedMemos>(e->a(), bytes), EvaluateImpl<kSharedMemos>(e->b(), bytes));
       result = folded.value_or(0);
       break;
     }
   }
-  e->eval_gen_ = eval_generation_;
-  e->eval_value_ = result;
+  if (!kSharedMemos) {
+    e->eval_gen_ = eval_generation_;
+    e->eval_value_ = result;
+  } else {
+    // Re-acquire the slot: the recursive child evaluations above may have
+    // grown the table and invalidated any reference taken before them.
+    EvalSlot& slot = SlotFor(eval_memo_, e);
+    slot.gen = eval_generation_;
+    slot.value = result;
+  }
   return result;
 }
 
@@ -743,14 +858,22 @@ bool MulOverflowsU(uint64_t a, uint64_t b, uint64_t& out) {
 
 }  // namespace
 
-template <typename SymFn>
+template <bool kSharedMemos, typename SymFn>
 UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
-  if (e->kind_ == ExprKind::kConstant) {
-    return UInterval{e->constant_, e->constant_};
+  if (e->kind() == ExprKind::kConstant) {
+    return UInterval{e->constant_value(), e->constant_value()};
   }
-  if (e->interval_gen_ == interval_generation_) {
-    ++interval_memo_hits_;
-    return e->interval_value_;
+  if (!kSharedMemos) {
+    if (e->interval_gen_ == interval_generation_) {
+      ++interval_memo_hits_;
+      return e->interval_value_;
+    }
+  } else {
+    IntervalSlot& slot = SlotFor(interval_memo_, e);
+    if (slot.gen == interval_generation_) {
+      ++interval_memo_hits_;
+      return slot.value;
+    }
   }
   unsigned width = e->width();
   UInterval result = FullRange(width);
@@ -762,8 +885,8 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
       result = sym(e->symbol_index());
       break;
     case ExprKind::kAdd: {
-      UInterval a = EvalIntervalWith(e->a(), sym);
-      UInterval b = EvalIntervalWith(e->b(), sym);
+      UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
+      UInterval b = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       uint64_t lo;
       uint64_t hi;
       if (!AddOverflowsU(a.lo, b.lo, lo) && !AddOverflowsU(a.hi, b.hi, hi) &&
@@ -773,16 +896,16 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
       break;
     }
     case ExprKind::kSub: {
-      UInterval a = EvalIntervalWith(e->a(), sym);
-      UInterval b = EvalIntervalWith(e->b(), sym);
+      UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
+      UInterval b = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       if (a.lo >= b.hi) {  // no wraparound possible
         result = UInterval{a.lo - b.hi, a.hi - b.lo};
       }
       break;
     }
     case ExprKind::kMul: {
-      UInterval a = EvalIntervalWith(e->a(), sym);
-      UInterval b = EvalIntervalWith(e->b(), sym);
+      UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
+      UInterval b = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       uint64_t lo;
       uint64_t hi;
       if (!MulOverflowsU(a.lo, b.lo, lo) && !MulOverflowsU(a.hi, b.hi, hi) &&
@@ -792,23 +915,23 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
       break;
     }
     case ExprKind::kUDiv: {
-      UInterval a = EvalIntervalWith(e->a(), sym);
-      UInterval b = EvalIntervalWith(e->b(), sym);
+      UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
+      UInterval b = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       if (b.lo > 0) {
         result = UInterval{a.lo / b.hi, a.hi / b.lo};
       }
       break;
     }
     case ExprKind::kURem: {
-      UInterval b = EvalIntervalWith(e->b(), sym);
+      UInterval b = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       if (b.hi > 0) {
         result = UInterval{0, b.hi - 1};
       }
       break;
     }
     case ExprKind::kAnd: {
-      UInterval a = EvalIntervalWith(e->a(), sym);
-      UInterval b = EvalIntervalWith(e->b(), sym);
+      UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
+      UInterval b = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       result = UInterval{0, std::min(a.hi, b.hi)};
       if (a.IsSingleton() && b.IsSingleton()) {
         uint64_t v = a.lo & b.lo;
@@ -817,8 +940,8 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
       break;
     }
     case ExprKind::kOr: {
-      UInterval a = EvalIntervalWith(e->a(), sym);
-      UInterval b = EvalIntervalWith(e->b(), sym);
+      UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
+      UInterval b = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       if (a.IsSingleton() && b.IsSingleton()) {
         uint64_t v = a.lo | b.lo;
         result = UInterval{v, v};
@@ -838,8 +961,8 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
       break;
     }
     case ExprKind::kXor: {
-      UInterval a = EvalIntervalWith(e->a(), sym);
-      UInterval b = EvalIntervalWith(e->b(), sym);
+      UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
+      UInterval b = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       if (a.IsSingleton() && b.IsSingleton()) {
         uint64_t v = a.lo ^ b.lo;
         result = UInterval{v, v};
@@ -847,8 +970,8 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
       break;
     }
     case ExprKind::kEq: {
-      UInterval a = EvalIntervalWith(e->a(), sym);
-      UInterval b = EvalIntervalWith(e->b(), sym);
+      UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
+      UInterval b = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       if (a.hi < b.lo || b.hi < a.lo) {
         result = UInterval{0, 0};  // disjoint: never equal
       } else if (a.IsSingleton() && b.IsSingleton()) {
@@ -860,8 +983,8 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
       break;
     }
     case ExprKind::kUlt: {
-      UInterval a = EvalIntervalWith(e->a(), sym);
-      UInterval b = EvalIntervalWith(e->b(), sym);
+      UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
+      UInterval b = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       if (a.hi < b.lo) {
         result = UInterval{1, 1};
       } else if (a.lo >= b.hi) {
@@ -872,8 +995,8 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
       break;
     }
     case ExprKind::kUle: {
-      UInterval a = EvalIntervalWith(e->a(), sym);
-      UInterval b = EvalIntervalWith(e->b(), sym);
+      UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
+      UInterval b = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       if (a.hi <= b.lo) {
         result = UInterval{1, 1};
       } else if (a.lo > b.hi) {
@@ -889,8 +1012,8 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
       // boundary of the operand width, where signed order equals unsigned.
       unsigned operand_width = e->a()->width();
       uint64_t sign_bit = uint64_t{1} << (operand_width - 1);
-      UInterval a = EvalIntervalWith(e->a(), sym);
-      UInterval b = EvalIntervalWith(e->b(), sym);
+      UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
+      UInterval b = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       bool a_nonneg = a.hi < sign_bit;
       bool b_nonneg = b.hi < sign_bit;
       bool a_neg = a.lo >= sign_bit;
@@ -912,22 +1035,22 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
       break;
     }
     case ExprKind::kSelect: {
-      UInterval cond = EvalIntervalWith(e->a(), sym);
+      UInterval cond = EvalIntervalWith<kSharedMemos>(e->a(), sym);
       if (cond.IsSingleton()) {
-        result = EvalIntervalWith(cond.lo != 0 ? e->b() : e->c(), sym);
+        result = EvalIntervalWith<kSharedMemos>(cond.lo != 0 ? e->b() : e->c(), sym);
       } else {
-        UInterval t = EvalIntervalWith(e->b(), sym);
-        UInterval f = EvalIntervalWith(e->c(), sym);
+        UInterval t = EvalIntervalWith<kSharedMemos>(e->b(), sym);
+        UInterval f = EvalIntervalWith<kSharedMemos>(e->c(), sym);
         result = UInterval{std::min(t.lo, f.lo), std::max(t.hi, f.hi)};
       }
       break;
     }
     case ExprKind::kZExt:
-      result = EvalIntervalWith(e->a(), sym);
+      result = EvalIntervalWith<kSharedMemos>(e->a(), sym);
       break;
     case ExprKind::kSExt: {
       unsigned src_width = e->a()->width();
-      UInterval a = EvalIntervalWith(e->a(), sym);
+      UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
       if (a.hi < (uint64_t{1} << (src_width - 1))) {
         result = a;  // non-negative: sign extension is the identity
       }
@@ -936,7 +1059,7 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
     case ExprKind::kTrunc:
     case ExprKind::kExtract: {
       if (e->kind() == ExprKind::kTrunc || e->extract_offset() == 0) {
-        UInterval a = EvalIntervalWith(e->a(), sym);
+        UInterval a = EvalIntervalWith<kSharedMemos>(e->a(), sym);
         if (a.hi <= FullRange(width).hi) {
           result = a;  // value fits: low bits are the value itself
         }
@@ -944,8 +1067,8 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
       break;
     }
     case ExprKind::kConcat: {
-      UInterval high = EvalIntervalWith(e->a(), sym);
-      UInterval low = EvalIntervalWith(e->b(), sym);
+      UInterval high = EvalIntervalWith<kSharedMemos>(e->a(), sym);
+      UInterval low = EvalIntervalWith<kSharedMemos>(e->b(), sym);
       unsigned low_width = e->b()->width();
       result = UInterval{(high.lo << low_width) | low.lo, (high.hi << low_width) | low.hi};
       break;
@@ -953,8 +1076,15 @@ UInterval ExprContext::EvalIntervalWith(const Expr* e, const SymFn& sym) {
     default:
       break;  // divisions by symbolic values, shifts, srem: full range
   }
-  e->interval_gen_ = interval_generation_;
-  e->interval_value_ = result;
+  if (!kSharedMemos) {
+    e->interval_gen_ = interval_generation_;
+    e->interval_value_ = result;
+  } else {
+    // Re-acquire: the recursive child walks may have grown the table.
+    IntervalSlot& slot = SlotFor(interval_memo_, e);
+    slot.gen = interval_generation_;
+    slot.value = result;
+  }
   return result;
 }
 
@@ -967,7 +1097,7 @@ ExprContext::UInterval ExprContext::EvalInterval(const Expr* e,
     }
     return UInterval{0, 255};
   };
-  return EvalIntervalWith(e, sym);
+  return shared_memos_ ? EvalIntervalWith<true>(e, sym) : EvalIntervalWith<false>(e, sym);
 }
 
 ExprContext::UInterval ExprContext::EvalIntervalRanges(const Expr* e,
@@ -975,7 +1105,7 @@ ExprContext::UInterval ExprContext::EvalIntervalRanges(const Expr* e,
   auto sym = [&](unsigned index) {
     return index < ranges.size() ? ranges[index] : UInterval{0, 255};
   };
-  return EvalIntervalWith(e, sym);
+  return shared_memos_ ? EvalIntervalWith<true>(e, sym) : EvalIntervalWith<false>(e, sym);
 }
 
 }  // namespace overify

@@ -1,23 +1,36 @@
 // Symbolic expressions for the verification engine.
 //
-// Expressions form a hash-consed immutable DAG owned by an ExprContext;
-// structural equality is pointer equality. The builder canonicalizes and
-// constant-folds on construction (KLEE's ExprBuilder plays the same role),
-// using the same fold kernel as the optimizer and the concrete interpreter
-// so all three agree bit-for-bit.
+// Expressions form a hash-consed immutable DAG owned by an ExprInterner;
+// structural equality is pointer equality. An ExprContext is one worker's
+// view of an interner — it carries the canonicalizing builders (KLEE's
+// ExprBuilder plays the same role), using the same fold kernel as the
+// optimizer and the concrete interpreter so all three agree bit-for-bit,
+// plus the worker-private evaluation caches.
+//
+// The interner is sharded and lock-striped: expressions are distributed
+// over independent open-addressing tables by the top bits of their
+// structural hash, and each shard has its own mutex. A private interner
+// (the default, one per single-threaded context) skips the locks entirely;
+// a shared interner lets every scheduler worker intern into the same DAG so
+// stolen states need no cross-context translation (docs/scheduler.md).
 //
 // Engine-speed invariants (see docs/engine.md):
 //  - every Expr stores its structural hash, computed once at intern time;
-//    the interner is an open-addressing table probed by that hash.
+//    each interner shard is an open-addressing table probed by that hash.
 //  - the support set is a 64-bit symbol bitmask (the paper's workloads use
 //    2-10 symbolic bytes) with a sorted overflow vector for symbols >= 64.
-//  - eval/interval memoization lives in generation-stamped slots inline on
-//    the Expr itself: O(1), zero allocation, no unbounded growth.
+//  - eval/interval memoization lives in generation-stamped slots indexed by
+//    the Expr's dense id, owned by each ExprContext (worker-private, so
+//    memoizing over a shared DAG never takes a lock or races): O(1), one
+//    flat array per worker, no unbounded growth.
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -206,17 +219,21 @@ class Expr {
   const Expr* c() const { return c_; }
   unsigned extract_offset() const { return extract_offset_; }
 
-  // Stable creation index; used for canonical operand ordering.
+  // Dense creation index, unique within an interner; children always carry
+  // smaller indices than their parents (they are interned first). Keys the
+  // per-context eval/interval memo tables and breaks the (vanishingly rare)
+  // structural-hash tie in canonical operand ordering.
   uint64_t id() const { return id_; }
 
   // Structural hash, fixed at intern time. Hash-consing makes it canonical
-  // per context: equal hashes for structurally equal expressions.
+  // per interner: equal hashes for structurally equal expressions.
   uint64_t hash() const { return hash_; }
 
   // The set of symbol indices this expression depends on.
   const SupportSet& Support() const { return support_; }
 
  private:
+  friend class ExprInterner;
   friend class ExprContext;
   Expr() = default;
 
@@ -232,21 +249,113 @@ class Expr {
   uint64_t hash_ = 0;
   SupportSet support_;
 
-  // Generation-stamped inline memo slots, owned by the context's Evaluate /
-  // EvalInterval (a slot is valid only while its stamp equals the context's
-  // current generation; stamps start at 0, generations at 1).
+  // Generation-stamped inline memo slots for Evaluate / EvalInterval.
+  // Used ONLY by a context that privately owns this node's interner (the
+  // single-threaded configuration): with one owner they are exactly the
+  // old zero-indirection fast path. Contexts attached to a *shared*
+  // interner never touch these — concurrent workers would race — and
+  // memoize into their own id-indexed tables instead (see ExprContext).
   mutable uint64_t eval_gen_ = 0;
   mutable uint64_t eval_value_ = 0;
   mutable uint64_t interval_gen_ = 0;
   mutable UInterval interval_value_;
 };
 
-// Owns and interns expressions.
+// Owns and hash-conses expressions: sharded open-addressing tables keyed by
+// structural hash, one mutex per shard (lock striping). Expressions are
+// immutable after interning and owned by stable unique_ptrs, so readers
+// never need a lock — only Intern serializes, and only within one shard.
+//
+// A private interner (concurrent == false, the ExprContext default) elides
+// the locks entirely and matches the old single-table perf; the scheduler
+// builds one concurrent interner per multi-worker run and hands every
+// worker's ExprContext a reference, which is what lets stolen states skip
+// the re-intern pass (docs/scheduler.md).
+class ExprInterner {
+ public:
+  // The structural identity of one node; what the tables are keyed by.
+  struct Key {
+    ExprKind kind = ExprKind::kConstant;
+    unsigned width = 1;
+    uint64_t constant = 0;
+    unsigned symbol = 0;
+    const Expr* a = nullptr;
+    const Expr* b = nullptr;
+    const Expr* c = nullptr;
+    unsigned extract_offset = 0;
+  };
+
+  explicit ExprInterner(bool concurrent = false);
+  ExprInterner(const ExprInterner&) = delete;
+  ExprInterner& operator=(const ExprInterner&) = delete;
+
+  // Returns the canonical node for `key`, creating it if absent. Takes the
+  // owning shard's lock iff the interner is concurrent.
+  const Expr* Intern(const Key& key);
+  // Same, with the key's hash (HashKey) already computed by the caller —
+  // the contexts' local-cache fast path hashes first to probe its cache and
+  // must not pay for it twice.
+  const Expr* InternHashed(const Key& key, uint64_t hash);
+
+  // Total interned expressions (sums the shards; takes the shard locks when
+  // concurrent, so the count is exact).
+  size_t NumExprs() const;
+
+  // True iff `e` is one of this interner's nodes — the steal-validation
+  // walk's primitive (src/sched/translate.h). Probes only e's home shard.
+  bool Owns(const Expr* e) const;
+
+  bool concurrent() const { return concurrent_; }
+
+  static uint64_t HashKey(const Key& key);
+
+ private:
+  friend class ExprContext;
+
+  // A concurrent interner uses 16 stripes: enough that 8 workers rarely
+  // collide, few enough that per-shard tables stay warm. A private one
+  // collapses to a single shard — the old flat-table layout, with no
+  // per-construction cost for stripes that would never contend. Shards are
+  // selected by the hash's top bits so the choice is independent of the
+  // in-shard probe sequence (low bits).
+  static constexpr size_t kConcurrentShards = 16;
+
+  struct Shard {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<Expr>> exprs;
+    // Open-addressing: power-of-two table of borrowed pointers, linear
+    // probing, no deletions (expressions live as long as the interner).
+    std::vector<Expr*> table;
+    size_t mask = 0;
+  };
+
+  static bool Matches(const Expr& e, const Key& key);
+  static void GrowTable(Shard& shard);
+
+  Shard& ShardFor(uint64_t hash) const { return shards_[(hash >> 60) & shard_mask_]; }
+
+  // unique_ptr<Shard[]>: shards hold a mutex (immovable), and the count is
+  // fixed at construction. Mutexes are taken from const readers (NumExprs,
+  // Owns) when the interner is concurrent.
+  std::unique_ptr<Shard[]> shards_;
+  size_t shard_mask_ = 0;  // shard count - 1
+  std::atomic<uint64_t> next_id_{0};
+  bool concurrent_;
+};
+
+// One worker's view of an interner: the canonicalizing builders plus the
+// worker-private evaluation caches. The default constructor owns a private
+// (lock-free) interner — the single-threaded configuration; the reference
+// constructor attaches to a shared one.
 class ExprContext {
  public:
   using UInterval = overify::UInterval;
 
   ExprContext();
+  explicit ExprContext(ExprInterner& shared);
+  // Pointer form for callers that decide at runtime: null owns a private
+  // interner, non-null attaches to `shared`.
+  explicit ExprContext(ExprInterner* shared);
   ExprContext(const ExprContext&) = delete;
   ExprContext& operator=(const ExprContext&) = delete;
 
@@ -280,8 +389,10 @@ class ExprContext {
   // canonical orderings are structural-hash-based and therefore
   // context-independent — so the structure is copied bit-for-bit without
   // re-simplification, and hash-consing restores pointer identity for
-  // already-present nodes. Used by the scheduler's work-stealing
-  // re-interning pass (src/sched/translate.h).
+  // already-present nodes. Used by the scheduler's legacy
+  // (per-worker-interner) work-stealing re-intern pass
+  // (src/sched/translate.h); the default shared-interner configuration
+  // never needs it.
   const Expr* ImportNode(const Expr* src, const Expr* a, const Expr* b, const Expr* c);
 
   // Rebuilds one node with replacement children through the canonicalizing
@@ -325,45 +436,71 @@ class ExprContext {
   // ConstraintPreprocessor::RangeOf).
   uint64_t interval_generation() const { return interval_generation_; }
 
-  size_t NumExprs() const { return exprs_.size(); }
+  size_t NumExprs() const { return interner_->NumExprs(); }
+
+  // The interner this context builds into (shared across workers in the
+  // scheduler's multi-worker configuration, private otherwise).
+  ExprInterner& interner() { return *interner_; }
+  const ExprInterner& interner() const { return *interner_; }
 
   // Fast-path observability (cumulative since construction).
   uint64_t eval_memo_hits() const { return eval_memo_hits_; }
   uint64_t interval_memo_hits() const { return interval_memo_hits_; }
 
  private:
-  struct Key {
-    ExprKind kind = ExprKind::kConstant;
-    unsigned width = 1;
-    uint64_t constant = 0;
-    unsigned symbol = 0;
-    const Expr* a = nullptr;
-    const Expr* b = nullptr;
-    const Expr* c = nullptr;
-    unsigned extract_offset = 0;
+  using Key = ExprInterner::Key;
+
+  // Per-expression memo slots, indexed by Expr::id() in the
+  // context-private tables — the generation-stamped caches behind Evaluate
+  // / EvalInterval. Worker-private so memoizing over a shared interner's
+  // DAG never races (stamps start at 0, generations at 1: a fresh slot is
+  // never valid). Eval and interval slots live in separate flat arrays so
+  // each memo's hot loop touches a dense 16/24-byte stride.
+  struct EvalSlot {
+    uint64_t gen = 0;
+    uint64_t value = 0;
+  };
+  struct IntervalSlot {
+    uint64_t gen = 0;
+    UInterval value;
   };
 
-  static uint64_t HashKey(const Key& key);
-  static bool Matches(const Expr& e, const Key& key);
-
   const Expr* Intern(const Key& key);
-  void GrowTable();
+  template <typename Slot>
+  static Slot& SlotFor(std::vector<Slot>& slots, const Expr* e);
+
+  // The recursive evaluators are instantiated once per memo mode
+  // (kSharedMemos false = inline slots on the Expr, true = id-indexed
+  // tables) so the single-owner fast path compiles without the mode branch
+  // in its hot recursion. Defined (and only instantiated) in expr.cc.
+  template <bool kSharedMemos>
+  uint64_t EvaluateImpl(const Expr* e, const std::vector<uint8_t>& bytes);
 
   // Shared recursive worker behind EvalInterval/EvalIntervalRanges; `sym`
-  // maps a symbol index to its interval. Defined (and only instantiated) in
-  // expr.cc.
-  template <typename SymFn>
+  // maps a symbol index to its interval.
+  template <bool kSharedMemos, typename SymFn>
   UInterval EvalIntervalWith(const Expr* e, const SymFn& sym);
 
-  std::vector<std::unique_ptr<Expr>> exprs_;
-  // Open-addressing interner: power-of-two table of owned pointers, linear
-  // probing, no deletions (expressions live as long as the context).
-  std::vector<Expr*> table_;
-  size_t table_mask_ = 0;
+  std::unique_ptr<ExprInterner> owned_interner_;  // null when attached
+  ExprInterner* interner_;
+  // Contexts attached to a concurrent interner keep a lossy direct-mapped
+  // cache of recent interns (structural hash -> canonical node). A hit
+  // skips the shard lock and table probe entirely; the hash-consing hit
+  // rate on the workloads is high enough that most builder calls never
+  // touch the shared tables. Empty (and unused) over a private interner,
+  // whose lock-free flat table needs no shortcut. Never stale: interners
+  // never delete nodes.
+  std::vector<const Expr*> intern_cache_;
+  // True when this context must not touch the Exprs' inline memo slots
+  // (the interner — and therefore the nodes — is shared with other
+  // workers); memoization then uses the id-indexed tables below.
+  bool shared_memos_ = false;
+  // Indexed by Expr::id(), grown lazily. Unused when !shared_memos_.
+  std::vector<EvalSlot> eval_memo_;
+  std::vector<IntervalSlot> interval_memo_;
   std::vector<const Expr*> symbols_;  // dense by symbol index; null = absent
   const Expr* true_;
   const Expr* false_;
-  uint64_t next_id_ = 0;
 
   uint64_t eval_generation_ = 1;
   uint64_t interval_generation_ = 1;

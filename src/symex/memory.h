@@ -64,6 +64,16 @@ class AddressSpace {
   // never mutated in place.
   void RewriteContents(const std::function<const Expr*(const Expr*)>& fn);
 
+  // Read-only visit of every object's byte expressions (the scheduler's
+  // steal-validation walk).
+  void ForEachByte(const std::function<void(const Expr*)>& fn) const {
+    for (const auto& [id, state] : contents_) {
+      for (uint64_t i = 0; i < state->size(); ++i) {
+        fn(state->Byte(i));
+      }
+    }
+  }
+
  private:
   // Hash maps: object ids are dense and lookups sit on the engine's
   // per-instruction path; states fork by copying these tables, so flat

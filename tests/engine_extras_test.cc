@@ -165,6 +165,70 @@ TEST(DeadStackObjectTest, EscapedFrameAddressIsReportedOnUse) {
   EXPECT_TRUE(result.FoundBug(BugKind::kOutOfBounds));
 }
 
+// ---- SupportSet overflow: symbol indices >= 64 leave the one-word bitmask
+// and live in the sorted overflow vector (src/symex/expr.h). Drive that
+// path end to end through the engine: constraints over bytes 65/68/70 flow
+// through FilterIndependent's overflow-aware intersection tests, the core
+// solver's support walks, and bug-model extraction.
+
+TEST(SupportOverflowTest, WorkloadWithMoreThan64SymbolicBytesIsExplored) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      if (in[65] == 'A' && in[70] == 'B') {
+        __check(in[2] != '!', "bang past the bitmask");
+        return 1;
+      }
+      if (in[0] == in[68]) { return 2; }
+      return 0;
+    }
+  )");
+  constexpr unsigned kBytes = 72;
+  SymexLimits limits;
+  SymexResult result = SymbolicExecutor(*m).Run("umain", kBytes, limits);
+  EXPECT_TRUE(result.exhausted);
+  // The high-byte constraints must actually prune: byte 2's check only
+  // fires on the path where bytes 65 and 70 matched.
+  ASSERT_TRUE(result.FoundBug(BugKind::kCheckFailed));
+  for (const BugReport& bug : result.bugs) {
+    if (bug.kind != BugKind::kCheckFailed) {
+      continue;
+    }
+    // The model spans every symbolic byte and satisfies the overflow-path
+    // constraints that guard the bug.
+    ASSERT_EQ(bug.example_input.size(), kBytes);
+    EXPECT_EQ(bug.example_input[65], 'A');
+    EXPECT_EQ(bug.example_input[70], 'B');
+    EXPECT_EQ(bug.example_input[2], '!');
+  }
+  // Independence filtering keeps overflow-support constraints when they
+  // share a high symbol: the in[0] == in[68] branch forks on both sides.
+  EXPECT_GE(result.paths_completed, 4u);
+}
+
+TEST(SupportOverflowTest, HighSymbolResultsAreWorkerCountIndependent) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int score = 0;
+      if (in[66] > 'm') { score += 1; }
+      if (in[1] == in[67]) { score += 2; }
+      if (in[71] == in[66]) { score += 4; }
+      return score;
+    }
+  )");
+  SymexLimits limits;
+  SymexOptions one_opts;
+  one_opts.jobs = 1;
+  SymexResult one = SymbolicExecutor(*m, one_opts).Run("umain", 72, limits);
+  EXPECT_TRUE(one.exhausted);
+  SymexOptions four_opts;
+  four_opts.jobs = 4;
+  SymexResult four = SymbolicExecutor(*m, four_opts).Run("umain", 72, limits);
+  EXPECT_EQ(one.paths_completed, four.paths_completed);
+  EXPECT_EQ(one.forks, four.forks);
+  EXPECT_EQ(one.instructions, four.instructions);
+  EXPECT_EQ(four.steal_reintern, 0u);
+}
+
 TEST(OutputCaptureTest, SymbolicOutputBytesAreTracked) {
   auto m = CompileOrDie(R"(
     int umain(unsigned char *in, int n) {

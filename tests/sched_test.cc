@@ -1,12 +1,16 @@
 // The scheduler subsystem: pluggable searchers, work-stealing workers, and
 // the determinism contract — identical bug sets, verdicts, and path counts
-// for 1..N workers on exhausted runs (docs/scheduler.md).
+// for 1..N workers on exhausted runs (docs/scheduler.md), preserved under
+// batch stealing and the shared lock-striped interner.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "src/driver/compiler.h"
 #include "src/frontend/codegen.h"
 #include "src/sched/searcher.h"
 #include "src/sched/translate.h"
+#include "src/sched/worker_pool.h"
 #include "src/symex/executor.h"
 #include "src/workloads/workloads.h"
 
@@ -33,6 +37,23 @@ const std::vector<SearchStrategy>& AllStrategies() {
       SearchStrategy::kDfs, SearchStrategy::kBfs, SearchStrategy::kRandomPath,
       SearchStrategy::kCoverageGuided};
   return kAll;
+}
+
+// The worker-count determinism properties honor OVERIFY_SCHED_STRATEGY so
+// CI's multi-core job can re-prove the contract per searcher (its strategy
+// matrix sets dfs / coverage-guided); unset runs the DFS default.
+SearchStrategy DeterminismStrategy() {
+  const char* env = std::getenv("OVERIFY_SCHED_STRATEGY");
+  if (env == nullptr || *env == '\0') {
+    return SearchStrategy::kDfs;
+  }
+  for (SearchStrategy strategy : AllStrategies()) {
+    if (std::string(env) == SearchStrategyName(strategy)) {
+      return strategy;
+    }
+  }
+  ADD_FAILURE() << "unknown OVERIFY_SCHED_STRATEGY '" << env << "'";
+  return SearchStrategy::kDfs;
 }
 
 // Two results must agree on everything the determinism contract covers.
@@ -119,12 +140,15 @@ TEST(SchedulerDeterminismTest, WorkerCountsAgreeOnForkHeavyProgram) {
     }
   )");
   SymexLimits limits;
-  SymexResult one = RunWith(*m, SearchStrategy::kDfs, 1, 6, limits);
+  SearchStrategy strategy = DeterminismStrategy();
+  SymexResult one = RunWith(*m, strategy, 1, 6, limits);
   EXPECT_TRUE(one.exhausted);
   EXPECT_GE(one.paths_completed, 64u);
   for (unsigned jobs : {2u, 4u}) {
-    SymexResult many = RunWith(*m, SearchStrategy::kDfs, jobs, 6, limits);
+    SymexResult many = RunWith(*m, strategy, jobs, 6, limits);
     ExpectEquivalent(one, many, "jobs=" + std::to_string(jobs));
+    // Shared-interner steal path: migrated states never re-intern.
+    EXPECT_EQ(many.steal_reintern, 0u);
   }
 }
 
@@ -142,12 +166,14 @@ TEST(SchedulerDeterminismTest, WorkerCountsAgreeOnBugSets) {
     }
   )");
   SymexLimits limits;
-  SymexResult one = RunWith(*m, SearchStrategy::kDfs, 1, 6, limits);
+  SearchStrategy strategy = DeterminismStrategy();
+  SymexResult one = RunWith(*m, strategy, 1, 6, limits);
   EXPECT_TRUE(one.exhausted);
   EXPECT_FALSE(one.bugs.empty());
   for (unsigned jobs : {2u, 4u, 8u}) {
-    SymexResult many = RunWith(*m, SearchStrategy::kDfs, jobs, 6, limits);
+    SymexResult many = RunWith(*m, strategy, jobs, 6, limits);
     ExpectEquivalent(one, many, "jobs=" + std::to_string(jobs));
+    EXPECT_EQ(many.steal_reintern, 0u);
   }
 }
 
@@ -156,12 +182,13 @@ TEST(SchedulerDeterminismTest, WorkloadSuiteIdenticalAcrossWorkerCounts) {
   SymexLimits limits;
   limits.max_paths = 60000;
   limits.max_seconds = 30;
+  SearchStrategy strategy = DeterminismStrategy();
   for (const Workload& workload : CoreutilsSuite()) {
     Compiler compiler;
     auto compiled = compiler.Compile(workload.source, OptLevel::kOverify, workload.name);
     ASSERT_TRUE(compiled.ok) << workload.name;
-    SymexResult one = Analyze(compiled, "umain", 3, limits, /*jobs=*/1);
-    SymexResult four = Analyze(compiled, "umain", 3, limits, /*jobs=*/4);
+    SymexResult one = Analyze(compiled, "umain", 3, limits, /*jobs=*/1, strategy);
+    SymexResult four = Analyze(compiled, "umain", 3, limits, /*jobs=*/4, strategy);
     if (!one.exhausted) {
       continue;  // the contract covers exhausted runs only
     }
@@ -169,10 +196,10 @@ TEST(SchedulerDeterminismTest, WorkloadSuiteIdenticalAcrossWorkerCounts) {
   }
 }
 
-// A deeper run on the heaviest benchmark workload at -O3 (thousands of
-// paths), where stealing actually happens.
-TEST(SchedulerDeterminismTest, WcAtO3IdenticalAcrossWorkerCountsAndStrategies) {
-  const char* source = R"(
+// The heaviest benchmark workload (thousands of paths at -O3), where
+// stealing actually happens.
+const char* WcSource() {
+  return R"(
     int wc(unsigned char *str, int any) {
       int res = 0;
       int new_word = 1;
@@ -187,11 +214,15 @@ TEST(SchedulerDeterminismTest, WcAtO3IdenticalAcrossWorkerCountsAndStrategies) {
     }
     int umain(unsigned char *in, int n) { return wc(in, 1); }
   )";
+}
+
+// A deeper run on the wc workload at -O3, where stealing actually happens.
+TEST(SchedulerDeterminismTest, WcAtO3IdenticalAcrossWorkerCountsAndStrategies) {
   Compiler compiler;
-  auto compiled = compiler.Compile(source, OptLevel::kO3);
+  auto compiled = compiler.Compile(WcSource(), OptLevel::kO3);
   ASSERT_TRUE(compiled.ok);
   SymexLimits limits;
-  limits.max_seconds = 60;
+  limits.max_seconds = 120;
   SymexResult one = Analyze(compiled, "umain", 5, limits, /*jobs=*/1);
   ASSERT_TRUE(one.exhausted);
   EXPECT_GE(one.paths_completed, 1000u);
@@ -200,6 +231,216 @@ TEST(SchedulerDeterminismTest, WcAtO3IdenticalAcrossWorkerCountsAndStrategies) {
   SymexResult coverage = Analyze(compiled, "umain", 5, limits, /*jobs=*/4,
                                  SearchStrategy::kCoverageGuided);
   ExpectEquivalent(one, coverage, "wc@O3 jobs=4 coverage");
+}
+
+// ---- Shared-interner steal path vs the legacy re-intern path.
+
+// Both interner configurations must satisfy the same contract, and the
+// shared one must never pay the per-state re-intern pass; the legacy one
+// must pay it for exactly every stolen state.
+TEST(SharedInternerTest, SharedAndLegacyConfigurationsAgreeOnWcAtO3) {
+  Compiler compiler;
+  auto compiled = compiler.Compile(WcSource(), OptLevel::kO3);
+  ASSERT_TRUE(compiled.ok);
+  SymexLimits limits;
+  limits.max_seconds = 120;
+
+  SymexOptions shared;
+  shared.jobs = 4;
+  ASSERT_TRUE(shared.shared_interner);  // the default configuration
+  SymexResult with_shared = Analyze(compiled, "umain", 5, limits, shared);
+  ASSERT_TRUE(with_shared.exhausted);
+  EXPECT_GE(with_shared.paths_completed, 1000u);
+  EXPECT_EQ(with_shared.steal_reintern, 0u);
+
+  SymexOptions legacy;
+  legacy.jobs = 4;
+  legacy.shared_interner = false;
+  SymexResult with_legacy = Analyze(compiled, "umain", 5, limits, legacy);
+  ExpectEquivalent(with_shared, with_legacy, "shared vs legacy interner");
+  // Every legacy steal re-interns; a batch is at least one state.
+  EXPECT_EQ(with_legacy.steal_reintern, with_legacy.steals);
+  EXPECT_LE(with_legacy.steal_batches, with_legacy.steals);
+}
+
+// The validation-only residue of the old re-intern pass: every stolen
+// state's expressions must already live in the shared interner. The walk
+// asserts internally; the run doubles as a determinism check.
+TEST(SharedInternerTest, ValidatedStealsMatchTheUnvalidatedRun) {
+  Compiler compiler;
+  auto compiled = compiler.Compile(WcSource(), OptLevel::kO3);
+  ASSERT_TRUE(compiled.ok);
+  SymexLimits limits;
+  limits.max_seconds = 120;
+  SymexOptions plain;
+  plain.jobs = 4;
+  SymexResult baseline = Analyze(compiled, "umain", 5, limits, plain);
+  ASSERT_TRUE(baseline.exhausted);
+  SymexOptions validated = plain;
+  validated.validate_steals = true;
+  SymexResult checked = Analyze(compiled, "umain", 5, limits, validated);
+  ExpectEquivalent(baseline, checked, "validate_steals");
+  EXPECT_EQ(checked.steal_reintern, 0u);
+}
+
+// ---- Pool reuse: a second Run on the same pool starts from clean search
+// state (regression: the coverage searcher's visit table used to survive
+// between runs, skewing the next run's order and growing without bound).
+
+TEST(PoolReuseTest, SecondRunOnTheSamePoolMatchesTheFirst) {
+  auto m = CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      int c = 0;
+      for (int i = 0; i < n; i++) {
+        if (in[i] == 'q') { c++; }
+        if (in[i] == 'z') { c += 2; }
+      }
+      return c;
+    }
+  )");
+  SymexOptions options;
+  options.strategy = SearchStrategy::kCoverageGuided;
+  options.jobs = 2;
+  SymexLimits limits;
+  sched::WorkerPool pool(*m, options);
+  Function* entry = m->GetFunction("umain");
+  ASSERT_NE(entry, nullptr);
+  SymexResult first = pool.Run(entry, 5, limits);
+  EXPECT_TRUE(first.exhausted);
+  SymexResult second = pool.Run(entry, 5, limits);
+  ExpectEquivalent(first, second, "pool reuse");
+}
+
+// ---- The bucketed coverage-guided searcher.
+
+std::unique_ptr<ExecState> StateAt(BasicBlock* block, uint64_t id) {
+  auto state = std::make_unique<ExecState>();
+  state->id = id;
+  StackFrame frame;
+  frame.block = block;
+  state->stack.push_back(std::move(frame));
+  return state;
+}
+
+// Blocks of the compiled module, in layout order (the searcher only needs
+// distinct pointers).
+std::vector<BasicBlock*> BlocksOf(Module& m, const std::string& name) {
+  Function* fn = m.GetFunction(name);
+  EXPECT_NE(fn, nullptr);
+  std::vector<BasicBlock*> blocks;
+  for (BasicBlock& block : *fn) {
+    blocks.push_back(&block);
+  }
+  return blocks;
+}
+
+std::unique_ptr<Module> TwoBlockModule() {
+  return CompileOrDie(R"(
+    int umain(unsigned char *in, int n) {
+      if (in[0] > 'm') { return 1; }
+      return 0;
+    }
+  )");
+}
+
+TEST(CoverageBucketedSearcherTest, NextPrefersLeastVisitedAndLazilyRebuckets) {
+  auto m = TwoBlockModule();
+  std::vector<BasicBlock*> blocks = BlocksOf(*m, "umain");
+  ASSERT_GE(blocks.size(), 2u);
+  auto searcher = sched::MakeSearcher(SearchStrategy::kCoverageGuided, 0);
+
+  // stale: added while its block had 0 visits, then the block gains 3.
+  searcher->Add(StateAt(blocks[0], /*id=*/1));
+  for (int i = 0; i < 3; ++i) {
+    searcher->NotifyBlockEntered(blocks[0]);
+  }
+  searcher->Add(StateAt(blocks[1], /*id=*/2));  // genuinely unvisited
+  ASSERT_EQ(searcher->Size(), 2u);
+
+  // The unvisited block's state comes first even though it was added last;
+  // the stale state is rebucketed on the way.
+  auto first = searcher->Next();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->id, 2u);
+  auto second = searcher->Next();
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->id, 1u);
+  EXPECT_EQ(searcher->Next(), nullptr);
+  EXPECT_EQ(searcher->Size(), 0u);
+}
+
+TEST(CoverageBucketedSearcherTest, StealTakesTheColdEndMostVisitedOldestFirst) {
+  auto m = TwoBlockModule();
+  std::vector<BasicBlock*> blocks = BlocksOf(*m, "umain");
+  ASSERT_GE(blocks.size(), 2u);
+  auto searcher = sched::MakeSearcher(SearchStrategy::kCoverageGuided, 0);
+
+  for (int i = 0; i < 5; ++i) {
+    searcher->NotifyBlockEntered(blocks[1]);
+  }
+  searcher->Add(StateAt(blocks[1], /*id=*/1));  // hot block, oldest
+  searcher->Add(StateAt(blocks[1], /*id=*/2));  // hot block, newest
+  searcher->Add(StateAt(blocks[0], /*id=*/3));  // unvisited: the hot end
+
+  // Thieves drain the most-visited bucket oldest-first; the owner's hot
+  // end (the unvisited block's state) is taken last.
+  std::vector<std::unique_ptr<ExecState>> batch;
+  searcher->StealBatch(batch, 3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0]->id, 1u);
+  EXPECT_EQ(batch[1]->id, 2u);
+  EXPECT_EQ(batch[2]->id, 3u);
+  EXPECT_EQ(searcher->Size(), 0u);
+}
+
+// Regression (ISSUE 4): visit counts used to accumulate for the searcher's
+// whole lifetime; Reset must clear them along with the pending states.
+TEST(CoverageBucketedSearcherTest, ResetClearsVisitCountsAndStates) {
+  auto m = TwoBlockModule();
+  std::vector<BasicBlock*> blocks = BlocksOf(*m, "umain");
+  ASSERT_GE(blocks.size(), 2u);
+  auto searcher = sched::MakeSearcher(SearchStrategy::kCoverageGuided, 0);
+
+  for (int i = 0; i < 5; ++i) {
+    searcher->NotifyBlockEntered(blocks[0]);
+  }
+  searcher->Add(StateAt(blocks[0], /*id=*/1));
+  searcher->Reset();
+  EXPECT_EQ(searcher->Size(), 0u);
+  EXPECT_EQ(searcher->Next(), nullptr);
+
+  // After the reset blocks[0] must rank as unvisited again: give blocks[1]
+  // one (fresh) visit and blocks[0] must win. With the stale pre-reset
+  // counts it would have ranked 5-vs-1 and lost.
+  searcher->NotifyBlockEntered(blocks[1]);
+  searcher->Add(StateAt(blocks[1], /*id=*/2));
+  searcher->Add(StateAt(blocks[0], /*id=*/3));
+  auto first = searcher->Next();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->id, 3u);
+}
+
+// ---- Batch stealing through the Searcher interface.
+
+TEST(StealBatchTest, DefaultImplementationDrainsTheColdEndInOrder) {
+  auto m = TwoBlockModule();
+  std::vector<BasicBlock*> blocks = BlocksOf(*m, "umain");
+  ASSERT_GE(blocks.size(), 1u);
+  auto searcher = sched::MakeSearcher(SearchStrategy::kDfs, 0);
+  for (uint64_t id = 1; id <= 5; ++id) {
+    searcher->Add(StateAt(blocks[0], id));
+  }
+  std::vector<std::unique_ptr<ExecState>> batch;
+  searcher->StealBatch(batch, 2);
+  // DFS's cold end is the oldest state; coldest first.
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0]->id, 1u);
+  EXPECT_EQ(batch[1]->id, 2u);
+  EXPECT_EQ(searcher->Size(), 3u);
+  // The hot end is untouched: Next still pops the newest.
+  auto next = searcher->Next();
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->id, 5u);
 }
 
 // ---- Per-cause terminated accounting.

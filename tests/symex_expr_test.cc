@@ -1,6 +1,9 @@
 // Tests for the symbolic expression DAG and its canonicalizing builder.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "src/ir/constant.h"
 #include "src/symex/expr.h"
 
@@ -176,6 +179,64 @@ TEST(ExprTest, EvaluateSignedOps) {
   bytes = {0x7F};
   ctx.NewEvaluation();
   EXPECT_EQ(ctx.Evaluate(neg, bytes), 0u);
+}
+
+// ---- The sharded, lock-striped interner shared across contexts.
+
+TEST(SharedInternerTest, RacingContextsConvergeOnOneCanonicalNode) {
+  ExprInterner interner(/*concurrent=*/true);
+  constexpr int kThreads = 4;
+  std::vector<const Expr*> roots(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&interner, &roots, t] {
+      // Each worker builds the identical DAG through its own context view;
+      // hash-consing in the shared tables must give every thread the same
+      // pointers despite the races.
+      ExprContext ctx(interner);
+      const Expr* acc = ctx.Constant(0, 32);
+      for (unsigned i = 0; i < 200; ++i) {
+        const Expr* term = ctx.Binary(ExprKind::kMul, ctx.ZExt(ctx.Symbol(i % 8), 32),
+                                      ctx.Constant(i + 1, 32));
+        acc = ctx.Binary(ExprKind::kAdd, acc, term);
+      }
+      roots[t] = acc;
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(roots[0], roots[t]) << "thread " << t;
+  }
+  EXPECT_TRUE(interner.Owns(roots[0]));
+}
+
+TEST(SharedInternerTest, OwnsRejectsForeignNodes) {
+  ExprInterner interner(/*concurrent=*/true);
+  ExprContext view(interner);
+  const Expr* inside = view.Constant(7, 32);
+  EXPECT_TRUE(interner.Owns(inside));
+  ExprContext private_ctx;
+  EXPECT_FALSE(interner.Owns(private_ctx.Constant(123456, 32)));
+}
+
+TEST(SharedInternerTest, PerContextMemosEvaluateTheSharedDagIndependently) {
+  ExprInterner interner(/*concurrent=*/true);
+  ExprContext a(interner);
+  const Expr* sum = a.Binary(ExprKind::kAdd, a.ZExt(a.Symbol(0), 32),
+                             a.ZExt(a.Symbol(1), 32));
+  // Two views evaluate the same node under different assignments; their
+  // generation-stamped memo tables must not bleed into each other (with
+  // inline slots on the shared Expr they would).
+  ExprContext b(interner);
+  std::vector<uint8_t> x{10, 20};
+  std::vector<uint8_t> y{1, 2};
+  a.NewEvaluation();
+  b.NewEvaluation();
+  EXPECT_EQ(a.Evaluate(sum, x), 30u);
+  EXPECT_EQ(b.Evaluate(sum, y), 3u);
+  EXPECT_EQ(a.Evaluate(sum, x), 30u);  // memoized, still correct
 }
 
 }  // namespace
