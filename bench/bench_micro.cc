@@ -6,6 +6,7 @@
 #include "bench/bench_common.h"
 #include "src/symex/solver.h"
 #include "src/workloads/textgen.h"
+#include "src/workloads/workloads.h"
 
 using namespace overify;
 using namespace overify::bench;
@@ -159,6 +160,50 @@ void BM_ExploreWcAtO3(benchmark::State& state) {
   ReportPreprocessStats(state, last.solver);
 }
 BENCHMARK(BM_ExploreWcAtO3);
+
+// Suite-scale macro benchmarks: the two widest workloads of the Coreutils
+// suite (docs/workloads.md), explored at their full default symbolic width.
+// cksum_wide's 72 bytes push constraint supports past symbol 64 (the
+// SupportSet overflow vector) and pose one wide-support parity query per
+// path; sum_block's 48-byte fork-free block stresses wide expression
+// building instead of forking. Tracked in BENCH_symex.json like the engine
+// microbenchmarks so suite-scale exploration cost cannot silently regress.
+void RunExploreWorkload(benchmark::State& state, const char* name, OptLevel level) {
+  const Workload* workload = FindWorkload(name);
+  if (workload == nullptr) {
+    state.SkipWithError(("unknown workload: " + std::string(name)).c_str());
+    return;
+  }
+  Compiler compiler;
+  CompileResult compiled = compiler.Compile(workload->source, level, workload->name);
+  if (!compiled.ok) {
+    state.SkipWithError((workload->name + " failed to compile: " + compiled.errors).c_str());
+    return;
+  }
+  SymexLimits limits;
+  limits.max_seconds = 60;
+  SymexResult last;
+  for (auto _ : state) {
+    last = Analyze(compiled, "umain", workload->default_sym_bytes, limits);
+    benchmark::DoNotOptimize(last.paths_completed);
+  }
+  state.counters["paths"] = static_cast<double>(last.paths_completed);
+  state.counters["solver_queries"] = static_cast<double>(last.solver.queries);
+  state.counters["core_candidates"] = static_cast<double>(last.solver.core_candidates);
+  state.counters["eval_memo_hits"] = static_cast<double>(last.solver.eval_memo_hits);
+  state.counters["independence_drops"] = static_cast<double>(last.solver.independence_drops);
+  ReportPreprocessStats(state, last.solver);
+}
+
+void BM_ExploreCksumWideAtOverify(benchmark::State& state) {
+  RunExploreWorkload(state, "cksum_wide", OptLevel::kOverify);
+}
+BENCHMARK(BM_ExploreCksumWideAtOverify);
+
+void BM_ExploreSumBlockAtOverify(benchmark::State& state) {
+  RunExploreWorkload(state, "sum_block", OptLevel::kOverify);
+}
+BENCHMARK(BM_ExploreSumBlockAtOverify);
 
 void ReportStealStats(benchmark::State& state, const SymexResult& result) {
   state.counters["steals"] = static_cast<double>(result.steals);

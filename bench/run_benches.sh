@@ -54,7 +54,7 @@ MICRO_JSON="$(mktemp)"
 trap 'rm -f "$MICRO_JSON"' EXIT
 
 "$BUILD_DIR/bench_micro" \
-  --benchmark_filter='BM_ExprInterning|BM_SolverSingleByteQuery|BM_SolverMultiByteRelation|BM_FilterIndependent|BM_ExploreWcAtOverify|BM_ExploreWcAtO3|BM_ParallelExploreWc' \
+  --benchmark_filter='BM_ExprInterning|BM_SolverSingleByteQuery|BM_SolverMultiByteRelation|BM_FilterIndependent|BM_ExploreWcAtOverify|BM_ExploreWcAtO3|BM_ExploreCksumWideAtOverify|BM_ExploreSumBlockAtOverify|BM_ParallelExploreWc' \
   --benchmark_format=json --benchmark_min_time=0.5 >"$MICRO_JSON"
 
 python3 - "$MICRO_JSON" "$OUT" <<'PY'

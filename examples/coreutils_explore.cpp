@@ -1,11 +1,14 @@
-// Explore one utility of the workload suite under every build configuration
-// (Figure 3 of the paper: debug / release / -OVERIFY side by side).
+// Explore the Coreutils-style workload suite (Figure 3 of the paper: debug
+// / release / -OVERIFY side by side).
 //
-//   $ ./coreutils_explore [workload] [sym_bytes]
+//   $ ./coreutils_explore                      # whole suite, one row each
+//   $ ./coreutils_explore <workload> [bytes]   # one utility, every level
 //
-// Defaults to `trim` with 5 symbolic bytes. Prints, per optimization level:
-// static size, compile time, exploration outcome, and the concrete run of
-// the workload's sample input (whose result must agree across levels).
+// With no arguments, iterates the full expanded suite and prints
+// per-workload stats: symbolic width, static size and exploration outcome
+// at -O3 and -OVERIFY, and the concrete run of the sample input (whose
+// result must agree across levels). Naming a workload prints the detailed
+// per-level table for it instead.
 #include <cstdio>
 #include <cstdlib>
 
@@ -17,27 +20,76 @@
 
 using namespace overify;
 
-int main(int argc, char** argv) {
-  const char* name = argc > 1 ? argv[1] : "trim";
-  unsigned sym_bytes = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 5;
+namespace {
 
-  const Workload* workload = FindWorkload(name);
-  if (workload == nullptr) {
-    std::fprintf(stderr, "unknown workload '%s'; available:\n", name);
-    for (const Workload& w : CoreutilsSuite()) {
-      std::fprintf(stderr, "  %s\n", w.name.c_str());
-    }
-    return 1;
+struct LevelStats {
+  size_t instructions = 0;
+  uint64_t paths = 0;
+  bool exhausted = false;
+  double analysis_ms = 0;
+  int64_t sample_result = 0;
+  bool sample_ok = false;
+};
+
+LevelStats ExploreAt(const Workload& workload, OptLevel level, unsigned sym_bytes) {
+  LevelStats stats;
+  Compiler compiler;
+  CompileResult compiled = compiler.Compile(workload.source, level, workload.name);
+  if (!compiled.ok) {
+    std::fprintf(stderr, "compile failed for %s at %s:\n%s\n", workload.name.c_str(),
+                 OptLevelName(level), compiled.errors.c_str());
+    std::exit(1);
   }
+  SymexLimits limits;
+  limits.max_paths = 100000;
+  limits.max_seconds = 10;
+  SymexResult analysis = Analyze(compiled, "umain", sym_bytes, limits);
+  stats.instructions = compiled.instruction_count;
+  stats.paths = analysis.paths_completed;
+  stats.exhausted = analysis.exhausted;
+  stats.analysis_ms = analysis.wall_seconds * 1e3;
 
-  std::printf("== %s with %u symbolic bytes ==\n\n", workload->name.c_str(), sym_bytes);
+  Interpreter interp(*compiled.module);
+  InterpResult run = interp.Run("umain", workload.sample_input);
+  stats.sample_ok = run.ok;
+  stats.sample_result = run.return_value;
+  return stats;
+}
+
+int ExploreSuite() {
+  TextTable table({"workload", "bytes", "instrs O3/OVERIFY", "paths O3", "paths OVERIFY",
+                   "analysis ms O3/OVERIFY", "sample result"});
+  for (const Workload& workload : CoreutilsSuite()) {
+    LevelStats o3 = ExploreAt(workload, OptLevel::kO3, workload.default_sym_bytes);
+    LevelStats overify = ExploreAt(workload, OptLevel::kOverify, workload.default_sym_bytes);
+    if (o3.sample_ok != overify.sample_ok ||
+        (o3.sample_ok && o3.sample_result != overify.sample_result)) {
+      std::fprintf(stderr, "%s: sample result diverged between levels!\n",
+                   workload.name.c_str());
+      return 1;
+    }
+    table.AddRow({workload.name, std::to_string(workload.default_sym_bytes),
+                  std::to_string(o3.instructions) + "/" + std::to_string(overify.instructions),
+                  std::to_string(o3.paths) + (o3.exhausted ? "" : " (capped)"),
+                  std::to_string(overify.paths) + (overify.exhausted ? "" : " (capped)"),
+                  FormatDouble(o3.analysis_ms, 1) + "/" + FormatDouble(overify.analysis_ms, 1),
+                  overify.sample_ok ? std::to_string(overify.sample_result) : "trap"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("%zu workloads; paths/analysis at each workload's default symbolic width\n",
+              CoreutilsSuite().size());
+  return 0;
+}
+
+int ExploreOne(const Workload& workload, unsigned sym_bytes) {
+  std::printf("== %s with %u symbolic bytes ==\n\n", workload.name.c_str(), sym_bytes);
   TextTable table({"level", "instrs", "compile ms", "paths", "exhausted", "analysis ms",
                    "sample result"});
 
   for (OptLevel level :
        {OptLevel::kO0, OptLevel::kO1, OptLevel::kO2, OptLevel::kO3, OptLevel::kOverify}) {
     Compiler compiler;
-    CompileResult compiled = compiler.Compile(workload->source, level, workload->name);
+    CompileResult compiled = compiler.Compile(workload.source, level, workload.name);
     if (!compiled.ok) {
       std::fprintf(stderr, "compile failed at %s:\n%s\n", OptLevelName(level),
                    compiled.errors.c_str());
@@ -49,7 +101,7 @@ int main(int argc, char** argv) {
     SymexResult analysis = Analyze(compiled, "umain", sym_bytes, limits);
 
     Interpreter interp(*compiled.module);
-    InterpResult run = interp.Run("umain", workload->sample_input);
+    InterpResult run = interp.Run("umain", workload.sample_input);
 
     table.AddRow({OptLevelName(level), std::to_string(compiled.instruction_count),
                   FormatDouble(compiled.compile_seconds * 1e3, 1),
@@ -59,6 +111,26 @@ int main(int argc, char** argv) {
                   run.ok ? std::to_string(run.return_value) : ("trap: " + run.error)});
   }
   std::printf("%s\n", table.ToString().c_str());
-  std::printf("sample input: \"%s\"\n", workload->sample_input.c_str());
+  std::printf("sample input: \"%s\"\n", workload.sample_input.c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) {
+    return ExploreSuite();
+  }
+  const char* name = argv[1];
+  const Workload* workload = FindWorkload(name);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'; available:\n", name);
+    for (const Workload& w : CoreutilsSuite()) {
+      std::fprintf(stderr, "  %s\n", w.name.c_str());
+    }
+    return 1;
+  }
+  unsigned sym_bytes = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2]))
+                                : workload->default_sym_bytes;
+  return ExploreOne(*workload, sym_bytes);
 }

@@ -82,14 +82,24 @@ class Interpreter::Impl {
     frame.pc = frame.block->begin();
     frame.locals.resize(slot_cache_.Count(entry));
     if (entry->NumArgs() >= 1) {
-      OVERIFY_ASSERT(entry->NumArgs() == 2, "entry must be (u8* buf, i32 len) or ()");
-      uint64_t id = next_object_++;
-      std::vector<uint8_t> buffer = input;
-      buffer.push_back(0);
-      objects_[id] = ConcreteObject{std::move(buffer), false, "input"};
-      frame.locals[entry->Arg(0)->local_slot()] = CVal::Ptr(id, 0);
-      frame.locals[entry->Arg(1)->local_slot()] =
-          CVal::Int(TruncateToWidth(input.size(), entry->Arg(1)->type()->bits()));
+      OVERIFY_ASSERT(entry->NumArgs() == 2 || entry->NumArgs() == 4,
+                     "entry must be (u8* buf, i32 len), (u8* a, i32 na, u8* b, i32 nb), or ()");
+      // A 4-arg entry models two-input utilities: the input splits
+      // first-buffer-gets-the-ceiling, mirroring the symbolic engine's
+      // symbol-index split exactly (docs/workloads.md).
+      size_t first = entry->NumArgs() == 4 ? input.size() - input.size() / 2 : input.size();
+      for (size_t arg = 0; arg + 1 < entry->NumArgs(); arg += 2) {
+        size_t begin = arg == 0 ? 0 : first;
+        size_t end = arg == 0 ? first : input.size();
+        uint64_t id = next_object_++;
+        std::vector<uint8_t> buffer(input.begin() + begin, input.begin() + end);
+        buffer.push_back(0);
+        objects_[id] = ConcreteObject{std::move(buffer), false,
+                                      arg == 0 ? "input" : "input2"};
+        frame.locals[entry->Arg(arg)->local_slot()] = CVal::Ptr(id, 0);
+        frame.locals[entry->Arg(arg + 1)->local_slot()] =
+            CVal::Int(TruncateToWidth(end - begin, entry->Arg(arg + 1)->type()->bits()));
+      }
     }
     stack_.push_back(std::move(frame));
 

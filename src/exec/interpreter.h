@@ -51,6 +51,9 @@ class Interpreter {
 
   // Runs `entry` with `input` as the buffer argument (NUL terminator added),
   // matching the symbolic engine's convention: entry(u8* buf, i32 n) or ().
+  // A 4-arg entry (u8* a, i32 na, u8* b, i32 nb) models two-input utilities;
+  // the input splits first-buffer-gets-the-ceiling, exactly as the engine
+  // splits its symbolic bytes (docs/workloads.md).
   InterpResult Run(Function* entry, const std::vector<uint8_t>& input,
                    const InterpLimits& limits = {});
   InterpResult Run(const std::string& entry_name, const std::string& input,

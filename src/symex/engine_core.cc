@@ -164,19 +164,30 @@ class EngineCore::Impl {
     frame.locals.resize(slots_.Count(entry));
 
     if (entry->NumArgs() >= 1) {
-      OVERIFY_ASSERT(entry->NumArgs() == 2, "entry must be (u8* buf, i32 len) or ()");
-      // Input buffer: the symbolic bytes plus a forced NUL terminator (the
-      // paper's Coreutils runs model symbolic arguments the same way).
-      uint64_t buffer = state.memory.Allocate(ctx_, num_symbols_ + 1, false, false, "input");
-      ObjectState& object = state.memory.Write(buffer);
-      for (unsigned i = 0; i < num_symbols_; ++i) {
-        object.SetByte(i, ctx_.Symbol(i));
+      OVERIFY_ASSERT(entry->NumArgs() == 2 || entry->NumArgs() == 4,
+                     "entry must be (u8* buf, i32 len), (u8* a, i32 na, u8* b, i32 nb), or ()");
+      // Input buffers: the symbolic bytes plus a forced NUL terminator per
+      // buffer (the paper's Coreutils runs model symbolic arguments the same
+      // way). A 4-arg entry models two-input utilities (cmp, comm): the
+      // symbolic bytes split first-buffer-gets-the-ceiling, with symbol
+      // indices running consecutively across the buffers; the concrete
+      // interpreter splits its input identically (docs/workloads.md).
+      unsigned first = entry->NumArgs() == 4 ? num_symbols_ - num_symbols_ / 2 : num_symbols_;
+      unsigned symbol = 0;
+      for (size_t arg = 0; arg + 1 < entry->NumArgs(); arg += 2) {
+        unsigned count = arg == 0 ? first : num_symbols_ - first;
+        uint64_t buffer = state.memory.Allocate(ctx_, count + 1, false, false,
+                                                arg == 0 ? "input" : "input2");
+        ObjectState& object = state.memory.Write(buffer);
+        for (unsigned i = 0; i < count; ++i) {
+          object.SetByte(i, ctx_.Symbol(symbol++));
+        }
+        object.SetByte(count, ctx_.Constant(0, 8));
+        frame.locals[entry->Arg(arg)->local_slot()] =
+            RuntimeValue::Pointer(SymPointer{buffer, ctx_.Constant(0, 64)});
+        frame.locals[entry->Arg(arg + 1)->local_slot()] = RuntimeValue::Int(
+            ctx_.Constant(count, entry->Arg(arg + 1)->type()->bits()));
       }
-      object.SetByte(num_symbols_, ctx_.Constant(0, 8));
-      frame.locals[entry->Arg(0)->local_slot()] =
-          RuntimeValue::Pointer(SymPointer{buffer, ctx_.Constant(0, 64)});
-      frame.locals[entry->Arg(1)->local_slot()] = RuntimeValue::Int(
-          ctx_.Constant(num_symbols_, entry->Arg(1)->type()->bits()));
     }
     state.stack.push_back(std::move(frame));
   }
@@ -255,9 +266,28 @@ class EngineCore::Impl {
         return it->second.lo != 0 ? CondOutcome::kTrue : CondOutcome::kFalse;
       }
     }
+    // Path-membership fast path. A forked sibling resumes *at* its branch
+    // instruction with the decided direction already appended to its
+    // constraints (ConstrainOrFork), so the re-executed branch is settled
+    // here by a pointer scan — hash-consing makes structural equality
+    // pointer equality within a context. Without this, the sibling's
+    // re-decide poses a query containing a constraint and its own negation,
+    // an UNSAT set the backtracking core can only refute by enumeration —
+    // invisible on narrow conditions (the preprocessor's byte bindings
+    // shortcut it), but a full candidate-budget burn per fork on
+    // wide-support conditions like the suite-scale checksum workloads.
+    const Expr* not_cond = ctx_.Not(cond);
+    for (auto it = state.constraints.rbegin(); it != state.constraints.rend(); ++it) {
+      if (*it == cond) {
+        return CondOutcome::kTrue;
+      }
+      if (*it == not_cond) {
+        return CondOutcome::kFalse;
+      }
+    }
     SatResult can_true = solver_.MayBeTrue(state.constraints, cond, nullptr,
                                            &state.solver_prefix);
-    SatResult can_false = solver_.MayBeTrue(state.constraints, ctx_.Not(cond), nullptr,
+    SatResult can_false = solver_.MayBeTrue(state.constraints, not_cond, nullptr,
                                             &state.solver_prefix);
     bool t = can_true == SatResult::kSat;
     bool f = can_false == SatResult::kSat;

@@ -133,7 +133,10 @@ class SymbolicExecutor {
 
   // Explores `entry` with `num_input_bytes` symbolic bytes. The entry
   // function must take (u8* buffer, i32 length) — the buffer holds the
-  // symbolic bytes plus a guaranteed NUL terminator — or no arguments.
+  // symbolic bytes plus a guaranteed NUL terminator — or no arguments, or
+  // (u8* a, i32 na, u8* b, i32 nb) for two-input programs: the symbolic
+  // bytes split first-buffer-gets-the-ceiling, each buffer NUL-terminated
+  // (docs/workloads.md).
   SymexResult Run(Function* entry, unsigned num_input_bytes, const SymexLimits& limits);
   SymexResult Run(const std::string& entry_name, unsigned num_input_bytes,
                   const SymexLimits& limits);

@@ -166,12 +166,21 @@ SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>&
     }
     if (candidate_index[depth] >= candidates.size()) {
       // Level exhausted: jump to the deepest level implicated in any of the
-      // failures; reassigning anything in between cannot help.
-      uint64_t mask = use_cbj ? conflict_mask[depth]
-                              : (depth > 0 ? uint64_t{1} << (depth - 1) : 0);
+      // failures; reassigning anything in between cannot help. Without CBJ
+      // (queries wider than 64 symbols) this is plain chronological
+      // backtracking, computed directly — level indices past 63 cannot be
+      // expressed as bit masks.
+      uint64_t mask = use_cbj ? conflict_mask[depth] : 0;
       candidate_index[depth] = 0;
       conflict_mask[depth] = 0;
       assigned[order[depth]] = false;
+      if (!use_cbj) {
+        if (depth == 0) {
+          return SatResult::kUnsat;
+        }
+        --depth;
+        continue;
+      }
       if (mask == 0) {
         return SatResult::kUnsat;
       }
@@ -203,7 +212,10 @@ SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>&
     assignment[order[depth]] = candidates[candidate_index[depth]++];
     assigned[order[depth]] = true;
 
-    const uint64_t below = (uint64_t{1} << depth) - 1;
+    // Levels strictly below this one, saturating: depths past 63 only occur
+    // with CBJ off (order.size() > 64), where level_mask is all-zero and the
+    // blame mask is never consulted — but the shift itself must stay defined.
+    const uint64_t below = depth >= 64 ? ~uint64_t{0} : (uint64_t{1} << depth) - 1;
     bool ok = true;
     // Constraints that just became fully determined.
     ctx.NewEvaluation();

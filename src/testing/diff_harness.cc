@@ -1,0 +1,266 @@
+#include "src/testing/diff_harness.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/exec/interpreter.h"
+
+namespace overify {
+namespace difftest {
+
+namespace {
+
+void AppendBytes(std::ostringstream& out, const std::vector<uint8_t>& bytes) {
+  out << "[";
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    out << (i == 0 ? "" : " ") << static_cast<unsigned>(bytes[i]);
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string LatticeCell::Name() const {
+  std::ostringstream out;
+  out << OptLevelName(level) << "/j" << jobs << "/"
+      << (shared_interner ? "shared" : "legacy") << "/"
+      << (solver_preprocess ? "prep" : "noprep") << "/" << SearchStrategyName(strategy);
+  return out.str();
+}
+
+SymexOptions LatticeCell::ToOptions() const {
+  SymexOptions options;
+  options.jobs = jobs;
+  options.shared_interner = shared_interner;
+  options.solver_preprocess = solver_preprocess;
+  options.strategy = strategy;
+  return options;
+}
+
+bool BugSignature::operator<(const BugSignature& other) const {
+  if (kind != other.kind) {
+    return kind < other.kind;
+  }
+  if (message != other.message) {
+    return message < other.message;
+  }
+  if (example_input != other.example_input) {
+    return example_input < other.example_input;
+  }
+  return confirmed < other.confirmed;
+}
+
+bool RunSignature::operator==(const RunSignature& other) const {
+  return exhausted == other.exhausted && paths_completed == other.paths_completed &&
+         paths_infeasible == other.paths_infeasible && paths_bug == other.paths_bug &&
+         paths_limit == other.paths_limit && paths_unexplored == other.paths_unexplored &&
+         instructions == other.instructions && forks == other.forks && bugs == other.bugs;
+}
+
+std::string RunSignature::ToString() const {
+  std::ostringstream out;
+  out << (exhausted ? "exhausted" : "CAPPED") << " paths=" << paths_completed
+      << " infeasible=" << paths_infeasible << " bug=" << paths_bug
+      << " limit=" << paths_limit << " unexplored=" << paths_unexplored
+      << " instructions=" << instructions << " forks=" << forks;
+  for (const BugSignature& bug : bugs) {
+    out << "\n    bug " << BugKindName(bug.kind) << " '" << bug.message << "' input=";
+    AppendBytes(out, bug.example_input);
+    out << (bug.confirmed ? " (confirmed)" : " (UNCONFIRMED)");
+  }
+  return out.str();
+}
+
+std::string SemanticSignature::ToString() const {
+  std::ostringstream out;
+  out << (exhausted ? "exhausted" : "CAPPED") << " kinds=[";
+  for (size_t i = 0; i < bug_kinds.size(); ++i) {
+    out << (i == 0 ? "" : " ") << BugKindName(bug_kinds[i].first)
+        << (bug_kinds[i].second ? "+confirmed" : "+unconfirmed");
+  }
+  out << "]";
+  return out.str();
+}
+
+SemanticSignature SemanticOf(const RunSignature& signature) {
+  SemanticSignature semantic;
+  semantic.exhausted = signature.exhausted;
+  for (const BugSignature& bug : signature.bugs) {
+    semantic.bug_kinds.emplace_back(bug.kind, bug.confirmed);
+  }
+  std::sort(semantic.bug_kinds.begin(), semantic.bug_kinds.end());
+  semantic.bug_kinds.erase(std::unique(semantic.bug_kinds.begin(), semantic.bug_kinds.end()),
+                           semantic.bug_kinds.end());
+  return semantic;
+}
+
+std::vector<LatticeCell> FullLattice(const DiffOptions& options) {
+  std::vector<LatticeCell> cells;
+  for (OptLevel level : options.levels) {
+    for (unsigned jobs : options.jobs) {
+      for (bool shared : options.interners) {
+        for (bool preprocess : options.preprocess) {
+          for (SearchStrategy strategy : options.strategies) {
+            LatticeCell cell;
+            cell.level = level;
+            cell.jobs = jobs;
+            cell.shared_interner = shared;
+            cell.solver_preprocess = preprocess;
+            cell.strategy = strategy;
+            cells.push_back(cell);
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+// Builds the canonical signature of one run, replaying bug inputs through
+// the interpreter of this cell's build when confirmation is on.
+RunSignature SignatureOf(const SymexResult& result, Module& module, const std::string& entry,
+                         bool confirm_models) {
+  RunSignature signature;
+  signature.exhausted = result.exhausted;
+  signature.paths_completed = result.paths_completed;
+  signature.paths_infeasible = result.paths_infeasible;
+  signature.paths_bug = result.paths_bug;
+  signature.paths_limit = result.paths_limit;
+  signature.paths_unexplored = result.paths_unexplored;
+  signature.instructions = result.instructions;
+  signature.forks = result.forks;
+  Function* entry_fn = module.GetFunction(entry);
+  for (const BugReport& bug : result.bugs) {
+    BugSignature sig;
+    sig.kind = bug.kind;
+    sig.message = bug.message;
+    sig.example_input = bug.example_input;
+    if (confirm_models && entry_fn != nullptr && !bug.example_input.empty()) {
+      Interpreter interp(module);
+      InterpResult replay = interp.Run(entry_fn, bug.example_input);
+      sig.confirmed = !replay.ok;
+    }
+    signature.bugs.push_back(std::move(sig));
+  }
+  std::sort(signature.bugs.begin(), signature.bugs.end());
+  return signature;
+}
+
+void DescribeMismatch(std::ostringstream& diff, const LatticeCell& reference_cell,
+                      const RunSignature& reference, const LatticeCell& cell,
+                      const RunSignature& actual) {
+  diff << "cell " << cell.Name() << " diverges from " << reference_cell.Name() << ":\n"
+       << "  reference: " << reference.ToString() << "\n"
+       << "  actual:    " << actual.ToString() << "\n";
+}
+
+}  // namespace
+
+DiffReport RunDifferential(const std::string& name, const std::string& source,
+                           unsigned sym_bytes, const DiffOptions& options) {
+  DiffReport report;
+  report.name = name;
+  report.sym_bytes = sym_bytes;
+  std::ostringstream diff;
+
+  // Reference semantic signature across levels (from the first cell of the
+  // first level group).
+  bool have_semantic_reference = false;
+  SemanticSignature semantic_reference;
+  LatticeCell semantic_reference_cell;
+
+  for (OptLevel level : options.levels) {
+    Compiler compiler;
+    CompileResult compiled = compiler.Compile(source, level, name);
+    if (!compiled.ok) {
+      diff << "compile failed at " << OptLevelName(level) << ":\n" << compiled.errors << "\n";
+      continue;
+    }
+
+    // Within one level every scheduler/solver cell must produce the same
+    // canonical signature; the first cell is the reference.
+    bool have_reference = false;
+    RunSignature reference;
+    LatticeCell reference_cell;
+    for (const LatticeCell& cell : FullLattice(options)) {
+      if (cell.level != level) {
+        continue;
+      }
+      SymexResult result =
+          Analyze(compiled, options.entry, sym_bytes, options.limits, cell.ToOptions());
+      RunSignature signature =
+          SignatureOf(result, *compiled.module, options.entry, options.confirm_models);
+      report.cells.push_back(CellResult{cell, signature});
+
+      for (const BugSignature& bug : signature.bugs) {
+        if (bug.kind == BugKind::kEngineError) {
+          diff << "cell " << cell.Name() << " hit an engine error: " << bug.message << "\n";
+        }
+      }
+      if (options.require_exhausted && !signature.exhausted) {
+        diff << "cell " << cell.Name() << " did not exhaust within the limits: "
+             << signature.ToString() << "\n";
+      }
+
+      if (!have_reference) {
+        have_reference = true;
+        reference = signature;
+        reference_cell = cell;
+      } else {
+        // Counts are only contractual on exhausted runs; when exhaustion is
+        // not required, capped cells fall back to the semantic comparison
+        // below, and the reference is promoted to the level's first
+        // *exhausted* cell so exhausted cells are still held to the
+        // bit-identical contract against each other.
+        bool comparable = options.require_exhausted ||
+                          (reference.exhausted && signature.exhausted);
+        if (comparable && signature != reference) {
+          DescribeMismatch(diff, reference_cell, reference, cell, signature);
+        }
+        if (!options.require_exhausted && !reference.exhausted && signature.exhausted) {
+          reference = signature;
+          reference_cell = cell;
+        }
+      }
+
+      // Cross-level semantics are only contractual for exhausted cells: a
+      // capped run's bug set is whatever the schedule discovered before the
+      // limit, so capped cells (tolerated when exhaustion is not required)
+      // stay out of this comparison entirely.
+      if (signature.exhausted) {
+        SemanticSignature semantic = SemanticOf(signature);
+        if (!have_semantic_reference) {
+          have_semantic_reference = true;
+          semantic_reference = semantic;
+          semantic_reference_cell = cell;
+        } else if (!(semantic == semantic_reference)) {
+          diff << "cell " << cell.Name() << " semantic signature diverges from "
+               << semantic_reference_cell.Name() << ":\n"
+               << "  reference: " << semantic_reference.ToString() << "\n"
+               << "  actual:    " << semantic.ToString() << "\n";
+        }
+      }
+    }
+    if (!have_reference) {
+      diff << "no cells ran at " << OptLevelName(level) << "\n";
+    }
+  }
+
+  if (report.cells.empty()) {
+    diff << "no lattice cells ran\n";
+  }
+  report.diff = diff.str();
+  report.ok = report.diff.empty();
+  return report;
+}
+
+DiffReport RunDifferential(const Workload& workload, unsigned sym_bytes,
+                           const DiffOptions& options) {
+  return RunDifferential(workload.name, workload.source,
+                         sym_bytes == 0 ? workload.default_sym_bytes : sym_bytes, options);
+}
+
+}  // namespace difftest
+}  // namespace overify

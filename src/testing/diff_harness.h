@@ -1,0 +1,163 @@
+// Differential verification harness: one workload, every configuration.
+//
+// The engine has four independently-toggleable fast paths (shared interner,
+// constraint preprocessing, prefix caching behind it, searcher strategy) on
+// top of the optimization-level axis the paper studies. Each of them claims
+// "identical results either way" — this harness is the single oracle that
+// enforces the claim at suite scale instead of scattered per-feature
+// equivalence tests. It runs a program through the full configuration
+// lattice
+//
+//   {-O0, -OVERIFY, -O3} x {1, 4 workers} x {shared, legacy interner}
+//                        x {preprocess on, off} x {dfs, coverage-guided}
+//
+// and asserts a canonical RunSignature per cell:
+//
+//  - within one optimization level (same compiled module), the signature —
+//    per-cause terminated counters, path/fork/instruction counts, and the
+//    sorted bug reports with their confirmed models — must be bit-identical
+//    across every scheduler/solver configuration of an exhausted run;
+//  - across levels the compiled programs differ, so counts are not
+//    comparable; the semantic signature (exhaustion, plus the sorted set of
+//    bug kinds with whether each confirmed) must still agree.
+//
+// "Confirmed" means the bug's example input was replayed through the
+// concrete interpreter on that cell's build and actually trapped — the
+// harness never trusts a model it has not executed.
+//
+// On mismatch the report carries a readable per-cell diff. Workloads come
+// from the Coreutils suite (src/workloads) or from any MiniC source — the
+// randomized kernel generator (src/workloads/textgen.h) plugs in through
+// the source entry point for fuzz-style differential runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/driver/compiler.h"
+#include "src/sched/searcher.h"
+#include "src/symex/executor.h"
+#include "src/workloads/workloads.h"
+
+namespace overify {
+namespace difftest {
+
+// One cell of the configuration lattice.
+struct LatticeCell {
+  OptLevel level = OptLevel::kOverify;
+  unsigned jobs = 1;
+  bool shared_interner = true;
+  bool solver_preprocess = true;
+  SearchStrategy strategy = SearchStrategy::kDfs;
+
+  // "O3/j4/shared/prep/dfs" — stable, greppable cell id.
+  std::string Name() const;
+  SymexOptions ToOptions() const;
+};
+
+// One bug report in canonical form. Reports are compared field-by-field
+// within a level; across levels only (kind, confirmed) participates.
+struct BugSignature {
+  BugKind kind = BugKind::kEngineError;
+  std::string message;
+  std::vector<uint8_t> example_input;
+  // The example input was replayed through the concrete interpreter on this
+  // cell's build and trapped.
+  bool confirmed = false;
+
+  bool operator==(const BugSignature& other) const {
+    return kind == other.kind && message == other.message &&
+           example_input == other.example_input && confirmed == other.confirmed;
+  }
+  bool operator<(const BugSignature& other) const;
+};
+
+// The canonical result of one cell's run: everything the determinism
+// contract covers, nothing schedule-dependent (steal traffic, wall time and
+// solver statistics are deliberately absent).
+struct RunSignature {
+  bool exhausted = false;
+  uint64_t paths_completed = 0;
+  uint64_t paths_infeasible = 0;
+  uint64_t paths_bug = 0;
+  uint64_t paths_limit = 0;
+  uint64_t paths_unexplored = 0;
+  uint64_t instructions = 0;
+  uint64_t forks = 0;
+  std::vector<BugSignature> bugs;  // sorted
+
+  bool operator==(const RunSignature& other) const;
+  bool operator!=(const RunSignature& other) const { return !(*this == other); }
+  // Multi-line rendering for diffs and logs.
+  std::string ToString() const;
+};
+
+// The level-independent part: exhaustion + sorted distinct (kind,
+// confirmed) pairs. Comparable across optimization levels, where counts and
+// messages are not.
+struct SemanticSignature {
+  bool exhausted = false;
+  std::vector<std::pair<BugKind, bool>> bug_kinds;  // sorted, distinct
+
+  bool operator==(const SemanticSignature& other) const {
+    return exhausted == other.exhausted && bug_kinds == other.bug_kinds;
+  }
+  std::string ToString() const;
+};
+
+SemanticSignature SemanticOf(const RunSignature& signature);
+
+struct DiffOptions {
+  std::vector<OptLevel> levels = {OptLevel::kO0, OptLevel::kOverify, OptLevel::kO3};
+  std::vector<unsigned> jobs = {1, 4};
+  std::vector<bool> interners = {true, false};    // shared_interner values
+  std::vector<bool> preprocess = {true, false};   // solver_preprocess values
+  std::vector<SearchStrategy> strategies = {SearchStrategy::kDfs,
+                                            SearchStrategy::kCoverageGuided};
+  std::string entry = "umain";
+  SymexLimits limits;  // callers size this so every cell exhausts
+  // Replay each bug's example input through the interpreter (sets
+  // BugSignature::confirmed). Off skips the replays for speed.
+  bool confirm_models = true;
+  // Fail the report when any cell fails to exhaust within the limits. The
+  // determinism contract covers exhausted runs only — a capped cell's
+  // counts *and* bug set are whatever the schedule reached before the limit
+  // — so with this off, capped cells are excluded from both the per-level
+  // count comparison and the cross-level semantic comparison (exhausted
+  // cells are still held to the full contract against each other).
+  bool require_exhausted = true;
+};
+
+// The cells the options span, level-major (the harness compiles once per
+// level and reuses the module across that level's scheduler cells).
+std::vector<LatticeCell> FullLattice(const DiffOptions& options);
+
+struct CellResult {
+  LatticeCell cell;
+  RunSignature signature;
+};
+
+struct DiffReport {
+  std::string name;
+  unsigned sym_bytes = 0;
+  bool ok = false;
+  // Human-readable mismatch description (empty when ok). Each divergence
+  // names the cell, the reference cell, and the fields that differ.
+  std::string diff;
+  std::vector<CellResult> cells;
+};
+
+// Runs `source` (a MiniC program defining `entry`) with `sym_bytes`
+// symbolic input bytes through every cell of the lattice and cross-checks
+// the signatures. Compile failures and engine errors surface through
+// DiffReport::diff.
+DiffReport RunDifferential(const std::string& name, const std::string& source,
+                           unsigned sym_bytes, const DiffOptions& options = {});
+
+// Suite convenience: `sym_bytes` of 0 uses the workload's default.
+DiffReport RunDifferential(const Workload& workload, unsigned sym_bytes = 0,
+                           const DiffOptions& options = {});
+
+}  // namespace difftest
+}  // namespace overify

@@ -1,5 +1,8 @@
 #include "src/workloads/textgen.h"
 
+#include <sstream>
+#include <string>
+
 #include "src/support/rng.h"
 
 namespace overify {
@@ -25,6 +28,94 @@ std::string GenerateText(const TextGenOptions& options) {
     }
   }
   return text;
+}
+
+namespace {
+
+// A printable, escape-free character for embedding in generated source.
+char PickChar(Rng& rng) {
+  const char pool[] = "abcxyz,;: .#/+-0129AZ";
+  return pool[rng.NextBelow(sizeof(pool) - 1)];
+}
+
+const char* PickCtype(Rng& rng) {
+  const char* pool[] = {"isalpha", "isdigit", "isspace", "isprint", "islower", "isupper"};
+  return pool[rng.NextBelow(6)];
+}
+
+std::string Acc(Rng& rng, unsigned accumulators) {
+  return "a" + std::to_string(rng.NextBelow(accumulators));
+}
+
+// One loop-body statement over `in[i]`. Everything in the pool is total:
+// no symbolic divisors, no stores through pointers, no inner loops.
+std::string PickStatement(Rng& rng, unsigned accumulators) {
+  std::ostringstream s;
+  switch (rng.NextBelow(7)) {
+    case 0:  // separator counter
+      s << "if (in[i] == '" << PickChar(rng) << "') { " << Acc(rng, accumulators)
+        << "++; }";
+      break;
+    case 1:  // ctype classification chain
+      s << "if (" << PickCtype(rng) << "(in[i])) { " << Acc(rng, accumulators) << " += "
+        << rng.NextInRange(1, 3) << "; } else { " << Acc(rng, accumulators) << "++; }";
+      break;
+    case 2:  // checksum fold
+      s << Acc(rng, accumulators) << " = (" << Acc(rng, accumulators)
+        << " + in[i]) & 0xFFFF;";
+      break;
+    case 3:  // range test
+      s << "if (in[i] >= '" << static_cast<char>('a' + rng.NextBelow(4)) << "' && in[i] <= '"
+        << static_cast<char>('m' + rng.NextBelow(6)) << "') { " << Acc(rng, accumulators)
+        << " += 2; }";
+      break;
+    case 4:  // branch-free indicator accumulation
+      s << Acc(rng, accumulators) << " = " << Acc(rng, accumulators) << " + (in[i] == '"
+        << PickChar(rng) << "');";
+      break;
+    case 5:  // word-boundary state machine (wc's inner idiom); a0 is the flag
+      s << "if (isspace(in[i])) { a0 = 0; } else { if (a0 == 0) { "
+        << Acc(rng, accumulators) << "++; } a0 = 1; }";
+      break;
+    default:  // putchar filter
+      s << "putchar(" << (rng.NextBool() ? "tolower" : "toupper") << "(in[i]));";
+      break;
+  }
+  return s.str();
+}
+
+}  // namespace
+
+std::string GenerateMiniCKernel(const KernelGenOptions& options) {
+  Rng rng(options.seed);
+  unsigned accumulators = options.accumulators > 0 ? options.accumulators : 1;
+  unsigned statements = static_cast<unsigned>(
+      rng.NextInRange(options.min_statements, options.max_statements));
+
+  std::ostringstream src;
+  src << "int umain(unsigned char *in, int n) {\n";
+  for (unsigned a = 0; a < accumulators; ++a) {
+    src << "  int a" << a << " = " << rng.NextBelow(3) << ";\n";
+  }
+  // Two loop shapes, matching the suite's two idioms: the NUL-terminated
+  // byte loop (forks once per byte) and the full-block loop over the
+  // concrete length (fork-free body position).
+  bool nul_loop = rng.NextBool();
+  if (nul_loop) {
+    src << "  for (long i = 0; in[i]; i++) {\n";
+  } else {
+    src << "  for (long i = 0; i < n; i++) {\n";
+  }
+  for (unsigned s = 0; s < statements; ++s) {
+    src << "    " << PickStatement(rng, accumulators) << "\n";
+  }
+  src << "  }\n";
+  src << "  return a0";
+  for (unsigned a = 1; a < accumulators; ++a) {
+    src << " ^ (a" << a << " << " << a << ")";
+  }
+  src << ";\n}\n";
+  return src.str();
 }
 
 }  // namespace overify

@@ -20,4 +20,26 @@ struct TextGenOptions {
 // English-like filler text: lowercase words separated by spaces/newlines.
 std::string GenerateText(const TextGenOptions& options);
 
+// Randomized MiniC utility kernels for fuzz-style differential runs through
+// the harness in src/testing/diff_harness.h.
+//
+// Every generated program defines `int umain(unsigned char *in, int n)`
+// built from the suite's coreutils idioms — a byte loop (NUL-terminated or
+// full-block), ctype classification chains, separator counters, a
+// word-boundary state machine, checksum folds, putchar filters — combined
+// at random. Generation is a pure function of the seed, and the statement
+// pool is total by construction: no symbolic divisors, no buffer writes, no
+// unbounded loops, so a generated kernel never traps and its differential
+// signature is clean (bug set empty) at every optimization level. A kernel
+// that DID diverge across lattice cells is therefore always an engine or
+// pipeline defect, never an artifact of the generator.
+struct KernelGenOptions {
+  uint64_t seed = 1;
+  unsigned min_statements = 2;  // loop-body statements
+  unsigned max_statements = 5;
+  unsigned accumulators = 3;    // a0..aK-1, xor-folded into the return value
+};
+
+std::string GenerateMiniCKernel(const KernelGenOptions& options);
+
 }  // namespace overify

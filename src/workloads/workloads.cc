@@ -61,6 +61,54 @@ int umain(unsigned char *in, int n) {
 }
 )");
 
+  // ---- cksum_wide: a 16-bit additive checksum at suite-scale input — 72
+  // symbolic bytes, so path constraints and expression supports reach past
+  // symbol 64 into the SupportSet overflow vector, and multi-worker runs
+  // have enough queued states for batch stealing to engage. The NUL loop
+  // keeps the path count linear in the input size; the parity branch at
+  // each path's end poses one wide-support query per path that stays
+  // satisfiable in both directions (the last byte flips the sum's parity),
+  // so the backtracking solver settles it in O(path length) candidates.
+  add("cksum_wide", 72, "The quick brown fox jumps over the lazy dog 0123456789 etaoin",
+      R"(
+int umain(unsigned char *in, int n) {
+  unsigned sum = 0;
+  long i = 0;
+  while (in[i]) {
+    sum = (sum + in[i]) & 0xFFFFu;
+    i++;
+  }
+  if ((sum & 1u) == 0u) { putchar('e'); } else { putchar('o'); }
+  return (int)sum;
+}
+)");
+
+  // ---- cmp_bufs: byte-wise compare of two inputs (cmp(1)); the first
+  // two-buffer workload — umain takes two NUL-terminated symbolic buffers.
+  add("cmp_bufs", 6, "abcabc", R"(
+int umain(unsigned char *a, int na, unsigned char *b, int nb) {
+  long i = 0;
+  while (a[i] && b[i]) {
+    if (a[i] != b[i]) { return (int)i + 1; }
+    i++;
+  }
+  if (a[i] != b[i]) { return (int)i + 1; }
+  return 0;
+}
+)");
+
+  // ---- comm_bufs: bytes of the first input that occur anywhere in the
+  // second (comm(1) on characters); two-buffer umain + symbolic strchr.
+  add("comm_bufs", 4, "abxb", R"(
+int umain(unsigned char *a, int na, unsigned char *b, int nb) {
+  int common = 0;
+  for (long i = 0; a[i]; i++) {
+    if (strchr((char*)b, (int)a[i])) { common++; }
+  }
+  return common;
+}
+)");
+
   // ---- comm_lite: count lines common to two ';'-separated word lists
   // (adjacent equal words, both sorted single-word case).
   add("comm_lite", 6, "apple;apple", R"(
@@ -119,6 +167,21 @@ int umain(unsigned char *in, int n) {
 }
 )");
 
+  // ---- cut_f: the second ':'-separated field (cut -f2 -d:).
+  add("cut_f", 6, "ab:cd:e", R"(
+int umain(unsigned char *in, int n) {
+  char *sep = strchr((char*)in, ':');
+  if (!sep) { return 0; }
+  char *field = sep + 1;
+  long len = 0;
+  while (field[len] && field[len] != ':') {
+    putchar((int)(unsigned char)field[len]);
+    len++;
+  }
+  return (int)len;
+}
+)");
+
   // ---- dirname: path up to the last '/'.
   add("dirname", 6, "usr/bin/cc", R"(
 int umain(unsigned char *in, int n) {
@@ -169,6 +232,26 @@ int umain(unsigned char *in, int n) {
 }
 )");
 
+  // ---- expand_stops: tabs advance to the next 4-column stop (real tab
+  // stops, unlike `expand`'s fixed four spaces).
+  add("expand_stops", 5, "a\tbc\td", R"(
+int umain(unsigned char *in, int n) {
+  int col = 0;
+  int emitted = 0;
+  for (long i = 0; in[i]; i++) {
+    if (in[i] == '\t') {
+      putchar(' '); col++; emitted++;
+      while (col % 4 != 0) { putchar(' '); col++; emitted++; }
+    } else if (in[i] == '\n') {
+      putchar('\n'); col = 0;
+    } else {
+      putchar(in[i]); col++;
+    }
+  }
+  return emitted;
+}
+)");
+
   // ---- expr_add: evaluate "<digits>+<digits>".
   add("expr_add", 5, "12+34", R"(
 int umain(unsigned char *in, int n) {
@@ -206,6 +289,28 @@ int umain(unsigned char *in, int n) {
   for (long i = 0; in[i]; i++) {
     if (in[i] == '\n') { col = 0; putchar('\n'); continue; }
     if (col == 8) { putchar('\n'); col = 0; breaks++; }
+    putchar(in[i]);
+    col++;
+  }
+  return breaks;
+}
+)");
+
+  // ---- fold_sp: fold -s flavored wrapping at 6 columns — a break resumes
+  // the column count from the last space, not from zero.
+  add("fold_sp", 5, "abc def ghij", R"(
+int umain(unsigned char *in, int n) {
+  int col = 0;
+  int since_space = 0;
+  int breaks = 0;
+  for (long i = 0; in[i]; i++) {
+    if (in[i] == '\n') { col = 0; since_space = 0; putchar('\n'); continue; }
+    if (in[i] == ' ') { since_space = 0; } else { since_space++; }
+    if (col >= 6) {
+      putchar('\n');
+      breaks++;
+      col = since_space;
+    }
     putchar(in[i]);
     col++;
   }
@@ -360,6 +465,25 @@ int umain(unsigned char *in, int n) {
 }
 )");
 
+  // ---- seq_range: parse "<lo>:<hi>" and print the sequence (seq-style
+  // numeric parsing: two atoi calls over symbolic digits, sign handling).
+  add("seq_range", 5, "2:5", R"(
+int umain(unsigned char *in, int n) {
+  char *sep = strchr((char*)in, ':');
+  if (!sep) { return -1; }
+  int lo = atoi((char*)in);
+  int hi = atoi(sep + 1);
+  if (hi - lo > 9) { hi = lo + 9; }
+  int sum = 0;
+  for (int v = lo; v <= hi; v++) {
+    putchar('0' + ((v % 10) + 10) % 10);
+    putchar('\n');
+    sum += v;
+  }
+  return sum;
+}
+)");
+
   // ---- sort_chars: insertion-sort the input bytes (sort(1) on characters).
   add("sort_chars", 5, "dcba", R"(
 int umain(unsigned char *in, int n) {
@@ -404,6 +528,26 @@ int umain(unsigned char *in, int n) {
   }
   if (run_len >= 2) { runs++; }
   return runs;
+}
+)");
+
+  // ---- sum_block: branch-free accumulation over a full fixed-size block
+  // (sum(1) over a record) — the second suite-scale workload: 48 symbolic
+  // bytes, no per-byte forks (the loop bound is the concrete n), and two
+  // trailing branches whose conditions carry the whole block's support.
+  // Both conditions read low bits of the plain sum, which the last byte of
+  // the block can always set — satisfiable in both directions without
+  // blowing the core solver's candidate budget (see docs/workloads.md on
+  // writing solver-friendly wide workloads).
+  add("sum_block", 48, "the fat cat sat on the mat, twice, then left,,,,", R"(
+int umain(unsigned char *in, int n) {
+  unsigned total = 0;
+  for (long i = 0; i < n; i++) {
+    total = (total + in[i]) & 0xFFFFu;
+  }
+  if ((total & 1u) == 1u) { putchar('x'); }
+  if ((total & 2u) == 2u) { putchar('y'); }
+  return (int)(total % 1009u);
 }
 )");
 
@@ -514,6 +658,24 @@ int umain(unsigned char *in, int n) {
 }
 )");
 
+  // ---- tr_squeeze: squeeze runs of spaces to one (tr -s ' ').
+  add("tr_squeeze", 5, "a  b   c", R"(
+int umain(unsigned char *in, int n) {
+  int squeezed = 0;
+  int prev_space = 0;
+  for (long i = 0; in[i]; i++) {
+    if (in[i] == ' ') {
+      if (prev_space) { squeezed++; continue; }
+      prev_space = 1;
+    } else {
+      prev_space = 0;
+    }
+    putchar(in[i]);
+  }
+  return squeezed;
+}
+)");
+
   // ---- trim: strip leading/trailing whitespace.
   add("trim", 6, "  hi  ", R"(
 int umain(unsigned char *in, int n) {
@@ -564,6 +726,24 @@ int umain(unsigned char *in, int n) {
     }
   }
   return kept;
+}
+)");
+
+  // ---- uniq_count: run-length per adjacent byte run (uniq -c), digit-capped.
+  add("uniq_count", 5, "aabbbc", R"(
+int umain(unsigned char *in, int n) {
+  int runs = 0;
+  long i = 0;
+  while (in[i]) {
+    unsigned char prev = in[i];
+    int count = 0;
+    while (in[i] == prev) { count++; i++; }
+    if (count > 9) { count = 9; }
+    putchar('0' + count);
+    putchar((int)prev);
+    runs++;
+  }
+  return runs;
 }
 )");
 
@@ -667,12 +847,17 @@ const std::vector<Workload>& CoreutilsSuite() {
 }
 
 const Workload* FindWorkload(const std::string& name) {
-  for (const Workload& workload : CoreutilsSuite()) {
-    if (workload.name == name) {
-      return &workload;
+  // Name index built once alongside the suite; lookups are O(log n) instead
+  // of a linear scan over every program source.
+  static const std::map<std::string, const Workload*>* kByName = [] {
+    auto* index = new std::map<std::string, const Workload*>();
+    for (const Workload& workload : CoreutilsSuite()) {
+      (*index)[workload.name] = &workload;
     }
-  }
-  return nullptr;
+    return index;
+  }();
+  auto it = kByName->find(name);
+  return it == kByName->end() ? nullptr : it->second;
 }
 
 }  // namespace overify

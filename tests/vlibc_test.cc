@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <string>
 
 #include "src/driver/compiler.h"
 #include "src/exec/interpreter.h"
+#include "src/testing/diff_harness.h"
 
 namespace overify {
 namespace {
@@ -185,6 +187,95 @@ INSTANTIATE_TEST_SUITE_P(AllString, StringEquivalenceTest, ::testing::ValuesIn(k
                          [](const ::testing::TestParamInfo<StringCase>& info) {
                            return info.param.name;
                          });
+
+// ---- Symbolic-input property tests.
+//
+// The workload kernels lean on these helpers with *symbolic* arguments
+// (comm_bufs passes a symbolic byte to strchr, seq_range parses symbolic
+// digits with atoi, every filter runs tolower/toupper over symbolic bytes),
+// so interpreting them on concrete bytes is not enough: the symbolic engine
+// must explore them without false bugs, and both library flavors must
+// produce the same differential signature. The differential harness is the
+// oracle: each trampoline runs the full configuration lattice, which pits
+// the standard flavor (-O0/-O3) against the verify flavor (-OVERIFY).
+
+struct SymbolicHelperCase {
+  const char* name;
+  const char* program;
+  unsigned sym_bytes;
+};
+
+const SymbolicHelperCase kSymbolicHelperCases[] = {
+    {"strlen", "int umain(unsigned char *in, int n) { return (int)strlen((char*)in); }", 4},
+    {"strcmp_sym",
+     "int umain(unsigned char *in, int n) { return strcmp((char*)in, \"ab\"); }", 3},
+    {"strncmp_sym",
+     "int umain(unsigned char *in, int n) { return strncmp((char*)in, \"ab\", 2); }", 3},
+    {"strchr_sym_char",  // symbolic needle, as comm_bufs uses it
+     R"(int umain(unsigned char *in, int n) {
+          char *p = strchr((char*)(in + 1), (int)in[0]);
+          return p ? 1 : 0;
+        })",
+     4},
+    {"strrchr_sym",
+     R"(int umain(unsigned char *in, int n) {
+          char *p = strrchr((char*)in, '/');
+          return p ? (int)(unsigned char)p[1] : -1;
+        })",
+     4},
+    {"atoi_sym", "int umain(unsigned char *in, int n) { return atoi((char*)in); }", 3},
+    {"tolower_sym",
+     "int umain(unsigned char *in, int n) { return tolower(in[0]) + toupper(in[1]); }", 2},
+    {"isalnum_sym",
+     R"(int umain(unsigned char *in, int n) {
+          int c = 0;
+          for (long i = 0; in[i]; i++) { if (isalnum(in[i])) { c++; } }
+          return c;
+        })",
+     3},
+};
+
+class SymbolicHelperTest : public ::testing::TestWithParam<SymbolicHelperCase> {};
+
+TEST_P(SymbolicHelperTest, FlavorsAgreeAcrossTheLattice) {
+  const SymbolicHelperCase& test_case = GetParam();
+  difftest::DiffOptions options;
+  options.limits.max_seconds = 60;
+  difftest::DiffReport report = difftest::RunDifferential(
+      test_case.name, test_case.program, test_case.sym_bytes, options);
+  EXPECT_TRUE(report.ok) << report.diff;
+  for (const auto& cell : report.cells) {
+    EXPECT_TRUE(cell.signature.exhausted) << cell.cell.Name();
+    EXPECT_TRUE(cell.signature.bugs.empty())
+        << cell.cell.Name() << ": " << cell.signature.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHelpers, SymbolicHelperTest,
+                         ::testing::ValuesIn(kSymbolicHelperCases),
+                         [](const ::testing::TestParamInfo<SymbolicHelperCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// The verify flavor's branch-free ctype predicates are the reason -OVERIFY
+// explores fewer paths (Table 1's O(3^n) at -O0 versus linear at -OVERIFY):
+// a predicate call on one symbolic byte must not multiply paths at all.
+TEST(SymbolicCtypeTest, VerifyFlavorPredicatesAreForkFreeAtOverify) {
+  for (const char* fn : {"isspace", "isdigit", "isalpha", "isalnum", "isprint"}) {
+    std::string program =
+        "int umain(unsigned char *in, int n) { return " + std::string(fn) + "((int)in[0]); }";
+    Compiler compiler;
+    auto compiled = compiler.Compile(program, OptLevel::kOverify);
+    ASSERT_TRUE(compiled.ok) << fn << ": " << compiled.errors;
+    SymexLimits limits;
+    limits.max_seconds = 30;
+    auto result = Analyze(compiled, "umain", 1, limits);
+    EXPECT_TRUE(result.exhausted) << fn;
+    EXPECT_EQ(result.forks, 0u) << fn << ": verify-flavor predicate forked";
+    EXPECT_EQ(result.paths_completed, 1u) << fn;
+    EXPECT_TRUE(result.bugs.empty()) << fn;
+  }
+}
 
 TEST(VlibcCheckTest, VerifyFlavorCatchesNullMisuse) {
   const char* program = R"(

@@ -4,6 +4,8 @@
 // symbolic engine without false bug reports.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/driver/compiler.h"
 #include "src/exec/interpreter.h"
 #include "src/ir/verifier.h"
@@ -104,12 +106,55 @@ INSTANTIATE_TEST_SUITE_P(Suite, WorkloadTest, ::testing::ValuesIn(CoreutilsSuite
 
 TEST(SuiteShapeTest, SuiteIsAlphabeticalAndComplete) {
   const auto& suite = CoreutilsSuite();
-  EXPECT_GE(suite.size(), 35u);
+  EXPECT_GE(suite.size(), 55u);
   for (size_t i = 1; i < suite.size(); ++i) {
     EXPECT_LE(suite[i - 1].name, suite[i].name) << "suite not alphabetical at " << i;
   }
   EXPECT_NE(FindWorkload("wc"), nullptr);
   EXPECT_EQ(FindWorkload("not_a_workload"), nullptr);
+  // Every workload is findable through the name index, and the index returns
+  // the suite's own entries (no copies).
+  for (const Workload& workload : suite) {
+    EXPECT_EQ(FindWorkload(workload.name), &workload) << workload.name;
+  }
+  // The suite-scale tail: at least two workloads with >= 32 symbolic bytes
+  // (the SupportSet overflow path needs symbol indices past 64, which
+  // cksum_wide's 72 bytes provide).
+  size_t wide = 0;
+  unsigned widest = 0;
+  for (const Workload& workload : suite) {
+    if (workload.default_sym_bytes >= 32) {
+      ++wide;
+      widest = std::max(widest, workload.default_sym_bytes);
+    }
+  }
+  EXPECT_GE(wide, 2u);
+  EXPECT_GT(widest, 64u);
+}
+
+TEST(SuiteShapeTest, TwoBufferWorkloadsRunThroughBothExecutors) {
+  // The 4-arg umain contract: the interpreter splits concrete input
+  // first-buffer-gets-the-ceiling, so "abcabc" compares "abc" to "abc".
+  const Workload* cmp = FindWorkload("cmp_bufs");
+  ASSERT_NE(cmp, nullptr);
+  Compiler compiler;
+  auto compiled = compiler.Compile(cmp->source, OptLevel::kO2, cmp->name);
+  ASSERT_TRUE(compiled.ok) << compiled.errors;
+  Interpreter interp(*compiled.module);
+  EXPECT_EQ(interp.Run("umain", "abcabc").return_value, 0);
+  EXPECT_EQ(interp.Run("umain", "abcabd").return_value, 3);  // differs at byte 3 of 3
+  EXPECT_EQ(interp.Run("umain", "abab").return_value, 0);
+  EXPECT_EQ(interp.Run("umain", "aba").return_value, 2);  // "ab" vs "a": NUL mismatch
+
+  // Symbolically: 6 bytes split 3+3, both buffers' bytes are live symbols.
+  SymexLimits limits;
+  limits.max_seconds = 30;
+  auto result = Analyze(compiled, "umain", 6, limits);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_GE(result.paths_completed, 4u);
+  for (const BugReport& bug : result.bugs) {
+    EXPECT_NE(bug.kind, BugKind::kEngineError) << bug.message;
+  }
 }
 
 TEST(TextGenTest, DeterministicAndShaped) {
