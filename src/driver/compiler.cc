@@ -58,7 +58,17 @@ SymexResult Analyze(CompileResult& compiled, const std::string& entry, unsigned 
 
 SymexResult Analyze(CompileResult& compiled, const std::string& entry, unsigned input_bytes,
                     const SymexLimits& limits, const SymexOptions& base_options) {
-  OVERIFY_ASSERT(compiled.ok && compiled.module != nullptr, "analyzing a failed compilation");
+  if (!compiled.ok || compiled.module == nullptr) {
+    // Malformed MiniC reaches the driver as a structured error, not an
+    // assertion: the compile diagnostics ride along so callers can surface
+    // them (docs/robustness.md).
+    SymexResult invalid;
+    invalid.ok = false;
+    invalid.error = compiled.errors.empty()
+                        ? "analyzing a failed compilation"
+                        : "analyzing a failed compilation: " + compiled.errors;
+    return invalid;
+  }
   SymexOptions options = base_options;
   if (compiled.annotations != nullptr && compiled.annotations->size() > 0) {
     options.annotations = compiled.annotations.get();

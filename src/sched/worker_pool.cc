@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/sched/translate.h"
+#include "src/support/string_utils.h"
 #include "src/symex/engine_core.h"
 
 namespace overify {
@@ -125,6 +126,39 @@ WorkerPool::~WorkerPool() = default;
 
 SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
                             const SymexLimits& limits) {
+  // Malformed driver input is a structured error, not an assertion: the
+  // engine's own SetupEntry preconditions are validated here, before any
+  // worker launches (docs/robustness.md).
+  {
+    SymexResult invalid;
+    invalid.ok = false;
+    if (entry == nullptr || entry->IsDeclaration()) {
+      invalid.error = "entry function is missing or has no body";
+      return invalid;
+    }
+    if (entry->NumArgs() != 0 && entry->NumArgs() != 2 && entry->NumArgs() != 4) {
+      invalid.error = StrFormat(
+          "entry '%s' takes %u arguments; supported signatures are (), "
+          "(u8* buf, i32 len), and (u8* a, i32 na, u8* b, i32 nb)",
+          entry->name().c_str(), entry->NumArgs());
+      return invalid;
+    }
+    if (entry->NumArgs() >= 2 && num_input_bytes == 0) {
+      invalid.error = StrFormat(
+          "zero-width symbolic buffer: entry '%s' takes an input buffer but "
+          "0 symbolic bytes were requested",
+          entry->name().c_str());
+      return invalid;
+    }
+    if (entry->NumArgs() == 4 && num_input_bytes < 2) {
+      invalid.error = StrFormat(
+          "entry '%s' takes two input buffers but only %u symbolic byte(s) "
+          "were requested (need at least one per buffer)",
+          entry->name().c_str(), num_input_bytes);
+      return invalid;
+    }
+  }
+
   unsigned jobs = options_.jobs;
   if (jobs == 0) {
     jobs = std::max(1u, std::thread::hardware_concurrency());
@@ -143,6 +177,14 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
   SharedCounters shared;
   shared.limits = limits;
   shared.watch.Restart();
+  // The run deadline as a monotonic time point, threaded into every solver
+  // query's QueryControl so max_seconds interrupts a pathological query
+  // mid-search instead of waiting for it to return. Clamped so an
+  // effectively-unbounded max_seconds cannot overflow the duration cast.
+  shared.deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::min(limits.max_seconds, 86400.0 * 365)));
 
   // One shared, lock-striped interner per multi-worker run: every worker's
   // ExprContext builds into it, so stolen states run anywhere without a
@@ -181,8 +223,15 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
   // the coldest state immediately and queues the rest for itself.
   auto try_steal = [&](unsigned thief) -> std::unique_ptr<ExecState> {
     std::vector<std::unique_ptr<ExecState>> batch;
+    FaultInjector& injector = engines[thief]->faults();
     for (unsigned k = 1; k < jobs; ++k) {
       unsigned victim = (thief + k) % jobs;
+      // Injected steal failure: this victim yields nothing this round, as if
+      // a thief raced us to its queue. The thief just moves on; states are
+      // never lost, only delayed.
+      if (injector.enabled() && injector.Fire(FaultSite::kStealBatch)) {
+        continue;
+      }
       queues_[victim]->StealBatch(batch);
       if (batch.empty()) {
         continue;
@@ -247,7 +296,22 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
         continue;
       }
       idle_rounds = 0;
-      engine.RunState(*state, queue, queue.searcher());
+      FaultInjector& injector = engine.faults();
+      if (injector.enabled() && injector.Fire(FaultSite::kWorkerStall)) {
+        // Injected stall: hold the state while the rest of the pool makes
+        // progress (models a descheduled or swapping worker).
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      PathOutcome outcome = engine.RunState(*state, queue, queue.searcher());
+      if (outcome == PathOutcome::kDied) {
+        // Injected worker death mid-state: the state is untouched and still
+        // counted live. Requeue it on this worker's queue — survivors steal
+        // it from there — and run nothing further on this thread. With no
+        // survivors (or jobs == 1) the requeued states surface as
+        // paths_unexplored at aggregation, attributed to kWorkerDeath.
+        queue.AddStolen(std::move(state));
+        break;
+      }
       state.reset();
       shared.live_states.fetch_sub(1, std::memory_order_acq_rel);
     }
@@ -283,9 +347,14 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
     result.paths_infeasible += t.paths_infeasible;
     result.paths_bug += t.paths_bug;
     result.paths_limit += t.paths_limit;
+    result.paths_unknown += t.paths_unknown;
+    result.paths_unknown_budget += t.paths_unknown_budget;
+    result.paths_unknown_deadline += t.paths_unknown_deadline;
+    result.paths_unknown_injected += t.paths_unknown_injected;
     result.instructions += t.instructions;
     result.forks += t.forks;
     result.annotation_hits += t.annotation_hits;
+    result.faults.Accumulate(engine->faults().stats());
 
     const SolverStats& s = engine->solver_stats();
     result.solver.queries += s.queries;
@@ -305,14 +374,33 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
     result.solver.prefix_subset_hits += s.prefix_subset_hits;
     result.solver.prefix_superset_hits += s.prefix_superset_hits;
     result.solver.prefix_model_hits += s.prefix_model_hits;
+    result.solver.unknown_budget += s.unknown_budget;
+    result.solver.unknown_deadline += s.unknown_deadline;
+    result.solver.unknown_cancelled += s.unknown_cancelled;
+    result.solver.unknown_injected += s.unknown_injected;
   }
+  // Worker deaths are the claimed count (bounded by max_worker_deaths), not
+  // the raw draw fires the per-worker stats accumulated above.
+  result.faults.worker_deaths = shared.worker_deaths.load(std::memory_order_relaxed);
   result.paths_terminated = result.paths_infeasible + result.paths_bug + result.paths_limit +
-                            result.paths_unexplored;
+                            result.paths_unexplored + result.paths_unknown;
+  OVERIFY_ASSERT(result.paths_unknown == result.paths_unknown_budget +
+                                             result.paths_unknown_deadline +
+                                             result.paths_unknown_injected,
+                 "every unknown path must be attributed to exactly one cause");
   // Exhausted means every path actually ran to its end — not merely "no
   // limit tripped": a run that completes its last path exactly at a limit
   // (paths_completed == max_paths with nothing queued) latches the stop
-  // flag yet explored everything.
-  result.exhausted = result.paths_limit == 0 && result.paths_unexplored == 0;
+  // flag yet explored everything. A path the solver gave up on is a path
+  // that did not run to its end, so unknowns also forfeit exhaustion.
+  result.exhausted = result.paths_limit == 0 && result.paths_unexplored == 0 &&
+                     result.paths_unknown == 0;
+  result.stop_cause = static_cast<StopCause>(shared.stop_cause.load(std::memory_order_relaxed));
+  if (!result.exhausted && result.stop_cause == StopCause::kNone &&
+      result.faults.worker_deaths > 0) {
+    // No limit latched the stop, but injected deaths left states behind.
+    result.stop_cause = StopCause::kWorkerDeath;
+  }
 
   // Merge bug candidates: smallest path_id wins a (site, kind) pair, final
   // order follows the site's position in the module.

@@ -1,0 +1,135 @@
+#include "src/support/fault.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/support/assert.h"
+
+namespace overify {
+
+namespace {
+
+// SplitMix64 finalizer (same mixer as HashMix64 in src/symex/expr.h;
+// duplicated here so src/support stays dependency-free).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Per-site salts: any distinct odd constants work; they keep the sites'
+// streams independent of each other.
+constexpr uint64_t kSiteSalt[] = {
+    0x9e3779b97f4a7c15ull,  // kSolverUnknown
+    0xbf58476d1ce4e5b9ull,  // kPrefixCacheLookup
+    0x94d049bb133111ebull,  // kStealBatch
+    0x2545f4914f6cdd1dull,  // kWorkerStall
+    0xd1b54a32d192ed03ull,  // kWorkerDeath
+};
+static_assert(sizeof(kSiteSalt) / sizeof(kSiteSalt[0]) ==
+                  static_cast<unsigned>(FaultSite::kNumSites),
+              "one salt per site");
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSolverUnknown:
+      return "solver-unknown";
+    case FaultSite::kPrefixCacheLookup:
+      return "prefix-cache-lookup";
+    case FaultSite::kStealBatch:
+      return "steal-batch";
+    case FaultSite::kWorkerStall:
+      return "worker-stall";
+    case FaultSite::kWorkerDeath:
+      return "worker-death";
+    case FaultSite::kNumSites:
+      break;
+  }
+  return "?";
+}
+
+void FaultStats::Accumulate(const FaultStats& other) {
+  solver_unknown += other.solver_unknown;
+  cache_lookup += other.cache_lookup;
+  steal_batch += other.steal_batch;
+  worker_stalls += other.worker_stalls;
+  worker_deaths += other.worker_deaths;
+  draws += other.draws;
+}
+
+FaultConfig FaultConfig::FromEnv() {
+  FaultConfig config;
+  const char* seed = std::getenv("OVERIFY_FAULT_SEED");
+  if (seed == nullptr || *seed == '\0') {
+    return config;  // disabled
+  }
+  config.seed = std::strtoull(seed, nullptr, 0);
+  if (const char* period = std::getenv("OVERIFY_FAULT_PERIOD")) {
+    uint64_t value = std::strtoull(period, nullptr, 0);
+    config.period = value == 0 ? 1 : static_cast<uint32_t>(value);
+  }
+  if (const char* sites = std::getenv("OVERIFY_FAULT_SITES")) {
+    uint32_t mask = 0;
+    const char* p = sites;
+    while (*p != '\0') {
+      const char* end = std::strchr(p, ',');
+      size_t len = end == nullptr ? std::strlen(p) : static_cast<size_t>(end - p);
+      for (unsigned s = 0; s < static_cast<unsigned>(FaultSite::kNumSites); ++s) {
+        const char* name = FaultSiteName(static_cast<FaultSite>(s));
+        if (len == std::strlen(name) && std::strncmp(p, name, len) == 0) {
+          mask |= 1u << s;
+        }
+      }
+      if (end == nullptr) {
+        break;
+      }
+      p = end + 1;
+    }
+    if (mask != 0) {
+      config.sites = mask;
+    }
+  }
+  return config;
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, unsigned worker_index)
+    : config_(config), stream_(Mix(config.seed ^ (uint64_t{worker_index} + 1))) {}
+
+bool FaultInjector::Fire(FaultSite site) {
+  if (!config_.SiteEnabled(site)) {
+    return false;
+  }
+  OVERIFY_ASSERT(site < FaultSite::kNumSites, "invalid fault site");
+  unsigned index = static_cast<unsigned>(site);
+  uint64_t ordinal = ++counters_[index];
+  ++stats_.draws;
+  uint32_t period = config_.period == 0 ? 1 : config_.period;
+  if (Mix(stream_ ^ (ordinal * kSiteSalt[index])) % period != 0) {
+    return false;
+  }
+  switch (site) {
+    case FaultSite::kSolverUnknown:
+      ++stats_.solver_unknown;
+      break;
+    case FaultSite::kPrefixCacheLookup:
+      ++stats_.cache_lookup;
+      break;
+    case FaultSite::kStealBatch:
+      ++stats_.steal_batch;
+      break;
+    case FaultSite::kWorkerStall:
+      ++stats_.worker_stalls;
+      break;
+    case FaultSite::kWorkerDeath:
+      ++stats_.worker_deaths;
+      break;
+    case FaultSite::kNumSites:
+      break;
+  }
+  return true;
+}
+
+}  // namespace overify

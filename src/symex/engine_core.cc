@@ -35,9 +35,24 @@ class EngineCore::Impl {
         slots_(slots),
         ctx_(interner),
         solver_(ctx_),
+        injector_(options.faults, worker_index),
         num_symbols_(num_input_bytes),
         worker_index_(worker_index) {
     solver_.set_preprocessing(options_.solver_preprocess);
+    // Cooperative query controls: the run deadline (stamped by the pool; a
+    // default-constructed SharedCounters leaves it unset, so direct engine
+    // users never get spurious deadline unknowns), the stop latch, this
+    // worker's fault injector, and the per-query budgets.
+    QueryControl control;
+    if (shared_.deadline != std::chrono::steady_clock::time_point{}) {
+      control.has_deadline = true;
+      control.deadline = shared_.deadline;
+    }
+    control.cancel = &shared_.stop;
+    control.faults = injector_.enabled() ? &injector_ : nullptr;
+    control.query_candidates = shared_.limits.query_candidates;
+    control.query_seconds = shared_.limits.query_seconds;
+    solver_.set_control(control);
     // Global object ids are deterministic — the initial state allocates
     // them first, in module order, starting at 1 — so every worker can
     // reconstruct the mapping without owning the allocation.
@@ -61,9 +76,15 @@ class EngineCore::Impl {
     for (;;) {
       if (++steps_since_check_ >= kLimitCheckInterval) {
         FlushInstructions();
-        if (shared_.LimitsExceeded()) {
-          shared_.RequestStop();
+        // Injected worker death: the state is untouched and still live; the
+        // pool requeues it where a thief can pick it up (docs/robustness.md).
+        // The draw only kills when the run's death cap has headroom, so a
+        // configured number of survivors is guaranteed.
+        if (injector_.enabled() && injector_.Fire(FaultSite::kWorkerDeath) &&
+            shared_.ClaimWorkerDeath(options_.faults.max_worker_deaths)) {
+          return PathOutcome::kDied;
         }
+        LatchExceededLimit();
       }
       if (shared_.StopRequested()) {
         FlushInstructions();
@@ -79,13 +100,13 @@ class EngineCore::Impl {
         case StepOutcome::kPathComplete:
           ++tallies_.paths_completed;
           shared_.paths_completed.fetch_add(1, std::memory_order_relaxed);
-          if (shared_.LimitsExceeded()) {
-            shared_.RequestStop();
-          }
+          LatchExceededLimit();
           return PathOutcome::kCompleted;
         case StepOutcome::kPathInfeasible:
           ++tallies_.paths_infeasible;
           return PathOutcome::kInfeasible;
+        case StepOutcome::kPathUnknown:
+          return RecordUnknown();
         default:
           ++tallies_.paths_bug;
           return PathOutcome::kBug;
@@ -99,6 +120,7 @@ class EngineCore::Impl {
     return bugs_;
   }
   ExprContext& ctx() { return ctx_; }
+  FaultInjector& faults() { return injector_; }
 
  private:
   enum class StepOutcome {
@@ -106,14 +128,54 @@ class EngineCore::Impl {
     kPathComplete,    // main returned
     kPathInfeasible,  // no feasible direction remained
     kPathBug,         // died at a bug site (including engine errors)
+    kPathUnknown,     // the solver gave up on a decisive query
   };
 
   // Guard/access outcomes: the state either survives or dies for a cause.
-  enum class GuardResult { kOk, kDiedBug, kDiedInfeasible };
+  enum class GuardResult { kOk, kDiedBug, kDiedInfeasible, kDiedUnknown };
 
   static StepOutcome DeadOutcome(GuardResult result) {
-    return result == GuardResult::kDiedBug ? StepOutcome::kPathBug
-                                           : StepOutcome::kPathInfeasible;
+    switch (result) {
+      case GuardResult::kDiedBug:
+        return StepOutcome::kPathBug;
+      case GuardResult::kDiedUnknown:
+        return StepOutcome::kPathUnknown;
+      default:
+        return StepOutcome::kPathInfeasible;
+    }
+  }
+
+  void LatchExceededLimit() {
+    StopCause cause = shared_.ExceededCause();
+    if (cause != StopCause::kNone) {
+      shared_.RequestStop(cause);
+    }
+  }
+
+  // Terminates the current path as unknown, attributed to exactly one cause.
+  // A query cancelled by the global stop latch is a limit death (the path
+  // would have been drained anyway); a query that itself hit the run
+  // deadline both counts as a deadline unknown and latches the stop so the
+  // rest of the pool drains promptly.
+  PathOutcome RecordUnknown() {
+    if (shared_.StopRequested()) {
+      ++tallies_.paths_limit;
+      return PathOutcome::kLimitStop;
+    }
+    ++tallies_.paths_unknown;
+    switch (solver_.last_unknown_cause()) {
+      case UnknownCause::kDeadline:
+        ++tallies_.paths_unknown_deadline;
+        shared_.RequestStop(StopCause::kDeadline);
+        break;
+      case UnknownCause::kInjected:
+        ++tallies_.paths_unknown_injected;
+        break;
+      default:
+        ++tallies_.paths_unknown_budget;
+        break;
+    }
+    return PathOutcome::kUnknown;
   }
 
   uint64_t NextStateId() {
@@ -199,23 +261,36 @@ class EngineCore::Impl {
   // canonical (history-free) model query, the surviving report is
   // schedule-independent, so merged bug sets are identical across worker
   // counts on exhausted runs.
-  void ReportBug(ExecState& state, const Instruction* site, BugKind kind, std::string message) {
+  //
+  // Returns true when a witnessed report for (site, kind) exists afterwards.
+  // A candidate whose canonical witness query comes back non-SAT (budget,
+  // deadline, or injected unknown) is dropped entirely rather than filed
+  // without an example input — every surviving report stays replayable, and
+  // the caller degrades the path to unknown instead (docs/robustness.md).
+  bool ReportBug(ExecState& state, const Instruction* site, BugKind kind, std::string message) {
     auto key = std::make_pair(site, kind);
     auto it = bugs_.find(key);
     if (it != bugs_.end() && it->second.path_id <= state.path_id) {
-      return;
+      return true;
+    }
+    std::vector<uint8_t> model;
+    if (solver_.CheckSatCanonical(state.constraints, &model) != SatResult::kSat) {
+      // The candidate would have become (or replaced) the canonical report
+      // but cannot be witnessed. Failing — even when an older report exists —
+      // is what keeps the surviving representative identical to the clean
+      // run's: the caller records the path as unknown, so the run is not
+      // exhausted and is excluded from the bit-identity contract.
+      return false;
     }
     BugCandidate bug;
     bug.kind = kind;
     bug.message = std::move(message);
     bug.site = site;
     bug.path_id = state.path_id;
-    std::vector<uint8_t> model;
-    if (solver_.CheckSatCanonical(state.constraints, &model) == SatResult::kSat) {
-      model.resize(num_symbols_, 0);
-      bug.example_input = std::move(model);
-    }
+    model.resize(num_symbols_, 0);
+    bug.example_input = std::move(model);
     bugs_[key] = std::move(bug);
+    return true;
   }
 
   // ---- Value resolution ----
@@ -252,7 +327,7 @@ class EngineCore::Impl {
   // Decides a boolean expr against the path constraints; forks when both
   // directions are possible. Returns the value for the current state
   // (true branch) and queues the false sibling.
-  enum class CondOutcome { kTrue, kFalse, kBoth, kNeither };
+  enum class CondOutcome { kTrue, kFalse, kBoth, kNeither, kUnknown };
 
   CondOutcome DecideCondition(ExecState& state, const Expr* cond, const Value* ir_cond) {
     if (cond->IsConstant()) {
@@ -289,25 +364,42 @@ class EngineCore::Impl {
                                            &state.solver_prefix);
     SatResult can_false = solver_.MayBeTrue(state.constraints, not_cond, nullptr,
                                             &state.solver_prefix);
-    bool t = can_true == SatResult::kSat;
-    bool f = can_false == SatResult::kSat;
-    if (t && f) {
+    if (can_true == SatResult::kSat && can_false == SatResult::kSat) {
       return CondOutcome::kBoth;
     }
-    if (t) {
+    if (can_true == SatResult::kSat && can_false == SatResult::kUnsat) {
       return CondOutcome::kTrue;
     }
-    if (f) {
+    if (can_true == SatResult::kUnsat && can_false == SatResult::kSat) {
       return CondOutcome::kFalse;
     }
-    return CondOutcome::kNeither;
+    if (can_true == SatResult::kUnsat && can_false == SatResult::kUnsat) {
+      return CondOutcome::kNeither;
+    }
+    // One side unknown. The path invariant — the constraints alone are
+    // satisfiable — decides the branch when the other side is refuted:
+    // constraints SAT and constraints ∧ ¬cond UNSAT imply constraints ∧ cond
+    // SAT. This is what lets a run absorb injected or budget unknowns on
+    // one-sided branches and still match the clean run bit for bit; only a
+    // genuinely undecidable branch (SAT/unknown or unknown/unknown) kills
+    // the path as unknown.
+    if (can_false == SatResult::kUnsat) {
+      return CondOutcome::kTrue;
+    }
+    if (can_true == SatResult::kUnsat) {
+      return CondOutcome::kFalse;
+    }
+    return CondOutcome::kUnknown;
   }
 
-  // Adds `cond` (or its negation) to the state, forking if needed. Returns
-  // false if the current state must die (infeasible). On a fork, the sibling
-  // (negated) state goes to the sink.
-  bool ConstrainOrFork(ExecState& state, const Expr* cond, const Value* ir_cond,
-                       bool* took_true) {
+  // Adds `cond` (or its negation) to the state, forking if needed. The
+  // current state dies on kInfeasible (no feasible direction) and on
+  // kUnknown (the solver could not decide either direction). On a fork, the
+  // sibling (negated) state goes to the sink.
+  enum class ForkDecision { kOk, kInfeasible, kUnknown };
+
+  ForkDecision ConstrainOrFork(ExecState& state, const Expr* cond, const Value* ir_cond,
+                               bool* took_true) {
     CondOutcome outcome = DecideCondition(state, cond, ir_cond);
     switch (outcome) {
       case CondOutcome::kTrue:
@@ -315,13 +407,13 @@ class EngineCore::Impl {
           state.AddConstraint(cond);
         }
         *took_true = true;
-        return true;
+        return ForkDecision::kOk;
       case CondOutcome::kFalse:
         if (!cond->IsConstant()) {
           state.AddConstraint(ctx_.Not(cond));
         }
         *took_true = false;
-        return true;
+        return ForkDecision::kOk;
       case CondOutcome::kBoth: {
         ++tallies_.forks;
         shared_.forks.fetch_add(1, std::memory_order_relaxed);
@@ -334,43 +426,78 @@ class EngineCore::Impl {
         state.depth += 1;
         state.path_id = HashMix64(state.path_id ^ kTrueSideSalt);
         sink_->PushFork(std::move(sibling));
-        if (shared_.LimitsExceeded()) {
-          shared_.RequestStop();
-        }
+        LatchExceededLimit();
         *took_true = true;
-        return true;
+        return ForkDecision::kOk;
       }
       case CondOutcome::kNeither:
-        return false;
+        return ForkDecision::kInfeasible;
+      case CondOutcome::kUnknown:
+        return ForkDecision::kUnknown;
     }
-    return false;
+    return ForkDecision::kInfeasible;
+  }
+
+  static StepOutcome ForkDeadOutcome(ForkDecision decision) {
+    return decision == ForkDecision::kUnknown ? StepOutcome::kPathUnknown
+                                              : StepOutcome::kPathInfeasible;
+  }
+
+  // Definite bug sites die as bugs only when the report was witnessed; a
+  // dropped witness degrades the path to unknown (see ReportBug).
+  static StepOutcome BugOutcome(bool reported) {
+    return reported ? StepOutcome::kPathBug : StepOutcome::kPathUnknown;
   }
 
   // Guard for a potentially trapping condition: if `bad` is feasible, report
   // a bug, then continue on the safe side (constraining !bad). The state
   // dies when the safe side is infeasible — as a bug death when a report
   // was filed, otherwise as an infeasible one.
+  //
+  // Soundness never degrades under unknowns: when the bad-side query cannot
+  // be decided, the state dies unknown instead of silently skipping a
+  // possible bug, and a bug whose witness was dropped likewise degrades to
+  // unknown rather than surviving as an unreplayable report.
   GuardResult GuardAgainst(ExecState& state, const Expr* bad, const Instruction* site,
                            BugKind kind, const std::string& message) {
     if (bad->IsFalse()) {
       return GuardResult::kOk;
     }
     if (bad->IsTrue()) {
-      ReportBug(state, site, kind, message);
-      return GuardResult::kDiedBug;
+      return ReportBug(state, site, kind, message) ? GuardResult::kDiedBug
+                                                   : GuardResult::kDiedUnknown;
+    }
+    SatResult bad_sat =
+        solver_.MayBeTrue(state.constraints, bad, nullptr, &state.solver_prefix);
+    if (bad_sat == SatResult::kUnknown) {
+      return GuardResult::kDiedUnknown;
     }
     bool reported = false;
-    if (solver_.MayBeTrue(state.constraints, bad, nullptr, &state.solver_prefix) ==
-        SatResult::kSat) {
+    if (bad_sat == SatResult::kSat) {
       // Report with the bad branch's model.
       auto bug_state = state.Clone();
       bug_state->AddConstraint(bad);
-      ReportBug(*bug_state, site, kind, message);
+      if (!ReportBug(*bug_state, site, kind, message)) {
+        return GuardResult::kDiedUnknown;
+      }
       reported = true;
     }
     const Expr* safe = ctx_.Not(bad);
-    if (solver_.MayBeTrue(state.constraints, safe, nullptr, &state.solver_prefix) !=
-        SatResult::kSat) {
+    if (bad_sat == SatResult::kUnsat) {
+      // Path invariant: the constraints alone are satisfiable, and the bad
+      // side is refuted, so the safe side must be satisfiable — no query.
+      state.AddConstraint(safe);
+      return GuardResult::kOk;
+    }
+    SatResult safe_sat =
+        solver_.MayBeTrue(state.constraints, safe, nullptr, &state.solver_prefix);
+    if (safe_sat == SatResult::kUnknown) {
+      // A clean run would have decided this query and either continued or
+      // died at the bug; terminating as anything but unknown here would
+      // leave the run looking exhausted with a diverged signature.
+      return GuardResult::kDiedUnknown;
+    }
+    if (safe_sat != SatResult::kSat) {
       return reported ? GuardResult::kDiedBug : GuardResult::kDiedInfeasible;
     }
     state.AddConstraint(safe);
@@ -415,21 +542,25 @@ class EngineCore::Impl {
   GuardResult CheckAccess(ExecState& state, const SymPointer& ptr, uint64_t width_bytes,
                           const Instruction* site) {
     if (ptr.IsNull()) {
-      ReportBug(state, site, BugKind::kNullDeref, "dereference of null pointer");
-      return GuardResult::kDiedBug;
+      return ReportBug(state, site, BugKind::kNullDeref, "dereference of null pointer")
+                 ? GuardResult::kDiedBug
+                 : GuardResult::kDiedUnknown;
     }
     if (!state.memory.Exists(ptr.object_id)) {
-      ReportBug(state, site, BugKind::kOutOfBounds,
-                "use of a dead object (escaped stack address)");
-      return GuardResult::kDiedBug;
+      return ReportBug(state, site, BugKind::kOutOfBounds,
+                       "use of a dead object (escaped stack address)")
+                 ? GuardResult::kDiedBug
+                 : GuardResult::kDiedUnknown;
     }
     const MemoryObject& meta = state.memory.Meta(ptr.object_id);
     if (meta.size < width_bytes) {
-      ReportBug(state, site, BugKind::kOutOfBounds,
-                StrFormat("%llu-byte access to %llu-byte object '%s'",
-                          static_cast<unsigned long long>(width_bytes),
-                          static_cast<unsigned long long>(meta.size), meta.name.c_str()));
-      return GuardResult::kDiedBug;
+      return ReportBug(state, site, BugKind::kOutOfBounds,
+                       StrFormat("%llu-byte access to %llu-byte object '%s'",
+                                 static_cast<unsigned long long>(width_bytes),
+                                 static_cast<unsigned long long>(meta.size),
+                                 meta.name.c_str()))
+                 ? GuardResult::kDiedBug
+                 : GuardResult::kDiedUnknown;
     }
     // In-bounds: offset <= size - width.
     const Expr* in_bounds =
@@ -558,9 +689,8 @@ class EngineCore::Impl {
         bool engine_error = false;
         const Expr* value = ReadMemory(state, ptr.pointer, width_bytes, &engine_error);
         if (engine_error) {
-          ReportBug(state, inst, BugKind::kEngineError,
-                    "symbolic access to an oversized object");
-          return StepOutcome::kPathBug;
+          return BugOutcome(ReportBug(state, inst, BugKind::kEngineError,
+                                      "symbolic access to an oversized object"));
         }
         if (type->IsBool()) {
           value = ctx_.Compare(ICmpPredicate::kNe, value, ctx_.Constant(0, 8));
@@ -583,8 +713,8 @@ class EngineCore::Impl {
           return DeadOutcome(access);
         }
         if (state.memory.Meta(ptr.pointer.object_id).read_only) {
-          ReportBug(state, inst, BugKind::kOutOfBounds, "write to read-only object");
-          return StepOutcome::kPathBug;
+          return BugOutcome(
+              ReportBug(state, inst, BugKind::kOutOfBounds, "write to read-only object"));
         }
         const Expr* expr = value.expr;
         if (type->IsBool()) {
@@ -593,9 +723,8 @@ class EngineCore::Impl {
         bool engine_error = false;
         WriteMemory(state, ptr.pointer, expr, &engine_error);
         if (engine_error) {
-          ReportBug(state, inst, BugKind::kEngineError,
-                    "symbolic write to an oversized object");
-          return StepOutcome::kPathBug;
+          return BugOutcome(ReportBug(state, inst, BugKind::kEngineError,
+                                      "symbolic write to an oversized object"));
         }
         state.AdvancePC();
         return StepOutcome::kContinue;
@@ -728,8 +857,9 @@ class EngineCore::Impl {
         if (tv.kind == RuntimeValue::Kind::kPointer) {
           // Pointer select requires a decided condition (fork if needed).
           bool took_true;
-          if (!ConstrainOrFork(state, cond, inst->Operand(0), &took_true)) {
-            return StepOutcome::kPathInfeasible;
+          ForkDecision decision = ConstrainOrFork(state, cond, inst->Operand(0), &took_true);
+          if (decision != ForkDecision::kOk) {
+            return ForkDeadOutcome(decision);
           }
           state.SetLocal(inst, took_true ? tv : fv);
         } else {
@@ -818,8 +948,9 @@ class EngineCore::Impl {
         }
         const Expr* cond = ResolveInt(state, br->condition());
         bool took_true;
-        if (!ConstrainOrFork(state, cond, br->condition(), &took_true)) {
-          return StepOutcome::kPathInfeasible;
+        ForkDecision decision = ConstrainOrFork(state, cond, br->condition(), &took_true);
+        if (decision != ForkDecision::kOk) {
+          return ForkDeadOutcome(decision);
         }
         EnterBlock(state, took_true ? br->true_dest() : br->false_dest());
         return StepOutcome::kContinue;
@@ -827,8 +958,8 @@ class EngineCore::Impl {
       case Opcode::kRet:
         return ExecRet(state, Cast<RetInst>(inst));
       case Opcode::kUnreachable:
-        ReportBug(state, inst, BugKind::kUnreachable, "reached 'unreachable'");
-        return StepOutcome::kPathBug;
+        return BugOutcome(
+            ReportBug(state, inst, BugKind::kUnreachable, "reached 'unreachable'"));
     }
     OVERIFY_UNREACHABLE("unhandled opcode in executor");
   }
@@ -843,9 +974,8 @@ class EngineCore::Impl {
       return DeadOutcome(access);
     }
     if (!ptr.offset->IsConstant()) {
-      ReportBug(state, inst, BugKind::kEngineError,
-                "symbolic-offset load of a pointer value");
-      return StepOutcome::kPathBug;
+      return BugOutcome(ReportBug(state, inst, BugKind::kEngineError,
+                                  "symbolic-offset load of a pointer value"));
     }
     auto key = std::make_pair(ptr.object_id, ptr.offset->constant_value());
     auto it = state.pointer_slots.find(key);
@@ -866,9 +996,8 @@ class EngineCore::Impl {
       return DeadOutcome(access);
     }
     if (!ptr.offset->IsConstant()) {
-      ReportBug(state, inst, BugKind::kEngineError,
-                "symbolic-offset store of a pointer value");
-      return StepOutcome::kPathBug;
+      return BugOutcome(ReportBug(state, inst, BugKind::kEngineError,
+                                  "symbolic-offset store of a pointer value"));
     }
     OVERIFY_ASSERT(value.kind == RuntimeValue::Kind::kPointer, "pointer store of non-pointer");
     state.pointer_slots[{ptr.object_id, ptr.offset->constant_value()}] = value.pointer;
@@ -904,8 +1033,8 @@ class EngineCore::Impl {
       return ExecExternal(state, call);
     }
     if (state.stack.size() >= 256) {
-      ReportBug(state, call, BugKind::kEngineError, "call stack overflow (recursion too deep)");
-      return StepOutcome::kPathBug;
+      return BugOutcome(ReportBug(state, call, BugKind::kEngineError,
+                                  "call stack overflow (recursion too deep)"));
     }
     StackFrame frame;
     frame.fn = callee;
@@ -940,12 +1069,11 @@ class EngineCore::Impl {
       return StepOutcome::kContinue;
     }
     if (name == "abort") {
-      ReportBug(state, call, BugKind::kAbort, "abort() called");
-      return StepOutcome::kPathBug;
+      return BugOutcome(ReportBug(state, call, BugKind::kAbort, "abort() called"));
     }
-    ReportBug(state, call, BugKind::kEngineError,
-              StrFormat("call to unmodeled external function '%s'", name.c_str()));
-    return StepOutcome::kPathBug;
+    return BugOutcome(ReportBug(
+        state, call, BugKind::kEngineError,
+        StrFormat("call to unmodeled external function '%s'", name.c_str())));
   }
 
   StepOutcome ExecRet(ExecState& state, const RetInst* ret) {
@@ -975,6 +1103,7 @@ class EngineCore::Impl {
   LocalSlotCache& slots_;
   ExprContext ctx_;
   SolverChain solver_;
+  FaultInjector injector_;
   WorkerTallies tallies_;
   std::map<std::pair<const Instruction*, BugKind>, BugCandidate> bugs_;
   unsigned num_symbols_ = 0;
@@ -1012,6 +1141,8 @@ const std::map<std::pair<const Instruction*, BugKind>, BugCandidate>& EngineCore
 }
 
 ExprContext& EngineCore::ctx() { return impl_->ctx(); }
+
+FaultInjector& EngineCore::faults() { return impl_->faults(); }
 
 }  // namespace sched
 }  // namespace overify

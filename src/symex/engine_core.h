@@ -35,6 +35,10 @@ namespace sched {
 struct SharedCounters {
   SymexLimits limits;
   Stopwatch watch;
+  // The run deadline as a monotonic time point (watch start + max_seconds),
+  // stamped by the pool before workers launch; threaded into every solver
+  // query's QueryControl so a pathological search is interrupted mid-query.
+  std::chrono::steady_clock::time_point deadline{};
   std::atomic<uint64_t> paths_completed{0};
   std::atomic<uint64_t> instructions{0};
   std::atomic<uint64_t> forks{0};
@@ -44,16 +48,55 @@ struct SharedCounters {
   // after it fully finished).
   std::atomic<uint64_t> live_states{0};
   std::atomic<bool> stop{false};
+  // First limit that latched `stop` (CAS-once; StopCause::kNone while the
+  // run drains naturally). Cause attribution for partial runs.
+  std::atomic<int> stop_cause{0};
+  // Injected worker deaths claimed so far (bounded by
+  // FaultConfig::max_worker_deaths so a run can guarantee a survivor).
+  std::atomic<uint32_t> worker_deaths{0};
 
   bool StopRequested() const { return stop.load(std::memory_order_relaxed); }
-  void RequestStop() { stop.store(true, std::memory_order_relaxed); }
+  void RequestStop(StopCause cause) {
+    int expected = 0;
+    stop_cause.compare_exchange_strong(expected, static_cast<int>(cause),
+                                       std::memory_order_relaxed);
+    stop.store(true, std::memory_order_relaxed);
+  }
 
-  bool LimitsExceeded() const {
-    return paths_completed.load(std::memory_order_relaxed) >= limits.max_paths ||
-           instructions.load(std::memory_order_relaxed) >= limits.max_instructions ||
-           forks.load(std::memory_order_relaxed) >= limits.max_forks ||
-           live_states.load(std::memory_order_relaxed) >= limits.max_live_states ||
-           watch.ElapsedSeconds() >= limits.max_seconds;
+  // The first limit currently exceeded (kNone when all are within bounds);
+  // callers latch it via RequestStop(cause).
+  StopCause ExceededCause() const {
+    if (paths_completed.load(std::memory_order_relaxed) >= limits.max_paths) {
+      return StopCause::kPaths;
+    }
+    if (instructions.load(std::memory_order_relaxed) >= limits.max_instructions) {
+      return StopCause::kInstructions;
+    }
+    if (forks.load(std::memory_order_relaxed) >= limits.max_forks) {
+      return StopCause::kForks;
+    }
+    if (live_states.load(std::memory_order_relaxed) >= limits.max_live_states) {
+      return StopCause::kLiveStates;
+    }
+    if (watch.ElapsedSeconds() >= limits.max_seconds) {
+      return StopCause::kDeadline;
+    }
+    return StopCause::kNone;
+  }
+
+  bool LimitsExceeded() const { return ExceededCause() != StopCause::kNone; }
+
+  // Atomically claims one of the run's allowed injected worker deaths;
+  // false once the cap is reached (the worker then survives its draw).
+  bool ClaimWorkerDeath(uint32_t cap) {
+    uint32_t current = worker_deaths.load(std::memory_order_relaxed);
+    while (current < cap) {
+      if (worker_deaths.compare_exchange_weak(current, current + 1,
+                                              std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
   }
 };
 
@@ -63,6 +106,9 @@ enum class PathOutcome {
   kInfeasible,  // no feasible direction remained
   kBug,         // died at a bug site (including engine errors)
   kLimitStop,   // the global stop latch tripped while it was running
+  kUnknown,     // the solver gave up on a decisive query (budget/deadline/fault)
+  kDied,        // injected worker death: the state is still live and must be
+                // requeued by the pool, and this worker runs nothing further
 };
 
 // Receives forked sibling states. Implemented by the pool's worker queues;
@@ -81,6 +127,12 @@ struct WorkerTallies {
   uint64_t paths_infeasible = 0;
   uint64_t paths_bug = 0;
   uint64_t paths_limit = 0;
+  // Solver gave up on a decisive query; always the sum of the three
+  // per-cause counters below (asserted at aggregation).
+  uint64_t paths_unknown = 0;
+  uint64_t paths_unknown_budget = 0;
+  uint64_t paths_unknown_deadline = 0;
+  uint64_t paths_unknown_injected = 0;
   uint64_t instructions = 0;
   uint64_t forks = 0;
   uint64_t annotation_hits = 0;
@@ -123,6 +175,10 @@ class EngineCore {
   const SolverStats& solver_stats() const;
   const std::map<std::pair<const Instruction*, BugKind>, BugCandidate>& bugs() const;
   ExprContext& ctx();
+  // This worker's fault injector (disabled unless SymexOptions::faults is).
+  // The pool draws the scheduler-side sites (stall, steal) from it so each
+  // worker has exactly one deterministic stream.
+  FaultInjector& faults();
 
  private:
   class Impl;

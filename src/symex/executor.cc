@@ -4,6 +4,26 @@
 
 namespace overify {
 
+const char* StopCauseName(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone:
+      return "none";
+    case StopCause::kPaths:
+      return "max_paths";
+    case StopCause::kInstructions:
+      return "max_instructions";
+    case StopCause::kForks:
+      return "max_forks";
+    case StopCause::kLiveStates:
+      return "max_live_states";
+    case StopCause::kDeadline:
+      return "max_seconds";
+    case StopCause::kWorkerDeath:
+      return "worker-death";
+  }
+  return "?";
+}
+
 const char* BugKindName(BugKind kind) {
   switch (kind) {
     case BugKind::kDivByZero:
@@ -40,7 +60,12 @@ SymexResult SymbolicExecutor::Run(Function* entry, unsigned num_input_bytes,
 SymexResult SymbolicExecutor::Run(const std::string& entry_name, unsigned num_input_bytes,
                                   const SymexLimits& limits) {
   Function* entry = module_.GetFunction(entry_name);
-  OVERIFY_ASSERT(entry != nullptr && !entry->IsDeclaration(), "missing entry function");
+  if (entry == nullptr || entry->IsDeclaration()) {
+    SymexResult result;
+    result.ok = false;
+    result.error = "entry function '" + entry_name + "' is missing or has no body";
+    return result;
+  }
   return Run(entry, num_input_bytes, limits);
 }
 

@@ -21,6 +21,7 @@
 #include "src/ir/module.h"
 #include "src/passes/annotate.h"
 #include "src/sched/searcher.h"
+#include "src/support/fault.h"
 #include "src/symex/solver.h"
 #include "src/symex/state.h"
 
@@ -52,9 +53,32 @@ struct SymexLimits {
   uint64_t max_forks = 1 << 20;
   double max_seconds = 3600.0;
   uint64_t max_live_states = 1 << 16;  // queued + running, across all workers
+  // Per-query solver budgets (run-level max_seconds is enforced inside the
+  // solver's candidate loop regardless; see docs/robustness.md).
+  uint64_t query_candidates = 1ull << 22;  // core-search candidates per query
+  double query_seconds = 0;                // wall budget per query; 0 = none
 };
 
+// Which limit latched the run's stop flag first (kNone on runs that drained
+// naturally — including exhausted runs that completed exactly at a limit).
+enum class StopCause {
+  kNone,
+  kPaths,
+  kInstructions,
+  kForks,
+  kLiveStates,
+  kDeadline,
+  kWorkerDeath,  // no limit fired, but injected deaths left states unexplored
+};
+
+const char* StopCauseName(StopCause cause);
+
 struct SymexResult {
+  // Malformed input (missing or mis-typed entry, zero-width symbolic
+  // buffers, failed compilation through Analyze) is a structured error, not
+  // an assertion: ok = false, `error` says why, every count stays zero.
+  bool ok = true;
+  std::string error;
   bool exhausted = false;  // every path explored within the limits
   uint64_t paths_completed = 0;
   // Terminated paths by cause; paths_terminated is always their sum.
@@ -63,9 +87,24 @@ struct SymexResult {
   uint64_t paths_bug = 0;          // died at a bug site
   uint64_t paths_limit = 0;        // running when a limit stopped the search
   uint64_t paths_unexplored = 0;   // still queued when a limit stopped the search
+  // Paths terminated because the solver gave up (kUnknown) on a decisive
+  // query — never silently explored past: an unproven branch direction is a
+  // completeness loss, not a soundness one. Always the sum of the per-cause
+  // breakdown below (docs/robustness.md).
+  uint64_t paths_unknown = 0;
+  uint64_t paths_unknown_budget = 0;    // per-query candidate/time budget
+  uint64_t paths_unknown_deadline = 0;  // run deadline expired mid-query
+  uint64_t paths_unknown_injected = 0;  // FaultInjector kSolverUnknown
   uint64_t instructions = 0;
   uint64_t forks = 0;
   uint64_t annotation_hits = 0;  // branch decisions settled by annotations
+  // Which limit latched the stop flag first (kNone when the run drained
+  // naturally; kWorkerDeath when only injected deaths cut it short).
+  StopCause stop_cause = StopCause::kNone;
+  // Injected-fault fires (zero unless SymexOptions::faults enabled them).
+  // Schedule-dependent across workers, so excluded from the determinism
+  // contract like the steal counters below.
+  FaultStats faults;
   // Work-stealing traffic (scheduling-dependent, unlike the counts above:
   // these vary run to run and are excluded from the determinism contract).
   uint64_t steals = 0;          // states that migrated to another worker
@@ -112,6 +151,10 @@ struct SymexOptions {
   bool validate_steals = false;
   // Seed for the random-path strategy (worker index is mixed in per worker).
   uint64_t search_seed = 0x05e11a11;
+  // Deterministic fault injection (src/support/fault.h). Disabled by
+  // default (seed 0); tests and the robustness differential harness enable
+  // it to exercise the graceful-degradation contract (docs/robustness.md).
+  FaultConfig faults;
   // DEPRECATED: pre-scheduler search toggle, kept so existing callers
   // compile unchanged. Read only through EffectiveStrategy(): setting it to
   // false selects BFS unless `strategy` was set explicitly.
@@ -136,7 +179,10 @@ class SymbolicExecutor {
   // symbolic bytes plus a guaranteed NUL terminator — or no arguments, or
   // (u8* a, i32 na, u8* b, i32 nb) for two-input programs: the symbolic
   // bytes split first-buffer-gets-the-ceiling, each buffer NUL-terminated
-  // (docs/workloads.md).
+  // (docs/workloads.md). Malformed input — a missing/declared-only entry, a
+  // signature outside that contract, or zero symbolic bytes for an entry
+  // that takes buffers — returns SymexResult::ok = false instead of
+  // aborting.
   SymexResult Run(Function* entry, unsigned num_input_bytes, const SymexLimits& limits);
   SymexResult Run(const std::string& entry_name, unsigned num_input_bytes,
                   const SymexLimits& limits);

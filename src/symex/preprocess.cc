@@ -20,16 +20,25 @@ int MatchSymbolByte(const Expr* e) {
 
 }  // namespace
 
-void ConstraintPreprocessor::Extend(PathPrefix& prefix,
+bool ConstraintPreprocessor::Extend(PathPrefix& prefix,
                                     const std::vector<const Expr*>& constraints) {
   OVERIFY_ASSERT(prefix.consumed <= constraints.size(),
                  "stale path prefix: constraints shrank");
   while (prefix.consumed < constraints.size()) {
+    // The run deadline is honored between folds, not just between queries:
+    // Resubstitute can cascade on pathological binding chains, and a
+    // deadline-blown run must drain promptly. Bailing here is sound — the
+    // summary still covers exactly the first `consumed` constraints, so it
+    // remains a pure function of that shorter prefix.
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return false;
+    }
     const Expr* c = constraints[prefix.consumed++];
     if (!prefix.contradiction) {
       FoldIn(prefix, c);
     }
   }
+  return true;
 }
 
 const Expr* ConstraintPreprocessor::Apply(const PathPrefix& prefix, const Expr* e) {

@@ -21,6 +21,7 @@
 // runs bit-identical (docs/scheduler.md).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -89,8 +90,19 @@ class ConstraintPreprocessor {
 
   // Folds constraints [prefix.consumed, constraints.size()) into `prefix`.
   // Precondition: the first prefix.consumed entries are the ones already
-  // folded (path constraint vectors only grow by appending).
-  void Extend(PathPrefix& prefix, const std::vector<const Expr*>& constraints);
+  // folded (path constraint vectors only grow by appending). Returns false
+  // without folding further when the run deadline (set_deadline) has
+  // expired — the summary then covers a valid shorter prefix and the caller
+  // must treat the query as kUnknown (docs/robustness.md).
+  bool Extend(PathPrefix& prefix, const std::vector<const Expr*>& constraints);
+
+  // Installs the run deadline Extend honors between folds. SolverChain
+  // forwards its QueryControl deadline here; without one, Extend never
+  // gives up.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    has_deadline_ = true;
+    deadline_ = deadline;
+  }
 
   // `e` with the prefix's byte bindings substituted in (re-simplified
   // through the canonicalizing builders).
@@ -116,6 +128,8 @@ class ConstraintPreprocessor {
 
   ExprContext& ctx_;
   PreprocessStats stats_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
 };
 
 }  // namespace overify

@@ -88,7 +88,28 @@ const std::vector<uint8_t>& CandidateOrder() {
 }  // namespace
 
 SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>& constraints,
-                               std::vector<uint8_t>* model, uint64_t candidate_budget) {
+                               std::vector<uint8_t>* model, uint64_t candidate_budget,
+                               const QueryControl* control, UnknownCause* cause) {
+  if (cause != nullptr) {
+    *cause = UnknownCause::kNone;
+  }
+  // Interrupt sources, resolved once per query. The candidate loop polls
+  // them every 4096 candidates — cheap against the per-candidate evaluation
+  // cost, fine-grained against any realistic deadline, and the reason a
+  // single pathological search can no longer overshoot the run deadline by
+  // its full candidate budget.
+  using Clock = std::chrono::steady_clock;
+  const bool has_run_deadline = control != nullptr && control->has_deadline;
+  const std::atomic<bool>* cancel = control != nullptr ? control->cancel : nullptr;
+  bool has_query_deadline = false;
+  Clock::time_point query_deadline{};
+  if (control != nullptr && control->query_seconds > 0) {
+    has_query_deadline = true;
+    query_deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(control->query_seconds));
+  }
+  const bool polled = has_run_deadline || has_query_deadline || cancel != nullptr;
+
   // Trivial screening and support collection (bitmask union per constraint).
   SupportSet support;
   std::vector<const Expr*> live;
@@ -205,10 +226,36 @@ SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>&
           std::fprintf(stderr, "\n");
         }
       }
+      if (cause != nullptr) {
+        *cause = UnknownCause::kCandidateBudget;
+      }
       return SatResult::kUnknown;
     }
     --budget;
     ++candidates_tried_;
+    if (polled && (budget & 4095) == 0) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        if (cause != nullptr) {
+          *cause = UnknownCause::kCancelled;
+        }
+        return SatResult::kUnknown;
+      }
+      if (has_run_deadline || has_query_deadline) {
+        Clock::time_point now = Clock::now();
+        if (has_run_deadline && now >= control->deadline) {
+          if (cause != nullptr) {
+            *cause = UnknownCause::kDeadline;
+          }
+          return SatResult::kUnknown;
+        }
+        if (has_query_deadline && now >= query_deadline) {
+          if (cause != nullptr) {
+            *cause = UnknownCause::kQueryTimeout;
+          }
+          return SatResult::kUnknown;
+        }
+      }
+    }
     assignment[order[depth]] = candidates[candidate_index[depth]++];
     assigned[order[depth]] = true;
 
@@ -622,6 +669,28 @@ bool SolverChain::Canonicalize(const std::vector<const Expr*>& filtered,
   return true;
 }
 
+SatResult SolverChain::Unknown(UnknownCause cause) {
+  last_unknown_cause_ = cause;
+  switch (cause) {
+    case UnknownCause::kCandidateBudget:
+    case UnknownCause::kQueryTimeout:
+      ++stats_.unknown_budget;
+      break;
+    case UnknownCause::kDeadline:
+      ++stats_.unknown_deadline;
+      break;
+    case UnknownCause::kCancelled:
+      ++stats_.unknown_cancelled;
+      break;
+    case UnknownCause::kInjected:
+      ++stats_.unknown_injected;
+      break;
+    case UnknownCause::kNone:
+      break;
+  }
+  return SatResult::kUnknown;
+}
+
 SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
                              std::vector<uint8_t>* model) {
   std::vector<const Expr*>& canonical = canonical_scratch_;
@@ -629,14 +698,30 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
     return SatResult::kUnsat;
   }
 
+  // Injected solver failure: the whole query gives up, after trivial
+  // screening (so the site models a real solver timing out on real work)
+  // but before any cache interaction (kUnknown must never be cached).
+  if (control_.faults != nullptr && control_.faults->Fire(FaultSite::kSolverUnknown)) {
+    return Unknown(UnknownCause::kInjected);
+  }
+  // Injected cache failure: every lookup this query would do misses. The
+  // verdict still comes from the core search, so results are unchanged —
+  // only slower — which is exactly what the exhausted-run identity contract
+  // demands of this site.
+  const bool skip_cache =
+      control_.faults != nullptr && control_.faults->Fire(FaultSite::kPrefixCacheLookup);
+
   // Exact counterexample-cache lookup (one hash of the constraint set).
   const SetHash cache_key = HashConstraintSet(canonical);
-  if (const PrefixCache::Entry* entry = cache_.FindExact(cache_key.key, cache_key.fingerprint)) {
-    ++stats_.cache_hits;
-    if (model != nullptr) {
-      *model = entry->model;
+  if (!skip_cache) {
+    if (const PrefixCache::Entry* entry =
+            cache_.FindExact(cache_key.key, cache_key.fingerprint)) {
+      ++stats_.cache_hits;
+      if (model != nullptr) {
+        *model = entry->model;
+      }
+      return entry->result;
     }
-    return entry->result;
   }
 
   // Sorted constraint-set fingerprint for subset/superset reasoning. The
@@ -650,7 +735,7 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
 
   // A cached UNSAT subset (typically this path's shorter prefix plus the
   // refuted branch) refutes every superset.
-  if (cache_.HasUnsatSubset(keys)) {
+  if (!skip_cache && cache_.HasUnsatSubset(keys)) {
     ++stats_.prefix_subset_hits;
     cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kUnsat,
                   {});
@@ -658,7 +743,7 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
   }
 
   // A cached SAT superset's model satisfies every constraint of this query.
-  if (const PrefixCache::Entry* entry = cache_.FindSatSuperset(keys)) {
+  if (const PrefixCache::Entry* entry = skip_cache ? nullptr : cache_.FindSatSuperset(keys)) {
     ++stats_.prefix_superset_hits;
     // Copy before Insert: `entry` points into the cache's entry storage,
     // which Insert may reallocate.
@@ -691,7 +776,9 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
     return true;
   };
   std::vector<const PrefixCache::Entry*> subsets;
-  cache_.CollectSatSubsets(keys, /*limit=*/4, subsets);
+  if (!skip_cache) {
+    cache_.CollectSatSubsets(keys, /*limit=*/4, subsets);
+  }
   for (const PrefixCache::Entry* entry : subsets) {
     std::vector<uint8_t> candidate = entry->model;
     if (candidate.size() < needed) {
@@ -728,11 +815,16 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
   // Core search.
   ++stats_.core_queries;
   std::vector<uint8_t> core_model;
-  SatResult result = core_.CheckSat(ctx_, canonical, &core_model);
+  UnknownCause core_cause = UnknownCause::kNone;
+  SatResult result = core_.CheckSat(ctx_, canonical, &core_model, control_.query_candidates,
+                                    &control_, &core_cause);
   stats_.core_candidates = core_.candidates_tried();
-  if (result != SatResult::kUnknown) {
-    cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, result, core_model);
+  if (result == SatResult::kUnknown) {
+    // Never cached: a degraded verdict must not poison later exact answers
+    // (PrefixCache::Insert asserts the same invariant).
+    return Unknown(core_cause);
   }
+  cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, result, core_model);
   if (result == SatResult::kSat) {
     recent_models_.push_back(core_model);
     if (recent_models_.size() > 8) {
@@ -758,7 +850,12 @@ PathPrefix* SolverChain::EffectivePrefix(PathPrefix* prefix,
     }
     prefix = &scratch_prefix_;
   }
-  preprocessor_.Extend(*prefix, constraints);
+  if (!preprocessor_.Extend(*prefix, constraints)) {
+    // Run deadline expired mid-extension. The summary still covers exactly
+    // prefix.consumed leading constraints (a valid shorter prefix), so it
+    // stays pure; the query itself gives up.
+    return nullptr;
+  }
   return prefix;
 }
 
@@ -777,6 +874,9 @@ SatResult SolverChain::CheckSat(const std::vector<const Expr*>& constraints,
     return Solve(constraints, model);
   }
   PathPrefix* p = EffectivePrefix(prefix, constraints);
+  if (p == nullptr) {
+    return Unknown(UnknownCause::kDeadline);
+  }
   if (p->contradiction) {
     return SatResult::kUnsat;
   }
@@ -791,9 +891,20 @@ SatResult SolverChain::CheckSatCanonical(const std::vector<const Expr*>& constra
   if (!Canonicalize(constraints, canonical)) {
     return SatResult::kUnsat;
   }
+  // Witness queries draw the injected-unknown site too: a dropped witness
+  // must degrade the run to non-exhausted (the engine discards unwitnessed
+  // reports), not produce an unconfirmed bug.
+  if (control_.faults != nullptr && control_.faults->Fire(FaultSite::kSolverUnknown)) {
+    return Unknown(UnknownCause::kInjected);
+  }
   ++stats_.core_queries;
-  SatResult result = core_.CheckSat(ctx_, canonical, model);
+  UnknownCause core_cause = UnknownCause::kNone;
+  SatResult result = core_.CheckSat(ctx_, canonical, model, control_.query_candidates,
+                                    &control_, &core_cause);
   stats_.core_candidates = core_.candidates_tried();
+  if (result == SatResult::kUnknown) {
+    return Unknown(core_cause);
+  }
   return result;
 }
 
@@ -814,6 +925,9 @@ SatResult SolverChain::MayBeTrue(const std::vector<const Expr*>& constraints, co
     return Solve(filtered_scratch_, model);
   }
   PathPrefix* p = EffectivePrefix(prefix, constraints);
+  if (p == nullptr) {
+    return Unknown(UnknownCause::kDeadline);
+  }
   if (p->contradiction) {
     // The path itself is infeasible; nothing can additionally hold.
     return SatResult::kUnsat;

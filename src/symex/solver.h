@@ -17,6 +17,8 @@
 // extension) instead of a fresh core search.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -24,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/support/fault.h"
 #include "src/symex/expr.h"
 #include "src/symex/preprocess.h"
 
@@ -32,7 +35,33 @@ namespace overify {
 enum class SatResult {
   kSat,
   kUnsat,
-  kUnknown,  // budget exhausted
+  kUnknown,  // gave up: budget, deadline, cancellation, or injected fault
+};
+
+// Why a query returned kUnknown. Every kUnknown carries exactly one cause,
+// which the engine rolls up into SymexResult's paths_unknown breakdown
+// (docs/robustness.md).
+enum class UnknownCause {
+  kNone,
+  kCandidateBudget,  // per-query candidate budget exhausted
+  kQueryTimeout,     // per-query wall budget exhausted
+  kDeadline,         // the run deadline expired mid-search
+  kCancelled,        // the run's stop latch tripped mid-search
+  kInjected,         // FaultInjector kSolverUnknown fired
+};
+
+// Cooperative controls threaded into every query: the run deadline and
+// cancel latch are checked inside the core search's candidate loop (every
+// 4096 candidates, so a single pathological search can no longer overshoot
+// max_seconds by its full candidate budget) and at preprocessing
+// boundaries. All fields optional; the default control never interrupts.
+struct QueryControl {
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};  // run-wide, monotonic
+  const std::atomic<bool>* cancel = nullptr;         // the run's stop latch
+  FaultInjector* faults = nullptr;                   // injected kUnknowns
+  uint64_t query_candidates = 1ull << 22;            // core candidates per query
+  double query_seconds = 0;                          // wall budget per query; 0 = none
 };
 
 struct SolverStats {
@@ -56,6 +85,13 @@ struct SolverStats {
   uint64_t prefix_subset_hits = 0;    // UNSAT via a cached subset
   uint64_t prefix_superset_hits = 0;  // SAT via a cached superset's model
   uint64_t prefix_model_hits = 0;     // SAT by extending a cached subset's model
+  // kUnknown verdicts by cause (docs/robustness.md). kUnknown results are
+  // never inserted into any cache, so a degraded query cannot poison a
+  // later exact answer.
+  uint64_t unknown_budget = 0;    // per-query candidate or wall budget
+  uint64_t unknown_deadline = 0;  // run deadline expired mid-query
+  uint64_t unknown_cancelled = 0; // stop latch tripped mid-query
+  uint64_t unknown_injected = 0;  // FaultInjector kSolverUnknown
 };
 
 // Core backtracking solver.
@@ -63,9 +99,13 @@ class CoreSolver {
  public:
   // `model`, when non-null and the result is kSat, receives one value per
   // symbol index (indexes absent from the constraints' support default to 0).
-  // `candidate_budget` bounds the search.
+  // `candidate_budget` bounds the search. `control`, when non-null, is
+  // polled every 4096 candidates for the run deadline / per-query wall
+  // budget / cancel latch. `cause`, when non-null, receives why a kUnknown
+  // happened (kNone otherwise).
   SatResult CheckSat(ExprContext& ctx, const std::vector<const Expr*>& constraints,
-                     std::vector<uint8_t>* model, uint64_t candidate_budget = 1 << 22);
+                     std::vector<uint8_t>* model, uint64_t candidate_budget = 1 << 22,
+                     const QueryControl* control = nullptr, UnknownCause* cause = nullptr);
 
   uint64_t candidates_tried() const { return candidates_tried_; }
 
@@ -185,10 +225,29 @@ class SolverChain {
   // tests; queries then flow straight to canonicalization + caching).
   void set_preprocessing(bool on) { preprocess_enabled_ = on; }
 
+  // Installs the run's cooperative controls (deadline, cancel latch, fault
+  // injector, per-query budgets). The engine calls this once per run; the
+  // default control never interrupts, so chain users without one (tests,
+  // tools) are unaffected.
+  void set_control(const QueryControl& control) {
+    control_ = control;
+    if (control.has_deadline) {
+      preprocessor_.set_deadline(control.deadline);
+    }
+  }
+
+  // The cause of the most recent kUnknown this chain returned (valid until
+  // the next query; kNone if the chain has never returned kUnknown). The
+  // engine reads it right after a kUnknown to attribute the path's
+  // termination.
+  UnknownCause last_unknown_cause() const { return last_unknown_cause_; }
+
   const SolverStats& stats() const;
 
  private:
   SatResult Solve(const std::vector<const Expr*>& filtered, std::vector<uint8_t>* model);
+  // Records `cause` into last_unknown_cause_ and the per-cause stats.
+  SatResult Unknown(UnknownCause cause);
   bool Canonicalize(const std::vector<const Expr*>& filtered,
                     std::vector<const Expr*>& canonical);
   // Resolves the effective prefix for a query: the caller's handle, or the
@@ -201,6 +260,8 @@ class SolverChain {
   CoreSolver core_;
   ConstraintPreprocessor preprocessor_;
   bool preprocess_enabled_ = true;
+  QueryControl control_;
+  UnknownCause last_unknown_cause_ = UnknownCause::kNone;
   // stats() refreshes the memo-hit counters from the ExprContext on read.
   mutable SolverStats stats_;
 

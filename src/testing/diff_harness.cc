@@ -1,6 +1,7 @@
 #include "src/testing/diff_harness.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "src/exec/interpreter.h"
@@ -54,7 +55,12 @@ bool RunSignature::operator==(const RunSignature& other) const {
   return exhausted == other.exhausted && paths_completed == other.paths_completed &&
          paths_infeasible == other.paths_infeasible && paths_bug == other.paths_bug &&
          paths_limit == other.paths_limit && paths_unexplored == other.paths_unexplored &&
-         instructions == other.instructions && forks == other.forks && bugs == other.bugs;
+         paths_unknown == other.paths_unknown &&
+         paths_unknown_budget == other.paths_unknown_budget &&
+         paths_unknown_deadline == other.paths_unknown_deadline &&
+         paths_unknown_injected == other.paths_unknown_injected &&
+         instructions == other.instructions && forks == other.forks &&
+         stop_cause == other.stop_cause && bugs == other.bugs;
 }
 
 std::string RunSignature::ToString() const {
@@ -62,7 +68,10 @@ std::string RunSignature::ToString() const {
   out << (exhausted ? "exhausted" : "CAPPED") << " paths=" << paths_completed
       << " infeasible=" << paths_infeasible << " bug=" << paths_bug
       << " limit=" << paths_limit << " unexplored=" << paths_unexplored
-      << " instructions=" << instructions << " forks=" << forks;
+      << " unknown=" << paths_unknown << " (budget=" << paths_unknown_budget
+      << " deadline=" << paths_unknown_deadline << " injected=" << paths_unknown_injected
+      << ")" << " instructions=" << instructions << " forks=" << forks
+      << " stop=" << StopCauseName(stop_cause);
   for (const BugSignature& bug : bugs) {
     out << "\n    bug " << BugKindName(bug.kind) << " '" << bug.message << "' input=";
     AppendBytes(out, bug.example_input);
@@ -129,8 +138,13 @@ RunSignature SignatureOf(const SymexResult& result, Module& module, const std::s
   signature.paths_bug = result.paths_bug;
   signature.paths_limit = result.paths_limit;
   signature.paths_unexplored = result.paths_unexplored;
+  signature.paths_unknown = result.paths_unknown;
+  signature.paths_unknown_budget = result.paths_unknown_budget;
+  signature.paths_unknown_deadline = result.paths_unknown_deadline;
+  signature.paths_unknown_injected = result.paths_unknown_injected;
   signature.instructions = result.instructions;
   signature.forks = result.forks;
+  signature.stop_cause = result.stop_cause;
   Function* entry_fn = module.GetFunction(entry);
   for (const BugReport& bug : result.bugs) {
     BugSignature sig;
@@ -190,6 +204,10 @@ DiffReport RunDifferential(const std::string& name, const std::string& source,
       }
       SymexResult result =
           Analyze(compiled, options.entry, sym_bytes, options.limits, cell.ToOptions());
+      if (!result.ok) {
+        diff << "cell " << cell.Name() << " rejected the input: " << result.error << "\n";
+        continue;
+      }
       RunSignature signature =
           SignatureOf(result, *compiled.module, options.entry, options.confirm_models);
       report.cells.push_back(CellResult{cell, signature});
@@ -260,6 +278,163 @@ DiffReport RunDifferential(const Workload& workload, unsigned sym_bytes,
                            const DiffOptions& options) {
   return RunDifferential(workload.name, workload.source,
                          sym_bytes == 0 ? workload.default_sym_bytes : sym_bytes, options);
+}
+
+namespace {
+
+// The degradation contract's invariants on one result, independent of any
+// reference: cause attribution must sum, and a partial run must say why it
+// is partial.
+void CheckAttribution(std::ostringstream& diff, const std::string& label,
+                      const SymexResult& result, const RunSignature& signature) {
+  if (result.paths_unknown != result.paths_unknown_budget + result.paths_unknown_deadline +
+                                  result.paths_unknown_injected) {
+    diff << label << ": unknown breakdown does not sum: " << signature.ToString() << "\n";
+  }
+  if (result.paths_terminated != result.paths_infeasible + result.paths_bug +
+                                     result.paths_limit + result.paths_unexplored +
+                                     result.paths_unknown) {
+    diff << label << ": terminated paths do not sum by cause: " << signature.ToString()
+         << "\n";
+  }
+  if (!result.exhausted && result.stop_cause == StopCause::kNone &&
+      result.paths_unknown == 0) {
+    diff << label << ": partial run with no attributed cause: " << signature.ToString()
+         << "\n";
+  }
+  for (const BugSignature& bug : signature.bugs) {
+    // Soundness must not degrade: every surviving report replays. Engine
+    // errors are the one exception — the interpreter has no equivalent trap
+    // for an engine-side limitation.
+    if (bug.kind != BugKind::kEngineError && !bug.confirmed) {
+      diff << label << ": bug report not confirmed by replay: " << BugKindName(bug.kind)
+           << " '" << bug.message << "'\n";
+    }
+  }
+}
+
+}  // namespace
+
+DiffReport RunRobustnessDifferential(const std::string& name, const std::string& source,
+                                     unsigned sym_bytes, const RobustnessOptions& options) {
+  DiffReport report;
+  report.name = name;
+  report.sym_bytes = sym_bytes;
+  std::ostringstream diff;
+
+  Compiler compiler;
+  CompileResult compiled = compiler.Compile(source, options.level, name);
+  if (!compiled.ok) {
+    diff << "compile failed at " << OptLevelName(options.level) << ":\n"
+         << compiled.errors << "\n";
+    report.diff = diff.str();
+    return report;
+  }
+
+  auto run_once = [&](const SymexOptions& opts, const SymexLimits& limits,
+                      const std::string& label, SymexResult* result_out) -> RunSignature {
+    SymexResult result = Analyze(compiled, options.entry, sym_bytes, limits, opts);
+    if (!result.ok) {
+      diff << label << " rejected the input: " << result.error << "\n";
+    }
+    RunSignature signature =
+        SignatureOf(result, *compiled.module, options.entry, /*confirm_models=*/true);
+    CheckAttribution(diff, label, result, signature);
+    if (result_out != nullptr) {
+      *result_out = std::move(result);
+    }
+    return signature;
+  };
+
+  // Fault-free references, one per worker count. Exhausted clean runs are
+  // already bit-identical across worker counts (the scheduler contract);
+  // re-check it here so a broken reference does not masquerade as a fault
+  // regression.
+  std::map<unsigned, RunSignature> clean;
+  for (unsigned jobs : options.jobs) {
+    SymexOptions opts;
+    opts.jobs = jobs;
+    opts.strategy = options.strategy;
+    std::string label = "clean/j" + std::to_string(jobs);
+    RunSignature signature = run_once(opts, options.limits, label, nullptr);
+    if (!signature.exhausted) {
+      diff << label << " did not exhaust within the limits (size RobustnessOptions::limits "
+           << "so it does): " << signature.ToString() << "\n";
+    }
+    if (!clean.empty() && signature != clean.begin()->second) {
+      diff << label << " diverges from clean/j" << clean.begin()->first << ":\n"
+           << "  reference: " << clean.begin()->second.ToString() << "\n"
+           << "  actual:    " << signature.ToString() << "\n";
+    }
+    clean.emplace(jobs, std::move(signature));
+  }
+
+  // Fault axis: every seed x worker count, run twice. Single-worker runs
+  // must reproduce bit for bit; any run that still exhausts must match the
+  // clean reference exactly (injected faults may only cost completeness).
+  for (uint64_t seed : options.fault_seeds) {
+    if (seed == 0) {
+      continue;  // seed 0 means disabled
+    }
+    for (unsigned jobs : options.jobs) {
+      SymexOptions opts;
+      opts.jobs = jobs;
+      opts.strategy = options.strategy;
+      opts.faults.seed = seed;
+      opts.faults.period = options.fault_period;
+      // Keep at least one worker alive so multi-worker runs can still
+      // exhaust; at one worker a death would just abandon the run.
+      opts.faults.max_worker_deaths = jobs > 1 ? jobs - 1 : 0;
+      std::ostringstream label_out;
+      label_out << "faults/seed=0x" << std::hex << seed << std::dec << "/j" << jobs;
+      std::string label = label_out.str();
+
+      RunSignature first = run_once(opts, options.limits, label + "/run1", nullptr);
+      RunSignature second = run_once(opts, options.limits, label + "/run2", nullptr);
+      if (jobs == 1 && first != second) {
+        diff << label << " is not reproducible at one worker:\n"
+             << "  run1: " << first.ToString() << "\n"
+             << "  run2: " << second.ToString() << "\n";
+      }
+      for (const RunSignature* signature : {&first, &second}) {
+        if (signature->exhausted && *signature != clean.at(jobs)) {
+          diff << label << " exhausted but diverges from the fault-free run:\n"
+               << "  clean:   " << clean.at(jobs).ToString() << "\n"
+               << "  faulted: " << signature->ToString() << "\n";
+        }
+      }
+    }
+  }
+
+  // Budget axis at one worker: a tightened max_paths must yield the same
+  // partial signature on every run — budget-limited degradation is
+  // deterministic, not merely bounded.
+  for (uint64_t budget : options.path_budgets) {
+    SymexLimits limits = options.limits;
+    limits.max_paths = budget;
+    SymexOptions opts;
+    opts.jobs = 1;
+    opts.strategy = options.strategy;
+    std::string label = "budget/max_paths=" + std::to_string(budget);
+    RunSignature first = run_once(opts, limits, label + "/run1", nullptr);
+    RunSignature second = run_once(opts, limits, label + "/run2", nullptr);
+    if (first != second) {
+      diff << label << " is not deterministic:\n"
+           << "  run1: " << first.ToString() << "\n"
+           << "  run2: " << second.ToString() << "\n";
+    }
+  }
+
+  report.diff = diff.str();
+  report.ok = report.diff.empty();
+  return report;
+}
+
+DiffReport RunRobustnessDifferential(const Workload& workload, unsigned sym_bytes,
+                                     const RobustnessOptions& options) {
+  return RunRobustnessDifferential(workload.name, workload.source,
+                                   sym_bytes == 0 ? workload.default_sym_bytes : sym_bytes,
+                                   options);
 }
 
 }  // namespace difftest

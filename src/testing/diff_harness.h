@@ -83,8 +83,16 @@ struct RunSignature {
   uint64_t paths_bug = 0;
   uint64_t paths_limit = 0;
   uint64_t paths_unexplored = 0;
+  // Solver-gave-up paths with their cause breakdown; part of the graceful
+  // degradation contract (docs/robustness.md): a partial run's losses are
+  // attributed, so they are part of the canonical signature.
+  uint64_t paths_unknown = 0;
+  uint64_t paths_unknown_budget = 0;
+  uint64_t paths_unknown_deadline = 0;
+  uint64_t paths_unknown_injected = 0;
   uint64_t instructions = 0;
   uint64_t forks = 0;
+  StopCause stop_cause = StopCause::kNone;
   std::vector<BugSignature> bugs;  // sorted
 
   bool operator==(const RunSignature& other) const;
@@ -158,6 +166,45 @@ DiffReport RunDifferential(const std::string& name, const std::string& source,
 // Suite convenience: `sym_bytes` of 0 uses the workload's default.
 DiffReport RunDifferential(const Workload& workload, unsigned sym_bytes = 0,
                            const DiffOptions& options = {});
+
+// ---- Robustness differential ----
+//
+// The fault-and-budget counterpart of RunDifferential: instead of sweeping
+// engine configurations and asserting equivalence, it sweeps injected fault
+// seeds and tightened budgets and asserts the graceful-degradation contract
+// (docs/robustness.md):
+//
+//  - same seed + budget + workers ⇒ reproducible: single-worker runs are
+//    bit-identical run to run, faults included;
+//  - an injected-fault run that still exhausts is bit-identical to the
+//    fault-free run (faults may only cost completeness, never change
+//    results);
+//  - every partial run is fully cause-attributed: the unknown breakdown
+//    sums, paths_terminated sums, and a non-exhausted run names a stop
+//    cause or carries unknown paths;
+//  - every surviving bug report (engine errors aside) is confirmed by
+//    concrete replay — soundness never degrades.
+struct RobustnessOptions {
+  std::vector<unsigned> jobs = {1, 4};
+  // Fault seeds to sweep (0 entries are skipped: seed 0 means disabled).
+  std::vector<uint64_t> fault_seeds = {0x0badc0de, 0x5eed5eed, 0x00c0ffee};
+  uint32_t fault_period = 64;
+  // max_paths values for the budget-limited determinism axis (run at one
+  // worker, where partial signatures are schedule-independent).
+  std::vector<uint64_t> path_budgets = {4, 64};
+  std::string entry = "umain";
+  SymexLimits limits;  // sized so the clean run exhausts
+  OptLevel level = OptLevel::kOverify;
+  SearchStrategy strategy = SearchStrategy::kDfs;
+};
+
+DiffReport RunRobustnessDifferential(const std::string& name, const std::string& source,
+                                     unsigned sym_bytes,
+                                     const RobustnessOptions& options = {});
+
+// Suite convenience: `sym_bytes` of 0 uses the workload's default.
+DiffReport RunRobustnessDifferential(const Workload& workload, unsigned sym_bytes = 0,
+                                     const RobustnessOptions& options = {});
 
 }  // namespace difftest
 }  // namespace overify

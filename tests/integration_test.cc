@@ -323,5 +323,55 @@ TEST(CompileErrorsTest, DriverSurfacesFrontendErrors) {
   EXPECT_NE(result.errors.find("undeclared"), std::string::npos);
 }
 
+// ---- Malformed driver input degrades to structured errors, never aborts
+// (docs/robustness.md).
+
+TEST(DriverErrorTest, AnalyzingFailedCompilationReturnsError) {
+  Compiler compiler;
+  CompileResult bad = compiler.Compile("int umain(unsigned char *in, int n) { return oops; }",
+                                       OptLevel::kOverify);
+  ASSERT_FALSE(bad.ok);
+  SymexLimits limits;
+  SymexResult result = Analyze(bad, "umain", 4, limits);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("failed compilation"), std::string::npos) << result.error;
+  // The compile diagnostics ride along so callers can show the real cause.
+  EXPECT_NE(result.error.find("undeclared"), std::string::npos) << result.error;
+}
+
+TEST(DriverErrorTest, MissingEntryFunctionReturnsError) {
+  CompileResult compiled = CompileLevel(kWcProgram, OptLevel::kOverify);
+  ASSERT_TRUE(compiled.ok);
+  SymexLimits limits;
+  SymexResult result = Analyze(compiled, "no_such_entry", 4, limits);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no_such_entry"), std::string::npos) << result.error;
+}
+
+TEST(DriverErrorTest, ZeroWidthSymbolicBufferReturnsError) {
+  CompileResult compiled = CompileLevel(kWcProgram, OptLevel::kOverify);
+  ASSERT_TRUE(compiled.ok);
+  SymexLimits limits;
+  SymexResult result = Analyze(compiled, "umain", 0, limits);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("zero-width"), std::string::npos) << result.error;
+}
+
+TEST(DriverErrorTest, FourArgEntryNeedsRoomForTheSizeSplit) {
+  CompileResult compiled = CompileLevel(R"(
+    int umain(unsigned char *a, int n, unsigned char *b, int m) {
+      return (int)a[0] + (int)b[0];
+    }
+  )", OptLevel::kOverify);
+  ASSERT_TRUE(compiled.ok);
+  SymexLimits limits;
+  SymexResult result = Analyze(compiled, "umain", 1, limits);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+  // Two bytes is the minimum: one per buffer.
+  SymexResult ok = Analyze(compiled, "umain", 2, limits);
+  EXPECT_TRUE(ok.ok) << ok.error;
+}
+
 }  // namespace
 }  // namespace overify

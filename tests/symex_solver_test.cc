@@ -1,6 +1,7 @@
 // Tests for the core solver and the KLEE-style solver chain.
 #include <gtest/gtest.h>
 
+#include "src/support/fault.h"
 #include "src/symex/solver.h"
 
 namespace overify {
@@ -185,6 +186,111 @@ TEST(SolverChainTest, UnsatDetected) {
       ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0), ctx.Constant(1, 8))};
   auto conflicting = ctx.Compare(ICmpPredicate::kEq, ctx.Symbol(0), ctx.Constant(2, 8));
   EXPECT_EQ(chain.MayBeTrue(path, conflicting, nullptr), SatResult::kUnsat);
+}
+
+// ---- kUnknown hygiene: a degraded verdict is never cached and never
+// poisons a later exact answer (docs/robustness.md).
+
+// An UNSAT pair over X = s0 ^ s1 (widened): xor defeats byte-binding
+// substitution and interval presolving, so the query must reach the core
+// search and enumerate — decidable within the default budget (64Ki
+// candidates) but not within a tiny one.
+std::vector<const Expr*> XorContradiction(ExprContext& ctx) {
+  const Expr* x = ctx.Binary(ExprKind::kXor, ctx.ZExt(ctx.Symbol(0), 32),
+                             ctx.ZExt(ctx.Symbol(1), 32));
+  return {ctx.Compare(ICmpPredicate::kEq, x, ctx.Constant(7, 32)),
+          ctx.Compare(ICmpPredicate::kEq, ctx.Binary(ExprKind::kXor, x, ctx.Constant(1, 32)),
+                      ctx.Constant(7, 32))};
+}
+
+TEST(SolverChainUnknownTest, BudgetUnknownIsAttributedAndNeverCached) {
+  ExprContext ctx;
+  SolverChain chain(ctx);
+  std::vector<const Expr*> constraints = XorContradiction(ctx);
+
+  QueryControl tiny;
+  tiny.query_candidates = 16;
+  chain.set_control(tiny);
+  EXPECT_EQ(chain.CheckSat(constraints, nullptr), SatResult::kUnknown);
+  EXPECT_EQ(chain.last_unknown_cause(), UnknownCause::kCandidateBudget);
+  EXPECT_EQ(chain.stats().unknown_budget, 1u);
+  uint64_t core_after_first = chain.stats().core_queries;
+  EXPECT_GE(core_after_first, 1u);
+
+  // Re-asking under the same tiny budget must hit the core again — if the
+  // kUnknown had been cached, this would be a cache hit with no new core
+  // query (and PrefixCache::Insert asserts against such an entry ever
+  // existing).
+  EXPECT_EQ(chain.CheckSat(constraints, nullptr), SatResult::kUnknown);
+  EXPECT_EQ(chain.stats().unknown_budget, 2u);
+  EXPECT_GT(chain.stats().core_queries, core_after_first);
+
+  // With the budget restored the exact verdict comes through untainted.
+  chain.set_control(QueryControl{});
+  EXPECT_EQ(chain.CheckSat(constraints, nullptr), SatResult::kUnsat);
+  EXPECT_EQ(chain.stats().unknown_budget, 2u);
+}
+
+TEST(SolverChainUnknownTest, InjectedUnknownIsAttributedAndRecoverable) {
+  ExprContext ctx;
+  SolverChain chain(ctx);
+  // SAT query that still reaches the core (xor resists presolving).
+  std::vector<const Expr*> constraints = {ctx.Compare(
+      ICmpPredicate::kEq,
+      ctx.Binary(ExprKind::kXor, ctx.ZExt(ctx.Symbol(0), 32), ctx.ZExt(ctx.Symbol(1), 32)),
+      ctx.Constant(7, 32))};
+
+  FaultConfig config;
+  config.seed = 0x1234;
+  config.period = 1;  // fire on every draw
+  config.sites = 1u << static_cast<unsigned>(FaultSite::kSolverUnknown);
+  FaultInjector injector(config, 0);
+  QueryControl control;
+  control.faults = &injector;
+  chain.set_control(control);
+
+  EXPECT_EQ(chain.CheckSat(constraints, nullptr), SatResult::kUnknown);
+  EXPECT_EQ(chain.last_unknown_cause(), UnknownCause::kInjected);
+  EXPECT_EQ(chain.stats().unknown_injected, 1u);
+
+  chain.set_control(QueryControl{});
+  std::vector<uint8_t> model;
+  EXPECT_EQ(chain.CheckSat(constraints, &model), SatResult::kSat);
+  ASSERT_GE(model.size(), 2u);
+  EXPECT_EQ((model[0] ^ model[1]) & 0xff, 7);
+}
+
+TEST(SolverChainUnknownTest, InjectedCacheMissesLeaveVerdictsUnchanged) {
+  // Two chains, same queries: one with every cache lookup injected to
+  // miss, one clean. Verdicts and models must match query for query.
+  ExprContext ctx_a;
+  SolverChain clean(ctx_a);
+  ExprContext ctx_b;
+  SolverChain faulted(ctx_b);
+
+  FaultConfig config;
+  config.seed = 0x1234;
+  config.period = 1;
+  config.sites = 1u << static_cast<unsigned>(FaultSite::kPrefixCacheLookup);
+  FaultInjector injector(config, 0);
+  QueryControl control;
+  control.faults = &injector;
+  faulted.set_control(control);
+
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    std::vector<uint8_t> model_clean;
+    std::vector<uint8_t> model_faulted;
+    SatResult sat_clean =
+        clean.CheckSat(XorContradiction(ctx_a), &model_clean);
+    SatResult sat_faulted =
+        faulted.CheckSat(XorContradiction(ctx_b), &model_faulted);
+    EXPECT_EQ(sat_clean, sat_faulted) << "repeat " << repeat;
+    EXPECT_EQ(model_clean, model_faulted) << "repeat " << repeat;
+  }
+  // The clean chain got to reuse its cache; the faulted one paid the core
+  // search every time. Same answers, different work — completeness of the
+  // cache is a performance property, never a soundness one.
+  EXPECT_GE(faulted.stats().core_queries, clean.stats().core_queries);
 }
 
 }  // namespace
