@@ -51,6 +51,25 @@ void ReportSolverStats(benchmark::State& state, const SolverStats& stats) {
   ReportPreprocessStats(state, stats);
 }
 
+// Macro-run latency/effectiveness summary from the run's metrics registry
+// (docs/observability.md): solver-query percentiles from the merged
+// latency histogram, plus the combined cache hit rate (counterexample
+// cache + prefix-trie subset/superset/model hits + model reuse over all
+// queries). Informational in BENCH_symex.json — timings vary run to run,
+// so `--check` never gates on them.
+void ReportLatencyStats(benchmark::State& state, const SymexResult& result) {
+  const LatencyHistogram& h = result.metrics.hist(Hist::kSolverQueryNs);
+  state.counters["solver_p50_ns"] = static_cast<double>(h.P50());
+  state.counters["solver_p95_ns"] = static_cast<double>(h.P95());
+  const MetricsShard& m = result.metrics;
+  double hits = static_cast<double>(
+      m.Get(Counter::kSolverCacheHits) + m.Get(Counter::kPrefixSubsetHits) +
+      m.Get(Counter::kPrefixSupersetHits) + m.Get(Counter::kPrefixModelHits) +
+      m.Get(Counter::kSolverReuseHits));
+  double queries = static_cast<double>(m.Get(Counter::kSolverQueries));
+  state.counters["cache_hit_rate"] = queries > 0 ? hits / queries : 0.0;
+}
+
 void BM_SolverSingleByteQuery(benchmark::State& state) {
   ExprContext ctx;
   SolverChain chain(ctx);
@@ -137,6 +156,7 @@ void BM_ExploreWcAtOverify(benchmark::State& state) {
   state.counters["eval_memo_hits"] = static_cast<double>(last.solver.eval_memo_hits);
   state.counters["independence_drops"] = static_cast<double>(last.solver.independence_drops);
   ReportPreprocessStats(state, last.solver);
+  ReportLatencyStats(state, last);
 }
 BENCHMARK(BM_ExploreWcAtOverify);
 
@@ -158,6 +178,7 @@ void BM_ExploreWcAtO3(benchmark::State& state) {
   state.counters["eval_memo_hits"] = static_cast<double>(last.solver.eval_memo_hits);
   state.counters["independence_drops"] = static_cast<double>(last.solver.independence_drops);
   ReportPreprocessStats(state, last.solver);
+  ReportLatencyStats(state, last);
 }
 BENCHMARK(BM_ExploreWcAtO3);
 
@@ -193,6 +214,7 @@ void RunExploreWorkload(benchmark::State& state, const char* name, OptLevel leve
   state.counters["eval_memo_hits"] = static_cast<double>(last.solver.eval_memo_hits);
   state.counters["independence_drops"] = static_cast<double>(last.solver.independence_drops);
   ReportPreprocessStats(state, last.solver);
+  ReportLatencyStats(state, last);
 }
 
 void BM_ExploreCksumWideAtOverify(benchmark::State& state) {

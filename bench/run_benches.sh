@@ -83,6 +83,12 @@ for b in micro.get("benchmarks", []):
                 "workers", "steals", "steal_batches", "steal_reintern"):
         if key in b:
             entry[key] = int(b[key])
+    # Latency percentiles and hit rates from the metrics registry
+    # (docs/observability.md). Informational: timing-derived, so the
+    # --check gate below never diffs them.
+    for key in ("solver_p50_ns", "solver_p95_ns", "cache_hit_rate"):
+        if key in b:
+            entry[key] = round(float(b[key]), 6)
     m = re.match(r"BM_ParallelExploreWc/(\d+)", b["name"])
     if m:
         scaling[m.group(1)] = entry

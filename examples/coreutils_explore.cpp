@@ -4,6 +4,15 @@
 //   $ ./coreutils_explore                      # whole suite, one row each
 //   $ ./coreutils_explore <workload> [bytes]   # one utility, every level
 //
+// Flags (anywhere on the command line):
+//   --stats        render the metrics registry (counters + latency
+//                  histograms, docs/observability.md) after the summary —
+//                  O3 vs -OVERIFY side by side per workload
+//   --trace=FILE   write a Chrome-trace-event JSON timeline of the
+//                  -OVERIFY exploration to FILE (load it in Perfetto); in
+//                  suite mode each workload writes FILE.<workload>.json
+//   --jobs=N       explore with N worker threads (0 = one per core)
+//
 // With no arguments, iterates the full expanded suite and prints
 // per-workload stats: symbolic width, static size and exploration outcome
 // at -O3 and -OVERIFY, and the concrete run of the sample input (whose
@@ -11,9 +20,12 @@
 // per-level table for it instead.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "src/driver/compiler.h"
 #include "src/exec/interpreter.h"
+#include "src/support/metrics.h"
 #include "src/support/string_utils.h"
 #include "src/support/table.h"
 #include "src/workloads/workloads.h"
@@ -22,6 +34,12 @@ using namespace overify;
 
 namespace {
 
+struct CliOptions {
+  bool stats = false;
+  std::string trace;  // empty = no tracing
+  unsigned jobs = 1;
+};
+
 struct LevelStats {
   size_t instructions = 0;
   uint64_t paths = 0;
@@ -29,9 +47,14 @@ struct LevelStats {
   double analysis_ms = 0;
   int64_t sample_result = 0;
   bool sample_ok = false;
+  MetricsShard metrics;
 };
 
-LevelStats ExploreAt(const Workload& workload, OptLevel level, unsigned sym_bytes) {
+// `trace_path` non-empty routes the run's trace there (only the -OVERIFY
+// level gets one; tracing every level would overwrite the file per level
+// and quintuple the overhead for timelines nobody asked for).
+LevelStats ExploreAt(const Workload& workload, OptLevel level, unsigned sym_bytes,
+                     const CliOptions& cli, const std::string& trace_path) {
   LevelStats stats;
   Compiler compiler;
   CompileResult compiled = compiler.Compile(workload.source, level, workload.name);
@@ -43,11 +66,15 @@ LevelStats ExploreAt(const Workload& workload, OptLevel level, unsigned sym_byte
   SymexLimits limits;
   limits.max_paths = 100000;
   limits.max_seconds = 10;
-  SymexResult analysis = Analyze(compiled, "umain", sym_bytes, limits);
+  SymexOptions options;
+  options.jobs = cli.jobs;
+  options.trace_path = trace_path;
+  SymexResult analysis = Analyze(compiled, "umain", sym_bytes, limits, options);
   stats.instructions = compiled.instruction_count;
   stats.paths = analysis.paths_completed;
   stats.exhausted = analysis.exhausted;
   stats.analysis_ms = analysis.wall_seconds * 1e3;
+  stats.metrics = analysis.metrics;
 
   Interpreter interp(*compiled.module);
   InterpResult run = interp.Run("umain", workload.sample_input);
@@ -56,12 +83,27 @@ LevelStats ExploreAt(const Workload& workload, OptLevel level, unsigned sym_byte
   return stats;
 }
 
-int ExploreSuite() {
+void PrintStats(const std::string& title, const MetricsShard& metrics) {
+  std::printf("-- metrics: %s --\n%s\n", title.c_str(),
+              RenderMetricsTable(metrics).ToString().c_str());
+}
+
+// Suite mode derives one trace file per workload from the flag value, so
+// runs don't clobber each other: --trace=out.json -> out.json.wc.json.
+std::string SuiteTracePath(const CliOptions& cli, const Workload& workload) {
+  if (cli.trace.empty()) {
+    return "";
+  }
+  return cli.trace + "." + workload.name + ".json";
+}
+
+int ExploreSuite(const CliOptions& cli) {
   TextTable table({"workload", "bytes", "instrs O3/OVERIFY", "paths O3", "paths OVERIFY",
                    "analysis ms O3/OVERIFY", "sample result"});
   for (const Workload& workload : CoreutilsSuite()) {
-    LevelStats o3 = ExploreAt(workload, OptLevel::kO3, workload.default_sym_bytes);
-    LevelStats overify = ExploreAt(workload, OptLevel::kOverify, workload.default_sym_bytes);
+    LevelStats o3 = ExploreAt(workload, OptLevel::kO3, workload.default_sym_bytes, cli, "");
+    LevelStats overify = ExploreAt(workload, OptLevel::kOverify, workload.default_sym_bytes,
+                                   cli, SuiteTracePath(cli, workload));
     if (o3.sample_ok != overify.sample_ok ||
         (o3.sample_ok && o3.sample_result != overify.sample_result)) {
       std::fprintf(stderr, "%s: sample result diverged between levels!\n",
@@ -74,6 +116,10 @@ int ExploreSuite() {
                   std::to_string(overify.paths) + (overify.exhausted ? "" : " (capped)"),
                   FormatDouble(o3.analysis_ms, 1) + "/" + FormatDouble(overify.analysis_ms, 1),
                   overify.sample_ok ? std::to_string(overify.sample_result) : "trap"});
+    if (cli.stats) {
+      PrintStats(workload.name + " @ -O3", o3.metrics);
+      PrintStats(workload.name + " @ -OVERIFY", overify.metrics);
+    }
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("%zu workloads; paths/analysis at each workload's default symbolic width\n",
@@ -81,11 +127,13 @@ int ExploreSuite() {
   return 0;
 }
 
-int ExploreOne(const Workload& workload, unsigned sym_bytes) {
+int ExploreOne(const Workload& workload, unsigned sym_bytes, const CliOptions& cli) {
   std::printf("== %s with %u symbolic bytes ==\n\n", workload.name.c_str(), sym_bytes);
   TextTable table({"level", "instrs", "compile ms", "paths", "exhausted", "analysis ms",
                    "sample result"});
 
+  MetricsShard o3_metrics;
+  MetricsShard overify_metrics;
   for (OptLevel level :
        {OptLevel::kO0, OptLevel::kO1, OptLevel::kO2, OptLevel::kO3, OptLevel::kOverify}) {
     Compiler compiler;
@@ -98,7 +146,17 @@ int ExploreOne(const Workload& workload, unsigned sym_bytes) {
     SymexLimits limits;
     limits.max_paths = 100000;
     limits.max_seconds = 10;
-    SymexResult analysis = Analyze(compiled, "umain", sym_bytes, limits);
+    SymexOptions options;
+    options.jobs = cli.jobs;
+    if (level == OptLevel::kOverify) {
+      options.trace_path = cli.trace;
+    }
+    SymexResult analysis = Analyze(compiled, "umain", sym_bytes, limits, options);
+    if (level == OptLevel::kO3) {
+      o3_metrics = analysis.metrics;
+    } else if (level == OptLevel::kOverify) {
+      overify_metrics = analysis.metrics;
+    }
 
     Interpreter interp(*compiled.module);
     InterpResult run = interp.Run("umain", workload.sample_input);
@@ -112,16 +170,44 @@ int ExploreOne(const Workload& workload, unsigned sym_bytes) {
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("sample input: \"%s\"\n", workload.sample_input.c_str());
+  if (cli.stats) {
+    std::printf("\n");
+    PrintStats(workload.name + " @ -O3", o3_metrics);
+    PrintStats(workload.name + " @ -OVERIFY", overify_metrics);
+  }
+  if (!cli.trace.empty()) {
+    std::printf("trace (-OVERIFY level): %s\n", cli.trace.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 1) {
-    return ExploreSuite();
+  CliOptions cli;
+  const char* name = nullptr;
+  const char* bytes_arg = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--stats") == 0) {
+      cli.stats = true;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      cli.trace = arg + 8;
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      cli.jobs = static_cast<unsigned>(std::atoi(arg + 7));
+    } else if (arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr,
+                   "unknown flag '%s'; supported: --stats --trace=FILE --jobs=N\n", arg);
+      return 1;
+    } else if (name == nullptr) {
+      name = arg;
+    } else {
+      bytes_arg = arg;
+    }
   }
-  const char* name = argv[1];
+  if (name == nullptr) {
+    return ExploreSuite(cli);
+  }
   const Workload* workload = FindWorkload(name);
   if (workload == nullptr) {
     std::fprintf(stderr, "unknown workload '%s'; available:\n", name);
@@ -130,7 +216,7 @@ int main(int argc, char** argv) {
     }
     return 1;
   }
-  unsigned sym_bytes = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2]))
-                                : workload->default_sym_bytes;
-  return ExploreOne(*workload, sym_bytes);
+  unsigned sym_bytes = bytes_arg != nullptr ? static_cast<unsigned>(std::atoi(bytes_arg))
+                                            : workload->default_sym_bytes;
+  return ExploreOne(*workload, sym_bytes, cli);
 }

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/sched/translate.h"
 #include "src/support/string_utils.h"
+#include "src/support/trace.h"
 #include "src/symex/engine_core.h"
 
 namespace overify {
@@ -109,14 +111,6 @@ std::unordered_map<const Instruction*, uint64_t> SiteOrder(Module& module) {
   return order;
 }
 
-// Per-thief steal accounting, summed into SymexResult after the join. Each
-// thief writes only its own entry, so no synchronization is needed.
-struct StealTallies {
-  uint64_t steals = 0;
-  uint64_t steal_batches = 0;
-  uint64_t steal_reintern = 0;
-};
-
 }  // namespace
 
 WorkerPool::WorkerPool(Module& module, const SymexOptions& options)
@@ -196,8 +190,8 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
     interner = std::make_unique<ExprInterner>(/*concurrent=*/true);
   }
 
-  // Engines (contexts, solver caches, tallies) are per-run; queues persist
-  // across runs and are reset at the run boundaries.
+  // Engines (contexts, solver caches, metrics shards) are per-run; queues
+  // persist across runs and are reset at the run boundaries.
   std::vector<std::unique_ptr<EngineCore>> engines;
   engines.reserve(jobs);
   if (queues_.empty()) {
@@ -208,37 +202,63 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
     }
   }
   OVERIFY_ASSERT(queues_.size() == jobs, "worker count changed across Run()s");
+
+  // Structured tracing: one lock-free buffer per worker, flushed into a
+  // single Chrome-trace-event JSON file after the join. Off (the default)
+  // costs one null-pointer branch per instrumented site
+  // (docs/observability.md).
+  std::string trace_path = options_.trace_path;
+  if (trace_path.empty()) {
+    const char* env = std::getenv("OVERIFY_TRACE");
+    if (env != nullptr) {
+      trace_path = env;
+    }
+  }
+  std::unique_ptr<TraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<TraceSink>(trace_path, jobs);
+  }
+
   for (unsigned w = 0; w < jobs; ++w) {
     engines.push_back(std::make_unique<EngineCore>(module_, options_, shared, slots,
                                                    num_input_bytes, w, interner.get()));
+    engines[w]->set_trace(trace_sink != nullptr ? trace_sink->buffer(w) : nullptr);
     queues_[w]->BeginRun(shared);
   }
 
   queues_[0]->PushFork(engines[0]->MakeInitialState(entry));
-
-  std::vector<StealTallies> steal_tallies(jobs);
 
   // Batch stealing: scan victims round-robin; the first queue with work
   // yields up to half its cold end in one lock acquisition. The thief runs
   // the coldest state immediately and queues the rest for itself.
   auto try_steal = [&](unsigned thief) -> std::unique_ptr<ExecState> {
     std::vector<std::unique_ptr<ExecState>> batch;
-    FaultInjector& injector = engines[thief]->faults();
+    EngineCore& thief_engine = *engines[thief];
+    FaultInjector& injector = thief_engine.faults();
+    // Steal accounting lands in the thief's own shard — the thief's thread
+    // is the only writer, same single-writer rule as the engine counters.
+    MetricsShard& tm = thief_engine.metrics_shard();
+    TraceBuffer* tb = thief_engine.trace();
     for (unsigned k = 1; k < jobs; ++k) {
       unsigned victim = (thief + k) % jobs;
       // Injected steal failure: this victim yields nothing this round, as if
       // a thief raced us to its queue. The thief just moves on; states are
       // never lost, only delayed.
       if (injector.enabled() && injector.Fire(FaultSite::kStealBatch)) {
+        if (tb != nullptr) {
+          tb->Instant(TraceKind::kFaultFired, MetricsNowNs(),
+                      static_cast<uint64_t>(FaultSite::kStealBatch));
+        }
         continue;
       }
+      const bool timed = tm.timing || tb != nullptr;
+      const uint64_t t0 = timed ? MetricsNowNs() : 0;
       queues_[victim]->StealBatch(batch);
       if (batch.empty()) {
         continue;
       }
-      StealTallies& tallies = steal_tallies[thief];
-      ++tallies.steal_batches;
-      tallies.steals += batch.size();
+      tm.Inc(Counter::kStealBatches);
+      tm.Add(Counter::kSteals, batch.size());
       if (share_interner) {
         for (auto& state : batch) {
           // Every expression the state references lives in the shared
@@ -254,10 +274,17 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
         // Legacy per-worker interners: re-intern the whole batch into the
         // thief's context. One translator for the batch — all states came
         // from the same victim context, so shared subgraphs translate once.
-        ExprTranslator translator(engines[thief]->ctx());
+        ExprTranslator translator(thief_engine.ctx());
         for (auto& state : batch) {
           TranslateState(*state, translator);
-          ++tallies.steal_reintern;
+          tm.Inc(Counter::kStealReintern);
+        }
+      }
+      if (timed) {
+        const uint64_t t1 = MetricsNowNs();
+        tm.Record(Hist::kStealBatchNs, t1 - t0);
+        if (tb != nullptr) {
+          tb->Span(TraceKind::kStealBatch, t0, t1, batch.size(), victim);
         }
       }
       std::unique_ptr<ExecState> first = std::move(batch.front());
@@ -272,6 +299,8 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
   auto worker_loop = [&](unsigned w) {
     EngineCore& engine = *engines[w];
     WorkerQueue& queue = *queues_[w];
+    TraceBuffer* tb = engine.trace();
+    const uint64_t run_t0 = tb != nullptr ? MetricsNowNs() : 0;
     unsigned idle_rounds = 0;
     for (;;) {
       if (shared.StopRequested()) {
@@ -300,6 +329,10 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
       if (injector.enabled() && injector.Fire(FaultSite::kWorkerStall)) {
         // Injected stall: hold the state while the rest of the pool makes
         // progress (models a descheduled or swapping worker).
+        if (tb != nullptr) {
+          tb->Instant(TraceKind::kFaultFired, MetricsNowNs(),
+                      static_cast<uint64_t>(FaultSite::kWorkerStall));
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
       }
       PathOutcome outcome = engine.RunState(*state, queue, queue.searcher());
@@ -315,6 +348,9 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
       state.reset();
       shared.live_states.fetch_sub(1, std::memory_order_acq_rel);
     }
+    if (tb != nullptr) {
+      tb->Span(TraceKind::kWorkerRun, run_t0, MetricsNowNs(), w);
+    }
   };
 
   std::vector<std::thread> threads;
@@ -327,67 +363,36 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
     t.join();
   }
 
+  if (trace_sink != nullptr) {
+    trace_sink->Write();
+  }
+
   // ---- Deterministic aggregation ----
 
   SymexResult result;
   result.workers = jobs;
   result.wall_seconds = shared.watch.ElapsedSeconds();
 
+  // One merge replaces the old per-family hand-written sums: each worker's
+  // shard (engine, solver, steal, and fault counters plus the latency
+  // histograms) folds into the run's registry element-wise, in worker
+  // order. Shard merge is associative and commutative, so the totals are
+  // independent of worker count for the deterministic counter families
+  // (docs/observability.md).
   for (const auto& queue : queues_) {
-    result.paths_unexplored += queue->Remaining();
-  }
-  for (const StealTallies& tallies : steal_tallies) {
-    result.steals += tallies.steals;
-    result.steal_batches += tallies.steal_batches;
-    result.steal_reintern += tallies.steal_reintern;
+    result.metrics.Add(Counter::kPathsUnexplored, queue->Remaining());
   }
   for (const auto& engine : engines) {
-    const WorkerTallies& t = engine->tallies();
-    result.paths_completed += t.paths_completed;
-    result.paths_infeasible += t.paths_infeasible;
-    result.paths_bug += t.paths_bug;
-    result.paths_limit += t.paths_limit;
-    result.paths_unknown += t.paths_unknown;
-    result.paths_unknown_budget += t.paths_unknown_budget;
-    result.paths_unknown_deadline += t.paths_unknown_deadline;
-    result.paths_unknown_injected += t.paths_unknown_injected;
-    result.instructions += t.instructions;
-    result.forks += t.forks;
-    result.annotation_hits += t.annotation_hits;
-    result.faults.Accumulate(engine->faults().stats());
-
-    const SolverStats& s = engine->solver_stats();
-    result.solver.queries += s.queries;
-    result.solver.cache_hits += s.cache_hits;
-    result.solver.reuse_hits += s.reuse_hits;
-    result.solver.core_queries += s.core_queries;
-    result.solver.core_candidates += s.core_candidates;
-    result.solver.independence_drops += s.independence_drops;
-    result.solver.eval_memo_hits += s.eval_memo_hits;
-    result.solver.interval_memo_hits += s.interval_memo_hits;
-    result.solver.cex_evictions += s.cex_evictions;
-    result.solver.preprocess_bindings += s.preprocess_bindings;
-    result.solver.preprocess_substitutions += s.preprocess_substitutions;
-    result.solver.preprocess_tautologies += s.preprocess_tautologies;
-    result.solver.preprocess_contradictions += s.preprocess_contradictions;
-    result.solver.presolve_shortcuts += s.presolve_shortcuts;
-    result.solver.prefix_subset_hits += s.prefix_subset_hits;
-    result.solver.prefix_superset_hits += s.prefix_superset_hits;
-    result.solver.prefix_model_hits += s.prefix_model_hits;
-    result.solver.unknown_budget += s.unknown_budget;
-    result.solver.unknown_deadline += s.unknown_deadline;
-    result.solver.unknown_cancelled += s.unknown_cancelled;
-    result.solver.unknown_injected += s.unknown_injected;
+    engine->SyncMetrics();
+    result.metrics.Merge(engine->metrics_shard());
   }
   // Worker deaths are the claimed count (bounded by max_worker_deaths), not
-  // the raw draw fires the per-worker stats accumulated above.
-  result.faults.worker_deaths = shared.worker_deaths.load(std::memory_order_relaxed);
-  result.paths_terminated = result.paths_infeasible + result.paths_bug + result.paths_limit +
-                            result.paths_unexplored + result.paths_unknown;
-  OVERIFY_ASSERT(result.paths_unknown == result.paths_unknown_budget +
-                                             result.paths_unknown_deadline +
-                                             result.paths_unknown_injected,
-                 "every unknown path must be attributed to exactly one cause");
+  // the raw draw fires accumulated from the per-worker injector stats.
+  result.metrics.Set(Counter::kFaultWorkerDeaths,
+                     shared.worker_deaths.load(std::memory_order_relaxed));
+  // Fills every legacy counter field from the registry and asserts the
+  // unknown-cause and terminated-cause sum invariants in one place.
+  result.FinalizeFromMetrics();
   // Exhausted means every path actually ran to its end — not merely "no
   // limit tripped": a run that completes its last path exactly at a limit
   // (paths_completed == max_paths with nothing queued) latches the stop

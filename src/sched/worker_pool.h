@@ -10,8 +10,9 @@
 // = false restores the legacy per-worker interners + ExprTranslator path).
 // Global limits live in lock-free shared counters enforced cooperatively.
 //
-// Results are aggregated deterministically: exact per-worker tallies are
-// summed, and bug reports are merged by (site, kind) keeping the smallest
+// Results are aggregated deterministically: exact per-worker metrics
+// shards merge element-wise (src/support/metrics.h), and bug reports are
+// merged by (site, kind) keeping the smallest
 // path_id representative, ordered by the site's position in the module —
 // so bug sets and verdicts are identical for 1..N workers on exhausted
 // runs (docs/scheduler.md spells out the guarantee and its limits).

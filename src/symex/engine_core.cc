@@ -2,6 +2,7 @@
 
 #include "src/ir/constant.h"
 #include "src/support/string_utils.h"
+#include "src/support/trace.h"
 
 namespace overify {
 namespace sched {
@@ -38,6 +39,10 @@ class EngineCore::Impl {
         injector_(options.faults, worker_index),
         num_symbols_(num_input_bytes),
         worker_index_(worker_index) {
+    metrics_.timing = options_.metrics_timing;
+    // The solver writes into this worker's shard directly; installed before
+    // any query so no counts land in the chain's private fallback shard.
+    solver_.set_metrics(&metrics_);
     solver_.set_preprocessing(options_.solver_preprocess);
     // Cooperative query controls: the run deadline (stamped by the pool; a
     // default-constructed SharedCounters leaves it unset, so direct engine
@@ -71,6 +76,53 @@ class EngineCore::Impl {
   }
 
   PathOutcome RunState(ExecState& state, ForkSink& sink, Searcher* searcher) {
+    const bool timed = TimedEngine();
+    const uint64_t t0 = timed ? MetricsNowNs() : 0;
+    PathOutcome outcome = RunStateImpl(state, sink, searcher);
+    if (timed) {
+      const uint64_t t1 = MetricsNowNs();
+      metrics_.Record(Hist::kPathRunNs, t1 - t0);
+      if (trace_ != nullptr) {
+        trace_->Span(TraceKind::kPathRun, t0, t1, static_cast<uint64_t>(outcome),
+                     state.depth);
+      }
+    }
+    return outcome;
+  }
+
+  MetricsShard& metrics_shard() { return metrics_; }
+
+  // Flushes subsystem-owned totals (solver caches/preprocessor via the
+  // chain, this worker's fault-injector stats) into the shard so a merge
+  // sees everything.
+  void SyncMetrics() {
+    solver_.SyncMetrics();
+    const FaultStats& f = injector_.stats();
+    metrics_.Set(Counter::kFaultSolverUnknown, f.solver_unknown);
+    metrics_.Set(Counter::kFaultCacheLookup, f.cache_lookup);
+    metrics_.Set(Counter::kFaultStealBatch, f.steal_batch);
+    metrics_.Set(Counter::kFaultWorkerStalls, f.worker_stalls);
+    metrics_.Set(Counter::kFaultWorkerDeaths, f.worker_deaths);
+    metrics_.Set(Counter::kFaultDraws, f.draws);
+  }
+
+  void set_trace(TraceBuffer* trace) {
+    trace_ = trace;
+    solver_.set_trace(trace);
+  }
+  TraceBuffer* trace() { return trace_; }
+
+  const SolverStats& solver_stats() const { return solver_.stats(); }
+  const std::map<std::pair<const Instruction*, BugKind>, BugCandidate>& bugs() const {
+    return bugs_;
+  }
+  ExprContext& ctx() { return ctx_; }
+  FaultInjector& faults() { return injector_; }
+
+ private:
+  bool TimedEngine() const { return metrics_.timing || trace_ != nullptr; }
+
+  PathOutcome RunStateImpl(ExecState& state, ForkSink& sink, Searcher* searcher) {
     sink_ = &sink;
     searcher_ = searcher;
     for (;;) {
@@ -82,13 +134,17 @@ class EngineCore::Impl {
         // configured number of survivors is guaranteed.
         if (injector_.enabled() && injector_.Fire(FaultSite::kWorkerDeath) &&
             shared_.ClaimWorkerDeath(options_.faults.max_worker_deaths)) {
+          if (trace_ != nullptr) {
+            trace_->Instant(TraceKind::kFaultFired, MetricsNowNs(),
+                            static_cast<uint64_t>(FaultSite::kWorkerDeath));
+          }
           return PathOutcome::kDied;
         }
         LatchExceededLimit();
       }
       if (shared_.StopRequested()) {
         FlushInstructions();
-        ++tallies_.paths_limit;
+        metrics_.Inc(Counter::kPathsLimit);
         return PathOutcome::kLimitStop;
       }
       StepOutcome outcome = Step(state);
@@ -98,31 +154,22 @@ class EngineCore::Impl {
       FlushInstructions();
       switch (outcome) {
         case StepOutcome::kPathComplete:
-          ++tallies_.paths_completed;
+          metrics_.Inc(Counter::kPathsCompleted);
           shared_.paths_completed.fetch_add(1, std::memory_order_relaxed);
           LatchExceededLimit();
           return PathOutcome::kCompleted;
         case StepOutcome::kPathInfeasible:
-          ++tallies_.paths_infeasible;
+          metrics_.Inc(Counter::kPathsInfeasible);
           return PathOutcome::kInfeasible;
         case StepOutcome::kPathUnknown:
           return RecordUnknown();
         default:
-          ++tallies_.paths_bug;
+          metrics_.Inc(Counter::kPathsBug);
           return PathOutcome::kBug;
       }
     }
   }
 
-  WorkerTallies& tallies() { return tallies_; }
-  const SolverStats& solver_stats() const { return solver_.stats(); }
-  const std::map<std::pair<const Instruction*, BugKind>, BugCandidate>& bugs() const {
-    return bugs_;
-  }
-  ExprContext& ctx() { return ctx_; }
-  FaultInjector& faults() { return injector_; }
-
- private:
   enum class StepOutcome {
     kContinue,        // state advanced; keep running it
     kPathComplete,    // main returned
@@ -159,20 +206,20 @@ class EngineCore::Impl {
   // rest of the pool drains promptly.
   PathOutcome RecordUnknown() {
     if (shared_.StopRequested()) {
-      ++tallies_.paths_limit;
+      metrics_.Inc(Counter::kPathsLimit);
       return PathOutcome::kLimitStop;
     }
-    ++tallies_.paths_unknown;
+    metrics_.Inc(Counter::kPathsUnknown);
     switch (solver_.last_unknown_cause()) {
       case UnknownCause::kDeadline:
-        ++tallies_.paths_unknown_deadline;
+        metrics_.Inc(Counter::kPathsUnknownDeadline);
         shared_.RequestStop(StopCause::kDeadline);
         break;
       case UnknownCause::kInjected:
-        ++tallies_.paths_unknown_injected;
+        metrics_.Inc(Counter::kPathsUnknownInjected);
         break;
       default:
-        ++tallies_.paths_unknown_budget;
+        metrics_.Inc(Counter::kPathsUnknownBudget);
         break;
     }
     return PathOutcome::kUnknown;
@@ -191,7 +238,7 @@ class EngineCore::Impl {
   }
 
   void CountInstructions(uint64_t n) {
-    tallies_.instructions += n;
+    metrics_.Add(Counter::kInstructions, n);
     unflushed_instructions_ += n;
   }
 
@@ -337,7 +384,7 @@ class EngineCore::Impl {
     if (options_.annotations != nullptr && ir_cond != nullptr) {
       auto it = options_.annotations->value_ranges.find(ir_cond);
       if (it != options_.annotations->value_ranges.end() && it->second.IsSingleValue()) {
-        ++tallies_.annotation_hits;
+        metrics_.Inc(Counter::kAnnotationHits);
         return it->second.lo != 0 ? CondOutcome::kTrue : CondOutcome::kFalse;
       }
     }
@@ -400,7 +447,20 @@ class EngineCore::Impl {
 
   ForkDecision ConstrainOrFork(ExecState& state, const Expr* cond, const Value* ir_cond,
                                bool* took_true) {
+    // The fork-decide span is trace-only: most decisions settle on a
+    // constant / annotation / path-membership fast path costing less than a
+    // clock-read pair, so timing them in metrics mode would dominate what it
+    // measures. The engine.forks counter stays exact either way.
+    const bool traced = trace_ != nullptr;
+    const uint64_t t0 = traced ? MetricsNowNs() : 0;
     CondOutcome outcome = DecideCondition(state, cond, ir_cond);
+    if (traced) {
+      const uint64_t t1 = MetricsNowNs();
+      metrics_.Record(Hist::kForkDecideNs, t1 - t0);
+      // ForkOutcome mirrors CondOutcome's declaration order (trace.h), so
+      // the cast is a straight relabel.
+      trace_->Span(TraceKind::kForkDecide, t0, t1, static_cast<uint64_t>(outcome));
+    }
     switch (outcome) {
       case CondOutcome::kTrue:
         if (!cond->IsConstant()) {
@@ -415,7 +475,7 @@ class EngineCore::Impl {
         *took_true = false;
         return ForkDecision::kOk;
       case CondOutcome::kBoth: {
-        ++tallies_.forks;
+        metrics_.Inc(Counter::kForks);
         shared_.forks.fetch_add(1, std::memory_order_relaxed);
         auto sibling = state.Clone();
         sibling->id = NextStateId();
@@ -1104,7 +1164,8 @@ class EngineCore::Impl {
   ExprContext ctx_;
   SolverChain solver_;
   FaultInjector injector_;
-  WorkerTallies tallies_;
+  MetricsShard metrics_;
+  TraceBuffer* trace_ = nullptr;
   std::map<std::pair<const Instruction*, BugKind>, BugCandidate> bugs_;
   unsigned num_symbols_ = 0;
   unsigned worker_index_ = 0;
@@ -1132,7 +1193,13 @@ PathOutcome EngineCore::RunState(ExecState& state, ForkSink& sink, Searcher* sea
   return impl_->RunState(state, sink, searcher);
 }
 
-const WorkerTallies& EngineCore::tallies() const { return impl_->tallies(); }
+MetricsShard& EngineCore::metrics_shard() { return impl_->metrics_shard(); }
+
+void EngineCore::SyncMetrics() { impl_->SyncMetrics(); }
+
+void EngineCore::set_trace(TraceBuffer* trace) { impl_->set_trace(trace); }
+
+TraceBuffer* EngineCore::trace() { return impl_->trace(); }
 
 const SolverStats& EngineCore::solver_stats() const { return impl_->solver_stats(); }
 

@@ -2,8 +2,9 @@
 //
 // One EngineCore owns everything a scheduler worker needs to run paths in
 // isolation: a private ExprContext (interner + memo slots), a private
-// SolverChain (counterexample cache, model reuse), exact local tallies, and
-// the step machinery. The only mutable state shared between workers is the
+// SolverChain (counterexample cache, model reuse), this worker's metrics
+// shard (src/support/metrics.h), and the step machinery. The only mutable
+// state shared between workers is the
 // lock-free SharedCounters block, which enforces the global limits
 // cooperatively, and the worker queues (owned by the WorkerPool).
 //
@@ -26,6 +27,9 @@
 #include "src/symex/executor.h"
 
 namespace overify {
+
+class TraceBuffer;
+
 namespace sched {
 
 // Lock-free global limit accounting shared by all workers. Workers flush
@@ -119,25 +123,6 @@ class ForkSink {
   virtual void PushFork(std::unique_ptr<ExecState> state) = 0;
 };
 
-// Exact per-worker tallies, summed deterministically at aggregation (the
-// shared atomics above are only approximate limit gauges; these are the
-// numbers that reach SymexResult).
-struct WorkerTallies {
-  uint64_t paths_completed = 0;
-  uint64_t paths_infeasible = 0;
-  uint64_t paths_bug = 0;
-  uint64_t paths_limit = 0;
-  // Solver gave up on a decisive query; always the sum of the three
-  // per-cause counters below (asserted at aggregation).
-  uint64_t paths_unknown = 0;
-  uint64_t paths_unknown_budget = 0;
-  uint64_t paths_unknown_deadline = 0;
-  uint64_t paths_unknown_injected = 0;
-  uint64_t instructions = 0;
-  uint64_t forks = 0;
-  uint64_t annotation_hits = 0;
-};
-
 // One bug site's best candidate so far. The canonical representative of a
 // (site, kind) pair is the report from the smallest path_id — a
 // schedule-independent choice, so merged bug sets are identical across
@@ -171,7 +156,18 @@ class EngineCore {
   // coverage-guided ordering (may be null).
   PathOutcome RunState(ExecState& state, ForkSink& sink, Searcher* searcher);
 
-  const WorkerTallies& tallies() const;
+  // This worker's slice of the metrics registry: exact per-worker counters
+  // and latency histograms, written only by the worker thread that runs
+  // this engine, merged deterministically by the pool after the join (the
+  // shared atomics above are only approximate limit gauges). Call
+  // SyncMetrics() first to flush subsystem-owned totals (solver caches,
+  // preprocessor, fault injector) into the shard.
+  MetricsShard& metrics_shard();
+  void SyncMetrics();
+  // Structured trace buffer for this worker's spans (null disables tracing;
+  // the pool wires one per worker when a trace path is configured).
+  void set_trace(TraceBuffer* trace);
+  TraceBuffer* trace();
   const SolverStats& solver_stats() const;
   const std::map<std::pair<const Instruction*, BugKind>, BugCandidate>& bugs() const;
   ExprContext& ctx();

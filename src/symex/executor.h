@@ -22,6 +22,7 @@
 #include "src/passes/annotate.h"
 #include "src/sched/searcher.h"
 #include "src/support/fault.h"
+#include "src/support/metrics.h"
 #include "src/symex/solver.h"
 #include "src/symex/state.h"
 
@@ -115,6 +116,17 @@ struct SymexResult {
   unsigned workers = 1;  // worker threads that ran the search
   std::vector<BugReport> bugs;
   SolverStats solver;
+  // The merged metrics registry for the run: every counter above plus the
+  // latency histograms (src/support/metrics.h). Single source of truth —
+  // the flat fields and `solver`/`faults` views are filled from it by
+  // FinalizeFromMetrics (docs/observability.md).
+  MetricsShard metrics;
+
+  // Fills every legacy counter field (paths_*, instructions, forks, steal
+  // and fault counts, the SolverStats view) from `metrics`, and asserts the
+  // accounting invariants — unknown-cause and terminated-cause sums — in
+  // this one place. The pool calls it once after merging worker shards.
+  void FinalizeFromMetrics();
 
   bool FoundBug(BugKind kind) const {
     for (const BugReport& bug : bugs) {
@@ -155,6 +167,18 @@ struct SymexOptions {
   // default (seed 0); tests and the robustness differential harness enable
   // it to exercise the graceful-degradation contract (docs/robustness.md).
   FaultConfig faults;
+  // Latency-histogram timing for engine runs (two clock reads per solver
+  // query / fork decision / path). On by default: engine queries are
+  // microseconds-scale, so the overhead is noise — and SymexResult then
+  // carries real p50/p95 latencies. Off leaves every histogram empty;
+  // counters are unaffected either way.
+  bool metrics_timing = true;
+  // When non-empty, the run writes a Chrome-trace-event JSON timeline of
+  // solver queries, preprocessing, fork decisions, steals, cache lookups,
+  // fault firings, and worker lifecycles to this path (load it in Perfetto;
+  // docs/observability.md). Empty falls back to the OVERIFY_TRACE
+  // environment variable; unset disables tracing at near-zero cost.
+  std::string trace_path;
   // DEPRECATED: pre-scheduler search toggle, kept so existing callers
   // compile unchanged. Read only through EffectiveStrategy(): setting it to
   // false selects BFS unless `strategy` was set explicitly.

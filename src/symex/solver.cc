@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <set>
 
+#include "src/support/trace.h"
+
 namespace overify {
 
 namespace {
@@ -622,15 +624,43 @@ void PrefixCache::Insert(std::vector<uint64_t> keys, uint64_t set_hash, uint64_t
 
 // ---- SolverChain ----
 
-const SolverStats& SolverChain::stats() const {
-  stats_.eval_memo_hits = ctx_.eval_memo_hits();
-  stats_.interval_memo_hits = ctx_.interval_memo_hits();
-  stats_.cex_evictions = cache_.evictions();
+void SolverChain::SyncMetrics() const {
+  MetricsShard& m = *metrics_;
+  m.Set(Counter::kSolverEvalMemoHits, ctx_.eval_memo_hits());
+  m.Set(Counter::kSolverIntervalMemoHits, ctx_.interval_memo_hits());
+  m.Set(Counter::kSolverCexEvictions, cache_.evictions());
   const PreprocessStats& pp = preprocessor_.stats();
-  stats_.preprocess_bindings = pp.bindings;
-  stats_.preprocess_substitutions = pp.substitutions;
-  stats_.preprocess_tautologies = pp.tautologies;
-  stats_.preprocess_contradictions = pp.contradictions;
+  m.Set(Counter::kPreprocessBindings, pp.bindings);
+  m.Set(Counter::kPreprocessSubstitutions, pp.substitutions);
+  m.Set(Counter::kPreprocessTautologies, pp.tautologies);
+  m.Set(Counter::kPreprocessContradictions, pp.contradictions);
+}
+
+const SolverStats& SolverChain::stats() const {
+  SyncMetrics();
+  const MetricsShard& m = *metrics_;
+  SolverStats& s = stats_;
+  s.queries = m.Get(Counter::kSolverQueries);
+  s.cache_hits = m.Get(Counter::kSolverCacheHits);
+  s.reuse_hits = m.Get(Counter::kSolverReuseHits);
+  s.core_queries = m.Get(Counter::kSolverCoreQueries);
+  s.core_candidates = m.Get(Counter::kSolverCoreCandidates);
+  s.independence_drops = m.Get(Counter::kSolverIndependenceDrops);
+  s.eval_memo_hits = m.Get(Counter::kSolverEvalMemoHits);
+  s.interval_memo_hits = m.Get(Counter::kSolverIntervalMemoHits);
+  s.cex_evictions = m.Get(Counter::kSolverCexEvictions);
+  s.preprocess_bindings = m.Get(Counter::kPreprocessBindings);
+  s.preprocess_substitutions = m.Get(Counter::kPreprocessSubstitutions);
+  s.preprocess_tautologies = m.Get(Counter::kPreprocessTautologies);
+  s.preprocess_contradictions = m.Get(Counter::kPreprocessContradictions);
+  s.presolve_shortcuts = m.Get(Counter::kPresolveShortcuts);
+  s.prefix_subset_hits = m.Get(Counter::kPrefixSubsetHits);
+  s.prefix_superset_hits = m.Get(Counter::kPrefixSupersetHits);
+  s.prefix_model_hits = m.Get(Counter::kPrefixModelHits);
+  s.unknown_budget = m.Get(Counter::kSolverUnknownBudget);
+  s.unknown_deadline = m.Get(Counter::kSolverUnknownDeadline);
+  s.unknown_cancelled = m.Get(Counter::kSolverUnknownCancelled);
+  s.unknown_injected = m.Get(Counter::kSolverUnknownInjected);
   return stats_;
 }
 
@@ -674,16 +704,16 @@ SatResult SolverChain::Unknown(UnknownCause cause) {
   switch (cause) {
     case UnknownCause::kCandidateBudget:
     case UnknownCause::kQueryTimeout:
-      ++stats_.unknown_budget;
+      metrics_->Inc(Counter::kSolverUnknownBudget);
       break;
     case UnknownCause::kDeadline:
-      ++stats_.unknown_deadline;
+      metrics_->Inc(Counter::kSolverUnknownDeadline);
       break;
     case UnknownCause::kCancelled:
-      ++stats_.unknown_cancelled;
+      metrics_->Inc(Counter::kSolverUnknownCancelled);
       break;
     case UnknownCause::kInjected:
-      ++stats_.unknown_injected;
+      metrics_->Inc(Counter::kSolverUnknownInjected);
       break;
     case UnknownCause::kNone:
       break;
@@ -702,6 +732,10 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
   // screening (so the site models a real solver timing out on real work)
   // but before any cache interaction (kUnknown must never be cached).
   if (control_.faults != nullptr && control_.faults->Fire(FaultSite::kSolverUnknown)) {
+    if (trace_ != nullptr) {
+      trace_->Instant(TraceKind::kFaultFired, MetricsNowNs(),
+                      static_cast<uint64_t>(FaultSite::kSolverUnknown));
+    }
     return Unknown(UnknownCause::kInjected);
   }
   // Injected cache failure: every lookup this query would do misses. The
@@ -710,13 +744,37 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
   // demands of this site.
   const bool skip_cache =
       control_.faults != nullptr && control_.faults->Fire(FaultSite::kPrefixCacheLookup);
+  if (skip_cache && trace_ != nullptr) {
+    trace_->Instant(TraceKind::kFaultFired, MetricsNowNs(),
+                    static_cast<uint64_t>(FaultSite::kPrefixCacheLookup));
+  }
+
+  // The cache-lookup span covers every reuse tier (exact, subset, superset,
+  // model extension, recent-model reuse) and closes with the hit class that
+  // answered — kMiss when the query fell through to the core search. It is
+  // a sub-span of the solver-query span and is timed only when tracing:
+  // lookups are tens of nanoseconds, so paying two clock reads per query in
+  // metrics-only mode would cost more than it measures (the hit *counters*
+  // are always exact; docs/observability.md spells out the gate).
+  const bool timed = Timed();
+  const bool traced = trace_ != nullptr;
+  const uint64_t lookup_t0 = traced ? MetricsNowNs() : 0;
+  auto lookup_done = [&](CacheHitClass hit) {
+    if (!traced) {
+      return;
+    }
+    const uint64_t t1 = MetricsNowNs();
+    metrics_->Record(Hist::kCacheLookupNs, t1 - lookup_t0);
+    trace_->Span(TraceKind::kCacheLookup, lookup_t0, t1, static_cast<uint64_t>(hit));
+  };
 
   // Exact counterexample-cache lookup (one hash of the constraint set).
   const SetHash cache_key = HashConstraintSet(canonical);
   if (!skip_cache) {
     if (const PrefixCache::Entry* entry =
             cache_.FindExact(cache_key.key, cache_key.fingerprint)) {
-      ++stats_.cache_hits;
+      metrics_->Inc(Counter::kSolverCacheHits);
+      lookup_done(CacheHitClass::kExact);
       if (model != nullptr) {
         *model = entry->model;
       }
@@ -736,7 +794,8 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
   // A cached UNSAT subset (typically this path's shorter prefix plus the
   // refuted branch) refutes every superset.
   if (!skip_cache && cache_.HasUnsatSubset(keys)) {
-    ++stats_.prefix_subset_hits;
+    metrics_->Inc(Counter::kPrefixSubsetHits);
+    lookup_done(CacheHitClass::kSubset);
     cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kUnsat,
                   {});
     return SatResult::kUnsat;
@@ -744,7 +803,8 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
 
   // A cached SAT superset's model satisfies every constraint of this query.
   if (const PrefixCache::Entry* entry = skip_cache ? nullptr : cache_.FindSatSuperset(keys)) {
-    ++stats_.prefix_superset_hits;
+    metrics_->Inc(Counter::kPrefixSupersetHits);
+    lookup_done(CacheHitClass::kSuperset);
     // Copy before Insert: `entry` points into the cache's entry storage,
     // which Insert may reallocate.
     std::vector<uint8_t> superset_model = entry->model;
@@ -785,7 +845,8 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
       candidate.resize(needed, 0);
     }
     if (satisfies(candidate)) {
-      ++stats_.prefix_model_hits;
+      metrics_->Inc(Counter::kPrefixModelHits);
+      lookup_done(CacheHitClass::kModelExtension);
       cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kSat,
                     candidate);
       if (model != nullptr) {
@@ -802,7 +863,8 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
       continue;
     }
     if (satisfies(candidate)) {
-      ++stats_.reuse_hits;
+      metrics_->Inc(Counter::kSolverReuseHits);
+      lookup_done(CacheHitClass::kReuse);
       cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kSat,
                     candidate);
       if (model != nullptr) {
@@ -813,12 +875,23 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
   }
 
   // Core search.
-  ++stats_.core_queries;
+  lookup_done(CacheHitClass::kMiss);
+  metrics_->Inc(Counter::kSolverCoreQueries);
   std::vector<uint8_t> core_model;
   UnknownCause core_cause = UnknownCause::kNone;
+  const uint64_t candidates_before = core_.candidates_tried();
+  const uint64_t core_t0 = timed ? MetricsNowNs() : 0;
   SatResult result = core_.CheckSat(ctx_, canonical, &core_model, control_.query_candidates,
                                     &control_, &core_cause);
-  stats_.core_candidates = core_.candidates_tried();
+  if (timed) {
+    const uint64_t t1 = MetricsNowNs();
+    metrics_->Record(Hist::kCoreSearchNs, t1 - core_t0);
+    if (trace_ != nullptr) {
+      trace_->Span(TraceKind::kCoreSearch, core_t0, t1, static_cast<uint64_t>(result),
+                   core_.candidates_tried() - candidates_before);
+    }
+  }
+  metrics_->Set(Counter::kSolverCoreCandidates, core_.candidates_tried());
   if (result == SatResult::kUnknown) {
     // Never cached: a degraded verdict must not poison later exact answers
     // (PrefixCache::Insert asserts the same invariant).
@@ -850,7 +923,22 @@ PathPrefix* SolverChain::EffectivePrefix(PathPrefix* prefix,
     }
     prefix = &scratch_prefix_;
   }
-  if (!preprocessor_.Extend(*prefix, constraints)) {
+  // The preprocess span covers incremental summary extension; recorded only
+  // when new constraints were actually consumed, so steady-state re-queries
+  // of an up-to-date prefix stay span-free. Like the cache-lookup span it
+  // is trace-only: in metrics mode the extension is usually a no-op check
+  // far cheaper than a clock-read pair.
+  const size_t consumed_before = prefix->consumed;
+  const bool traced = trace_ != nullptr;
+  const uint64_t t0 = traced ? MetricsNowNs() : 0;
+  const bool ok = preprocessor_.Extend(*prefix, constraints);
+  if (traced && prefix->consumed > consumed_before) {
+    const uint64_t t1 = MetricsNowNs();
+    metrics_->Record(Hist::kPreprocessNs, t1 - t0);
+    trace_->Span(TraceKind::kPreprocess, t0, t1,
+                 static_cast<uint64_t>(prefix->consumed - consumed_before));
+  }
+  if (!ok) {
     // Run deadline expired mid-extension. The summary still covers exactly
     // prefix.consumed leading constraints (a valid shorter prefix), so it
     // stays pure; the query itself gives up.
@@ -867,9 +955,33 @@ void SolverChain::AssemblePreprocessed(const PathPrefix& prefix,
   out.insert(out.end(), prefix.simplified.begin(), prefix.simplified.end());
 }
 
+// The query entry points below wrap their *Impl bodies in the solver-query
+// span: one histogram record plus (when tracing) one trace event, gated on
+// Timed() so an untimed chain takes zero clock reads.
+void SolverChain::FinishQuery(uint64_t t0, SatResult result) {
+  const uint64_t t1 = MetricsNowNs();
+  metrics_->Record(Hist::kSolverQueryNs, t1 - t0);
+  if (trace_ != nullptr) {
+    trace_->Span(TraceKind::kSolverQuery, t0, t1, static_cast<uint64_t>(result),
+                 static_cast<uint64_t>(result == SatResult::kUnknown ? last_unknown_cause_
+                                                                     : UnknownCause::kNone));
+  }
+}
+
 SatResult SolverChain::CheckSat(const std::vector<const Expr*>& constraints,
                                 std::vector<uint8_t>* model, PathPrefix* prefix) {
-  ++stats_.queries;
+  metrics_->Inc(Counter::kSolverQueries);
+  if (!Timed()) {
+    return CheckSatImpl(constraints, model, prefix);
+  }
+  const uint64_t t0 = MetricsNowNs();
+  SatResult result = CheckSatImpl(constraints, model, prefix);
+  FinishQuery(t0, result);
+  return result;
+}
+
+SatResult SolverChain::CheckSatImpl(const std::vector<const Expr*>& constraints,
+                                    std::vector<uint8_t>* model, PathPrefix* prefix) {
   if (!preprocess_enabled_) {
     return Solve(constraints, model);
   }
@@ -886,7 +998,18 @@ SatResult SolverChain::CheckSat(const std::vector<const Expr*>& constraints,
 
 SatResult SolverChain::CheckSatCanonical(const std::vector<const Expr*>& constraints,
                                          std::vector<uint8_t>* model) {
-  ++stats_.queries;
+  metrics_->Inc(Counter::kSolverQueries);
+  if (!Timed()) {
+    return CheckSatCanonicalImpl(constraints, model);
+  }
+  const uint64_t t0 = MetricsNowNs();
+  SatResult result = CheckSatCanonicalImpl(constraints, model);
+  FinishQuery(t0, result);
+  return result;
+}
+
+SatResult SolverChain::CheckSatCanonicalImpl(const std::vector<const Expr*>& constraints,
+                                             std::vector<uint8_t>* model) {
   std::vector<const Expr*>& canonical = canonical_scratch_;
   if (!Canonicalize(constraints, canonical)) {
     return SatResult::kUnsat;
@@ -895,13 +1018,28 @@ SatResult SolverChain::CheckSatCanonical(const std::vector<const Expr*>& constra
   // must degrade the run to non-exhausted (the engine discards unwitnessed
   // reports), not produce an unconfirmed bug.
   if (control_.faults != nullptr && control_.faults->Fire(FaultSite::kSolverUnknown)) {
+    if (trace_ != nullptr) {
+      trace_->Instant(TraceKind::kFaultFired, MetricsNowNs(),
+                      static_cast<uint64_t>(FaultSite::kSolverUnknown));
+    }
     return Unknown(UnknownCause::kInjected);
   }
-  ++stats_.core_queries;
+  metrics_->Inc(Counter::kSolverCoreQueries);
   UnknownCause core_cause = UnknownCause::kNone;
+  const uint64_t candidates_before = core_.candidates_tried();
+  const bool timed = Timed();
+  const uint64_t core_t0 = timed ? MetricsNowNs() : 0;
   SatResult result = core_.CheckSat(ctx_, canonical, model, control_.query_candidates,
                                     &control_, &core_cause);
-  stats_.core_candidates = core_.candidates_tried();
+  if (timed) {
+    const uint64_t t1 = MetricsNowNs();
+    metrics_->Record(Hist::kCoreSearchNs, t1 - core_t0);
+    if (trace_ != nullptr) {
+      trace_->Span(TraceKind::kCoreSearch, core_t0, t1, static_cast<uint64_t>(result),
+                   core_.candidates_tried() - candidates_before);
+    }
+  }
+  metrics_->Set(Counter::kSolverCoreCandidates, core_.candidates_tried());
   if (result == SatResult::kUnknown) {
     return Unknown(core_cause);
   }
@@ -910,7 +1048,19 @@ SatResult SolverChain::CheckSatCanonical(const std::vector<const Expr*>& constra
 
 SatResult SolverChain::MayBeTrue(const std::vector<const Expr*>& constraints, const Expr* cond,
                                  std::vector<uint8_t>* model, PathPrefix* prefix) {
-  ++stats_.queries;
+  metrics_->Inc(Counter::kSolverQueries);
+  if (!Timed()) {
+    return MayBeTrueImpl(constraints, cond, model, prefix);
+  }
+  const uint64_t t0 = MetricsNowNs();
+  SatResult result = MayBeTrueImpl(constraints, cond, model, prefix);
+  FinishQuery(t0, result);
+  return result;
+}
+
+SatResult SolverChain::MayBeTrueImpl(const std::vector<const Expr*>& constraints,
+                                     const Expr* cond, std::vector<uint8_t>* model,
+                                     PathPrefix* prefix) {
   if (cond->IsTrue()) {
     // The path constraints are satisfiable by invariant.
     return SatResult::kSat;
@@ -920,7 +1070,7 @@ SatResult SolverChain::MayBeTrue(const std::vector<const Expr*>& constraints, co
   }
   if (!preprocess_enabled_) {
     FilterIndependentInto(constraints, cond, filtered_scratch_);
-    stats_.independence_drops += constraints.size() - filtered_scratch_.size();
+    metrics_->Add(Counter::kSolverIndependenceDrops, constraints.size() - filtered_scratch_.size());
     filtered_scratch_.push_back(cond);
     return Solve(filtered_scratch_, model);
   }
@@ -936,11 +1086,11 @@ SatResult SolverChain::MayBeTrue(const std::vector<const Expr*>& constraints, co
   // constant once bound bytes are rewritten in)...
   const Expr* simplified = preprocessor_.Apply(*p, cond);
   if (simplified->IsTrue()) {
-    ++stats_.presolve_shortcuts;
+    metrics_->Inc(Counter::kPresolveShortcuts);
     return SatResult::kSat;  // path satisfiable by invariant
   }
   if (simplified->IsFalse()) {
-    ++stats_.presolve_shortcuts;
+    metrics_->Inc(Counter::kPresolveShortcuts);
     return SatResult::kUnsat;
   }
   // ...and so can the range facts: an interval of {1,1} means every point
@@ -948,16 +1098,16 @@ SatResult SolverChain::MayBeTrue(const std::vector<const Expr*>& constraints, co
   // means none does.
   UInterval bound = preprocessor_.RangeOf(*p, simplified);
   if (bound.hi == 0) {
-    ++stats_.presolve_shortcuts;
+    metrics_->Inc(Counter::kPresolveShortcuts);
     return SatResult::kUnsat;
   }
   if (bound.lo >= 1) {
-    ++stats_.presolve_shortcuts;
+    metrics_->Inc(Counter::kPresolveShortcuts);
     return SatResult::kSat;
   }
   AssemblePreprocessed(*p, preprocessed_scratch_);
   FilterIndependentInto(preprocessed_scratch_, simplified, filtered_scratch_);
-  stats_.independence_drops += preprocessed_scratch_.size() - filtered_scratch_.size();
+  metrics_->Add(Counter::kSolverIndependenceDrops, preprocessed_scratch_.size() - filtered_scratch_.size());
   filtered_scratch_.push_back(simplified);
   return Solve(filtered_scratch_, model);
 }

@@ -27,10 +27,13 @@
 #include <vector>
 
 #include "src/support/fault.h"
+#include "src/support/metrics.h"
 #include "src/symex/expr.h"
 #include "src/symex/preprocess.h"
 
 namespace overify {
+
+class TraceBuffer;
 
 enum class SatResult {
   kSat,
@@ -64,6 +67,11 @@ struct QueryControl {
   double query_seconds = 0;                          // wall budget per query; 0 = none
 };
 
+// Legacy flat view of the solver's slice of the metrics registry
+// (src/support/metrics.h). The registry's MetricsShard is the single source
+// of truth — SolverChain::stats() assembles this struct from it on read —
+// but the named fields stay because every bench harness and test reads
+// them.
 struct SolverStats {
   uint64_t queries = 0;            // top-level CheckSat calls
   uint64_t cache_hits = 0;         // answered by the counterexample cache
@@ -244,7 +252,34 @@ class SolverChain {
 
   const SolverStats& stats() const;
 
+  // Redirects all counters and histograms into `metrics` (the engine passes
+  // its per-worker shard so pool aggregation is one registry merge). Must be
+  // installed before the first query. The default private shard keeps
+  // histogram timing OFF — a bare chain's cache-hit fast path is ~100ns and
+  // must not pay for clock reads; engine shards opt in.
+  void set_metrics(MetricsShard* metrics) { metrics_ = metrics; }
+  MetricsShard& metrics() { return *metrics_; }
+
+  // Flushes subsystem-owned totals (ExprContext memo hits, preprocessor
+  // stats, cache evictions) into the shard. Called by stats() and by the
+  // pool before merging shards.
+  void SyncMetrics() const;
+
+  // Structured trace spans for queries/lookups/core searches; null (the
+  // default) disables tracing at the cost of one cold-pointer branch.
+  void set_trace(TraceBuffer* trace) { trace_ = trace; }
+
  private:
+  SatResult CheckSatImpl(const std::vector<const Expr*>& constraints,
+                         std::vector<uint8_t>* model, PathPrefix* prefix);
+  SatResult CheckSatCanonicalImpl(const std::vector<const Expr*>& constraints,
+                                  std::vector<uint8_t>* model);
+  SatResult MayBeTrueImpl(const std::vector<const Expr*>& constraints, const Expr* cond,
+                          std::vector<uint8_t>* model, PathPrefix* prefix);
+  // Are query durations being measured (for histograms, traces, or both)?
+  bool Timed() const { return metrics_->timing || trace_ != nullptr; }
+  // Records the query span that started at `t0` (histogram + trace).
+  void FinishQuery(uint64_t t0, SatResult result);
   SatResult Solve(const std::vector<const Expr*>& filtered, std::vector<uint8_t>* model);
   // Records `cause` into last_unknown_cause_ and the per-cause stats.
   SatResult Unknown(UnknownCause cause);
@@ -262,7 +297,12 @@ class SolverChain {
   bool preprocess_enabled_ = true;
   QueryControl control_;
   UnknownCause last_unknown_cause_ = UnknownCause::kNone;
-  // stats() refreshes the memo-hit counters from the ExprContext on read.
+  // Where every counter/histogram lands: the engine's per-worker shard, or
+  // the private one for standalone chains (tests, microbenches).
+  MetricsShard own_metrics_;
+  MetricsShard* metrics_ = &own_metrics_;
+  TraceBuffer* trace_ = nullptr;
+  // Scratch for stats(): the legacy flat view assembled from the shard.
   mutable SolverStats stats_;
 
   // Counterexample cache: exact, subset, and superset reuse over canonical
