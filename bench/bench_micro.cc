@@ -41,6 +41,17 @@ void ReportPreprocessStats(benchmark::State& state, const SolverStats& stats) {
       static_cast<double>(stats.preprocess_tautologies);
 }
 
+// The learning core's search counters (docs/solver.md). Single-threaded
+// exhaustive runs make every one of these deterministic, so run_benches.sh
+// --check gates them exactly alongside `paths`.
+void ReportCoreSearchStats(benchmark::State& state, const SolverStats& stats) {
+  state.counters["core_candidates"] = static_cast<double>(stats.core_candidates);
+  state.counters["core_conflicts"] = static_cast<double>(stats.core_conflicts);
+  state.counters["core_learned"] = static_cast<double>(stats.core_learned);
+  state.counters["core_backjumps"] = static_cast<double>(stats.core_backjumps);
+  state.counters["core_restarts"] = static_cast<double>(stats.core_restarts);
+}
+
 void ReportSolverStats(benchmark::State& state, const SolverStats& stats) {
   state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
   state.counters["reuse_hits"] = static_cast<double>(stats.reuse_hits);
@@ -152,9 +163,9 @@ void BM_ExploreWcAtOverify(benchmark::State& state) {
   }
   state.counters["paths"] = static_cast<double>(last.paths_completed);
   state.counters["solver_queries"] = static_cast<double>(last.solver.queries);
-  state.counters["core_candidates"] = static_cast<double>(last.solver.core_candidates);
   state.counters["eval_memo_hits"] = static_cast<double>(last.solver.eval_memo_hits);
   state.counters["independence_drops"] = static_cast<double>(last.solver.independence_drops);
+  ReportCoreSearchStats(state, last.solver);
   ReportPreprocessStats(state, last.solver);
   ReportLatencyStats(state, last);
 }
@@ -174,9 +185,9 @@ void BM_ExploreWcAtO3(benchmark::State& state) {
   }
   state.counters["paths"] = static_cast<double>(last.paths_completed);
   state.counters["solver_queries"] = static_cast<double>(last.solver.queries);
-  state.counters["core_candidates"] = static_cast<double>(last.solver.core_candidates);
   state.counters["eval_memo_hits"] = static_cast<double>(last.solver.eval_memo_hits);
   state.counters["independence_drops"] = static_cast<double>(last.solver.independence_drops);
+  ReportCoreSearchStats(state, last.solver);
   ReportPreprocessStats(state, last.solver);
   ReportLatencyStats(state, last);
 }
@@ -210,9 +221,9 @@ void RunExploreWorkload(benchmark::State& state, const char* name, OptLevel leve
   }
   state.counters["paths"] = static_cast<double>(last.paths_completed);
   state.counters["solver_queries"] = static_cast<double>(last.solver.queries);
-  state.counters["core_candidates"] = static_cast<double>(last.solver.core_candidates);
   state.counters["eval_memo_hits"] = static_cast<double>(last.solver.eval_memo_hits);
   state.counters["independence_drops"] = static_cast<double>(last.solver.independence_drops);
+  ReportCoreSearchStats(state, last.solver);
   ReportPreprocessStats(state, last.solver);
   ReportLatencyStats(state, last);
 }

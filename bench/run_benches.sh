@@ -8,7 +8,8 @@
 # --check: after writing the snapshot, print a per-benchmark diff table
 # against the committed BENCH_symex.json and fail (exit 1) on a wall-time
 # slowdown beyond BENCH_CHECK_THRESHOLD (default 1.5x), on any change in
-# the hardware-independent `paths` / `core_candidates` counters, or on a
+# the hardware-independent `paths` / core-search counters (`core_candidates`,
+# `core_conflicts`, `core_learned`, `core_backjumps`, `core_restarts`), or on a
 # nonzero `steal_reintern` in the default scheduler configuration — the CI
 # regression gate. The thread_scaling section is gated the same way, but
 # only when this host has at least as many cores as the one that produced
@@ -75,7 +76,8 @@ for b in micro.get("benchmarks", []):
     scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[unit]
     entry = {"wall_seconds_per_iter": b["real_time"] * scale,
              "iterations": b.get("iterations", 0)}
-    for key in ("paths", "solver_queries", "core_candidates", "eval_memo_hits",
+    for key in ("paths", "solver_queries", "core_candidates", "core_conflicts",
+                "core_learned", "core_backjumps", "core_restarts", "eval_memo_hits",
                 "interval_memo_hits", "independence_drops", "cache_hits",
                 "reuse_hits", "cex_evictions", "presolve_shortcuts",
                 "prefix_subset_hits", "prefix_superset_hits", "prefix_model_hits",
@@ -151,11 +153,13 @@ for name in sorted(committed):
     new = fresh[name]["wall_seconds_per_iter"]
     ratio = new / old
     flag = " FAIL" if ratio > THRESHOLD else ""
-    # The paths and core_candidates counters are deterministic and
-    # hardware-independent: any drift is an engine behavior change, flagged
-    # at any magnitude.
+    # The path count and the learning core's search counters (candidates,
+    # conflicts, learned clauses, backjumps, restarts) are deterministic and
+    # hardware-independent on these single-threaded benches: any drift is an
+    # engine behavior change, flagged at any magnitude.
     drift = []
-    for counter in ("paths", "core_candidates"):
+    for counter in ("paths", "core_candidates", "core_conflicts",
+                    "core_learned", "core_backjumps", "core_restarts"):
         if committed[name].get(counter) != fresh[name].get(counter):
             drift.append(f"{counter} {committed[name].get(counter)} -> "
                          f"{fresh[name].get(counter)}")
@@ -211,11 +215,11 @@ else:
             failed.append(name)
 
 if failed:
-    print(f"\nregression gate FAILED (wall > {THRESHOLD}x, paths/"
-          f"core_candidates drifted, or steal_reintern != 0): "
+    print(f"\nregression gate FAILED (wall > {THRESHOLD}x, paths/core-search "
+          f"counters drifted, or steal_reintern != 0): "
           f"{', '.join(failed)}")
     sys.exit(1)
 print(f"\nregression gate passed (threshold {THRESHOLD}x; paths and "
-      "core_candidates exact; steal path re-intern-free)")
+      "core-search counters exact; steal path re-intern-free)")
 PY
 fi

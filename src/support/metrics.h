@@ -54,6 +54,11 @@ namespace overify {
   X(kSolverReuseHits, "solver.reuse_hits", false)             \
   X(kSolverCoreQueries, "solver.core_queries", false)         \
   X(kSolverCoreCandidates, "solver.core_candidates", false)   \
+  X(kSolverCoreConflicts, "solver.core_conflicts", false)     \
+  X(kSolverCoreLearned, "solver.core_learned", false)         \
+  X(kSolverCoreLearnedHits, "solver.core_learned_hits", false) \
+  X(kSolverCoreBackjumps, "solver.core_backjumps", false)     \
+  X(kSolverCoreRestarts, "solver.core_restarts", false)       \
   X(kSolverIndependenceDrops, "solver.independence_drops", false) \
   X(kSolverEvalMemoHits, "solver.eval_memo_hits", false)      \
   X(kSolverIntervalMemoHits, "solver.interval_memo_hits", false) \
@@ -85,9 +90,15 @@ namespace overify {
 // on; the cache-lookup, preprocess and fork-decide sub-spans are trace-only
 // (their events are often cheaper than a clock-read pair, so metrics mode
 // skips them — docs/observability.md#overhead).
+// kCoreConflictDepth is the one non-latency histogram: it records the
+// decision depth of every core-search conflict (a raw level count, not
+// nanoseconds), so observability can tell shallow thrashing from deep
+// near-miss search. It bypasses the timing gate — recording costs a few
+// adds, no clock reads.
 #define OVERIFY_METRIC_HISTS(X)            \
   X(kSolverQueryNs, "solver.query_ns")     \
   X(kCoreSearchNs, "solver.core_search_ns") \
+  X(kCoreConflictDepth, "solver.core_conflict_depth") \
   X(kCacheLookupNs, "solver.cache_lookup_ns") \
   X(kPreprocessNs, "preprocess.extend_ns") \
   X(kForkDecideNs, "engine.fork_decide_ns") \

@@ -151,6 +151,12 @@ struct SymexOptions {
   // preprocessing regression tests; verdicts and bug reports are identical
   // either way.
   bool solver_preprocess = true;
+  // Conflict clause learning, non-chronological backjumping and restarts in
+  // the backtracking core (docs/solver.md). Off is for A/B comparisons in
+  // the differential lattice; verdicts, models and bug reports are
+  // identical either way — learning only prunes candidates the search
+  // would have refuted one by one.
+  bool solver_learning = true;
   // Multi-worker runs share one sharded, lock-striped expression interner,
   // so stolen states run on the thief without a re-intern pass
   // (docs/scheduler.md). Off restores the legacy per-worker interners with

@@ -149,14 +149,39 @@ void ConstraintPreprocessor::ExtractRange(PathPrefix& prefix, const Expr* c) {
       return;
   }
   int sym;
-  uint64_t value;
-  bool upper;  // true: symbol <= / < value; false: value <= / < symbol
+  uint64_t new_lo = 0;
+  uint64_t new_hi = 255;
   if (c->b()->IsConstant() && (sym = MatchSymbolByte(c->a())) >= 0) {
-    value = c->b()->constant_value();
-    upper = true;
+    // s < v  =>  s <= v - 1. FoldIn's contradiction check already rejected
+    // v == 0 (the interval of `s < 0` is {0, 0}).
+    uint64_t value = c->b()->constant_value();
+    new_hi = std::min<uint64_t>(strict ? value - 1 : value, 255);
   } else if (c->a()->IsConstant() && (sym = MatchSymbolByte(c->b())) >= 0) {
-    value = c->a()->constant_value();
-    upper = false;
+    // v < s  =>  v + 1 <= s; v >= 255 was likewise already refuted.
+    uint64_t value = c->a()->constant_value();
+    new_lo = std::min<uint64_t>(strict ? value + 1 : value, 255);
+  } else if (c->b()->IsConstant() && c->a()->kind() == ExprKind::kSub &&
+             c->a()->b()->IsConstant() && (sym = MatchSymbolByte(c->a()->a())) >= 0) {
+    // Fused range check, the branch-free ctype idiom `(s - base) u< span`
+    // (vlibc's isdigit and the digit loops it feeds). At the subtraction's
+    // width w, values of s below `base` wrap to at least 2^w - base, so the
+    // two-sided reading  base <= s <= base + span(-1)  is sound exactly when
+    // that wrap floor clears `span`; otherwise small s could satisfy the
+    // check through the wraparound and no byte range is implied.
+    const uint64_t base = c->a()->b()->constant_value();
+    const uint64_t span = c->b()->constant_value();
+    const unsigned w = c->a()->width();
+    const uint64_t wrap_min = w >= 64 ? (uint64_t{0} - base) : ((uint64_t{1} << w) - base);
+    if (base > 255 || (base > 0 && wrap_min <= span)) {
+      return;
+    }
+    if (strict && span == 0) {
+      prefix.contradiction = true;  // (s - base) u< 0 admits nothing
+      ++stats_.contradictions;
+      return;
+    }
+    new_lo = base;
+    new_hi = std::min<uint64_t>(base + (strict ? span - 1 : span), 255);
   } else {
     return;
   }
@@ -166,16 +191,8 @@ void ConstraintPreprocessor::ExtractRange(PathPrefix& prefix, const Expr* c) {
   }
   UInterval& range = prefix.range[index];
   const UInterval before = range;
-  if (upper) {
-    // s < v  =>  s <= v - 1. FoldIn's contradiction check already rejected
-    // v == 0 (the interval of `s < 0` is {0, 0}).
-    uint64_t hi = strict ? value - 1 : value;
-    range.hi = std::min(range.hi, std::min<uint64_t>(hi, 255));
-  } else {
-    // v < s  =>  v + 1 <= s; v >= 255 was likewise already refuted.
-    uint64_t lo = strict ? value + 1 : value;
-    range.lo = std::max(range.lo, std::min<uint64_t>(lo, 255));
-  }
+  range.hi = std::min(range.hi, new_hi);
+  range.lo = std::max(range.lo, new_lo);
   if (range.lo != before.lo || range.hi != before.hi) {
     prefix.interval_memo_generation = 0;  // facts changed: invalidate memo round
   }

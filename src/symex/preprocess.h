@@ -52,7 +52,12 @@ struct PathPrefix {
   std::vector<int16_t> binding;
   SupportSet bound;
   // Per-symbol unsigned intervals implied by the consumed prefix
-  // (default/absent entries mean [0, 255]).
+  // (default/absent entries mean [0, 255]). Extracted from direct byte
+  // comparisons and from the branch-free fused form `(s - base) u< span`;
+  // besides powering the implication checks here, they seed the core
+  // search's per-level value domains, so a range-constrained byte is
+  // enumerated over its interval instead of all 256 values
+  // (docs/solver.md#domains).
   std::vector<UInterval> range;
   // The context's interval-memo generation of this prefix's last RangeOf
   // round; while it still equals the context's current generation (nobody

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <set>
+#include <unordered_map>
 
 #include "src/support/trace.h"
 
@@ -44,7 +45,7 @@ const char* KindName(ExprKind k) {
 }
 
 void DumpExpr(const Expr* e, int depth) {
-  if (depth > 5) { std::fprintf(stderr, "..."); return; }
+  if (depth > 14) { std::fprintf(stderr, "..."); return; }
   if (e->kind() == ExprKind::kConstant) {
     std::fprintf(stderr, "%llu:w%u", (unsigned long long)e->constant_value(), e->width());
     return;
@@ -66,7 +67,9 @@ void DumpExpr(const Expr* e, int depth) {
 
 // Value ordering for the core search: likely-satisfying bytes first (string
 // terminators, letters, separators), then everything else. This is the
-// solver-side analogue of KLEE trying the all-zero assignment first.
+// solver-side analogue of KLEE trying the all-zero assignment first. The
+// per-level candidate lists are this order filtered through the level's
+// domain, with the domain endpoints hoisted to the front.
 const std::vector<uint8_t>& CandidateOrder() {
   static const std::vector<uint8_t>* kOrder = [] {
     auto* order = new std::vector<uint8_t>();
@@ -87,11 +90,117 @@ const std::vector<uint8_t>& CandidateOrder() {
   return *kOrder;
 }
 
+// 256-bit per-symbol domain: bit v set means byte value v is still
+// admissible at that decision level.
+struct Domain {
+  uint64_t w[4];
+
+  static Domain Full() { return Domain{{~uint64_t{0}, ~uint64_t{0}, ~uint64_t{0}, ~uint64_t{0}}}; }
+  static Domain None() { return Domain{{0, 0, 0, 0}}; }
+  bool Test(uint8_t v) const { return (w[v >> 6] >> (v & 63)) & 1; }
+  void Set(uint8_t v) { w[v >> 6] |= uint64_t{1} << (v & 63); }
+  void Clear(uint8_t v) { w[v >> 6] &= ~(uint64_t{1} << (v & 63)); }
+  void IntersectWith(const Domain& o) {
+    w[0] &= o.w[0];
+    w[1] &= o.w[1];
+    w[2] &= o.w[2];
+    w[3] &= o.w[3];
+  }
+  bool Equals(const Domain& o) const {
+    return w[0] == o.w[0] && w[1] == o.w[1] && w[2] == o.w[2] && w[3] == o.w[3];
+  }
+  bool Empty() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  size_t Count() const {
+    return static_cast<size_t>(__builtin_popcountll(w[0]) + __builtin_popcountll(w[1]) +
+                               __builtin_popcountll(w[2]) + __builtin_popcountll(w[3]));
+  }
+  // Lowest / highest admissible value; Empty() must be false.
+  uint8_t Lo() const {
+    for (int i = 0; i < 4; ++i) {
+      if (w[i] != 0) {
+        return static_cast<uint8_t>(i * 64 + __builtin_ctzll(w[i]));
+      }
+    }
+    return 0;
+  }
+  uint8_t Hi() const {
+    for (int i = 3; i >= 0; --i) {
+      if (w[i] != 0) {
+        return static_cast<uint8_t>(i * 64 + 63 - __builtin_clzll(w[i]));
+      }
+    }
+    return 0;
+  }
+  // Intersects with the unsigned interval [lo, hi].
+  void ClampTo(uint64_t lo, uint64_t hi) {
+    for (unsigned v = 0; v < 256; ++v) {
+      if (v < lo || v > hi) {
+        Clear(static_cast<uint8_t>(v));
+      }
+    }
+  }
+};
+
+// The Luby restart sequence 1,1,2,1,1,2,4,... (i is 0-indexed).
+uint64_t LubyUnit(uint64_t i) {
+  ++i;
+  uint64_t size = 1;
+  uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i %= size;
+  }
+  return uint64_t{1} << seq;
+}
+
+// A stored nogood in decision-level space: "the assignment taking every
+// (level, value) literal below cannot extend to a model". Literals ascend
+// by level; the clause is bucketed at its deepest literal's level, so it is
+// checked exactly when that level is (re)assigned — every shallower literal
+// is already assigned there, making the match test a few byte compares.
+struct ActiveClause {
+  std::vector<std::pair<uint32_t, uint8_t>> lits;  // (level, value), ascending
+  uint64_t mask = 0;                               // 1 << level per literal
+  double activity = 1.0;
+};
+
 }  // namespace
+
+CdclConfig CdclConfigFromEnv() {
+  CdclConfig config;
+  if (const char* base = std::getenv("OVERIFY_CDCL_RESTART_BASE")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(base, &end, 10);
+    if (end != base && v > 0) {
+      config.restart_base = v;
+    }
+  }
+  if (const char* decay = std::getenv("OVERIFY_CDCL_DECAY")) {
+    char* end = nullptr;
+    double v = std::strtod(decay, &end);
+    if (end != decay && v > 0.0 && v <= 1.0) {
+      config.activity_decay = v;
+    }
+  }
+  if (const char* clauses = std::getenv("OVERIFY_CDCL_CLAUSES")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(clauses, &end, 10);
+    if (end != clauses && v > 0) {
+      config.clause_capacity = v;
+    }
+  }
+  return config;
+}
 
 SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>& constraints,
                                std::vector<uint8_t>* model, uint64_t candidate_budget,
-                               const QueryControl* control, UnknownCause* cause) {
+                               const QueryControl* control, UnknownCause* cause,
+                               const SearchExtras* extras) {
   if (cause != nullptr) {
     *cause = UnknownCause::kNone;
   }
@@ -136,64 +245,609 @@ SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>&
   order.reserve(support.Size());
   support.ForEach([&](unsigned sym) { order.push_back(sym); });
   unsigned max_symbol = support.MaxSymbol();
-  // Conflict-directed backjumping uses per-level position masks; fall back
-  // to chronological behaviour for absurdly wide queries.
+  // Conflict-directed backjumping and clause learning use per-level
+  // position masks; fall back to chronological, learning-free behaviour for
+  // absurdly wide queries. Domain pruning and value ordering apply always.
   const bool use_cbj = order.size() <= 64;
+  const bool learn = config_.learning && use_cbj;
+
+  // Symbol index -> decision level.
+  std::vector<int32_t> level_of(max_symbol + 1, -1);
+  for (size_t i = 0; i < order.size(); ++i) {
+    level_of[order[i]] = static_cast<int32_t>(i);
+  }
 
   // Per level: constraints (as indices into `live`) that become fully
   // determined there, constraints that merely touch the prefix (interval
   // pruning), and each constraint's support expressed as a mask of levels.
+  // Unary constraints (single-symbol support) are swept into the level's
+  // domain below and never enter the search itself.
   std::vector<std::vector<size_t>> ready_at(order.size());
   std::vector<std::vector<size_t>> touched_at(order.size());
   std::vector<uint64_t> level_mask(live.size(), 0);
-  {
-    std::vector<size_t> position(max_symbol + 1, 0);
-    for (size_t i = 0; i < order.size(); ++i) {
-      position[order[i]] = i;
+  std::vector<size_t> unary;  // indices into `live` with single-symbol support
+  // Forward-checking geometry (derived-domains mode, below): each non-unary
+  // constraint is watched at its second-deepest support level — once the
+  // search assigns that level, exactly one support symbol is still free.
+  std::vector<size_t> ci_last(live.size(), 0);
+  std::vector<std::vector<size_t>> fc_at(order.size());
+  for (size_t ci = 0; ci < live.size(); ++ci) {
+    if (live[ci]->Support().Size() == 1) {
+      unary.push_back(ci);
+      continue;
     }
-    for (size_t ci = 0; ci < live.size(); ++ci) {
-      size_t last = 0;
-      size_t first = order.size();
-      uint64_t mask = 0;
-      live[ci]->Support().ForEach([&](unsigned sym) {
-        size_t pos = position[sym];
-        last = std::max(last, pos);
-        first = std::min(first, pos);
-        if (use_cbj) {
-          mask |= uint64_t{1} << pos;
-        }
-      });
-      level_mask[ci] = mask;
-      ready_at[last].push_back(ci);
-      for (size_t i = first; i < last; ++i) {
-        touched_at[i].push_back(ci);
+    size_t last = 0;
+    size_t first = order.size();
+    int64_t penult = -1;
+    uint64_t mask = 0;
+    live[ci]->Support().ForEach([&](unsigned sym) {
+      size_t pos = static_cast<size_t>(level_of[sym]);
+      if (first != order.size()) {
+        penult = static_cast<int64_t>(last);  // ForEach ascends: previous deepest
       }
+      last = std::max(last, pos);
+      first = std::min(first, pos);
+      if (use_cbj) {
+        mask |= uint64_t{1} << pos;
+      }
+    });
+    level_mask[ci] = mask;
+    ci_last[ci] = last;
+    fc_at[static_cast<size_t>(penult)].push_back(ci);
+    ready_at[last].push_back(ci);
+    for (size_t i = first; i < last; ++i) {
+      touched_at[i].push_back(ci);
     }
   }
 
   std::vector<uint8_t> assignment(max_symbol + 1, 0);
   std::vector<bool> assigned(max_symbol + 1, false);
-  const std::vector<uint8_t>& candidates = CandidateOrder();
-
   uint64_t budget = candidate_budget;
+
+  auto give_up = [&](UnknownCause why) {
+    if (cause != nullptr) {
+      *cause = why;
+    }
+    return SatResult::kUnknown;
+  };
+
+  // Cooperative deadline/cancel check, shared by every candidate-consuming
+  // loop (main enumeration, derive sweep, forward checking). kNone = keep
+  // going.
+  auto poll_expired = [&]() -> UnknownCause {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return UnknownCause::kCancelled;
+    }
+    if (has_run_deadline || has_query_deadline) {
+      const Clock::time_point now = Clock::now();
+      if (has_run_deadline && now >= control->deadline) {
+        return UnknownCause::kDeadline;
+      }
+      if (has_query_deadline && now >= query_deadline) {
+        return UnknownCause::kQueryTimeout;
+      }
+    }
+    return UnknownCause::kNone;
+  };
+
+  // ---- Per-symbol domains ----
+  //
+  // domain[l] holds the byte values still admissible at level l, seeded
+  // from the caller's range facts, narrowed by a 256-round sweep of the
+  // unary constraints (one evaluation generation per value), and further
+  // strengthened mid-search by single-literal nogoods. Everything excised
+  // here is provably in no model of the constraint set, so domain pruning
+  // never changes a verdict — only the enumeration the search still owes.
+  std::vector<Domain> domain(order.size(), Domain::Full());
+  if (extras != nullptr && extras->ranges != nullptr) {
+    for (size_t l = 0; l < order.size(); ++l) {
+      unsigned sym = order[l];
+      if (sym < extras->ranges->size()) {
+        const UInterval r = (*extras->ranges)[sym];
+        if (r.lo > 255) {
+          return SatResult::kUnsat;
+        }
+        if (r.lo > 0 || r.hi < 255) {
+          domain[l].ClampTo(r.lo, r.hi);
+        }
+      }
+    }
+  }
+  if (!unary.empty()) {
+    for (unsigned v = 0; v < 256; ++v) {
+      std::fill(assignment.begin(), assignment.end(), static_cast<uint8_t>(v));
+      ctx.NewEvaluation();
+      for (size_t ci : unary) {
+        unsigned sym = 0;
+        live[ci]->Support().ForEach([&](unsigned s) { sym = s; });
+        Domain& d = domain[static_cast<size_t>(level_of[sym])];
+        if (!d.Test(static_cast<uint8_t>(v))) {
+          continue;  // already excluded: skip the evaluation
+        }
+        if (budget == 0) {
+          return give_up(UnknownCause::kCandidateBudget);
+        }
+        --budget;
+        ++candidates_tried_;
+        if (ctx.Evaluate(live[ci], assignment) == 0) {
+          d.Clear(static_cast<uint8_t>(v));
+        }
+      }
+    }
+    std::fill(assignment.begin(), assignment.end(), 0);
+  }
+  for (const Domain& d : domain) {
+    if (d.Empty()) {
+      return SatResult::kUnsat;
+    }
+  }
+
+  // ---- Clause store ----
+  //
+  // Learned nogoods in level space, bucketed by their deepest literal's
+  // level. Single-literal seeds fold straight into the domains (before
+  // value ordering, so endpoints reflect them); wider seeds enter the
+  // store. Seeds come from PrefixCache entries over subsets of this
+  // constraint set, so every one of them is valid here.
+  std::vector<ActiveClause> store;
+  std::vector<std::vector<uint32_t>> clauses_at(order.size());
+  if (learn && extras != nullptr && extras->seeds != nullptr) {
+    for (const LearnedClause* seed : *extras->seeds) {
+      if (seed->lits.size() != 1) {
+        continue;
+      }
+      unsigned sym = seed->lits[0].first;
+      if (sym > max_symbol || level_of[sym] < 0) {
+        continue;
+      }
+      domain[static_cast<size_t>(level_of[sym])].Clear(seed->lits[0].second);
+    }
+    for (const Domain& d : domain) {
+      if (d.Empty()) {
+        return SatResult::kUnsat;
+      }
+    }
+  }
+
+  // ---- Value ordering ----
+  //
+  // Domain endpoints first (range checks make the extremes the likeliest
+  // witnesses and the fastest refuters), then the global preference order
+  // filtered through the domain. A pure function of the constraint set plus
+  // its implied range facts — never of query history — so the model the
+  // search returns is too (docs/solver.md#determinism).
+  std::vector<std::vector<uint8_t>> values(order.size());
+  auto build_values = [&]() {
+    for (size_t l = 0; l < order.size(); ++l) {
+      const Domain& d = domain[l];
+      std::vector<uint8_t>& vals = values[l];
+      vals.clear();
+      vals.reserve(d.Count());
+      const uint8_t lo = d.Lo();
+      const uint8_t hi = d.Hi();
+      vals.push_back(lo);
+      if (hi != lo) {
+        vals.push_back(hi);
+      }
+      for (uint8_t v : CandidateOrder()) {
+        if (v != lo && v != hi && d.Test(v)) {
+          vals.push_back(v);
+        }
+      }
+    }
+  };
+  build_values();
+
+  const bool debug = std::getenv("OVERIFY_SOLVER_DEBUG") != nullptr;
+  const uint64_t candidates_at_entry = candidates_tried_;
+  if (debug) {
+    std::fprintf(stderr, "[solver] query: %zu constraints (%zu unary), %zu levels, domains:",
+                 live.size(), unary.size(), order.size());
+    for (size_t l = 0; l < order.size(); ++l) {
+      std::fprintf(stderr, " s%u=%zu", order[l], domain[l].Count());
+    }
+    std::fprintf(stderr, "\n");
+  }
+
+  if (learn && extras != nullptr && extras->seeds != nullptr) {
+    std::set<std::vector<std::pair<uint32_t, uint8_t>>> seen;
+    for (const LearnedClause* seed : *extras->seeds) {
+      if (seed->lits.size() < 2 || seed->lits.size() > config_.max_clause_literals) {
+        continue;
+      }
+      std::vector<std::pair<uint32_t, uint8_t>> lits;
+      uint64_t mask = 0;
+      bool usable = true;
+      for (const auto& [sym, value] : seed->lits) {
+        if (sym > max_symbol || level_of[sym] < 0) {
+          usable = false;  // mentions a symbol outside this query
+          break;
+        }
+        uint32_t level = static_cast<uint32_t>(level_of[sym]);
+        if (!domain[level].Test(value)) {
+          usable = false;  // can never fire: the value is domain-excluded
+          break;
+        }
+        lits.emplace_back(level, value);
+        mask |= uint64_t{1} << level;
+      }
+      if (!usable) {
+        continue;
+      }
+      std::sort(lits.begin(), lits.end());
+      if (!seen.insert(lits).second) {
+        continue;  // duplicate across seed entries
+      }
+      uint32_t deepest = lits.back().first;
+      store.push_back(ActiveClause{std::move(lits), mask, seed->activity});
+      clauses_at[deepest].push_back(static_cast<uint32_t>(store.size() - 1));
+    }
+  }
+
+  // Search-derived single-literal nogoods in symbol space, kept for export
+  // (they re-enter future queries as domain clears). Bounded.
+  std::vector<std::pair<uint16_t, uint8_t>> cleared;
+  uint64_t domain_clears_since_restart = 0;
+  auto clear_domain = [&](size_t level, uint8_t v) {
+    domain[level].Clear(v);
+    ++domain_clears_since_restart;
+    if (learn && order[level] <= 0xffff && cleared.size() < 32) {
+      cleared.emplace_back(static_cast<uint16_t>(order[level]), v);
+    }
+  };
+
   std::vector<size_t> candidate_index(order.size(), 0);
   // Levels (strictly below the key) implicated in failures at each level.
   std::vector<uint64_t> conflict_mask(order.size(), 0);
+
+  // ---- Derived domains + forward checking (docs/solver.md#domains) ----
+  //
+  // Most queries die in a few hundred candidates; for those, plain
+  // enumeration with interval pruning is the cheapest thing we can do. A
+  // query that burns through kDeriveTrigger candidates has left that regime,
+  // and the search switches on two stronger devices, both pure functions of
+  // the constraint set plus the standing prefix (so verdict and first model
+  // are invariant — they only skip non-models):
+  //
+  //  * a one-shot abstract sweep that pins each level to each remaining
+  //    value (other levels at their domain hulls) and interval-refutes it
+  //    against the multi-symbol constraints — exclusions are unconditional,
+  //    land in the global domains, and survive restarts;
+  //  * forward checking: when a constraint's second-deepest support level is
+  //    assigned, its one remaining free level is swept concretely, once per
+  //    prefix instead of once per candidate. Survivors narrow a scoped
+  //    overlay, undone LIFO as the search unwinds; the blame mask behind
+  //    each exclusion is kept so exhaustion of the swept level still names
+  //    the right backjump target.
+  constexpr uint64_t kDeriveTrigger = 4096;
+  bool derived = false;
+  std::vector<Domain> scoped;      // per-level prefix-conditional exclusions
+  std::vector<uint64_t> fc_blame;  // blame masks behind scoped exclusions
+  struct ScopedUndo {
+    uint32_t level;
+    Domain saved;
+    uint64_t saved_blame;
+  };
+  // undo[d]: snapshots of (scoped, fc_blame) taken before the first
+  // forward-checking narrow made while level d's candidate stood.
+  std::vector<std::vector<ScopedUndo>> undo;
+  // Forward-checking sweep memo, one map per constraint. A sweep's outcome
+  // is a pure function of the assigned bytes of the constraint's support
+  // below its free level — not of the rest of the prefix — and if-converted
+  // code (selects whose condition hangs off one early byte) makes the same
+  // sweep recur under thousands of unrelated prefixes. Support minus the
+  // free level packs into a uint64 key when it spans at most 8 levels;
+  // wider constraints sweep uncached. Entries are capped per constraint so
+  // a hostile query cannot hoard memory.
+  std::vector<std::unordered_map<uint64_t, Domain>> fc_memo;
+  auto restore_scoped = [&](size_t d) {
+    if (!derived || undo[d].empty()) {
+      return;
+    }
+    for (size_t k = undo[d].size(); k-- > 0;) {
+      scoped[undo[d][k].level] = undo[d][k].saved;
+      fc_blame[undo[d][k].level] = undo[d][k].saved_blame;
+    }
+    undo[d].clear();
+  };
+
+  // Restart + activity bookkeeping (learning only).
+  uint64_t conflicts_since_restart = 0;
+  uint32_t restarts_done = 0;
+  uint64_t restart_threshold = LubyUnit(0) * config_.restart_base;
+  uint64_t decay_countdown = 128;
+
+  uint64_t debug_conflicts_by_depth[64] = {};
+  auto record_conflict = [&](size_t d) {
+    if (debug && d < 64) {
+      ++debug_conflicts_by_depth[d];
+    }
+    ++conflicts_;
+    ++conflicts_since_restart;
+    if (extras != nullptr && extras->metrics != nullptr) {
+      extras->metrics->Record(Hist::kCoreConflictDepth, d);
+    }
+    if (learn && --decay_countdown == 0) {
+      decay_countdown = 128;
+      for (ActiveClause& c : store) {
+        c.activity *= config_.activity_decay;
+      }
+    }
+  };
+
+  // Appends a learned clause, compacting the store to its top-activity half
+  // (stable on ties, so the store's evolution is deterministic) when full.
+  auto add_clause = [&](std::vector<std::pair<uint32_t, uint8_t>> lits, uint64_t mask) {
+    if (store.size() >= config_.clause_capacity) {
+      std::vector<uint32_t> by_activity(store.size());
+      for (uint32_t i = 0; i < by_activity.size(); ++i) {
+        by_activity[i] = i;
+      }
+      std::stable_sort(by_activity.begin(), by_activity.end(),
+                       [&](uint32_t a, uint32_t b) { return store[a].activity > store[b].activity; });
+      by_activity.resize(std::max<size_t>(config_.clause_capacity / 2, 1));
+      std::sort(by_activity.begin(), by_activity.end());  // keep insertion order
+      std::vector<ActiveClause> kept;
+      kept.reserve(by_activity.size());
+      for (uint32_t i : by_activity) {
+        kept.push_back(std::move(store[i]));
+      }
+      store = std::move(kept);
+      for (auto& bucket : clauses_at) {
+        bucket.clear();
+      }
+      for (uint32_t i = 0; i < store.size(); ++i) {
+        clauses_at[store[i].lits.back().first].push_back(i);
+      }
+    }
+    uint32_t deepest = lits.back().first;
+    store.push_back(ActiveClause{std::move(lits), mask, 1.0});
+    clauses_at[deepest].push_back(static_cast<uint32_t>(store.size() - 1));
+    ++learned_;
+  };
+
+  // Derives a nogood from an evaluation conflict: the failing constraint's
+  // assigned support levels plus the value just placed. A single-literal
+  // nogood means the value fails under every prefix — fold it into the
+  // domain instead of the store.
+  auto learn_from_conflict = [&](uint64_t blame, size_t depth_now, uint8_t value) {
+    if (!learn) {
+      return;
+    }
+    const uint64_t m = blame | (uint64_t{1} << depth_now);
+    const int n = __builtin_popcountll(m);
+    if (n == 1) {
+      clear_domain(depth_now, value);
+      return;
+    }
+    if (static_cast<size_t>(n) > config_.max_clause_literals) {
+      return;
+    }
+    std::vector<std::pair<uint32_t, uint8_t>> lits;
+    lits.reserve(static_cast<size_t>(n));
+    uint64_t rest = m;
+    while (rest != 0) {
+      uint32_t level = static_cast<uint32_t>(__builtin_ctzll(rest));
+      rest &= rest - 1;
+      lits.emplace_back(level, assignment[order[level]]);
+    }
+    add_clause(std::move(lits), m);
+  };
+
+  // Converts the store's top-activity clauses (and the search-derived
+  // domain clears) back to symbol space for the caller's cache entry.
+  auto export_learned = [&]() {
+    if (!learn || extras == nullptr || extras->learned == nullptr) {
+      return;
+    }
+    std::vector<LearnedClause>& out = *extras->learned;
+    out.clear();
+    // max_export_clauses bounds the TOTAL export; domain clears prune
+    // hardest, so they claim slots first and the store fills the rest.
+    for (const auto& [sym, v] : cleared) {
+      if (out.size() >= config_.max_export_clauses) {
+        break;
+      }
+      LearnedClause c;
+      c.lits.emplace_back(sym, v);
+      c.activity = 2.0;
+      out.push_back(std::move(c));
+    }
+    std::vector<uint32_t> by_activity(store.size());
+    for (uint32_t i = 0; i < by_activity.size(); ++i) {
+      by_activity[i] = i;
+    }
+    std::stable_sort(by_activity.begin(), by_activity.end(),
+                     [&](uint32_t a, uint32_t b) { return store[a].activity > store[b].activity; });
+    const size_t remaining = config_.max_export_clauses - out.size();
+    const size_t limit = std::min(by_activity.size(), remaining);
+    for (size_t i = 0; i < limit; ++i) {
+      const ActiveClause& c = store[by_activity[i]];
+      LearnedClause exported;
+      exported.lits.reserve(c.lits.size());
+      bool ok = true;
+      for (const auto& [level, v] : c.lits) {
+        if (order[level] > 0xffff) {
+          ok = false;
+          break;
+        }
+        exported.lits.emplace_back(static_cast<uint16_t>(order[level]), v);
+      }
+      if (!ok) {
+        continue;
+      }
+      std::sort(exported.lits.begin(), exported.lits.end());
+      out.push_back(std::move(exported));
+    }
+  };
+
+  // The abstract sweep of derived-domains mode. Precondition: no level is
+  // assigned (the caller unwinds to the root first), so every exclusion is
+  // unconditional. Levels swept later see the tightened hulls of levels
+  // swept earlier. Returns kSat to mean "domains derived, carry on"; kUnsat
+  // when some level's domain empties; kUnknown (via give_up) on budget or
+  // deadline exhaustion.
+  auto derive_domains = [&]() -> SatResult {
+    std::vector<std::vector<size_t>> multi_at(order.size());
+    for (size_t ci = 0; ci < live.size(); ++ci) {
+      if (live[ci]->Support().Size() <= 1) {
+        continue;
+      }
+      live[ci]->Support().ForEach([&](unsigned sym) {
+        multi_at[static_cast<size_t>(level_of[sym])].push_back(ci);
+      });
+    }
+    std::vector<ExprContext::UInterval> hull(max_symbol + 1,
+                                             ExprContext::UInterval{0, 255});
+    for (size_t l = 0; l < order.size(); ++l) {
+      hull[order[l]] = ExprContext::UInterval{domain[l].Lo(), domain[l].Hi()};
+    }
+    for (size_t l = 0; l < order.size(); ++l) {
+      if (multi_at[l].empty()) {
+        continue;
+      }
+      const unsigned sym = order[l];
+      for (unsigned v = 0; v < 256; ++v) {
+        if (!domain[l].Test(static_cast<uint8_t>(v))) {
+          continue;
+        }
+        hull[sym] = ExprContext::UInterval{v, v};
+        ctx.NewIntervalRound();
+        for (size_t ci : multi_at[l]) {
+          if (budget == 0) {
+            return give_up(UnknownCause::kCandidateBudget);
+          }
+          --budget;
+          ++candidates_tried_;
+          if (polled && (budget & 4095) == 0) {
+            const UnknownCause why = poll_expired();
+            if (why != UnknownCause::kNone) {
+              return give_up(why);
+            }
+          }
+          if (ctx.EvalIntervalRanges(live[ci], hull).hi == 0) {
+            domain[l].Clear(static_cast<uint8_t>(v));
+            break;
+          }
+        }
+      }
+      if (domain[l].Empty()) {
+        export_learned();
+        return SatResult::kUnsat;
+      }
+      hull[sym] = ExprContext::UInterval{domain[l].Lo(), domain[l].Hi()};
+    }
+    return SatResult::kSat;
+  };
+
   size_t depth = 0;
   while (true) {
     if (depth == order.size()) {
       if (model != nullptr) {
         *model = assignment;
       }
+      export_learned();
+      if (debug) {
+        std::fprintf(stderr, "[solver] SAT after %llu candidates\n",
+                     static_cast<unsigned long long>(candidates_tried_ - candidates_at_entry));
+      }
       return SatResult::kSat;
     }
-    if (candidate_index[depth] >= candidates.size()) {
-      // Level exhausted: jump to the deepest level implicated in any of the
-      // failures; reassigning anything in between cannot help. Without CBJ
-      // (queries wider than 64 symbols) this is plain chronological
+    // Derived-domains trigger (once per query, independent of the learning
+    // switch): unwind to the root so the sweep sees no assigned levels,
+    // derive, rebuild the value lists over the narrowed domains, and turn on
+    // forward checking for the rest of the query. Replaying the unwound
+    // prefix costs at most the kDeriveTrigger candidates already spent.
+    if (!derived && candidates_tried_ - candidates_at_entry >= kDeriveTrigger) {
+      derived = true;
+      for (size_t level = 0; level < depth; ++level) {
+        candidate_index[level] = 0;
+        conflict_mask[level] = 0;
+        assigned[order[level]] = false;
+      }
+      candidate_index[depth] = 0;
+      conflict_mask[depth] = 0;
+      depth = 0;
+      const SatResult swept = derive_domains();
+      if (swept != SatResult::kSat) {
+        return swept;
+      }
+      build_values();
+      scoped.assign(order.size(), Domain::Full());
+      fc_blame.assign(order.size(), 0);
+      undo.assign(order.size(), std::vector<ScopedUndo>{});
+      fc_memo.assign(live.size(), std::unordered_map<uint64_t, Domain>{});
+      continue;
+    }
+    // Luby-scheduled restart: unwind to the root, keep the clause store and
+    // domains. Bounded (max_restarts) so completeness never depends on the
+    // schedule; because the value order is untouched and every pruning
+    // device only skips non-models, the model eventually returned is the
+    // same with or without restarts.
+    //
+    // The decision order here is fixed (unlike VSIDS-driven CDCL), so a
+    // restart from depth N replays the exact walk that reached it,
+    // re-refuting every non-domain-pruned candidate — measured as a ~12-20x
+    // blowup on hostile UNSAT enumerations (factor). A restart is free
+    // precisely when the search is already near the root (the replayed
+    // prefix is empty) and useful precisely when single-literal nogoods
+    // shrank a domain since the last one (the blame masks it resets were
+    // computed against a wider space). So a due restart fires only at
+    // depth <= 1 with fresh domain clears; a due-but-unprofitable
+    // opportunity is declined by resetting the conflict counter
+    // (docs/solver.md#restarts).
+    if (learn && depth > 0 && restarts_done < config_.max_restarts &&
+        conflicts_since_restart >= restart_threshold &&
+        (domain_clears_since_restart == 0 || depth > 1)) {
+      conflicts_since_restart = 0;
+    }
+    if (learn && depth > 0 && restarts_done < config_.max_restarts &&
+        conflicts_since_restart >= restart_threshold) {
+      domain_clears_since_restart = 0;
+      // Deepest-first so a level narrowed at several depths lands back on
+      // its oldest (widest) snapshot.
+      for (size_t level = depth + 1; level-- > 0;) {
+        restore_scoped(level);
+      }
+      for (size_t level = 0; level < depth; ++level) {
+        candidate_index[level] = 0;
+        conflict_mask[level] = 0;
+        assigned[order[level]] = false;
+      }
+      candidate_index[depth] = 0;
+      conflict_mask[depth] = 0;
+      depth = 0;
+      conflicts_since_restart = 0;
+      ++restarts_;
+      ++restarts_done;
+      restart_threshold = LubyUnit(restarts_done) * config_.restart_base;
+    }
+    // About to pick the next candidate at this level: whatever forward
+    // checking narrowed while the previous candidate stood no longer holds.
+    restore_scoped(depth);
+    // Mid-search domain clears (single-literal nogoods) excise values the
+    // static candidate list still carries; forward checking excises values
+    // under the standing prefix. Skip both here — the blame for scoped
+    // exclusions is already parked in fc_blame for the exhaustion mask.
+    while (candidate_index[depth] < values[depth].size() &&
+           (!domain[depth].Test(values[depth][candidate_index[depth]]) ||
+            (derived && !scoped[depth].Test(values[depth][candidate_index[depth]])))) {
+      ++candidate_index[depth];
+    }
+    if (candidate_index[depth] >= values[depth].size()) {
+      // Level exhausted: the blame mask is a valid nogood over the levels it
+      // names — learn it, then jump to its deepest level (the learned
+      // clause's second-highest decision level, counting the exhausted level
+      // as highest); reassigning anything in between cannot help. Without
+      // CBJ (queries wider than 64 symbols) this is plain chronological
       // backtracking, computed directly — level indices past 63 cannot be
       // expressed as bit masks.
       uint64_t mask = use_cbj ? conflict_mask[depth] : 0;
+      if (use_cbj && derived) {
+        // Values forward checking excised from this level were skipped
+        // without a per-value conflict; their blame joins the nogood here.
+        mask |= fc_blame[depth];
+      }
       candidate_index[depth] = 0;
       conflict_mask[depth] = 0;
       assigned[order[depth]] = false;
@@ -205,11 +859,47 @@ SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>&
         continue;
       }
       if (mask == 0) {
+        export_learned();
+        if (debug) {
+          std::fprintf(stderr, "[solver] UNSAT after %llu candidates, conflicts by depth:",
+                       static_cast<unsigned long long>(candidates_tried_ - candidates_at_entry));
+          for (size_t d = 0; d < order.size() && d < 64; ++d) {
+            std::fprintf(stderr, " %llu",
+                         static_cast<unsigned long long>(debug_conflicts_by_depth[d]));
+          }
+          std::fprintf(stderr, "\n");
+        }
         return SatResult::kUnsat;
       }
       size_t jump = 63 - static_cast<size_t>(__builtin_clzll(mask));
+      if (depth - jump > 1) {
+        ++backjumps_;  // non-chronological: at least one level skipped
+      }
+      if (learn) {
+        const int n = __builtin_popcountll(mask);
+        if (n == 1) {
+          // The jump level's value alone admits no completion: a permanent
+          // domain clear, stronger than any stored clause.
+          clear_domain(jump, assignment[order[jump]]);
+        } else if (static_cast<size_t>(n) <= config_.max_clause_literals) {
+          std::vector<std::pair<uint32_t, uint8_t>> lits;
+          lits.reserve(static_cast<size_t>(n));
+          uint64_t rest = mask;
+          while (rest != 0) {
+            uint32_t level = static_cast<uint32_t>(__builtin_ctzll(rest));
+            rest &= rest - 1;
+            lits.emplace_back(level, assignment[order[level]]);
+          }
+          add_clause(std::move(lits), mask);
+        }
+      }
       // Merge the remaining blame into the jump target (standard CBJ).
       conflict_mask[jump] |= mask & ~(uint64_t{1} << jump);
+      // Deepest-first (LIFO) so multiply-narrowed levels settle on their
+      // oldest snapshot; undo[depth] itself was restored at the pick point.
+      for (size_t level = depth; level > jump; --level) {
+        restore_scoped(level);
+      }
       for (size_t level = jump + 1; level < depth; ++level) {
         candidate_index[level] = 0;
         conflict_mask[level] = 0;
@@ -228,37 +918,18 @@ SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>&
           std::fprintf(stderr, "\n");
         }
       }
-      if (cause != nullptr) {
-        *cause = UnknownCause::kCandidateBudget;
-      }
-      return SatResult::kUnknown;
+      return give_up(UnknownCause::kCandidateBudget);
     }
     --budget;
     ++candidates_tried_;
     if (polled && (budget & 4095) == 0) {
-      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-        if (cause != nullptr) {
-          *cause = UnknownCause::kCancelled;
-        }
-        return SatResult::kUnknown;
-      }
-      if (has_run_deadline || has_query_deadline) {
-        Clock::time_point now = Clock::now();
-        if (has_run_deadline && now >= control->deadline) {
-          if (cause != nullptr) {
-            *cause = UnknownCause::kDeadline;
-          }
-          return SatResult::kUnknown;
-        }
-        if (has_query_deadline && now >= query_deadline) {
-          if (cause != nullptr) {
-            *cause = UnknownCause::kQueryTimeout;
-          }
-          return SatResult::kUnknown;
-        }
+      const UnknownCause why = poll_expired();
+      if (why != UnknownCause::kNone) {
+        return give_up(why);
       }
     }
-    assignment[order[depth]] = candidates[candidate_index[depth]++];
+    const uint8_t value = values[depth][candidate_index[depth]++];
+    assignment[order[depth]] = value;
     assigned[order[depth]] = true;
 
     // Levels strictly below this one, saturating: depths past 63 only occur
@@ -266,26 +937,190 @@ SatResult CoreSolver::CheckSat(ExprContext& ctx, const std::vector<const Expr*>&
     // blame mask is never consulted — but the shift itself must stay defined.
     const uint64_t below = depth >= 64 ? ~uint64_t{0} : (uint64_t{1} << depth) - 1;
     bool ok = true;
-    // Constraints that just became fully determined.
-    ctx.NewEvaluation();
-    for (size_t ci : ready_at[depth]) {
-      if (ctx.Evaluate(live[ci], assignment) == 0) {
-        conflict_mask[depth] |= level_mask[ci] & below;
+    // Learned-clause consultation before any constraint evaluation: a
+    // matching nogood refutes the candidate with a few byte compares. Every
+    // clause bucketed here has its deepest literal at this level, so all of
+    // its other literals are already assigned.
+    if (learn && !clauses_at[depth].empty()) {
+      for (uint32_t idx : clauses_at[depth]) {
+        ActiveClause& c = store[idx];
+        if (c.lits.back().second != value) {
+          continue;
+        }
+        bool match = true;
+        for (size_t k = 0; k + 1 < c.lits.size(); ++k) {
+          if (assignment[order[c.lits[k].first]] != c.lits[k].second) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) {
+          continue;
+        }
+        conflict_mask[depth] |= c.mask & below;
+        c.activity += 1.0;
+        ++learned_hits_;
+        record_conflict(depth);
         ok = false;
         break;
       }
     }
-    // Interval pruning for partially-determined constraints: a sound
-    // over-approximation that already excludes `true` kills every
-    // completion of this prefix.
-    if (ok && !touched_at[depth].empty()) {
-      ctx.NewIntervalRound();
-      for (size_t ci : touched_at[depth]) {
-        ExprContext::UInterval bound = ctx.EvalInterval(live[ci], assignment, assigned);
-        if (bound.hi == 0) {
-          conflict_mask[depth] |= level_mask[ci] & below;
+    if (ok) {
+      // Constraints that just became fully determined.
+      ctx.NewEvaluation();
+      for (size_t ci : ready_at[depth]) {
+        if (ctx.Evaluate(live[ci], assignment) == 0) {
+          const uint64_t blame = level_mask[ci] & below;
+          conflict_mask[depth] |= blame;
+          record_conflict(depth);
+          learn_from_conflict(blame, depth, value);
           ok = false;
           break;
+        }
+      }
+      // Interval pruning for partially-determined constraints: a sound
+      // over-approximation that already excludes `true` kills every
+      // completion of this prefix.
+      if (ok && !touched_at[depth].empty()) {
+        ctx.NewIntervalRound();
+        for (size_t ci : touched_at[depth]) {
+          ExprContext::UInterval bound = ctx.EvalInterval(live[ci], assignment, assigned);
+          if (bound.hi == 0) {
+            const uint64_t blame = level_mask[ci] & below;
+            conflict_mask[depth] |= blame;
+            record_conflict(depth);
+            learn_from_conflict(blame, depth, value);
+            ok = false;
+            break;
+          }
+        }
+      }
+      // Forward checking (derived-domains mode): every constraint watched
+      // here has exactly one free support symbol left — its deepest level.
+      // Sweep that level's remaining values concretely once, under this
+      // prefix, instead of letting every deeper prefix rediscover the same
+      // refutations. An emptied level is a conflict right now, blamed on the
+      // constraint's assigned support plus whatever already narrowed the
+      // level (docs/solver.md#domains).
+      if (ok && derived && !fc_at[depth].empty()) {
+        for (size_t ci : fc_at[depth]) {
+          const size_t fl = ci_last[ci];
+          // Levels past 63 only occur with CBJ off, where level_mask is
+          // all-zero anyway — but the shift must stay defined.
+          const uint64_t fl_bit = fl < 64 ? uint64_t{1} << fl : 0;
+          // The sweep's outcome depends only on the assigned support bytes.
+          // If some assigned level is OUTSIDE the support, the identical
+          // sweep recurs as that level enumerates — memoize it over the
+          // canonical value list and amortize. If the support covers the
+          // whole prefix the key is unique per prefix: sweep only the
+          // scoped view (no 256-value canonical pass), and not even that
+          // when the free level is next — enumeration there performs the
+          // identical evaluations one candidate at a time.
+          const int support_levels = __builtin_popcountll(level_mask[ci]);
+          const bool recurs =
+              use_cbj && static_cast<size_t>(support_levels - 1) < depth + 1;
+          const bool memoize = recurs && support_levels - 1 <= 8;
+          if (!memoize && fl == depth + 1) {
+            continue;
+          }
+          const unsigned fsym = order[fl];
+          if (memoize) {
+            // Key: assigned support bytes, packed ascending by level. The
+            // packing is unambiguous because the map is per-constraint.
+            uint64_t key = 0;
+            uint64_t rest = level_mask[ci] & ~fl_bit;
+            while (rest != 0) {
+              const uint32_t lvl = static_cast<uint32_t>(__builtin_ctzll(rest));
+              rest &= rest - 1;
+              key = (key << 8) | assignment[order[lvl]];
+            }
+            Domain viable_set = Domain::None();
+            auto it = fc_memo[ci].find(key);
+            if (it != fc_memo[ci].end()) {
+              viable_set = it->second;
+              // A hit replaces the whole sweep; charge one candidate so the
+              // budget still bounds total work.
+              if (budget == 0) {
+                return give_up(UnknownCause::kCandidateBudget);
+              }
+              --budget;
+              ++candidates_tried_;
+            } else {
+              // Canonical sweep over the static value list (not the current
+              // scoped view) so the result is context-free and cacheable.
+              for (uint8_t w : values[fl]) {
+                if (budget == 0) {
+                  return give_up(UnknownCause::kCandidateBudget);
+                }
+                --budget;
+                ++candidates_tried_;
+                if (polled && (budget & 4095) == 0) {
+                  const UnknownCause why = poll_expired();
+                  if (why != UnknownCause::kNone) {
+                    return give_up(why);
+                  }
+                }
+                assignment[fsym] = w;
+                ctx.NewEvaluation();
+                if (ctx.Evaluate(live[ci], assignment) != 0) {
+                  viable_set.Set(w);
+                }
+              }
+              if (fc_memo[ci].size() < 4096) {
+                fc_memo[ci].emplace(key, viable_set);
+              }
+            }
+            Domain narrowed = scoped[fl];
+            narrowed.IntersectWith(viable_set);
+            if (!narrowed.Equals(scoped[fl])) {
+              undo[depth].push_back(
+                  ScopedUndo{static_cast<uint32_t>(fl), scoped[fl], fc_blame[fl]});
+              scoped[fl] = narrowed;
+              fc_blame[fl] |= level_mask[ci] & ~fl_bit;
+            }
+          } else {
+            // Unique-key constraint with intermediate levels between here
+            // and the free one: sweep just the currently viable values so
+            // an empty level is caught before those levels multiply it.
+            bool snapshotted = false;
+            for (uint8_t w : values[fl]) {
+              if (!domain[fl].Test(w) || !scoped[fl].Test(w)) {
+                continue;
+              }
+              if (budget == 0) {
+                return give_up(UnknownCause::kCandidateBudget);
+              }
+              --budget;
+              ++candidates_tried_;
+              if (polled && (budget & 4095) == 0) {
+                const UnknownCause why = poll_expired();
+                if (why != UnknownCause::kNone) {
+                  return give_up(why);
+                }
+              }
+              assignment[fsym] = w;
+              ctx.NewEvaluation();
+              if (ctx.Evaluate(live[ci], assignment) == 0) {
+                if (!snapshotted) {
+                  snapshotted = true;
+                  undo[depth].push_back(
+                      ScopedUndo{static_cast<uint32_t>(fl), scoped[fl], fc_blame[fl]});
+                }
+                scoped[fl].Clear(w);
+                fc_blame[fl] |= level_mask[ci] & ~fl_bit;
+              }
+            }
+          }
+          Domain remaining = domain[fl];
+          remaining.IntersectWith(scoped[fl]);
+          if (remaining.Empty()) {
+            const uint64_t blame = (level_mask[ci] | fc_blame[fl]) & below;
+            conflict_mask[depth] |= blame;
+            record_conflict(depth);
+            learn_from_conflict(blame, depth, value);
+            ok = false;
+            break;
+          }
         }
       }
     }
@@ -566,7 +1401,8 @@ void PrefixCache::RemoveEntry(uint32_t index) {
 }
 
 void PrefixCache::Insert(std::vector<uint64_t> keys, uint64_t set_hash, uint64_t fingerprint,
-                         SatResult result, const std::vector<uint8_t>& model) {
+                         SatResult result, const std::vector<uint8_t>& model,
+                         std::vector<LearnedClause> clauses) {
   OVERIFY_ASSERT(result != SatResult::kUnknown, "only definite verdicts are cached");
   auto existing = exact_.find(set_hash);
   if (existing != exact_.end()) {
@@ -596,6 +1432,7 @@ void PrefixCache::Insert(std::vector<uint64_t> keys, uint64_t set_hash, uint64_t
   entry.fingerprint = fingerprint;
   entry.result = result;
   entry.model = model;
+  entry.clauses = std::move(clauses);
   entry.live = true;
   const bool sat = result == SatResult::kSat;
   Node* node = &root_;
@@ -624,8 +1461,19 @@ void PrefixCache::Insert(std::vector<uint64_t> keys, uint64_t set_hash, uint64_t
 
 // ---- SolverChain ----
 
+void SolverChain::SyncCoreCounters() const {
+  MetricsShard& m = *metrics_;
+  m.Set(Counter::kSolverCoreCandidates, core_.candidates_tried());
+  m.Set(Counter::kSolverCoreConflicts, core_.conflicts());
+  m.Set(Counter::kSolverCoreLearned, core_.learned());
+  m.Set(Counter::kSolverCoreLearnedHits, core_.learned_hits());
+  m.Set(Counter::kSolverCoreBackjumps, core_.backjumps());
+  m.Set(Counter::kSolverCoreRestarts, core_.restarts());
+}
+
 void SolverChain::SyncMetrics() const {
   MetricsShard& m = *metrics_;
+  SyncCoreCounters();
   m.Set(Counter::kSolverEvalMemoHits, ctx_.eval_memo_hits());
   m.Set(Counter::kSolverIntervalMemoHits, ctx_.interval_memo_hits());
   m.Set(Counter::kSolverCexEvictions, cache_.evictions());
@@ -661,6 +1509,11 @@ const SolverStats& SolverChain::stats() const {
   s.unknown_deadline = m.Get(Counter::kSolverUnknownDeadline);
   s.unknown_cancelled = m.Get(Counter::kSolverUnknownCancelled);
   s.unknown_injected = m.Get(Counter::kSolverUnknownInjected);
+  s.core_conflicts = m.Get(Counter::kSolverCoreConflicts);
+  s.core_learned = m.Get(Counter::kSolverCoreLearned);
+  s.core_learned_hits = m.Get(Counter::kSolverCoreLearnedHits);
+  s.core_backjumps = m.Get(Counter::kSolverCoreBackjumps);
+  s.core_restarts = m.Get(Counter::kSolverCoreRestarts);
   return stats_;
 }
 
@@ -722,7 +1575,7 @@ SatResult SolverChain::Unknown(UnknownCause cause) {
 }
 
 SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
-                             std::vector<uint8_t>* model) {
+                             std::vector<uint8_t>* model, const PathPrefix* prefix) {
   std::vector<const Expr*>& canonical = canonical_scratch_;
   if (!Canonicalize(filtered, canonical)) {
     return SatResult::kUnsat;
@@ -806,7 +1659,9 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
     metrics_->Inc(Counter::kPrefixSupersetHits);
     lookup_done(CacheHitClass::kSuperset);
     // Copy before Insert: `entry` points into the cache's entry storage,
-    // which Insert may reallocate.
+    // which Insert may reallocate. The superset's clauses are NOT carried
+    // over: they were derived from a superset of this query, so they are
+    // not necessarily valid nogoods for it.
     std::vector<uint8_t> superset_model = entry->model;
     cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kSat,
                   superset_model);
@@ -847,8 +1702,12 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
     if (satisfies(candidate)) {
       metrics_->Inc(Counter::kPrefixModelHits);
       lookup_done(CacheHitClass::kModelExtension);
+      // Carry the subset's clauses forward: valid for this superset, and
+      // keeping them on the deeper entry propagates learning down the
+      // path's prefix chain without a core search.
+      std::vector<LearnedClause> inherited = entry->clauses;
       cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kSat,
-                    candidate);
+                    candidate, std::move(inherited));
       if (model != nullptr) {
         *model = candidate;
       }
@@ -874,15 +1733,37 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
     }
   }
 
-  // Core search.
+  // Core search. The cached SAT subsets collected above double as the
+  // learned-clause seed source: each of their clauses was derived while
+  // solving a subset of this query's constraint set, so all of them are
+  // valid nogoods here (docs/solver.md#reuse). CheckSatCanonical never
+  // seeds — its model must stay a pure function of the constraint set.
   lookup_done(CacheHitClass::kMiss);
   metrics_->Inc(Counter::kSolverCoreQueries);
   std::vector<uint8_t> core_model;
   UnknownCause core_cause = UnknownCause::kNone;
   const uint64_t candidates_before = core_.candidates_tried();
   const uint64_t core_t0 = timed ? MetricsNowNs() : 0;
+  CoreSolver::SearchExtras extras;
+  if (prefix != nullptr && !prefix->range.empty()) {
+    extras.ranges = &prefix->range;
+  }
+  seed_scratch_.clear();
+  if (core_.config().learning) {
+    for (const PrefixCache::Entry* entry : subsets) {
+      for (const LearnedClause& clause : entry->clauses) {
+        seed_scratch_.push_back(&clause);
+      }
+    }
+    if (!seed_scratch_.empty()) {
+      extras.seeds = &seed_scratch_;
+    }
+    extras.learned = &learned_scratch_;
+    learned_scratch_.clear();
+  }
+  extras.metrics = metrics_;
   SatResult result = core_.CheckSat(ctx_, canonical, &core_model, control_.query_candidates,
-                                    &control_, &core_cause);
+                                    &control_, &core_cause, &extras);
   if (timed) {
     const uint64_t t1 = MetricsNowNs();
     metrics_->Record(Hist::kCoreSearchNs, t1 - core_t0);
@@ -891,13 +1772,15 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
                    core_.candidates_tried() - candidates_before);
     }
   }
-  metrics_->Set(Counter::kSolverCoreCandidates, core_.candidates_tried());
+  SyncCoreCounters();
   if (result == SatResult::kUnknown) {
     // Never cached: a degraded verdict must not poison later exact answers
     // (PrefixCache::Insert asserts the same invariant).
     return Unknown(core_cause);
   }
-  cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, result, core_model);
+  cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, result, core_model,
+                result == SatResult::kSat ? std::move(learned_scratch_)
+                                          : std::vector<LearnedClause>{});
   if (result == SatResult::kSat) {
     recent_models_.push_back(core_model);
     if (recent_models_.size() > 8) {
@@ -993,7 +1876,7 @@ SatResult SolverChain::CheckSatImpl(const std::vector<const Expr*>& constraints,
     return SatResult::kUnsat;
   }
   AssemblePreprocessed(*p, preprocessed_scratch_);
-  return Solve(preprocessed_scratch_, model);
+  return Solve(preprocessed_scratch_, model, p);
 }
 
 SatResult SolverChain::CheckSatCanonical(const std::vector<const Expr*>& constraints,
@@ -1029,8 +1912,14 @@ SatResult SolverChain::CheckSatCanonicalImpl(const std::vector<const Expr*>& con
   const uint64_t candidates_before = core_.candidates_tried();
   const bool timed = Timed();
   const uint64_t core_t0 = timed ? MetricsNowNs() : 0;
+  // No range facts, no clause seeds: the model must be a pure function of
+  // the constraint set, and seeds are per-worker query history. Within-query
+  // learning is fine — it only skips non-models, so the first model in the
+  // fixed value order is unchanged.
+  CoreSolver::SearchExtras extras;
+  extras.metrics = metrics_;
   SatResult result = core_.CheckSat(ctx_, canonical, model, control_.query_candidates,
-                                    &control_, &core_cause);
+                                    &control_, &core_cause, &extras);
   if (timed) {
     const uint64_t t1 = MetricsNowNs();
     metrics_->Record(Hist::kCoreSearchNs, t1 - core_t0);
@@ -1039,7 +1928,7 @@ SatResult SolverChain::CheckSatCanonicalImpl(const std::vector<const Expr*>& con
                    core_.candidates_tried() - candidates_before);
     }
   }
-  metrics_->Set(Counter::kSolverCoreCandidates, core_.candidates_tried());
+  SyncCoreCounters();
   if (result == SatResult::kUnknown) {
     return Unknown(core_cause);
   }
@@ -1109,7 +1998,12 @@ SatResult SolverChain::MayBeTrueImpl(const std::vector<const Expr*>& constraints
   FilterIndependentInto(preprocessed_scratch_, simplified, filtered_scratch_);
   metrics_->Add(Counter::kSolverIndependenceDrops, preprocessed_scratch_.size() - filtered_scratch_.size());
   filtered_scratch_.push_back(simplified);
-  return Solve(filtered_scratch_, model);
+  // The prefix's per-symbol range facts ride along for domain pruning:
+  // every fact about a symbol the filtered set mentions is implied by the
+  // filtered set itself (any range-bearing constraint on such a symbol
+  // shares its support and survives FilterIndependent), and the core never
+  // consults facts about symbols outside its search order.
+  return Solve(filtered_scratch_, model, p);
 }
 
 }  // namespace overify

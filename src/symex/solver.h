@@ -100,11 +100,69 @@ struct SolverStats {
   uint64_t unknown_deadline = 0;  // run deadline expired mid-query
   uint64_t unknown_cancelled = 0; // stop latch tripped mid-query
   uint64_t unknown_injected = 0;  // FaultInjector kSolverUnknown
+  // CDCL counters (docs/solver.md).
+  uint64_t core_conflicts = 0;     // candidate assignments refuted in the core
+  uint64_t core_learned = 0;       // nogood clauses added to a clause store
+  uint64_t core_learned_hits = 0;  // candidates pruned by a stored clause
+  uint64_t core_backjumps = 0;     // non-chronological jumps (>= 1 level skipped)
+  uint64_t core_restarts = 0;      // Luby-scheduled search restarts
 };
 
-// Core backtracking solver.
+// A learned nogood: "no model of the constraint set assigns every
+// (symbol, value) pair below simultaneously". Literals are keyed by symbol
+// index (not decision level) and sorted ascending by symbol, so a clause
+// derived while solving set S remains valid for any superset of S under any
+// decision order — the property that makes cross-query reuse through the
+// PrefixCache sound (docs/solver.md).
+struct LearnedClause {
+  std::vector<std::pair<uint16_t, uint8_t>> lits;  // (symbol, value), sorted
+  double activity = 1.0;
+};
+
+// CDCL tuning knobs. The defaults are deliberately conservative; the solver
+// CI job sweeps restart_base / activity_decay through the environment
+// (OVERIFY_CDCL_RESTART_BASE / OVERIFY_CDCL_DECAY / OVERIFY_CDCL_CLAUSES)
+// to prove that results are parameter-independent — learned-clause pruning
+// only ever skips non-models, so the first model in the fixed value order
+// is invariant (docs/solver.md#determinism).
+struct CdclConfig {
+  bool learning = true;        // clause store + restarts (domains stay on)
+  uint64_t restart_base = 64;  // conflicts per Luby unit
+  uint32_t max_restarts = 24;  // finite so completeness never depends on luck
+  size_t clause_capacity = 512;     // store bound; low-activity half evicted
+  size_t max_clause_literals = 8;   // longer nogoods are not worth storing
+  size_t max_export_clauses = 16;   // top-activity clauses kept per cache entry
+  double activity_decay = 0.95;     // applied to all activities every 128 conflicts
+};
+
+// `CdclConfig` with any OVERIFY_CDCL_* environment overrides applied.
+CdclConfig CdclConfigFromEnv();
+
+// Core backtracking solver with CDCL machinery: per-symbol domain pruning
+// from unary constraints and caller range facts, structure-driven value
+// ordering (domain endpoints first), conflict clause learning into a
+// bounded activity-decayed store, clause-driven non-chronological
+// backjumping, and Luby-scheduled restarts that keep the store
+// (docs/solver.md).
 class CoreSolver {
  public:
+  // Optional inputs/outputs threaded around the stable CheckSat signature.
+  struct SearchExtras {
+    // Per-symbol interval facts implied by the constraint set (the
+    // preprocessor's PathPrefix::range); values outside are excised from
+    // the search domains. Soundness requires the facts be implied by
+    // `constraints` — then only non-models are skipped.
+    const std::vector<UInterval>* ranges = nullptr;
+    // Clauses learned by earlier queries over subsets of this constraint
+    // set (PrefixCache reuse). Subset derivation makes them valid here.
+    const std::vector<const LearnedClause*>* seeds = nullptr;
+    // When non-null and learning ran, receives the top-activity clauses of
+    // this search, converted back to symbol space.
+    std::vector<LearnedClause>* learned = nullptr;
+    // When non-null, receives the conflict-depth histogram records.
+    MetricsShard* metrics = nullptr;
+  };
+
   // `model`, when non-null and the result is kSat, receives one value per
   // symbol index (indexes absent from the constraints' support default to 0).
   // `candidate_budget` bounds the search. `control`, when non-null, is
@@ -113,12 +171,28 @@ class CoreSolver {
   // happened (kNone otherwise).
   SatResult CheckSat(ExprContext& ctx, const std::vector<const Expr*>& constraints,
                      std::vector<uint8_t>* model, uint64_t candidate_budget = 1 << 22,
-                     const QueryControl* control = nullptr, UnknownCause* cause = nullptr);
+                     const QueryControl* control = nullptr, UnknownCause* cause = nullptr,
+                     const SearchExtras* extras = nullptr);
 
+  void set_config(const CdclConfig& config) { config_ = config; }
+  const CdclConfig& config() const { return config_; }
+
+  // Cumulative across every CheckSat call on this instance.
   uint64_t candidates_tried() const { return candidates_tried_; }
+  uint64_t conflicts() const { return conflicts_; }
+  uint64_t learned() const { return learned_; }
+  uint64_t learned_hits() const { return learned_hits_; }
+  uint64_t backjumps() const { return backjumps_; }
+  uint64_t restarts() const { return restarts_; }
 
  private:
+  CdclConfig config_;
   uint64_t candidates_tried_ = 0;
+  uint64_t conflicts_ = 0;
+  uint64_t learned_ = 0;
+  uint64_t learned_hits_ = 0;
+  uint64_t backjumps_ = 0;
+  uint64_t restarts_ = 0;
 };
 
 // KLEE-UBTree-style counterexample cache over canonical constraint sets.
@@ -144,6 +218,11 @@ class PrefixCache {
     uint64_t fingerprint = 0;    // independent confirmation hash
     SatResult result = SatResult::kUnknown;
     std::vector<uint8_t> model;  // satisfying assignment for kSat entries
+    // Top-activity nogoods learned while (or inherited from the entry this
+    // one was derived from when) solving this set. Seeds later core
+    // searches over supersets — any clause valid for a set is valid for
+    // every superset (docs/solver.md#reuse).
+    std::vector<LearnedClause> clauses;
     bool live = false;
   };
 
@@ -161,9 +240,11 @@ class PrefixCache {
                          std::vector<const Entry*>& out) const;
 
   // Inserts (or overwrites, on a matching set hash) an entry; evicts the
-  // oldest live entry beyond capacity.
+  // oldest live entry beyond capacity. `clauses` (optional) are the learned
+  // nogoods to carry on the entry for cross-query seeding.
   void Insert(std::vector<uint64_t> keys, uint64_t set_hash, uint64_t fingerprint,
-              SatResult result, const std::vector<uint8_t>& model);
+              SatResult result, const std::vector<uint8_t>& model,
+              std::vector<LearnedClause> clauses = {});
 
   size_t size() const { return live_; }
   uint64_t evictions() const { return evictions_; }
@@ -204,7 +285,9 @@ class PrefixCache {
 // The full KLEE-style stack. One instance per symbolic-execution run.
 class SolverChain {
  public:
-  explicit SolverChain(ExprContext& ctx) : ctx_(ctx), preprocessor_(ctx) {}
+  explicit SolverChain(ExprContext& ctx) : ctx_(ctx), preprocessor_(ctx) {
+    core_.set_config(CdclConfigFromEnv());
+  }
 
   // Is `constraints` satisfiable? When `prefix` is non-null it carries the
   // caller's incremental preprocessing summary for these constraints (the
@@ -232,6 +315,20 @@ class SolverChain {
   // Disables the preprocessing pipeline (A/B comparisons and regression
   // tests; queries then flow straight to canonicalization + caching).
   void set_preprocessing(bool on) { preprocess_enabled_ = on; }
+
+  // Toggles CDCL clause learning (store, restarts, cross-query seeding).
+  // Learning only ever prunes non-models, so verdicts and the models the
+  // core returns are identical either way — the diff harness A/Bs this
+  // in-lattice (DiffOptions::learning). Domain pruning and value ordering
+  // are not gated: they define the value order models depend on, so they
+  // must stay a pure function of the constraint set.
+  void set_learning(bool on) {
+    CdclConfig config = core_.config();
+    config.learning = on;
+    core_.set_config(config);
+  }
+  // Overrides the full CDCL parameter set (tests).
+  void set_cdcl_config(const CdclConfig& config) { core_.set_config(config); }
 
   // Installs the run's cooperative controls (deadline, cancel latch, fault
   // injector, per-query budgets). The engine calls this once per run; the
@@ -280,7 +377,12 @@ class SolverChain {
   bool Timed() const { return metrics_->timing || trace_ != nullptr; }
   // Records the query span that started at `t0` (histogram + trace).
   void FinishQuery(uint64_t t0, SatResult result);
-  SatResult Solve(const std::vector<const Expr*>& filtered, std::vector<uint8_t>* model);
+  // `prefix`, when non-null, supplies the per-symbol range facts the core
+  // uses for domain pruning (implied by `filtered`, see docs/solver.md).
+  SatResult Solve(const std::vector<const Expr*>& filtered, std::vector<uint8_t>* model,
+                  const PathPrefix* prefix = nullptr);
+  // Flushes the core's cumulative CDCL counters into the shard.
+  void SyncCoreCounters() const;
   // Records `cause` into last_unknown_cause_ and the per-cause stats.
   SatResult Unknown(UnknownCause cause);
   bool Canonicalize(const std::vector<const Expr*>& filtered,
@@ -316,6 +418,9 @@ class SolverChain {
   std::vector<const Expr*> filtered_scratch_;
   std::vector<const Expr*> canonical_scratch_;
   std::vector<const Expr*> preprocessed_scratch_;
+  // Scratch for clause seeding / export around each core search.
+  std::vector<const LearnedClause*> seed_scratch_;
+  std::vector<LearnedClause> learned_scratch_;
   PathPrefix scratch_prefix_;  // for callers without a per-path handle
   // The constraint sequence scratch_prefix_ summarizes; reused while a
   // handle-less caller keeps querying the same path.

@@ -25,7 +25,8 @@ std::string LatticeCell::Name() const {
   std::ostringstream out;
   out << OptLevelName(level) << "/j" << jobs << "/"
       << (shared_interner ? "shared" : "legacy") << "/"
-      << (solver_preprocess ? "prep" : "noprep") << "/" << SearchStrategyName(strategy);
+      << (solver_preprocess ? "prep" : "noprep") << "/"
+      << (solver_learning ? "learn" : "nolearn") << "/" << SearchStrategyName(strategy);
   return out.str();
 }
 
@@ -34,6 +35,7 @@ SymexOptions LatticeCell::ToOptions() const {
   options.jobs = jobs;
   options.shared_interner = shared_interner;
   options.solver_preprocess = solver_preprocess;
+  options.solver_learning = solver_learning;
   options.strategy = strategy;
   return options;
 }
@@ -109,14 +111,17 @@ std::vector<LatticeCell> FullLattice(const DiffOptions& options) {
     for (unsigned jobs : options.jobs) {
       for (bool shared : options.interners) {
         for (bool preprocess : options.preprocess) {
-          for (SearchStrategy strategy : options.strategies) {
-            LatticeCell cell;
-            cell.level = level;
-            cell.jobs = jobs;
-            cell.shared_interner = shared;
-            cell.solver_preprocess = preprocess;
-            cell.strategy = strategy;
-            cells.push_back(cell);
+          for (bool learning : options.learning) {
+            for (SearchStrategy strategy : options.strategies) {
+              LatticeCell cell;
+              cell.level = level;
+              cell.jobs = jobs;
+              cell.shared_interner = shared;
+              cell.solver_preprocess = preprocess;
+              cell.solver_learning = learning;
+              cell.strategy = strategy;
+              cells.push_back(cell);
+            }
           }
         }
       }

@@ -1,15 +1,17 @@
 // Differential verification harness: one workload, every configuration.
 //
-// The engine has four independently-toggleable fast paths (shared interner,
-// constraint preprocessing, prefix caching behind it, searcher strategy) on
-// top of the optimization-level axis the paper studies. Each of them claims
+// The engine has five independently-toggleable fast paths (shared interner,
+// constraint preprocessing, prefix caching behind it, CDCL-style learning
+// in the backtracking core, searcher strategy) on top of the
+// optimization-level axis the paper studies. Each of them claims
 // "identical results either way" — this harness is the single oracle that
 // enforces the claim at suite scale instead of scattered per-feature
 // equivalence tests. It runs a program through the full configuration
 // lattice
 //
 //   {-O0, -OVERIFY, -O3} x {1, 4 workers} x {shared, legacy interner}
-//                        x {preprocess on, off} x {dfs, coverage-guided}
+//                        x {preprocess on, off} x {learning on, off}
+//                        x {dfs, coverage-guided}
 //
 // and asserts a canonical RunSignature per cell:
 //
@@ -49,9 +51,10 @@ struct LatticeCell {
   unsigned jobs = 1;
   bool shared_interner = true;
   bool solver_preprocess = true;
+  bool solver_learning = true;
   SearchStrategy strategy = SearchStrategy::kDfs;
 
-  // "O3/j4/shared/prep/dfs" — stable, greppable cell id.
+  // "O3/j4/shared/prep/learn/dfs" — stable, greppable cell id.
   std::string Name() const;
   SymexOptions ToOptions() const;
 };
@@ -121,6 +124,7 @@ struct DiffOptions {
   std::vector<unsigned> jobs = {1, 4};
   std::vector<bool> interners = {true, false};    // shared_interner values
   std::vector<bool> preprocess = {true, false};   // solver_preprocess values
+  std::vector<bool> learning = {true, false};     // solver_learning values
   std::vector<SearchStrategy> strategies = {SearchStrategy::kDfs,
                                             SearchStrategy::kCoverageGuided};
   std::string entry = "umain";

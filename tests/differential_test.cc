@@ -34,8 +34,9 @@ using difftest::SemanticOf;
 TEST(LatticeTest, FullLatticeSpansEveryAxisCombination) {
   DiffOptions options;
   auto cells = FullLattice(options);
-  // 3 levels x 2 worker counts x 2 interners x 2 preprocess x 2 strategies.
-  EXPECT_EQ(cells.size(), 48u);
+  // 3 levels x 2 worker counts x 2 interners x 2 preprocess x 2 learning
+  // x 2 strategies.
+  EXPECT_EQ(cells.size(), 96u);
   // Cell names are unique (they key diffs and logs).
   std::vector<std::string> names;
   for (const LatticeCell& cell : cells) {
@@ -43,7 +44,7 @@ TEST(LatticeTest, FullLatticeSpansEveryAxisCombination) {
   }
   std::sort(names.begin(), names.end());
   EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
-  EXPECT_EQ(cells.front().Name(), "-O0/j1/shared/prep/dfs");
+  EXPECT_EQ(cells.front().Name(), "-O0/j1/shared/prep/learn/dfs");
 }
 
 TEST(LatticeTest, CellOptionsCarryEveryAxis) {
@@ -51,11 +52,13 @@ TEST(LatticeTest, CellOptionsCarryEveryAxis) {
   cell.jobs = 4;
   cell.shared_interner = false;
   cell.solver_preprocess = false;
+  cell.solver_learning = false;
   cell.strategy = SearchStrategy::kCoverageGuided;
   SymexOptions options = cell.ToOptions();
   EXPECT_EQ(options.jobs, 4u);
   EXPECT_FALSE(options.shared_interner);
   EXPECT_FALSE(options.solver_preprocess);
+  EXPECT_FALSE(options.solver_learning);
   EXPECT_EQ(options.strategy, SearchStrategy::kCoverageGuided);
 }
 
@@ -99,7 +102,7 @@ TEST(DifferentialTest, CleanProgramPassesTheFullLattice) {
   )",
                                       4, options);
   EXPECT_TRUE(report.ok) << report.diff;
-  EXPECT_EQ(report.cells.size(), 48u);
+  EXPECT_EQ(report.cells.size(), 96u);
   for (const auto& cell : report.cells) {
     EXPECT_TRUE(cell.signature.exhausted) << cell.cell.Name();
     EXPECT_TRUE(cell.signature.bugs.empty()) << cell.cell.Name();
@@ -219,27 +222,12 @@ INSTANTIATE_TEST_SUITE_P(Tier1, FuzzDifferentialTest, ::testing::Range(1, 6));
 
 class SlowSuiteDifferentialTest : public ::testing::TestWithParam<Workload> {};
 
-// Solver-hostile parsers run at a clamped width: symbolic divisors
-// (factor), 26-counter max chains (word_freq), and multi-digit numeric
-// parsing (seq_range) pose count-threshold / division queries whose UNSAT
-// directions degenerate to exhaustive candidate enumeration in the
-// backtracking core (docs/workloads.md, "writing wide workloads"), so
-// their full-width lattices take hours, not seconds. Everything else —
-// including the 48- and 72-byte suite-scale workloads — runs at its
-// default width.
-unsigned SlowTierWidth(const Workload& workload) {
-  if (workload.name == "factor") return 2;
-  if (workload.name == "word_freq") return 1;
-  if (workload.name == "seq_range") return 4;
-  return 0;  // the workload's default_sym_bytes
-}
-
 TEST_P(SlowSuiteDifferentialTest, FullLatticeAtDefaultWidth) {
   const Workload& workload = GetParam();
   DiffOptions options;
   options.limits.max_paths = 400000;
   options.limits.max_seconds = 120;  // per cell; every suite program exhausts well under
-  DiffReport report = RunDifferential(workload, SlowTierWidth(workload), options);
+  DiffReport report = RunDifferential(workload, /*sym_bytes=*/0, options);
   EXPECT_TRUE(report.ok) << report.diff;
   for (const auto& cell : report.cells) {
     EXPECT_TRUE(cell.signature.exhausted) << cell.cell.Name();
