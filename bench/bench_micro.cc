@@ -200,7 +200,8 @@ BENCHMARK(BM_ExploreWcAtO3);
 // path; sum_block's 48-byte fork-free block stresses wide expression
 // building instead of forking. Tracked in BENCH_symex.json like the engine
 // microbenchmarks so suite-scale exploration cost cannot silently regress.
-void RunExploreWorkload(benchmark::State& state, const char* name, OptLevel level) {
+void RunExploreWorkload(benchmark::State& state, const char* name, OptLevel level,
+                        bool slice = false) {
   const Workload* workload = FindWorkload(name);
   if (workload == nullptr) {
     state.SkipWithError(("unknown workload: " + std::string(name)).c_str());
@@ -214,15 +215,34 @@ void RunExploreWorkload(benchmark::State& state, const char* name, OptLevel leve
   }
   SymexLimits limits;
   limits.max_seconds = 60;
+  SymexOptions options;
+  options.slice_checks = slice;
   SymexResult last;
   for (auto _ : state) {
-    last = Analyze(compiled, "umain", workload->default_sym_bytes, limits);
+    last = Analyze(compiled, "umain", workload->default_sym_bytes, limits, options);
     benchmark::DoNotOptimize(last.paths_completed);
   }
   state.counters["paths"] = static_cast<double>(last.paths_completed);
   state.counters["solver_queries"] = static_cast<double>(last.solver.queries);
   state.counters["eval_memo_hits"] = static_cast<double>(last.solver.eval_memo_hits);
   state.counters["independence_drops"] = static_cast<double>(last.solver.independence_drops);
+  if (slice) {
+    // Slice-mode effectiveness (docs/slicing.md): deterministic, gated
+    // exactly by run_benches.sh --check like paths and the core-search
+    // counters. The --check gate additionally asserts slice-mode
+    // solver_queries <= the whole-program variant's.
+    const MetricsShard& m = last.metrics;
+    state.counters["slice_checks_found"] =
+        static_cast<double>(m.Get(Counter::kSliceChecksFound));
+    state.counters["slices_built"] = static_cast<double>(m.Get(Counter::kSlicesBuilt));
+    state.counters["slice_fallbacks"] = static_cast<double>(m.Get(Counter::kSliceFallbacks));
+    const LatencyHistogram& ratio = m.hist(Hist::kSliceConeRatioPct);
+    state.counters["slice_cone_pct_max"] = static_cast<double>(ratio.max_ns());
+    state.counters["slice_cone_pct_mean"] =
+        ratio.count() > 0 ? static_cast<double>(ratio.sum_ns()) /
+                                static_cast<double>(ratio.count())
+                          : 0.0;
+  }
   ReportCoreSearchStats(state, last.solver);
   ReportPreprocessStats(state, last.solver);
   ReportLatencyStats(state, last);
@@ -237,6 +257,22 @@ void BM_ExploreSumBlockAtOverify(benchmark::State& state) {
   RunExploreWorkload(state, "sum_block", OptLevel::kOverify);
 }
 BENCHMARK(BM_ExploreSumBlockAtOverify);
+
+// The slicing tentpole's macro benches (docs/slicing.md): the same wide
+// workloads verified one slice per check. cksum_wide's checks merge into a
+// single cone holding ~half the entry function, halving paths and solver
+// queries against the whole-program bench above; sum_block's one check
+// slices away the fork-free accumulation entirely and needs no solver
+// queries at all.
+void BM_ExploreCksumWideSliceAtOverify(benchmark::State& state) {
+  RunExploreWorkload(state, "cksum_wide", OptLevel::kOverify, /*slice=*/true);
+}
+BENCHMARK(BM_ExploreCksumWideSliceAtOverify);
+
+void BM_ExploreSumBlockSliceAtOverify(benchmark::State& state) {
+  RunExploreWorkload(state, "sum_block", OptLevel::kOverify, /*slice=*/true);
+}
+BENCHMARK(BM_ExploreSumBlockSliceAtOverify);
 
 void ReportStealStats(benchmark::State& state, const SymexResult& result) {
   state.counters["steals"] = static_cast<double>(result.steals);

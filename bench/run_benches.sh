@@ -55,7 +55,7 @@ MICRO_JSON="$(mktemp)"
 trap 'rm -f "$MICRO_JSON"' EXIT
 
 "$BUILD_DIR/bench_micro" \
-  --benchmark_filter='BM_ExprInterning|BM_SolverSingleByteQuery|BM_SolverMultiByteRelation|BM_FilterIndependent|BM_ExploreWcAtOverify|BM_ExploreWcAtO3|BM_ExploreCksumWideAtOverify|BM_ExploreSumBlockAtOverify|BM_ParallelExploreWc' \
+  --benchmark_filter='BM_ExprInterning|BM_SolverSingleByteQuery|BM_SolverMultiByteRelation|BM_FilterIndependent|BM_ExploreWcAtOverify|BM_ExploreWcAtO3|BM_ExploreCksumWideAtOverify|BM_ExploreSumBlockAtOverify|BM_ExploreCksumWideSliceAtOverify|BM_ExploreSumBlockSliceAtOverify|BM_ParallelExploreWc' \
   --benchmark_format=json --benchmark_min_time=0.5 >"$MICRO_JSON"
 
 python3 - "$MICRO_JSON" "$OUT" <<'PY'
@@ -82,13 +82,16 @@ for b in micro.get("benchmarks", []):
                 "reuse_hits", "cex_evictions", "presolve_shortcuts",
                 "prefix_subset_hits", "prefix_superset_hits", "prefix_model_hits",
                 "preprocess_bindings", "preprocess_tautologies",
-                "workers", "steals", "steal_batches", "steal_reintern"):
+                "workers", "steals", "steal_batches", "steal_reintern",
+                "slice_checks_found", "slices_built", "slice_fallbacks",
+                "slice_cone_pct_max"):
         if key in b:
             entry[key] = int(b[key])
     # Latency percentiles and hit rates from the metrics registry
     # (docs/observability.md). Informational: timing-derived, so the
     # --check gate below never diffs them.
-    for key in ("solver_p50_ns", "solver_p95_ns", "cache_hit_rate"):
+    for key in ("solver_p50_ns", "solver_p95_ns", "cache_hit_rate",
+                "slice_cone_pct_mean"):
         if key in b:
             entry[key] = round(float(b[key]), 6)
     m = re.match(r"BM_ParallelExploreWc/(\d+)", b["name"])
@@ -159,7 +162,9 @@ for name in sorted(committed):
     # engine behavior change, flagged at any magnitude.
     drift = []
     for counter in ("paths", "core_candidates", "core_conflicts",
-                    "core_learned", "core_backjumps", "core_restarts"):
+                    "core_learned", "core_backjumps", "core_restarts",
+                    "slice_checks_found", "slices_built", "slice_fallbacks",
+                    "slice_cone_pct_max"):
         if committed[name].get(counter) != fresh[name].get(counter):
             drift.append(f"{counter} {committed[name].get(counter)} -> "
                          f"{fresh[name].get(counter)}")
@@ -168,6 +173,20 @@ for name in sorted(committed):
     print(f"{name:<40} {old:>12.3e} {new:>12.3e} {ratio:>6.2f}x{flag}")
     if flag:
         failed.append(name)
+
+# Slicing effectiveness invariant (docs/slicing.md): verifying per-check
+# slices must never cost more solver queries than the whole program on the
+# tracked wide workloads — the win the slicing tentpole exists for.
+for whole_name in ("BM_ExploreCksumWideAtOverify", "BM_ExploreSumBlockAtOverify"):
+    slice_name = whole_name.replace("AtOverify", "SliceAtOverify")
+    whole_entry, slice_entry = fresh.get(whole_name), fresh.get(slice_name)
+    if whole_entry is None or slice_entry is None:
+        continue
+    whole_q, slice_q = whole_entry.get("solver_queries"), slice_entry.get("solver_queries")
+    if whole_q is not None and slice_q is not None and slice_q > whole_q:
+        print(f"{slice_name}: solver_queries = {slice_q} exceeds whole-program "
+              f"{whole_name} = {whole_q}")
+        failed.append(slice_name)
 
 # Structural invariant of the default scheduler configuration: the shared
 # interner means stolen states never re-intern. Steal *traffic* is
@@ -216,7 +235,8 @@ else:
 
 if failed:
     print(f"\nregression gate FAILED (wall > {THRESHOLD}x, paths/core-search "
-          f"counters drifted, or steal_reintern != 0): "
+          f"counters drifted, slice-mode queries exceeded whole-program, "
+          f"or steal_reintern != 0): "
           f"{', '.join(failed)}")
     sys.exit(1)
 print(f"\nregression gate passed (threshold {THRESHOLD}x; paths and "

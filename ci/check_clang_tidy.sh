@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# clang-tidy gate over src/ (ci job: tidy).
+#
+# Usage: ci/check_clang_tidy.sh <build-dir> [baseline]
+#
+# Runs clang-tidy (checks from the committed .clang-tidy) over every
+# src/**/*.cc translation unit using the build tree's compile_commands.json,
+# reduces the findings to distinct "<file>:<check>" pairs, and compares them
+# against the committed baseline (ci/clang-tidy-baseline.txt by default):
+#
+#  - a pair not in the baseline fails the gate (new debt);
+#  - a baseline entry that no longer fires is reported as stale (warning
+#    only) so paid-down debt gets pruned.
+#
+# The baseline may be empty: the gate then requires a fully clean run.
+set -u -o pipefail
+
+build_dir="${1:?usage: ci/check_clang_tidy.sh <build-dir> [baseline]}"
+baseline="${2:-ci/clang-tidy-baseline.txt}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+tidy="$(command -v clang-tidy || true)"
+if [ -z "$tidy" ]; then
+  echo "error: clang-tidy not found on PATH (the CI job apt-installs it)" >&2
+  exit 2
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "error: $build_dir/compile_commands.json missing — configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(find src -name '*.cc' | sort)
+echo "clang-tidy ($($tidy --version | head -n1)) over ${#sources[@]} files"
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+# clang-tidy exits non-zero on warnings; the gate's verdict comes from the
+# baseline comparison, so tolerate the exit code and parse the output.
+"$tidy" -p "$build_dir" --quiet "${sources[@]}" >"$log" 2>/dev/null || true
+
+# "path/file.cc:LINE:COL: warning: ... [check-name]" -> "path/file.cc:check-name"
+found="$(sed -n -E 's|^([^:]+):[0-9]+:[0-9]+: warning: .* \[([A-Za-z0-9.,-]+)\]$|\1:\2|p' "$log" \
+  | sed -E "s|^$repo_root/||" \
+  | grep '^src/' | sort -u)"
+allowed="$(grep -v '^#' "$baseline" 2>/dev/null | sed '/^[[:space:]]*$/d' | sort -u || true)"
+
+new="$(comm -23 <(printf '%s\n' "$found" | sed '/^$/d') <(printf '%s\n' "$allowed" | sed '/^$/d'))"
+stale="$(comm -13 <(printf '%s\n' "$found" | sed '/^$/d') <(printf '%s\n' "$allowed" | sed '/^$/d'))"
+
+if [ -n "$stale" ]; then
+  echo "stale baseline entries (no longer fire — prune them from $baseline):"
+  printf '  %s\n' $stale
+fi
+
+if [ -n "$new" ]; then
+  echo "new clang-tidy findings not in $baseline:"
+  printf '  %s\n' $new
+  echo
+  echo "full diagnostics for the new findings:"
+  while IFS= read -r pair; do
+    file="${pair%%:*}"
+    check="${pair##*:}"
+    grep -F "[$check]" "$log" | grep -F "$file" | head -n 5 || true
+  done <<<"$new"
+  echo
+  echo "fix the findings or add deliberate suppressions to $baseline"
+  exit 1
+fi
+
+echo "clang-tidy gate clean ($(printf '%s\n' "$found" | sed '/^$/d' | wc -l) baselined findings)"

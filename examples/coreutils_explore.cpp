@@ -12,6 +12,10 @@
 //                  -OVERIFY exploration to FILE (load it in Perfetto); in
 //                  suite mode each workload writes FILE.<workload>.json
 //   --jobs=N       explore with N worker threads (0 = one per core)
+//   --slice        verify per-check slices instead of the whole program
+//                  (docs/slicing.md) and print per-workload slice
+//                  statistics: checks found, slices built, and the mean/max
+//                  cone size as a percentage of the entry function
 //
 // With no arguments, iterates the full expanded suite and prints
 // per-workload stats: symbolic width, static size and exploration outcome
@@ -38,6 +42,7 @@ struct CliOptions {
   bool stats = false;
   std::string trace;  // empty = no tracing
   unsigned jobs = 1;
+  bool slice = false;  // per-check slice verification (docs/slicing.md)
 };
 
 struct LevelStats {
@@ -69,6 +74,7 @@ LevelStats ExploreAt(const Workload& workload, OptLevel level, unsigned sym_byte
   SymexOptions options;
   options.jobs = cli.jobs;
   options.trace_path = trace_path;
+  options.slice_checks = cli.slice;
   SymexResult analysis = Analyze(compiled, "umain", sym_bytes, limits, options);
   stats.instructions = compiled.instruction_count;
   stats.paths = analysis.paths_completed;
@@ -88,6 +94,29 @@ void PrintStats(const std::string& title, const MetricsShard& metrics) {
               RenderMetricsTable(metrics).ToString().c_str());
 }
 
+// One slice-statistics row from a run's merged metrics (docs/slicing.md):
+// checks found, slices built after keep-set grouping, and the cone-size
+// histogram's mean/max as percentages of the entry function. "fallback"
+// marks runs where slicing bailed to whole-program mode.
+void AddSliceRow(TextTable& table, const std::string& label, const MetricsShard& metrics) {
+  if (metrics.Get(Counter::kSliceFallbacks) > 0) {
+    table.AddRow({label, std::to_string(metrics.Get(Counter::kSliceChecksFound)),
+                  "fallback", "-", "-"});
+    return;
+  }
+  const LatencyHistogram& ratio = metrics.hist(Hist::kSliceConeRatioPct);
+  double mean = ratio.count() > 0
+                    ? static_cast<double>(ratio.sum_ns()) / static_cast<double>(ratio.count())
+                    : 0;
+  table.AddRow({label, std::to_string(metrics.Get(Counter::kSliceChecksFound)),
+                std::to_string(metrics.Get(Counter::kSlicesBuilt)),
+                FormatDouble(mean, 1) + "%", std::to_string(ratio.max_ns()) + "%"});
+}
+
+TextTable SliceTableHeader() {
+  return TextTable({"workload", "checks", "slices", "mean cone", "max cone"});
+}
+
 // Suite mode derives one trace file per workload from the flag value, so
 // runs don't clobber each other: --trace=out.json -> out.json.wc.json.
 std::string SuiteTracePath(const CliOptions& cli, const Workload& workload) {
@@ -100,6 +129,7 @@ std::string SuiteTracePath(const CliOptions& cli, const Workload& workload) {
 int ExploreSuite(const CliOptions& cli) {
   TextTable table({"workload", "bytes", "instrs O3/OVERIFY", "paths O3", "paths OVERIFY",
                    "analysis ms O3/OVERIFY", "sample result"});
+  TextTable slice_table = SliceTableHeader();
   for (const Workload& workload : CoreutilsSuite()) {
     LevelStats o3 = ExploreAt(workload, OptLevel::kO3, workload.default_sym_bytes, cli, "");
     LevelStats overify = ExploreAt(workload, OptLevel::kOverify, workload.default_sym_bytes,
@@ -116,6 +146,9 @@ int ExploreSuite(const CliOptions& cli) {
                   std::to_string(overify.paths) + (overify.exhausted ? "" : " (capped)"),
                   FormatDouble(o3.analysis_ms, 1) + "/" + FormatDouble(overify.analysis_ms, 1),
                   overify.sample_ok ? std::to_string(overify.sample_result) : "trap"});
+    if (cli.slice) {
+      AddSliceRow(slice_table, workload.name, overify.metrics);
+    }
     if (cli.stats) {
       PrintStats(workload.name + " @ -O3", o3.metrics);
       PrintStats(workload.name + " @ -OVERIFY", overify.metrics);
@@ -124,6 +157,10 @@ int ExploreSuite(const CliOptions& cli) {
   std::printf("%s\n", table.ToString().c_str());
   std::printf("%zu workloads; paths/analysis at each workload's default symbolic width\n",
               CoreutilsSuite().size());
+  if (cli.slice) {
+    std::printf("\n-- slice statistics @ -OVERIFY (cone sizes as %% of entry) --\n%s\n",
+                slice_table.ToString().c_str());
+  }
   return 0;
 }
 
@@ -148,6 +185,7 @@ int ExploreOne(const Workload& workload, unsigned sym_bytes, const CliOptions& c
     limits.max_seconds = 10;
     SymexOptions options;
     options.jobs = cli.jobs;
+    options.slice_checks = cli.slice;
     if (level == OptLevel::kOverify) {
       options.trace_path = cli.trace;
     }
@@ -170,6 +208,13 @@ int ExploreOne(const Workload& workload, unsigned sym_bytes, const CliOptions& c
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("sample input: \"%s\"\n", workload.sample_input.c_str());
+  if (cli.slice) {
+    TextTable slice_table = SliceTableHeader();
+    AddSliceRow(slice_table, workload.name + " @ -O3", o3_metrics);
+    AddSliceRow(slice_table, workload.name + " @ -OVERIFY", overify_metrics);
+    std::printf("\n-- slice statistics (cone sizes as %% of entry) --\n%s\n",
+                slice_table.ToString().c_str());
+  }
   if (cli.stats) {
     std::printf("\n");
     PrintStats(workload.name + " @ -O3", o3_metrics);
@@ -191,13 +236,15 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--stats") == 0) {
       cli.stats = true;
+    } else if (std::strcmp(arg, "--slice") == 0) {
+      cli.slice = true;
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
       cli.trace = arg + 8;
     } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
       cli.jobs = static_cast<unsigned>(std::atoi(arg + 7));
     } else if (arg[0] == '-' && arg[1] == '-') {
       std::fprintf(stderr,
-                   "unknown flag '%s'; supported: --stats --trace=FILE --jobs=N\n", arg);
+                   "unknown flag '%s'; supported: --stats --slice --trace=FILE --jobs=N\n", arg);
       return 1;
     } else if (name == nullptr) {
       name = arg;

@@ -1,6 +1,68 @@
 #include "src/analysis/call_graph.h"
 
+#include "src/analysis/alias_analysis.h"
+#include "src/ir/constant.h"
+
 namespace overify {
+
+namespace {
+
+// A load/store is provably safe when it resolves to a constant offset fully
+// inside a known-size alloca or global (and, for stores, the global is
+// writable). Anything based on an argument or an unresolvable pointer can
+// trap at run time (null, bounds, dead object).
+bool IsProvablySafeAccess(const Instruction& inst) {
+  const bool is_store = inst.opcode() == Opcode::kStore;
+  Value* pointer = inst.Operand(is_store ? 1 : 0);
+  Type* accessed = is_store ? inst.Operand(0)->type() : inst.type();
+  const uint64_t size = accessed->SizeInBytes();
+  MemoryLocation loc = ResolvePointer(pointer, size);
+  if (loc.base == nullptr || !loc.offset.has_value() || size == 0) {
+    return false;
+  }
+  uint64_t object_size = 0;
+  if (const auto* alloca = DynCast<AllocaInst>(loc.base)) {
+    object_size = alloca->allocated_type()->SizeInBytes();
+  } else if (const auto* global = DynCast<GlobalVariable>(loc.base)) {
+    if (is_store && global->is_const()) {
+      return false;  // write to a read-only object traps
+    }
+    object_size = global->value_type()->SizeInBytes();
+  } else {
+    return false;  // argument-based: object size unknown statically
+  }
+  return *loc.offset >= 0 && static_cast<uint64_t>(*loc.offset) + size <= object_size;
+}
+
+}  // namespace
+
+bool InstructionMayTrapLocally(const Instruction& inst) {
+  switch (inst.opcode()) {
+    case Opcode::kCheck:
+    case Opcode::kUnreachable:
+      return true;
+    case Opcode::kUDiv:
+    case Opcode::kURem: {
+      const auto* rhs = DynCast<ConstantInt>(inst.Operand(1));
+      return rhs == nullptr || rhs->IsZero();
+    }
+    case Opcode::kSDiv:
+    case Opcode::kSRem: {
+      const auto* rhs = DynCast<ConstantInt>(inst.Operand(1));
+      if (rhs == nullptr || rhs->IsZero()) {
+        return true;
+      }
+      // sdiv additionally traps on INT_MIN / -1 overflow; -1 divisors stay
+      // conservatively trapping rather than proving the dividend bound.
+      return inst.opcode() == Opcode::kSDiv && rhs->IsAllOnes();
+    }
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      return !IsProvablySafeAccess(inst);
+    default:
+      return false;
+  }
+}
 
 CallGraph::CallGraph(Module& module) : module_(module) {
   for (const auto& fn : module.functions()) {
@@ -129,6 +191,133 @@ std::vector<Function*> CallGraph::BottomUpOrder() const {
     }
   }
   return order;
+}
+
+ModRefSummaries::ModRefSummaries(Module& module, const CallGraph& call_graph)
+    : call_graph_(call_graph) {
+  unknown_.reads_unknown = true;
+  unknown_.writes_unknown = true;
+  unknown_.may_trap = true;
+
+  for (const auto& fn : module.functions()) {
+    ModRefSummary& summary = summaries_[fn.get()];
+    if (fn->IsDeclaration()) {
+      const std::string& name = fn->name();
+      if (name == "putchar" || name == "getchar") {
+        // Modeled externals: no caller-visible memory, cannot trap.
+      } else if (name == "abort") {
+        summary.may_trap = true;
+      } else {
+        summary.reads_unknown = true;
+        summary.writes_unknown = true;
+        summary.may_trap = true;
+      }
+    } else if (call_graph.IsRecursive(fn.get())) {
+      summary.may_trap = true;  // the engine's call-stack depth limit
+    }
+  }
+
+  // Fixpoint, callees-first so acyclic regions converge in one sweep; cycles
+  // converge because every merge is monotone over finite sets.
+  std::vector<Function*> order = call_graph.BottomUpOrder();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Function* fn : order) {
+      if (fn->IsDeclaration()) {
+        continue;
+      }
+      ModRefSummary& summary = summaries_[fn];
+      for (BasicBlock& block : *fn) {
+        for (auto& inst : block) {
+          changed |= Absorb(fn, *inst, summary);
+        }
+      }
+    }
+  }
+}
+
+const ModRefSummary& ModRefSummaries::Of(const Function* fn) const {
+  auto it = summaries_.find(fn);
+  return it == summaries_.end() ? unknown_ : it->second;
+}
+
+bool ModRefSummaries::Absorb(Function* fn, const Instruction& inst,
+                             ModRefSummary& out) const {
+  (void)fn;
+  bool changed = false;
+  auto raise = [&](bool& flag) {
+    if (!flag) {
+      flag = true;
+      changed = true;
+    }
+  };
+  // Attribute an access base to the caller-visible summary sets. Local
+  // allocas are the callee's own frame and invisible above it.
+  auto record = [&](Value* base, bool write) {
+    if (base != nullptr && Isa<AllocaInst>(base)) {
+      return;
+    }
+    if (const auto* global = DynCast<GlobalVariable>(base)) {
+      auto& set = write ? out.mod_globals : out.ref_globals;
+      changed |= set.insert(global).second;
+      return;
+    }
+    if (const auto* arg = DynCast<Argument>(base)) {
+      auto& set = write ? out.mod_params : out.ref_params;
+      changed |= set.insert(arg->index()).second;
+      return;
+    }
+    raise(write ? out.writes_unknown : out.reads_unknown);
+  };
+
+  switch (inst.opcode()) {
+    case Opcode::kLoad:
+      record(ResolvePointer(inst.Operand(0), inst.type()->SizeInBytes()).base,
+             /*write=*/false);
+      break;
+    case Opcode::kStore:
+      record(ResolvePointer(inst.Operand(1), inst.Operand(0)->type()->SizeInBytes()).base,
+             /*write=*/true);
+      break;
+    case Opcode::kCall: {
+      const auto* call = Cast<CallInst>(&inst);
+      const ModRefSummary& callee = Of(call->callee());
+      if (callee.may_trap) {
+        raise(out.may_trap);
+      }
+      if (callee.reads_unknown) {
+        raise(out.reads_unknown);
+      }
+      if (callee.writes_unknown) {
+        raise(out.writes_unknown);
+      }
+      for (const GlobalVariable* global : callee.ref_globals) {
+        changed |= out.ref_globals.insert(global).second;
+      }
+      for (const GlobalVariable* global : callee.mod_globals) {
+        changed |= out.mod_globals.insert(global).second;
+      }
+      // Param mod/ref translates through the actual pointer arguments.
+      for (unsigned param : callee.ref_params) {
+        if (param < call->NumArgs()) {
+          record(ResolvePointer(call->Arg(param), 0).base, /*write=*/false);
+        }
+      }
+      for (unsigned param : callee.mod_params) {
+        if (param < call->NumArgs()) {
+          record(ResolvePointer(call->Arg(param), 0).base, /*write=*/true);
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  if (inst.opcode() != Opcode::kCall && InstructionMayTrapLocally(inst)) {
+    raise(out.may_trap);
+  }
+  return changed;
 }
 
 std::vector<CallInst*> CallGraph::CallSitesOf(Function* callee) const {

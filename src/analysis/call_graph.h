@@ -38,4 +38,56 @@ class CallGraph {
   std::set<Function*> empty_;
 };
 
+// True when executing `inst` itself — ignoring anything a callee might do —
+// can raise an engine trap: checks, unreachable, div/rem whose divisor is not
+// a safe constant, and loads/stores not provably in bounds of a known local
+// or (for stores) writable global object. Calls always return false here;
+// their trap-ness comes from the callee's ModRefSummary.
+bool InstructionMayTrapLocally(const Instruction& inst);
+
+// What a function may read or write through memory visible to its callers,
+// plus whether executing it can trap. Param indices refer to pointer-typed
+// parameters whose pointee may be accessed; locals (allocas) that do not
+// escape the function are not part of the summary. The `unknown` bits are
+// the conservative escape hatch: an access whose base cannot be attributed
+// to a param, global, or local alloca taints the whole summary.
+struct ModRefSummary {
+  std::set<unsigned> ref_params;              // pointees that may be read
+  std::set<unsigned> mod_params;              // pointees that may be written
+  std::set<const GlobalVariable*> ref_globals;
+  std::set<const GlobalVariable*> mod_globals;
+  bool reads_unknown = false;
+  bool writes_unknown = false;
+  // True when executing the function (or anything it transitively calls) can
+  // raise an engine trap: checks, div/rem guards, unprovable memory accesses,
+  // unreachable, unmodeled externals, or recursion (stack-depth limit).
+  bool may_trap = false;
+
+  bool MayReadAnything() const {
+    return reads_unknown || !ref_params.empty() || !ref_globals.empty();
+  }
+  bool MayWriteAnything() const {
+    return writes_unknown || !mod_params.empty() || !mod_globals.empty();
+  }
+};
+
+// Bottom-up mod/ref + may-trap summaries for every function in the module,
+// iterated to a fixpoint so mutual recursion converges. Declarations are
+// summarized by name: putchar/getchar are modeled (no visible memory, no
+// trap); every other external is fully unknown and may trap.
+class ModRefSummaries {
+ public:
+  ModRefSummaries(Module& module, const CallGraph& call_graph);
+
+  const ModRefSummary& Of(const Function* fn) const;
+
+ private:
+  // Folds one instruction into `out`; returns true if `out` changed.
+  bool Absorb(Function* fn, const Instruction& inst, ModRefSummary& out) const;
+
+  const CallGraph& call_graph_;
+  std::map<const Function*, ModRefSummary> summaries_;
+  ModRefSummary unknown_;  // fallback for functions outside the module
+};
+
 }  // namespace overify

@@ -1,0 +1,239 @@
+#include "src/analysis/dependence_graph.h"
+
+#include <algorithm>
+
+#include "src/ir/cfg.h"
+
+namespace overify {
+
+namespace {
+
+// Access location of a load or store (size from the accessed type).
+MemoryLocation AccessLocation(const Instruction* inst) {
+  if (inst->opcode() == Opcode::kStore) {
+    return ResolvePointer(inst->Operand(1), inst->Operand(0)->type()->SizeInBytes());
+  }
+  return ResolvePointer(inst->Operand(0), inst->type()->SizeInBytes());
+}
+
+}  // namespace
+
+DependenceGraph::DependenceGraph(Function& fn, const CallGraph& call_graph,
+                                 const ModRefSummaries& summaries)
+    : fn_(fn), call_graph_(call_graph), summaries_(summaries), pdt_(fn) {
+  // Number instructions in reachable blocks, in block layout order (the
+  // layout is itself deterministic, so the numbering is too).
+  std::vector<BasicBlock*> rpo = ReversePostOrder(fn);
+  std::set<BasicBlock*> reachable(rpo.begin(), rpo.end());
+  for (BasicBlock& block : fn) {
+    if (reachable.count(&block) == 0) {
+      continue;
+    }
+    unsigned id = static_cast<unsigned>(block_id_.size());
+    block_id_[&block] = id;
+    for (auto& inst : block) {
+      index_[inst.get()] = static_cast<unsigned>(instructions_.size());
+      instructions_.push_back(inst.get());
+    }
+  }
+
+  // Post-dominance must cover every reachable block, or control dependence
+  // is incomplete (infinite loops).
+  for (const auto& [block, id] : block_id_) {
+    (void)id;
+    if (!pdt_.HasInfo(block)) {
+      ok_ = false;
+      error_ = "block '" + block->name() + "' cannot reach a function exit";
+      return;
+    }
+  }
+  // Warm the lazy control-dependence cache so const accessors can use it.
+  const_cast<PostDominatorTree&>(static_cast<const PostDominatorTree&>(pdt_))
+      .ControlDependencies();
+
+  // Block-level reachability via >= 1 edge: transitive closure over block
+  // successors. Quadratic in blocks, which are small per function.
+  const size_t n = block_id_.size();
+  block_reaches_.assign(n, std::vector<bool>(n, false));
+  for (const auto& [block, id] : block_id_) {
+    std::vector<BasicBlock*> worklist;
+    for (BasicBlock* succ : block->Successors()) {
+      if (block_id_.count(succ) != 0) {
+        worklist.push_back(succ);
+      }
+    }
+    while (!worklist.empty()) {
+      BasicBlock* cur = worklist.back();
+      worklist.pop_back();
+      unsigned cur_id = block_id_.at(cur);
+      if (block_reaches_[id][cur_id]) {
+        continue;
+      }
+      block_reaches_[id][cur_id] = true;
+      for (BasicBlock* succ : cur->Successors()) {
+        if (block_id_.count(succ) != 0) {
+          worklist.push_back(succ);
+        }
+      }
+    }
+  }
+
+  // Trap sites, stores and calls, in index order.
+  for (Instruction* inst : instructions_) {
+    if (inst->opcode() == Opcode::kStore) {
+      stores_.push_back(inst);
+    } else if (inst->opcode() == Opcode::kCall) {
+      calls_.push_back(inst);
+    }
+    bool traps = false;
+    if (const auto* call = DynCast<CallInst>(inst)) {
+      traps = summaries_.Of(call->callee()).may_trap;
+    } else {
+      traps = InstructionMayTrapLocally(*inst);
+    }
+    if (traps) {
+      trap_sites_.push_back(inst);
+      trap_site_set_.insert(inst);
+    }
+  }
+}
+
+bool DependenceGraph::BlockReaches(BasicBlock* from, BasicBlock* to) const {
+  auto from_it = block_id_.find(from);
+  auto to_it = block_id_.find(to);
+  if (from_it == block_id_.end() || to_it == block_id_.end()) {
+    return false;
+  }
+  return block_reaches_[from_it->second][to_it->second];
+}
+
+bool DependenceGraph::CanExecuteBefore(const Instruction* a,
+                                       const Instruction* b) const {
+  BasicBlock* ba = a->parent();
+  BasicBlock* bb = b->parent();
+  if (ba == bb) {
+    // Program order within the block, or the block repeats via a cycle.
+    if (IndexOf(a) < IndexOf(b)) {
+      return true;
+    }
+    return BlockReaches(ba, bb);
+  }
+  return BlockReaches(ba, bb);
+}
+
+std::vector<Instruction*> DependenceGraph::ControllingBranches(
+    const Instruction* inst) const {
+  std::vector<Instruction*> branches;
+  const auto& deps =
+      const_cast<PostDominatorTree&>(pdt_).ControlDependencies();
+  auto it = deps.find(inst->parent());
+  if (it == deps.end()) {
+    return branches;
+  }
+  for (BasicBlock* controller : it->second) {
+    branches.push_back(controller->Terminator());
+  }
+  return branches;
+}
+
+void DependenceGraph::CalleeBases(const CallInst* call, bool write,
+                                  std::set<Value*>* bases, bool* any) const {
+  const ModRefSummary& summary = summaries_.Of(call->callee());
+  if (write ? summary.writes_unknown : summary.reads_unknown) {
+    *any = true;
+  }
+  for (const GlobalVariable* global : write ? summary.mod_globals : summary.ref_globals) {
+    bases->insert(const_cast<GlobalVariable*>(global));
+  }
+  for (unsigned param : write ? summary.mod_params : summary.ref_params) {
+    if (param >= call->NumArgs()) {
+      *any = true;
+      continue;
+    }
+    MemoryLocation loc = ResolvePointer(call->Arg(param), 0);
+    if (loc.base == nullptr) {
+      *any = true;
+    } else {
+      bases->insert(loc.base);
+    }
+  }
+}
+
+bool DependenceGraph::LocTouchesBases(const MemoryLocation& loc,
+                                      const std::set<Value*>& bases,
+                                      bool any) const {
+  if (any || loc.base == nullptr) {
+    return any || !bases.empty();
+  }
+  for (Value* base : bases) {
+    MemoryLocation other;
+    other.base = base;
+    if (Alias(loc, other) != AliasResult::kNoAlias) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DependenceGraph::CalleeMayRead(const CallInst* call,
+                                    const MemoryLocation& loc) const {
+  std::set<Value*> bases;
+  bool any = false;
+  CalleeBases(call, /*write=*/false, &bases, &any);
+  return any || LocTouchesBases(loc, bases, any);
+}
+
+bool DependenceGraph::CalleeMayWrite(const CallInst* call,
+                                     const MemoryLocation& loc) const {
+  std::set<Value*> bases;
+  bool any = false;
+  CalleeBases(call, /*write=*/true, &bases, &any);
+  return any || LocTouchesBases(loc, bases, any);
+}
+
+std::vector<Instruction*> DependenceGraph::MemoryDepsOfLoad(
+    const Instruction* load) const {
+  std::vector<Instruction*> deps;
+  MemoryLocation loc = AccessLocation(load);
+  for (Instruction* store : stores_) {
+    if (!CanExecuteBefore(store, load)) {
+      continue;
+    }
+    if (Alias(AccessLocation(store), loc) != AliasResult::kNoAlias) {
+      deps.push_back(store);
+    }
+  }
+  for (Instruction* call : calls_) {
+    if (!CanExecuteBefore(call, load)) {
+      continue;
+    }
+    if (CalleeMayWrite(Cast<CallInst>(call), loc)) {
+      deps.push_back(call);
+    }
+  }
+  std::sort(deps.begin(), deps.end(), [&](Instruction* a, Instruction* b) {
+    return IndexOf(a) < IndexOf(b);
+  });
+  return deps;
+}
+
+std::vector<Instruction*> DependenceGraph::MemoryDepsOfCall(
+    const Instruction* call) const {
+  std::vector<Instruction*> deps;
+  const auto* site = Cast<CallInst>(call);
+  const ModRefSummary& summary = summaries_.Of(site->callee());
+  if (!summary.MayReadAnything()) {
+    return deps;
+  }
+  for (Instruction* store : stores_) {
+    if (!CanExecuteBefore(store, call)) {
+      continue;
+    }
+    if (CalleeMayRead(site, AccessLocation(store))) {
+      deps.push_back(store);
+    }
+  }
+  return deps;
+}
+
+}  // namespace overify

@@ -1,0 +1,110 @@
+// Instruction-level dependence graph for one function, interprocedurally
+// aware through call-graph mod/ref summaries (docs/slicing.md).
+//
+// Edges the slicer walks backwards:
+//   - data:    instruction -> its instruction operands
+//   - control: instruction -> the conditional branches its block is
+//              control-dependent on (post-dominance frontiers), and
+//              phi -> the terminators of its incoming blocks
+//   - memory:  load -> stores/calls that may define the loaded location and
+//              can execute before it; call -> stores whose location the
+//              callee may read (mod/ref summaries, pruned by AliasAnalysis)
+//
+// Everything is ordered by a deterministic instruction numbering (block
+// layout order), so graph consumers are pure functions of the module.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/alias_analysis.h"
+#include "src/analysis/call_graph.h"
+#include "src/ir/dominators.h"
+#include "src/ir/function.h"
+
+namespace overify {
+
+class DependenceGraph {
+ public:
+  DependenceGraph(Function& fn, const CallGraph& call_graph,
+                  const ModRefSummaries& summaries);
+
+  // False when the function has blocks with no path to an exit (infinite
+  // loops): control dependence is then incomplete and clients that need a
+  // total answer (the slicer) must fall back.
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  Function& function() const { return fn_; }
+  const ModRefSummaries& summaries() const { return summaries_; }
+  const CallGraph& call_graph() const { return call_graph_; }
+
+  // Deterministic numbering of every instruction in every forward-reachable
+  // block, in block layout order. Instructions in unreachable blocks are not
+  // numbered (they never execute and never trap).
+  const std::vector<Instruction*>& Instructions() const { return instructions_; }
+  bool Covers(const Instruction* inst) const { return index_.count(inst) != 0; }
+  unsigned IndexOf(const Instruction* inst) const { return index_.at(inst); }
+
+  // Potential trap sites (InstructionMayTrapLocally plus calls whose callee
+  // summary says may_trap), in index order.
+  const std::vector<Instruction*>& TrapSites() const { return trap_sites_; }
+  bool IsTrapSite(const Instruction* inst) const {
+    return trap_site_set_.count(inst) != 0;
+  }
+
+  // True if `a` can execute strictly before `b` on some path: same-block
+  // program order, a CFG path between distinct blocks, or a cycle through
+  // the shared block.
+  bool CanExecuteBefore(const Instruction* a, const Instruction* b) const;
+
+  // Conditional branch instructions controlling whether `inst`'s block runs,
+  // in deterministic order.
+  std::vector<Instruction*> ControllingBranches(const Instruction* inst) const;
+
+  // Stores and calls that may define memory read by `load` and can execute
+  // before it, in index order.
+  std::vector<Instruction*> MemoryDepsOfLoad(const Instruction* load) const;
+
+  // Stores whose stored-to location the callee of `call` may read, restricted
+  // to ones that can execute before the call, in index order.
+  std::vector<Instruction*> MemoryDepsOfCall(const Instruction* call) const;
+
+  // True when the callee of `call` may read / write the location `loc`
+  // (argument-translated mod/ref summary of the callee at this site).
+  bool CalleeMayRead(const CallInst* call, const MemoryLocation& loc) const;
+  bool CalleeMayWrite(const CallInst* call, const MemoryLocation& loc) const;
+
+  const PostDominatorTree& post_dominators() const { return pdt_; }
+
+ private:
+  bool BlockReaches(BasicBlock* from, BasicBlock* to) const;
+  // Site-translated set of bases the callee may touch; `any` set when the
+  // summary (or an argument base) is unattributable.
+  void CalleeBases(const CallInst* call, bool write, std::set<Value*>* bases,
+                   bool* any) const;
+  bool LocTouchesBases(const MemoryLocation& loc, const std::set<Value*>& bases,
+                       bool any) const;
+
+  Function& fn_;
+  const CallGraph& call_graph_;
+  const ModRefSummaries& summaries_;
+  bool ok_ = true;
+  std::string error_;
+
+  PostDominatorTree pdt_;
+  std::vector<Instruction*> instructions_;
+  std::map<const Instruction*, unsigned> index_;
+  std::vector<Instruction*> trap_sites_;
+  std::set<const Instruction*> trap_site_set_;
+  // block -> bitset over block ids: which blocks are reachable via >= 1 edge.
+  std::map<BasicBlock*, unsigned> block_id_;
+  std::vector<std::vector<bool>> block_reaches_;
+  // Stores and calls, in index order, for memory-dependence scans.
+  std::vector<Instruction*> stores_;
+  std::vector<Instruction*> calls_;
+};
+
+}  // namespace overify

@@ -1,0 +1,63 @@
+// Per-check backward program slicing (docs/slicing.md).
+//
+// For every reachable potential-trap instruction in the entry function the
+// slicer computes the backward dependence cone — data, control, and memory
+// dependences from the DependenceGraph — and extracts a standalone sliced
+// entry function into the host module (callees and globals are shared; the
+// slice is self-contained in the sense that it is a complete entry point
+// closed under the functions it still calls). Instructions outside the cone
+// are dropped; conditional branches both of whose arms leave the cone
+// collapse to the branch block's immediate post-dominator.
+//
+// Soundness model ("keep real traps"): a slice for criterion C keeps every
+// potential trap that can execute before C, so no spurious trap is dropped
+// on any path that reaches C, and every kept trap's condition and gating is
+// in the cone and therefore exact. Criteria with identical kept-trap sets
+// share one slice, and keep-sets subsumed by a larger one are pruned. Every
+// emitted slice is run through the IR verifier; any failure aborts slicing
+// for the whole run (callers fall back to whole-program mode), which keeps
+// slice mode strictly conservative.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace overify {
+
+struct Slice {
+  Function* fn = nullptr;                    // slice entry, lives in the module
+  std::vector<const Instruction*> criteria;  // original trap sites covered
+  size_t instructions = 0;                   // slice entry instruction count
+};
+
+struct SliceResult {
+  bool ok = false;
+  std::string error;              // fallback reason when !ok
+  std::vector<Slice> slices;      // deterministic order
+  size_t checks_found = 0;        // reachable potential-trap sites in the entry
+  size_t entry_instructions = 0;  // original entry function size
+  // Slice instruction -> original instruction, across all slices. Used to
+  // re-attribute bug sites (and erase slices safely afterwards).
+  std::map<const Instruction*, const Instruction*> to_original;
+};
+
+class Slicer {
+ public:
+  Slicer(Module& module, Function* entry);
+
+  // Builds all slices. On failure (!ok) no slice functions remain in the
+  // module. The result is a pure function of the module contents.
+  SliceResult Run();
+
+  // Unlinks every slice function from the module (they have no call sites).
+  static void EraseSlices(Module& module, SliceResult& result);
+
+ private:
+  Module& module_;
+  Function* entry_;
+};
+
+}  // namespace overify

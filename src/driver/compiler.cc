@@ -1,5 +1,11 @@
 #include "src/driver/compiler.h"
 
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "src/analysis/slicer.h"
+#include "src/exec/interpreter.h"
 #include "src/frontend/codegen.h"
 #include "src/ir/verifier.h"
 #include "src/support/statistics.h"
@@ -7,6 +13,98 @@
 #include "src/vlibc/vlibc.h"
 
 namespace overify {
+
+namespace {
+
+// Per-check slice verification (docs/slicing.md): run the engine once per
+// slice, merge the shards, re-attribute bug sites to the original module,
+// and replay every bug input through the full-program concrete interpreter
+// (the soundness oracle). The merged result is a pure function of
+// (module, options, limits): slices are built in deterministic order and
+// each per-slice run is itself deterministic.
+SymexResult AnalyzeSliced(CompileResult& compiled, Function* entry_fn,
+                          unsigned input_bytes, const SymexLimits& limits,
+                          const SymexOptions& options) {
+  Module& module = *compiled.module;
+  Slicer slicer(module, entry_fn);
+  SliceResult slices = slicer.Run();
+
+  if (!slices.ok) {
+    // Whole-program fallback, counted: slice mode must never lose bugs, so
+    // an unsliceable module (infinite loop, verifier rejection) degrades to
+    // the ordinary run.
+    SymbolicExecutor engine(module, options);
+    SymexResult result = engine.Run(entry_fn, input_bytes, limits);
+    result.metrics.Inc(Counter::kSliceFallbacks);
+    result.FinalizeFromMetrics();
+    return result;
+  }
+
+  SymexResult merged;
+  MetricsShard shard;
+  shard.Set(Counter::kSliceChecksFound, slices.checks_found);
+  shard.Set(Counter::kSlicesBuilt, slices.slices.size());
+  shard.Set(Counter::kSliceEntryInstructions, slices.entry_instructions);
+  merged.exhausted = true;
+
+  std::set<std::tuple<const Instruction*, BugKind, std::string>> seen;
+  unsigned index = 0;
+  for (const Slice& slice : slices.slices) {
+    shard.Add(Counter::kSliceConeInstructions, slice.instructions);
+    if (slices.entry_instructions > 0) {
+      shard.Record(Hist::kSliceConeRatioPct,
+                   slice.instructions * 100 / slices.entry_instructions);
+    }
+    SymexOptions slice_options = options;
+    if (!options.trace_path.empty()) {
+      slice_options.trace_path =
+          options.trace_path + ".slice" + std::to_string(index);
+    }
+    ++index;
+    SymbolicExecutor engine(module, slice_options);
+    SymexResult result = engine.Run(slice.fn, input_bytes, limits);
+    if (!result.ok) {
+      Slicer::EraseSlices(module, slices);
+      return result;
+    }
+    merged.exhausted = merged.exhausted && result.exhausted;
+    if (merged.stop_cause == StopCause::kNone) {
+      merged.stop_cause = result.stop_cause;
+    }
+    merged.wall_seconds += result.wall_seconds;
+    merged.workers = std::max(merged.workers, result.workers);
+    shard.Merge(result.metrics);
+    for (BugReport bug : result.bugs) {
+      // Re-attribute the site to the original module: slices are erased
+      // after the run, so a clone pointer must not escape. Sites inside
+      // shared callees are already original instructions.
+      auto it = slices.to_original.find(bug.site);
+      if (it != slices.to_original.end()) {
+        bug.site = it->second;
+      }
+      if (seen.emplace(bug.site, bug.kind, bug.message).second) {
+        merged.bugs.push_back(std::move(bug));
+      }
+    }
+  }
+
+  // Soundness oracle: every slice bug's model must reproduce on the full
+  // program. Bugs are kept either way (the caller's confirmation discipline
+  // is the authority); the counters make a divergence loud.
+  for (const BugReport& bug : merged.bugs) {
+    Interpreter interp(module);
+    InterpResult replay = interp.Run(entry_fn, bug.example_input);
+    shard.Inc(!replay.ok ? Counter::kSliceReplayConfirmed
+                         : Counter::kSliceReplayFailed);
+  }
+
+  Slicer::EraseSlices(module, slices);
+  merged.metrics = shard;
+  merged.FinalizeFromMetrics();
+  return merged;
+}
+
+}  // namespace
 
 CompileResult Compiler::CompileWithOptions(const std::string& program_source,
                                            const PipelineOptions& options,
@@ -31,7 +129,9 @@ CompileResult Compiler::CompileWithOptions(const std::string& program_source,
   result.annotations = std::make_unique<ProgramAnnotations>();
   auto stats_before = StatisticsRegistry::Global().Snapshot();
 
-  PassManager pm(/*verify_after_each=*/true);
+  // Inter-pass IR verification follows the build-level default
+  // (kVerifyIRAfterEachPass: debug builds and -DOVERIFY_VERIFY_IR=ON).
+  PassManager pm;
   BuildPipeline(pm, options, result.annotations.get());
   pm.Run(*result.module);
 
@@ -72,6 +172,14 @@ SymexResult Analyze(CompileResult& compiled, const std::string& entry, unsigned 
   SymexOptions options = base_options;
   if (compiled.annotations != nullptr && compiled.annotations->size() > 0) {
     options.annotations = compiled.annotations.get();
+  }
+  if (options.slice_checks) {
+    Function* entry_fn = compiled.module->GetFunction(entry);
+    if (entry_fn != nullptr && !entry_fn->IsDeclaration()) {
+      return AnalyzeSliced(compiled, entry_fn, input_bytes, limits, options);
+    }
+    // Missing entry: fall through so the engine produces its structured
+    // entry-contract error.
   }
   SymbolicExecutor engine(*compiled.module, options);
   return engine.Run(entry, input_bytes, limits);

@@ -1,6 +1,7 @@
 #include "src/ir/dominators.h"
 
 #include <algorithm>
+#include <set>
 
 #include "src/ir/cfg.h"
 
@@ -112,6 +113,171 @@ bool DominatorTree::ValueDominatesUse(const Instruction* def, const Instruction*
 const std::vector<BasicBlock*>& DominatorTree::Children(BasicBlock* block) const {
   auto it = children_.find(block);
   return it == children_.end() ? empty_ : it->second;
+}
+
+PostDominatorTree::PostDominatorTree(Function& fn) : fn_(fn) {
+  // Forward-reachable blocks, in forward RPO: the node universe. The reverse
+  // graph adds a virtual exit (nullptr) whose successors are the exit blocks.
+  std::vector<BasicBlock*> forward_rpo = ReversePostOrder(fn);
+  std::set<BasicBlock*> reachable(forward_rpo.begin(), forward_rpo.end());
+  auto preds = PredecessorMap(fn);
+
+  std::vector<BasicBlock*> exits;
+  for (BasicBlock* block : forward_rpo) {
+    if (block->Successors().empty()) {
+      exits.push_back(block);
+    }
+  }
+
+  // Reverse-graph successors: CFG predecessors (restricted to reachable
+  // blocks); the virtual exit's successors are the exit blocks.
+  auto rev_succs = [&](BasicBlock* node) {
+    std::vector<BasicBlock*> out;
+    if (node == nullptr) {
+      return exits;
+    }
+    for (BasicBlock* pred : preds[node]) {
+      if (reachable.count(pred)) {
+        out.push_back(pred);
+      }
+    }
+    return out;
+  };
+
+  // Iterative post-order DFS over the reverse graph from the virtual exit,
+  // then reversed: reverse-graph RPO with the virtual exit first.
+  std::vector<BasicBlock*> post_order;
+  std::set<BasicBlock*> visited_blocks;
+  bool visited_ve = false;
+  struct Frame {
+    BasicBlock* node;
+    std::vector<BasicBlock*> succs;
+    size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  visited_ve = true;
+  stack.push_back({nullptr, rev_succs(nullptr)});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next < frame.succs.size()) {
+      BasicBlock* succ = frame.succs[frame.next++];
+      if (visited_blocks.insert(succ).second) {
+        stack.push_back({succ, rev_succs(succ)});
+      }
+      continue;
+    }
+    post_order.push_back(frame.node);
+    stack.pop_back();
+  }
+  (void)visited_ve;
+  rpo_.assign(post_order.rbegin(), post_order.rend());
+  for (size_t i = 0; i < rpo_.size(); ++i) {
+    rpo_index_[rpo_[i]] = i;
+  }
+
+  // Cooper–Harvey–Kennedy on the reverse graph. Reverse-graph predecessors
+  // of a block are its CFG successors, plus the virtual exit for exit blocks.
+  pdom_[nullptr] = nullptr;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BasicBlock* block : rpo_) {
+      if (block == nullptr) {
+        continue;
+      }
+      BasicBlock* new_pdom = nullptr;
+      bool have = false;
+      auto consider = [&](BasicBlock* rev_pred) {
+        if (rpo_index_.count(rev_pred) == 0 || pdom_.count(rev_pred) == 0) {
+          return;
+        }
+        if (!have) {
+          new_pdom = rev_pred;
+          have = true;
+        } else {
+          new_pdom = Intersect(rev_pred, new_pdom);
+        }
+      };
+      if (block->Successors().empty()) {
+        consider(nullptr);  // virtual exit
+      }
+      for (BasicBlock* succ : block->Successors()) {
+        consider(succ);
+      }
+      if (have && (pdom_.count(block) == 0 || pdom_[block] != new_pdom)) {
+        pdom_[block] = new_pdom;
+        changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock* PostDominatorTree::Intersect(BasicBlock* a, BasicBlock* b) const {
+  while (a != b) {
+    while (rpo_index_.at(a) > rpo_index_.at(b)) {
+      a = pdom_.at(a);
+    }
+    while (rpo_index_.at(b) > rpo_index_.at(a)) {
+      b = pdom_.at(b);
+    }
+  }
+  return a;
+}
+
+BasicBlock* PostDominatorTree::ImmediatePostDominator(BasicBlock* block) const {
+  auto it = pdom_.find(block);
+  return it == pdom_.end() ? nullptr : it->second;
+}
+
+bool PostDominatorTree::HasInfo(BasicBlock* block) const {
+  return block != nullptr && pdom_.count(block) != 0;
+}
+
+bool PostDominatorTree::PostDominates(BasicBlock* a, BasicBlock* b) const {
+  if (!HasInfo(a) || !HasInfo(b)) {
+    return false;
+  }
+  // Walk b's post-dominator chain up to the virtual exit.
+  for (BasicBlock* node = b; node != nullptr; node = pdom_.at(node)) {
+    if (node == a) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::map<BasicBlock*, std::vector<BasicBlock*>>&
+PostDominatorTree::ControlDependencies() {
+  if (control_deps_computed_) {
+    return control_deps_;
+  }
+  control_deps_computed_ = true;
+  // Forward RPO for deterministic iteration and output order.
+  std::vector<BasicBlock*> forward_rpo = ReversePostOrder(fn_);
+  for (BasicBlock* u : forward_rpo) {
+    const auto* term = u->Terminator();
+    const auto* br = DynCast<BranchInst>(term);
+    if (br == nullptr || !br->IsConditional() || !HasInfo(u)) {
+      continue;
+    }
+    BasicBlock* stop = pdom_.at(u);  // may be the virtual exit (nullptr)
+    for (BasicBlock* succ : u->Successors()) {
+      // Every node on the pdom path from succ up to (excluding) pdom(u) is
+      // control-dependent on u. Includes u itself for loop back-edges.
+      BasicBlock* runner = succ;
+      while (runner != stop) {
+        if (!HasInfo(runner)) {
+          break;  // cannot reach exit; no post-dominance info to walk
+        }
+        auto& deps = control_deps_[runner];
+        if (std::find(deps.begin(), deps.end(), u) == deps.end()) {
+          deps.push_back(u);
+        }
+        runner = pdom_.at(runner);
+      }
+    }
+  }
+  return control_deps_;
 }
 
 const std::map<BasicBlock*, std::vector<BasicBlock*>>& DominatorTree::DominanceFrontiers() {

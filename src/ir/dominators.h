@@ -49,4 +49,47 @@ class DominatorTree {
   std::vector<BasicBlock*> empty_;
 };
 
+// Post-dominator tree over the reverse CFG, with a virtual exit node unifying
+// every function exit (ret and unreachable terminators). Control dependence
+// (Ferrante–Ottenstein–Warren) falls out of the post-dominance frontiers: B is
+// control-dependent on branch block U iff U has a successor from which every
+// path reaches B but U itself is not post-dominated by B.
+//
+// Blocks inside an infinite loop cannot reach the virtual exit; they carry no
+// post-dominance information (HasInfo() is false) and clients that need total
+// information (the slicer) must detect that and fall back.
+class PostDominatorTree {
+ public:
+  explicit PostDominatorTree(Function& fn);
+
+  // The immediate post-dominator of `block`. Null when the virtual exit is
+  // the immediate post-dominator (every path from `block` leaves the function
+  // without a common later block) or when `block` has no info.
+  BasicBlock* ImmediatePostDominator(BasicBlock* block) const;
+
+  // True if `a` post-dominates `b` (reflexive). False when either block
+  // lacks post-dominance info.
+  bool PostDominates(BasicBlock* a, BasicBlock* b) const;
+
+  // True when `block` can reach a function exit (the post-dominance solution
+  // covers it). Forward-unreachable blocks also report false.
+  bool HasInfo(BasicBlock* block) const;
+
+  // For each block B, the blocks whose conditional terminator B is
+  // control-dependent on, in deterministic forward-RPO order. Computed
+  // lazily, cached. Blocks without post-dominance info are absent.
+  const std::map<BasicBlock*, std::vector<BasicBlock*>>& ControlDependencies();
+
+ private:
+  // Nodes are BasicBlock* with nullptr standing for the virtual exit.
+  BasicBlock* Intersect(BasicBlock* a, BasicBlock* b) const;
+
+  Function& fn_;
+  std::vector<BasicBlock*> rpo_;                 // reverse-graph RPO (VE first)
+  std::map<BasicBlock*, size_t> rpo_index_;      // includes nullptr == VE
+  std::map<BasicBlock*, BasicBlock*> pdom_;      // node -> immediate pdom node
+  std::map<BasicBlock*, std::vector<BasicBlock*>> control_deps_;
+  bool control_deps_computed_ = false;
+};
+
 }  // namespace overify

@@ -28,6 +28,18 @@ class FunctionPass : public Pass {
   virtual bool RunOnFunction(Function& fn) = 0;
 };
 
+// Whether the pass manager verifies the IR between pipeline passes by
+// default: on in debug builds and whenever the build defines
+// OVERIFY_VERIFY_IR (the CMake option of the same name; the sanitizer CI
+// job turns it on), off in plain release builds where the per-pass
+// verification cost buys nothing the test suite's explicit verifier checks
+// do not already cover.
+#if defined(OVERIFY_VERIFY_IR) || !defined(NDEBUG)
+inline constexpr bool kVerifyIRAfterEachPass = true;
+#else
+inline constexpr bool kVerifyIRAfterEachPass = false;
+#endif
+
 class PassManager {
  public:
   struct Timing {
@@ -37,7 +49,7 @@ class PassManager {
   };
 
   // When true, the IR verifier runs after every pass and aborts on breakage.
-  explicit PassManager(bool verify_after_each = true)
+  explicit PassManager(bool verify_after_each = kVerifyIRAfterEachPass)
       : verify_after_each_(verify_after_each) {}
 
   void Add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
@@ -46,6 +58,7 @@ class PassManager {
   bool Run(Module& module);
 
   const std::vector<Timing>& timings() const { return timings_; }
+  bool verify_after_each() const { return verify_after_each_; }
 
  private:
   std::vector<std::unique_ptr<Pass>> passes_;

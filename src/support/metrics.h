@@ -83,17 +83,26 @@ namespace overify {
   X(kFaultStealBatch, "fault.steal_batch", false)             \
   X(kFaultWorkerStalls, "fault.worker_stalls", false)         \
   X(kFaultWorkerDeaths, "fault.worker_deaths", false)         \
-  X(kFaultDraws, "fault.draws", false)
+  X(kFaultDraws, "fault.draws", false)                        \
+  X(kSliceChecksFound, "slice.checks_found", true)            \
+  X(kSlicesBuilt, "slice.built", true)                        \
+  X(kSliceConeInstructions, "slice.cone_instructions", true)  \
+  X(kSliceEntryInstructions, "slice.entry_instructions", true) \
+  X(kSliceFallbacks, "slice.fallbacks", true)                 \
+  X(kSliceReplayConfirmed, "slice.replay_confirmed", true)    \
+  X(kSliceReplayFailed, "slice.replay_failed", true)
 
 // X-macro: (enum name, dotted display name). Query, core-search, path-run
 // and steal-batch latencies are recorded whenever the shard's timing flag is
 // on; the cache-lookup, preprocess and fork-decide sub-spans are trace-only
 // (their events are often cheaper than a clock-read pair, so metrics mode
 // skips them — docs/observability.md#overhead).
-// kCoreConflictDepth is the one non-latency histogram: it records the
-// decision depth of every core-search conflict (a raw level count, not
-// nanoseconds), so observability can tell shallow thrashing from deep
-// near-miss search. It bypasses the timing gate — recording costs a few
+// kCoreConflictDepth and kSliceConeRatioPct are the non-latency histograms:
+// kCoreConflictDepth records the decision depth of every core-search
+// conflict (a raw level count, not nanoseconds), so observability can tell
+// shallow thrashing from deep near-miss search; kSliceConeRatioPct records
+// each emitted slice's size as a percentage of the original entry function
+// (docs/slicing.md). Both bypass the timing gate — recording costs a few
 // adds, no clock reads.
 #define OVERIFY_METRIC_HISTS(X)            \
   X(kSolverQueryNs, "solver.query_ns")     \
@@ -103,7 +112,8 @@ namespace overify {
   X(kPreprocessNs, "preprocess.extend_ns") \
   X(kForkDecideNs, "engine.fork_decide_ns") \
   X(kPathRunNs, "engine.path_run_ns")      \
-  X(kStealBatchNs, "steal.batch_ns")
+  X(kStealBatchNs, "steal.batch_ns")       \
+  X(kSliceConeRatioPct, "slice.cone_ratio_pct")
 
 enum class Counter : uint32_t {
 #define OVERIFY_COUNTER_ENUM(name, str, det) name,

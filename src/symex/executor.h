@@ -173,6 +173,13 @@ struct SymexOptions {
   // default (seed 0); tests and the robustness differential harness enable
   // it to exercise the graceful-degradation contract (docs/robustness.md).
   FaultConfig faults;
+  // Per-check slice verification (docs/slicing.md): the driver slices the
+  // entry function to each check's backward dependence cone and verifies
+  // the slices instead of the whole module, replaying every bug through the
+  // full-program concrete interpreter as the soundness oracle. Falls back
+  // to whole-program mode (counted in slice.fallbacks) when slicing is not
+  // possible. Only honored by Analyze(); a raw SymbolicExecutor ignores it.
+  bool slice_checks = false;
   // Latency-histogram timing for engine runs (two clock reads per solver
   // query / fork decision / path). On by default: engine queries are
   // microseconds-scale, so the overhead is noise — and SymexResult then

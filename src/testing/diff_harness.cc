@@ -27,6 +27,9 @@ std::string LatticeCell::Name() const {
       << (shared_interner ? "shared" : "legacy") << "/"
       << (solver_preprocess ? "prep" : "noprep") << "/"
       << (solver_learning ? "learn" : "nolearn") << "/" << SearchStrategyName(strategy);
+  if (slice_checks) {
+    out << "/slice";
+  }
   return out.str();
 }
 
@@ -37,6 +40,7 @@ SymexOptions LatticeCell::ToOptions() const {
   options.solver_preprocess = solver_preprocess;
   options.solver_learning = solver_learning;
   options.strategy = strategy;
+  options.slice_checks = slice_checks;
   return options;
 }
 
@@ -113,14 +117,17 @@ std::vector<LatticeCell> FullLattice(const DiffOptions& options) {
         for (bool preprocess : options.preprocess) {
           for (bool learning : options.learning) {
             for (SearchStrategy strategy : options.strategies) {
-              LatticeCell cell;
-              cell.level = level;
-              cell.jobs = jobs;
-              cell.shared_interner = shared;
-              cell.solver_preprocess = preprocess;
-              cell.solver_learning = learning;
-              cell.strategy = strategy;
-              cells.push_back(cell);
+              for (bool slice : options.slicing) {
+                LatticeCell cell;
+                cell.level = level;
+                cell.jobs = jobs;
+                cell.shared_interner = shared;
+                cell.solver_preprocess = preprocess;
+                cell.solver_learning = learning;
+                cell.strategy = strategy;
+                cell.slice_checks = slice;
+                cells.push_back(cell);
+              }
             }
           }
         }
@@ -199,14 +206,21 @@ DiffReport RunDifferential(const std::string& name, const std::string& source,
     }
 
     // Within one level every scheduler/solver cell must produce the same
-    // canonical signature; the first cell is the reference.
-    bool have_reference = false;
-    RunSignature reference;
-    LatticeCell reference_cell;
+    // canonical signature; the first cell is the reference. Slice-mode cells
+    // form their own reference group — their path/fork counts are per-slice
+    // sums, comparable only to other slice cells (the cross-level semantic
+    // comparison below still ties the two groups' bug sets together).
+    struct LevelReference {
+      bool have = false;
+      RunSignature signature;
+      LatticeCell cell;
+    };
+    std::map<bool, LevelReference> references;  // keyed by slice_checks
     for (const LatticeCell& cell : FullLattice(options)) {
       if (cell.level != level) {
         continue;
       }
+      LevelReference& ref = references[cell.slice_checks];
       SymexResult result =
           Analyze(compiled, options.entry, sym_bytes, options.limits, cell.ToOptions());
       if (!result.ok) {
@@ -227,24 +241,24 @@ DiffReport RunDifferential(const std::string& name, const std::string& source,
              << signature.ToString() << "\n";
       }
 
-      if (!have_reference) {
-        have_reference = true;
-        reference = signature;
-        reference_cell = cell;
+      if (!ref.have) {
+        ref.have = true;
+        ref.signature = signature;
+        ref.cell = cell;
       } else {
         // Counts are only contractual on exhausted runs; when exhaustion is
         // not required, capped cells fall back to the semantic comparison
-        // below, and the reference is promoted to the level's first
+        // below, and the reference is promoted to the group's first
         // *exhausted* cell so exhausted cells are still held to the
         // bit-identical contract against each other.
         bool comparable = options.require_exhausted ||
-                          (reference.exhausted && signature.exhausted);
-        if (comparable && signature != reference) {
-          DescribeMismatch(diff, reference_cell, reference, cell, signature);
+                          (ref.signature.exhausted && signature.exhausted);
+        if (comparable && signature != ref.signature) {
+          DescribeMismatch(diff, ref.cell, ref.signature, cell, signature);
         }
-        if (!options.require_exhausted && !reference.exhausted && signature.exhausted) {
-          reference = signature;
-          reference_cell = cell;
+        if (!options.require_exhausted && !ref.signature.exhausted && signature.exhausted) {
+          ref.signature = signature;
+          ref.cell = cell;
         }
       }
 
@@ -266,7 +280,12 @@ DiffReport RunDifferential(const std::string& name, const std::string& source,
         }
       }
     }
-    if (!have_reference) {
+    bool any_ran = false;
+    for (const auto& [slice, ref] : references) {
+      (void)slice;
+      any_ran = any_ran || ref.have;
+    }
+    if (!any_ran) {
       diff << "no cells ran at " << OptLevelName(level) << "\n";
     }
   }

@@ -53,8 +53,15 @@ struct LatticeCell {
   bool solver_preprocess = true;
   bool solver_learning = true;
   SearchStrategy strategy = SearchStrategy::kDfs;
+  // Per-check slice verification (docs/slicing.md). Slice-mode path/fork
+  // counts are per-slice sums, so slice cells form their own bit-identical
+  // reference group within a level; the cross-level semantic comparison
+  // still holds them to the same (kind, confirmed) bug set as whole-program
+  // cells.
+  bool slice_checks = false;
 
-  // "O3/j4/shared/prep/learn/dfs" — stable, greppable cell id.
+  // "O3/j4/shared/prep/learn/dfs" — stable, greppable cell id; slice-mode
+  // cells append "/slice".
   std::string Name() const;
   SymexOptions ToOptions() const;
 };
@@ -127,6 +134,11 @@ struct DiffOptions {
   std::vector<bool> learning = {true, false};     // solver_learning values
   std::vector<SearchStrategy> strategies = {SearchStrategy::kDfs,
                                             SearchStrategy::kCoverageGuided};
+  // Slice-mode axis (docs/slicing.md). Default spans whole-program only so
+  // the base lattice's cost is unchanged; slicing suites set {false, true}
+  // to assert slice-vs-whole verdict equivalence on top of the scheduler
+  // and solver axes.
+  std::vector<bool> slicing = {false};
   std::string entry = "umain";
   SymexLimits limits;  // callers size this so every cell exhausts
   // Replay each bug's example input through the interpreter (sets

@@ -54,12 +54,30 @@ TEST(LatticeTest, CellOptionsCarryEveryAxis) {
   cell.solver_preprocess = false;
   cell.solver_learning = false;
   cell.strategy = SearchStrategy::kCoverageGuided;
+  cell.slice_checks = true;
   SymexOptions options = cell.ToOptions();
   EXPECT_EQ(options.jobs, 4u);
   EXPECT_FALSE(options.shared_interner);
   EXPECT_FALSE(options.solver_preprocess);
   EXPECT_FALSE(options.solver_learning);
   EXPECT_EQ(options.strategy, SearchStrategy::kCoverageGuided);
+  EXPECT_TRUE(options.slice_checks);
+  EXPECT_NE(cell.Name().find("/slice"), std::string::npos);
+}
+
+TEST(LatticeTest, SlicingAxisDoublesTheLattice) {
+  DiffOptions options;
+  options.slicing = {false, true};
+  auto cells = FullLattice(options);
+  EXPECT_EQ(cells.size(), 192u);
+  size_t sliced = 0;
+  for (const LatticeCell& cell : cells) {
+    if (cell.slice_checks) {
+      ++sliced;
+      EXPECT_NE(cell.Name().find("/slice"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(sliced, 96u);
 }
 
 TEST(SignatureTest, SemanticSignatureDedupsKindsAndKeepsConfirmation) {
@@ -136,6 +154,39 @@ TEST(DifferentialTest, BuggyProgramAgreesWithConfirmedModels) {
   }
 }
 
+// Slice mode finds the same confirmed bugs as whole-program mode, per
+// level, through the harness's semantic comparison: each check's backward
+// cone keeps the trap condition exact (docs/slicing.md).
+TEST(DifferentialTest, SliceModeAgreesOnABuggyProgram) {
+  DiffOptions options;
+  options.jobs = {1};
+  options.interners = {true};
+  options.preprocess = {true};
+  options.learning = {true};
+  options.strategies = {SearchStrategy::kDfs};
+  options.slicing = {false, true};
+  options.limits.max_seconds = 60;
+  DiffReport report = RunDifferential("div_bug_sliced", R"(
+    int umain(unsigned char *in, int n) {
+      int d = in[0] - 'a';
+      if (in[1] == 'q') { return in[2] / d; }   /* d == 0 when in[0] == 'a' */
+      return 0;
+    }
+  )",
+                                      3, options);
+  EXPECT_TRUE(report.ok) << report.diff;
+  for (const auto& cell : report.cells) {
+    bool found = false;
+    for (const auto& bug : cell.signature.bugs) {
+      if (bug.kind == BugKind::kDivByZero) {
+        found = true;
+        EXPECT_TRUE(bug.confirmed) << cell.cell.Name();
+      }
+    }
+    EXPECT_TRUE(found) << cell.cell.Name();
+  }
+}
+
 // Capped cells are reported (and fail the report) when exhaustion is
 // required: an infinite path-space program cannot exhaust.
 TEST(DifferentialTest, CappedCellsFailWhenExhaustionIsRequired) {
@@ -171,6 +222,27 @@ TEST_P(WorkloadDifferentialTest, LatticeAgreesAtFourBytes) {
   options.limits.max_seconds = 120;
   DiffReport report = RunDifferential(*workload, /*sym_bytes=*/4, options);
   EXPECT_TRUE(report.ok) << report.diff;
+}
+
+// The slicing axis (docs/slicing.md) on a reduced scheduler lattice: every
+// tier-1 workload must produce the same semantic verdict — identical sorted
+// distinct (kind, confirmed) bug sets — whether the engine verifies the
+// whole program or one slice per check, at every optimization level.
+TEST_P(WorkloadDifferentialTest, SliceModeAgreesWithWholeProgram) {
+  const Workload* workload = FindWorkload(GetParam());
+  ASSERT_NE(workload, nullptr) << GetParam();
+  DiffOptions options;
+  options.jobs = {1, 4};
+  options.interners = {true};
+  options.preprocess = {true};
+  options.learning = {true};
+  options.strategies = {SearchStrategy::kDfs};
+  options.slicing = {false, true};
+  options.limits.max_seconds = 120;
+  DiffReport report = RunDifferential(*workload, /*sym_bytes=*/4, options);
+  EXPECT_TRUE(report.ok) << report.diff;
+  // 3 levels x 2 worker counts x 2 slice modes all ran.
+  EXPECT_EQ(report.cells.size(), 12u);
 }
 
 // The sample covers the suite's idiom classes while keeping tier-1 wall
@@ -235,6 +307,30 @@ TEST_P(SlowSuiteDifferentialTest, FullLatticeAtDefaultWidth) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Lattice, SlowSuiteDifferentialTest,
+                         ::testing::ValuesIn(CoreutilsSuite()),
+                         [](const ::testing::TestParamInfo<Workload>& info) {
+                           return info.param.name;
+                         });
+
+// Slow-tier slicing sweep: the whole suite at default widths through the
+// slice-vs-whole axis crossed with both worker counts and both search
+// strategies (the scheduler axes most likely to perturb per-slice runs).
+class SlowSlicingDifferentialTest : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(SlowSlicingDifferentialTest, SliceModeAgreesAtDefaultWidth) {
+  const Workload& workload = GetParam();
+  DiffOptions options;
+  options.interners = {true};
+  options.preprocess = {true};
+  options.learning = {true};
+  options.slicing = {false, true};
+  options.limits.max_paths = 400000;
+  options.limits.max_seconds = 120;
+  DiffReport report = RunDifferential(workload, /*sym_bytes=*/0, options);
+  EXPECT_TRUE(report.ok) << report.diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lattice, SlowSlicingDifferentialTest,
                          ::testing::ValuesIn(CoreutilsSuite()),
                          [](const ::testing::TestParamInfo<Workload>& info) {
                            return info.param.name;

@@ -104,6 +104,15 @@ TEST(PipelineTest, LevelOptionsEncodeThePapersFourDifferences) {
   EXPECT_FALSE(o3.use_verify_libc);
 }
 
+TEST(PassManagerTest, InterPassVerificationFollowsTheBuildDefault) {
+  // Debug builds and -DOVERIFY_VERIFY_IR=ON verify the IR between pipeline
+  // passes; plain release builds skip it (src/passes/pass.h).
+  PassManager pm;
+  EXPECT_EQ(pm.verify_after_each(), kVerifyIRAfterEachPass);
+  PassManager forced(/*verify_after_each=*/true);
+  EXPECT_TRUE(forced.verify_after_each());
+}
+
 TEST(PassManagerTest, ReportsTimingsAndChangeFlags) {
   auto m = ParseModuleOrDie(R"(
     func @umain(%in: i8*, %n: i32) -> i32 {
