@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "src/cache/persist.h"
 #include "src/symex/solver.h"
 #include "src/workloads/textgen.h"
 #include "src/workloads/workloads.h"
@@ -192,6 +193,56 @@ void BM_ExploreWcAtO3(benchmark::State& state) {
   ReportLatencyStats(state, last);
 }
 BENCHMARK(BM_ExploreWcAtO3);
+
+// Warm-persisted exploration (docs/daemon.md): one cold run harvests its
+// counterexample cache into a CacheStore, then every timed iteration
+// replays the verification with the store attached — through a full byte
+// round trip of the store per iteration, so each warm run consumes the
+// serialized form exactly as a fresh process would. The headline counter is
+// persist_rate = persist_hits / (persist_hits + core_queries): the fraction
+// of would-be core searches the persisted entries answered. run_benches.sh
+// --check gates it at >= 0.5 (a warm run must answer at least half its
+// solver queries from the store; in practice it answers all of them).
+void BM_ExploreWcWarmPersist(benchmark::State& state) {
+  Compiler compiler;
+  CompileResult compiled = compiler.Compile(WcListing1(), OptLevel::kOverify);
+  SymexLimits limits;
+  limits.max_seconds = 30;
+  CacheStore store;
+  SymexOptions cold_options;
+  cold_options.cache_store = &store;
+  SymexResult cold = Analyze(compiled, "umain", 6, limits, cold_options);
+  if (!cold.ok || !cold.exhausted) {
+    state.SkipWithError("cold harvest run did not exhaust");
+    return;
+  }
+  const std::vector<uint8_t> bytes = store.Serialize();
+  SymexResult last;
+  for (auto _ : state) {
+    CacheStore reloaded;
+    reloaded.Deserialize(bytes);
+    SymexOptions options;
+    options.cache_store = &reloaded;
+    last = Analyze(compiled, "umain", 6, limits, options);
+    benchmark::DoNotOptimize(last.paths_completed);
+  }
+  const double hits = static_cast<double>(last.metrics.Get(Counter::kPersistHits));
+  const double core_queries =
+      static_cast<double>(last.metrics.Get(Counter::kSolverCoreQueries));
+  state.counters["paths"] = static_cast<double>(last.paths_completed);
+  state.counters["solver_queries"] = static_cast<double>(last.solver.queries);
+  state.counters["persist_seeded"] =
+      static_cast<double>(last.metrics.Get(Counter::kPersistSeeded));
+  state.counters["persist_hits"] = hits;
+  state.counters["persist_validations"] =
+      static_cast<double>(last.metrics.Get(Counter::kPersistValidations));
+  state.counters["persist_rejects"] =
+      static_cast<double>(last.metrics.Get(Counter::kPersistRejects));
+  state.counters["core_queries"] = core_queries;
+  state.counters["persist_rate"] =
+      hits + core_queries > 0 ? hits / (hits + core_queries) : 0.0;
+}
+BENCHMARK(BM_ExploreWcWarmPersist);
 
 // Suite-scale macro benchmarks: the two widest workloads of the Coreutils
 // suite (docs/workloads.md), explored at their full default symbolic width.

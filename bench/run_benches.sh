@@ -55,7 +55,7 @@ MICRO_JSON="$(mktemp)"
 trap 'rm -f "$MICRO_JSON"' EXIT
 
 "$BUILD_DIR/bench_micro" \
-  --benchmark_filter='BM_ExprInterning|BM_SolverSingleByteQuery|BM_SolverMultiByteRelation|BM_FilterIndependent|BM_ExploreWcAtOverify|BM_ExploreWcAtO3|BM_ExploreCksumWideAtOverify|BM_ExploreSumBlockAtOverify|BM_ExploreCksumWideSliceAtOverify|BM_ExploreSumBlockSliceAtOverify|BM_ParallelExploreWc' \
+  --benchmark_filter='BM_ExprInterning|BM_SolverSingleByteQuery|BM_SolverMultiByteRelation|BM_FilterIndependent|BM_ExploreWcAtOverify|BM_ExploreWcAtO3|BM_ExploreCksumWideAtOverify|BM_ExploreSumBlockAtOverify|BM_ExploreCksumWideSliceAtOverify|BM_ExploreSumBlockSliceAtOverify|BM_ExploreWcWarmPersist|BM_ParallelExploreWc' \
   --benchmark_format=json --benchmark_min_time=0.5 >"$MICRO_JSON"
 
 python3 - "$MICRO_JSON" "$OUT" <<'PY'
@@ -84,14 +84,15 @@ for b in micro.get("benchmarks", []):
                 "preprocess_bindings", "preprocess_tautologies",
                 "workers", "steals", "steal_batches", "steal_reintern",
                 "slice_checks_found", "slices_built", "slice_fallbacks",
-                "slice_cone_pct_max"):
+                "slice_cone_pct_max", "persist_seeded", "persist_hits",
+                "persist_validations", "persist_rejects", "core_queries"):
         if key in b:
             entry[key] = int(b[key])
     # Latency percentiles and hit rates from the metrics registry
     # (docs/observability.md). Informational: timing-derived, so the
     # --check gate below never diffs them.
     for key in ("solver_p50_ns", "solver_p95_ns", "cache_hit_rate",
-                "slice_cone_pct_mean"):
+                "slice_cone_pct_mean", "persist_rate"):
         if key in b:
             entry[key] = round(float(b[key]), 6)
     m = re.match(r"BM_ParallelExploreWc/(\d+)", b["name"])
@@ -188,6 +189,29 @@ for whole_name in ("BM_ExploreCksumWideAtOverify", "BM_ExploreSumBlockAtOverify"
               f"{whole_name} = {whole_q}")
         failed.append(slice_name)
 
+# Warm persisted-cache effectiveness (docs/daemon.md): a warm run must
+# answer at least BENCH_PERSIST_RATE_MIN of its would-be core searches from
+# the persisted store (persist_rate = persist_hits / (persist_hits +
+# core_queries)). This is the acceptance bar of the cross-run cache: below
+# it, persistence exists but does not pay.
+PERSIST_RATE_MIN = float(os.environ.get("BENCH_PERSIST_RATE_MIN", "0.5"))
+warm = fresh.get("BM_ExploreWcWarmPersist")
+if warm is None:
+    print("BM_ExploreWcWarmPersist: missing from fresh run")
+    failed.append("BM_ExploreWcWarmPersist")
+else:
+    rate = warm.get("persist_rate", 0.0)
+    print(f"BM_ExploreWcWarmPersist: warm persist_rate = {rate:.3f} "
+          f"(persist_hits = {warm.get('persist_hits', 0)}, "
+          f"core_queries = {warm.get('core_queries', 0)}; gate >= {PERSIST_RATE_MIN})")
+    if rate < PERSIST_RATE_MIN:
+        failed.append("BM_ExploreWcWarmPersist")
+    if warm.get("persist_rejects", 0) != 0:
+        print(f"BM_ExploreWcWarmPersist: persist_rejects = "
+              f"{warm['persist_rejects']} (a clean same-binary store must "
+              f"validate fully)")
+        failed.append("BM_ExploreWcWarmPersist")
+
 # Structural invariant of the default scheduler configuration: the shared
 # interner means stolen states never re-intern. Steal *traffic* is
 # scheduling-dependent and not diffed, but this counter is exactly zero on
@@ -236,10 +260,12 @@ else:
 if failed:
     print(f"\nregression gate FAILED (wall > {THRESHOLD}x, paths/core-search "
           f"counters drifted, slice-mode queries exceeded whole-program, "
+          f"warm persist_rate below {PERSIST_RATE_MIN}, "
           f"or steal_reintern != 0): "
           f"{', '.join(failed)}")
     sys.exit(1)
 print(f"\nregression gate passed (threshold {THRESHOLD}x; paths and "
-      "core-search counters exact; steal path re-intern-free)")
+      f"core-search counters exact; warm persist_rate >= {PERSIST_RATE_MIN}; "
+      "steal path re-intern-free)")
 PY
 fi

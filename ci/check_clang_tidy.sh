@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # clang-tidy gate over src/ (ci job: tidy).
 #
-# Usage: ci/check_clang_tidy.sh <build-dir> [baseline]
+# Usage: ci/check_clang_tidy.sh [--prune] <build-dir> [baseline]
 #
 # Runs clang-tidy (checks from the committed .clang-tidy) over every
 # src/**/*.cc translation unit using the build tree's compile_commands.json,
@@ -9,13 +9,22 @@
 # against the committed baseline (ci/clang-tidy-baseline.txt by default):
 #
 #  - a pair not in the baseline fails the gate (new debt);
-#  - a baseline entry that no longer fires is reported as stale (warning
-#    only) so paid-down debt gets pruned.
+#  - a baseline entry that no longer fires is stale: without --prune it
+#    FAILS the gate too (CI keeps the baseline honest — paid-down debt must
+#    be pruned in the same change that paid it); with --prune the script
+#    rewrites the baseline in place, dropping the stale entries, and exits 0
+#    if that was the only problem. Run `ci/check_clang_tidy.sh --prune
+#    build` locally and commit the result.
 #
 # The baseline may be empty: the gate then requires a fully clean run.
 set -u -o pipefail
 
-build_dir="${1:?usage: ci/check_clang_tidy.sh <build-dir> [baseline]}"
+prune=0
+if [ "${1:-}" = "--prune" ]; then
+  prune=1
+  shift
+fi
+build_dir="${1:?usage: ci/check_clang_tidy.sh [--prune] <build-dir> [baseline]}"
 baseline="${2:-ci/clang-tidy-baseline.txt}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
@@ -48,9 +57,29 @@ allowed="$(grep -v '^#' "$baseline" 2>/dev/null | sed '/^[[:space:]]*$/d' | sort
 new="$(comm -23 <(printf '%s\n' "$found" | sed '/^$/d') <(printf '%s\n' "$allowed" | sed '/^$/d'))"
 stale="$(comm -13 <(printf '%s\n' "$found" | sed '/^$/d') <(printf '%s\n' "$allowed" | sed '/^$/d'))"
 
+stale_failed=0
 if [ -n "$stale" ]; then
-  echo "stale baseline entries (no longer fire — prune them from $baseline):"
-  printf '  %s\n' $stale
+  if [ "$prune" = 1 ]; then
+    echo "pruning stale baseline entries from $baseline:"
+    printf '  %s\n' $stale
+    # Keep comments and blank lines (the file documents its own format);
+    # drop only the entries that no longer fire.
+    pruned="$(mktemp)"
+    while IFS= read -r line; do
+      case "$line" in
+        ''|'#'*) printf '%s\n' "$line" >>"$pruned"; continue ;;
+      esac
+      if printf '%s\n' "$found" | grep -qxF "$line"; then
+        printf '%s\n' "$line" >>"$pruned"
+      fi
+    done <"$baseline"
+    mv "$pruned" "$baseline"
+  else
+    echo "stale baseline entries (no longer fire):"
+    printf '  %s\n' $stale
+    echo "run 'ci/check_clang_tidy.sh --prune $build_dir' and commit $baseline"
+    stale_failed=1
+  fi
 fi
 
 if [ -n "$new" ]; then
@@ -65,6 +94,10 @@ if [ -n "$new" ]; then
   done <<<"$new"
   echo
   echo "fix the findings or add deliberate suppressions to $baseline"
+  exit 1
+fi
+
+if [ "$stale_failed" = 1 ]; then
   exit 1
 fi
 

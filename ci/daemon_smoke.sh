@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Warm-daemon smoke test (ci job: daemon).
+#
+# Usage: ci/daemon_smoke.sh <build-dir> [store-file]
+#
+# Boots the verification daemon from examples/coreutils_explore, then proves
+# the three properties the persistent cache claims:
+#
+#  1. Soundness — every RunSignature the daemon returns is bit-identical to
+#     an in-process run of the same workload (`--signature` is the reference).
+#     Workloads that hit the wall-clock cap (signature starts with CAPPED,
+#     e.g. factor) are excluded: where the deadline lands is timing-dependent
+#     by construction, so their path counts legitimately differ between runs.
+#  2. Warmth — a second client pass over the suite is answered from the
+#     daemon's run cache (Stats must show run hits > 0 and zero store rejects).
+#  3. Persistence — after a daemon restart over the saved store, a
+#     --force-run re-execution of wc answers solver queries from the
+#     persisted entries (persist hits > 0), still with the same signature.
+#
+# The store file is left behind for CI to upload as an artifact.
+set -eu -o pipefail
+
+build_dir="${1:?usage: ci/daemon_smoke.sh <build-dir> [store-file]}"
+store="${2:-$build_dir/daemon-smoke-store.bin}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+explore="$build_dir/coreutils_explore"
+if [ ! -x "$explore" ]; then
+  echo "error: $explore missing — build the project first" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+sock="$workdir/daemon.sock"
+daemon_pid=""
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+start_daemon() {
+  "$explore" --daemon="$sock" --store="$store" &
+  daemon_pid=$!
+  # The daemon unlinks any stale socket, then binds; wait for the file.
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && return 0
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "error: daemon died on startup" >&2; exit 1; }
+    sleep 0.1
+  done
+  echo "error: daemon socket never appeared at $sock" >&2
+  exit 1
+}
+
+stop_daemon() {
+  "$explore" --connect="$sock" --shutdown >/dev/null
+  wait "$daemon_pid"
+  daemon_pid=""
+}
+
+rm -f "$store"
+
+# "signature <name> exhausted ..." lines are deterministic; "CAPPED" ones
+# stopped on the wall clock and are compared only by name.
+stable_sigs() { awk '$1 == "signature" && $3 == "exhausted"' "$1" | sort; }
+
+echo "== reference: in-process signatures over the suite =="
+"$explore" --signature >"$workdir/reference.raw"
+grep -c '^signature ' "$workdir/reference.raw" >"$workdir/total" || true
+total="$(cat "$workdir/total")"
+stable_sigs "$workdir/reference.raw" >"$workdir/reference.txt"
+ref_count="$(wc -l <"$workdir/reference.txt")"
+echo "   $total workloads, $ref_count with deterministic (exhausted) signatures"
+
+echo "== pass 1: cold client through the daemon =="
+start_daemon
+"$explore" --connect="$sock" >"$workdir/pass1.txt"
+stable_sigs "$workdir/pass1.txt" >"$workdir/pass1.sigs"
+
+echo "== pass 2: warm client (same daemon, expects run-cache hits) =="
+"$explore" --connect="$sock" --stats >"$workdir/pass2.txt"
+stable_sigs "$workdir/pass2.txt" >"$workdir/pass2.sigs"
+
+echo "== soundness: daemon signatures vs in-process reference =="
+for pass in pass1 pass2; do
+  if ! diff -u "$workdir/reference.txt" "$workdir/$pass.sigs"; then
+    echo "FAIL: $pass daemon signatures differ from the in-process reference" >&2
+    exit 1
+  fi
+done
+echo "   all $ref_count exhausted-workload signatures bit-identical in both passes"
+
+echo "== warmth: second pass must be answered from the run cache =="
+run_hits="$(awk -F'|' '/run hits/ {gsub(/ /,"",$3); print $3}' "$workdir/pass2.txt")"
+store_rejects="$(awk -F'|' '/store rejects/ {gsub(/ /,"",$3); print $3}' "$workdir/pass2.txt")"
+if [ -z "$run_hits" ] || [ "$run_hits" -lt "$total" ]; then
+  echo "FAIL: expected >= $total run-cache hits on the warm pass, got '${run_hits:-none}'" >&2
+  exit 1
+fi
+if [ "${store_rejects:-0}" != 0 ]; then
+  echo "FAIL: daemon rejected $store_rejects persisted entries" >&2
+  exit 1
+fi
+echo "   $run_hits run-cache hits, 0 store rejects"
+
+echo "== persistence: restart over the saved store, force re-execution =="
+stop_daemon
+[ -f "$store" ] || { echo "FAIL: daemon did not save its store to $store" >&2; exit 1; }
+start_daemon
+"$explore" --connect="$sock" --force-run wc >"$workdir/warm.txt"
+grep '^signature wc ' "$workdir/warm.txt" >"$workdir/warm.sig"
+if ! grep -qxF "$(cat "$workdir/warm.sig")" "$workdir/reference.txt"; then
+  echo "FAIL: post-restart forced run of wc changed its signature" >&2
+  diff -u <(grep '^signature wc ' "$workdir/reference.txt") "$workdir/warm.sig" >&2 || true
+  exit 1
+fi
+# Table row: | wc | executed | yes | paths | bugs | hits/queries | ... — the
+# persisted solver cache must answer at least one query on the forced rerun.
+persist_hits="$(awk -F'|' '$2 ~ /^ wc / {gsub(/ /,"",$7); split($7, a, "/"); print a[1]}' "$workdir/warm.txt")"
+if [ -z "$persist_hits" ] || [ "$persist_hits" -le 0 ]; then
+  echo "FAIL: forced warm rerun of wc took ${persist_hits:-no} persisted solver hits" >&2
+  cat "$workdir/warm.txt" >&2
+  exit 1
+fi
+echo "   forced wc rerun: $persist_hits solver queries answered from the persisted store"
+
+stop_daemon
+echo "daemon smoke test passed (store artifact: $store)"

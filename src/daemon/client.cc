@@ -1,0 +1,130 @@
+#include "src/daemon/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/support/serialize.h"
+
+namespace overify {
+namespace daemon {
+
+Client::~Client() { Close(); }
+
+bool Client::Connect(const std::string& socket_path) {
+  Close();
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    error_ = "socket path too long: " + socket_path;
+    return false;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = "socket(): " + std::string(std::strerror(errno));
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = "connect(" + socket_path + "): " + std::string(std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  error_.clear();
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::Call(const std::vector<uint8_t>& request, std::vector<uint8_t>& response) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  if (!WriteFrame(fd_, request)) {
+    error_ = "request write failed (daemon gone?)";
+    return false;
+  }
+  if (!ReadFrame(fd_, response)) {
+    error_ = "response read failed (daemon gone?)";
+    return false;
+  }
+  return true;
+}
+
+bool Client::SimpleCall(RequestTag tag) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(tag));
+  std::vector<uint8_t> response;
+  if (!Call(w.Take(), response)) {
+    return false;
+  }
+  ByteReader r(response);
+  if (r.U8() != 0) {
+    error_ = r.Str();
+    return false;
+  }
+  return true;
+}
+
+bool Client::Analyze(const AnalyzeRequest& request, AnalyzeReply& reply) {
+  std::vector<uint8_t> response;
+  if (!Call(EncodeAnalyzeRequest(request), response)) {
+    return false;
+  }
+  if (!DecodeAnalyzeReply(response, reply)) {
+    error_ = "malformed analyze reply";
+    return false;
+  }
+  return true;
+}
+
+bool Client::Ping() {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RequestTag::kPing));
+  std::vector<uint8_t> response;
+  if (!Call(w.Take(), response)) {
+    return false;
+  }
+  ByteReader r(response);
+  if (r.U8() != 0) {
+    error_ = "ping rejected";
+    return false;
+  }
+  const uint32_t version = r.U32();
+  if (!r.ok() || version != kDaemonProtocolVersion) {
+    error_ = "protocol version mismatch: daemon speaks v" + std::to_string(version) +
+             ", client v" + std::to_string(kDaemonProtocolVersion);
+    return false;
+  }
+  return true;
+}
+
+bool Client::Stats(StatsReply& reply) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(RequestTag::kStats));
+  std::vector<uint8_t> response;
+  if (!Call(w.Take(), response)) {
+    return false;
+  }
+  if (!DecodeStatsReply(response, reply)) {
+    error_ = "malformed stats reply";
+    return false;
+  }
+  return true;
+}
+
+bool Client::SaveStore() { return SimpleCall(RequestTag::kSaveStore); }
+
+bool Client::Shutdown() { return SimpleCall(RequestTag::kShutdown); }
+
+}  // namespace daemon
+}  // namespace overify

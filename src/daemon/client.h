@@ -1,0 +1,49 @@
+// Client side of the verification daemon protocol (docs/daemon.md).
+//
+// Wraps a connected Unix-socket fd in typed request/response calls. Every
+// call is synchronous: one frame out, one frame in. A false return means
+// the transport failed (daemon gone, frame garbled); protocol-level errors
+// come back through the reply's ok/error fields instead.
+#pragma once
+
+#include <string>
+
+#include "src/daemon/protocol.h"
+
+namespace overify {
+namespace daemon {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects to the daemon's Unix socket. False (with a message in
+  // `error()`) when the socket is absent or refuses.
+  bool Connect(const std::string& socket_path);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+  bool Analyze(const AnalyzeRequest& request, AnalyzeReply& reply);
+  // Liveness check; also verifies the server speaks our protocol version.
+  bool Ping();
+  bool Stats(StatsReply& reply);
+  bool SaveStore();
+  bool Shutdown();
+
+ private:
+  // One round trip; false on transport failure.
+  bool Call(const std::vector<uint8_t>& request, std::vector<uint8_t>& response);
+  // For bodyless-ok requests (save/shutdown): sends one tag byte and checks
+  // the response status.
+  bool SimpleCall(RequestTag tag);
+
+  int fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace daemon
+}  // namespace overify

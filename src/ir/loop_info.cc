@@ -93,6 +93,10 @@ LoopInfo::LoopInfo(Function& fn, DominatorTree& dom) {
   // scanning RPO backwards: inner loops get created before outer ones merge
   // them in.
   const std::vector<BasicBlock*>& rpo = dom.ReversePostOrderBlocks();
+  std::map<BasicBlock*, unsigned> rpo_index;
+  for (unsigned i = 0; i < rpo.size(); ++i) {
+    rpo_index[rpo[i]] = i;
+  }
 
   for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
     BasicBlock* header = *it;
@@ -109,14 +113,14 @@ LoopInfo::LoopInfo(Function& fn, DominatorTree& dom) {
 
     auto loop = std::make_unique<Loop>();
     loop->header_ = header;
-    loop->blocks_.insert(header);
+    loop->block_set_.insert(header);
 
     // Walk backwards from the latches to the header.
     std::vector<BasicBlock*> worklist = latches;
     while (!worklist.empty()) {
       BasicBlock* block = worklist.back();
       worklist.pop_back();
-      if (!loop->blocks_.insert(block).second) {
+      if (!loop->block_set_.insert(block).second) {
         continue;
       }
       for (BasicBlock* pred : preds[block]) {
@@ -125,6 +129,13 @@ LoopInfo::LoopInfo(Function& fn, DominatorTree& dom) {
         }
       }
     }
+    // Materialize the member list in reverse postorder, never in set
+    // (pointer) order: passes derive hoist and clone order from it.
+    loop->blocks_.assign(loop->block_set_.begin(), loop->block_set_.end());
+    std::sort(loop->blocks_.begin(), loop->blocks_.end(),
+              [&rpo_index](BasicBlock* a, BasicBlock* b) {
+                return rpo_index[a] < rpo_index[b];
+              });
     loops_.push_back(std::move(loop));
   }
 
@@ -133,7 +144,7 @@ LoopInfo::LoopInfo(Function& fn, DominatorTree& dom) {
   for (auto& inner : loops_) {
     Loop* best = nullptr;
     for (auto& outer : loops_) {
-      if (outer.get() == inner.get() || !outer->blocks_.count(inner->header_)) {
+      if (outer.get() == inner.get() || !outer->block_set_.count(inner->header_)) {
         continue;
       }
       if (best == nullptr || best->blocks_.size() > outer->blocks_.size()) {

@@ -14,8 +14,12 @@ namespace overify {
 class Loop {
  public:
   BasicBlock* header() const { return header_; }
-  const std::set<BasicBlock*>& blocks() const { return blocks_; }
-  bool Contains(BasicBlock* block) const { return blocks_.count(block) != 0; }
+  // Member blocks in reverse postorder. The order is part of the contract:
+  // transformation passes iterate it to pick hoist/clone order, so it must
+  // not depend on allocation addresses (a pointer-ordered set here once made
+  // compiled IR — and therefore module content hashes — vary run to run).
+  const std::vector<BasicBlock*>& blocks() const { return blocks_; }
+  bool Contains(BasicBlock* block) const { return block_set_.count(block) != 0; }
   bool Contains(const Loop* other) const;
 
   Loop* parent() const { return parent_; }
@@ -40,7 +44,8 @@ class Loop {
  private:
   friend class LoopInfo;
   BasicBlock* header_ = nullptr;
-  std::set<BasicBlock*> blocks_;
+  std::vector<BasicBlock*> blocks_;   // reverse postorder
+  std::set<BasicBlock*> block_set_;   // same blocks, for O(log n) Contains
   Loop* parent_ = nullptr;
   std::vector<Loop*> subloops_;
   unsigned depth_ = 1;

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/cache/persist.h"
 #include "src/sched/translate.h"
 #include "src/support/string_utils.h"
 #include "src/support/trace.h"
@@ -183,11 +184,17 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
   // One shared, lock-striped interner per multi-worker run: every worker's
   // ExprContext builds into it, so stolen states run anywhere without a
   // re-intern pass. A single worker (or the legacy A/B configuration)
-  // keeps private per-worker interners, which elide the shard locks.
-  const bool share_interner = options_.shared_interner && jobs > 1;
+  // keeps private per-worker interners, which elide the shard locks. A warm
+  // interner from a long-lived host (the daemon) takes precedence over
+  // both: the run interns into it, so repeated runs of the same module skip
+  // rebuilding the expression DAG.
+  ExprInterner* run_interner = options_.warm_interner;
+  const bool share_interner =
+      run_interner != nullptr || (options_.shared_interner && jobs > 1);
   std::unique_ptr<ExprInterner> interner;
-  if (share_interner) {
+  if (run_interner == nullptr && share_interner) {
     interner = std::make_unique<ExprInterner>(/*concurrent=*/true);
+    run_interner = interner.get();
   }
 
   // Engines (contexts, solver caches, metrics shards) are per-run; queues
@@ -221,9 +228,28 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
 
   for (unsigned w = 0; w < jobs; ++w) {
     engines.push_back(std::make_unique<EngineCore>(module_, options_, shared, slots,
-                                                   num_input_bytes, w, interner.get()));
+                                                   num_input_bytes, w, run_interner));
     engines[w]->set_trace(trace_sink != nullptr ? trace_sink->buffer(w) : nullptr);
     queues_[w]->BeginRun(shared);
+  }
+
+  // Cross-run persistence (src/cache/persist.h): seed every worker's
+  // counterexample cache from the store's blob for this exact (module
+  // content, options) pair before the first query. Entries are addressed by
+  // portable content hashes, so a blob harvested by another process (or the
+  // daemon's previous run) resolves here; persisted SAT models arrive
+  // unvalidated and are re-checked against live constraints at first use.
+  uint64_t persist_module_hash = 0;
+  uint64_t persist_options_fp = 0;
+  if (options_.cache_store != nullptr) {
+    persist_module_hash = ModuleContentHash(module_);
+    persist_options_fp = OptionsFingerprint(options_);
+    if (RunBlob* blob =
+            options_.cache_store->FindRun(persist_module_hash, persist_options_fp)) {
+      for (const auto& engine : engines) {
+        SeedChain(*blob, engine->solver());
+      }
+    }
   }
 
   queues_[0]->PushFork(engines[0]->MakeInitialState(entry));
@@ -267,7 +293,7 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
           // to the victim context's generation counter, so detach that.
           state->solver_prefix.interval_memo_generation = 0;
           if (options_.validate_steals) {
-            ValidateStateInterned(*state, *interner);
+            ValidateStateInterned(*state, *run_interner);
           }
         }
       } else {
@@ -385,6 +411,21 @@ SymexResult WorkerPool::Run(Function* entry, unsigned num_input_bytes,
   for (const auto& engine : engines) {
     engine->SyncMetrics();
     result.metrics.Merge(engine->metrics_shard());
+  }
+  // Harvest the run's counterexample caches back into the store: append
+  // (deduplicated by set hash) into the existing blob so entries the warm
+  // run never touched survive, creating the blob on a first cold run. The
+  // run signature on the blob is maintained by the store's host (daemon or
+  // driver), which computes it from the aggregated result.
+  if (options_.cache_store != nullptr) {
+    RunBlob* blob =
+        options_.cache_store->FindRun(persist_module_hash, persist_options_fp);
+    if (blob == nullptr) {
+      blob = &options_.cache_store->PutRun(persist_module_hash, persist_options_fp);
+    }
+    for (const auto& engine : engines) {
+      HarvestChain(engine->solver(), *blob);
+    }
   }
   // Worker deaths are the claimed count (bounded by max_worker_deaths), not
   // the raw draw fires accumulated from the per-worker injector stats.

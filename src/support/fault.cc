@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "src/support/assert.h"
+#include "src/support/env.h"
 
 namespace overify {
 
@@ -64,31 +66,56 @@ FaultConfig FaultConfig::FromEnv() {
   FaultConfig config;
   const char* seed = std::getenv("OVERIFY_FAULT_SEED");
   if (seed == nullptr || *seed == '\0') {
-    return config;  // disabled
+    return config;  // disabled — unset/empty is the documented off switch
   }
-  config.seed = std::strtoull(seed, nullptr, 0);
-  if (const char* period = std::getenv("OVERIFY_FAULT_PERIOD")) {
-    uint64_t value = std::strtoull(period, nullptr, 0);
-    config.period = value == 0 ? 1 : static_cast<uint32_t>(value);
+  // A garbage seed used to strtoull to 0, which silently *disabled*
+  // injection: a robustness CI sweep with a mistyped seed tested nothing.
+  // Strict parsing keeps injection off but says so.
+  EnvParse parse = ParseEnvUint64("OVERIFY_FAULT_SEED", 1, UINT64_MAX, &config.seed);
+  ReportEnvError(parse);
+  if (!parse.ok) {
+    return config;  // disabled, loudly
+  }
+  uint64_t period = 0;
+  parse = ParseEnvUint64("OVERIFY_FAULT_PERIOD", 1, UINT32_MAX, &period);
+  ReportEnvError(parse);
+  if (parse.ok) {
+    config.period = static_cast<uint32_t>(period);
   }
   if (const char* sites = std::getenv("OVERIFY_FAULT_SITES")) {
+    // All-or-nothing: one unknown site name rejects the whole list (keeping
+    // the all-sites default) instead of silently running a narrower
+    // experiment than the sweep asked for.
     uint32_t mask = 0;
+    bool valid = true;
     const char* p = sites;
-    while (*p != '\0') {
+    while (true) {
       const char* end = std::strchr(p, ',');
       size_t len = end == nullptr ? std::strlen(p) : static_cast<size_t>(end - p);
+      bool known = false;
       for (unsigned s = 0; s < static_cast<unsigned>(FaultSite::kNumSites); ++s) {
         const char* name = FaultSiteName(static_cast<FaultSite>(s));
         if (len == std::strlen(name) && std::strncmp(p, name, len) == 0) {
           mask |= 1u << s;
+          known = true;
         }
+      }
+      if (!known) {
+        EnvParse reject;
+        reject.present = true;
+        reject.error = "invalid OVERIFY_FAULT_SITES=\"" + std::string(sites) +
+                       "\": unknown site \"" + std::string(p, len) +
+                       "\" (expected comma-separated site names); using default";
+        ReportEnvError(reject);
+        valid = false;
+        break;
       }
       if (end == nullptr) {
         break;
       }
       p = end + 1;
     }
-    if (mask != 0) {
+    if (valid && mask != 0) {
       config.sites = mask;
     }
   }

@@ -49,8 +49,10 @@ struct FaultConfig {
 
   // Reads OVERIFY_FAULT_SEED / OVERIFY_FAULT_PERIOD / OVERIFY_FAULT_SITES
   // (comma-separated site names; absent = all). Returns the disabled config
-  // when OVERIFY_FAULT_SEED is unset — tests use this to join a CI seed
-  // sweep without code changes.
+  // when OVERIFY_FAULT_SEED is unset or empty — tests use this to join a CI
+  // seed sweep without code changes. Parsing is strict (src/support/env.h):
+  // a malformed value keeps the compiled-in default and prints a one-line
+  // diagnostic rather than silently running a different experiment.
   static FaultConfig FromEnv();
 };
 

@@ -75,6 +75,16 @@ namespace overify {
   X(kPrefixSubsetHits, "prefix.subset_hits", false)           \
   X(kPrefixSupersetHits, "prefix.superset_hits", false)       \
   X(kPrefixModelHits, "prefix.model_hits", false)             \
+  X(kPrefixCollisions, "prefix.collisions", false)            \
+  X(kPersistSeeded, "persist.seeded", false)                  \
+  X(kPersistHits, "persist.hits", false)                      \
+  X(kPersistValidations, "persist.validations", false)        \
+  X(kPersistRejects, "persist.rejects", false)                \
+  X(kDaemonRequests, "daemon.requests", false)                \
+  X(kDaemonRunHits, "daemon.run_hits", false)                 \
+  X(kDaemonRunMisses, "daemon.run_misses", false)             \
+  X(kDaemonRunEvictions, "daemon.run_evictions", false)       \
+  X(kDaemonStoreRejects, "daemon.store_rejects", false)       \
   X(kSteals, "steal.states", false)                           \
   X(kStealBatches, "steal.batches", false)                    \
   X(kStealReintern, "steal.reintern", false)                  \

@@ -1,0 +1,110 @@
+// Little-endian byte serialization for the persisted cache store.
+//
+// The store (src/cache/persist.h) must be bit-identical across machines:
+// the same logical content always serializes to the same bytes, no matter
+// the host's endianness or word width. ByteWriter therefore emits every
+// integer explicitly little-endian byte by byte, and ByteReader is fully
+// bounds-checked — a truncated or corrupted buffer flips a sticky fail flag
+// instead of reading past the end, so loaders can treat any `!ok()` as
+// "reject the store and fall back cold".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace overify {
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U16(uint16_t v) {
+    U8(static_cast<uint8_t>(v));
+    U8(static_cast<uint8_t>(v >> 8));
+  }
+  void U32(uint32_t v) {
+    U16(static_cast<uint16_t>(v));
+    U16(static_cast<uint16_t>(v >> 16));
+  }
+  void U64(uint64_t v) {
+    U32(static_cast<uint32_t>(v));
+    U32(static_cast<uint32_t>(v >> 32));
+  }
+  // Length-prefixed (u64) byte string.
+  void Blob(const std::vector<uint8_t>& v) {
+    U64(v.size());
+    bytes_.insert(bytes_.end(), v.begin(), v.end());
+  }
+  void Str(const std::string& v) {
+    U64(v.size());
+    bytes_.insert(bytes_.end(), v.begin(), v.end());
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data_[pos_++];
+  }
+  uint16_t U16() {
+    const uint16_t lo = U8();
+    const uint16_t hi = U8();
+    return static_cast<uint16_t>(lo | (hi << 8));
+  }
+  uint32_t U32() {
+    const uint32_t lo = U16();
+    const uint32_t hi = U16();
+    return lo | (hi << 16);
+  }
+  uint64_t U64() {
+    const uint64_t lo = U32();
+    const uint64_t hi = U32();
+    return lo | (hi << 32);
+  }
+  std::vector<uint8_t> Blob() {
+    const uint64_t size = U64();
+    if (!Need(size)) return {};
+    std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + size);
+    pos_ += size;
+    return out;
+  }
+  std::string Str() {
+    const uint64_t size = U64();
+    if (!Need(size)) return {};
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), size);
+    pos_ += size;
+    return out;
+  }
+
+  // False once any read ran past the end; all subsequent reads return 0.
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool Need(uint64_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace overify

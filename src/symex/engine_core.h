@@ -169,6 +169,10 @@ class EngineCore {
   void set_trace(TraceBuffer* trace);
   TraceBuffer* trace();
   const SolverStats& solver_stats() const;
+  // This worker's solver chain, exposed for cross-run persistence: the pool
+  // seeds it from the CacheStore's run blob before exploration and harvests
+  // its counterexample cache afterwards (src/cache/persist.h).
+  SolverChain& solver();
   const std::map<std::pair<const Instruction*, BugKind>, BugCandidate>& bugs() const;
   ExprContext& ctx();
   // This worker's fault injector (disabled unless SymexOptions::faults is).

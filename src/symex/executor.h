@@ -28,6 +28,8 @@
 
 namespace overify {
 
+class CacheStore;
+
 enum class BugKind {
   kDivByZero,
   kOutOfBounds,
@@ -192,6 +194,18 @@ struct SymexOptions {
   // docs/observability.md). Empty falls back to the OVERIFY_TRACE
   // environment variable; unset disables tracing at near-zero cost.
   std::string trace_path;
+  // Cross-run persistence (docs/daemon.md): when non-null, every worker's
+  // solver chain is seeded from the store's run blob for (module content
+  // hash, options fingerprint) before exploration and harvested back into
+  // it afterwards. The caller owns the store and decides when to Save() it;
+  // verdicts are unchanged either way (persisted SAT models are re-validated
+  // at first use, never trusted).
+  CacheStore* cache_store = nullptr;
+  // Warm expression interner owned by a long-lived host (the verification
+  // daemon): when non-null, the run interns into it instead of building a
+  // fresh one, so repeated runs of the same module skip re-construction of
+  // the expression DAG. Must be a concurrent interner when jobs > 1.
+  ExprInterner* warm_interner = nullptr;
   // DEPRECATED: pre-scheduler search toggle, kept so existing callers
   // compile unchanged. Read only through EffectiveStrategy(): setting it to
   // false selects BFS unless `strategy` was set explicitly.

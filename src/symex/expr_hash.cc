@@ -1,0 +1,109 @@
+#include "src/symex/expr_hash.h"
+
+namespace overify {
+
+namespace {
+
+// Walk tags outside the ExprKind value range: a repeat visit of a shared
+// subtree folds kRefTag + the subtree's first-visit ordinal, and the
+// symbol-index table appended after the walk opens with kTableTag. Both are
+// part of the serialized hash definition — changing them (or anything else
+// in this file) invalidates persisted stores and requires a
+// kCacheStoreVersion bump (src/cache/persist.h).
+constexpr uint8_t kRefTag = 0xFF;
+constexpr uint8_t kTableTag = 0xFE;
+
+// One constraint's walk: depth-first (a, b, c), symbols numbered by first
+// occurrence, shared subtrees by first-visit ordinal. Recursive like the
+// engine's evaluators — constraint DAGs are depth-bounded by the workloads'
+// expression-building patterns, not by path length.
+struct HashWalk {
+  PortableHasher hasher;
+  std::unordered_map<const Expr*, uint32_t> ordinal_of;
+  std::unordered_map<unsigned, uint32_t> number_of;  // symbol index -> De Bruijn number
+  std::vector<unsigned> symbol_table;                // De Bruijn number -> symbol index
+
+  void Walk(const Expr* e) {
+    auto [it, fresh] = ordinal_of.emplace(e, static_cast<uint32_t>(ordinal_of.size()));
+    if (!fresh) {
+      hasher.Fold(kRefTag);
+      hasher.Fold(it->second);
+      return;
+    }
+    hasher.Fold(static_cast<uint8_t>(e->kind()));
+    hasher.Fold(static_cast<uint8_t>(e->width()));
+    switch (e->kind()) {
+      case ExprKind::kConstant:
+        hasher.Fold(e->constant_value());
+        return;
+      case ExprKind::kSymbol: {
+        auto [sym, added] =
+            number_of.emplace(e->symbol_index(), static_cast<uint32_t>(symbol_table.size()));
+        if (added) {
+          symbol_table.push_back(e->symbol_index());
+        }
+        hasher.Fold(sym->second);
+        return;
+      }
+      case ExprKind::kExtract:
+        hasher.Fold(static_cast<uint32_t>(e->extract_offset()));
+        break;
+      default:
+        break;
+    }
+    // Arity is determined by the kind (already folded), so child folds need
+    // no per-slot separators.
+    for (const Expr* child : {e->a(), e->b(), e->c()}) {
+      if (child != nullptr) {
+        Walk(child);
+      }
+    }
+  }
+
+  uint64_t Finish() {
+    hasher.Fold(kTableTag);
+    hasher.Fold(static_cast<uint32_t>(symbol_table.size()));
+    for (unsigned sym : symbol_table) {
+      hasher.Fold(static_cast<uint32_t>(sym));
+    }
+    return hasher.hash();
+  }
+};
+
+}  // namespace
+
+uint64_t PortableExprHash(const Expr* root) {
+  HashWalk walk;
+  walk.Walk(root);
+  return walk.Finish();
+}
+
+uint64_t PortableHashCache::Hash(const Expr* root) {
+  const size_t id = static_cast<size_t>(root->id());
+  if (id < valid_.size() && valid_[id] != 0) {
+    return values_[id];
+  }
+  const uint64_t h = PortableExprHash(root);
+  if (id >= valid_.size()) {
+    // Grow past the id like the contexts' eval memos: amortized by the
+    // interner's dense id allocation.
+    const size_t size = std::max(id + 1, valid_.size() + valid_.size() / 2);
+    valid_.resize(size, 0);
+    values_.resize(size, 0);
+  }
+  valid_[id] = 1;
+  values_[id] = h;
+  return h;
+}
+
+uint64_t PortableSetFingerprint(const std::vector<const Expr*>& canonical,
+                                PortableHashCache& cache) {
+  PortableHasher hasher;
+  hasher.Fold(static_cast<uint64_t>(canonical.size()));
+  for (const Expr* c : canonical) {
+    hasher.Fold(cache.Hash(c));
+  }
+  return hasher.hash();
+}
+
+}  // namespace overify

@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/support/env.h"
 #include "src/support/trace.h"
 
 namespace overify {
@@ -172,28 +173,29 @@ struct ActiveClause {
 }  // namespace
 
 CdclConfig CdclConfigFromEnv() {
+  // Strict parsing (src/support/env.h): a mistyped sweep value used to be
+  // silently treated as 0 or partially parsed, which ran a *different*
+  // parameter point than the CI matrix claimed. Now anything that is not a
+  // complete in-range literal keeps the compiled-in default and reports a
+  // structured diagnostic.
   CdclConfig config;
-  if (const char* base = std::getenv("OVERIFY_CDCL_RESTART_BASE")) {
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(base, &end, 10);
-    if (end != base && v > 0) {
-      config.restart_base = v;
-    }
+  uint64_t v = 0;
+  EnvParse parse = ParseEnvUint64("OVERIFY_CDCL_RESTART_BASE", 1, uint64_t{1} << 32, &v);
+  if (parse.ok) {
+    config.restart_base = v;
   }
-  if (const char* decay = std::getenv("OVERIFY_CDCL_DECAY")) {
-    char* end = nullptr;
-    double v = std::strtod(decay, &end);
-    if (end != decay && v > 0.0 && v <= 1.0) {
-      config.activity_decay = v;
-    }
+  ReportEnvError(parse);
+  double decay = 0;
+  parse = ParseEnvDouble("OVERIFY_CDCL_DECAY", 1e-6, 1.0, &decay);
+  if (parse.ok) {
+    config.activity_decay = decay;
   }
-  if (const char* clauses = std::getenv("OVERIFY_CDCL_CLAUSES")) {
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(clauses, &end, 10);
-    if (end != clauses && v > 0) {
-      config.clause_capacity = v;
-    }
+  ReportEnvError(parse);
+  parse = ParseEnvUint64("OVERIFY_CDCL_CLAUSES", 1, uint64_t{1} << 24, &v);
+  if (parse.ok) {
+    config.clause_capacity = static_cast<size_t>(v);
   }
+  ReportEnvError(parse);
   return config;
 }
 
@@ -1200,33 +1202,26 @@ std::vector<const Expr*> FilterIndependent(const std::vector<const Expr*>& const
 
 namespace {
 
-// murmur3's 64-bit finalizer: a second mixer independent of HashMix64.
-uint64_t MixHash2(uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return x;
-}
-
 struct SetHash {
   uint64_t key;          // cache index
   uint64_t fingerprint;  // independent confirmation hash
 };
 
-// Order-sensitive 64-bit hashes of the canonical (id-sorted, deduped)
+// Order-sensitive 64-bit hashes of the canonical (hash-sorted, deduped)
 // constraint set. The key folds the structural hash stored on each Expr;
-// the fingerprint folds the creation ids through a different mixer, so the
-// two are independent.
-SetHash HashConstraintSet(const std::vector<const Expr*>& canonical) {
+// the fingerprint is the portable content fingerprint
+// (src/symex/expr_hash.h), computed structurally with De Bruijn symbol
+// numbering. Both are pure functions of the set's structure — the
+// fingerprint used to fold Expr::id() (interner creation order), which made
+// identical sets from different runs confirm under different fingerprints
+// and silently defeated every cross-run cache hit.
+SetHash HashConstraintSet(const std::vector<const Expr*>& canonical,
+                          PortableHashCache& portable) {
   uint64_t h = HashMix64(0x9e3779b97f4a7c15ULL ^ canonical.size());
-  uint64_t f = MixHash2(0x2545f4914f6cdd1dULL ^ canonical.size());
   for (const Expr* c : canonical) {
     h = HashMix64(h ^ c->hash());
-    f = MixHash2(f ^ c->id());
   }
-  return SetHash{h, f};
+  return SetHash{h, PortableSetFingerprint(canonical, portable)};
 }
 
 }  // namespace
@@ -1246,14 +1241,15 @@ const PrefixCache::Entry* PrefixCache::FindExact(uint64_t set_hash,
   return &entry;
 }
 
-bool PrefixCache::HasUnsatSubsetFrom(const Node& node, const std::vector<uint64_t>& keys,
-                                     size_t i, size_t& budget) const {
+const PrefixCache::Entry* PrefixCache::FindUnsatSubsetFrom(const Node& node,
+                                                           const std::vector<uint64_t>& keys,
+                                                           size_t i, size_t& budget) const {
   if (budget == 0) {
-    return false;
+    return nullptr;
   }
   --budget;
   if (node.entry >= 0 && entries_[node.entry].result == SatResult::kUnsat) {
-    return true;  // the path to this node used only keys present in the query
+    return &entries_[node.entry];  // the path here used only keys of the query
   }
   for (const auto& [key, child] : node.children) {
     if (child->subtree_unsat == 0) {
@@ -1266,17 +1262,18 @@ bool PrefixCache::HasUnsatSubsetFrom(const Node& node, const std::vector<uint64_
     if (*it != key) {
       continue;
     }
-    if (HasUnsatSubsetFrom(*child, keys, static_cast<size_t>(it - keys.begin()) + 1,
-                           budget)) {
-      return true;
+    if (const Entry* found = FindUnsatSubsetFrom(
+            *child, keys, static_cast<size_t>(it - keys.begin()) + 1, budget)) {
+      return found;
     }
   }
-  return false;
+  return nullptr;
 }
 
-bool PrefixCache::HasUnsatSubset(const std::vector<uint64_t>& keys) const {
+const PrefixCache::Entry* PrefixCache::FindUnsatSubset(
+    const std::vector<uint64_t>& keys) const {
   size_t budget = kSearchBudget;
-  return HasUnsatSubsetFrom(root_, keys, 0, budget);
+  return FindUnsatSubsetFrom(root_, keys, 0, budget);
 }
 
 const PrefixCache::Entry* PrefixCache::FindAnySat(const Node& node, size_t& budget) const {
@@ -1406,9 +1403,18 @@ void PrefixCache::Insert(std::vector<uint64_t> keys, uint64_t set_hash, uint64_t
   OVERIFY_ASSERT(result != SatResult::kUnknown, "only definite verdicts are cached");
   auto existing = exact_.find(set_hash);
   if (existing != exact_.end()) {
-    // Same set hash (re-query after a derived hit, or a treated-impossible
-    // collision): replace wholesale.
+    // Same 128-bit identity (a re-query after a derived hit): replace
+    // wholesale. A matching set_hash with a different fingerprint or key
+    // sequence is a 64-bit collision between two distinct sets — drop the
+    // resident entry AND skip this insert, so both sets degrade to cache
+    // misses instead of one ever being served the other's verdict.
+    const Entry& resident = entries_[existing->second];
+    const bool same_set = resident.fingerprint == fingerprint && resident.keys == keys;
     RemoveEntry(existing->second);
+    if (!same_set) {
+      ++collisions_;
+      return;
+    }
   }
   while (live_ >= capacity_ && !fifo_.empty()) {
     uint32_t oldest = fifo_.front();
@@ -1459,6 +1465,27 @@ void PrefixCache::Insert(std::vector<uint64_t> keys, uint64_t set_hash, uint64_t
   ++live_;
 }
 
+void PrefixCache::InsertPersisted(std::vector<uint64_t> keys, uint64_t set_hash,
+                                  uint64_t fingerprint, SatResult result,
+                                  const std::vector<uint8_t>& model,
+                                  std::vector<LearnedClause> clauses) {
+  Insert(std::move(keys), set_hash, fingerprint, result, model, std::move(clauses));
+  auto it = exact_.find(set_hash);
+  if (it == exact_.end()) {
+    return;  // collided with a resident entry; both dropped
+  }
+  Entry& entry = entries_[it->second];
+  entry.persisted = true;
+  entry.unvalidated = result == SatResult::kSat;
+}
+
+void PrefixCache::RemoveBySetHash(uint64_t set_hash) {
+  auto it = exact_.find(set_hash);
+  if (it != exact_.end() && entries_[it->second].live) {
+    RemoveEntry(it->second);
+  }
+}
+
 // ---- SolverChain ----
 
 void SolverChain::SyncCoreCounters() const {
@@ -1477,6 +1504,7 @@ void SolverChain::SyncMetrics() const {
   m.Set(Counter::kSolverEvalMemoHits, ctx_.eval_memo_hits());
   m.Set(Counter::kSolverIntervalMemoHits, ctx_.interval_memo_hits());
   m.Set(Counter::kSolverCexEvictions, cache_.evictions());
+  m.Set(Counter::kPrefixCollisions, cache_.collisions());
   const PreprocessStats& pp = preprocessor_.stats();
   m.Set(Counter::kPreprocessBindings, pp.bindings);
   m.Set(Counter::kPreprocessSubstitutions, pp.substitutions);
@@ -1515,6 +1543,18 @@ const SolverStats& SolverChain::stats() const {
   s.core_backjumps = m.Get(Counter::kSolverCoreBackjumps);
   s.core_restarts = m.Get(Counter::kSolverCoreRestarts);
   return stats_;
+}
+
+void SolverChain::SeedPersistedEntry(std::vector<uint64_t> keys, uint64_t set_hash,
+                                     uint64_t fingerprint, SatResult result,
+                                     const std::vector<uint8_t>& model,
+                                     std::vector<LearnedClause> clauses) {
+  if (result == SatResult::kUnknown) {
+    return;  // never cached live, never seeded from a store
+  }
+  cache_.InsertPersisted(std::move(keys), set_hash, fingerprint, result, model,
+                         std::move(clauses));
+  metrics_->Inc(Counter::kPersistSeeded);
 }
 
 namespace {
@@ -1621,59 +1661,10 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
     trace_->Span(TraceKind::kCacheLookup, lookup_t0, t1, static_cast<uint64_t>(hit));
   };
 
-  // Exact counterexample-cache lookup (one hash of the constraint set).
-  const SetHash cache_key = HashConstraintSet(canonical);
-  if (!skip_cache) {
-    if (const PrefixCache::Entry* entry =
-            cache_.FindExact(cache_key.key, cache_key.fingerprint)) {
-      metrics_->Inc(Counter::kSolverCacheHits);
-      lookup_done(CacheHitClass::kExact);
-      if (model != nullptr) {
-        *model = entry->model;
-      }
-      return entry->result;
-    }
-  }
-
-  // Sorted constraint-set fingerprint for subset/superset reasoning. The
-  // canonical order is already ascending by structural hash.
-  std::vector<uint64_t> keys;
-  keys.reserve(canonical.size());
-  for (const Expr* c : canonical) {
-    keys.push_back(c->hash());
-  }
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-
-  // A cached UNSAT subset (typically this path's shorter prefix plus the
-  // refuted branch) refutes every superset.
-  if (!skip_cache && cache_.HasUnsatSubset(keys)) {
-    metrics_->Inc(Counter::kPrefixSubsetHits);
-    lookup_done(CacheHitClass::kSubset);
-    cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kUnsat,
-                  {});
-    return SatResult::kUnsat;
-  }
-
-  // A cached SAT superset's model satisfies every constraint of this query.
-  if (const PrefixCache::Entry* entry = skip_cache ? nullptr : cache_.FindSatSuperset(keys)) {
-    metrics_->Inc(Counter::kPrefixSupersetHits);
-    lookup_done(CacheHitClass::kSuperset);
-    // Copy before Insert: `entry` points into the cache's entry storage,
-    // which Insert may reallocate. The superset's clauses are NOT carried
-    // over: they were derived from a superset of this query, so they are
-    // not necessarily valid nogoods for it.
-    std::vector<uint8_t> superset_model = entry->model;
-    cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kSat,
-                  superset_model);
-    if (model != nullptr) {
-      *model = std::move(superset_model);
-    }
-    return SatResult::kSat;
-  }
-
-  // Prefix-model extension: a cached subset (the depth-k prefix of this
-  // depth-k+1 query) often has a model that already satisfies the one new
-  // constraint. Validation is a cheap memoized evaluation.
+  // Needed model width and the query-validation predicate. Hoisted above
+  // the lookup tiers because persisted entries (seeded from an on-disk
+  // store) are never trusted to be SAT witnesses until their model has been
+  // re-validated against live constraints (docs/daemon.md#trust-model).
   size_t needed = 0;
   for (const Expr* c : canonical) {
     const SupportSet& support = c->Support();
@@ -1690,6 +1681,117 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
     }
     return true;
   };
+
+  // Exact counterexample-cache lookup (one hash of the constraint set).
+  const SetHash cache_key = HashConstraintSet(canonical, portable_hashes_);
+  if (!skip_cache) {
+    if (const PrefixCache::Entry* entry =
+            cache_.FindExact(cache_key.key, cache_key.fingerprint)) {
+      bool usable = true;
+      if (entry->unvalidated) {
+        // Persisted SAT model meeting its first live query: the entry's set
+        // IS this query's set (128-bit identity), so satisfying the query
+        // validates the whole entry. UNSAT entries are seeded validated —
+        // the verdict is implied by identity plus the store checksum.
+        std::vector<uint8_t> candidate = entry->model;
+        if (candidate.size() < needed) {
+          candidate.resize(needed, 0);
+        }
+        if (satisfies(candidate)) {
+          entry->unvalidated = false;
+          metrics_->Inc(Counter::kPersistValidations);
+        } else {
+          metrics_->Inc(Counter::kPersistRejects);
+          cache_.RemoveBySetHash(cache_key.key);
+          usable = false;
+        }
+      }
+      if (usable) {
+        metrics_->Inc(Counter::kSolverCacheHits);
+        if (entry->persisted) {
+          metrics_->Inc(Counter::kPersistHits);
+        }
+        lookup_done(CacheHitClass::kExact);
+        if (model != nullptr) {
+          *model = entry->model;
+        }
+        return entry->result;
+      }
+    }
+  }
+
+  // Sorted constraint-set fingerprint for subset/superset reasoning. The
+  // canonical order is already ascending by structural hash.
+  std::vector<uint64_t> keys;
+  keys.reserve(canonical.size());
+  for (const Expr* c : canonical) {
+    keys.push_back(c->hash());
+  }
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  // A cached UNSAT subset (typically this path's shorter prefix plus the
+  // refuted branch) refutes every superset. Persisted UNSAT entries are
+  // trusted: there is no model to re-check, and the 128-bit identity plus
+  // the store checksum vouch for the verdict.
+  if (!skip_cache) {
+    if (const PrefixCache::Entry* sub = cache_.FindUnsatSubset(keys)) {
+      metrics_->Inc(Counter::kPrefixSubsetHits);
+      if (sub->persisted) {
+        metrics_->Inc(Counter::kPersistHits);
+      }
+      lookup_done(CacheHitClass::kSubset);
+      cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kUnsat,
+                    {});
+      return SatResult::kUnsat;
+    }
+  }
+
+  // A cached SAT superset's model satisfies every constraint of this query.
+  // An unvalidated persisted superset is re-checked against the live query
+  // first; a model that fails is removed (its entry can never answer
+  // correctly) and the lookup retries, so a poisoned store degrades to a
+  // miss, never to a wrong verdict. Passing validates the model *for this
+  // query only* — the entry's own (larger) set stays unvalidated.
+  while (!skip_cache) {
+    const PrefixCache::Entry* entry = cache_.FindSatSuperset(keys);
+    if (entry == nullptr) {
+      break;
+    }
+    // Copy before Insert: `entry` points into the cache's entry storage,
+    // which Insert may reallocate. The superset's clauses are NOT carried
+    // over: they were derived from a superset of this query, so they are
+    // not necessarily valid nogoods for it.
+    std::vector<uint8_t> superset_model = entry->model;
+    if (entry->unvalidated) {
+      std::vector<uint8_t> candidate = superset_model;
+      if (candidate.size() < needed) {
+        candidate.resize(needed, 0);
+      }
+      if (!satisfies(candidate)) {
+        metrics_->Inc(Counter::kPersistRejects);
+        cache_.RemoveBySetHash(entry->set_hash);
+        continue;
+      }
+      metrics_->Inc(Counter::kPersistValidations);
+    }
+    metrics_->Inc(Counter::kPrefixSupersetHits);
+    if (entry->persisted) {
+      metrics_->Inc(Counter::kPersistHits);
+    }
+    lookup_done(CacheHitClass::kSuperset);
+    cache_.Insert(std::move(keys), cache_key.key, cache_key.fingerprint, SatResult::kSat,
+                  superset_model);
+    if (model != nullptr) {
+      *model = std::move(superset_model);
+    }
+    return SatResult::kSat;
+  }
+
+  // Prefix-model extension: a cached subset (the depth-k prefix of this
+  // depth-k+1 query) often has a model that already satisfies the one new
+  // constraint. Validation is a cheap memoized evaluation — and for an
+  // unvalidated persisted subset it doubles as full validation, since the
+  // query's constraints are a superset of the entry's.
   std::vector<const PrefixCache::Entry*> subsets;
   if (!skip_cache) {
     cache_.CollectSatSubsets(keys, /*limit=*/4, subsets);
@@ -1700,7 +1802,14 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
       candidate.resize(needed, 0);
     }
     if (satisfies(candidate)) {
+      if (entry->unvalidated) {
+        entry->unvalidated = false;
+        metrics_->Inc(Counter::kPersistValidations);
+      }
       metrics_->Inc(Counter::kPrefixModelHits);
+      if (entry->persisted) {
+        metrics_->Inc(Counter::kPersistHits);
+      }
       lookup_done(CacheHitClass::kModelExtension);
       // Carry the subset's clauses forward: valid for this superset, and
       // keeping them on the deeper entry propagates learning down the
@@ -1751,6 +1860,12 @@ SatResult SolverChain::Solve(const std::vector<const Expr*>& filtered,
   seed_scratch_.clear();
   if (core_.config().learning) {
     for (const PrefixCache::Entry* entry : subsets) {
+      if (entry->unvalidated) {
+        // Clauses from a not-yet-validated persisted entry could prune
+        // satisfying assignments if the store lied; they only seed once the
+        // entry's model has survived a live re-validation.
+        continue;
+      }
       for (const LearnedClause& clause : entry->clauses) {
         seed_scratch_.push_back(&clause);
       }

@@ -29,6 +29,7 @@
 #include "src/support/fault.h"
 #include "src/support/metrics.h"
 #include "src/symex/expr.h"
+#include "src/symex/expr_hash.h"
 #include "src/symex/preprocess.h"
 
 namespace overify {
@@ -215,7 +216,11 @@ class PrefixCache {
   struct Entry {
     std::vector<uint64_t> keys;  // ascending per-constraint structural hashes
     uint64_t set_hash = 0;       // exact-lookup key (order-sensitive fold)
-    uint64_t fingerprint = 0;    // independent confirmation hash
+    // Independent confirmation hash: the portable content fingerprint of
+    // the canonical set (src/symex/expr_hash.h). Together with set_hash it
+    // forms a 128-bit identity that is stable across processes and
+    // machines — the property cross-run persistence rests on.
+    uint64_t fingerprint = 0;
     SatResult result = SatResult::kUnknown;
     std::vector<uint8_t> model;  // satisfying assignment for kSat entries
     // Top-activity nogoods learned while (or inherited from the entry this
@@ -224,13 +229,26 @@ class PrefixCache {
     // every superset (docs/solver.md#reuse).
     std::vector<LearnedClause> clauses;
     bool live = false;
+    // Loaded from a persisted cross-run store (docs/daemon.md). Hits on
+    // persisted entries are counted separately (persist.hits) — the warm
+    // bench gate measures exactly these.
+    bool persisted = false;
+    // A persisted SAT model not yet re-validated in this process. Stored
+    // models are never trusted from disk: the chain evaluates the live
+    // query's constraints under the model at first use, clears the flag on
+    // success, and drops the entry on mismatch so a corrupted or stale
+    // store degrades to a cache miss, never a wrong verdict. Mutable: the
+    // flag flips on logically-const lookup paths.
+    mutable bool unvalidated = false;
   };
 
   explicit PrefixCache(size_t capacity = 4096) : capacity_(capacity) {}
 
   const Entry* FindExact(uint64_t set_hash, uint64_t fingerprint) const;
-  // Some cached UNSAT set that is a subset of `keys`?
-  bool HasUnsatSubset(const std::vector<uint64_t>& keys) const;
+  // Some cached UNSAT set that is a subset of `keys` (then the query is
+  // UNSAT too). Returns the entry on hit so callers can attribute
+  // persisted-store hits; null on miss.
+  const Entry* FindUnsatSubset(const std::vector<uint64_t>& keys) const;
   // Some cached SAT set that is a superset of `keys` (its model satisfies
   // every constraint of the query). Returns null on miss.
   const Entry* FindSatSuperset(const std::vector<uint64_t>& keys) const;
@@ -239,15 +257,41 @@ class PrefixCache {
   void CollectSatSubsets(const std::vector<uint64_t>& keys, size_t limit,
                          std::vector<const Entry*>& out) const;
 
-  // Inserts (or overwrites, on a matching set hash) an entry; evicts the
-  // oldest live entry beyond capacity. `clauses` (optional) are the learned
-  // nogoods to carry on the entry for cross-query seeding.
+  // Inserts (or overwrites, on a matching 128-bit identity) an entry;
+  // evicts the oldest live entry beyond capacity. `clauses` (optional) are
+  // the learned nogoods to carry on the entry for cross-query seeding.
+  // A matching set_hash whose fingerprint (or key sequence) differs is a
+  // 64-bit collision: both the resident entry and the new one are dropped,
+  // so a collision degrades to a cache miss instead of ever serving one
+  // set's verdict for the other (counted in collisions()).
   void Insert(std::vector<uint64_t> keys, uint64_t set_hash, uint64_t fingerprint,
               SatResult result, const std::vector<uint8_t>& model,
               std::vector<LearnedClause> clauses = {});
 
+  // Insert for entries loaded from a persisted store: marks the entry
+  // persisted, and — for SAT — unvalidated, deferring model trust to the
+  // first live hit (see Entry::unvalidated).
+  void InsertPersisted(std::vector<uint64_t> keys, uint64_t set_hash, uint64_t fingerprint,
+                       SatResult result, const std::vector<uint8_t>& model,
+                       std::vector<LearnedClause> clauses = {});
+
+  // Drops the entry carrying `set_hash` if present (persisted-model
+  // validation failure: the store's model did not satisfy the live set).
+  void RemoveBySetHash(uint64_t set_hash);
+
+  // Visits every live entry (the persistence harvest).
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (const Entry& entry : entries_) {
+      if (entry.live) {
+        fn(entry);
+      }
+    }
+  }
+
   size_t size() const { return live_; }
   uint64_t evictions() const { return evictions_; }
+  uint64_t collisions() const { return collisions_; }
 
  private:
   struct Node {
@@ -261,8 +305,8 @@ class PrefixCache {
   // degrades to a cache miss, never a slow query.
   static constexpr size_t kSearchBudget = 2048;
 
-  bool HasUnsatSubsetFrom(const Node& node, const std::vector<uint64_t>& keys, size_t i,
-                          size_t& budget) const;
+  const Entry* FindUnsatSubsetFrom(const Node& node, const std::vector<uint64_t>& keys,
+                                   size_t i, size_t& budget) const;
   const Entry* FindSatSupersetFrom(const Node& node, const std::vector<uint64_t>& keys,
                                    size_t i, size_t& budget) const;
   const Entry* FindAnySat(const Node& node, size_t& budget) const;
@@ -280,6 +324,7 @@ class PrefixCache {
   size_t capacity_;
   size_t live_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t collisions_ = 0;  // set_hash collisions degraded to misses
 };
 
 // The full KLEE-style stack. One instance per symbolic-execution run.
@@ -366,6 +411,22 @@ class SolverChain {
   // default) disables tracing at the cost of one cold-pointer branch.
   void set_trace(TraceBuffer* trace) { trace_ = trace; }
 
+  // ---- Cross-run persistence (docs/daemon.md) ----
+
+  // Seeds the counterexample cache with one entry from a persisted store.
+  // The entry's keys/hashes are portable content hashes, so an entry
+  // harvested by one process addresses the same constraint sets in this
+  // one. SAT models are marked unvalidated (re-checked against the live
+  // query at first use, never trusted from disk).
+  void SeedPersistedEntry(std::vector<uint64_t> keys, uint64_t set_hash,
+                          uint64_t fingerprint, SatResult result,
+                          const std::vector<uint8_t>& model,
+                          std::vector<LearnedClause> clauses);
+
+  // Read-only view of the counterexample cache (the persistence harvest
+  // walks it with ForEachLive).
+  const PrefixCache& cex_cache() const { return cache_; }
+
  private:
   SatResult CheckSatImpl(const std::vector<const Expr*>& constraints,
                          std::vector<uint8_t>* model, PathPrefix* prefix);
@@ -411,6 +472,9 @@ class SolverChain {
   // constraint sets (see PrefixCache above). Bounded FIFO as before.
   static constexpr size_t kMaxCexEntries = 4096;
   PrefixCache cache_{kMaxCexEntries};
+  // Memoized portable per-constraint content hashes (src/symex/expr_hash.h)
+  // feeding the cache's confirmation fingerprints.
+  PortableHashCache portable_hashes_;
   // Recent satisfying assignments, newest last (bounded).
   std::vector<std::vector<uint8_t>> recent_models_;
   // Scratch buffers reused across queries (the chain sits on the engine's

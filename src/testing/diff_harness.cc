@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "src/cache/persist.h"
 #include "src/exec/interpreter.h"
 
 namespace overify {
@@ -137,8 +138,6 @@ std::vector<LatticeCell> FullLattice(const DiffOptions& options) {
   return cells;
 }
 
-namespace {
-
 // Builds the canonical signature of one run, replaying bug inputs through
 // the interpreter of this cell's build when confirmation is on.
 RunSignature SignatureOf(const SymexResult& result, Module& module, const std::string& entry,
@@ -173,6 +172,8 @@ RunSignature SignatureOf(const SymexResult& result, Module& module, const std::s
   std::sort(signature.bugs.begin(), signature.bugs.end());
   return signature;
 }
+
+namespace {
 
 void DescribeMismatch(std::ostringstream& diff, const LatticeCell& reference_cell,
                       const RunSignature& reference, const LatticeCell& cell,
@@ -459,6 +460,100 @@ DiffReport RunRobustnessDifferential(const Workload& workload, unsigned sym_byte
   return RunRobustnessDifferential(workload.name, workload.source,
                                    sym_bytes == 0 ? workload.default_sym_bytes : sym_bytes,
                                    options);
+}
+
+DiffReport RunWarmColdDifferential(const std::string& name, const std::string& source,
+                                   unsigned sym_bytes, const WarmColdOptions& options) {
+  DiffReport report;
+  report.name = name;
+  report.sym_bytes = sym_bytes;
+  std::ostringstream diff;
+
+  Compiler compiler;
+  CompileResult compiled = compiler.Compile(source, options.level, name);
+  if (!compiled.ok) {
+    diff << "compile failed at " << OptLevelName(options.level) << ":\n"
+         << compiled.errors << "\n";
+    report.diff = diff.str();
+    return report;
+  }
+
+  for (unsigned jobs : options.jobs) {
+    LatticeCell cell;
+    cell.level = options.level;
+    cell.jobs = jobs;
+    const std::string base = "warmcold/j" + std::to_string(jobs);
+
+    auto run_once = [&](CacheStore* store, const std::string& label,
+                        SymexResult* result_out) -> RunSignature {
+      SymexOptions opts = cell.ToOptions();
+      opts.cache_store = store;
+      SymexResult result = Analyze(compiled, options.entry, sym_bytes, options.limits, opts);
+      if (!result.ok) {
+        diff << label << " rejected the input: " << result.error << "\n";
+      }
+      RunSignature signature =
+          SignatureOf(result, *compiled.module, options.entry, /*confirm_models=*/true);
+      if (result_out != nullptr) {
+        *result_out = std::move(result);
+      }
+      return signature;
+    };
+
+    // The reference: a cold run with no store at all.
+    RunSignature reference = run_once(nullptr, base + "/cold", nullptr);
+    report.cells.push_back(CellResult{cell, reference});
+    if (!reference.exhausted) {
+      diff << base << "/cold did not exhaust within the limits (size "
+           << "WarmColdOptions::limits so it does): " << reference.ToString() << "\n";
+    }
+
+    // Cold-with-store: an empty store seeds nothing, so attaching it must
+    // change nothing — and its harvest becomes round 1's seed.
+    CacheStore store;
+    RunSignature harvest = run_once(&store, base + "/harvest", nullptr);
+    if (harvest != reference) {
+      DescribeMismatch(diff, cell, reference, cell, harvest);
+      diff << "  (attaching an empty store changed the run)\n";
+    }
+
+    for (unsigned round = 1; round <= options.rounds; ++round) {
+      const std::string label = base + "/warm" + std::to_string(round);
+      // Full byte round trip between rounds: the warm run consumes exactly
+      // what a fresh process loading the file would.
+      CacheStore reloaded;
+      if (!reloaded.Deserialize(store.Serialize())) {
+        diff << label << ": store failed its own round trip: " << reloaded.load_error()
+             << "\n";
+        break;
+      }
+      SymexResult warm_result;
+      RunSignature warm = run_once(&reloaded, label, &warm_result);
+      if (warm != reference) {
+        DescribeMismatch(diff, cell, reference, cell, warm);
+        diff << "  (warm round " << round << " diverged from the cold reference)\n";
+      }
+      if (warm_result.metrics.Get(Counter::kPersistSeeded) == 0) {
+        diff << label << ": the persisted store seeded no cache entries — the warm axis "
+             << "proved nothing\n";
+      }
+      store = std::move(reloaded);
+    }
+  }
+
+  if (report.cells.empty()) {
+    diff << "no warm/cold cells ran\n";
+  }
+  report.diff = diff.str();
+  report.ok = report.diff.empty();
+  return report;
+}
+
+DiffReport RunWarmColdDifferential(const Workload& workload, unsigned sym_bytes,
+                                   const WarmColdOptions& options) {
+  return RunWarmColdDifferential(workload.name, workload.source,
+                                 sym_bytes == 0 ? workload.default_sym_bytes : sym_bytes,
+                                 options);
 }
 
 }  // namespace difftest

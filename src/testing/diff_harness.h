@@ -126,6 +126,15 @@ struct SemanticSignature {
 
 SemanticSignature SemanticOf(const RunSignature& signature);
 
+// The canonical signature of one finished run — what every differential
+// asserts per cell. Exposed for the verification daemon (which memoizes
+// signatures per module content hash) and the warm/cold persistence
+// differential. When `confirm_models` is set, each bug's example input is
+// replayed through the concrete interpreter of `module` to fill
+// BugSignature::confirmed.
+RunSignature SignatureOf(const SymexResult& result, Module& module, const std::string& entry,
+                         bool confirm_models);
+
 struct DiffOptions {
   std::vector<OptLevel> levels = {OptLevel::kO0, OptLevel::kOverify, OptLevel::kO3};
   std::vector<unsigned> jobs = {1, 4};
@@ -221,6 +230,34 @@ DiffReport RunRobustnessDifferential(const std::string& name, const std::string&
 // Suite convenience: `sym_bytes` of 0 uses the workload's default.
 DiffReport RunRobustnessDifferential(const Workload& workload, unsigned sym_bytes = 0,
                                      const RobustnessOptions& options = {});
+
+// ---- Warm/cold persistence differential ----
+//
+// The cross-run-cache counterpart of RunDifferential: proves that a run
+// seeded from a persisted CacheStore (src/cache/persist.h) is
+// signature-identical to a cold run of the same module. Per worker count it
+// runs cold without a store (the reference), cold with an empty store (the
+// harvest), then `rounds` warm runs — each consuming the store through a
+// full serialize/deserialize round trip, exactly what a new process (or the
+// daemon's next client) would see. Any divergence, a store that fails its
+// own round trip, or a warm round that seeded nothing lands in
+// DiffReport::diff.
+struct WarmColdOptions {
+  OptLevel level = OptLevel::kOverify;
+  std::vector<unsigned> jobs = {1, 4};
+  // Warm reruns per worker count; each harvests back into the store, so
+  // round N+1 consumes what round N (and the cold run) learned.
+  unsigned rounds = 2;
+  std::string entry = "umain";
+  SymexLimits limits;  // sized so every run exhausts
+};
+
+DiffReport RunWarmColdDifferential(const std::string& name, const std::string& source,
+                                   unsigned sym_bytes, const WarmColdOptions& options = {});
+
+// Suite convenience: `sym_bytes` of 0 uses the workload's default.
+DiffReport RunWarmColdDifferential(const Workload& workload, unsigned sym_bytes = 0,
+                                   const WarmColdOptions& options = {});
 
 }  // namespace difftest
 }  // namespace overify
